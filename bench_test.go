@@ -1,0 +1,608 @@
+package crowdselect
+
+// One benchmark per table and figure of the paper's evaluation section
+// (§7), plus the ablation benches called out in DESIGN.md §4.5. Each
+// bench reuses a shared Runner so datasets are generated and models
+// trained once per `go test -bench` invocation; the measured loop is
+// the experiment's evaluation work. The same rows the paper reports
+// are printed by `go run ./cmd/crowdbench -exp all`.
+//
+// Scale: benchmarks run the corpora at BenchScale (default 0.1× the
+// DESIGN.md sizes) so the full suite finishes in minutes. Override
+// with CROWDSELECT_BENCH_SCALE.
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"testing"
+
+	"crowdselect/internal/core"
+	"crowdselect/internal/corpus"
+	"crowdselect/internal/eval"
+	"crowdselect/internal/randx"
+	"crowdselect/internal/sim"
+)
+
+func benchScale() float64 {
+	if s := os.Getenv("CROWDSELECT_BENCH_SCALE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 0.1
+}
+
+var (
+	benchOnce   sync.Once
+	benchRunner *eval.Runner
+)
+
+func runner() *eval.Runner {
+	benchOnce.Do(func() {
+		benchRunner = eval.NewRunner(eval.ExpConfig{
+			Scale:        benchScale(),
+			Seed:         1,
+			MaxTestTasks: 500,
+			RecallK:      10,
+			PrecisionKs:  []int{10, 20, 30, 40, 50},
+		})
+	})
+	return benchRunner
+}
+
+// --- Table 2 -------------------------------------------------------
+
+func BenchmarkTable2DatasetStats(b *testing.B) {
+	r := runner()
+	for _, name := range []string{"quora", "yahoo", "stackoverflow"} {
+		if _, err := r.Dataset(name); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, name := range []string{"quora", "yahoo", "stackoverflow"} {
+			d, _ := r.Dataset(name)
+			s := d.Stats()
+			if s.Tasks == 0 {
+				b.Fatal("empty dataset")
+			}
+		}
+	}
+}
+
+// --- Group-statistics figures (3, 5, 7) -----------------------------
+
+func benchGroupStats(b *testing.B, name string, thresholds []int) {
+	b.Helper()
+	r := runner()
+	if _, err := r.Dataset(name); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var rows []eval.GroupStatRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = r.GroupStats(name, thresholds)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[len(rows)-1].Coverage, "tail-coverage")
+	b.ReportMetric(float64(rows[len(rows)-1].Size), "tail-workers")
+}
+
+func BenchmarkFigure3QuoraGroupStats(b *testing.B) {
+	benchGroupStats(b, "quora", []int{1, 2, 3, 4, 5})
+}
+
+func BenchmarkFigure5YahooGroupStats(b *testing.B) {
+	benchGroupStats(b, "yahoo", []int{1, 10, 20, 30})
+}
+
+func BenchmarkFigure7StackGroupStats(b *testing.B) {
+	benchGroupStats(b, "stackoverflow", []int{1, 3, 6, 9, 12, 15})
+}
+
+// --- Precision tables (3, 5, 7) --------------------------------------
+
+func benchPrecision(b *testing.B, name string, groups []int) {
+	b.Helper()
+	r := runner()
+	ks := r.Config().PrecisionKs
+	// Train all models outside the timed loop.
+	if _, err := r.Precision(name, groups[:1], ks[:1]); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var cells []eval.PrecisionCell
+	for i := 0; i < b.N; i++ {
+		var err error
+		cells, err = r.Precision(name, groups, ks)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	report := map[eval.Algo]float64{}
+	for _, c := range cells {
+		if c.Group == groups[0] && c.K == ks[0] {
+			report[c.Algo] = c.ACCU
+		}
+	}
+	for algo, accu := range report {
+		b.ReportMetric(accu, string(algo)+"-ACCU")
+	}
+}
+
+func BenchmarkTable3QuoraPrecision(b *testing.B) {
+	benchPrecision(b, "quora", []int{1, 5, 9})
+}
+
+func BenchmarkTable5YahooPrecision(b *testing.B) {
+	benchPrecision(b, "yahoo", []int{10, 15, 20})
+}
+
+func BenchmarkTable7StackPrecision(b *testing.B) {
+	benchPrecision(b, "stackoverflow", []int{1, 6, 12})
+}
+
+// --- Recall tables (4, 6, 8) ------------------------------------------
+
+func benchRecall(b *testing.B, name string, groups []int) {
+	b.Helper()
+	r := runner()
+	if _, err := r.RecallAndTime(name, groups[:1]); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var results []eval.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		results, err = r.RecallAndTime(name, groups)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	for _, res := range results {
+		if res.Group == groups[0] {
+			b.ReportMetric(res.Top1, res.Algorithm+"-Top1")
+		}
+	}
+}
+
+func BenchmarkTable4QuoraRecall(b *testing.B) {
+	benchRecall(b, "quora", []int{1, 2, 3, 4, 5})
+}
+
+func BenchmarkTable6YahooRecall(b *testing.B) {
+	benchRecall(b, "yahoo", []int{10, 15, 20, 25, 30})
+}
+
+func BenchmarkTable8StackRecall(b *testing.B) {
+	benchRecall(b, "stackoverflow", []int{1, 3, 6, 9, 12})
+}
+
+// --- Running-time figures (4, 6, 8) ----------------------------------
+//
+// The figure's quantity is the per-task crowd-selection latency of
+// each algorithm; the sub-benchmark ns/op IS the figure's data point.
+
+func benchSelectionTime(b *testing.B, name string, topK int) {
+	b.Helper()
+	r := runner()
+	d, err := r.Dataset(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := eval.ExtractGroup(d, 1)
+	tasks := eval.TestTasks(d, g, 200, 7)
+	if len(tasks) == 0 {
+		b.Fatal("no test tasks")
+	}
+	for _, algo := range eval.AllAlgos {
+		sel, err := r.Selector(name, algo, r.Config().RecallK)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(string(algo), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				t := d.Tasks[tasks[i%len(tasks)]]
+				ranked := sel.Rank(t.Bag(d.Vocab), eval.Candidates(t))
+				if len(ranked) > topK {
+					ranked = ranked[:topK]
+				}
+				if len(ranked) == 0 {
+					b.Fatal("empty selection")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFigure4QuoraSelectionTime(b *testing.B) {
+	benchSelectionTime(b, "quora", 1)
+}
+
+func BenchmarkFigure6YahooSelectionTime(b *testing.B) {
+	benchSelectionTime(b, "yahoo", 1)
+}
+
+func BenchmarkFigure8StackSelectionTime(b *testing.B) {
+	benchSelectionTime(b, "stackoverflow", 2)
+}
+
+// --- Ablations (DESIGN.md §4.5) ---------------------------------------
+
+// BenchmarkAblationSkillComparability contrasts TDPM's unnormalized
+// Gaussian skills with the Multinomial skills of TSPM/DRM on the same
+// data — the paper's core modeling claim (§1).
+func BenchmarkAblationSkillComparability(b *testing.B) {
+	r := runner()
+	d, err := r.Dataset("quora")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := eval.ExtractGroup(d, 1)
+	tasks := eval.TestTasks(d, g, 400, 3)
+	k := r.Config().RecallK
+	accu := map[eval.Algo]float64{}
+	for _, algo := range []eval.Algo{eval.AlgoTDPM, eval.AlgoTSPM, eval.AlgoDRM} {
+		sel, err := r.Selector("quora", algo, k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		accu[algo] = eval.Evaluate(d, sel, g, tasks, k).ACCU
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sel, _ := r.Selector("quora", eval.AlgoTDPM, k)
+		t := d.Tasks[tasks[i%len(tasks)]]
+		sel.Rank(t.Bag(d.Vocab), eval.Candidates(t))
+	}
+	b.StopTimer()
+	for algo, v := range accu {
+		b.ReportMetric(v, string(algo)+"-ACCU")
+	}
+}
+
+// BenchmarkAblationNoFeedback trains TDPM with the feedback signal
+// flattened (every score equal), isolating the contribution of the
+// score likelihood (Eq. 6) over pure text modeling.
+func BenchmarkAblationNoFeedback(b *testing.B) {
+	r := runner()
+	d, err := r.Dataset("quora")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tasks := eval.ResolvedTasks(d)
+	flat := make([]core.ResolvedTask, len(tasks))
+	for j, t := range tasks {
+		ft := core.ResolvedTask{Bag: t.Bag}
+		for _, resp := range t.Responses {
+			ft.Responses = append(ft.Responses, core.Scored{Worker: resp.Worker, Score: 1})
+		}
+		flat[j] = ft
+	}
+	cfg := core.NewConfig(r.Config().RecallK)
+	flatModel, _, err := core.Train(flat, len(d.Workers), d.Vocab.Size(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	full, err := r.Selector("quora", eval.AlgoTDPM, r.Config().RecallK)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := eval.ExtractGroup(d, 1)
+	testIDs := eval.TestTasks(d, g, 400, 3)
+	withFeedback := eval.Evaluate(d, full, g, testIDs, cfg.K).ACCU
+	noFeedback := eval.Evaluate(d, flatModel, g, testIDs, cfg.K).ACCU
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := d.Tasks[testIDs[i%len(testIDs)]]
+		flatModel.Rank(t.Bag(d.Vocab), eval.Candidates(t))
+	}
+	b.StopTimer()
+	b.ReportMetric(withFeedback, "with-feedback-ACCU")
+	b.ReportMetric(noFeedback, "no-feedback-ACCU")
+}
+
+// BenchmarkAblationIncrementalVsBatch times the incremental
+// skill-update path (§6) against a full batch retrain for absorbing
+// one newly resolved task.
+func BenchmarkAblationIncrementalVsBatch(b *testing.B) {
+	r := runner()
+	d, err := r.Dataset("quora")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tasks := eval.ResolvedTasks(d)
+	cfg := core.NewConfig(r.Config().RecallK)
+	cfg.MaxIter = 20
+	model, _, err := core.Train(tasks[:len(tasks)-1], len(d.Workers), d.Vocab.Size(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	last := tasks[len(tasks)-1]
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cat := model.Project(last.Bag)
+			for _, resp := range last.Responses {
+				model.UpdateWorkerSkill(resp.Worker, []core.TaskCategory{cat}, []float64{resp.Score})
+			}
+		}
+	})
+	b.Run("batch-retrain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.Train(tasks, len(d.Workers), d.Vocab.Size(), cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationProjectionIters sweeps the inner-iteration budget
+// of Algorithm 3's task projection: latency per projection at each
+// budget, with the induced Top1 recall as a reported metric.
+func BenchmarkAblationProjectionIters(b *testing.B) {
+	r := runner()
+	d, err := r.Dataset("quora")
+	if err != nil {
+		b.Fatal(err)
+	}
+	base, err := r.Selector("quora", eval.AlgoTDPM, r.Config().RecallK)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := base.(*core.Model)
+	g := eval.ExtractGroup(d, 1)
+	testIDs := eval.TestTasks(d, g, 300, 3)
+	defer func() { model.ProjectIters = 0 }()
+	for _, iters := range []int{1, 2, 4, 6, 10} {
+		b.Run(fmt.Sprintf("iters=%d", iters), func(b *testing.B) {
+			model.ProjectIters = iters
+			res := eval.Evaluate(d, model, g, testIDs, model.K)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t := d.Tasks[testIDs[i%len(testIDs)]]
+				model.Project(t.Bag(d.Vocab))
+			}
+			b.StopTimer()
+			b.ReportMetric(res.Top1, "Top1")
+		})
+	}
+}
+
+// BenchmarkAblationDriftTracking measures the non-stationary
+// extension: under drifting worker skills, the Kalman-style
+// incremental update (process noise on UpdateWorkerSkillDrift) vs a
+// frozen batch model. Reported metrics are the Top1 rates on the
+// arriving stream.
+func BenchmarkAblationDriftTracking(b *testing.B) {
+	d, err := corpus.Generate(quoraDriftProfile())
+	if err != nil {
+		b.Fatal(err)
+	}
+	all := eval.ResolvedTasks(d)
+	split := len(all) * 6 / 10
+	cfg := core.NewConfig(10)
+	stream := func(update bool, q float64) float64 {
+		m, _, err := core.Train(all[:split], len(d.Workers), d.Vocab.Size(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hits, total := 0, 0
+		for j := split; j < len(all); j++ {
+			task := d.Tasks[j]
+			if len(task.Responses) < 2 {
+				continue
+			}
+			best, _ := task.BestWorker()
+			cands := make([]int, len(task.Responses))
+			for i, r := range task.Responses {
+				cands[i] = r.Worker
+			}
+			cat := m.Project(task.Bag(d.Vocab))
+			if sel := m.SelectTopK(cat.Mean(), cands, 1); len(sel) == 1 && sel[0] == best {
+				hits++
+			}
+			total++
+			if update {
+				for _, r := range task.Responses {
+					m.UpdateWorkerSkillDrift(r.Worker, []core.TaskCategory{cat}, []float64{r.Score}, q)
+				}
+			}
+		}
+		return float64(hits) / float64(total)
+	}
+	frozen := stream(false, 0)
+	tracking := stream(true, 0.01)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stream(true, 0.01)
+	}
+	b.StopTimer()
+	b.ReportMetric(frozen, "frozen-Top1")
+	b.ReportMetric(tracking, "tracking-Top1")
+}
+
+func quoraDriftProfile() corpus.Profile {
+	p := corpus.Quora().Scaled(benchScale())
+	p.SkillDrift = 0.3
+	p.Seed = 31
+	return p
+}
+
+// BenchmarkAblationVSMWeighting compares the paper's raw-count VSM
+// against a TF-IDF-weighted variant, probing how much of VSM's gap is
+// representational rather than about missing feedback.
+func BenchmarkAblationVSMWeighting(b *testing.B) {
+	r := runner()
+	d, err := r.Dataset("quora")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := eval.ExtractGroup(d, 1)
+	testIDs := eval.TestTasks(d, g, 400, 3)
+	accu := map[eval.Algo]float64{}
+	for _, algo := range []eval.Algo{eval.AlgoVSM, eval.AlgoVSMTFIDF} {
+		sel, err := r.Selector("quora", algo, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		accu[algo] = eval.Evaluate(d, sel, g, testIDs, 0).ACCU
+	}
+	tfidf, _ := r.Selector("quora", eval.AlgoVSMTFIDF, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := d.Tasks[testIDs[i%len(testIDs)]]
+		tfidf.Rank(t.Bag(d.Vocab), eval.Candidates(t))
+	}
+	b.StopTimer()
+	for algo, v := range accu {
+		b.ReportMetric(v, string(algo)+"-ACCU")
+	}
+}
+
+// BenchmarkAblationInferenceMethod compares the paper's variational
+// algorithm against the Monte-Carlo EM sampler on the same data:
+// ns/op is the training time of each engine; the reported metrics are
+// the resulting selection precisions.
+func BenchmarkAblationInferenceMethod(b *testing.B) {
+	r := runner()
+	d, err := r.Dataset("quora")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tasks := eval.ResolvedTasks(d)
+	g := eval.ExtractGroup(d, 1)
+	testIDs := eval.TestTasks(d, g, 300, 3)
+	k := r.Config().RecallK
+
+	vb, _, err := core.Train(tasks, len(d.Workers), d.Vocab.Size(), core.NewConfig(k))
+	if err != nil {
+		b.Fatal(err)
+	}
+	mcemCfg := core.NewMCEMConfig(k)
+	mcem, _, err := core.TrainMCEM(tasks, len(d.Workers), d.Vocab.Size(), mcemCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vbACCU := eval.Evaluate(d, vb, g, testIDs, k).ACCU
+	mcemACCU := eval.Evaluate(d, mcem, g, testIDs, k).ACCU
+
+	b.Run("variational", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.Train(tasks, len(d.Workers), d.Vocab.Size(), core.NewConfig(k)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(vbACCU, "ACCU")
+	})
+	b.Run("mcem", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.TrainMCEM(tasks, len(d.Workers), d.Vocab.Size(), mcemCfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(mcemACCU, "ACCU")
+	})
+}
+
+// BenchmarkRoutingQuality runs the closed-loop simulation
+// (internal/sim) and reports the realized best-answer quality of
+// random, TDPM and oracle routing — the end-to-end payoff of
+// task-driven selection.
+func BenchmarkRoutingQuality(b *testing.B) {
+	r := runner()
+	d, err := r.Dataset("quora")
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := r.Selector("quora", eval.AlgoTDPM, r.Config().RecallK)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := make([]int, 150)
+	for i := range ids {
+		ids[i] = i
+	}
+	cfg := sim.Config{CrowdK: 3, Noise: 0.3, Seed: 7}
+	quality := map[string]float64{}
+	for _, pol := range []sim.Policy{
+		sim.RandomPolicy{RNG: randx.New(2)},
+		sim.SelectorPolicy{Ranker: model},
+		sim.NewOraclePolicy(d),
+	} {
+		res, err := sim.Run(d, ids, pol, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		quality[res.Policy] = res.MeanBest
+	}
+	tdpmPol := sim.SelectorPolicy{Ranker: model}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(d, ids, tdpmPol, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	for name, q := range quality {
+		b.ReportMetric(q, name+"-quality")
+	}
+}
+
+// BenchmarkTrainParallelism measures the variational EM wall-clock at
+// increasing E-step parallelism (results are bit-identical across
+// settings; see TestTrainParallelMatchesSequential).
+func BenchmarkTrainParallelism(b *testing.B) {
+	r := runner()
+	d, err := r.Dataset("quora")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tasks := eval.ResolvedTasks(d)
+	for _, p := range []int{1, 2, 4, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			cfg := core.NewConfig(10)
+			cfg.MaxIter = 5
+			cfg.Parallelism = p
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.Train(tasks, len(d.Workers), d.Vocab.Size(), cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- End-to-end pipeline bench ---------------------------------------
+
+// BenchmarkSelectForTask measures the complete Algorithm 3 path
+// (project + top-k selection over the whole crowd) — the operation the
+// crowd manager performs per submitted task.
+func BenchmarkSelectForTask(b *testing.B) {
+	r := runner()
+	d, err := r.Dataset("quora")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sel, err := r.Selector("quora", eval.AlgoTDPM, r.Config().RecallK)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := sel.(*core.Model)
+	rng := randx.New(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := d.Tasks[i%len(d.Tasks)]
+		if got := model.SelectForTask(t.Bag(d.Vocab), nil, 3, rng); len(got) != 3 {
+			b.Fatal("bad selection")
+		}
+	}
+}

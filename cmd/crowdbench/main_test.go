@@ -1,0 +1,38 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("10, 20,30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{10, 20, 30}) {
+		t.Errorf("parseInts = %v", got)
+	}
+	if _, err := parseInts("10,x"); err == nil {
+		t.Error("bad int accepted")
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	// T2 only generates datasets — the cheapest end-to-end path.
+	if err := run("T2", 0.02, 1, "10", 8, 50, "VSM,TDPM", 4, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("T99", 0.02, 1, "10", 8, 50, "VSM", 0, false); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run("T2", 0.02, 1, "ten", 8, 50, "VSM", 0, false); err == nil {
+		t.Error("bad -ks accepted")
+	}
+}

@@ -1,0 +1,185 @@
+// Command crowdctl is the command-line client for the crowdd HTTP
+// service (the crowd manager of Figure 1).
+//
+// Usage:
+//
+//	crowdctl [-addr http://localhost:8080] submit   -text "..." [-k 3]
+//	crowdctl [-addr ...]                  answer    -task 1 -worker 2 -text "..."
+//	crowdctl [-addr ...]                  feedback  -task 1 -scores "2=4,7=1"
+//	crowdctl [-addr ...]                  task      -id 1
+//	crowdctl [-addr ...]                  worker    -id 2
+//	crowdctl [-addr ...]                  presence  -id 2 -online=false
+//	crowdctl [-addr ...]                  stats
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "crowdd base URL")
+	flag.Parse()
+	if err := run(*addr, flag.Args(), os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "crowdctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("missing subcommand (submit, answer, feedback, task, worker, presence, stats)")
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "submit":
+		fs := flag.NewFlagSet("submit", flag.ContinueOnError)
+		text := fs.String("text", "", "task text")
+		k := fs.Int("k", 0, "crowd size (0 = server default)")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		if *text == "" {
+			return fmt.Errorf("submit: -text is required")
+		}
+		return call(out, http.MethodPost, addr+"/api/tasks", map[string]any{"text": *text, "k": *k})
+	case "answer":
+		fs := flag.NewFlagSet("answer", flag.ContinueOnError)
+		task := fs.Int("task", -1, "task id")
+		worker := fs.Int("worker", -1, "worker id")
+		text := fs.String("text", "", "answer text")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		if *task < 0 || *worker < 0 {
+			return fmt.Errorf("answer: -task and -worker are required")
+		}
+		return call(out, http.MethodPost, fmt.Sprintf("%s/api/tasks/%d/answers", addr, *task),
+			map[string]any{"worker": *worker, "answer": *text})
+	case "feedback":
+		fs := flag.NewFlagSet("feedback", flag.ContinueOnError)
+		task := fs.Int("task", -1, "task id")
+		scores := fs.String("scores", "", "worker=score pairs, comma separated")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		if *task < 0 {
+			return fmt.Errorf("feedback: -task is required")
+		}
+		parsed, err := parseScores(*scores)
+		if err != nil {
+			return err
+		}
+		return call(out, http.MethodPost, fmt.Sprintf("%s/api/tasks/%d/feedback", addr, *task),
+			map[string]any{"scores": parsed})
+	case "task":
+		fs := flag.NewFlagSet("task", flag.ContinueOnError)
+		id := fs.Int("id", -1, "task id")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		return call(out, http.MethodGet, fmt.Sprintf("%s/api/tasks/%d", addr, *id), nil)
+	case "worker":
+		fs := flag.NewFlagSet("worker", flag.ContinueOnError)
+		id := fs.Int("id", -1, "worker id")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		return call(out, http.MethodGet, fmt.Sprintf("%s/api/workers/%d", addr, *id), nil)
+	case "presence":
+		fs := flag.NewFlagSet("presence", flag.ContinueOnError)
+		id := fs.Int("id", -1, "worker id")
+		online := fs.Bool("online", true, "online flag")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		return call(out, http.MethodPost, fmt.Sprintf("%s/api/workers/%d/presence", addr, *id),
+			map[string]any{"online": *online})
+	case "query":
+		fs := flag.NewFlagSet("query", flag.ContinueOnError)
+		q := fs.String("q", "", "crowdql statement, e.g. \"SELECT CROWD FOR TASK '...' LIMIT 3\"")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		if strings.TrimSpace(*q) == "" {
+			return fmt.Errorf("query: -q is required")
+		}
+		return call(out, http.MethodPost, addr+"/api/query", map[string]any{"q": *q})
+	case "stats":
+		return call(out, http.MethodGet, addr+"/api/stats", nil)
+	default:
+		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+}
+
+// parseScores parses "2=4,7=1.5" into {"2": 4, "7": 1.5}.
+func parseScores(s string) (map[string]float64, error) {
+	out := make(map[string]float64)
+	if strings.TrimSpace(s) == "" {
+		return out, nil
+	}
+	for _, pair := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(pair), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad score pair %q (want worker=score)", pair)
+		}
+		if _, err := strconv.Atoi(kv[0]); err != nil {
+			return nil, fmt.Errorf("bad worker id %q", kv[0])
+		}
+		v, err := strconv.ParseFloat(kv[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad score %q", kv[1])
+		}
+		out[kv[0]] = v
+	}
+	return out, nil
+}
+
+// call performs the request and pretty-prints the JSON response.
+func call(out io.Writer, method, url string, body any) error {
+	var reader io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		reader = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, reader)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(payload)))
+	}
+	if len(bytes.TrimSpace(payload)) == 0 {
+		fmt.Fprintln(out, "ok")
+		return nil
+	}
+	var pretty bytes.Buffer
+	if err := json.Indent(&pretty, payload, "", "  "); err != nil {
+		_, werr := out.Write(payload)
+		return werr
+	}
+	fmt.Fprintln(out, pretty.String())
+	return nil
+}

@@ -1,0 +1,167 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"crowdselect/internal/core"
+	"crowdselect/internal/corpus"
+	"crowdselect/internal/crowddb"
+	"crowdselect/internal/crowdql"
+	"crowdselect/internal/eval"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	p := corpus.Quora().Scaled(0.02).WithSeed(5)
+	d := corpus.MustGenerate(p)
+	cfg := core.NewConfig(4)
+	cfg.MaxIter = 4
+	model, _, err := core.Train(eval.ResolvedTasks(d), len(d.Workers), d.Vocab.Size(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := crowddb.NewStore()
+	for i := range d.Workers {
+		if _, err := store.AddWorker(i, fmt.Sprintf("w%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mgr, err := crowddb.NewManager(store, d.Vocab, model, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := crowddb.NewServer(mgr)
+	engine, err := crowdql.NewEngine(mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server.SetQueryEngine(crowdql.HTTPAdapter{Engine: engine})
+	srv := httptest.NewServer(server)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestParseScores(t *testing.T) {
+	got, err := parseScores("2=4, 7=1.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{"2": 4, "7": 1.5}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("parseScores = %v", got)
+	}
+	if got, err := parseScores(""); err != nil || len(got) != 0 {
+		t.Errorf("empty = %v, %v", got, err)
+	}
+	for _, bad := range []string{"x=1", "2=y", "nope"} {
+		if _, err := parseScores(bad); err == nil {
+			t.Errorf("parseScores(%q) accepted", bad)
+		}
+	}
+}
+
+func TestEndToEndCLI(t *testing.T) {
+	srv := testServer(t)
+	var out bytes.Buffer
+
+	// Submit.
+	if err := run(srv.URL, []string{"submit", "-text", "database index question", "-k", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "task_id") || !strings.Contains(out.String(), "TDPM") {
+		t.Fatalf("submit output: %s", out.String())
+	}
+	// Pull the selected workers out of the response.
+	var workers []int
+	for _, line := range strings.Split(out.String(), "\n") {
+		line = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(line), ","))
+		var w int
+		if _, err := fmt.Sscanf(line, "%d", &w); err == nil {
+			workers = append(workers, w)
+		}
+	}
+	if len(workers) < 2 {
+		t.Fatalf("could not parse workers from: %s", out.String())
+	}
+	w0, w1 := workers[len(workers)-2], workers[len(workers)-1]
+
+	// Answer (both assigned workers) and feedback.
+	for _, w := range []int{w0, w1} {
+		out.Reset()
+		if err := run(srv.URL, []string{"answer", "-task", "0", "-worker", fmt.Sprint(w), "-text", "hi"}, &out); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out.String(), "ok") {
+			t.Errorf("answer output: %s", out.String())
+		}
+	}
+	out.Reset()
+	if err := run(srv.URL, []string{"feedback", "-task", "0", "-scores", fmt.Sprintf("%d=4,%d=1", w0, w1)}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"status": 2`) {
+		t.Errorf("feedback output: %s", out.String())
+	}
+
+	// Reads.
+	out.Reset()
+	if err := run(srv.URL, []string{"task", "-id", "0"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run(srv.URL, []string{"worker", "-id", "0"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run(srv.URL, []string{"presence", "-id", "0", "-online=false"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run(srv.URL, []string{"stats"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"resolved": 1`) {
+		t.Errorf("stats output: %s", out.String())
+	}
+
+	// crowdql through the CLI.
+	out.Reset()
+	if err := run(srv.URL, []string{"query", "-q", "SELECT WORKERS WHERE resolved >= 1 LIMIT 5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "columns") {
+		t.Errorf("query output: %s", out.String())
+	}
+	out.Reset()
+	if err := run(srv.URL, []string{"query"}, &out); err == nil {
+		t.Error("query without -q accepted")
+	}
+	if err := run(srv.URL, []string{"query", "-q", "EXPLODE"}, &out); err == nil {
+		t.Error("bad query accepted")
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	srv := testServer(t)
+	var out bytes.Buffer
+	cases := [][]string{
+		{},
+		{"unknown"},
+		{"submit"},               // missing -text
+		{"answer", "-task", "0"}, // missing -worker
+		{"feedback"},             // missing -task
+		{"feedback", "-task", "0", "-scores", "bad"},
+		{"task", "-id", "999"}, // 404 from server
+	}
+	for _, args := range cases {
+		out.Reset()
+		if err := run(srv.URL, args, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Command crowdd runs the task-driven crowd-selection service of
+// Figure 1: it generates (or loads) a crowdsourcing dataset, trains
+// TDPM on the resolved tasks, registers the workers in the crowd
+// database and serves the crowd-manager HTTP API.
+//
+// Usage:
+//
+//	crowdd -profile quora -scale 0.1 -k 10 -addr :8080
+//	crowdd -data quora.json -k 10 -addr :8080
+//
+// Endpoints (see internal/crowddb): POST /api/tasks,
+// POST /api/tasks/{id}/answers, POST /api/tasks/{id}/feedback,
+// GET /api/workers/{id}, GET /api/stats.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"crowdselect/internal/core"
+	"crowdselect/internal/corpus"
+	"crowdselect/internal/crowddb"
+	"crowdselect/internal/crowdql"
+	"crowdselect/internal/eval"
+)
+
+func main() {
+	var (
+		profile = flag.String("profile", "quora", "platform profile to generate when -data is empty")
+		scale   = flag.Float64("scale", 0.1, "generation scale")
+		data    = flag.String("data", "", "path to a crowdgen dataset JSON (overrides -profile)")
+		k       = flag.Int("k", 10, "latent categories")
+		crowdK  = flag.Int("crowd", 3, "default crowd size per task")
+		addr    = flag.String("addr", ":8080", "listen address")
+		sweeps  = flag.Int("sweeps", 0, "override TDPM training sweeps (0 = default)")
+	)
+	flag.Parse()
+	if err := run(*profile, *scale, *data, *k, *crowdK, *addr, *sweeps); err != nil {
+		fmt.Fprintln(os.Stderr, "crowdd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(profile string, scale float64, data string, k, crowdK int, addr string, sweeps int) error {
+	handler, online, err := buildService(profile, scale, data, k, crowdK, sweeps)
+	if err != nil {
+		return err
+	}
+	log.Printf("crowd-selection service listening on %s (%d workers online)", addr, online)
+	return http.ListenAndServe(addr, handler)
+}
+
+// buildService assembles the full pipeline — dataset, trained TDPM,
+// crowd database, manager — and returns the HTTP handler plus the
+// number of online workers.
+func buildService(profile string, scale float64, data string, k, crowdK, sweeps int) (http.Handler, int, error) {
+	var (
+		d   *corpus.Dataset
+		err error
+	)
+	if data != "" {
+		log.Printf("loading dataset from %s", data)
+		d, err = corpus.LoadFile(data)
+	} else {
+		log.Printf("generating %s dataset at scale %g", profile, scale)
+		var p corpus.Profile
+		if p, err = corpus.ProfileByName(profile); err == nil {
+			d, err = corpus.Generate(p.Scaled(scale))
+		}
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	log.Print(d.Stats())
+
+	cfg := core.NewConfig(k)
+	if sweeps > 0 {
+		cfg.MaxIter = sweeps
+	}
+	log.Printf("training TDPM with K=%d", k)
+	start := time.Now()
+	model, stats, err := core.Train(eval.ResolvedTasks(d), len(d.Workers), d.Vocab.Size(), cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	log.Printf("trained in %s (%d sweeps, converged=%v)", time.Since(start).Round(time.Millisecond), stats.Sweeps, stats.Converged)
+
+	store := crowddb.NewStore()
+	for _, w := range d.Workers {
+		if _, err := store.AddWorker(w.ID, fmt.Sprintf("worker-%04d", w.ID)); err != nil {
+			return nil, 0, err
+		}
+	}
+	mgr, err := crowddb.NewManager(store, d.Vocab, model, crowdK)
+	if err != nil {
+		return nil, 0, err
+	}
+	srv := crowddb.NewServer(mgr)
+	engine, err := crowdql.NewEngine(mgr)
+	if err != nil {
+		return nil, 0, err
+	}
+	srv.SetQueryEngine(crowdql.HTTPAdapter{Engine: engine})
+	return srv, len(store.OnlineWorkers()), nil
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"crowdselect/internal/corpus"
+)
+
+func TestBuildServiceServes(t *testing.T) {
+	handler, online, err := buildService("quora", 0.02, "", 4, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if online == 0 {
+		t.Fatal("no workers online")
+	}
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/api/tasks", "application/json",
+		strings.NewReader(`{"text":"database index question","k":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	var sub struct {
+		Workers []int  `json:"workers"`
+		Model   string `json:"model"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Workers) != 2 || sub.Model != "TDPM" {
+		t.Errorf("submit = %+v", sub)
+	}
+
+	// The crowdql endpoint is wired up.
+	resp, err = http.Post(srv.URL+"/api/query", "application/json",
+		strings.NewReader(`{"q":"SELECT CROWD FOR TASK 'another question' LIMIT 2"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status = %d", resp.StatusCode)
+	}
+	var qres struct {
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&qres); err != nil {
+		t.Fatal(err)
+	}
+	if len(qres.Rows) != 2 || len(qres.Columns) != 3 {
+		t.Errorf("query result = %+v", qres)
+	}
+	// Parse errors map to 400.
+	resp2, err := http.Post(srv.URL+"/api/query", "application/json",
+		strings.NewReader(`{"q":"EXPLODE"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad query status = %d", resp2.StatusCode)
+	}
+}
+
+func TestBuildServiceFromDataFile(t *testing.T) {
+	p := corpus.Quora().Scaled(0.02).WithSeed(3)
+	d := corpus.MustGenerate(p)
+	path := filepath.Join(t.TempDir(), "d.json")
+	if err := d.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := buildService("", 0, path, 4, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildServiceErrors(t *testing.T) {
+	if _, _, err := buildService("reddit", 0.02, "", 4, 2, 3); err == nil {
+		t.Error("unknown profile accepted")
+	}
+	if _, _, err := buildService("", 0, "/no/such/file.json", 4, 2, 3); err == nil {
+		t.Error("missing data file accepted")
+	}
+}

@@ -1,0 +1,89 @@
+// Command crowdgen generates a synthetic crowdsourcing dataset
+// (Quora-, Yahoo!-Answer- or Stack-Overflow-like; see DESIGN.md), or
+// imports a real platform dump from CSV, and writes it as JSON,
+// printing Table 2-style statistics.
+//
+// Usage:
+//
+//	crowdgen -profile quora -scale 0.25 -seed 7 -out quora.json
+//	crowdgen -import dump.csv -out mydata.json
+//
+// The CSV header is task_id,text,worker,score[,best].
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"crowdselect/internal/corpus"
+)
+
+func main() {
+	var (
+		profile    = flag.String("profile", "quora", "platform profile: quora, yahoo or stackoverflow")
+		scale      = flag.Float64("scale", 1.0, "population scale multiplier")
+		seed       = flag.Int64("seed", 0, "generation seed (0 keeps the profile default)")
+		importPath = flag.String("import", "", "import records from this CSV instead of generating")
+		out        = flag.String("out", "", "output path for the dataset JSON (empty: statistics only)")
+	)
+	flag.Parse()
+	if err := run(*profile, *scale, *seed, *importPath, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "crowdgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(profile string, scale float64, seed int64, importPath, out string) error {
+	var (
+		d   *corpus.Dataset
+		err error
+	)
+	if importPath != "" {
+		d, err = importCSV(importPath)
+	} else {
+		d, err = generate(profile, scale, seed)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Println(d.Stats())
+	if out == "" {
+		return nil
+	}
+	if err := d.SaveFile(out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+func generate(profile string, scale float64, seed int64) (*corpus.Dataset, error) {
+	p, err := corpus.ProfileByName(profile)
+	if err != nil {
+		return nil, err
+	}
+	p = p.Scaled(scale)
+	if seed != 0 {
+		p = p.WithSeed(seed)
+	}
+	return corpus.Generate(p)
+}
+
+func importCSV(path string) (*corpus.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	records, err := corpus.ReadRecordsCSV(bufio.NewReader(f))
+	if err != nil {
+		return nil, err
+	}
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	d, _, err := corpus.FromRecords(name, records)
+	return d, err
+}

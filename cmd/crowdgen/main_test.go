@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"crowdselect/internal/corpus"
+)
+
+func TestRunGeneratesAndSaves(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "q.json")
+	if err := run("quora", 0.02, 9, "", out); err != nil {
+		t.Fatal(err)
+	}
+	d, err := corpus.LoadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Tasks) == 0 || len(d.Workers) == 0 {
+		t.Errorf("empty dataset: %d tasks, %d workers", len(d.Tasks), len(d.Workers))
+	}
+	if d.Profile.Seed != 9 {
+		t.Errorf("seed = %d, want 9", d.Profile.Seed)
+	}
+}
+
+func TestRunStatsOnly(t *testing.T) {
+	if err := run("yahoo", 0.01, 0, "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("reddit", 1, 0, "", ""); err == nil {
+		t.Error("unknown profile accepted")
+	}
+	if err := run("quora", 0.02, 0, "", "/nonexistent-dir/q.json"); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}
+
+func TestRunImportCSV(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "dump.csv")
+	data := "task_id,text,worker,score\nq1,tree question,a,3\nq1,,b,1\n"
+	if err := os.WriteFile(csvPath, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "d.json")
+	if err := run("", 0, 0, csvPath, out); err != nil {
+		t.Fatal(err)
+	}
+	d, err := corpus.LoadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Tasks) != 1 || len(d.Workers) != 2 {
+		t.Errorf("imported %d tasks, %d workers", len(d.Tasks), len(d.Workers))
+	}
+	if d.Profile.Name != "dump" {
+		t.Errorf("name = %q", d.Profile.Name)
+	}
+	if err := run("", 0, 0, filepath.Join(dir, "missing.csv"), ""); err == nil {
+		t.Error("missing import file accepted")
+	}
+}

@@ -1,0 +1,306 @@
+// Package crowdselect is a from-scratch Go implementation of
+// task-driven crowd-selection query processing for crowdsourcing
+// databases, reproducing
+//
+//	Zhao, Wei, Zhou, Chen, Ng. "Crowd-Selection Query Processing in
+//	Crowdsourcing Databases: A Task-Driven Approach." EDBT 2015.
+//
+// The library answers the paper's central question — given a
+// crowdsourced task, who is the right worker to ask? — with TDPM, a
+// Bayesian model that learns "who knows what": unnormalized worker
+// skills over a latent category space, inferred variationally from
+// past resolved tasks with feedback scores, with incremental
+// projection of newly arriving tasks for real-time selection.
+//
+// # Quick start
+//
+//	tasks := []crowdselect.ResolvedTask{ ... }      // past tasks + feedback
+//	cfg := crowdselect.NewConfig(10)                // 10 latent categories
+//	model, _, err := crowdselect.Train(tasks, numWorkers, vocabSize, cfg)
+//	...
+//	cat := model.Project(bag)                       // new task → latent category
+//	workers := model.SelectTopK(cat.Mean(), nil, 3) // Eq. 1 top-k selection
+//
+// The package also exposes the full experimental apparatus of the
+// paper: synthetic Quora / Yahoo! Answer / Stack Overflow corpora, the
+// VSM / TSPM / DRM baselines, the ACCU and TopK measures, and a crowd
+// database with an HTTP crowd manager. See the examples directory and
+// cmd/crowdbench for end-to-end usage.
+package crowdselect
+
+import (
+	"io"
+
+	"crowdselect/internal/baseline/drm"
+	"crowdselect/internal/baseline/tspm"
+	"crowdselect/internal/baseline/vsm"
+	"crowdselect/internal/core"
+	"crowdselect/internal/corpus"
+	"crowdselect/internal/crowddb"
+	"crowdselect/internal/crowdql"
+	"crowdselect/internal/eval"
+	"crowdselect/internal/lda"
+	"crowdselect/internal/plsa"
+	"crowdselect/internal/randx"
+	"crowdselect/internal/sim"
+	"crowdselect/internal/text"
+)
+
+// Core model types (the paper's contribution, §§4–6).
+type (
+	// Config controls TDPM training; see NewConfig for defaults.
+	Config = core.Config
+	// Model is a trained TDPM.
+	Model = core.Model
+	// ResolvedTask is a past task with feedback used for training.
+	ResolvedTask = core.ResolvedTask
+	// Scored is one (worker, feedback score) pair.
+	Scored = core.Scored
+	// TaskCategory is a task's posterior latent category.
+	TaskCategory = core.TaskCategory
+	// TrainStats reports ELBO trajectory and convergence.
+	TrainStats = core.TrainStats
+)
+
+// ErrNoData is returned by Train when given no scored tasks.
+var ErrNoData = core.ErrNoData
+
+// NewConfig returns the default TDPM configuration with k latent
+// categories.
+func NewConfig(k int) Config { return core.NewConfig(k) }
+
+// Train fits a TDPM on resolved tasks (Algorithm 2 of the paper).
+func Train(tasks []ResolvedTask, numWorkers, vocabSize int, cfg Config) (*Model, *TrainStats, error) {
+	return core.Train(tasks, numWorkers, vocabSize, cfg)
+}
+
+// Monte-Carlo EM inference: the sampling alternative to the paper's
+// variational algorithm (same generative model, drop-in Model).
+type (
+	// MCEMConfig controls the Gibbs/Metropolis sampler.
+	MCEMConfig = core.MCEMConfig
+	// MCEMStats reports sampler behaviour.
+	MCEMStats = core.MCEMStats
+)
+
+// NewMCEMConfig returns sampler defaults for k latent categories.
+func NewMCEMConfig(k int) MCEMConfig { return core.NewMCEMConfig(k) }
+
+// TrainMCEM fits TDPM by Monte-Carlo EM instead of variational
+// inference.
+func TrainMCEM(tasks []ResolvedTask, numWorkers, vocabSize int, cfg MCEMConfig) (*Model, *MCEMStats, error) {
+	return core.TrainMCEM(tasks, numWorkers, vocabSize, cfg)
+}
+
+// LoadModel reads a model previously written with (*Model).Save.
+func LoadModel(r io.Reader) (*Model, error) { return core.LoadModel(r) }
+
+// LoadModelFile reads a model from a file written with
+// (*Model).SaveFile.
+func LoadModelFile(path string) (*Model, error) { return core.LoadModelFile(path) }
+
+// Text substrate (§4.1.1).
+type (
+	// Bag is a sparse bag of vocabularies.
+	Bag = text.Bag
+	// Vocabulary interns terms to dense ids.
+	Vocabulary = text.Vocabulary
+)
+
+// Tokenize splits task text into terms, dropping stopwords.
+func Tokenize(s string) []string { return text.Tokenize(s) }
+
+// NewVocabulary returns an empty vocabulary.
+func NewVocabulary() *Vocabulary { return text.NewVocabulary() }
+
+// NewBag interns tokens and returns their bag representation.
+func NewBag(v *Vocabulary, tokens []string) Bag { return text.NewBag(v, tokens) }
+
+// NewBagKnown builds a bag using only already-interned terms.
+func NewBagKnown(v *Vocabulary, tokens []string) Bag { return text.NewBagKnown(v, tokens) }
+
+// Jaccard returns the Jaccard similarity of two bags' term sets
+// (the Yahoo!-style feedback of §4.1.5).
+func Jaccard(a, b Bag) float64 { return text.Jaccard(a, b) }
+
+// Synthetic corpora (§7.1 substitute; see DESIGN.md).
+type (
+	// Dataset is a generated crowdsourcing platform.
+	Dataset = corpus.Dataset
+	// Profile parameterizes generation.
+	Profile = corpus.Profile
+	// DatasetTask is one generated task.
+	DatasetTask = corpus.Task
+	// DatasetWorker is one generated worker.
+	DatasetWorker = corpus.Worker
+)
+
+// Platform profiles at the scales documented in DESIGN.md.
+func QuoraProfile() Profile         { return corpus.Quora() }
+func YahooProfile() Profile         { return corpus.Yahoo() }
+func StackOverflowProfile() Profile { return corpus.StackOverflow() }
+
+// GenerateDataset synthesizes a dataset from a profile
+// (Algorithm 1 of the paper).
+func GenerateDataset(p Profile) (*Dataset, error) { return corpus.Generate(p) }
+
+// DataRecord is one answered-task row from a real platform dump.
+type DataRecord = corpus.Record
+
+// DatasetFromRecords ingests real platform records so every algorithm
+// and experiment runs on your own data; the returned map resolves
+// worker names to the dense ids the models use.
+func DatasetFromRecords(name string, records []DataRecord) (*Dataset, map[string]int, error) {
+	return corpus.FromRecords(name, records)
+}
+
+// ReadRecordsCSV parses records from CSV
+// (header: task_id,text,worker,score[,best]).
+func ReadRecordsCSV(r io.Reader) ([]DataRecord, error) { return corpus.ReadRecordsCSV(r) }
+
+// ResolvedTasksOf converts a generated dataset into training input.
+func ResolvedTasksOf(d *Dataset) []ResolvedTask { return eval.ResolvedTasks(d) }
+
+// Crowd database substrate (§2, Figure 1).
+type (
+	// Store is the crowd database.
+	Store = crowddb.Store
+	// Manager is the crowd manager.
+	Manager = crowddb.Manager
+	// Server exposes the manager over HTTP.
+	Server = crowddb.Server
+	// TaskRecord is a stored task row.
+	TaskRecord = crowddb.TaskRecord
+	// CrowdWorker is a stored worker row.
+	CrowdWorker = crowddb.Worker
+)
+
+// NewStore returns an empty crowd database.
+func NewStore() *Store { return crowddb.NewStore() }
+
+// NewManager wires a crowd manager over the store with the given
+// selector and default crowd size k.
+func NewManager(store *Store, vocab *Vocabulary, sel crowddb.Selector, k int) (*Manager, error) {
+	return crowddb.NewManager(store, vocab, sel, k)
+}
+
+// NewServer wraps a manager with the HTTP API.
+func NewServer(mgr *Manager) *Server { return crowddb.NewServer(mgr) }
+
+// Crowd-selection query language (internal/crowdql):
+//
+//	SELECT CROWD FOR TASK '...' LIMIT 3
+//	SELECT WORKERS WHERE resolved >= 5 ORDER BY resolved DESC
+//	INSERT WORKER 7 NAME 'alice' / UPDATE WORKER 7 SET online = false
+type (
+	// QueryEngine executes crowdql statements against a manager.
+	QueryEngine = crowdql.Engine
+	// QueryResult is a tabular query result.
+	QueryResult = crowdql.Result
+)
+
+// NewQueryEngine wraps a manager with the crowdql executor.
+func NewQueryEngine(mgr *Manager) (*QueryEngine, error) { return crowdql.NewEngine(mgr) }
+
+// ParseQuery parses one crowdql statement without executing it.
+func ParseQuery(q string) (crowdql.Query, error) { return crowdql.Parse(q) }
+
+// Evaluation harness (§7).
+type (
+	// Selector is the algorithm interface all four methods implement.
+	Selector = eval.Selector
+	// Group is a worker group Datasetₙ.
+	Group = eval.Group
+	// EvalResult aggregates ACCU, Top1/Top2 and latency.
+	EvalResult = eval.Result
+	// Algo names one of the four compared algorithms.
+	Algo = eval.Algo
+	// TrainOptions tunes baseline/TDPM training in the harness.
+	TrainOptions = eval.TrainOptions
+)
+
+// The four algorithms of §7.2.1.
+const (
+	AlgoVSM  = eval.AlgoVSM
+	AlgoTSPM = eval.AlgoTSPM
+	AlgoDRM  = eval.AlgoDRM
+	AlgoTDPM = eval.AlgoTDPM
+)
+
+// ACCU is the precision measure of §7.2.2.
+func ACCU(rbest, size int) float64 { return eval.ACCU(rbest, size) }
+
+// ExtractGroup builds the worker group with ≥ threshold solved tasks.
+func ExtractGroup(d *Dataset, threshold int) Group { return eval.ExtractGroup(d, threshold) }
+
+// Evaluate runs a selector over test tasks of a group.
+func Evaluate(d *Dataset, sel Selector, g Group, taskIDs []int, k int) EvalResult {
+	return eval.Evaluate(d, sel, g, taskIDs, k)
+}
+
+// TestTasks samples evaluation tasks for a group per §7.3.1.
+func TestTasks(d *Dataset, g Group, maxN int, seed int64) []int {
+	return eval.TestTasks(d, g, maxN, seed)
+}
+
+// TrainAlgo fits any of the four algorithms on a dataset.
+func TrainAlgo(d *Dataset, algo Algo, opts TrainOptions) (Selector, error) {
+	return eval.Train(d, algo, opts)
+}
+
+// RecallCurve returns Top-k recall for k = 1..maxK — the curve behind
+// the paper's Top1/Top2 columns.
+func RecallCurve(d *Dataset, sel Selector, g Group, taskIDs []int, maxK int) []float64 {
+	return eval.RecallCurve(d, sel, g, taskIDs, maxK)
+}
+
+// BootstrapCI returns a percentile bootstrap confidence interval for
+// the mean of values.
+func BootstrapCI(values []float64, iters int, alpha float64, seed int64) (lo, hi float64, err error) {
+	return eval.BootstrapCI(values, iters, alpha, seed)
+}
+
+// Baseline types, for direct use outside the harness.
+type (
+	// VSM is the cosine-similarity baseline.
+	VSM = vsm.Selector
+	// TSPM is the LDA-based baseline.
+	TSPM = tspm.Selector
+	// DRM is the PLSA-based baseline.
+	DRM = drm.Selector
+	// LDAConfig configures the LDA substrate.
+	LDAConfig = lda.Config
+	// PLSAConfig configures the PLSA substrate.
+	PLSAConfig = plsa.Config
+)
+
+// RNG is the deterministic random source used across the library.
+type RNG = randx.RNG
+
+// NewRNG returns a seeded RNG.
+func NewRNG(seed int64) *RNG { return randx.New(seed) }
+
+// Closed-loop routing simulation (internal/sim): route tasks with a
+// policy, simulate the answers, measure realized quality.
+type (
+	// RoutingPolicy picks workers for an arriving task.
+	RoutingPolicy = sim.Policy
+	// RoutingConfig controls a simulation run.
+	RoutingConfig = sim.Config
+	// RoutingResult aggregates realized answer quality and regret.
+	RoutingResult = sim.Result
+	// SelectorPolicy adapts any Selector to a routing policy.
+	SelectorPolicy = sim.SelectorPolicy
+	// RandomPolicy is the no-model control policy.
+	RandomPolicy = sim.RandomPolicy
+)
+
+// NewOraclePolicy routes with the generator's hidden ground truth —
+// the upper bound for any learned policy.
+func NewOraclePolicy(d *Dataset) *sim.OraclePolicy { return sim.NewOraclePolicy(d) }
+
+// SimulateRouting routes the tasks through the policy and measures
+// realized answer quality against oracle routing.
+func SimulateRouting(d *Dataset, taskIDs []int, p RoutingPolicy, cfg RoutingConfig) (RoutingResult, error) {
+	return sim.Run(d, taskIDs, p, cfg)
+}

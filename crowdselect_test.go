@@ -1,0 +1,158 @@
+package crowdselect_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"crowdselect"
+)
+
+// facadeTasks builds a tiny two-category history through the public
+// API only.
+func facadeTasks(vocab *crowdselect.Vocabulary) []crowdselect.ResolvedTask {
+	history := []struct {
+		q      string
+		scores map[int]float64
+	}{
+		{"advantages of B+ tree over B tree", map[int]float64{0: 5, 2: 1}},
+		{"how does a database index work", map[int]float64{0: 4, 2: 2}},
+		{"why use a B+ tree index in a database", map[int]float64{0: 5, 2: 1}},
+		{"best flour for pizza dough", map[int]float64{1: 5, 2: 2}},
+		{"how long to proof bread dough", map[int]float64{1: 4, 2: 1}},
+		{"sourdough starter feeding schedule", map[int]float64{1: 5, 2: 2}},
+	}
+	var tasks []crowdselect.ResolvedTask
+	for round := 0; round < 4; round++ {
+		for _, h := range history {
+			rt := crowdselect.ResolvedTask{Bag: crowdselect.NewBag(vocab, crowdselect.Tokenize(h.q))}
+			for w, s := range h.scores {
+				rt.Responses = append(rt.Responses, crowdselect.Scored{Worker: w, Score: s})
+			}
+			tasks = append(tasks, rt)
+		}
+	}
+	return tasks
+}
+
+func TestFacadeTrainSelectRoundTrip(t *testing.T) {
+	vocab := crowdselect.NewVocabulary()
+	tasks := facadeTasks(vocab)
+	model, stats, err := crowdselect.Train(tasks, 3, vocab.Size(), crowdselect.NewConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Sweeps == 0 {
+		t.Error("no sweeps recorded")
+	}
+	bag := crowdselect.NewBagKnown(vocab, crowdselect.Tokenize("advantages of a B+ tree index"))
+	cat := model.Project(bag)
+	top := model.SelectTopK(cat.Mean(), nil, 1)
+	if len(top) != 1 || top[0] != 0 {
+		t.Errorf("selected %v, want the database expert (0)", top)
+	}
+
+	// Persistence through the facade.
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := crowdselect.LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.SelectTopK(cat.Mean(), nil, 1); got[0] != top[0] {
+		t.Errorf("reloaded model selects %v, want %v", got, top)
+	}
+}
+
+func TestFacadeDatasetAndEvaluation(t *testing.T) {
+	p := crowdselect.QuoraProfile().Scaled(0.03)
+	d, err := crowdselect.GenerateDataset(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := crowdselect.TrainAlgo(d, crowdselect.AlgoVSM, crowdselect.TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := crowdselect.ExtractGroup(d, 1)
+	tests := crowdselect.TestTasks(d, g, 50, 1)
+	res := crowdselect.Evaluate(d, sel, g, tests, 0)
+	if res.Tasks == 0 || res.ACCU < 0 || res.ACCU > 1 {
+		t.Errorf("result = %+v", res)
+	}
+	if crowdselect.ACCU(0, 5) != 1 {
+		t.Error("ACCU facade broken")
+	}
+}
+
+func TestFacadeCrowdPipeline(t *testing.T) {
+	vocab := crowdselect.NewVocabulary()
+	tasks := facadeTasks(vocab)
+	model, _, err := crowdselect.Train(tasks, 3, vocab.Size(), crowdselect.NewConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := crowdselect.NewStore()
+	for i := 0; i < 3; i++ {
+		if _, err := store.AddWorker(i, fmt.Sprintf("w%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mgr, err := crowdselect.NewManager(store, vocab, model, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := mgr.SubmitTask("database index questions", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Workers) != 2 {
+		t.Fatalf("selected %v", sub.Workers)
+	}
+	if err := mgr.CollectAnswer(sub.Task.ID, sub.Workers[0], "an answer"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.ResolveTask(sub.Task.ID, map[int]float64{sub.Workers[0]: 5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeRNGAndJaccard(t *testing.T) {
+	rng := crowdselect.NewRNG(1)
+	if v := rng.Float64(); v < 0 || v >= 1 {
+		t.Errorf("Float64 = %v", v)
+	}
+	vocab := crowdselect.NewVocabulary()
+	a := crowdselect.NewBag(vocab, []string{"x", "y"})
+	b := crowdselect.NewBag(vocab, []string{"y", "z"})
+	if got := crowdselect.Jaccard(a, b); got <= 0 || got >= 1 {
+		t.Errorf("Jaccard = %v", got)
+	}
+}
+
+// ExampleTrain demonstrates the README quick start end to end.
+func ExampleTrain() {
+	vocab := crowdselect.NewVocabulary()
+	var tasks []crowdselect.ResolvedTask
+	for i := 0; i < 8; i++ {
+		tasks = append(tasks,
+			crowdselect.ResolvedTask{
+				Bag:       crowdselect.NewBag(vocab, crowdselect.Tokenize("btree index database query")),
+				Responses: []crowdselect.Scored{{Worker: 0, Score: 5}, {Worker: 1, Score: 1}},
+			},
+			crowdselect.ResolvedTask{
+				Bag:       crowdselect.NewBag(vocab, crowdselect.Tokenize("bread dough oven baking")),
+				Responses: []crowdselect.Scored{{Worker: 0, Score: 1}, {Worker: 1, Score: 5}},
+			})
+	}
+	model, _, err := crowdselect.Train(tasks, 2, vocab.Size(), crowdselect.NewConfig(2))
+	if err != nil {
+		panic(err)
+	}
+	bag := crowdselect.NewBagKnown(vocab, crowdselect.Tokenize("how to tune a database index"))
+	cat := model.Project(bag)
+	fmt.Println(model.SelectTopK(cat.Mean(), nil, 1))
+	// Output: [0]
+}

@@ -1,0 +1,76 @@
+// Quickstart: train TDPM on a handful of hand-written resolved tasks
+// and ask it the paper's motivating question — who should answer
+// "What are the advantages of B+ Tree over B Tree?" (§1).
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crowdselect"
+)
+
+func main() {
+	vocab := crowdselect.NewVocabulary()
+
+	// A tiny history of resolved question-answering tasks. Worker 0 is
+	// the database expert (high feedback on DB questions, low on
+	// cooking), worker 1 is the cook, worker 2 answers everything at a
+	// mediocre level — the prolific-but-average profile the paper's
+	// Multinomial critique is about.
+	history := []struct {
+		question string
+		scores   map[int]float64
+	}{
+		{"What are the advantages of B+ Tree over B Tree?", map[int]float64{0: 5, 2: 1}},
+		{"How does a database index speed up range queries?", map[int]float64{0: 4, 2: 2}},
+		{"Why do relational databases use B+ tree indexes?", map[int]float64{0: 5, 2: 1}},
+		{"When should a database table be denormalized?", map[int]float64{0: 4, 2: 1}},
+		{"How do I keep a sourdough starter alive?", map[int]float64{1: 5, 2: 2}},
+		{"What flour ratio makes pizza dough stretchy?", map[int]float64{1: 4, 2: 1}},
+		{"How long should bread dough proof in the fridge?", map[int]float64{1: 5, 2: 2}},
+		{"Which pan sears a steak best?", map[int]float64{1: 4, 2: 2}},
+	}
+
+	// Each question was asked (in variants) several times; repeating
+	// the history gives the tiny example enough evidence to separate
+	// the two latent categories cleanly.
+	var tasks []crowdselect.ResolvedTask
+	for round := 0; round < 4; round++ {
+		for _, h := range history {
+			rt := crowdselect.ResolvedTask{
+				Bag: crowdselect.NewBag(vocab, crowdselect.Tokenize(h.question)),
+			}
+			for w, s := range h.scores {
+				rt.Responses = append(rt.Responses, crowdselect.Scored{Worker: w, Score: s})
+			}
+			tasks = append(tasks, rt)
+		}
+	}
+
+	cfg := crowdselect.NewConfig(2) // two latent categories
+	model, stats, err := crowdselect.Train(tasks, 3, vocab.Size(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained TDPM: %d sweeps, converged=%v\n\n", stats.Sweeps, stats.Converged)
+
+	names := []string{"db-expert", "cook", "generalist"}
+	for _, question := range []string{
+		"What are the advantages of B+ Tree over B Tree?",
+		"What hydration should my bread dough have?",
+	} {
+		bag := crowdselect.NewBagKnown(vocab, crowdselect.Tokenize(question))
+		cat := model.Project(bag) // Algorithm 3: project into latent space
+		c := cat.Mean()
+		fmt.Printf("task: %q\n", question)
+		for _, w := range model.SelectTopK(c, nil, 3) {
+			fmt.Printf("  %-12s predictive score %.2f\n", names[w], model.Score(w, c))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,3 @@
+module crowdselect
+
+go 1.22

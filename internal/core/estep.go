@@ -1,0 +1,184 @@
+package core
+
+import (
+	"math"
+
+	"crowdselect/internal/linalg"
+	"crowdselect/internal/optimize"
+)
+
+// taskObjective is the portion of the variational bound L′(q) that
+// depends on one task's (λ_c, ν_c), with everything else held fixed.
+// It is optimized by conjugate gradient over x = [λ; ρ], ρ = log ν²
+// (the log re-parameterization keeps ν² positive, cf. §5.2).
+//
+// Up to constants, with L the task's token count and ε its Taylor
+// point:
+//
+//	F(λ, ν²) = −½ (λ−μ_c)ᵀ Σ_c⁻¹ (λ−μ_c) − ½ Σₖ (Σ_c⁻¹)ₖₖ ν²ₖ     prior
+//	         + tokSum·λ − L·(Σₖ exp(λₖ+ν²ₖ/2)/ε − 1 + log ε)      tokens
+//	         − 1/(2τ²)·[S2 − 2·Sw·λ + λᵀAλ + Σₖ NW2ₖλ²ₖ
+//	                    + (W2+NW2)·ν²]                            feedback
+//	         + ½ Σₖ log ν²ₖ                                       entropy
+//
+// whose stationary conditions reproduce the paper's Eqs. 14–15 (and,
+// with the feedback aggregates zeroed, Eqs. 22–23).
+type taskObjective struct {
+	k         int
+	muC       linalg.Vector
+	sigmaCInv *linalg.Matrix
+
+	tokSum linalg.Vector // Σ_p count_p · φ_p
+	total  float64       // L, the token count
+	eps    float64
+
+	// Feedback aggregates over the task's respondents (zero when
+	// projecting a new task, Algorithm 3).
+	hasFeedback bool
+	invTau2     float64
+	s2          float64       // Σ s²
+	sw          linalg.Vector // Σ s·λ_w
+	a           *linalg.Matrix
+	w2          linalg.Vector // Σ λ_w∘λ_w
+	nw2         linalg.Vector // Σ ν_w²
+}
+
+// newTaskObjective precomputes the aggregates for task j of the
+// trainer. withFeedback=false drops the score terms (projection mode).
+func (tr *trainer) newTaskObjective(j int, withFeedback bool) *taskObjective {
+	k := tr.cfg.K
+	bag := tr.tasks[j].Bag
+	obj := &taskObjective{
+		k:         k,
+		muC:       tr.m.MuC,
+		sigmaCInv: tr.m.sigmaCInv,
+		tokSum:    linalg.NewVector(k),
+		eps:       tr.eps[j],
+	}
+	for p := range bag.IDs {
+		cnt := bag.Counts[p]
+		row := tr.phi[j].Row(p)
+		obj.total += cnt
+		obj.tokSum.AddScaledInPlace(cnt, row)
+	}
+	if withFeedback && len(tr.tasks[j].Responses) > 0 {
+		obj.hasFeedback = true
+		obj.invTau2 = 1 / tr.m.Tau2
+		obj.sw = linalg.NewVector(k)
+		obj.a = linalg.NewMatrix(k, k)
+		obj.w2 = linalg.NewVector(k)
+		obj.nw2 = linalg.NewVector(k)
+		for _, r := range tr.tasks[j].Responses {
+			lw, nw := tr.m.LambdaW[r.Worker], tr.m.NuW2[r.Worker]
+			obj.s2 += r.Score * r.Score
+			obj.sw.AddScaledInPlace(r.Score, lw)
+			obj.a.AddOuterInPlace(1, lw, lw)
+			for kk := 0; kk < k; kk++ {
+				obj.w2[kk] += lw[kk] * lw[kk]
+				obj.nw2[kk] += nw[kk]
+			}
+		}
+	}
+	return obj
+}
+
+// split views x as (λ, ρ).
+func (o *taskObjective) split(x linalg.Vector) (lam, rho linalg.Vector) {
+	return x[:o.k], x[o.k:]
+}
+
+// value returns F(λ, ν²); see the type comment.
+func (o *taskObjective) value(x linalg.Vector) float64 {
+	lam, rho := o.split(x)
+	f := 0.0
+	// Prior.
+	d := lam.Sub(o.muC)
+	f -= 0.5 * o.sigmaCInv.QuadForm(d, d)
+	for kk := 0; kk < o.k; kk++ {
+		nu2 := math.Exp(rho[kk])
+		f -= 0.5 * o.sigmaCInv.At(kk, kk) * nu2
+		f += 0.5 * rho[kk] // entropy ½ log ν²
+	}
+	// Tokens.
+	f += o.tokSum.Dot(lam)
+	var expSum float64
+	for kk := 0; kk < o.k; kk++ {
+		expSum += math.Exp(lam[kk] + math.Exp(rho[kk])/2)
+	}
+	f -= o.total * (expSum/o.eps - 1 + math.Log(o.eps))
+	// Feedback.
+	if o.hasFeedback {
+		quad := o.s2 - 2*o.sw.Dot(lam) + o.a.QuadForm(lam, lam)
+		for kk := 0; kk < o.k; kk++ {
+			nu2 := math.Exp(rho[kk])
+			quad += o.nw2[kk]*lam[kk]*lam[kk] + (o.w2[kk]+o.nw2[kk])*nu2
+		}
+		f -= 0.5 * o.invTau2 * quad
+	}
+	return f
+}
+
+// grad writes ∇F over (λ, ρ) into g.
+func (o *taskObjective) grad(x, g linalg.Vector) {
+	lam, rho := o.split(x)
+	gl, gr := g[:o.k], g[o.k:]
+
+	// Prior + entropy.
+	d := lam.Sub(o.muC)
+	pl := o.sigmaCInv.MulVec(d)
+	for kk := 0; kk < o.k; kk++ {
+		nu2 := math.Exp(rho[kk])
+		gl[kk] = -pl[kk]
+		gr[kk] = (-0.5*o.sigmaCInv.At(kk, kk))*nu2 + 0.5
+	}
+	// Tokens.
+	for kk := 0; kk < o.k; kk++ {
+		nu2 := math.Exp(rho[kk])
+		e := math.Exp(lam[kk] + nu2/2)
+		gl[kk] += o.tokSum[kk] - o.total/o.eps*e
+		gr[kk] -= o.total / o.eps * e * nu2 / 2
+	}
+	// Feedback.
+	if o.hasFeedback {
+		al := o.a.MulVec(lam)
+		for kk := 0; kk < o.k; kk++ {
+			nu2 := math.Exp(rho[kk])
+			gl[kk] += o.invTau2 * (o.sw[kk] - al[kk] - o.nw2[kk]*lam[kk])
+			gr[kk] -= 0.5 * o.invTau2 * (o.w2[kk] + o.nw2[kk]) * nu2
+		}
+	}
+}
+
+// updateLambdaNuC maximizes the task objective over (λ_c, ν_c) by
+// conjugate gradient, starting from the current variational state.
+func (tr *trainer) updateLambdaNuC(j int, withFeedback bool) {
+	obj := tr.newTaskObjective(j, withFeedback)
+	k := tr.cfg.K
+	x0 := make(linalg.Vector, 2*k)
+	copy(x0[:k], tr.lambdaC[j])
+	for kk := 0; kk < k; kk++ {
+		x0[k+kk] = math.Log(tr.nuC2[j][kk])
+	}
+	res := optimize.ConjugateGradient(optimize.Problem{
+		Eval: func(x linalg.Vector) float64 { return -obj.value(x) },
+		Grad: func(x, g linalg.Vector) {
+			obj.grad(x, g)
+			g.ScaleInPlace(-1)
+		},
+	}, x0, optimize.Settings{MaxIter: tr.cfg.CGIter, GradTol: 1e-5})
+	if !res.X.IsFinite() {
+		return // keep the previous iterate on numerical failure
+	}
+	copy(tr.lambdaC[j], res.X[:k])
+	for kk := 0; kk < k; kk++ {
+		rho := res.X[k+kk]
+		// Clamp to keep downstream exp() finite.
+		if rho > 30 {
+			rho = 30
+		}
+		if rho < -30 {
+			rho = -30
+		}
+		tr.nuC2[j][kk] = math.Exp(rho)
+	}
+}

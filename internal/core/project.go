@@ -1,0 +1,257 @@
+package core
+
+import (
+	"math"
+
+	"crowdselect/internal/linalg"
+	"crowdselect/internal/optimize"
+	"crowdselect/internal/randx"
+	"crowdselect/internal/rank"
+	"crowdselect/internal/text"
+)
+
+// TaskCategory is the variational posterior over a task's latent
+// category: cⱼ ≈ Normal(λ, diag(ν²)).
+type TaskCategory struct {
+	Lambda linalg.Vector
+	Nu2    linalg.Vector
+}
+
+// Mean returns the posterior mean of cⱼ.
+func (t TaskCategory) Mean() linalg.Vector { return t.Lambda }
+
+// Sample draws cⱼ ~ Normal(λ, diag(ν²)) — Algorithm 3 line 6.
+func (t TaskCategory) Sample(rng *randx.RNG) linalg.Vector {
+	sigma := make(linalg.Vector, len(t.Nu2))
+	for i, v := range t.Nu2 {
+		sigma[i] = math.Sqrt(v)
+	}
+	return rng.NormalVecDiag(t.Lambda, sigma)
+}
+
+// Project estimates the latent category of a new, unscored task
+// (Algorithm 3, first phase): it iterates the φ update (Eq. 12), the ε
+// update (Eq. 13) and the conjugate-gradient update of (λ_c, ν_c) with
+// the feedback terms removed (Eqs. 22–23), holding the trained model
+// parameters fixed. A task whose terms are all unknown projects to the
+// prior (λ = μ_c).
+func (m *Model) Project(bag text.Bag) TaskCategory {
+	k := m.K
+	lam := m.MuC.Clone()
+	nu2 := m.SigmaC.Diag()
+	// Keep only in-vocabulary terms.
+	ids := make([]int, 0, len(bag.IDs))
+	counts := make([]float64, 0, len(bag.IDs))
+	for p, v := range bag.IDs {
+		if v >= 0 && v < m.V {
+			ids = append(ids, v)
+			counts = append(counts, bag.Counts[p])
+		}
+	}
+	if len(ids) == 0 {
+		return TaskCategory{Lambda: lam, Nu2: nu2}
+	}
+	phi := linalg.NewMatrix(len(ids), k)
+	logits := make(linalg.Vector, k)
+	eps := 0.0
+
+	for round := 0; round < m.projectInner(); round++ {
+		// φ update (Eq. 12).
+		for p, v := range ids {
+			for kk := 0; kk < k; kk++ {
+				logits[kk] = lam[kk] + m.LogBeta.At(kk, v)
+			}
+			copy(phi.Row(p), linalg.Softmax(logits))
+		}
+		// ε update (Eq. 13).
+		eps = 0
+		for kk := 0; kk < k; kk++ {
+			eps += math.Exp(lam[kk] + nu2[kk]/2)
+		}
+		if eps < 1e-300 {
+			eps = 1e-300
+		}
+		// CG update of (λ, ν) without feedback (Eqs. 22–23).
+		obj := &taskObjective{
+			k:         k,
+			muC:       m.MuC,
+			sigmaCInv: m.sigmaCInv,
+			tokSum:    linalg.NewVector(k),
+			eps:       eps,
+		}
+		for p := range ids {
+			obj.total += counts[p]
+			obj.tokSum.AddScaledInPlace(counts[p], phi.Row(p))
+		}
+		x0 := make(linalg.Vector, 2*k)
+		copy(x0[:k], lam)
+		for kk := 0; kk < k; kk++ {
+			x0[k+kk] = math.Log(nu2[kk])
+		}
+		res := optimize.ConjugateGradient(optimize.Problem{
+			Eval: func(x linalg.Vector) float64 { return -obj.value(x) },
+			Grad: func(x, g linalg.Vector) {
+				obj.grad(x, g)
+				g.ScaleInPlace(-1)
+			},
+		}, x0, optimize.Settings{MaxIter: 15, GradTol: 1e-5})
+		if !res.X.IsFinite() {
+			break
+		}
+		copy(lam, res.X[:k])
+		for kk := 0; kk < k; kk++ {
+			rho := res.X[k+kk]
+			if rho > 30 {
+				rho = 30
+			}
+			if rho < -30 {
+				rho = -30
+			}
+			nu2[kk] = math.Exp(rho)
+		}
+	}
+	return TaskCategory{Lambda: lam, Nu2: nu2}
+}
+
+func (m *Model) projectInner() int {
+	if m.ProjectIters > 0 {
+		return m.ProjectIters
+	}
+	return 6
+}
+
+// Score returns worker i's predictive performance wᵢ·cⱼ on a task with
+// latent category c (§4.2).
+func (m *Model) Score(worker int, c linalg.Vector) float64 {
+	return m.LambdaW[worker].Dot(c)
+}
+
+// SelectTopK implements Eq. 1: among candidates, the k workers
+// maximizing wᵢ·cⱼ, best first. A nil candidates slice means all
+// workers.
+func (m *Model) SelectTopK(c linalg.Vector, candidates []int, k int) []int {
+	if candidates == nil {
+		candidates = make([]int, m.M)
+		for i := range candidates {
+			candidates[i] = i
+		}
+	}
+	return rank.TopK(candidates, func(id int) float64 { return m.Score(id, c) }, k)
+}
+
+// SelectForTask is the end-to-end Algorithm 3: project the task into
+// the latent category space, then choose the top-k candidates by
+// predictive performance. When rng is non-nil the category is sampled
+// (Algorithm 3 line 6); otherwise the posterior mean is used.
+func (m *Model) SelectForTask(bag text.Bag, candidates []int, k int, rng *randx.RNG) []int {
+	cat := m.Project(bag)
+	c := cat.Mean()
+	if rng != nil {
+		c = cat.Sample(rng)
+	}
+	return m.SelectTopK(c, candidates, k)
+}
+
+// ProjectAll projects a batch of tasks concurrently with at most
+// parallelism goroutines (≤ 1 runs sequentially). Results are
+// identical to calling Project on each bag: projections share only
+// read-only model state. It serves the high-rate arrival setting the
+// paper motivates incremental crowd-selection with (§1).
+func (m *Model) ProjectAll(bags []text.Bag, parallelism int) []TaskCategory {
+	out := make([]TaskCategory, len(bags))
+	parallelFor(len(bags), parallelism, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = m.Project(bags[i])
+		}
+	})
+	return out
+}
+
+// SkillSpectrum returns the descending eigenvalues of the learned
+// skill covariance Σ_w and their effective rank — a diagnostic for how
+// many latent skill dimensions the crowd actually varies along. An
+// effective rank far below K suggests K is larger than the data
+// supports (cf. the K sweeps of Tables 3/5/7).
+func (m *Model) SkillSpectrum() (spectrum linalg.Vector, effectiveRank float64, err error) {
+	spectrum, _, err = linalg.SymEigen(m.SigmaW)
+	if err != nil {
+		return nil, 0, err
+	}
+	return spectrum, linalg.EffectiveRank(spectrum), nil
+}
+
+// TopTerms returns the n highest-probability vocabulary term ids of
+// latent category k — the interpretability hook for inspecting what
+// each learned category is "about".
+func (m *Model) TopTerms(k, n int) []int {
+	if k < 0 || k >= m.K || n < 1 {
+		return nil
+	}
+	row := m.LogBeta.Row(k)
+	ids := make([]int, m.V)
+	for v := range ids {
+		ids[v] = v
+	}
+	return rank.TopK(ids, func(v int) float64 { return row[v] }, n)
+}
+
+// Name identifies the algorithm in reports (TDPM, §7.2.1).
+func (m *Model) Name() string { return "TDPM" }
+
+// Rank orders the candidate workers best first for the task: it
+// projects the task (Algorithm 3) and ranks by wᵢ·cⱼ. It is the
+// Selector-interface form of SelectForTask.
+func (m *Model) Rank(bag text.Bag, candidates []int) []int {
+	return m.SelectForTask(bag, candidates, len(candidates), nil)
+}
+
+// UpdateWorkerSkill folds newly resolved tasks into one worker's
+// posterior without a full retrain — the crowd-update path of §4.2
+// issue (2). cats and scores pair the projected categories of the new
+// tasks with the worker's feedback on them; prior responsibilities are
+// carried by the worker's current posterior acting as the prior.
+func (m *Model) UpdateWorkerSkill(worker int, cats []TaskCategory, scores []float64) {
+	m.UpdateWorkerSkillDrift(worker, cats, scores, 0)
+}
+
+// UpdateWorkerSkillDrift is UpdateWorkerSkill with Kalman-style
+// process noise: processVar is added to every skill-coordinate
+// variance before conditioning on the new evidence. With stationary
+// skills use 0 (the posterior only ever sharpens); for non-stationary
+// crowds set it near the per-answer skill-drift variance so the
+// posterior keeps enough uncertainty to track the walk (see the
+// SkillDrift corpus extension and BenchmarkAblationDriftTracking).
+func (m *Model) UpdateWorkerSkillDrift(worker int, cats []TaskCategory, scores []float64, processVar float64) {
+	if len(cats) == 0 || len(cats) != len(scores) || processVar < 0 {
+		return
+	}
+	k := m.K
+	// Prior: the worker's current Gaussian posterior, widened by the
+	// process noise.
+	prec := linalg.NewMatrix(k, k)
+	rhs := linalg.NewVector(k)
+	for kk := 0; kk < k; kk++ {
+		m.NuW2[worker][kk] += processVar
+		p := 1 / m.NuW2[worker][kk]
+		prec.Set(kk, kk, p)
+		rhs[kk] = p * m.LambdaW[worker][kk]
+	}
+	invTau2 := 1 / m.Tau2
+	quad := linalg.NewVector(k)
+	for t, cat := range cats {
+		prec.AddOuterInPlace(invTau2, cat.Lambda, cat.Lambda)
+		prec.AddDiagInPlace(cat.Nu2.Scale(invTau2))
+		rhs.AddScaledInPlace(invTau2*scores[t], cat.Lambda)
+		for kk := 0; kk < k; kk++ {
+			quad[kk] += cat.Lambda[kk]*cat.Lambda[kk] + cat.Nu2[kk]
+		}
+	}
+	lw, err := linalg.SPDSolve(prec.Symmetrize(), rhs)
+	if err != nil {
+		return
+	}
+	m.LambdaW[worker] = lw
+	for kk := 0; kk < k; kk++ {
+		m.NuW2[worker][kk] = 1 / (1/m.NuW2[worker][kk] + quad[kk]*invTau2)
+	}
+}

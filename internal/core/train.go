@@ -1,0 +1,272 @@
+package core
+
+import (
+	"math"
+	"sync"
+
+	"crowdselect/internal/linalg"
+	"crowdselect/internal/randx"
+)
+
+// TrainStats reports how training went.
+type TrainStats struct {
+	// Sweeps is the number of variational EM sweeps run.
+	Sweeps int
+	// ELBO is the bound L′(q) after each sweep.
+	ELBO []float64
+	// Converged reports whether the relative-improvement criterion was
+	// met before MaxIter.
+	Converged bool
+}
+
+// Train fits a TDPM on the resolved tasks (Algorithm 2). numWorkers
+// and vocabSize fix the dimensions of W and β; tasks reference workers
+// by index and vocabulary terms by id.
+func Train(tasks []ResolvedTask, numWorkers, vocabSize int, cfg Config) (*Model, *TrainStats, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if err := validateTasks(tasks, numWorkers, vocabSize); err != nil {
+		return nil, nil, err
+	}
+
+	tr := newTrainer(tasks, numWorkers, vocabSize, cfg)
+	stats := &TrainStats{}
+	prev := math.Inf(-1)
+	patience := cfg.Patience
+	if patience < 1 {
+		patience = 1
+	}
+	// MinIter is a floor under the stop rule, never under MaxIter: a
+	// caller capping MaxIter below the default MinIter gets exactly
+	// MaxIter sweeps.
+	minIter := cfg.MinIter
+	if minIter > cfg.MaxIter {
+		minIter = cfg.MaxIter
+	}
+	flat := 0
+	for sweep := 1; sweep <= cfg.MaxIter; sweep++ {
+		tr.updateTasks()   // λ_c, ν_c (CG), φ (Eq. 12), ε (Eq. 13)
+		tr.updateWorkers() // λ_w (Eq. 10), ν_w (Eq. 11)
+		tr.mStep()         // μ_w, Σ_w, μ_c, Σ_c, τ², β (Eqs. 16–21)
+		if err := tr.m.refreshInverses(); err != nil {
+			return nil, nil, err
+		}
+		// Deliberately no inner equilibration of the skill side here:
+		// iterating (λ_w, Σ_w, τ²) to their joint fixed point within a
+		// sweep lets the empirical-Bayes covariance inflate against
+		// the sparse per-worker evidence (few answers per worker) and
+		// overfits. The gradual one-step-per-sweep ramp acts as the
+		// regularizer that makes the skill regression generalize.
+		elbo := tr.elbo()
+		stats.Sweeps = sweep
+		stats.ELBO = append(stats.ELBO, elbo)
+		if sweep > 1 {
+			rel := (elbo - prev) / (math.Abs(prev) + 1e-12)
+			if rel >= 0 && rel < cfg.Tol {
+				flat++
+			} else {
+				flat = 0
+			}
+			if flat >= patience && sweep >= minIter {
+				stats.Converged = true
+				break
+			}
+		}
+		prev = elbo
+	}
+	return tr.m, stats, nil
+}
+
+// trainer holds the full variational state of Algorithm 2.
+type trainer struct {
+	cfg   Config
+	tasks []ResolvedTask
+	m     *Model
+
+	// Per-task variational parameters.
+	lambdaC []linalg.Vector
+	nuC2    []linalg.Vector
+	phi     []*linalg.Matrix // distinct-terms × K, rows sum to 1
+	eps     []float64
+
+	// workerTasks[i] lists the task indices worker i responded to,
+	// with the matching score (the adjacency form of A and S).
+	workerTasks  [][]int
+	workerScores [][]float64
+
+	numResponses int
+}
+
+func newTrainer(tasks []ResolvedTask, numWorkers, vocabSize int, cfg Config) *trainer {
+	k := cfg.K
+	m := &Model{
+		K:       k,
+		V:       vocabSize,
+		M:       numWorkers,
+		LambdaW: make([]linalg.Vector, numWorkers),
+		NuW2:    make([]linalg.Vector, numWorkers),
+		MuW:     linalg.NewVector(k),
+		SigmaW:  linalg.Identity(k),
+		MuC:     linalg.NewVector(k),
+		SigmaC:  linalg.Identity(k),
+		Tau2:    1,
+		LogBeta: linalg.NewMatrix(k, vocabSize),
+	}
+	m.sigmaWInv = linalg.Identity(k)
+	m.sigmaCInv = linalg.Identity(k)
+
+	rng := randx.New(cfg.Seed)
+	// β init: near-uniform rows with multiplicative noise, normalized
+	// in log space.
+	for kk := 0; kk < k; kk++ {
+		row := m.LogBeta.Row(kk)
+		var sum float64
+		for v := 0; v < vocabSize; v++ {
+			w := 1 + 0.5*rng.Float64()
+			row[v] = w
+			sum += w
+		}
+		for v := 0; v < vocabSize; v++ {
+			row[v] = math.Log(row[v] / sum)
+		}
+	}
+	for i := 0; i < numWorkers; i++ {
+		m.LambdaW[i] = linalg.NewVector(k)
+		m.NuW2[i] = linalg.ConstVector(k, 1)
+	}
+
+	tr := &trainer{
+		cfg:          cfg,
+		tasks:        tasks,
+		m:            m,
+		lambdaC:      make([]linalg.Vector, len(tasks)),
+		nuC2:         make([]linalg.Vector, len(tasks)),
+		phi:          make([]*linalg.Matrix, len(tasks)),
+		eps:          make([]float64, len(tasks)),
+		workerTasks:  make([][]int, numWorkers),
+		workerScores: make([][]float64, numWorkers),
+	}
+	for j, t := range tasks {
+		tr.lambdaC[j] = linalg.NewVector(k)
+		tr.nuC2[j] = linalg.ConstVector(k, 1)
+		tr.phi[j] = linalg.NewMatrix(t.Bag.Len(), k)
+		for p := 0; p < t.Bag.Len(); p++ {
+			tr.phi[j].Row(p).Fill(1 / float64(k))
+		}
+		tr.eps[j] = float64(k) * math.Exp(0.5)
+		for _, r := range t.Responses {
+			tr.workerTasks[r.Worker] = append(tr.workerTasks[r.Worker], j)
+			tr.workerScores[r.Worker] = append(tr.workerScores[r.Worker], r.Score)
+			tr.numResponses++
+		}
+	}
+	return tr
+}
+
+// updateWorkers applies the closed-form coordinate updates of
+// Eqs. 10–11 to every worker's variational posterior. Workers are
+// independent given the model parameters, so the loop parallelizes
+// without changing results.
+func (tr *trainer) updateWorkers() {
+	muWTerm := tr.m.sigmaWInv.MulVec(tr.m.MuW)
+	parallelFor(tr.m.M, tr.cfg.Parallelism, func(lo, hi int) {
+		k := tr.cfg.K
+		m := tr.m
+		invTau2 := 1 / m.Tau2
+		prec := linalg.NewMatrix(k, k)
+		rhs := linalg.NewVector(k)
+		quad := linalg.NewVector(k) // Σ_j λc_k² + νc_k²
+		for i := lo; i < hi; i++ {
+			prec.Zero()
+			prec.AddInPlace(m.sigmaWInv)
+			copy(rhs, muWTerm)
+			quad.Zero()
+			for jj, j := range tr.workerTasks[i] {
+				lc, nc := tr.lambdaC[j], tr.nuC2[j]
+				prec.AddOuterInPlace(invTau2, lc, lc)
+				prec.AddDiagInPlace(nc.Scale(invTau2))
+				rhs.AddScaledInPlace(invTau2*tr.workerScores[i][jj], lc)
+				for kk := 0; kk < k; kk++ {
+					quad[kk] += lc[kk]*lc[kk] + nc[kk]
+				}
+			}
+			lw, err := linalg.SPDSolve(prec.Symmetrize(), rhs)
+			if err == nil {
+				m.LambdaW[i] = lw
+			}
+			for kk := 0; kk < k; kk++ {
+				m.NuW2[i][kk] = 1 / (quad[kk]*invTau2 + m.sigmaWInv.At(kk, kk))
+			}
+		}
+	})
+}
+
+// updateTasks runs, for every task, InnerIter rounds of the φ update
+// (Eq. 12), the ε update (Eq. 13), and the conjugate-gradient update
+// of (λ_c, ν_c) (§5.2). Each task touches only its own variational
+// state, so the loop parallelizes without changing results.
+func (tr *trainer) updateTasks() {
+	parallelFor(len(tr.tasks), tr.cfg.Parallelism, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			for round := 0; round < tr.cfg.InnerIter; round++ {
+				tr.updatePhi(j)
+				tr.updateEps(j)
+				tr.updateLambdaNuC(j, true)
+			}
+		}
+	})
+}
+
+// parallelFor splits [0, n) into contiguous chunks across at most p
+// goroutines; p ≤ 1 runs fn(0, n) inline.
+func parallelFor(n, p int, fn func(lo, hi int)) {
+	if p <= 1 || n <= 1 {
+		fn(0, n)
+		return
+	}
+	if p > n {
+		p = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + p - 1) / p
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// updatePhi applies Eq. 12: φⱼₚₖ ∝ exp(λ_cₖ) · β_{k,v}.
+func (tr *trainer) updatePhi(j int) {
+	bag := tr.tasks[j].Bag
+	lc := tr.lambdaC[j]
+	k := tr.cfg.K
+	logits := make(linalg.Vector, k)
+	for p, v := range bag.IDs {
+		for kk := 0; kk < k; kk++ {
+			logits[kk] = lc[kk] + tr.m.LogBeta.At(kk, v)
+		}
+		copy(tr.phi[j].Row(p), linalg.Softmax(logits))
+	}
+}
+
+// updateEps applies Eq. 13: εⱼ = Σₖ exp(λ_cₖ + ν_cₖ²/2).
+func (tr *trainer) updateEps(j int) {
+	lc, nc := tr.lambdaC[j], tr.nuC2[j]
+	var s float64
+	for kk := range lc {
+		s += math.Exp(lc[kk] + nc[kk]/2)
+	}
+	if s < 1e-300 {
+		s = 1e-300
+	}
+	tr.eps[j] = s
+}

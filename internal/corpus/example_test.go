@@ -1,0 +1,31 @@
+package corpus_test
+
+import (
+	"fmt"
+
+	"crowdselect/internal/corpus"
+)
+
+func ExampleGenerate() {
+	p := corpus.Quora().Scaled(0.02).WithSeed(7)
+	d, err := corpus.Generate(p)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(d.Tasks) > 0, len(d.Workers) > 0, d.Profile.Name)
+	// Output: true true quora
+}
+
+func ExampleFromRecords() {
+	records := []corpus.Record{
+		{TaskID: "q1", Text: "advantages of B+ trees", Worker: "alice", Score: 5},
+		{TaskID: "q1", Worker: "bob", Score: 1},
+	}
+	d, workers, err := corpus.FromRecords("mydump", records)
+	if err != nil {
+		panic(err)
+	}
+	best, _ := d.Tasks[0].BestWorker()
+	fmt.Println(len(d.Tasks), best == workers["alice"])
+	// Output: 1 true
+}

@@ -1,0 +1,347 @@
+package corpus
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"crowdselect/internal/linalg"
+	"crowdselect/internal/randx"
+	"crowdselect/internal/text"
+)
+
+// Generate synthesizes a dataset from the profile. Generation follows
+// Algorithm 1 of the paper: per-category language models emit task
+// text (Eqs. 4–5), workers carry positive per-category skills (the
+// unnormalized analogue of Eq. 2), and feedback scores follow the
+// Normal model around wᵢ·cⱼ (Eq. 6) in the platform's feedback kind.
+// Equal profiles (including Seed) generate identical datasets.
+func Generate(p Profile) (*Dataset, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := randx.New(p.Seed)
+	g := &generator{p: p, rng: rng, vocab: text.NewVocabulary()}
+	g.buildLanguageModels()
+	g.buildWorkers()
+	g.buildTasks()
+	g.assignAndScore()
+
+	d := &Dataset{
+		Profile:    p,
+		Vocab:      g.vocab,
+		VocabTerms: g.vocab.Terms(),
+		Workers:    g.workers,
+		Tasks:      g.tasks,
+	}
+	for _, t := range d.Tasks {
+		for _, r := range t.Responses {
+			d.Workers[r.Worker].TaskCount++
+		}
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("corpus: generated dataset failed validation: %w", err)
+	}
+	return d, nil
+}
+
+// MustGenerate is Generate for tests and examples with known-good
+// profiles; it panics on error.
+func MustGenerate(p Profile) *Dataset {
+	d, err := Generate(p)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+type generator struct {
+	p     Profile
+	rng   *randx.RNG
+	vocab *text.Vocabulary
+
+	catTables []*randx.AliasTable // per-category token samplers
+	catPrior  linalg.Vector       // category popularity
+
+	workers    []Worker
+	expertDirs []linalg.Vector // normalized expertise direction per worker
+	activity   linalg.Vector
+	actPct     linalg.Vector // activity percentile per worker (1 = most active)
+
+	tasks []*Task
+	mixes []linalg.Vector
+	pops  []float64
+}
+
+// buildLanguageModels interns the vocabulary and builds one alias
+// table per category: each category owns a block of the vocabulary and
+// mixes in a shared block, with Dirichlet-skewed within-block weights
+// (Eq. 5's β).
+func (g *generator) buildLanguageModels() {
+	p := g.p
+	shared := make([]int, p.SharedVocab)
+	for i := range shared {
+		shared[i] = g.vocab.Intern(fmt.Sprintf("common%04d", i))
+	}
+	perCat := (p.VocabSize - p.SharedVocab) / p.Categories
+	if perCat < 1 {
+		perCat = 1
+	}
+	sharedMass := 1.5 * float64(p.SharedVocab) / float64(p.VocabSize)
+	if sharedMass < 0.05 {
+		sharedMass = 0.05
+	}
+	if sharedMass > 0.35 {
+		sharedMass = 0.35
+	}
+	if p.SharedVocab == 0 {
+		sharedMass = 0
+	}
+
+	g.catTables = make([]*randx.AliasTable, p.Categories)
+	for k := 0; k < p.Categories; k++ {
+		own := make([]int, perCat)
+		for i := range own {
+			own[i] = g.vocab.Intern(fmt.Sprintf("c%02d_t%04d", k, i))
+		}
+		weights := make(linalg.Vector, g.vocab.Size())
+		ownDist := g.rng.SymmetricDirichlet(len(own), 0.15)
+		for i, id := range own {
+			weights[id] = (1 - sharedMass) * ownDist[i]
+		}
+		if len(shared) > 0 {
+			sharedDist := g.rng.SymmetricDirichlet(len(shared), 0.5)
+			for i, id := range shared {
+				weights[id] = sharedMass * sharedDist[i]
+			}
+		}
+		// The weights vector covers the vocabulary interned so far,
+		// which includes every term this category can emit.
+		tab, err := randx.NewAliasTable(weights)
+		if err != nil {
+			panic(fmt.Sprintf("corpus: language model %d: %v", k, err))
+		}
+		g.catTables[k] = tab
+	}
+	g.catPrior = g.rng.SymmetricDirichlet(p.Categories, 5)
+}
+
+// buildWorkers samples worker activities (Zipf over rank) and skill
+// vectors: Gamma-distributed expert skills on ExpertCategories
+// categories, low base skill elsewhere, with an activity-coupled
+// boost (ActivitySkillCorr).
+func (g *generator) buildWorkers() {
+	p := g.p
+	m := p.Workers
+	g.workers = make([]Worker, m)
+	g.expertDirs = make([]linalg.Vector, m)
+	g.activity = make(linalg.Vector, m)
+	g.actPct = make(linalg.Vector, m)
+
+	// Random rank assignment decouples worker id from activity.
+	ranks := g.rng.Perm(m)
+	for i := 0; i < m; i++ {
+		rank := ranks[i]
+		act := 1 / math.Pow(float64(rank+1), p.ActivityZipfS)
+		pct := 1 - float64(rank)/float64(m) // 1 = most active
+		boost := 1 + p.ActivitySkillCorr*2*(pct-0.5)
+		if boost < 0.1 {
+			boost = 0.1
+		}
+
+		skill := make(linalg.Vector, p.Categories)
+		for k := range skill {
+			skill[k] = p.BaseSkill * g.rng.Gamma(2, 0.5)
+		}
+		dir := make(linalg.Vector, p.Categories)
+		for _, k := range g.rng.Perm(p.Categories)[:p.ExpertCategories] {
+			skill[k] = g.rng.Gamma(p.SkillShape, p.SkillScale) * boost
+			dir[k] = 1 / float64(p.ExpertCategories)
+		}
+		g.workers[i] = Worker{ID: i, TrueSkill: skill, Activity: act}
+		g.expertDirs[i] = dir
+		g.activity[i] = act
+		g.actPct[i] = pct
+	}
+}
+
+// buildTasks samples each task's category mixture (a dominant category
+// with Beta-distributed weight, Dirichlet residue) and emits its text
+// through the category language models (Eqs. 3–5).
+func (g *generator) buildTasks() {
+	p := g.p
+	g.tasks = make([]*Task, p.Tasks)
+	g.mixes = make([]linalg.Vector, p.Tasks)
+	g.pops = make([]float64, p.Tasks)
+	for j := 0; j < p.Tasks; j++ {
+		mix := g.sampleMix()
+		length := g.rng.Poisson(p.TaskLenMean)
+		if length < p.MinTaskLen {
+			length = p.MinTaskLen
+		}
+		tokens := make([]string, length)
+		for t := 0; t < length; t++ {
+			z := g.rng.Categorical(mix)
+			tokens[t] = g.vocab.Term(g.catTables[z].Sample(g.rng))
+		}
+		g.tasks[j] = &Task{ID: j, Tokens: tokens, TrueMix: mix}
+		g.mixes[j] = mix
+		g.pops[j] = math.Exp(g.rng.Normal(0, p.PopularitySkew))
+	}
+}
+
+func (g *generator) sampleMix() linalg.Vector {
+	p := g.p
+	mix := make(linalg.Vector, p.Categories)
+	dom := g.rng.Categorical(g.catPrior)
+	w := g.rng.Beta(8, 2) // dominant weight, mean 0.8
+	rest := g.rng.SymmetricDirichlet(p.Categories-1, 0.3)
+	ri := 0
+	for k := range mix {
+		if k == dom {
+			mix[k] = w
+			continue
+		}
+		mix[k] = (1 - w) * rest[ri]
+		ri++
+	}
+	return mix
+}
+
+// assignAndScore picks each task's respondents (weighted by activity
+// and expertise match, sampled without replacement via the Gumbel
+// top-k trick) and generates their feedback scores in the profile's
+// feedback kind.
+func (g *generator) assignAndScore() {
+	p := g.p
+	type keyed struct {
+		worker int
+		key    float64
+	}
+	keys := make([]keyed, p.Workers)
+	for j, task := range g.tasks {
+		mix := g.mixes[j]
+		n := 1 + g.rng.Poisson((p.AnswerersMean-1)*g.pops[j])
+		if n > p.MaxAnswerers {
+			n = p.MaxAnswerers
+		}
+		if n > p.Workers {
+			n = p.Workers
+		}
+
+		for i := 0; i < p.Workers; i++ {
+			aff := g.expertDirs[i].Dot(mix)
+			w := g.activity[i] * (1 + p.ExpertiseBoost*aff)
+			u := g.rng.Float64()
+			for u == 0 {
+				u = g.rng.Float64()
+			}
+			keys[i] = keyed{worker: i, key: math.Log(w) - math.Log(-math.Log(u))}
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a].key > keys[b].key })
+
+		respondents := make([]int, n)
+		for i := 0; i < n; i++ {
+			respondents[i] = keys[i].worker
+		}
+		sort.Ints(respondents)
+
+		// Non-stationary extension: a worker's skills take a random-
+		// walk step each time they answer (tasks arrive in j order).
+		if p.SkillDrift > 0 {
+			for _, w := range respondents {
+				skill := g.workers[w].TrueSkill
+				for kk := range skill {
+					skill[kk] += g.rng.Normal(0, p.SkillDrift)
+					if skill[kk] < 0 {
+						skill[kk] = 0
+					}
+				}
+			}
+		}
+
+		switch p.Feedback {
+		case BestAnswer:
+			task.Responses = g.scoreBestAnswer(respondents, mix)
+		default:
+			task.Responses = g.scoreThumbsUp(respondents, mix, g.pops[j])
+		}
+	}
+}
+
+// scoreThumbsUp generates integer vote counts around the predictive
+// performance wᵢ·cⱼ — exactly the paper's Eq. 6 feedback model — and
+// marks the top-scored response Best (ties broken by true quality).
+// Popularity affects how many workers answer, not the score scale.
+func (g *generator) scoreThumbsUp(respondents []int, mix linalg.Vector, _ float64) []Response {
+	p := g.p
+	out := make([]Response, len(respondents))
+	bestIdx, bestKey := 0, math.Inf(-1)
+	for i, w := range respondents {
+		q := g.workers[w].TrueSkill.Dot(mix)
+		rep := 1 + p.ReputationBias*g.actPct[w]
+		s := g.rng.Normal(q*p.ThumbsScale*rep, p.Noise)
+		if s < 0 {
+			s = 0
+		}
+		s = math.Round(s)
+		out[i] = Response{Worker: w, Score: s}
+		key := s*1e6 + q // lexicographic (score, quality)
+		if key > bestKey {
+			bestIdx, bestKey = i, key
+		}
+	}
+	out[bestIdx].Best = true
+	return out
+}
+
+// scoreBestAnswer simulates the Yahoo! Answer feedback of §4.1.5: the
+// (noisily) highest-quality respondent is the asker-chosen best answer
+// with score 1; the rest score the Jaccard similarity between their
+// generated answer text and the best answer's.
+func (g *generator) scoreBestAnswer(respondents []int, mix linalg.Vector) []Response {
+	p := g.p
+	out := make([]Response, len(respondents))
+	bestIdx, bestKey := 0, math.Inf(-1)
+	for i, w := range respondents {
+		q := g.workers[w].TrueSkill.Dot(mix)
+		out[i] = Response{Worker: w, AnswerTokens: g.answerTokens(q, mix)}
+		if key := q + g.rng.Normal(0, p.Noise); key > bestKey {
+			bestIdx, bestKey = i, key
+		}
+	}
+	bestBag := text.NewBagKnown(g.vocab, out[bestIdx].AnswerTokens)
+	for i := range out {
+		if i == bestIdx {
+			out[i].Score = 1
+			out[i].Best = true
+			continue
+		}
+		bag := text.NewBagKnown(g.vocab, out[i].AnswerTokens)
+		out[i].Score = text.Jaccard(bag, bestBag)
+	}
+	return out
+}
+
+// answerTokens emits an answer whose on-topic fraction grows with the
+// worker's quality on the task, so high-quality answers overlap the
+// best answer more (driving the Jaccard feedback).
+func (g *generator) answerTokens(quality float64, mix linalg.Vector) []string {
+	p := g.p
+	length := g.rng.Poisson(p.AnswerLenMean)
+	if length < 3 {
+		length = 3
+	}
+	pOn := quality / (quality + 1.5)
+	tokens := make([]string, length)
+	for t := 0; t < length; t++ {
+		var z int
+		if g.rng.Bernoulli(pOn) {
+			z = g.rng.Categorical(mix)
+		} else {
+			z = g.rng.Intn(p.Categories)
+		}
+		tokens[t] = g.vocab.Term(g.catTables[z].Sample(g.rng))
+	}
+	return tokens
+}

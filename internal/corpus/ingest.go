@@ -1,0 +1,194 @@
+package corpus
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"crowdselect/internal/linalg"
+	"crowdselect/internal/text"
+)
+
+// Record is one answered-task row from an external platform dump —
+// the raw material of the paper's (T, A, S) triples. Records with the
+// same TaskID form one task.
+type Record struct {
+	// TaskID groups records into tasks (any stable string).
+	TaskID string
+	// Text is the task text; the first non-empty Text seen for a task
+	// wins.
+	Text string
+	// Worker is the answerer's stable identifier.
+	Worker string
+	// Score is the feedback score sᵢⱼ (thumbs-ups, ratings, Jaccard —
+	// any non-negative quality signal).
+	Score float64
+	// Best optionally marks the platform's chosen best answer; when no
+	// record of a task carries it, the top-scored answer is marked.
+	Best bool
+}
+
+// FromRecords builds a Dataset from external records, so every
+// algorithm, experiment and the crowd service run on real platform
+// dumps exactly as they do on synthetic corpora. Worker names map to
+// dense ids in first-seen order (see Dataset.WorkerNames… returned
+// mapping); task text is tokenized with text.Tokenize.
+func FromRecords(name string, records []Record) (*Dataset, map[string]int, error) {
+	if len(records) == 0 {
+		return nil, nil, fmt.Errorf("corpus: no records to ingest")
+	}
+	vocab := text.NewVocabulary()
+	workerIDs := make(map[string]int)
+	type taskAcc struct {
+		id        int
+		text      string
+		responses []Response
+		bestSeen  bool
+	}
+	var order []string
+	tasks := make(map[string]*taskAcc)
+	for i, r := range records {
+		if r.TaskID == "" {
+			return nil, nil, fmt.Errorf("corpus: record %d has no task id", i)
+		}
+		if r.Worker == "" {
+			return nil, nil, fmt.Errorf("corpus: record %d has no worker", i)
+		}
+		if r.Score < 0 || r.Score != r.Score {
+			return nil, nil, fmt.Errorf("corpus: record %d has score %g", i, r.Score)
+		}
+		t, ok := tasks[r.TaskID]
+		if !ok {
+			t = &taskAcc{id: len(order)}
+			tasks[r.TaskID] = t
+			order = append(order, r.TaskID)
+		}
+		if t.text == "" {
+			t.text = r.Text
+		}
+		w, ok := workerIDs[r.Worker]
+		if !ok {
+			w = len(workerIDs)
+			workerIDs[r.Worker] = w
+		}
+		for _, existing := range t.responses {
+			if existing.Worker == w {
+				return nil, nil, fmt.Errorf("corpus: worker %q answered task %q twice", r.Worker, r.TaskID)
+			}
+		}
+		t.responses = append(t.responses, Response{Worker: w, Score: r.Score, Best: r.Best})
+		if r.Best {
+			if t.bestSeen {
+				return nil, nil, fmt.Errorf("corpus: task %q has two best answers", r.TaskID)
+			}
+			t.bestSeen = true
+		}
+	}
+
+	d := &Dataset{
+		Profile: Profile{Name: name},
+		Vocab:   vocab,
+		Workers: make([]Worker, len(workerIDs)),
+	}
+	for i := range d.Workers {
+		d.Workers[i] = Worker{ID: i, TrueSkill: linalg.Vector{}}
+	}
+	for _, tid := range order {
+		acc := tasks[tid]
+		if !acc.bestSeen {
+			// Mark the top-scored answer (ties to the first).
+			best, bestScore := 0, -1.0
+			for i, r := range acc.responses {
+				if r.Score > bestScore {
+					best, bestScore = i, r.Score
+				}
+			}
+			acc.responses[best].Best = true
+		}
+		tokens := text.Tokenize(acc.text)
+		for _, tok := range tokens {
+			vocab.Intern(tok)
+		}
+		task := &Task{ID: acc.id, Tokens: tokens, Responses: acc.responses}
+		d.Tasks = append(d.Tasks, task)
+		for _, r := range acc.responses {
+			d.Workers[r.Worker].TaskCount++
+		}
+	}
+	d.VocabTerms = vocab.Terms()
+	if err := d.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("corpus: ingested dataset invalid: %w", err)
+	}
+	return d, workerIDs, nil
+}
+
+// ReadRecordsCSV parses records from CSV with the header
+//
+//	task_id,text,worker,score[,best]
+//
+// Column order is taken from the header row; `best` is optional and
+// parsed as a boolean when present.
+func ReadRecordsCSV(r io.Reader) ([]Record, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("corpus: csv header: %w", err)
+	}
+	col := make(map[string]int, len(header))
+	for i, h := range header {
+		col[h] = i
+	}
+	for _, required := range []string{"task_id", "text", "worker", "score"} {
+		if _, ok := col[required]; !ok {
+			return nil, fmt.Errorf("corpus: csv missing column %q (have %v)", required, sortedKeys(col))
+		}
+	}
+	var out []Record
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("corpus: csv line %d: %w", line, err)
+		}
+		get := func(name string) string {
+			i, ok := col[name]
+			if !ok || i >= len(row) {
+				return ""
+			}
+			return row[i]
+		}
+		score, err := strconv.ParseFloat(get("score"), 64)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: csv line %d: bad score %q", line, get("score"))
+		}
+		rec := Record{
+			TaskID: get("task_id"),
+			Text:   get("text"),
+			Worker: get("worker"),
+			Score:  score,
+		}
+		if b := get("best"); b != "" {
+			v, err := strconv.ParseBool(b)
+			if err != nil {
+				return nil, fmt.Errorf("corpus: csv line %d: bad best %q", line, b)
+			}
+			rec.Best = v
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

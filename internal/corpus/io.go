@@ -1,0 +1,68 @@
+package corpus
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"crowdselect/internal/text"
+)
+
+// Save writes the dataset as JSON to w.
+func (d *Dataset) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(d); err != nil {
+		return fmt.Errorf("corpus: save: %w", err)
+	}
+	return nil
+}
+
+// SaveFile writes the dataset as JSON to path.
+func (d *Dataset) SaveFile(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("corpus: save: %w", err)
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil && cerr != nil {
+			err = fmt.Errorf("corpus: save: %w", cerr)
+		}
+	}()
+	bw := bufio.NewWriter(f)
+	if err := d.Save(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Load reads a dataset from r, rebuilding the vocabulary and
+// validating referential integrity.
+func Load(r io.Reader) (*Dataset, error) {
+	var d Dataset
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&d); err != nil {
+		return nil, fmt.Errorf("corpus: load: %w", err)
+	}
+	d.Vocab = text.NewVocabulary()
+	for i, term := range d.VocabTerms {
+		if id := d.Vocab.Intern(term); id != i {
+			return nil, fmt.Errorf("corpus: load: duplicate vocabulary term %q", term)
+		}
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("corpus: load: %w", err)
+	}
+	return &d, nil
+}
+
+// LoadFile reads a dataset from path.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: load: %w", err)
+	}
+	defer f.Close()
+	return Load(bufio.NewReader(f))
+}

@@ -1,0 +1,266 @@
+// Package corpus generates synthetic crowdsourcing datasets following
+// the paper's own generative assumptions (§4.3, Algorithm 1). It
+// replaces the 2012 Quora / Yahoo! Answer / Stack Overflow crawls of
+// §7.1, which are not redistributable: workers carry ground-truth
+// per-category skills, tasks carry latent category mixtures, task text
+// is emitted from per-category language models, and feedback scores
+// follow the paper's Normal model (Eq. 6) with the platform-specific
+// feedback kinds of §4.1.5 (thumbs-up counts, or best answer plus
+// Jaccard similarity of answers). See DESIGN.md §1 for the
+// substitution argument.
+package corpus
+
+import "fmt"
+
+// FeedbackKind selects how feedback scores are produced (§4.1.5).
+type FeedbackKind int
+
+const (
+	// ThumbsUp scores answers with non-negative vote counts (Quora and
+	// Stack Overflow in the paper).
+	ThumbsUp FeedbackKind = iota
+	// BestAnswer marks the asker-chosen best answer with score 1 and
+	// scores the remaining answers by Jaccard similarity of their
+	// answer text to the best answer (Yahoo! Answer in the paper).
+	BestAnswer
+)
+
+// String renders the feedback kind.
+func (k FeedbackKind) String() string {
+	switch k {
+	case ThumbsUp:
+		return "thumbs-up"
+	case BestAnswer:
+		return "best-answer"
+	default:
+		return fmt.Sprintf("FeedbackKind(%d)", int(k))
+	}
+}
+
+// Profile parameterizes a synthetic platform. Obtain one from Quora,
+// Yahoo or StackOverflow and adjust, or build your own.
+type Profile struct {
+	// Name labels the platform in reports.
+	Name string
+	// Tasks and Workers are the population sizes.
+	Tasks, Workers int
+	// Categories is the number of ground-truth latent categories K*.
+	Categories int
+	// VocabSize is the total vocabulary size; SharedVocab of it is a
+	// common block used by every category (function-word-like mass
+	// that blurs category boundaries).
+	VocabSize, SharedVocab int
+	// TaskLenMean is the Poisson mean of task length in tokens;
+	// MinTaskLen floors it. Yahoo-profile tasks are short, which is
+	// why VSM suffers there (§7.3.2).
+	TaskLenMean float64
+	MinTaskLen  int
+	// AnswerLenMean is the Poisson mean of answer length in tokens
+	// (used for Jaccard feedback and worker histories).
+	AnswerLenMean float64
+	// AnswerersMean is the mean number of respondents per task;
+	// MaxAnswerers caps it. Popular tasks attract proportionally more.
+	AnswerersMean float64
+	MaxAnswerers  int
+	// ActivityZipfS is the Zipf exponent of worker activity (larger →
+	// a heavier head of very active workers).
+	ActivityZipfS float64
+	// ActivitySkillCorr in [0, 1] couples activity and skill: the
+	// paper observes that active workers are usually the providers of
+	// best answers (§7.3.1), strongest on Stack Overflow (§7.3.3).
+	ActivitySkillCorr float64
+	// ExpertCategories is how many categories each worker is expert
+	// in; expert skill ~ Gamma(SkillShape, SkillScale), non-expert
+	// skill ~ BaseSkill · Gamma(1, 1).
+	ExpertCategories       int
+	SkillShape, SkillScale float64
+	BaseSkill              float64
+	// ExpertiseBoost controls how strongly workers answer tasks that
+	// match their expertise (0 = random assignment).
+	ExpertiseBoost float64
+	// PopularitySkew > 0 makes some tasks attract many more answerers
+	// (lognormal sigma of the per-task popularity factor).
+	PopularitySkew float64
+	// Feedback selects the feedback model; Noise is the τ of Eq. 6.
+	Feedback FeedbackKind
+	Noise    float64
+	// ThumbsScale scales quality to thumbs-up counts.
+	ThumbsScale float64
+	// ReputationBias ≥ 0 inflates the vote counts of active workers
+	// beyond their answer quality — the rich-get-richer voting the
+	// paper observes on Stack Overflow ("users … trust the workers
+	// with high reputation", §7.3.3). 0 disables it.
+	ReputationBias float64
+	// SkillDrift > 0 makes worker skills non-stationary: each time a
+	// worker answers a task (tasks are generated in arrival order),
+	// every skill coordinate takes a Normal(0, SkillDrift) step,
+	// floored at 0. This extension exercises the incremental
+	// crowd-update path of §4.2/§6 — a frozen model goes stale while
+	// incremental updates track the walk. 0 (the default) keeps the
+	// paper's stationary-skill setting.
+	SkillDrift float64
+	// Seed drives all sampling; equal seeds give identical datasets.
+	Seed int64
+}
+
+// Validate reports the first structural problem with the profile.
+func (p Profile) Validate() error {
+	switch {
+	case p.Tasks <= 0:
+		return fmt.Errorf("corpus: profile %q: Tasks = %d", p.Name, p.Tasks)
+	case p.Workers <= 1:
+		return fmt.Errorf("corpus: profile %q: Workers = %d (need ≥ 2)", p.Name, p.Workers)
+	case p.Categories <= 1:
+		return fmt.Errorf("corpus: profile %q: Categories = %d (need ≥ 2)", p.Name, p.Categories)
+	case p.VocabSize < p.Categories+p.SharedVocab:
+		return fmt.Errorf("corpus: profile %q: VocabSize %d too small for %d categories + %d shared",
+			p.Name, p.VocabSize, p.Categories, p.SharedVocab)
+	case p.SharedVocab < 0:
+		return fmt.Errorf("corpus: profile %q: SharedVocab = %d", p.Name, p.SharedVocab)
+	case p.TaskLenMean <= 0 || p.MinTaskLen < 1:
+		return fmt.Errorf("corpus: profile %q: task length (%g, min %d)", p.Name, p.TaskLenMean, p.MinTaskLen)
+	case p.AnswerersMean < 1 || p.MaxAnswerers < 2:
+		return fmt.Errorf("corpus: profile %q: answerers (mean %g, max %d)", p.Name, p.AnswerersMean, p.MaxAnswerers)
+	case p.ExpertCategories < 1 || p.ExpertCategories > p.Categories:
+		return fmt.Errorf("corpus: profile %q: ExpertCategories = %d", p.Name, p.ExpertCategories)
+	case p.Noise < 0:
+		return fmt.Errorf("corpus: profile %q: Noise = %g", p.Name, p.Noise)
+	case p.SkillDrift < 0:
+		return fmt.Errorf("corpus: profile %q: SkillDrift = %g", p.Name, p.SkillDrift)
+	}
+	return nil
+}
+
+// Scaled returns a copy with Tasks and Workers multiplied by f (at
+// least 16 tasks and 8 workers survive any down-scaling).
+func (p Profile) Scaled(f float64) Profile {
+	q := p
+	q.Tasks = maxInt(16, int(float64(p.Tasks)*f))
+	q.Workers = maxInt(8, int(float64(p.Workers)*f))
+	return q
+}
+
+// WithSeed returns a copy with the seed replaced.
+func (p Profile) WithSeed(seed int64) Profile {
+	q := p
+	q.Seed = seed
+	return q
+}
+
+// Quora returns the Quora-like profile: medium-length questions,
+// thumbs-up feedback, moderate activity skew. Sizes are the paper's
+// Table 2 scaled down 100× (444k questions / 95k users / 887k answers
+// → ~4.4k / ~1k / ~9k), preserving the questions:users:answers ratios.
+func Quora() Profile {
+	return Profile{
+		Name:              "quora",
+		Tasks:             4440,
+		Workers:           950,
+		Categories:        10,
+		VocabSize:         2000,
+		SharedVocab:       200,
+		TaskLenMean:       18,
+		MinTaskLen:        4,
+		AnswerLenMean:     30,
+		AnswerersMean:     2.0,
+		MaxAnswerers:      24,
+		ActivityZipfS:     1.6,
+		ActivitySkillCorr: 0.45,
+		ExpertCategories:  2,
+		SkillShape:        6,
+		SkillScale:        0.6,
+		BaseSkill:         0.5,
+		ExpertiseBoost:    6,
+		PopularitySkew:    0.9,
+		Feedback:          ThumbsUp,
+		Noise:             0.5,
+		ThumbsScale:       1.4,
+		ReputationBias:    0.15,
+		Seed:              1,
+	}
+}
+
+// Yahoo returns the Yahoo!-Answer-like profile: very short questions
+// (which starves VSM, §7.3.2), best-answer feedback, three answerers
+// per question on average. Table 2 scaled down 1000×.
+func Yahoo() Profile {
+	return Profile{
+		Name:              "yahoo",
+		Tasks:             8866,
+		Workers:           1004,
+		Categories:        10,
+		VocabSize:         2400,
+		SharedVocab:       400,
+		TaskLenMean:       6,
+		MinTaskLen:        2,
+		AnswerLenMean:     18,
+		AnswerersMean:     3.0,
+		MaxAnswerers:      30,
+		ActivityZipfS:     1.5,
+		ActivitySkillCorr: 0.35,
+		ExpertCategories:  2,
+		SkillShape:        6,
+		SkillScale:        0.6,
+		BaseSkill:         0.5,
+		ExpertiseBoost:    5,
+		PopularitySkew:    0.8,
+		Feedback:          BestAnswer,
+		Noise:             0.4,
+		ThumbsScale:       1,
+		Seed:              2,
+	}
+}
+
+// StackOverflow returns the Stack-Overflow-like profile: tag-like
+// concentrated vocabulary (which helps VSM, §7.3.3), thumbs-up
+// feedback, strong reputation effects (activity–skill correlation and
+// popularity skew), ~3 answers per question. Table 2 scaled down 10×.
+func StackOverflow() Profile {
+	return Profile{
+		Name:              "stackoverflow",
+		Tasks:             8300,
+		Workers:           1500,
+		Categories:        12,
+		VocabSize:         1200,
+		SharedVocab:       60,
+		TaskLenMean:       7,
+		MinTaskLen:        3,
+		AnswerLenMean:     22,
+		AnswerersMean:     2.8,
+		MaxAnswerers:      40,
+		ActivityZipfS:     1.9,
+		ActivitySkillCorr: 0.75,
+		ExpertCategories:  2,
+		SkillShape:        6,
+		SkillScale:        0.6,
+		BaseSkill:         0.4,
+		ExpertiseBoost:    7,
+		PopularitySkew:    1.1,
+		Feedback:          ThumbsUp,
+		Noise:             0.5,
+		ThumbsScale:       1.8,
+		ReputationBias:    0.8,
+		Seed:              3,
+	}
+}
+
+// ProfileByName returns the built-in profile with the given name.
+func ProfileByName(name string) (Profile, error) {
+	switch name {
+	case "quora":
+		return Quora(), nil
+	case "yahoo":
+		return Yahoo(), nil
+	case "stackoverflow", "stack":
+		return StackOverflow(), nil
+	default:
+		return Profile{}, fmt.Errorf("corpus: unknown profile %q (want quora, yahoo or stackoverflow)", name)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,167 @@
+package crowddb
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// The crowd database persists in two complementary ways: point-in-time
+// snapshots (Snapshot/RestoreSnapshot) and an append-only journal of
+// every mutation (AttachJournal/ReplayJournal). The journal makes the
+// store recoverable up to the last applied operation, which the
+// paper's architecture needs because crowd updates arrive continuously
+// (§2: crowd insertion, crowd update, crowd retrieval).
+
+// eventKind tags a journal record.
+type eventKind string
+
+const (
+	evAddWorker eventKind = "add_worker"
+	evPresence  eventKind = "presence"
+	evAddTask   eventKind = "add_task"
+	evAssign    eventKind = "assign"
+	evAnswer    eventKind = "answer"
+	evResolve   eventKind = "resolve"
+	evReopen    eventKind = "reopen"
+)
+
+// event is one journal record. Only the fields relevant to its kind
+// are set.
+type event struct {
+	Kind    eventKind          `json:"kind"`
+	Worker  int                `json:"worker,omitempty"`
+	Name    string             `json:"name,omitempty"`
+	Online  *bool              `json:"online,omitempty"`
+	Task    int                `json:"task,omitempty"`
+	Text    string             `json:"text,omitempty"`
+	Tokens  []string           `json:"tokens,omitempty"`
+	Workers []int              `json:"workers,omitempty"`
+	Answer  string             `json:"answer,omitempty"`
+	Scores  map[string]float64 `json:"scores,omitempty"`
+	At      time.Time          `json:"at"`
+}
+
+// ErrJournal wraps journal write failures.
+var ErrJournal = errors.New("crowddb: journal write failed")
+
+// AttachJournal makes every subsequent mutation append one JSON line
+// to w before the mutating call returns. Pass nil to detach. The
+// caller owns w's lifetime (and flushing, if buffered).
+func (s *Store) AttachJournal(w io.Writer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if w == nil {
+		s.journal = nil
+		return
+	}
+	s.journal = json.NewEncoder(w)
+}
+
+// logEvent appends an event; callers hold s.mu.
+func (s *Store) logEvent(e event) error {
+	if s.journal == nil {
+		return nil
+	}
+	e.At = s.clock()
+	if err := s.journal.Encode(e); err != nil {
+		return fmt.Errorf("%w: %v", ErrJournal, err)
+	}
+	return nil
+}
+
+// ReplayJournal applies journal records from r to the store, stopping
+// at the first malformed or inconsistent record. It is meant to run on
+// a freshly constructed (or snapshot-restored) store before new
+// mutations are accepted.
+func (s *Store) ReplayJournal(r io.Reader) error {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	for n := 0; ; n++ {
+		var e event
+		if err := dec.Decode(&e); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return fmt.Errorf("crowddb: replay record %d: %w", n, err)
+		}
+		if err := s.applyEvent(e); err != nil {
+			return fmt.Errorf("crowddb: replay record %d: %w", n, err)
+		}
+	}
+}
+
+func (s *Store) applyEvent(e event) error {
+	switch e.Kind {
+	case evAddWorker:
+		_, err := s.AddWorker(e.Worker, e.Name)
+		return err
+	case evPresence:
+		if e.Online == nil {
+			return fmt.Errorf("%w: presence event without online flag", ErrBadRequest)
+		}
+		return s.SetOnline(e.Worker, *e.Online)
+	case evAddTask:
+		t, err := s.AddTask(e.Text, e.Tokens)
+		if err != nil {
+			return err
+		}
+		if t.ID != e.Task {
+			return fmt.Errorf("%w: replayed task id %d, journal says %d", ErrBadRequest, t.ID, e.Task)
+		}
+		return nil
+	case evAssign:
+		return s.Assign(e.Task, e.Workers)
+	case evAnswer:
+		return s.RecordAnswer(e.Task, e.Worker, e.Answer)
+	case evReopen:
+		return s.reopenTask(e.Task)
+	case evResolve:
+		scores := make(map[int]float64, len(e.Scores))
+		for k, v := range e.Scores {
+			var id int
+			if _, err := fmt.Sscanf(k, "%d", &id); err != nil {
+				return fmt.Errorf("%w: score key %q", ErrBadRequest, k)
+			}
+			scores[id] = v
+		}
+		_, err := s.Resolve(e.Task, scores)
+		return err
+	default:
+		return fmt.Errorf("%w: unknown journal event %q", ErrBadRequest, e.Kind)
+	}
+}
+
+// OpenJournaledStore builds a store backed by the journal file at
+// path: existing records are replayed, then the file is attached for
+// appends. The returned close function flushes and closes the file.
+func OpenJournaledStore(path string) (*Store, func() error, error) {
+	s := NewStore()
+	if f, err := os.Open(path); err == nil {
+		replayErr := s.ReplayJournal(f)
+		f.Close()
+		if replayErr != nil {
+			return nil, nil, replayErr
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, fmt.Errorf("crowddb: open journal: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("crowddb: open journal: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	s.AttachJournal(bw)
+	closeFn := func() error {
+		s.AttachJournal(nil)
+		if err := bw.Flush(); err != nil {
+			f.Close()
+			return fmt.Errorf("crowddb: close journal: %w", err)
+		}
+		return f.Close()
+	}
+	return s, closeFn, nil
+}

@@ -1,0 +1,184 @@
+package crowddb
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// journalScript drives a store through a representative mutation
+// sequence.
+func journalScript(t *testing.T, s *Store) {
+	t.Helper()
+	for i := 0; i < 3; i++ {
+		if _, err := s.AddWorker(i, fmt.Sprintf("w%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.SetOnline(2, false); err != nil {
+		t.Fatal(err)
+	}
+	task, err := s.AddTask("What is a B+ tree?", []string{"b+", "tree"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Assign(task.ID, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordAnswer(task.ID, 0, "an index"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordAnswer(task.ID, 1, "a tree"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Resolve(task.ID, map[int]float64{0: 4, 1: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddTask("still open", nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJournalReplayReproducesState(t *testing.T) {
+	var journal bytes.Buffer
+	s := NewStore()
+	s.SetClock(fixedClock())
+	s.AttachJournal(&journal)
+	journalScript(t, s)
+
+	replayed := NewStore()
+	if err := replayed.ReplayJournal(bytes.NewReader(journal.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	// Compare via snapshots (timestamps differ between original clock
+	// and replay clock, so compare structure).
+	if replayed.NumWorkers() != s.NumWorkers() || replayed.NumTasks() != s.NumTasks() {
+		t.Fatalf("replayed %d/%d, want %d/%d",
+			replayed.NumWorkers(), replayed.NumTasks(), s.NumWorkers(), s.NumTasks())
+	}
+	want, _ := s.GetTask(0)
+	got, err := replayed.GetTask(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != want.Status || len(got.Answers) != len(want.Answers) {
+		t.Fatalf("task 0 = %+v, want %+v", got, want)
+	}
+	for i, a := range got.Answers {
+		if a.Worker != want.Answers[i].Worker || a.Score != want.Answers[i].Score || a.Text != want.Answers[i].Text {
+			t.Fatalf("answer %d = %+v, want %+v", i, a, want.Answers[i])
+		}
+	}
+	w2, err := replayed.GetWorker(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.Online {
+		t.Error("presence event not replayed")
+	}
+	if got := replayed.ListTasks(TaskOpen); len(got) != 1 || got[0].Text != "still open" {
+		t.Errorf("open tasks after replay = %v", got)
+	}
+	// Id counter continues correctly.
+	next, err := replayed.AddTask("new", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.ID != 2 {
+		t.Errorf("next id = %d, want 2", next.ID)
+	}
+}
+
+func TestJournalReplayRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":        "{oops",
+		"unknown kind":    `{"kind":"explode"}`,
+		"presence no arg": `{"kind":"presence","worker":0}`,
+		"dangling assign": `{"kind":"assign","task":0,"workers":[0]}`,
+		"bad score key":   `{"kind":"add_worker","worker":0}` + "\n" + `{"kind":"add_task","task":0}` + "\n" + `{"kind":"assign","task":0,"workers":[0]}` + "\n" + `{"kind":"answer","task":0,"worker":0}` + "\n" + `{"kind":"resolve","task":0,"scores":{"zero":1}}`,
+		"task id skew":    `{"kind":"add_task","task":7,"text":"x"}`,
+	}
+	for name, payload := range cases {
+		s := NewStore()
+		if err := s.ReplayJournal(strings.NewReader(payload)); err == nil {
+			t.Errorf("%s: garbage accepted", name)
+		}
+	}
+}
+
+func TestOpenJournaledStorePersistsAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "crowd.journal")
+
+	s1, close1, err := OpenJournaledStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	journalScript(t, s1)
+	if err := close1(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, close2, err := OpenJournaledStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer close2()
+	if s2.NumWorkers() != 3 || s2.NumTasks() != 2 {
+		t.Fatalf("reopened store has %d workers, %d tasks", s2.NumWorkers(), s2.NumTasks())
+	}
+	// New mutations append and survive another reopen.
+	if _, err := s2.AddWorker(3, "late"); err != nil {
+		t.Fatal(err)
+	}
+	if err := close2(); err != nil {
+		t.Fatal(err)
+	}
+	s3, close3, err := OpenJournaledStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer close3()
+	if s3.NumWorkers() != 4 {
+		t.Errorf("third open has %d workers, want 4", s3.NumWorkers())
+	}
+}
+
+func TestOpenJournaledStoreRejectsCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.journal")
+	if err := writeFile(path, "{torn record"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenJournaledStore(path); err == nil {
+		t.Error("corrupt journal accepted")
+	}
+}
+
+func TestJournalWriteFailureSurfaces(t *testing.T) {
+	s := NewStore()
+	s.AttachJournal(failingWriter{})
+	if _, err := s.AddWorker(0, "w"); !errors.Is(err, ErrJournal) {
+		t.Errorf("AddWorker err = %v, want ErrJournal", err)
+	}
+	// The mutation itself was applied (documented semantics).
+	if s.NumWorkers() != 1 {
+		t.Error("mutation lost on journal failure")
+	}
+	// Detaching stops journaling.
+	s.AttachJournal(nil)
+	if _, err := s.AddWorker(1, "w"); err != nil {
+		t.Errorf("after detach: %v", err)
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

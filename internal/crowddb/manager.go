@@ -1,0 +1,146 @@
+package crowddb
+
+import (
+	"fmt"
+
+	"time"
+
+	"crowdselect/internal/core"
+	"crowdselect/internal/text"
+)
+
+// Selector ranks candidate workers for a task. *core.Model and every
+// baseline in internal/baseline satisfy it.
+type Selector interface {
+	Name() string
+	Rank(bag text.Bag, candidates []int) []int
+}
+
+// SkillUpdater is the optional incremental-learning hook: when the
+// manager's Selector also implements it (as *core.Model does), every
+// resolved task's feedback is folded into the answerers' skill
+// posteriors — the crowd-update path of §4.2.
+type SkillUpdater interface {
+	Project(bag text.Bag) core.TaskCategory
+	UpdateWorkerSkill(worker int, cats []core.TaskCategory, scores []float64)
+}
+
+// Manager is the crowd manager of Figure 1: it projects incoming
+// tasks, selects the right online workers, drives the dispatcher, and
+// folds feedback back into the crowd database and the model.
+type Manager struct {
+	store *Store
+	vocab *text.Vocabulary
+	sel   Selector
+	k     int
+}
+
+// NewManager wires a crowd manager over the store. vocab maps task
+// text to the term ids the selector was trained on; k is the default
+// crowd size per task.
+func NewManager(store *Store, vocab *text.Vocabulary, sel Selector, k int) (*Manager, error) {
+	if store == nil || vocab == nil || sel == nil {
+		return nil, fmt.Errorf("%w: manager needs a store, vocabulary and selector", ErrBadRequest)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("%w: crowd size %d", ErrBadRequest, k)
+	}
+	return &Manager{store: store, vocab: vocab, sel: sel, k: k}, nil
+}
+
+// Store returns the underlying crowd database.
+func (m *Manager) Store() *Store { return m.store }
+
+// SelectorName reports which algorithm backs the manager.
+func (m *Manager) SelectorName() string { return m.sel.Name() }
+
+// Submission is the result of SubmitTask: the stored task and the
+// workers the dispatcher distributed it to, best first.
+type Submission struct {
+	Task    TaskRecord
+	Workers []int
+}
+
+// SubmitTask runs the blue path of Figure 1: store the task, project
+// it into the latent category space, rank the online workers, keep the
+// top k, and dispatch. k ≤ 0 uses the manager default.
+func (m *Manager) SubmitTask(taskText string, k int) (Submission, error) {
+	if k <= 0 {
+		k = m.k
+	}
+	tokens := text.Tokenize(taskText)
+	task, err := m.store.AddTask(taskText, tokens)
+	if err != nil {
+		return Submission{}, err
+	}
+	online := m.store.OnlineWorkers()
+	if len(online) == 0 {
+		return Submission{}, fmt.Errorf("%w: no online workers", ErrBadRequest)
+	}
+	ranked := m.sel.Rank(text.NewBagKnown(m.vocab, tokens), online)
+	if len(ranked) > k {
+		ranked = ranked[:k]
+	}
+	if err := m.store.Assign(task.ID, ranked); err != nil {
+		return Submission{}, err
+	}
+	stored, err := m.store.GetTask(task.ID)
+	if err != nil {
+		return Submission{}, err
+	}
+	return Submission{Task: stored, Workers: ranked}, nil
+}
+
+// CollectAnswer records one worker's answer to a dispatched task.
+func (m *Manager) CollectAnswer(taskID, workerID int, answer string) error {
+	return m.store.RecordAnswer(taskID, workerID, answer)
+}
+
+// RedispatchExpired reopens assignments older than maxAge that got no
+// answers and dispatches each reopened task to a fresh crowd of k
+// workers (the dispatcher's timeout path). It returns the redispatched
+// task ids.
+func (m *Manager) RedispatchExpired(maxAge time.Duration, k int) ([]int, error) {
+	if k <= 0 {
+		k = m.k
+	}
+	reopened, err := m.store.ExpireAssignments(maxAge)
+	if err != nil {
+		return nil, err
+	}
+	online := m.store.OnlineWorkers()
+	if len(online) == 0 && len(reopened) > 0 {
+		return nil, fmt.Errorf("%w: no online workers to redispatch to", ErrBadRequest)
+	}
+	for _, id := range reopened {
+		task, err := m.store.GetTask(id)
+		if err != nil {
+			return nil, err
+		}
+		ranked := m.sel.Rank(text.NewBagKnown(m.vocab, task.Tokens), online)
+		if len(ranked) > k {
+			ranked = ranked[:k]
+		}
+		if err := m.store.Assign(id, ranked); err != nil {
+			return nil, err
+		}
+	}
+	return reopened, nil
+}
+
+// ResolveTask records the feedback scores for a task's answers (the
+// red path of Figure 1) and, when the selector supports incremental
+// learning, updates the answerers' latent skills.
+func (m *Manager) ResolveTask(taskID int, scores map[int]float64) (TaskRecord, error) {
+	rec, err := m.store.Resolve(taskID, scores)
+	if err != nil {
+		return TaskRecord{}, err
+	}
+	if up, ok := m.sel.(SkillUpdater); ok {
+		cat := up.Project(text.NewBagKnown(m.vocab, rec.Tokens))
+		for _, a := range rec.Answers {
+			up.UpdateWorkerSkill(a.Worker, []core.TaskCategory{cat}, []float64{a.Score})
+		}
+	}
+	return rec, nil
+}

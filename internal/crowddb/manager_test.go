@@ -1,0 +1,294 @@
+package crowddb
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"crowdselect/internal/core"
+	"crowdselect/internal/corpus"
+	"crowdselect/internal/text"
+)
+
+// trainedFixture builds a small trained TDPM with its dataset.
+func trainedFixture(t *testing.T) (*corpus.Dataset, *core.Model) {
+	t.Helper()
+	p := corpus.Quora().Scaled(0.03)
+	p.Seed = 11
+	d := corpus.MustGenerate(p)
+	var tasks []core.ResolvedTask
+	for _, task := range d.Tasks {
+		rt := core.ResolvedTask{Bag: task.Bag(d.Vocab)}
+		for _, r := range task.Responses {
+			rt.Responses = append(rt.Responses, core.Scored{Worker: r.Worker, Score: r.Score})
+		}
+		tasks = append(tasks, rt)
+	}
+	cfg := core.NewConfig(5)
+	cfg.MaxIter = 5
+	m, _, err := core.Train(tasks, len(d.Workers), d.Vocab.Size(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, m
+}
+
+func managerFixture(t *testing.T) (*Manager, *corpus.Dataset) {
+	t.Helper()
+	d, m := trainedFixture(t)
+	store := NewStore()
+	store.SetClock(fixedClock())
+	for i := range d.Workers {
+		if _, err := store.AddWorker(i, fmt.Sprintf("worker-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mgr, err := NewManager(store, d.Vocab, m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mgr, d
+}
+
+func TestNewManagerValidation(t *testing.T) {
+	d, m := trainedFixture(t)
+	if _, err := NewManager(nil, d.Vocab, m, 3); err == nil {
+		t.Error("nil store accepted")
+	}
+	if _, err := NewManager(NewStore(), d.Vocab, m, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestSubmitTaskPipeline(t *testing.T) {
+	mgr, d := managerFixture(t)
+	taskText := d.Tasks[0].Tokens[0] + " " + d.Tasks[0].Tokens[1]
+	sub, err := mgr.SubmitTask(taskText, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Workers) != 3 {
+		t.Fatalf("selected %d workers", len(sub.Workers))
+	}
+	if sub.Task.Status != TaskAssigned {
+		t.Errorf("status = %v", sub.Task.Status)
+	}
+	// The dispatcher assigned exactly the selected workers.
+	stored, err := mgr.Store().GetTask(sub.Task.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stored.Assigned) != 3 {
+		t.Errorf("assigned = %v", stored.Assigned)
+	}
+
+	// Answers and feedback flow through.
+	for _, w := range sub.Workers {
+		if err := mgr.CollectAnswer(sub.Task.ID, w, "answer"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	scores := map[int]float64{sub.Workers[0]: 5, sub.Workers[1]: 2, sub.Workers[2]: 0}
+	rec, err := mgr.ResolveTask(sub.Task.ID, scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Status != TaskResolved {
+		t.Errorf("status = %v", rec.Status)
+	}
+}
+
+func TestSubmitDefaultK(t *testing.T) {
+	mgr, _ := managerFixture(t)
+	sub, err := mgr.SubmitTask("some task text", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Workers) != 3 { // manager default
+		t.Errorf("selected %d workers, want default 3", len(sub.Workers))
+	}
+}
+
+func TestSubmitRespectsPresence(t *testing.T) {
+	mgr, d := managerFixture(t)
+	// Take everyone offline except workers 0 and 1.
+	for i := range d.Workers {
+		if err := mgr.Store().SetOnline(i, i < 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sub, err := mgr.SubmitTask("anything at all", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Workers) != 2 {
+		t.Fatalf("selected %v with only 2 online", sub.Workers)
+	}
+	for _, w := range sub.Workers {
+		if w > 1 {
+			t.Errorf("offline worker %d selected", w)
+		}
+	}
+	// No online workers at all is an error.
+	mgr.Store().SetOnline(0, false)
+	mgr.Store().SetOnline(1, false)
+	if _, err := mgr.SubmitTask("x", 1); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("no-online submit: %v", err)
+	}
+}
+
+func TestResolveUpdatesSkillsIncrementally(t *testing.T) {
+	mgr, d := managerFixture(t)
+	_, model := mgr.sel.(*core.Model)
+	if !model {
+		t.Fatal("selector is not a core model")
+	}
+	m := mgr.sel.(*core.Model)
+
+	taskText := ""
+	for _, tok := range d.Tasks[1].Tokens {
+		taskText += tok + " "
+	}
+	sub, err := mgr.SubmitTask(taskText, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w0 := sub.Workers[0]
+	before := m.Skills(w0).Clone()
+	if err := mgr.CollectAnswer(sub.Task.ID, w0, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.ResolveTask(sub.Task.ID, map[int]float64{w0: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Skills(w0).Equal(before, 0) {
+		t.Error("feedback did not update the worker's skills")
+	}
+}
+
+func TestManagerWithBaselineSelector(t *testing.T) {
+	// A selector without the SkillUpdater hook must still work.
+	d, _ := trainedFixture(t)
+	store := NewStore()
+	for i := range d.Workers {
+		if _, err := store.AddWorker(i, "w"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mgr, err := NewManager(store, d.Vocab, staticSelector{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mgr.SelectorName() != "static" {
+		t.Errorf("SelectorName = %q", mgr.SelectorName())
+	}
+	sub, err := mgr.SubmitTask("whatever", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.CollectAnswer(sub.Task.ID, sub.Workers[0], "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.ResolveTask(sub.Task.ID, map[int]float64{sub.Workers[0]: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRedispatchExpired(t *testing.T) {
+	mgr, _ := managerFixture(t)
+	t0 := time.Date(2015, 3, 23, 9, 0, 0, 0, time.UTC)
+	now := t0
+	mgr.Store().SetClock(func() time.Time { return now })
+
+	sub, err := mgr.SubmitTask("a question nobody answers", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now = t0.Add(2 * time.Hour)
+	redispatched, err := mgr.RedispatchExpired(time.Hour, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(redispatched) != 1 || redispatched[0] != sub.Task.ID {
+		t.Fatalf("redispatched = %v", redispatched)
+	}
+	got, err := mgr.Store().GetTask(sub.Task.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != TaskAssigned || len(got.Assigned) != 3 {
+		t.Errorf("redispatched task = %+v", got)
+	}
+	// Nothing stale: no-op.
+	redispatched, err = mgr.RedispatchExpired(time.Hour, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(redispatched) != 0 {
+		t.Errorf("second pass redispatched %v", redispatched)
+	}
+}
+
+// TestManagerOverJournaledStore exercises the full pipeline with a
+// journal attached and verifies the journal replays to the same state.
+func TestManagerOverJournaledStore(t *testing.T) {
+	d, m := trainedFixture(t)
+	path := t.TempDir() + "/crowd.journal"
+	store, closeFn, err := OpenJournaledStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.Workers {
+		if _, err := store.AddWorker(i, fmt.Sprintf("w%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mgr, err := NewManager(store, d.Vocab, m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := mgr.SubmitTask("some task about anything", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.CollectAnswer(sub.Task.ID, sub.Workers[0], "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.ResolveTask(sub.Task.ID, map[int]float64{sub.Workers[0]: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := closeFn(); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, closeFn2, err := OpenJournaledStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeFn2()
+	if reopened.NumTasks() != 1 || reopened.NumWorkers() != len(d.Workers) {
+		t.Fatalf("reopened: %d tasks, %d workers", reopened.NumTasks(), reopened.NumWorkers())
+	}
+	task, err := reopened.GetTask(sub.Task.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task.Status != TaskResolved || task.Answers[0].Score != 3 {
+		t.Errorf("replayed task = %+v", task)
+	}
+}
+
+// staticSelector ranks candidates by id (lowest first).
+type staticSelector struct{}
+
+func (staticSelector) Name() string { return "static" }
+func (staticSelector) Rank(_ text.Bag, candidates []int) []int {
+	out := append([]int(nil), candidates...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,263 @@
+package crowddb
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Server exposes the crowd manager over HTTP:
+//
+//	POST /api/tasks                     {"text": "...", "k": 3}
+//	GET  /api/tasks/{id}
+//	POST /api/tasks/{id}/answers        {"worker": 2, "answer": "..."}
+//	POST /api/tasks/{id}/feedback       {"scores": {"2": 4}}
+//	GET  /api/workers/{id}
+//	POST /api/workers/{id}/presence     {"online": false}
+//	GET  /api/stats
+type Server struct {
+	mgr   *Manager
+	mux   *http.ServeMux
+	query QueryEngine // optional: POST /api/query
+}
+
+// QueryEngine executes crowdql statements; *crowdql.Engine satisfies
+// it. The indirection keeps crowddb free of a dependency on the query
+// package.
+type QueryEngine interface {
+	Execute(q string) (any, error)
+}
+
+// NewServer wraps a manager.
+func NewServer(mgr *Manager) *Server {
+	s := &Server{mgr: mgr, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/api/tasks", s.handleTasks)
+	s.mux.HandleFunc("/api/tasks/", s.handleTaskSubtree)
+	s.mux.HandleFunc("/api/workers/", s.handleWorkerSubtree)
+	s.mux.HandleFunc("/api/stats", s.handleStats)
+	s.mux.HandleFunc("/api/query", s.handleQuery)
+	return s
+}
+
+// SetQueryEngine enables POST /api/query {"q": "SELECT ..."}.
+func (s *Server) SetQueryEngine(e QueryEngine) { s.query = e }
+
+type queryRequest struct {
+	Q string `json:"q"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	if s.query == nil {
+		httpError(w, http.StatusNotImplemented, errors.New("query engine not configured"))
+		return
+	}
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if strings.TrimSpace(req.Q) == "" {
+		httpError(w, http.StatusBadRequest, errors.New("empty query"))
+		return
+	}
+	res, err := s.query.Execute(req.Q)
+	if err != nil {
+		httpError(w, statusOf(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+type submitRequest struct {
+	Text string `json:"text"`
+	K    int    `json:"k"`
+}
+
+type submitResponse struct {
+	TaskID  int    `json:"task_id"`
+	Workers []int  `json:"workers"`
+	Model   string `json:"model"`
+}
+
+func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	var req submitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if strings.TrimSpace(req.Text) == "" {
+		httpError(w, http.StatusBadRequest, errors.New("empty task text"))
+		return
+	}
+	sub, err := s.mgr.SubmitTask(req.Text, req.K)
+	if err != nil {
+		httpError(w, statusOf(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, submitResponse{
+		TaskID:  sub.Task.ID,
+		Workers: sub.Workers,
+		Model:   s.mgr.SelectorName(),
+	})
+}
+
+type answerRequest struct {
+	Worker int    `json:"worker"`
+	Answer string `json:"answer"`
+}
+
+type feedbackRequest struct {
+	Scores map[string]float64 `json:"scores"`
+}
+
+func (s *Server) handleTaskSubtree(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/api/tasks/")
+	parts := strings.Split(rest, "/")
+	id, err := strconv.Atoi(parts[0])
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad task id %q", parts[0]))
+		return
+	}
+	switch {
+	case len(parts) == 1 && r.Method == http.MethodGet:
+		task, err := s.mgr.Store().GetTask(id)
+		if err != nil {
+			httpError(w, statusOf(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, task)
+	case len(parts) == 2 && parts[1] == "answers" && r.Method == http.MethodPost:
+		var req answerRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := s.mgr.CollectAnswer(id, req.Worker, req.Answer); err != nil {
+			httpError(w, statusOf(err), err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	case len(parts) == 2 && parts[1] == "feedback" && r.Method == http.MethodPost:
+		var req feedbackRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		scores := make(map[int]float64, len(req.Scores))
+		for k, v := range req.Scores {
+			wid, err := strconv.Atoi(k)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("bad worker id %q", k))
+				return
+			}
+			scores[wid] = v
+		}
+		rec, err := s.mgr.ResolveTask(id, scores)
+		if err != nil {
+			httpError(w, statusOf(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, rec)
+	default:
+		httpError(w, http.StatusNotFound, fmt.Errorf("no route %s %s", r.Method, r.URL.Path))
+	}
+}
+
+type presenceRequest struct {
+	Online bool `json:"online"`
+}
+
+func (s *Server) handleWorkerSubtree(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/api/workers/")
+	parts := strings.Split(rest, "/")
+	id, err := strconv.Atoi(parts[0])
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad worker id %q", parts[0]))
+		return
+	}
+	switch {
+	case len(parts) == 1 && r.Method == http.MethodGet:
+		worker, err := s.mgr.Store().GetWorker(id)
+		if err != nil {
+			httpError(w, statusOf(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, worker)
+	case len(parts) == 2 && parts[1] == "presence" && r.Method == http.MethodPost:
+		var req presenceRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := s.mgr.Store().SetOnline(id, req.Online); err != nil {
+			httpError(w, statusOf(err), err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		httpError(w, http.StatusNotFound, fmt.Errorf("no route %s %s", r.Method, r.URL.Path))
+	}
+}
+
+type statsResponse struct {
+	Workers  int    `json:"workers"`
+	Online   int    `json:"online"`
+	Tasks    int    `json:"tasks"`
+	Open     int    `json:"open"`
+	Assigned int    `json:"assigned"`
+	Resolved int    `json:"resolved"`
+	Model    string `json:"model"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	st := s.mgr.Store()
+	writeJSON(w, http.StatusOK, statsResponse{
+		Workers:  st.NumWorkers(),
+		Online:   len(st.OnlineWorkers()),
+		Tasks:    st.NumTasks(),
+		Open:     len(st.ListTasks(TaskOpen)),
+		Assigned: len(st.ListTasks(TaskAssigned)),
+		Resolved: len(st.ListTasks(TaskResolved)),
+		Model:    s.mgr.SelectorName(),
+	})
+}
+
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrBadState), errors.Is(err, ErrNotAsked),
+		errors.Is(err, ErrDuplicate), errors.Is(err, ErrBadRequest):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

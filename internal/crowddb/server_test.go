@@ -1,0 +1,192 @@
+package crowddb
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func serverFixture(t *testing.T) (*httptest.Server, *Manager) {
+	t.Helper()
+	mgr, _ := managerFixture(t)
+	ts := httptest.NewServer(NewServer(mgr))
+	t.Cleanup(ts.Close)
+	return ts, mgr
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decode[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	ts, _ := serverFixture(t)
+
+	// Submit a task.
+	resp := postJSON(t, ts.URL+"/api/tasks", map[string]any{"text": "how do b+ trees differ from b trees", "k": 2})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	sub := decode[submitResponse](t, resp)
+	if len(sub.Workers) != 2 || sub.Model != "TDPM" {
+		t.Fatalf("submit = %+v", sub)
+	}
+
+	// Fetch it back.
+	resp, err := http.Get(fmt.Sprintf("%s/api/tasks/%d", ts.URL, sub.TaskID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := decode[TaskRecord](t, resp)
+	if task.Status != TaskAssigned {
+		t.Errorf("status = %v", task.Status)
+	}
+
+	// Both workers answer.
+	for _, w := range sub.Workers {
+		resp = postJSON(t, fmt.Sprintf("%s/api/tasks/%d/answers", ts.URL, sub.TaskID),
+			map[string]any{"worker": w, "answer": "an answer"})
+		if resp.StatusCode != http.StatusNoContent {
+			t.Fatalf("answer status = %d", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	// Feedback resolves the task.
+	scores := map[string]float64{}
+	for i, w := range sub.Workers {
+		scores[fmt.Sprint(w)] = float64(5 - i)
+	}
+	resp = postJSON(t, fmt.Sprintf("%s/api/tasks/%d/feedback", ts.URL, sub.TaskID),
+		map[string]any{"scores": scores})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("feedback status = %d", resp.StatusCode)
+	}
+	rec := decode[TaskRecord](t, resp)
+	if rec.Status != TaskResolved {
+		t.Errorf("resolved status = %v", rec.Status)
+	}
+
+	// Stats reflect the pipeline.
+	resp, err = http.Get(ts.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := decode[statsResponse](t, resp)
+	if stats.Resolved != 1 || stats.Tasks != 1 || stats.Model != "TDPM" {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestServerWorkerEndpoints(t *testing.T) {
+	ts, _ := serverFixture(t)
+	resp, err := http.Get(ts.URL + "/api/workers/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := decode[Worker](t, resp)
+	if w.ID != 0 || !w.Online {
+		t.Errorf("worker = %+v", w)
+	}
+	resp = postJSON(t, ts.URL+"/api/workers/0/presence", map[string]any{"online": false})
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("presence status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(ts.URL + "/api/workers/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := decode[Worker](t, resp); w.Online {
+		t.Error("presence update not applied")
+	}
+}
+
+func TestServerErrorPaths(t *testing.T) {
+	ts, _ := serverFixture(t)
+	cases := []struct {
+		name   string
+		do     func() *http.Response
+		status int
+	}{
+		{"empty text", func() *http.Response {
+			return postJSON(t, ts.URL+"/api/tasks", map[string]any{"text": "  "})
+		}, http.StatusBadRequest},
+		{"bad json", func() *http.Response {
+			resp, err := http.Post(ts.URL+"/api/tasks", "application/json", strings.NewReader("{"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return resp
+		}, http.StatusBadRequest},
+		{"get missing task", func() *http.Response {
+			resp, err := http.Get(ts.URL + "/api/tasks/999")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return resp
+		}, http.StatusNotFound},
+		{"bad task id", func() *http.Response {
+			resp, err := http.Get(ts.URL + "/api/tasks/abc")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return resp
+		}, http.StatusBadRequest},
+		{"answer missing task", func() *http.Response {
+			return postJSON(t, ts.URL+"/api/tasks/999/answers", map[string]any{"worker": 0, "answer": "x"})
+		}, http.StatusNotFound},
+		{"feedback bad worker id", func() *http.Response {
+			return postJSON(t, ts.URL+"/api/tasks/0/feedback", map[string]any{"scores": map[string]float64{"nope": 1}})
+		}, http.StatusBadRequest},
+		{"get missing worker", func() *http.Response {
+			resp, err := http.Get(ts.URL + "/api/workers/98765")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return resp
+		}, http.StatusNotFound},
+		{"tasks wrong method", func() *http.Response {
+			resp, err := http.Get(ts.URL + "/api/tasks")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return resp
+		}, http.StatusMethodNotAllowed},
+		{"stats wrong method", func() *http.Response {
+			return postJSON(t, ts.URL+"/api/stats", map[string]any{})
+		}, http.StatusMethodNotAllowed},
+		{"unknown subroute", func() *http.Response {
+			return postJSON(t, ts.URL+"/api/tasks/0/bogus", map[string]any{})
+		}, http.StatusNotFound},
+	}
+	for _, c := range cases {
+		resp := c.do()
+		if resp.StatusCode != c.status {
+			t.Errorf("%s: status = %d, want %d", c.name, resp.StatusCode, c.status)
+		}
+		resp.Body.Close()
+	}
+}

@@ -1,0 +1,500 @@
+// Package crowddb implements the crowdsourcing-database substrate of
+// §2 of the paper (Figure 1): the crowd database storing workers,
+// tasks and answers (supporting crowd insertion, update and
+// retrieval), the crowd manager that projects incoming tasks and
+// selects the right workers, the task dispatcher, and the answer
+// collector. An HTTP server exposes the pipeline.
+package crowddb
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// TaskStatus tracks a task through the Figure 1 pipeline.
+type TaskStatus int
+
+const (
+	// TaskOpen means the task is stored but not yet dispatched.
+	TaskOpen TaskStatus = iota
+	// TaskAssigned means workers were selected and the dispatcher
+	// distributed the task.
+	TaskAssigned
+	// TaskResolved means feedback was recorded and skills updated.
+	TaskResolved
+)
+
+// String renders the status.
+func (s TaskStatus) String() string {
+	switch s {
+	case TaskOpen:
+		return "open"
+	case TaskAssigned:
+		return "assigned"
+	case TaskResolved:
+		return "resolved"
+	default:
+		return fmt.Sprintf("TaskStatus(%d)", int(s))
+	}
+}
+
+// Worker is a crowd worker row.
+type Worker struct {
+	ID       int       `json:"id"`
+	Name     string    `json:"name"`
+	Online   bool      `json:"online"`
+	Resolved int       `json:"resolved"`
+	Joined   time.Time `json:"joined"`
+}
+
+// Answer is one collected answer.
+type Answer struct {
+	Worker int       `json:"worker"`
+	Text   string    `json:"text"`
+	Score  float64   `json:"score"`
+	At     time.Time `json:"at"`
+}
+
+// TaskRecord is a task row with its assignment and answers.
+type TaskRecord struct {
+	ID       int        `json:"id"`
+	Text     string     `json:"text"`
+	Tokens   []string   `json:"tokens"`
+	Status   TaskStatus `json:"status"`
+	Assigned []int      `json:"assigned,omitempty"`
+	Answers  []Answer   `json:"answers,omitempty"`
+	Created  time.Time  `json:"created"`
+	// AssignedAt stamps the latest dispatch (zero while open).
+	AssignedAt time.Time `json:"assigned_at,omitempty"`
+}
+
+// Errors returned by the store.
+var (
+	ErrNotFound   = errors.New("crowddb: not found")
+	ErrBadState   = errors.New("crowddb: invalid task state for operation")
+	ErrNotAsked   = errors.New("crowddb: worker was not assigned this task")
+	ErrDuplicate  = errors.New("crowddb: duplicate answer")
+	ErrBadRequest = errors.New("crowddb: invalid request")
+)
+
+// Store is the crowd database. It is safe for concurrent use. The zero
+// value is not usable; call NewStore.
+type Store struct {
+	mu      sync.RWMutex
+	workers map[int]*Worker
+	tasks   map[int]*TaskRecord
+	nextTID int
+	clock   func() time.Time
+	journal *json.Encoder // nil unless AttachJournal was called
+}
+
+// NewStore returns an empty crowd database.
+func NewStore() *Store {
+	return &Store{
+		workers: make(map[int]*Worker),
+		tasks:   make(map[int]*TaskRecord),
+		clock:   time.Now,
+	}
+}
+
+// SetClock replaces the time source (tests).
+func (s *Store) SetClock(clock func() time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.clock = clock
+}
+
+// AddWorker inserts a worker with the given id (the id must match the
+// selection model's worker index) and returns it. Re-adding an id is
+// an error. With a journal attached, the insertion is applied even if
+// journaling fails; the returned error then reports the journal
+// failure.
+func (s *Store) AddWorker(id int, name string) (Worker, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.workers[id]; ok {
+		return Worker{}, fmt.Errorf("%w: worker %d exists", ErrBadRequest, id)
+	}
+	w := &Worker{ID: id, Name: name, Online: true, Joined: s.clock()}
+	s.workers[id] = w
+	return *w, s.logEvent(event{Kind: evAddWorker, Worker: id, Name: name})
+}
+
+// GetWorker retrieves a worker by id.
+func (s *Store) GetWorker(id int) (Worker, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	w, ok := s.workers[id]
+	if !ok {
+		return Worker{}, fmt.Errorf("%w: worker %d", ErrNotFound, id)
+	}
+	return *w, nil
+}
+
+// SetOnline flips a worker's presence flag (the "workers online"
+// filter of §2).
+func (s *Store) SetOnline(id int, online bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w, ok := s.workers[id]
+	if !ok {
+		return fmt.Errorf("%w: worker %d", ErrNotFound, id)
+	}
+	w.Online = online
+	return s.logEvent(event{Kind: evPresence, Worker: id, Online: &online})
+}
+
+// OnlineWorkers returns the ids of all online workers, sorted.
+func (s *Store) OnlineWorkers() []int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []int
+	for id, w := range s.workers {
+		if w.Online {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NumWorkers returns the worker count.
+func (s *Store) NumWorkers() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.workers)
+}
+
+// Workers returns a copy of every worker row, sorted by id (crowd
+// retrieval, §2).
+func (s *Store) Workers() []Worker {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Worker, 0, len(s.workers))
+	for _, w := range s.workers {
+		out = append(out, *w)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// AddTask inserts a new open task and returns it. Journal failures are
+// reported after the insertion is applied.
+func (s *Store) AddTask(text string, tokens []string) (TaskRecord, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := &TaskRecord{
+		ID:      s.nextTID,
+		Text:    text,
+		Tokens:  append([]string(nil), tokens...),
+		Status:  TaskOpen,
+		Created: s.clock(),
+	}
+	s.nextTID++
+	s.tasks[t.ID] = t
+	return *t, s.logEvent(event{Kind: evAddTask, Task: t.ID, Text: text, Tokens: t.Tokens})
+}
+
+// GetTask retrieves a task by id.
+func (s *Store) GetTask(id int) (TaskRecord, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tasks[id]
+	if !ok {
+		return TaskRecord{}, fmt.Errorf("%w: task %d", ErrNotFound, id)
+	}
+	return cloneTask(t), nil
+}
+
+// ListTasks returns all tasks with the given status, sorted by id.
+func (s *Store) ListTasks(status TaskStatus) []TaskRecord {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []TaskRecord
+	for _, t := range s.tasks {
+		if t.Status == status {
+			out = append(out, cloneTask(t))
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// NumTasks returns the task count.
+func (s *Store) NumTasks() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.tasks)
+}
+
+// Assign records the dispatcher's selection for an open task and moves
+// it to TaskAssigned. Every assigned worker must exist.
+func (s *Store) Assign(taskID int, workers []int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tasks[taskID]
+	if !ok {
+		return fmt.Errorf("%w: task %d", ErrNotFound, taskID)
+	}
+	if t.Status != TaskOpen {
+		return fmt.Errorf("%w: task %d is %v", ErrBadState, taskID, t.Status)
+	}
+	for _, w := range workers {
+		if _, ok := s.workers[w]; !ok {
+			return fmt.Errorf("%w: worker %d", ErrNotFound, w)
+		}
+	}
+	t.Assigned = append([]int(nil), workers...)
+	t.Status = TaskAssigned
+	t.AssignedAt = s.clock()
+	return s.logEvent(event{Kind: evAssign, Task: taskID, Workers: t.Assigned})
+}
+
+// RecordAnswer stores an answer from an assigned worker.
+func (s *Store) RecordAnswer(taskID, workerID int, answerText string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tasks[taskID]
+	if !ok {
+		return fmt.Errorf("%w: task %d", ErrNotFound, taskID)
+	}
+	if t.Status != TaskAssigned {
+		return fmt.Errorf("%w: task %d is %v", ErrBadState, taskID, t.Status)
+	}
+	assigned := false
+	for _, w := range t.Assigned {
+		if w == workerID {
+			assigned = true
+			break
+		}
+	}
+	if !assigned {
+		return fmt.Errorf("%w: worker %d on task %d", ErrNotAsked, workerID, taskID)
+	}
+	for _, a := range t.Answers {
+		if a.Worker == workerID {
+			return fmt.Errorf("%w: worker %d on task %d", ErrDuplicate, workerID, taskID)
+		}
+	}
+	t.Answers = append(t.Answers, Answer{Worker: workerID, Text: answerText, At: s.clock()})
+	return s.logEvent(event{Kind: evAnswer, Task: taskID, Worker: workerID, Answer: answerText})
+}
+
+// ExpireAssignments reopens assigned tasks whose dispatch is older
+// than maxAge and that have received no answers — the dispatcher's
+// timeout path for workers who never respond. It returns the reopened
+// task ids, sorted. Tasks with partial answers are left assigned (the
+// collected answers must not be dropped).
+func (s *Store) ExpireAssignments(maxAge time.Duration) ([]int, error) {
+	if maxAge <= 0 {
+		return nil, fmt.Errorf("%w: maxAge %v", ErrBadRequest, maxAge)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cutoff := s.clock().Add(-maxAge)
+	var reopened []int
+	for _, t := range s.tasks {
+		if t.Status != TaskAssigned || len(t.Answers) > 0 {
+			continue
+		}
+		if t.AssignedAt.After(cutoff) {
+			continue
+		}
+		t.Status = TaskOpen
+		t.Assigned = nil
+		t.AssignedAt = time.Time{}
+		reopened = append(reopened, t.ID)
+	}
+	sort.Ints(reopened)
+	for _, id := range reopened {
+		if err := s.logEvent(event{Kind: evReopen, Task: id}); err != nil {
+			return reopened, err
+		}
+	}
+	return reopened, nil
+}
+
+// reopenTask is the journal-replay form of one expiry.
+func (s *Store) reopenTask(id int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tasks[id]
+	if !ok {
+		return fmt.Errorf("%w: task %d", ErrNotFound, id)
+	}
+	if t.Status != TaskAssigned || len(t.Answers) > 0 {
+		return fmt.Errorf("%w: task %d is %v with %d answers", ErrBadState, id, t.Status, len(t.Answers))
+	}
+	t.Status = TaskOpen
+	t.Assigned = nil
+	t.AssignedAt = time.Time{}
+	return s.logEvent(event{Kind: evReopen, Task: id})
+}
+
+// Resolve records feedback scores for the answers of an assigned task,
+// moves it to TaskResolved, bumps the answerers' resolved counters and
+// returns the final record. Scores for workers who did not answer are
+// rejected.
+func (s *Store) Resolve(taskID int, scores map[int]float64) (TaskRecord, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tasks[taskID]
+	if !ok {
+		return TaskRecord{}, fmt.Errorf("%w: task %d", ErrNotFound, taskID)
+	}
+	if t.Status != TaskAssigned {
+		return TaskRecord{}, fmt.Errorf("%w: task %d is %v", ErrBadState, taskID, t.Status)
+	}
+	answered := make(map[int]int, len(t.Answers))
+	for i, a := range t.Answers {
+		answered[a.Worker] = i
+	}
+	for w := range scores {
+		if _, ok := answered[w]; !ok {
+			return TaskRecord{}, fmt.Errorf("%w: score for worker %d who did not answer task %d", ErrBadRequest, w, taskID)
+		}
+	}
+	for w, sc := range scores {
+		t.Answers[answered[w]].Score = sc
+	}
+	for _, a := range t.Answers {
+		s.workers[a.Worker].Resolved++
+	}
+	t.Status = TaskResolved
+	logScores := make(map[string]float64, len(scores))
+	for w, sc := range scores {
+		logScores[fmt.Sprint(w)] = sc
+	}
+	return cloneTask(t), s.logEvent(event{Kind: evResolve, Task: taskID, Scores: logScores})
+}
+
+func cloneTask(t *TaskRecord) TaskRecord {
+	c := *t
+	c.Tokens = append([]string(nil), t.Tokens...)
+	c.Assigned = append([]int(nil), t.Assigned...)
+	c.Answers = append([]Answer(nil), t.Answers...)
+	return c
+}
+
+// snapshot is the persisted form of the store.
+type snapshot struct {
+	Workers []Worker     `json:"workers"`
+	Tasks   []TaskRecord `json:"tasks"`
+	NextTID int          `json:"next_tid"`
+}
+
+// Snapshot writes a consistent JSON snapshot of the database to w.
+func (s *Store) Snapshot(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	snap := snapshot{NextTID: s.nextTID}
+	for _, wk := range s.workers {
+		snap.Workers = append(snap.Workers, *wk)
+	}
+	sort.Slice(snap.Workers, func(a, b int) bool { return snap.Workers[a].ID < snap.Workers[b].ID })
+	for _, t := range s.tasks {
+		snap.Tasks = append(snap.Tasks, cloneTask(t))
+	}
+	sort.Slice(snap.Tasks, func(a, b int) bool { return snap.Tasks[a].ID < snap.Tasks[b].ID })
+	if err := json.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("crowddb: snapshot: %w", err)
+	}
+	return nil
+}
+
+// SnapshotFile writes a snapshot atomically to path (write to a temp
+// file in the same directory, then rename).
+func (s *Store) SnapshotFile(path string) error {
+	tmp, err := os.CreateTemp(dirOf(path), ".crowddb-*")
+	if err != nil {
+		return fmt.Errorf("crowddb: snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	bw := bufio.NewWriter(tmp)
+	if err := s.Snapshot(bw); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("crowddb: snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("crowddb: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("crowddb: snapshot: %w", err)
+	}
+	return nil
+}
+
+// RestoreSnapshot replaces the store contents with a snapshot read
+// from r. The snapshot is validated before any state is replaced, so a
+// corrupted snapshot leaves the store untouched.
+func (s *Store) RestoreSnapshot(r io.Reader) error {
+	var snap snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("crowddb: restore: %w", err)
+	}
+	workers := make(map[int]*Worker, len(snap.Workers))
+	for _, w := range snap.Workers {
+		w := w
+		if _, dup := workers[w.ID]; dup {
+			return fmt.Errorf("crowddb: restore: duplicate worker %d", w.ID)
+		}
+		workers[w.ID] = &w
+	}
+	tasks := make(map[int]*TaskRecord, len(snap.Tasks))
+	for _, t := range snap.Tasks {
+		t := t
+		if _, dup := tasks[t.ID]; dup {
+			return fmt.Errorf("crowddb: restore: duplicate task %d", t.ID)
+		}
+		if t.ID >= snap.NextTID {
+			return fmt.Errorf("crowddb: restore: task %d beyond next id %d", t.ID, snap.NextTID)
+		}
+		for _, w := range t.Assigned {
+			if _, ok := workers[w]; !ok {
+				return fmt.Errorf("crowddb: restore: task %d assigned to missing worker %d", t.ID, w)
+			}
+		}
+		for _, a := range t.Answers {
+			if _, ok := workers[a.Worker]; !ok {
+				return fmt.Errorf("crowddb: restore: task %d answered by missing worker %d", t.ID, a.Worker)
+			}
+		}
+		tasks[t.ID] = &t
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.workers = workers
+	s.tasks = tasks
+	s.nextTID = snap.NextTID
+	return nil
+}
+
+// RestoreSnapshotFile reads a snapshot from path.
+func (s *Store) RestoreSnapshotFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("crowddb: restore: %w", err)
+	}
+	defer f.Close()
+	return s.RestoreSnapshot(bufio.NewReader(f))
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return "."
+}

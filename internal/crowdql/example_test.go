@@ -1,0 +1,27 @@
+package crowdql_test
+
+import (
+	"fmt"
+
+	"crowdselect/internal/crowdql"
+)
+
+func ExampleParse() {
+	q, err := crowdql.Parse("SELECT CROWD FOR TASK 'b+ tree indexes' LIMIT 3")
+	if err != nil {
+		panic(err)
+	}
+	sc := q.(crowdql.SelectCrowd)
+	fmt.Println(sc.TaskText, sc.K)
+	// Output: b+ tree indexes 3
+}
+
+func ExampleParse_workers() {
+	q, err := crowdql.Parse("SELECT WORKERS WHERE resolved >= 5 ORDER BY resolved DESC LIMIT 2")
+	if err != nil {
+		panic(err)
+	}
+	sw := q.(crowdql.SelectWorkers)
+	fmt.Println(sw.Where[0].Field, sw.Where[0].Op, sw.Where[0].Int, sw.OrderBy, sw.Desc, sw.Limit)
+	// Output: resolved >= 5 resolved true 2
+}

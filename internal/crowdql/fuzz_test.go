@@ -1,0 +1,34 @@
+package crowdql
+
+import "testing"
+
+// FuzzParse checks that the parser never panics and that every
+// accepted statement is one of the known query types.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT CROWD FOR TASK 'b+ trees' LIMIT 3",
+		"SELECT WORKERS WHERE resolved >= 5 AND online = true ORDER BY resolved DESC LIMIT 10",
+		"SELECT TASKS WHERE status = 'resolved' LIMIT 5",
+		"INSERT WORKER 7 NAME 'alice'",
+		"UPDATE WORKER 7 SET online = false",
+		"select crowd for task ''",
+		"SELECT WORKERS",
+		"'",
+		"= = =",
+		"SELECT CROWD FOR TASK 'x' LIMIT 999999999999999999999",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		q, err := Parse(s)
+		if err != nil {
+			return
+		}
+		switch q.(type) {
+		case SelectCrowd, SelectWorkers, SelectTasks, InsertWorker, UpdateWorker:
+		default:
+			t.Fatalf("accepted statement parsed to unknown type %T", q)
+		}
+	})
+}

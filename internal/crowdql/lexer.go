@@ -1,0 +1,109 @@
+// Package crowdql implements a small declarative query language over
+// the crowdsourcing database — the "crowd-selection query processing"
+// of the paper's title, in the spirit of CrowdDB's and Qurk's
+// SQL-style crowd operators. The headline statement asks the crowd
+// manager for the right workers for a task:
+//
+//	SELECT CROWD FOR TASK 'What are the advantages of B+ Tree over B Tree?' LIMIT 3
+//
+// alongside the plain crowd-database operations of §2:
+//
+//	SELECT WORKERS WHERE resolved >= 5 AND online = true ORDER BY resolved DESC LIMIT 10
+//	SELECT TASKS WHERE status = 'resolved' LIMIT 5
+//	INSERT WORKER 7 NAME 'alice'
+//	UPDATE WORKER 7 SET online = false
+//
+// Keywords are case-insensitive; strings use single quotes with ”
+// escaping.
+package crowdql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokOp // = != >= <= > <
+)
+
+// token is one lexeme with its source position (for error messages).
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lex splits the input into tokens.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // '' escape
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("crowdql: unterminated string at position %d", start)
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), pos: start})
+		case unicode.IsDigit(c) || (c == '-' && i+1 < n && unicode.IsDigit(rune(input[i+1]))):
+			start := i
+			i++
+			for i < n && (unicode.IsDigit(rune(input[i])) || input[i] == '.') {
+				i++
+			}
+			toks = append(toks, token{kind: tokNumber, text: input[start:i], pos: start})
+		case unicode.IsLetter(c) || c == '_':
+			start := i
+			for i < n && (unicode.IsLetter(rune(input[i])) || unicode.IsDigit(rune(input[i])) || input[i] == '_') {
+				i++
+			}
+			toks = append(toks, token{kind: tokIdent, text: input[start:i], pos: start})
+		case strings.ContainsRune("=<>!", c):
+			start := i
+			i++
+			if i < n && input[i] == '=' {
+				i++
+			}
+			op := input[start:i]
+			switch op {
+			case "=", "!=", ">=", "<=", ">", "<":
+				toks = append(toks, token{kind: tokOp, text: op, pos: start})
+			default:
+				return nil, fmt.Errorf("crowdql: bad operator %q at position %d", op, start)
+			}
+		default:
+			return nil, fmt.Errorf("crowdql: unexpected character %q at position %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: n})
+	return toks, nil
+}

@@ -1,0 +1,385 @@
+package crowdql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Query is a parsed statement.
+type Query interface{ isQuery() }
+
+// SelectCrowd is the crowd-selection query: ask the crowd manager for
+// the top-k workers for a task.
+type SelectCrowd struct {
+	TaskText string
+	K        int // 0 = manager default
+}
+
+// Cond is one WHERE predicate over worker fields.
+type Cond struct {
+	Field string // "id", "name", "online", "resolved"
+	Op    string // = != >= <= > <
+	// Exactly one of the value fields is set, per the field's type.
+	Int  int64
+	Str  string
+	Bool bool
+	Kind ValueKind
+}
+
+// ValueKind tags the literal type of a condition value.
+type ValueKind int
+
+// Condition value kinds.
+const (
+	IntValue ValueKind = iota
+	StrValue
+	BoolValue
+)
+
+// SelectWorkers lists workers with optional filtering and ordering.
+type SelectWorkers struct {
+	Where   []Cond
+	OrderBy string // "", "id", "name", "resolved"
+	Desc    bool
+	Limit   int // 0 = unlimited
+}
+
+// SelectTasks lists tasks, optionally by status.
+type SelectTasks struct {
+	Status string // "", "open", "assigned", "resolved"
+	Limit  int
+}
+
+// InsertWorker adds a worker row (crowd insertion).
+type InsertWorker struct {
+	ID   int
+	Name string
+}
+
+// UpdateWorker flips a worker's presence (crowd update).
+type UpdateWorker struct {
+	ID     int
+	Online bool
+}
+
+func (SelectCrowd) isQuery()   {}
+func (SelectWorkers) isQuery() {}
+func (SelectTasks) isQuery()   {}
+func (InsertWorker) isQuery()  {}
+func (UpdateWorker) isQuery()  {}
+
+// Parse parses one statement.
+func Parse(input string) (Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("crowdql: trailing input at position %d: %q", p.peek().pos, p.peek().text)
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if p.i < len(p.toks)-1 {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+
+// acceptKeyword consumes the next token if it is the given keyword
+// (case-insensitive).
+func (p *parser) acceptKeyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return fmt.Errorf("crowdql: expected %s at position %d, got %q", kw, p.peek().pos, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) expectString() (string, error) {
+	t := p.peek()
+	if t.kind != tokString {
+		return "", fmt.Errorf("crowdql: expected string at position %d, got %q", t.pos, t.text)
+	}
+	p.next()
+	return t.text, nil
+}
+
+func (p *parser) expectInt() (int, error) {
+	t := p.peek()
+	if t.kind != tokNumber {
+		return 0, fmt.Errorf("crowdql: expected number at position %d, got %q", t.pos, t.text)
+	}
+	v, err := strconv.Atoi(t.text)
+	if err != nil {
+		return 0, fmt.Errorf("crowdql: bad integer %q at position %d", t.text, t.pos)
+	}
+	p.next()
+	return v, nil
+}
+
+func (p *parser) parseQuery() (Query, error) {
+	switch {
+	case p.acceptKeyword("SELECT"):
+		return p.parseSelect()
+	case p.acceptKeyword("INSERT"):
+		return p.parseInsert()
+	case p.acceptKeyword("UPDATE"):
+		return p.parseUpdate()
+	default:
+		return nil, fmt.Errorf("crowdql: expected SELECT, INSERT or UPDATE, got %q", p.peek().text)
+	}
+}
+
+func (p *parser) parseSelect() (Query, error) {
+	switch {
+	case p.acceptKeyword("CROWD"):
+		if err := p.expectKeyword("FOR"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("TASK"); err != nil {
+			return nil, err
+		}
+		text, err := p.expectString()
+		if err != nil {
+			return nil, err
+		}
+		q := SelectCrowd{TaskText: text}
+		if p.acceptKeyword("LIMIT") {
+			if q.K, err = p.expectInt(); err != nil {
+				return nil, err
+			}
+			if q.K < 1 {
+				return nil, fmt.Errorf("crowdql: LIMIT must be positive, got %d", q.K)
+			}
+		}
+		return q, nil
+	case p.acceptKeyword("WORKERS"):
+		return p.parseSelectWorkers()
+	case p.acceptKeyword("TASKS"):
+		return p.parseSelectTasks()
+	default:
+		return nil, fmt.Errorf("crowdql: expected CROWD, WORKERS or TASKS after SELECT, got %q", p.peek().text)
+	}
+}
+
+func (p *parser) parseSelectWorkers() (Query, error) {
+	q := SelectWorkers{}
+	if p.acceptKeyword("WHERE") {
+		for {
+			c, err := p.parseCond()
+			if err != nil {
+				return nil, err
+			}
+			q.Where = append(q.Where, c)
+			if !p.acceptKeyword("AND") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		t := p.peek()
+		if t.kind != tokIdent {
+			return nil, fmt.Errorf("crowdql: expected field after ORDER BY, got %q", t.text)
+		}
+		field := strings.ToLower(t.text)
+		switch field {
+		case "id", "name", "resolved":
+			q.OrderBy = field
+			p.next()
+		default:
+			return nil, fmt.Errorf("crowdql: cannot order workers by %q", t.text)
+		}
+		if p.acceptKeyword("DESC") {
+			q.Desc = true
+		} else {
+			p.acceptKeyword("ASC")
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		n, err := p.expectInt()
+		if err != nil {
+			return nil, err
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("crowdql: LIMIT must be positive, got %d", n)
+		}
+		q.Limit = n
+	}
+	return q, nil
+}
+
+func (p *parser) parseSelectTasks() (Query, error) {
+	q := SelectTasks{}
+	if p.acceptKeyword("WHERE") {
+		if err := p.expectKeyword("STATUS"); err != nil {
+			return nil, err
+		}
+		t := p.peek()
+		if t.kind != tokOp || t.text != "=" {
+			return nil, fmt.Errorf("crowdql: expected = after status, got %q", t.text)
+		}
+		p.next()
+		status, err := p.expectString()
+		if err != nil {
+			return nil, err
+		}
+		status = strings.ToLower(status)
+		switch status {
+		case "open", "assigned", "resolved":
+			q.Status = status
+		default:
+			return nil, fmt.Errorf("crowdql: unknown task status %q", status)
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		n, err := p.expectInt()
+		if err != nil {
+			return nil, err
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("crowdql: LIMIT must be positive, got %d", n)
+		}
+		q.Limit = n
+	}
+	return q, nil
+}
+
+func (p *parser) parseCond() (Cond, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return Cond{}, fmt.Errorf("crowdql: expected field name at position %d, got %q", t.pos, t.text)
+	}
+	field := strings.ToLower(t.text)
+	switch field {
+	case "id", "name", "online", "resolved":
+	default:
+		return Cond{}, fmt.Errorf("crowdql: unknown worker field %q", t.text)
+	}
+	p.next()
+	op := p.peek()
+	if op.kind != tokOp {
+		return Cond{}, fmt.Errorf("crowdql: expected operator at position %d, got %q", op.pos, op.text)
+	}
+	p.next()
+	c := Cond{Field: field, Op: op.text}
+	v := p.peek()
+	switch {
+	case v.kind == tokNumber:
+		n, err := strconv.ParseInt(v.text, 10, 64)
+		if err != nil {
+			return Cond{}, fmt.Errorf("crowdql: bad number %q", v.text)
+		}
+		c.Int, c.Kind = n, IntValue
+		p.next()
+	case v.kind == tokString:
+		c.Str, c.Kind = v.text, StrValue
+		p.next()
+	case v.kind == tokIdent && (strings.EqualFold(v.text, "true") || strings.EqualFold(v.text, "false")):
+		c.Bool, c.Kind = strings.EqualFold(v.text, "true"), BoolValue
+		p.next()
+	default:
+		return Cond{}, fmt.Errorf("crowdql: expected value at position %d, got %q", v.pos, v.text)
+	}
+	return c, validateCond(c)
+}
+
+// validateCond checks the (field, op, value-type) combination.
+func validateCond(c Cond) error {
+	switch c.Field {
+	case "id", "resolved":
+		if c.Kind != IntValue {
+			return fmt.Errorf("crowdql: field %s needs a numeric value", c.Field)
+		}
+	case "name":
+		if c.Kind != StrValue {
+			return fmt.Errorf("crowdql: field name needs a string value")
+		}
+		if c.Op != "=" && c.Op != "!=" {
+			return fmt.Errorf("crowdql: field name supports only = and !=")
+		}
+	case "online":
+		if c.Kind != BoolValue {
+			return fmt.Errorf("crowdql: field online needs true or false")
+		}
+		if c.Op != "=" && c.Op != "!=" {
+			return fmt.Errorf("crowdql: field online supports only = and !=")
+		}
+	}
+	return nil
+}
+
+func (p *parser) parseInsert() (Query, error) {
+	if err := p.expectKeyword("WORKER"); err != nil {
+		return nil, err
+	}
+	id, err := p.expectInt()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("NAME"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectString()
+	if err != nil {
+		return nil, err
+	}
+	return InsertWorker{ID: id, Name: name}, nil
+}
+
+func (p *parser) parseUpdate() (Query, error) {
+	if err := p.expectKeyword("WORKER"); err != nil {
+		return nil, err
+	}
+	id, err := p.expectInt()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("ONLINE"); err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind != tokOp || t.text != "=" {
+		return nil, fmt.Errorf("crowdql: expected = after online, got %q", t.text)
+	}
+	p.next()
+	switch {
+	case p.acceptKeyword("TRUE"):
+		return UpdateWorker{ID: id, Online: true}, nil
+	case p.acceptKeyword("FALSE"):
+		return UpdateWorker{ID: id, Online: false}, nil
+	default:
+		return nil, fmt.Errorf("crowdql: expected true or false, got %q", p.peek().text)
+	}
+}

@@ -1,0 +1,90 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// BarChart renders labeled values as a horizontal ASCII bar chart —
+// the textual form of the paper's figures. Log10 scaling suits the
+// running-time figures (the paper plots them on a log axis).
+type BarChart struct {
+	// Title is printed above the bars.
+	Title string
+	// Width is the maximum bar width in cells (default 40).
+	Width int
+	// Log plots log10 of the values (all values must be positive).
+	Log bool
+	// Format renders the numeric annotation (default "%.3g").
+	Format string
+}
+
+// Render writes one bar per (label, value) pair. Values map to bar
+// lengths relative to the maximum; non-positive values render as
+// empty bars.
+func (c BarChart) Render(w io.Writer, labels []string, values []float64) error {
+	if len(labels) != len(values) {
+		return fmt.Errorf("eval: bar chart with %d labels, %d values", len(labels), len(values))
+	}
+	width := c.Width
+	if width <= 0 {
+		width = 40
+	}
+	format := c.Format
+	if format == "" {
+		format = "%.3g"
+	}
+	if c.Title != "" {
+		fmt.Fprintln(w, c.Title)
+	}
+	scaled := make([]float64, len(values))
+	maxVal := math.Inf(-1)
+	minVal := math.Inf(1)
+	for i, v := range values {
+		s := v
+		if c.Log {
+			if v <= 0 {
+				return fmt.Errorf("eval: log bar chart with non-positive value %g", v)
+			}
+			s = math.Log10(v)
+		}
+		scaled[i] = s
+		if s > maxVal {
+			maxVal = s
+		}
+		if s < minVal {
+			minVal = s
+		}
+	}
+	labelWidth := 0
+	for _, l := range labels {
+		if len(l) > labelWidth {
+			labelWidth = len(l)
+		}
+	}
+	span := maxVal
+	base := 0.0
+	if c.Log {
+		// Anchor log bars one decade below the minimum so the
+		// smallest value still shows a visible bar.
+		base = minVal - 1
+		span = maxVal - base
+	}
+	for i, l := range labels {
+		n := 0
+		if span > 0 && scaled[i] > base {
+			n = int(math.Round(float64(width) * (scaled[i] - base) / span))
+		}
+		if n < 0 {
+			n = 0
+		}
+		if n > width {
+			n = width
+		}
+		fmt.Fprintf(w, "  %-*s %s%s "+format+"\n",
+			labelWidth, l, strings.Repeat("█", n), strings.Repeat("·", width-n), values[i])
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package eval
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBarChartRendersProportional(t *testing.T) {
+	var buf bytes.Buffer
+	err := BarChart{Title: "demo", Width: 10}.Render(&buf,
+		[]string{"a", "bb"}, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "demo") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	barA := strings.Count(lines[1], "█")
+	barB := strings.Count(lines[2], "█")
+	if barB != 10 || barA != 5 {
+		t.Errorf("bars = %d, %d; want 5, 10\n%s", barA, barB, out)
+	}
+	// Labels aligned.
+	if !strings.Contains(lines[1], "a ") || !strings.Contains(lines[2], "bb") {
+		t.Errorf("labels wrong:\n%s", out)
+	}
+}
+
+func TestBarChartLogScale(t *testing.T) {
+	var buf bytes.Buffer
+	err := BarChart{Width: 30, Log: true}.Render(&buf,
+		[]string{"fast", "slow"}, []float64{10, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	fast := strings.Count(lines[0], "█")
+	slow := strings.Count(lines[1], "█")
+	// Two decades apart: fast anchored one decade above base → 1/3 of
+	// the slow bar.
+	if slow != 30 || fast != 10 {
+		t.Errorf("log bars = %d, %d; want 10, 30", fast, slow)
+	}
+}
+
+func TestBarChartErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (BarChart{}).Render(&buf, []string{"a"}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := (BarChart{Log: true}).Render(&buf, []string{"a"}, []float64{0}); err == nil {
+		t.Error("log of non-positive accepted")
+	}
+}
+
+func TestBarChartZeroAndEqualValues(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (BarChart{Width: 8}).Render(&buf, []string{"x", "y"}, []float64{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "█") {
+		t.Errorf("zero values drew bars:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := (BarChart{Width: 8}).Render(&buf, []string{"x", "y"}, []float64{3, 3}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if strings.Count(lines[0], "█") != 8 || strings.Count(lines[1], "█") != 8 {
+		t.Errorf("equal values not full bars:\n%s", buf.String())
+	}
+}

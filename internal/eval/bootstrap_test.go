@@ -1,0 +1,140 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"crowdselect/internal/randx"
+)
+
+func TestBootstrapCIValidation(t *testing.T) {
+	if _, _, err := BootstrapCI(nil, 100, 0.05, 1); err == nil {
+		t.Error("empty values accepted")
+	}
+	if _, _, err := BootstrapCI([]float64{1}, 0, 0.05, 1); err == nil {
+		t.Error("zero iters accepted")
+	}
+	if _, _, err := BootstrapCI([]float64{1}, 100, 1.5, 1); err == nil {
+		t.Error("alpha out of range accepted")
+	}
+}
+
+func TestBootstrapCICoversTrueMean(t *testing.T) {
+	// Samples from N(2, 1): the 95% CI of the mean should cover 2 most
+	// of the time and straddle the sample mean always.
+	rng := randx.New(7)
+	covered := 0
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		values := make([]float64, 200)
+		for i := range values {
+			values[i] = rng.Normal(2, 1)
+		}
+		lo, hi, err := BootstrapCI(values, 500, 0.05, int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lo > hi {
+			t.Fatalf("lo %v > hi %v", lo, hi)
+		}
+		m := Mean(values)
+		if m < lo-1e-9 || m > hi+1e-9 {
+			t.Fatalf("sample mean %v outside CI [%v, %v]", m, lo, hi)
+		}
+		if lo <= 2 && 2 <= hi {
+			covered++
+		}
+	}
+	if covered < trials*8/10 {
+		t.Errorf("true mean covered in only %d/%d trials", covered, trials)
+	}
+}
+
+func TestBootstrapCIWidthShrinksWithN(t *testing.T) {
+	rng := randx.New(8)
+	width := func(n int) float64 {
+		values := make([]float64, n)
+		for i := range values {
+			values[i] = rng.Normal(0, 1)
+		}
+		lo, hi, err := BootstrapCI(values, 400, 0.05, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hi - lo
+	}
+	if w1, w2 := width(50), width(5000); w2 >= w1 {
+		t.Errorf("CI width did not shrink: n=50 → %v, n=5000 → %v", w1, w2)
+	}
+}
+
+func TestBootstrapCIDegenerate(t *testing.T) {
+	lo, hi, err := BootstrapCI([]float64{3, 3, 3}, 100, 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 3 || hi != 3 {
+		t.Errorf("constant values CI = [%v, %v]", lo, hi)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestRecallCurve(t *testing.T) {
+	d := evalDataset(t)
+	g := ExtractGroup(d, 1)
+	tasks := TestTasks(d, g, 80, 1)
+	curve := RecallCurve(d, oracleSelector{d: d}, g, tasks, 4)
+	if len(curve) != 4 {
+		t.Fatalf("curve length %d", len(curve))
+	}
+	// Monotone non-decreasing, bounded, and the oracle's Top1 is 1.
+	if curve[0] != 1 {
+		t.Errorf("oracle Top1 = %v", curve[0])
+	}
+	for k := 1; k < len(curve); k++ {
+		if curve[k] < curve[k-1] || curve[k] > 1 {
+			t.Fatalf("curve not monotone in [0,1]: %v", curve)
+		}
+	}
+	// Consistency with Evaluate's Top1/Top2.
+	res := Evaluate(d, oracleSelector{d: d}, g, tasks, 0)
+	worst := RecallCurve(d, oracleSelector{d: d, invert: true}, g, tasks, 2)
+	worstRes := Evaluate(d, oracleSelector{d: d, invert: true}, g, tasks, 0)
+	if math.Abs(curve[0]-res.Top1) > 1e-12 || math.Abs(curve[1]-res.Top2) > 1e-12 {
+		t.Errorf("curve %v inconsistent with Evaluate %v/%v", curve[:2], res.Top1, res.Top2)
+	}
+	if math.Abs(worst[0]-worstRes.Top1) > 1e-12 || math.Abs(worst[1]-worstRes.Top2) > 1e-12 {
+		t.Errorf("worst curve %v inconsistent with Evaluate %v/%v", worst, worstRes.Top1, worstRes.Top2)
+	}
+	if RecallCurve(d, oracleSelector{d: d}, g, tasks, 0) != nil {
+		t.Error("maxK=0 did not return nil")
+	}
+}
+
+func TestEvaluateCollectsPerTaskACCU(t *testing.T) {
+	d := evalDataset(t)
+	g := ExtractGroup(d, 1)
+	tasks := TestTasks(d, g, 60, 1)
+	res := Evaluate(d, oracleSelector{d: d}, g, tasks, 0)
+	if len(res.PerTaskACCU) != res.Tasks {
+		t.Fatalf("collected %d values for %d tasks", len(res.PerTaskACCU), res.Tasks)
+	}
+	if math.Abs(Mean(res.PerTaskACCU)-res.ACCU) > 1e-12 {
+		t.Errorf("per-task mean %v != ACCU %v", Mean(res.PerTaskACCU), res.ACCU)
+	}
+	lo, hi, err := res.ACCUInterval(200, 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo > res.ACCU || hi < res.ACCU {
+		t.Errorf("ACCU %v outside its CI [%v, %v]", res.ACCU, lo, hi)
+	}
+}

@@ -1,0 +1,33 @@
+package eval_test
+
+import (
+	"fmt"
+	"os"
+
+	"crowdselect/internal/eval"
+)
+
+func ExampleACCU() {
+	// Right worker ranked first among 5 candidates, then last.
+	fmt.Printf("%.2f %.2f\n", eval.ACCU(0, 5), eval.ACCU(4, 5))
+	// Output: 1.00 0.00
+}
+
+func ExampleBarChart() {
+	chart := eval.BarChart{Title: "Top1 recall", Width: 10}
+	_ = chart.Render(os.Stdout, []string{"VSM", "TDPM"}, []float64{0.5, 1.0})
+	// Output:
+	// Top1 recall
+	//   VSM  █████····· 0.5
+	//   TDPM ██████████ 1
+}
+
+func ExampleBootstrapCI() {
+	values := []float64{1, 1, 1, 1}
+	lo, hi, err := eval.BootstrapCI(values, 100, 0.05, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(lo, hi)
+	// Output: 1 1
+}

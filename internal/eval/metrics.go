@@ -1,0 +1,132 @@
+// Package eval implements the experimental harness of §7 of the
+// paper: worker-group extraction with task coverage (Figures 3, 5, 7),
+// the ACCU precision and TopK recall measures of §7.2.2, selection
+// latency measurement (Figures 4, 6, 8), and the table/figure runners
+// that regenerate every experimental artifact of the evaluation
+// section (Tables 2–8, Figures 3–8).
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"crowdselect/internal/corpus"
+	"crowdselect/internal/randx"
+	"crowdselect/internal/text"
+)
+
+// Selector is the algorithm-facing interface: rank candidate workers
+// for a task, best first. *core.Model and every baseline satisfy it.
+type Selector interface {
+	Name() string
+	Rank(bag text.Bag, candidates []int) []int
+}
+
+// ACCU is the precision measure of §7.2.2: with R the ranked selection
+// and rbest the 0-based rank of the right worker,
+//
+//	ACCU = (|R| − rbest − 1) / (|R| − 1),
+//
+// 1 when the right worker is ranked first, 0 when last. |R| < 2
+// returns 1 (the right worker is trivially first).
+func ACCU(rbest, size int) float64 {
+	if size < 2 {
+		return 1
+	}
+	if rbest < 0 || rbest >= size {
+		panic(fmt.Sprintf("eval: ACCU rank %d outside selection of %d", rbest, size))
+	}
+	return float64(size-rbest-1) / float64(size-1)
+}
+
+// TopK is the recall indicator of §7.2.2: whether the right worker's
+// 0-based rank falls within the top k.
+func TopK(rbest, k int) bool { return rbest < k }
+
+// Group is a worker group Datasetₙ of §7.3: the workers who solved at
+// least Threshold tasks.
+type Group struct {
+	// Threshold is the task-participation threshold n.
+	Threshold int
+	// Workers lists the member ids, sorted.
+	Workers []int
+	// Coverage is the fraction of tasks solved by at least one member
+	// (Figures 3a, 5a, 7a).
+	Coverage float64
+
+	members map[int]bool
+}
+
+// Contains reports whether worker w is in the group.
+func (g Group) Contains(w int) bool { return g.members[w] }
+
+// Size returns the number of member workers (Figures 3b, 5b, 7b).
+func (g Group) Size() int { return len(g.Workers) }
+
+// ExtractGroup builds the group of workers who solved ≥ threshold
+// tasks and computes its task coverage.
+func ExtractGroup(d *corpus.Dataset, threshold int) Group {
+	g := Group{Threshold: threshold, members: make(map[int]bool)}
+	for _, w := range d.Workers {
+		if w.TaskCount >= threshold {
+			g.members[w.ID] = true
+			g.Workers = append(g.Workers, w.ID)
+		}
+	}
+	sort.Ints(g.Workers)
+	covered := 0
+	for _, t := range d.Tasks {
+		for _, r := range t.Responses {
+			if g.members[r.Worker] {
+				covered++
+				break
+			}
+		}
+	}
+	if len(d.Tasks) > 0 {
+		g.Coverage = float64(covered) / float64(len(d.Tasks))
+	}
+	return g
+}
+
+// TestTasks samples up to maxN task ids usable for evaluating the
+// group, following §7.3.1: the right worker must be in the group and
+// the task must have at least two respondents (so that ranking is
+// non-trivial). Sampling is deterministic in seed. Note that the group
+// qualifies which tasks are *tested*; candidates remain the task's
+// full respondent set, which is how the paper's recall drops on
+// high-participation groups (their tasks are popular and attract many
+// respondents, §7.3.1).
+func TestTasks(d *corpus.Dataset, g Group, maxN int, seed int64) []int {
+	var eligible []int
+	for _, t := range d.Tasks {
+		best, ok := t.BestWorker()
+		if !ok || !g.Contains(best) {
+			continue
+		}
+		if len(t.Responses) >= 2 {
+			eligible = append(eligible, t.ID)
+		}
+	}
+	if maxN <= 0 || len(eligible) <= maxN {
+		return eligible
+	}
+	rng := randx.New(seed)
+	rng.Shuffle(len(eligible), func(i, j int) {
+		eligible[i], eligible[j] = eligible[j], eligible[i]
+	})
+	out := eligible[:maxN]
+	sort.Ints(out)
+	return out
+}
+
+// Candidates returns the task's respondents, sorted — the candidate
+// crowd the algorithms rank.
+func Candidates(t *corpus.Task) []int {
+	out := make([]int, 0, len(t.Responses))
+	for _, r := range t.Responses {
+		out = append(out, r.Worker)
+	}
+	sort.Ints(out)
+	return out
+}

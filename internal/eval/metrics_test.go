@@ -1,0 +1,225 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"crowdselect/internal/corpus"
+	"crowdselect/internal/text"
+)
+
+func TestACCU(t *testing.T) {
+	cases := []struct {
+		rbest, size int
+		want        float64
+	}{
+		{0, 5, 1},
+		{4, 5, 0},
+		{2, 5, 0.5},
+		{0, 2, 1},
+		{1, 2, 0},
+		{0, 1, 1}, // degenerate
+	}
+	for _, c := range cases {
+		if got := ACCU(c.rbest, c.size); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("ACCU(%d, %d) = %v, want %v", c.rbest, c.size, got, c.want)
+		}
+	}
+}
+
+func TestACCUPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ACCU(5, 3) did not panic")
+		}
+	}()
+	ACCU(5, 3)
+}
+
+// Property: ACCU is monotone decreasing in the rank and always in
+// [0, 1].
+func TestACCUProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		size := 2 + rng.Intn(20)
+		prev := math.Inf(1)
+		for r := 0; r < size; r++ {
+			v := ACCU(r, size)
+			if v < 0 || v > 1 {
+				t.Fatalf("ACCU(%d, %d) = %v out of range", r, size, v)
+			}
+			if v >= prev {
+				t.Fatalf("ACCU not strictly decreasing at rank %d of %d", r, size)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestTopK(t *testing.T) {
+	if !TopK(0, 1) || TopK(1, 1) || !TopK(1, 2) || TopK(2, 2) {
+		t.Error("TopK thresholds wrong")
+	}
+}
+
+func evalDataset(t *testing.T) *corpus.Dataset {
+	t.Helper()
+	p := corpus.Quora().Scaled(0.04)
+	p.Seed = 13
+	return corpus.MustGenerate(p)
+}
+
+func TestExtractGroup(t *testing.T) {
+	d := evalDataset(t)
+	g1 := ExtractGroup(d, 1)
+	g5 := ExtractGroup(d, 5)
+	// Monotone: higher threshold, fewer workers, lower-or-equal
+	// coverage.
+	if g5.Size() >= g1.Size() {
+		t.Errorf("group sizes not shrinking: %d -> %d", g1.Size(), g5.Size())
+	}
+	if g5.Coverage > g1.Coverage+1e-12 {
+		t.Errorf("coverage grew with threshold: %v -> %v", g1.Coverage, g5.Coverage)
+	}
+	// Membership matches TaskCount.
+	for _, w := range d.Workers {
+		if g5.Contains(w.ID) != (w.TaskCount >= 5) {
+			t.Fatalf("worker %d with %d tasks misclassified", w.ID, w.TaskCount)
+		}
+	}
+	// Group 1 covers every answered task.
+	if g1.Coverage != 1 {
+		t.Errorf("threshold-1 coverage = %v, want 1", g1.Coverage)
+	}
+}
+
+func TestTestTasksEligibility(t *testing.T) {
+	d := evalDataset(t)
+	g := ExtractGroup(d, 3)
+	ids := TestTasks(d, g, 0, 1)
+	for _, id := range ids {
+		task := d.Tasks[id]
+		best, ok := task.BestWorker()
+		if !ok || !g.Contains(best) {
+			t.Fatalf("task %d best worker not in group", id)
+		}
+		if len(Candidates(task)) < 2 {
+			t.Fatalf("task %d has <2 candidates", id)
+		}
+	}
+	// Cap is honored and deterministic.
+	capped := TestTasks(d, g, 10, 42)
+	if len(capped) != 10 {
+		t.Fatalf("capped sample = %d", len(capped))
+	}
+	again := TestTasks(d, g, 10, 42)
+	for i := range capped {
+		if capped[i] != again[i] {
+			t.Fatal("sampling not deterministic")
+		}
+	}
+	other := TestTasks(d, g, 10, 43)
+	same := true
+	for i := range capped {
+		if capped[i] != other[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical samples")
+	}
+}
+
+func TestCandidatesSorted(t *testing.T) {
+	d := evalDataset(t)
+	for _, task := range d.Tasks {
+		cands := Candidates(task)
+		if len(cands) != len(task.Responses) {
+			t.Fatalf("task %d: %d candidates for %d responses", task.ID, len(cands), len(task.Responses))
+		}
+		for i := 1; i < len(cands); i++ {
+			if cands[i-1] >= cands[i] {
+				t.Fatal("candidates not strictly sorted")
+			}
+		}
+	}
+}
+
+func TestEvaluatePerfectAndWorstSelector(t *testing.T) {
+	d := evalDataset(t)
+	g := ExtractGroup(d, 1)
+	tasks := TestTasks(d, g, 50, 1)
+
+	oracle := oracleSelector{d: d, invert: false}
+	res := Evaluate(d, oracle, g, tasks, 0)
+	if res.ACCU != 1 || res.Top1 != 1 || res.Top2 != 1 {
+		t.Errorf("oracle result = %+v", res)
+	}
+	worst := oracleSelector{d: d, invert: true}
+	res = Evaluate(d, worst, g, tasks, 0)
+	if res.ACCU != 0 || res.Top1 != 0 {
+		t.Errorf("inverted oracle result = %+v", res)
+	}
+	if res.Tasks == 0 || res.MeanSelect < 0 {
+		t.Errorf("bookkeeping wrong: %+v", res)
+	}
+}
+
+func TestEvaluateSkipsDegenerateTasks(t *testing.T) {
+	d := evalDataset(t)
+	g := ExtractGroup(d, 1)
+	// Feed every task id, including single-respondent ones: Evaluate
+	// must only count eligible tasks.
+	all := make([]int, len(d.Tasks))
+	for i := range all {
+		all[i] = i
+	}
+	res := Evaluate(d, oracleSelector{d: d}, g, all, 0)
+	want := len(TestTasks(d, g, 0, 1))
+	if res.Tasks != want {
+		t.Errorf("evaluated %d tasks, want %d", res.Tasks, want)
+	}
+}
+
+// oracleSelector ranks candidates by the ground-truth "right worker"
+// marker of the task, locating the task by its bag fingerprint. It
+// exists to pin the metric bookkeeping with known-perfect and
+// known-worst selectors.
+type oracleSelector struct {
+	d      *corpus.Dataset
+	invert bool
+}
+
+func (o oracleSelector) Name() string { return "oracle" }
+
+func (o oracleSelector) Rank(bag text.Bag, candidates []int) []int {
+	best := -1
+	for _, task := range o.d.Tasks {
+		if bagFingerprint(task.Bag(o.d.Vocab)) == bagFingerprint(bag) {
+			best, _ = task.BestWorker()
+			break
+		}
+	}
+	out := append([]int(nil), candidates...)
+	sort.Ints(out)
+	// Move the right worker to the front (or back when inverted).
+	for i, w := range out {
+		if w == best {
+			out = append(out[:i], out[i+1:]...)
+			if o.invert {
+				out = append(out, w)
+			} else {
+				out = append([]int{w}, out...)
+			}
+			break
+		}
+	}
+	return out
+}
+
+func bagFingerprint(b text.Bag) string {
+	return fmt.Sprint(b.IDs, b.Counts)
+}

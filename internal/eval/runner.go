@@ -1,0 +1,247 @@
+package eval
+
+import (
+	"fmt"
+	"sync"
+
+	"crowdselect/internal/corpus"
+)
+
+// ExpConfig parameterizes the experiment runners. The zero value is
+// normalized by Normalize; DefaultExpConfig gives the configuration
+// used in EXPERIMENTS.md.
+type ExpConfig struct {
+	// Scale multiplies the built-in profile sizes (1 = the Table 2
+	// sizes scaled as documented in DESIGN.md). The benchmarks use a
+	// smaller scale to stay laptop-friendly.
+	Scale float64
+	// Seed drives dataset generation, training and test-task sampling.
+	Seed int64
+	// MaxTestTasks caps the evaluation sample per group (the paper
+	// uses 10k for Quora/Yahoo, 1k for Stack Overflow).
+	MaxTestTasks int
+	// RecallK is the number of latent categories used for the recall
+	// and running-time experiments (the paper's precision tables sweep
+	// K; its recall tables use one model per algorithm).
+	RecallK int
+	// PrecisionKs is the K sweep of the precision tables.
+	PrecisionKs []int
+	// Algos lists the algorithms to compare.
+	Algos []Algo
+	// TDPMSweeps, LDABurn, PLSAIters optionally cap training budgets.
+	TDPMSweeps, LDABurn, PLSAIters int
+	// CI, when true, annotates precision cells with 95% bootstrap
+	// confidence intervals.
+	CI bool
+}
+
+// DefaultExpConfig returns the configuration used by EXPERIMENTS.md.
+func DefaultExpConfig() ExpConfig {
+	return ExpConfig{
+		Scale:        1,
+		Seed:         1,
+		MaxTestTasks: 10000,
+		RecallK:      10,
+		PrecisionKs:  []int{10, 20, 30, 40, 50},
+		Algos:        AllAlgos,
+	}
+}
+
+// Normalize fills zero fields with defaults.
+func (c ExpConfig) Normalize() ExpConfig {
+	d := DefaultExpConfig()
+	if c.Scale <= 0 {
+		c.Scale = d.Scale
+	}
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	if c.MaxTestTasks <= 0 {
+		c.MaxTestTasks = d.MaxTestTasks
+	}
+	if c.RecallK <= 0 {
+		c.RecallK = d.RecallK
+	}
+	if len(c.PrecisionKs) == 0 {
+		c.PrecisionKs = d.PrecisionKs
+	}
+	if len(c.Algos) == 0 {
+		c.Algos = d.Algos
+	}
+	return c
+}
+
+// Runner caches generated datasets and trained selectors across the
+// experiments of one configuration, since the paper's tables reuse the
+// same trained models across worker groups.
+type Runner struct {
+	cfg ExpConfig
+
+	mu        sync.Mutex
+	datasets  map[string]*corpus.Dataset
+	selectors map[selKey]Selector
+}
+
+type selKey struct {
+	profile string
+	algo    Algo
+	k       int
+}
+
+// NewRunner builds a runner for the configuration.
+func NewRunner(cfg ExpConfig) *Runner {
+	return &Runner{
+		cfg:       cfg.Normalize(),
+		datasets:  make(map[string]*corpus.Dataset),
+		selectors: make(map[selKey]Selector),
+	}
+}
+
+// Config returns the normalized configuration.
+func (r *Runner) Config() ExpConfig { return r.cfg }
+
+// Dataset generates (and caches) the named platform dataset at the
+// configured scale.
+func (r *Runner) Dataset(name string) (*corpus.Dataset, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if d, ok := r.datasets[name]; ok {
+		return d, nil
+	}
+	p, err := corpus.ProfileByName(name)
+	if err != nil {
+		return nil, err
+	}
+	p = p.Scaled(r.cfg.Scale).WithSeed(r.cfg.Seed + int64(len(name)))
+	d, err := corpus.Generate(p)
+	if err != nil {
+		return nil, err
+	}
+	r.datasets[name] = d
+	return d, nil
+}
+
+// Selector trains (and caches) the algorithm on the named dataset with
+// k latent categories. The VSM variants ignore k and are cached once.
+func (r *Runner) Selector(name string, algo Algo, k int) (Selector, error) {
+	if algo == AlgoVSM || algo == AlgoVSMTFIDF {
+		k = 0
+	}
+	key := selKey{profile: name, algo: algo, k: k}
+	r.mu.Lock()
+	if s, ok := r.selectors[key]; ok {
+		r.mu.Unlock()
+		return s, nil
+	}
+	r.mu.Unlock()
+
+	d, err := r.Dataset(name)
+	if err != nil {
+		return nil, err
+	}
+	s, err := Train(d, algo, TrainOptions{
+		K:          k,
+		Seed:       r.cfg.Seed,
+		TDPMSweeps: r.cfg.TDPMSweeps,
+		LDABurn:    r.cfg.LDABurn,
+		PLSAIters:  r.cfg.PLSAIters,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("eval: training %s on %s (K=%d): %w", algo, name, k, err)
+	}
+	r.mu.Lock()
+	r.selectors[key] = s
+	r.mu.Unlock()
+	return s, nil
+}
+
+// GroupStatRow is one point of the group-statistics figures
+// (Figures 3, 5, 7).
+type GroupStatRow struct {
+	Threshold int
+	Coverage  float64
+	Size      int
+}
+
+// GroupStats computes coverage and group size per threshold.
+func (r *Runner) GroupStats(name string, thresholds []int) ([]GroupStatRow, error) {
+	d, err := r.Dataset(name)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]GroupStatRow, 0, len(thresholds))
+	for _, th := range thresholds {
+		g := ExtractGroup(d, th)
+		rows = append(rows, GroupStatRow{Threshold: th, Coverage: g.Coverage, Size: g.Size()})
+	}
+	return rows, nil
+}
+
+// PrecisionCell is one cell of a precision table (Tables 3, 5, 7).
+type PrecisionCell struct {
+	Algo  Algo
+	Group int
+	K     int
+	ACCU  float64
+	// CILo and CIHi bound the 95% bootstrap interval when the runner's
+	// CI option is on (both zero otherwise).
+	CILo, CIHi float64
+}
+
+// Precision runs the precision sweep: per algorithm × group × K.
+func (r *Runner) Precision(name string, groups, ks []int) ([]PrecisionCell, error) {
+	d, err := r.Dataset(name)
+	if err != nil {
+		return nil, err
+	}
+	var cells []PrecisionCell
+	for _, th := range groups {
+		g := ExtractGroup(d, th)
+		tasks := TestTasks(d, g, r.cfg.MaxTestTasks, r.cfg.Seed+int64(th))
+		for _, algo := range r.cfg.Algos {
+			kList := ks
+			if algo == AlgoVSM || algo == AlgoVSMTFIDF {
+				kList = ks[:1] // the VSM variants have no latent categories
+			}
+			for _, k := range kList {
+				sel, err := r.Selector(name, algo, k)
+				if err != nil {
+					return nil, err
+				}
+				res := Evaluate(d, sel, g, tasks, k)
+				cell := PrecisionCell{Algo: algo, Group: th, K: k, ACCU: res.ACCU}
+				if r.cfg.CI && len(res.PerTaskACCU) > 0 {
+					if lo, hi, err := res.ACCUInterval(400, 0.05, r.cfg.Seed); err == nil {
+						cell.CILo, cell.CIHi = lo, hi
+					}
+				}
+				cells = append(cells, cell)
+			}
+		}
+	}
+	return cells, nil
+}
+
+// RecallAndTime runs the recall/latency sweep: per algorithm × group
+// at the configured RecallK. The returned results carry Top1, Top2 and
+// MeanSelect, covering both the recall tables (4, 6, 8) and the
+// running-time figures (4, 6, 8).
+func (r *Runner) RecallAndTime(name string, groups []int) ([]Result, error) {
+	d, err := r.Dataset(name)
+	if err != nil {
+		return nil, err
+	}
+	var out []Result
+	for _, th := range groups {
+		g := ExtractGroup(d, th)
+		tasks := TestTasks(d, g, r.cfg.MaxTestTasks, r.cfg.Seed+int64(th))
+		for _, algo := range r.cfg.Algos {
+			sel, err := r.Selector(name, algo, r.cfg.RecallK)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Evaluate(d, sel, g, tasks, r.cfg.RecallK))
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,113 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SymEigen computes the eigenvalues and eigenvectors of a symmetric
+// matrix with the cyclic Jacobi method. Eigenvalues are returned in
+// descending order; column i of the returned matrix is the eigenvector
+// of values[i]. It powers the skill-spectrum diagnostic (how many
+// latent skill dimensions a trained model actually uses).
+func SymEigen(a *Matrix) (values Vector, vectors *Matrix, err error) {
+	if a.Rows != a.Cols {
+		return nil, nil, fmt.Errorf("linalg: SymEigen of %d×%d matrix", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	// Work on a copy; accumulate rotations in v.
+	w := a.Clone().Symmetrize()
+	v := Identity(n)
+
+	const maxSweeps = 64
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		// Off-diagonal Frobenius mass.
+		var off float64
+		for r := 0; r < n; r++ {
+			for c := r + 1; c < n; c++ {
+				off += w.At(r, c) * w.At(r, c)
+			}
+		}
+		if off < 1e-22 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				rotate(w, v, p, q, c, s)
+			}
+		}
+	}
+
+	values = w.Diag()
+	// Sort descending, permuting eigenvector columns along.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return values[idx[a]] > values[idx[b]] })
+	sortedVals := make(Vector, n)
+	sortedVecs := NewMatrix(n, n)
+	for col, src := range idx {
+		sortedVals[col] = values[src]
+		for r := 0; r < n; r++ {
+			sortedVecs.Set(r, col, v.At(r, src))
+		}
+	}
+	return sortedVals, sortedVecs, nil
+}
+
+// rotate applies the Jacobi rotation J(p, q, θ) to w (two-sided) and
+// accumulates it into v (one-sided).
+func rotate(w, v *Matrix, p, q int, c, s float64) {
+	n := w.Rows
+	for i := 0; i < n; i++ {
+		wip, wiq := w.At(i, p), w.At(i, q)
+		w.Set(i, p, c*wip-s*wiq)
+		w.Set(i, q, s*wip+c*wiq)
+	}
+	for i := 0; i < n; i++ {
+		wpi, wqi := w.At(p, i), w.At(q, i)
+		w.Set(p, i, c*wpi-s*wqi)
+		w.Set(q, i, s*wpi+c*wqi)
+	}
+	for i := 0; i < n; i++ {
+		vip, viq := v.At(i, p), v.At(i, q)
+		v.Set(i, p, c*vip-s*viq)
+		v.Set(i, q, s*vip+c*viq)
+	}
+}
+
+// EffectiveRank returns exp(H) where H is the Shannon entropy of the
+// normalized (non-negative) spectrum — a smooth count of how many
+// dimensions carry mass. A spectrum with k equal values has effective
+// rank exactly k.
+func EffectiveRank(spectrum Vector) float64 {
+	var total float64
+	for _, v := range spectrum {
+		if v > 0 {
+			total += v
+		}
+	}
+	if total <= 0 {
+		return 0
+	}
+	var h float64
+	for _, v := range spectrum {
+		if v <= 0 {
+			continue
+		}
+		p := v / total
+		h -= p * math.Log(p)
+	}
+	return math.Exp(h)
+}

@@ -1,0 +1,95 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSymEigenDiagonal(t *testing.T) {
+	vals, vecs, err := SymEigen(NewDiag(Vector{3, 1, 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vals.Equal(Vector{3, 2, 1}, 1e-10) {
+		t.Errorf("values = %v", vals)
+	}
+	// Eigenvectors of a diagonal matrix are axis vectors (up to sign).
+	for col, axis := range []int{0, 2, 1} {
+		for r := 0; r < 3; r++ {
+			want := 0.0
+			if r == axis {
+				want = 1
+			}
+			if math.Abs(math.Abs(vecs.At(r, col))-want) > 1e-10 {
+				t.Errorf("vector %d = column %v", col, vecs)
+			}
+		}
+	}
+}
+
+func TestSymEigenKnown2x2(t *testing.T) {
+	// [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+	vals, _, err := SymEigen(NewMatrixFrom(2, 2, []float64{2, 1, 1, 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vals.Equal(Vector{3, 1}, 1e-10) {
+		t.Errorf("values = %v", vals)
+	}
+}
+
+func TestSymEigenReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(8)
+		a := randSPD(rng, n)
+		vals, vecs, err := SymEigen(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A = V·Λ·Vᵀ.
+		recon := vecs.Mul(NewDiag(vals)).Mul(vecs.T())
+		if !recon.Equal(a, 1e-8) {
+			t.Fatalf("trial %d: reconstruction failed", trial)
+		}
+		// V orthogonal.
+		if !vecs.T().Mul(vecs).Equal(Identity(n), 1e-8) {
+			t.Fatalf("trial %d: eigenvectors not orthonormal", trial)
+		}
+		// Descending order.
+		for i := 1; i < n; i++ {
+			if vals[i] > vals[i-1]+1e-10 {
+				t.Fatalf("trial %d: values not descending: %v", trial, vals)
+			}
+		}
+		// Trace preserved.
+		if math.Abs(vals.Sum()-a.Trace()) > 1e-8 {
+			t.Fatalf("trial %d: trace %v != Σλ %v", trial, a.Trace(), vals.Sum())
+		}
+	}
+}
+
+func TestSymEigenNonSquare(t *testing.T) {
+	if _, _, err := SymEigen(NewMatrix(2, 3)); err == nil {
+		t.Error("non-square accepted")
+	}
+}
+
+func TestEffectiveRank(t *testing.T) {
+	// k equal eigenvalues → effective rank k.
+	if got := EffectiveRank(Vector{2, 2, 2}); math.Abs(got-3) > 1e-10 {
+		t.Errorf("equal spectrum rank = %v, want 3", got)
+	}
+	// Single dominant value → rank ≈ 1.
+	if got := EffectiveRank(Vector{100, 1e-9, 1e-9}); got > 1.01 {
+		t.Errorf("dominant spectrum rank = %v", got)
+	}
+	// Negative/zero values ignored; empty spectrum → 0.
+	if got := EffectiveRank(Vector{1, -5, 0}); math.Abs(got-1) > 1e-10 {
+		t.Errorf("rank with junk = %v", got)
+	}
+	if EffectiveRank(nil) != 0 {
+		t.Error("empty spectrum rank != 0")
+	}
+}

@@ -1,0 +1,138 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a matrix is singular to working
+// precision.
+var ErrSingular = errors.New("linalg: matrix is singular")
+
+// LU is an LU factorization with partial pivoting, P·A = L·U.
+type LU struct {
+	n    int
+	lu   []float64 // packed L (unit diagonal implied) and U
+	piv  []int
+	sign int // determinant sign from row swaps
+}
+
+// NewLU factorizes the square matrix a with partial pivoting. The
+// input is not modified.
+func NewLU(a *Matrix) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: LU of %d×%d matrix", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	lu := make([]float64, n*n)
+	copy(lu, a.Data)
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	sign := 1
+	for k := 0; k < n; k++ {
+		// Find pivot.
+		p, pmax := k, math.Abs(lu[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu[i*n+k]); v > pmax {
+				p, pmax = i, v
+			}
+		}
+		if pmax == 0 || math.IsNaN(pmax) {
+			return nil, fmt.Errorf("%w: zero pivot at column %d", ErrSingular, k)
+		}
+		if p != k {
+			row1 := lu[k*n : (k+1)*n]
+			row2 := lu[p*n : (p+1)*n]
+			for i := range row1 {
+				row1[i], row2[i] = row2[i], row1[i]
+			}
+			piv[k], piv[p] = piv[p], piv[k]
+			sign = -sign
+		}
+		pivVal := lu[k*n+k]
+		for i := k + 1; i < n; i++ {
+			m := lu[i*n+k] / pivVal
+			lu[i*n+k] = m
+			for j := k + 1; j < n; j++ {
+				lu[i*n+j] -= m * lu[k*n+j]
+			}
+		}
+	}
+	return &LU{n: n, lu: lu, piv: piv, sign: sign}, nil
+}
+
+// SolveVec solves A·x = b.
+func (f *LU) SolveVec(b Vector) Vector {
+	if len(b) != f.n {
+		panic(fmt.Sprintf("linalg: LU.SolveVec with len %d, want %d", len(b), f.n))
+	}
+	n := f.n
+	x := make(Vector, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	// Forward substitution with unit-lower L.
+	for i := 1; i < n; i++ {
+		s := x[i]
+		for k := 0; k < i; k++ {
+			s -= f.lu[i*n+k] * x[k]
+		}
+		x[i] = s
+	}
+	// Backward substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for k := i + 1; k < n; k++ {
+			s -= f.lu[i*n+k] * x[k]
+		}
+		x[i] = s / f.lu[i*n+i]
+	}
+	return x
+}
+
+// Inverse returns A⁻¹.
+func (f *LU) Inverse() *Matrix {
+	n := f.n
+	inv := NewMatrix(n, n)
+	e := make(Vector, n)
+	for j := 0; j < n; j++ {
+		e.Zero()
+		e[j] = 1
+		col := f.SolveVec(e)
+		for i := 0; i < n; i++ {
+			inv.Data[i*n+j] = col[i]
+		}
+	}
+	return inv
+}
+
+// Det returns det(A).
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	for i := 0; i < f.n; i++ {
+		d *= f.lu[i*f.n+i]
+	}
+	return d
+}
+
+// Inverse inverts a general square matrix via LU with partial
+// pivoting.
+func Inverse(a *Matrix) (*Matrix, error) {
+	f, err := NewLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Inverse(), nil
+}
+
+// Solve solves the general square system a·x = b.
+func Solve(a *Matrix, b Vector) (Vector, error) {
+	f, err := NewLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.SolveVec(b), nil
+}

@@ -1,0 +1,188 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorBasicOps(t *testing.T) {
+	x := Vector{1, 2, 3}
+	y := Vector{4, 5, 6}
+
+	if got := x.Dot(y); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+	if got := x.Add(y); !got.Equal(Vector{5, 7, 9}, 0) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := y.Sub(x); !got.Equal(Vector{3, 3, 3}, 0) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := x.Scale(2); !got.Equal(Vector{2, 4, 6}, 0) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := x.Hadamard(y); !got.Equal(Vector{4, 10, 18}, 0) {
+		t.Errorf("Hadamard = %v", got)
+	}
+	if got := x.Sum(); got != 6 {
+		t.Errorf("Sum = %v, want 6", got)
+	}
+	if got := x.Max(); got != 3 {
+		t.Errorf("Max = %v, want 3", got)
+	}
+	if got := x.ArgMax(); got != 2 {
+		t.Errorf("ArgMax = %v, want 2", got)
+	}
+	if got := (Vector{-5, 3}).NormInf(); got != 5 {
+		t.Errorf("NormInf = %v, want 5", got)
+	}
+	if got := (Vector{3, 4}).Norm2(); got != 5 {
+		t.Errorf("Norm2 = %v, want 5", got)
+	}
+}
+
+func TestVectorInPlaceOps(t *testing.T) {
+	x := Vector{1, 2, 3}
+	x.AddScaledInPlace(2, Vector{1, 1, 1})
+	if !x.Equal(Vector{3, 4, 5}, 0) {
+		t.Errorf("AddScaledInPlace = %v", x)
+	}
+	x.ScaleInPlace(0.5)
+	if !x.Equal(Vector{1.5, 2, 2.5}, 0) {
+		t.Errorf("ScaleInPlace = %v", x)
+	}
+	x.Fill(7)
+	if !x.Equal(Vector{7, 7, 7}, 0) {
+		t.Errorf("Fill = %v", x)
+	}
+	x.Zero()
+	if !x.Equal(Vector{0, 0, 0}, 0) {
+		t.Errorf("Zero = %v", x)
+	}
+}
+
+func TestVectorCloneIndependence(t *testing.T) {
+	x := Vector{1, 2}
+	y := x.Clone()
+	y[0] = 99
+	if x[0] != 1 {
+		t.Errorf("Clone aliases original: x = %v", x)
+	}
+}
+
+func TestConstVector(t *testing.T) {
+	v := ConstVector(4, 2.5)
+	if !v.Equal(Vector{2.5, 2.5, 2.5, 2.5}, 0) {
+		t.Errorf("ConstVector = %v", v)
+	}
+}
+
+func TestVectorDimensionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Dot on mismatched lengths did not panic")
+		}
+	}()
+	Vector{1}.Dot(Vector{1, 2})
+}
+
+func TestArgMaxFirstOnTies(t *testing.T) {
+	if got := (Vector{2, 5, 5, 1}).ArgMax(); got != 1 {
+		t.Errorf("ArgMax tie = %d, want 1", got)
+	}
+}
+
+func TestLogSumExp(t *testing.T) {
+	cases := []struct {
+		in   Vector
+		want float64
+	}{
+		{Vector{0, 0}, math.Log(2)},
+		{Vector{math.Log(1), math.Log(2), math.Log(3)}, math.Log(6)},
+		{Vector{1000, 1000}, 1000 + math.Log(2)}, // must not overflow
+		{Vector{-1000, -1000}, -1000 + math.Log(2)},
+	}
+	for _, c := range cases {
+		if got := LogSumExp(c.in); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("LogSumExp(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if got := LogSumExp(nil); !math.IsInf(got, -1) {
+		t.Errorf("LogSumExp(empty) = %v, want -Inf", got)
+	}
+}
+
+func TestSoftmaxSumsToOne(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		x := Vector{clampT(a), clampT(b), clampT(c)}
+		s := Softmax(x)
+		return math.Abs(s.Sum()-1) < 1e-9 && s.IsFinite()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSoftmaxOrderPreserving(t *testing.T) {
+	x := Vector{1, 3, 2}
+	s := Softmax(x)
+	if !(s[1] > s[2] && s[2] > s[0]) {
+		t.Errorf("Softmax not order-preserving: %v", s)
+	}
+}
+
+func TestSoftmaxExtremes(t *testing.T) {
+	s := Softmax(Vector{1e4, 0})
+	if math.Abs(s[0]-1) > 1e-9 || s[1] < 0 {
+		t.Errorf("Softmax extreme = %v", s)
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !(Vector{1, 2}).IsFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	if (Vector{1, math.NaN()}).IsFinite() {
+		t.Error("NaN vector reported finite")
+	}
+	if (Vector{math.Inf(1)}).IsFinite() {
+		t.Error("Inf vector reported finite")
+	}
+}
+
+// Property: LogSumExp is invariant under the identity
+// LSE(x + a) = LSE(x) + a.
+func TestLogSumExpShiftProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(8)
+		x := make(Vector, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 10
+		}
+		a := rng.NormFloat64() * 5
+		shifted := x.Clone()
+		for i := range shifted {
+			shifted[i] += a
+		}
+		l1, l2 := LogSumExp(x)+a, LogSumExp(shifted)
+		if math.Abs(l1-l2) > 1e-8 {
+			t.Fatalf("shift property violated: %v vs %v", l1, l2)
+		}
+	}
+}
+
+func clampT(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	if v > 100 {
+		return 100
+	}
+	if v < -100 {
+		return -100
+	}
+	return v
+}

@@ -1,0 +1,253 @@
+// Package optimize implements the smooth unconstrained minimizers used
+// by the variational algorithm of the paper: nonlinear conjugate
+// gradient (Polak–Ribière+ with automatic restarts and Armijo
+// backtracking), plain gradient descent for ablations, and a numerical
+// gradient checker for tests.
+//
+// All routines minimize; callers maximizing a lower bound L′(q) pass
+// −L′ and −∇L′.
+package optimize
+
+import (
+	"math"
+
+	"crowdselect/internal/linalg"
+)
+
+// Problem bundles an objective and its gradient.
+type Problem struct {
+	// Eval returns the objective value at x.
+	Eval func(x linalg.Vector) float64
+	// Grad writes the gradient at x into g (len(g) == len(x)).
+	Grad func(x linalg.Vector, g linalg.Vector)
+}
+
+// Settings controls the iteration. The zero value is usable: it is
+// normalized by (*Settings).withDefaults.
+type Settings struct {
+	// MaxIter bounds the number of CG iterations (default 200).
+	MaxIter int
+	// GradTol stops when ‖∇f‖∞ ≤ GradTol (default 1e-6).
+	GradTol float64
+	// FuncTol stops when the relative objective improvement over one
+	// iteration falls below FuncTol (default 1e-10).
+	FuncTol float64
+	// InitialStep is the first trial step of each line search
+	// (default 1).
+	InitialStep float64
+	// ArmijoC is the sufficient-decrease constant (default 1e-4).
+	ArmijoC float64
+	// Backtrack is the step-shrink factor in (0, 1) (default 0.5).
+	Backtrack float64
+	// MaxBacktracks bounds each line search (default 50).
+	MaxBacktracks int
+}
+
+func (s Settings) withDefaults() Settings {
+	if s.MaxIter <= 0 {
+		s.MaxIter = 200
+	}
+	if s.GradTol <= 0 {
+		s.GradTol = 1e-6
+	}
+	if s.FuncTol <= 0 {
+		s.FuncTol = 1e-10
+	}
+	if s.InitialStep <= 0 {
+		s.InitialStep = 1
+	}
+	if s.ArmijoC <= 0 {
+		s.ArmijoC = 1e-4
+	}
+	if s.Backtrack <= 0 || s.Backtrack >= 1 {
+		s.Backtrack = 0.5
+	}
+	if s.MaxBacktracks <= 0 {
+		s.MaxBacktracks = 50
+	}
+	return s
+}
+
+// Status describes why a minimizer stopped.
+type Status int
+
+const (
+	// GradientConverged means ‖∇f‖∞ fell below GradTol.
+	GradientConverged Status = iota
+	// FunctionConverged means the relative objective improvement fell
+	// below FuncTol.
+	FunctionConverged
+	// IterationLimit means MaxIter was reached first.
+	IterationLimit
+	// LineSearchFailed means no step satisfying the Armijo condition
+	// was found; the best iterate so far is returned.
+	LineSearchFailed
+)
+
+// String renders the status for logs.
+func (s Status) String() string {
+	switch s {
+	case GradientConverged:
+		return "gradient converged"
+	case FunctionConverged:
+		return "function converged"
+	case IterationLimit:
+		return "iteration limit"
+	case LineSearchFailed:
+		return "line search failed"
+	default:
+		return "unknown"
+	}
+}
+
+// Result reports the outcome of a minimization.
+type Result struct {
+	X          linalg.Vector
+	F          float64
+	GradNorm   float64
+	Iterations int
+	Status     Status
+}
+
+// ConjugateGradient minimizes p starting from x0 using nonlinear CG
+// with the Polak–Ribière+ update (β = max(0, βPR), which subsumes
+// steepest-descent restarts) and an Armijo backtracking line search.
+// x0 is not modified.
+func ConjugateGradient(p Problem, x0 linalg.Vector, s Settings) Result {
+	s = s.withDefaults()
+	n := len(x0)
+	x := x0.Clone()
+	g := make(linalg.Vector, n)
+	gPrev := make(linalg.Vector, n)
+	d := make(linalg.Vector, n)
+
+	f := p.Eval(x)
+	p.Grad(x, g)
+	for i := range d {
+		d[i] = -g[i]
+	}
+
+	res := Result{X: x, F: f, GradNorm: g.NormInf(), Status: IterationLimit}
+	if res.GradNorm <= s.GradTol {
+		res.Status = GradientConverged
+		return res
+	}
+
+	step := s.InitialStep
+	for iter := 1; iter <= s.MaxIter; iter++ {
+		res.Iterations = iter
+		// Ensure d is a descent direction; restart on failure.
+		slope := g.Dot(d)
+		if slope >= 0 {
+			for i := range d {
+				d[i] = -g[i]
+			}
+			slope = g.Dot(d)
+		}
+
+		fNew, xNew, ok := armijo(p, x, f, d, slope, step, s)
+		if !ok {
+			res.Status = LineSearchFailed
+			return res
+		}
+
+		copy(gPrev, g)
+		p.Grad(xNew, g)
+
+		relImp := (f - fNew) / (math.Abs(f) + 1e-12)
+		x, f = xNew, fNew
+		res.X, res.F, res.GradNorm = x, f, g.NormInf()
+
+		if res.GradNorm <= s.GradTol {
+			res.Status = GradientConverged
+			return res
+		}
+		if relImp >= 0 && relImp < s.FuncTol {
+			res.Status = FunctionConverged
+			return res
+		}
+
+		// Polak–Ribière+ direction update.
+		var num, den float64
+		for i := range g {
+			num += g[i] * (g[i] - gPrev[i])
+			den += gPrev[i] * gPrev[i]
+		}
+		beta := 0.0
+		if den > 0 {
+			beta = math.Max(0, num/den)
+		}
+		for i := range d {
+			d[i] = -g[i] + beta*d[i]
+		}
+		step = s.InitialStep
+	}
+	return res
+}
+
+// GradientDescent minimizes p with steepest descent and the same
+// Armijo line search. It exists for ablation comparisons against CG.
+func GradientDescent(p Problem, x0 linalg.Vector, s Settings) Result {
+	s = s.withDefaults()
+	x := x0.Clone()
+	g := make(linalg.Vector, len(x0))
+	f := p.Eval(x)
+	p.Grad(x, g)
+	res := Result{X: x, F: f, GradNorm: g.NormInf(), Status: IterationLimit}
+	for iter := 1; iter <= s.MaxIter; iter++ {
+		res.Iterations = iter
+		if g.NormInf() <= s.GradTol {
+			res.Status = GradientConverged
+			return res
+		}
+		d := g.Scale(-1)
+		fNew, xNew, ok := armijo(p, x, f, d, g.Dot(d), s.InitialStep, s)
+		if !ok {
+			res.Status = LineSearchFailed
+			return res
+		}
+		relImp := (f - fNew) / (math.Abs(f) + 1e-12)
+		x, f = xNew, fNew
+		p.Grad(x, g)
+		res.X, res.F, res.GradNorm = x, f, g.NormInf()
+		if relImp >= 0 && relImp < s.FuncTol {
+			res.Status = FunctionConverged
+			return res
+		}
+	}
+	return res
+}
+
+// armijo backtracks from step until f(x+t·d) ≤ f + c·t·slope, returning
+// the accepted objective and point.
+func armijo(p Problem, x linalg.Vector, f float64, d linalg.Vector, slope, step float64, s Settings) (float64, linalg.Vector, bool) {
+	t := step
+	xt := make(linalg.Vector, len(x))
+	for k := 0; k < s.MaxBacktracks; k++ {
+		for i := range x {
+			xt[i] = x[i] + t*d[i]
+		}
+		ft := p.Eval(xt)
+		if !math.IsNaN(ft) && ft <= f+s.ArmijoC*t*slope {
+			return ft, xt.Clone(), true
+		}
+		t *= s.Backtrack
+	}
+	return f, nil, false
+}
+
+// NumericalGradient writes the central-difference gradient of eval at
+// x into g, using step h per coordinate. It is intended for testing
+// hand-derived gradients.
+func NumericalGradient(eval func(linalg.Vector) float64, x linalg.Vector, h float64, g linalg.Vector) {
+	xt := x.Clone()
+	for i := range x {
+		orig := xt[i]
+		xt[i] = orig + h
+		fp := eval(xt)
+		xt[i] = orig - h
+		fm := eval(xt)
+		xt[i] = orig
+		g[i] = (fp - fm) / (2 * h)
+	}
+}

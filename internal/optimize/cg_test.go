@@ -1,0 +1,195 @@
+package optimize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"crowdselect/internal/linalg"
+)
+
+// quadratic builds f(x) = ½ xᵀAx − bᵀx with SPD A; the minimum solves
+// Ax = b.
+func quadratic(a *linalg.Matrix, b linalg.Vector) Problem {
+	return Problem{
+		Eval: func(x linalg.Vector) float64 {
+			return 0.5*a.QuadForm(x, x) - b.Dot(x)
+		},
+		Grad: func(x, g linalg.Vector) {
+			ax := a.MulVec(x)
+			for i := range g {
+				g[i] = ax[i] - b[i]
+			}
+		},
+	}
+}
+
+func TestCGQuadratic(t *testing.T) {
+	a := linalg.NewMatrixFrom(2, 2, []float64{3, 1, 1, 2})
+	b := linalg.Vector{1, 2}
+	want, err := linalg.SPDSolve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ConjugateGradient(quadratic(a, b), linalg.Vector{10, -10}, Settings{})
+	if !res.X.Equal(want, 1e-4) {
+		t.Errorf("CG = %v (status %v), want %v", res.X, res.Status, want)
+	}
+	if res.Status != GradientConverged && res.Status != FunctionConverged {
+		t.Errorf("status = %v", res.Status)
+	}
+}
+
+func TestCGRandomQuadratics(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(8)
+		raw := linalg.NewMatrix(n, n)
+		for i := range raw.Data {
+			raw.Data[i] = rng.NormFloat64()
+		}
+		a := raw.T().Mul(raw).AddScalarDiagInPlace(float64(n)).Symmetrize()
+		b := make(linalg.Vector, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		want, err := linalg.SPDSolve(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x0 := make(linalg.Vector, n)
+		res := ConjugateGradient(quadratic(a, b), x0, Settings{MaxIter: 500, GradTol: 1e-8, FuncTol: 1e-15})
+		if !res.X.Equal(want, 1e-4) {
+			t.Fatalf("trial %d: CG off by %v", trial, res.X.Sub(want).NormInf())
+		}
+	}
+}
+
+func TestCGRosenbrock(t *testing.T) {
+	rosen := Problem{
+		Eval: func(x linalg.Vector) float64 {
+			a := 1 - x[0]
+			b := x[1] - x[0]*x[0]
+			return a*a + 100*b*b
+		},
+		Grad: func(x, g linalg.Vector) {
+			b := x[1] - x[0]*x[0]
+			g[0] = -2*(1-x[0]) - 400*x[0]*b
+			g[1] = 200 * b
+		},
+	}
+	res := ConjugateGradient(rosen, linalg.Vector{-1.2, 1}, Settings{MaxIter: 20000, GradTol: 1e-7})
+	if !res.X.Equal(linalg.Vector{1, 1}, 1e-3) {
+		t.Errorf("Rosenbrock: got %v after %d iters (status %v)", res.X, res.Iterations, res.Status)
+	}
+}
+
+func TestCGImmediateConvergence(t *testing.T) {
+	a := linalg.Identity(2)
+	b := linalg.Vector{1, 1}
+	res := ConjugateGradient(quadratic(a, b), linalg.Vector{1, 1}, Settings{})
+	if res.Status != GradientConverged || res.Iterations != 0 {
+		t.Errorf("at-optimum start: status %v iterations %d", res.Status, res.Iterations)
+	}
+}
+
+func TestCGDoesNotModifyX0(t *testing.T) {
+	x0 := linalg.Vector{5, 5}
+	ConjugateGradient(quadratic(linalg.Identity(2), linalg.Vector{0, 0}), x0, Settings{})
+	if !x0.Equal(linalg.Vector{5, 5}, 0) {
+		t.Errorf("x0 modified: %v", x0)
+	}
+}
+
+func TestGradientDescentQuadratic(t *testing.T) {
+	a := linalg.NewMatrixFrom(2, 2, []float64{2, 0, 0, 4})
+	b := linalg.Vector{2, 4}
+	res := GradientDescent(quadratic(a, b), linalg.Vector{9, 9}, Settings{MaxIter: 2000, GradTol: 1e-8})
+	if !res.X.Equal(linalg.Vector{1, 1}, 1e-4) {
+		t.Errorf("GD = %v, want [1 1]", res.X)
+	}
+}
+
+func TestCGBeatsGDIterationsOnIllConditioned(t *testing.T) {
+	a := linalg.NewDiag(linalg.Vector{1, 100})
+	b := linalg.Vector{1, 100}
+	p := quadratic(a, b)
+	set := Settings{MaxIter: 5000, GradTol: 1e-8}
+	cg := ConjugateGradient(p, linalg.Vector{50, -50}, set)
+	gd := GradientDescent(p, linalg.Vector{50, -50}, set)
+	if cg.Iterations >= gd.Iterations {
+		t.Errorf("CG (%d iters) not faster than GD (%d iters)", cg.Iterations, gd.Iterations)
+	}
+}
+
+func TestNumericalGradientMatchesAnalytic(t *testing.T) {
+	a := linalg.NewMatrixFrom(3, 3, []float64{4, 1, 0, 1, 3, 1, 0, 1, 5})
+	b := linalg.Vector{1, -2, 0.5}
+	p := quadratic(a, b)
+	x := linalg.Vector{0.3, -1.1, 2.2}
+	ga := make(linalg.Vector, 3)
+	gn := make(linalg.Vector, 3)
+	p.Grad(x, ga)
+	NumericalGradient(p.Eval, x, 1e-6, gn)
+	if !ga.Equal(gn, 1e-5) {
+		t.Errorf("analytic %v vs numeric %v", ga, gn)
+	}
+}
+
+func TestLineSearchFailureOnDivergentObjective(t *testing.T) {
+	// Unbounded-below linear objective: every step helps, so the line
+	// search always succeeds; use the iteration limit instead to be
+	// sure the loop terminates.
+	p := Problem{
+		Eval: func(x linalg.Vector) float64 { return x[0] },
+		Grad: func(x, g linalg.Vector) { g[0] = 1 },
+	}
+	res := ConjugateGradient(p, linalg.Vector{0}, Settings{MaxIter: 10})
+	if res.Status != IterationLimit {
+		t.Errorf("status = %v, want iteration limit", res.Status)
+	}
+	// NaN-producing objective: the line search must bail out and the
+	// best iterate so far must be returned finite.
+	nan := Problem{
+		Eval: func(x linalg.Vector) float64 {
+			if x[0] != 0 {
+				return math.NaN()
+			}
+			return 0
+		},
+		Grad: func(x, g linalg.Vector) { g[0] = 1 },
+	}
+	res = ConjugateGradient(nan, linalg.Vector{0}, Settings{MaxIter: 10, MaxBacktracks: 5})
+	if res.Status != LineSearchFailed {
+		t.Errorf("status = %v, want line search failed", res.Status)
+	}
+	if !res.X.IsFinite() {
+		t.Errorf("returned non-finite iterate %v", res.X)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for s, want := range map[Status]string{
+		GradientConverged: "gradient converged",
+		FunctionConverged: "function converged",
+		IterationLimit:    "iteration limit",
+		LineSearchFailed:  "line search failed",
+		Status(99):        "unknown",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("Status(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestSettingsDefaults(t *testing.T) {
+	s := Settings{}.withDefaults()
+	if s.MaxIter != 200 || s.GradTol != 1e-6 || s.InitialStep != 1 || s.Backtrack != 0.5 {
+		t.Errorf("defaults = %+v", s)
+	}
+	// Invalid values are normalized too.
+	s = Settings{Backtrack: 2, ArmijoC: -1}.withDefaults()
+	if s.Backtrack != 0.5 || s.ArmijoC != 1e-4 {
+		t.Errorf("normalized = %+v", s)
+	}
+}

@@ -1,0 +1,21 @@
+package rank_test
+
+import (
+	"fmt"
+
+	"crowdselect/internal/rank"
+)
+
+func ExampleTopK() {
+	skills := map[int]float64{3: 0.9, 7: 0.4, 9: 0.7}
+	top := rank.TopK([]int{3, 7, 9}, func(id int) float64 { return skills[id] }, 2)
+	fmt.Println(top)
+	// Output: [3 9]
+}
+
+func ExampleRankOf() {
+	skills := map[int]float64{1: 0.2, 2: 0.8, 3: 0.5}
+	r, ok := rank.RankOf([]int{1, 2, 3}, func(id int) float64 { return skills[id] }, 3)
+	fmt.Println(r, ok)
+	// Output: 1 true
+}

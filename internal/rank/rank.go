@@ -1,0 +1,63 @@
+// Package rank provides the small ranking utilities shared by every
+// crowd-selection algorithm: top-k selection over scored candidates
+// (Eq. 1 of the paper) and the rank of a designated candidate, which
+// the ACCU and TopK metrics of §7.2.2 are built on.
+package rank
+
+import (
+	"sort"
+)
+
+// Item is a scored candidate.
+type Item struct {
+	ID    int
+	Score float64
+}
+
+// TopK returns the k highest-scoring candidate ids, best first. Ties
+// break toward the lower id so results are deterministic. k larger
+// than the candidate set returns all candidates ranked.
+func TopK(candidates []int, score func(id int) float64, k int) []int {
+	if k <= 0 || len(candidates) == 0 {
+		return nil
+	}
+	items := make([]Item, len(candidates))
+	for i, id := range candidates {
+		items[i] = Item{ID: id, Score: score(id)}
+	}
+	sortItems(items)
+	if k > len(items) {
+		k = len(items)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = items[i].ID
+	}
+	return out
+}
+
+// RankAll returns every candidate ranked best first.
+func RankAll(candidates []int, score func(id int) float64) []int {
+	return TopK(candidates, score, len(candidates))
+}
+
+// RankOf returns the 0-based rank of target among candidates under
+// score (0 = best), and false when target is not a candidate.
+func RankOf(candidates []int, score func(id int) float64, target int) (int, bool) {
+	ranked := RankAll(candidates, score)
+	for r, id := range ranked {
+		if id == target {
+			return r, true
+		}
+	}
+	return 0, false
+}
+
+func sortItems(items []Item) {
+	sort.Slice(items, func(a, b int) bool {
+		if items[a].Score != items[b].Score {
+			return items[a].Score > items[b].Score
+		}
+		return items[a].ID < items[b].ID
+	})
+}

@@ -1,0 +1,105 @@
+package rank
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func scoreOf(m map[int]float64) func(int) float64 {
+	return func(id int) float64 { return m[id] }
+}
+
+func TestTopK(t *testing.T) {
+	scores := map[int]float64{1: 0.5, 2: 0.9, 3: 0.1, 4: 0.7}
+	got := TopK([]int{1, 2, 3, 4}, scoreOf(scores), 2)
+	if !reflect.DeepEqual(got, []int{2, 4}) {
+		t.Errorf("TopK = %v", got)
+	}
+}
+
+func TestTopKOverAsk(t *testing.T) {
+	got := TopK([]int{5, 6}, scoreOf(map[int]float64{5: 1, 6: 2}), 10)
+	if !reflect.DeepEqual(got, []int{6, 5}) {
+		t.Errorf("TopK = %v", got)
+	}
+}
+
+func TestTopKEmptyAndZero(t *testing.T) {
+	if got := TopK(nil, scoreOf(nil), 3); got != nil {
+		t.Errorf("TopK(nil) = %v", got)
+	}
+	if got := TopK([]int{1}, scoreOf(nil), 0); got != nil {
+		t.Errorf("TopK(k=0) = %v", got)
+	}
+}
+
+func TestTopKTiesBreakByID(t *testing.T) {
+	got := TopK([]int{9, 3, 7}, scoreOf(map[int]float64{9: 1, 3: 1, 7: 1}), 3)
+	if !reflect.DeepEqual(got, []int{3, 7, 9}) {
+		t.Errorf("tie order = %v", got)
+	}
+}
+
+func TestRankOf(t *testing.T) {
+	scores := map[int]float64{1: 0.5, 2: 0.9, 3: 0.1}
+	if r, ok := RankOf([]int{1, 2, 3}, scoreOf(scores), 1); !ok || r != 1 {
+		t.Errorf("RankOf(1) = %d, %v", r, ok)
+	}
+	if r, ok := RankOf([]int{1, 2, 3}, scoreOf(scores), 2); !ok || r != 0 {
+		t.Errorf("RankOf(2) = %d, %v", r, ok)
+	}
+	if _, ok := RankOf([]int{1, 2}, scoreOf(scores), 99); ok {
+		t.Error("missing target reported found")
+	}
+}
+
+func TestRankAllIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(20)
+		cands := make([]int, n)
+		scores := make(map[int]float64, n)
+		for i := range cands {
+			cands[i] = rng.Intn(1000)
+			scores[cands[i]] = rng.NormFloat64()
+		}
+		ranked := RankAll(cands, scoreOf(scores))
+		if len(ranked) != n {
+			t.Fatalf("RankAll length %d, want %d", len(ranked), n)
+		}
+		a, b := append([]int(nil), cands...), append([]int(nil), ranked...)
+		sort.Ints(a)
+		sort.Ints(b)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatal("RankAll is not a permutation of candidates")
+		}
+		for i := 1; i < n; i++ {
+			if scores[ranked[i]] > scores[ranked[i-1]] {
+				t.Fatal("RankAll not sorted by score")
+			}
+		}
+	}
+}
+
+// Property: ranking is invariant under positive affine transforms of
+// the score (relied on by selection-score semantics).
+func TestRankInvariantUnderAffine(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(10)
+		cands := make([]int, n)
+		scores := make(map[int]float64, n)
+		for i := range cands {
+			cands[i] = i
+			scores[i] = rng.NormFloat64()
+		}
+		a, b := 0.5+rng.Float64()*3, rng.NormFloat64()*10
+		r1 := RankAll(cands, scoreOf(scores))
+		r2 := RankAll(cands, func(id int) float64 { return a*scores[id] + b })
+		if !reflect.DeepEqual(r1, r2) {
+			t.Fatalf("affine transform changed ranking: %v vs %v", r1, r2)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+// Package sim closes the loop of Figure 1: it routes a stream of
+// arriving tasks to workers chosen by a selection policy, simulates
+// the answers those workers would produce (using the corpus
+// generator's hidden ground-truth skills), and measures the realized
+// answer quality. This is the systems payoff the paper argues for —
+// task-driven selection should put questions in front of workers who
+// produce better answers — quantified against random and oracle
+// routing.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"crowdselect/internal/corpus"
+	"crowdselect/internal/randx"
+	"crowdselect/internal/rank"
+	"crowdselect/internal/text"
+)
+
+// Policy picks k workers from the online pool for a task.
+type Policy interface {
+	Name() string
+	Pick(bag text.Bag, online []int, k int) []int
+}
+
+// Ranker is the subset of eval.Selector the policy adapter needs
+// (declared locally to avoid a dependency cycle with eval).
+type Ranker interface {
+	Name() string
+	Rank(bag text.Bag, candidates []int) []int
+}
+
+// SelectorPolicy adapts any crowd-selection algorithm to a routing
+// policy.
+type SelectorPolicy struct {
+	Ranker Ranker
+}
+
+// Name identifies the underlying algorithm.
+func (p SelectorPolicy) Name() string { return p.Ranker.Name() }
+
+// Pick returns the algorithm's top-k online workers.
+func (p SelectorPolicy) Pick(bag text.Bag, online []int, k int) []int {
+	ranked := p.Ranker.Rank(bag, online)
+	if len(ranked) > k {
+		ranked = ranked[:k]
+	}
+	return ranked
+}
+
+// RandomPolicy routes to uniformly random online workers — the
+// no-model control.
+type RandomPolicy struct {
+	RNG *randx.RNG
+}
+
+// Name identifies the control policy.
+func (RandomPolicy) Name() string { return "random" }
+
+// Pick samples k distinct online workers uniformly.
+func (p RandomPolicy) Pick(_ text.Bag, online []int, k int) []int {
+	if k > len(online) {
+		k = len(online)
+	}
+	perm := p.RNG.Perm(len(online))
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = online[perm[i]]
+	}
+	sort.Ints(out)
+	return out
+}
+
+// OraclePolicy routes using the generator's hidden ground truth — the
+// upper bound no learned policy can exceed in expectation.
+type OraclePolicy struct {
+	Dataset *corpus.Dataset
+	// TrueMix is looked up by task id registered via Prepare.
+	mixes map[string][]float64
+}
+
+// Name identifies the oracle.
+func (OraclePolicy) Name() string { return "oracle" }
+
+// NewOraclePolicy indexes the dataset's hidden task mixtures by bag
+// fingerprint so Pick can recover the true mixture for a task.
+func NewOraclePolicy(d *corpus.Dataset) *OraclePolicy {
+	p := &OraclePolicy{Dataset: d, mixes: make(map[string][]float64, len(d.Tasks))}
+	for _, t := range d.Tasks {
+		p.mixes[fingerprint(t.Bag(d.Vocab))] = t.TrueMix
+	}
+	return p
+}
+
+// Pick returns the k online workers with the highest true quality on
+// the task.
+func (p *OraclePolicy) Pick(bag text.Bag, online []int, k int) []int {
+	mix, ok := p.mixes[fingerprint(bag)]
+	if !ok {
+		out := append([]int(nil), online...)
+		if len(out) > k {
+			out = out[:k]
+		}
+		return out
+	}
+	return rank.TopK(online, func(w int) float64 {
+		return dot(p.Dataset.Workers[w].TrueSkill, mix)
+	}, k)
+}
+
+func fingerprint(b text.Bag) string { return fmt.Sprint(b.IDs, b.Counts) }
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Config controls a simulation run.
+type Config struct {
+	// CrowdK is the number of workers each task is routed to.
+	CrowdK int
+	// Noise is the per-answer quality noise (σ of a Gaussian around
+	// the worker's true quality, matching the generator's Eq. 6 view).
+	Noise float64
+	// Seed drives the answer noise (and any stochastic policy state
+	// should be seeded separately by the caller).
+	Seed int64
+}
+
+// Result aggregates one policy's routing performance.
+type Result struct {
+	Policy string
+	Tasks  int
+	// MeanBest is the mean over tasks of the best answer quality among
+	// the routed workers — what the asker experiences.
+	MeanBest float64
+	// MeanPicked is the mean answer quality over all routed workers.
+	MeanPicked float64
+	// Regret is the mean shortfall of MeanBest against oracle routing
+	// on the same tasks with the same noise draws.
+	Regret float64
+}
+
+// String renders the result as one row.
+func (r Result) String() string {
+	return fmt.Sprintf("%-8s tasks=%-5d best=%.3f picked=%.3f regret=%.3f",
+		r.Policy, r.Tasks, r.MeanBest, r.MeanPicked, r.Regret)
+}
+
+// Run routes each task through the policy and measures realized
+// quality. The same seed gives every policy identical noise draws, so
+// results are directly comparable (common random numbers).
+func Run(d *corpus.Dataset, taskIDs []int, p Policy, cfg Config) (Result, error) {
+	if cfg.CrowdK < 1 {
+		return Result{}, fmt.Errorf("sim: CrowdK = %d", cfg.CrowdK)
+	}
+	if cfg.Noise < 0 {
+		return Result{}, fmt.Errorf("sim: Noise = %g", cfg.Noise)
+	}
+	online := make([]int, len(d.Workers))
+	for i := range online {
+		online[i] = i
+	}
+	oracle := NewOraclePolicy(d)
+	res := Result{Policy: p.Name()}
+	var bestSum, pickedSum, oracleSum float64
+	for _, id := range taskIDs {
+		if id < 0 || id >= len(d.Tasks) {
+			return Result{}, fmt.Errorf("sim: task id %d of %d", id, len(d.Tasks))
+		}
+		task := d.Tasks[id]
+		bag := task.Bag(d.Vocab)
+
+		picked := p.Pick(bag, online, cfg.CrowdK)
+		if len(picked) == 0 {
+			return Result{}, fmt.Errorf("sim: policy %s picked no workers for task %d", p.Name(), id)
+		}
+		// Answer noise is a pure function of (seed, task, worker), so
+		// every policy sees identical draws for the same pair — common
+		// random numbers make the policy comparison exact.
+		qualityOf := func(w int) float64 {
+			q := dot(d.Workers[w].TrueSkill, task.TrueMix)
+			return q + cfg.Noise*qualityNoise(cfg.Seed, id, w)
+		}
+		best := math.Inf(-1)
+		for _, w := range picked {
+			q := qualityOf(w)
+			pickedSum += q
+			if q > best {
+				best = q
+			}
+		}
+		bestSum += best
+
+		oPicked := oracle.Pick(bag, online, cfg.CrowdK)
+		oBest := math.Inf(-1)
+		for _, w := range oPicked {
+			if q := qualityOf(w); q > oBest {
+				oBest = q
+			}
+		}
+		oracleSum += oBest
+		res.Tasks++
+	}
+	if res.Tasks > 0 {
+		res.MeanBest = bestSum / float64(res.Tasks)
+		res.MeanPicked = pickedSum / float64(res.Tasks*cfg.CrowdK)
+		res.Regret = (oracleSum - bestSum) / float64(res.Tasks)
+	}
+	return res, nil
+}
+
+// qualityNoise returns a standard-normal draw that is a pure function
+// of (seed, task, worker) — independent of pick order or of which
+// other workers were routed.
+func qualityNoise(seed int64, task, worker int) float64 {
+	h := seed ^ int64(task)*1000003 ^ int64(worker)*2654435761
+	return randx.New(h).Normal(0, 1)
+}

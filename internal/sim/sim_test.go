@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"crowdselect/internal/core"
+	"crowdselect/internal/corpus"
+	"crowdselect/internal/randx"
+	"crowdselect/internal/text"
+)
+
+func simFixture(t *testing.T) (*corpus.Dataset, *core.Model, []int) {
+	t.Helper()
+	p := corpus.Quora().Scaled(0.06)
+	p.Seed = 21
+	d := corpus.MustGenerate(p)
+	cfg := core.NewConfig(8)
+	cfg.MaxIter = 40
+	m, _, err := core.Train(resolvedTasks(d), len(d.Workers), d.Vocab.Size(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]int, 0, 150)
+	for i := 0; i < len(d.Tasks) && len(ids) < 150; i++ {
+		ids = append(ids, i)
+	}
+	return d, m, ids
+}
+
+func TestRunValidation(t *testing.T) {
+	d, m, ids := simFixture(t)
+	pol := SelectorPolicy{Ranker: m}
+	if _, err := Run(d, ids, pol, Config{CrowdK: 0}); err == nil {
+		t.Error("CrowdK=0 accepted")
+	}
+	if _, err := Run(d, ids, pol, Config{CrowdK: 2, Noise: -1}); err == nil {
+		t.Error("negative noise accepted")
+	}
+	if _, err := Run(d, []int{9999}, pol, Config{CrowdK: 2}); err == nil {
+		t.Error("bad task id accepted")
+	}
+}
+
+// The headline closed-loop claim: oracle ≥ TDPM > random in realized
+// best-answer quality, and oracle regret is (by construction) zero.
+func TestRoutingQualityOrdering(t *testing.T) {
+	d, m, ids := simFixture(t)
+	cfg := Config{CrowdK: 3, Noise: 0.3, Seed: 9}
+
+	tdpm, err := Run(d, ids, SelectorPolicy{Ranker: m}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	random, err := Run(d, ids, RandomPolicy{RNG: randx.New(4)}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := Run(d, ids, NewOraclePolicy(d), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !(oracle.MeanBest >= tdpm.MeanBest) {
+		t.Errorf("oracle %.3f below TDPM %.3f", oracle.MeanBest, tdpm.MeanBest)
+	}
+	if !(tdpm.MeanBest > random.MeanBest+0.1) {
+		t.Errorf("TDPM %.3f does not clearly beat random %.3f", tdpm.MeanBest, random.MeanBest)
+	}
+	if oracle.Regret > 1e-9 {
+		t.Errorf("oracle regret = %v", oracle.Regret)
+	}
+	if tdpm.Regret < 0 {
+		t.Errorf("TDPM regret negative: %v", tdpm.Regret)
+	}
+	if random.Regret <= tdpm.Regret {
+		t.Errorf("random regret %.3f not above TDPM regret %.3f", random.Regret, tdpm.Regret)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	d, m, ids := simFixture(t)
+	cfg := Config{CrowdK: 2, Noise: 0.2, Seed: 5}
+	a, err := Run(d, ids, SelectorPolicy{Ranker: m}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(d, ids, SelectorPolicy{Ranker: m}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("repeated run differs: %+v vs %+v", a, b)
+	}
+}
+
+func TestRandomPolicyPicksDistinctOnline(t *testing.T) {
+	pol := RandomPolicy{RNG: randx.New(1)}
+	online := []int{3, 5, 9, 11}
+	for trial := 0; trial < 50; trial++ {
+		got := pol.Pick(nil1Bag(), online, 3)
+		if len(got) != 3 {
+			t.Fatalf("picked %d", len(got))
+		}
+		seen := map[int]bool{}
+		for _, w := range got {
+			if seen[w] {
+				t.Fatal("duplicate pick")
+			}
+			seen[w] = true
+			if w != 3 && w != 5 && w != 9 && w != 11 {
+				t.Fatalf("picked offline worker %d", w)
+			}
+		}
+	}
+	// Over-ask clamps.
+	if got := pol.Pick(nil1Bag(), online, 99); len(got) != len(online) {
+		t.Errorf("over-ask returned %d", len(got))
+	}
+}
+
+func TestOracleFallbackOnUnknownTask(t *testing.T) {
+	d, _, _ := simFixture(t)
+	oracle := NewOraclePolicy(d)
+	got := oracle.Pick(nil1Bag(), []int{0, 1, 2}, 2)
+	if len(got) != 2 {
+		t.Errorf("fallback pick = %v", got)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{Policy: "TDPM", Tasks: 10, MeanBest: 3.21}
+	if s := r.String(); !strings.Contains(s, "TDPM") || !strings.Contains(s, "3.210") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func nil1Bag() text.Bag { return text.Bag{} }
+
+// resolvedTasks converts a dataset to training input (kept local: the
+// eval package imports sim, so sim's tests cannot import eval).
+func resolvedTasks(d *corpus.Dataset) []core.ResolvedTask {
+	out := make([]core.ResolvedTask, len(d.Tasks))
+	for j, t := range d.Tasks {
+		rt := core.ResolvedTask{Bag: t.Bag(d.Vocab)}
+		for _, r := range t.Responses {
+			rt.Responses = append(rt.Responses, core.Scored{Worker: r.Worker, Score: r.Score})
+		}
+		out[j] = rt
+	}
+	return out
+}

@@ -1,0 +1,28 @@
+package text_test
+
+import (
+	"fmt"
+
+	"crowdselect/internal/text"
+)
+
+func ExampleTokenize() {
+	fmt.Println(text.Tokenize("What are the advantages of B+ Tree over B Tree?"))
+	// Output: [advantages b+ tree b tree]
+}
+
+func ExampleJaccard() {
+	v := text.NewVocabulary()
+	a := text.NewBag(v, text.Tokenize("b+ tree index"))
+	b := text.NewBag(v, text.Tokenize("hash index"))
+	fmt.Printf("%.2f\n", text.Jaccard(a, b))
+	// Output: 0.25
+}
+
+func ExampleBag_Cosine() {
+	v := text.NewVocabulary()
+	task := text.NewBag(v, text.Tokenize("database index tuning"))
+	history := text.NewBag(v, text.Tokenize("database index database queries"))
+	fmt.Printf("%.3f\n", task.Cosine(history))
+	// Output: 0.707
+}

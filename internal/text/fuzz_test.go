@@ -1,0 +1,78 @@
+package text
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// FuzzTokenize checks Tokenize's invariants on arbitrary input: no
+// panic, lower-case output, no stopwords, and no separator characters
+// inside tokens.
+func FuzzTokenize(f *testing.F) {
+	seeds := []string{
+		"",
+		"What are the advantages of B+ Tree over B Tree?",
+		"C# vs Go 1.22: generics?",
+		"日本語のトークン化 & emoji 🙂 test",
+		strings.Repeat("a", 4096),
+		"'quotes' \"and\" `ticks`",
+		"a-b_c+d#e",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		tokens := Tokenize(s)
+		for _, tok := range tokens {
+			if tok == "" {
+				t.Fatal("empty token")
+			}
+			if tok != strings.ToLower(tok) {
+				t.Fatalf("token %q not lower-case", tok)
+			}
+			if IsStopword(tok) {
+				t.Fatalf("stopword %q survived", tok)
+			}
+			for _, r := range tok {
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '+' && r != '#' {
+					t.Fatalf("separator %q inside token %q", r, tok)
+				}
+			}
+		}
+		// Tokenization must be idempotent under re-joining: tokens of
+		// the joined tokens are the tokens themselves.
+		again := Tokenize(strings.Join(tokens, " "))
+		if len(again) != len(tokens) {
+			t.Fatalf("re-tokenization changed count: %d -> %d", len(tokens), len(again))
+		}
+		for i := range tokens {
+			if tokens[i] != again[i] {
+				t.Fatalf("re-tokenization changed token %d: %q -> %q", i, tokens[i], again[i])
+			}
+		}
+	})
+}
+
+// FuzzBagOps checks bag construction and similarity bounds on
+// arbitrary token streams.
+func FuzzBagOps(f *testing.F) {
+	f.Add("a b c", "b c d")
+	f.Add("", "x")
+	f.Add("tree tree tree", "tree")
+	f.Fuzz(func(t *testing.T, s1, s2 string) {
+		v := NewVocabulary()
+		b1 := NewBag(v, Tokenize(s1))
+		b2 := NewBag(v, Tokenize(s2))
+		if cos := b1.Cosine(b2); cos < 0 || cos > 1+1e-9 {
+			t.Fatalf("cosine out of range: %v", cos)
+		}
+		if j := Jaccard(b1, b2); j < 0 || j > 1 {
+			t.Fatalf("jaccard out of range: %v", j)
+		}
+		m := b1.Merge(b2)
+		if m.Total() != b1.Total()+b2.Total() {
+			t.Fatalf("merge total %v != %v + %v", m.Total(), b1.Total(), b2.Total())
+		}
+	})
+}
