@@ -1,0 +1,25 @@
+# Development targets. `make ci` is what the CI workflow runs on every
+# PR: vet, build, and the full test suite under the race detector
+# (DESIGN.md §5 — concurrent serving is a correctness feature here, so
+# -race is not optional).
+
+GO ?= go
+
+.PHONY: build vet test race bench ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+ci: vet build race

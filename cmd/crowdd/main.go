@@ -10,15 +10,25 @@
 //
 // Endpoints (see internal/crowddb): POST /api/tasks,
 // POST /api/tasks/{id}/answers, POST /api/tasks/{id}/feedback,
-// GET /api/workers/{id}, GET /api/stats.
+// GET /api/workers/{id}, GET /api/stats, GET /api/metrics; with
+// -pprof, the net/http/pprof handlers under /debug/pprof/.
+//
+// On SIGINT/SIGTERM the server stops accepting connections and drains
+// in-flight requests for up to -drain before forcing them closed.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"crowdselect/internal/core"
@@ -37,27 +47,83 @@ func main() {
 		crowdK  = flag.Int("crowd", 3, "default crowd size per task")
 		addr    = flag.String("addr", ":8080", "listen address")
 		sweeps  = flag.Int("sweeps", 0, "override TDPM training sweeps (0 = default)")
+		drain   = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+		pprofOn = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
-	if err := run(*profile, *scale, *data, *k, *crowdK, *addr, *sweeps); err != nil {
+	if err := run(*profile, *scale, *data, *k, *crowdK, *addr, *sweeps, *drain, *pprofOn); err != nil {
 		fmt.Fprintln(os.Stderr, "crowdd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(profile string, scale float64, data string, k, crowdK int, addr string, sweeps int) error {
-	handler, online, err := buildService(profile, scale, data, k, crowdK, sweeps)
+func run(profile string, scale float64, data string, k, crowdK int, addr string, sweeps int, drain time.Duration, pprofOn bool) error {
+	srv, online, err := buildService(profile, scale, data, k, crowdK, sweeps)
 	if err != nil {
 		return err
 	}
-	log.Printf("crowd-selection service listening on %s (%d workers online)", addr, online)
-	return http.ListenAndServe(addr, handler)
+	srv.SetLogger(log.Printf)
+	var handler http.Handler = srv
+	if pprofOn {
+		handler = withPprof(handler)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("crowd-selection service listening on %s (%d workers online)", ln.Addr(), online)
+	err = serve(ctx, ln, handler, drain)
+	snap := srv.Metrics().Snapshot()
+	log.Printf("served %d requests (%d errors) over %s", snap.Requests, snap.Errors, time.Duration(snap.UptimeSeconds*float64(time.Second)).Round(time.Second))
+	return err
+}
+
+// serve runs handler on ln until ctx is cancelled, then shuts down
+// gracefully: the listener closes immediately, in-flight requests get
+// up to drain to finish, and whatever remains is forcibly closed. It
+// is split from run so tests can drive the full lifecycle against a
+// 127.0.0.1:0 listener.
+func serve(ctx context.Context, ln net.Listener, handler http.Handler, drain time.Duration) error {
+	srv := &http.Server{Handler: handler, ReadHeaderTimeout: 5 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down: draining in-flight requests (up to %s)", drain)
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		srv.Close()
+		return fmt.Errorf("drain incomplete: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// withPprof mounts the net/http/pprof handlers next to the service
+// API — the profiling hook for chasing latency under live traffic.
+func withPprof(h http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", h)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // buildService assembles the full pipeline — dataset, trained TDPM,
-// crowd database, manager — and returns the HTTP handler plus the
+// crowd database, manager — and returns the HTTP server plus the
 // number of online workers.
-func buildService(profile string, scale float64, data string, k, crowdK, sweeps int) (http.Handler, int, error) {
+func buildService(profile string, scale float64, data string, k, crowdK, sweeps int) (*crowddb.Server, int, error) {
 	var (
 		d   *corpus.Dataset
 		err error
@@ -95,6 +161,8 @@ func buildService(profile string, scale float64, data string, k, crowdK, sweeps 
 			return nil, 0, err
 		}
 	}
+	// The manager wraps the model in a core.ConcurrentModel, so
+	// concurrent selection and feedback requests are race-free.
 	mgr, err := crowddb.NewManager(store, d.Vocab, model, crowdK)
 	if err != nil {
 		return nil, 0, err

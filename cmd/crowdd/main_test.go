@@ -1,12 +1,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"crowdselect/internal/corpus"
 )
@@ -83,6 +87,101 @@ func TestBuildServiceFromDataFile(t *testing.T) {
 	}
 	if _, _, err := buildService("", 0, path, 4, 2, 3); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestServeGracefulShutdown: cancelling the serve context (the SIGINT/
+// SIGTERM path) must let an in-flight request finish, then close the
+// listener and return nil.
+func TestServeGracefulShutdown(t *testing.T) {
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		started <- struct{}{}
+		<-release
+		io.WriteString(w, "drained")
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, ln, h, 5*time.Second) }()
+
+	type result struct {
+		body string
+		err  error
+	}
+	resc := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/")
+		if err != nil {
+			resc <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		resc <- result{body: string(b), err: err}
+	}()
+
+	<-started
+	cancel() // deliver the "signal" while the request is in flight
+	release <- struct{}{}
+
+	if res := <-resc; res.err != nil || res.body != "drained" {
+		t.Fatalf("in-flight request = %+v, want drained", res)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v after clean drain", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not return after shutdown")
+	}
+	// The listener is closed: new connections are refused.
+	if _, err := net.DialTimeout("tcp", ln.Addr().String(), time.Second); err == nil {
+		t.Error("listener still accepting after shutdown")
+	}
+}
+
+// TestServeShutdownDeadline: a request that outlives the drain window
+// must not wedge shutdown — serve force-closes and reports the
+// deadline error.
+func TestServeShutdownDeadline(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	started := make(chan struct{}, 1)
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		started <- struct{}{}
+		<-block
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, ln, h, 50*time.Millisecond) }()
+
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("serve returned nil though the drain deadline was exceeded")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve hung past the drain deadline")
 	}
 }
 

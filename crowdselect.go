@@ -62,8 +62,25 @@ type (
 	TrainStats = core.TrainStats
 )
 
+// ConcurrentModel is a Model wrapped for concurrent serving: any
+// number of selection reads (Project/Rank/SelectTopK) run in parallel
+// with incremental skill updates without data races. NewManager wraps
+// bare models automatically; use this type directly when driving a
+// Model from your own goroutines.
+type ConcurrentModel = core.ConcurrentModel
+
+// NewConcurrentModel wraps a trained model for concurrent
+// select/update traffic. The wrapper owns synchronization from here
+// on: do not keep mutating m directly.
+func NewConcurrentModel(m *Model) *ConcurrentModel { return core.NewConcurrentModel(m) }
+
 // ErrNoData is returned by Train when given no scored tasks.
 var ErrNoData = core.ErrNoData
+
+// ErrBadUpdate is returned by Model.UpdateWorkerSkill[Drift] on
+// invalid input (mismatched lengths, negative process variance,
+// out-of-range worker).
+var ErrBadUpdate = core.ErrBadUpdate
 
 // NewConfig returns the default TDPM configuration with k latent
 // categories.

@@ -98,6 +98,30 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nstats: %v\n", stats)
+
+	// The middleware tracked every call above: per-endpoint counts,
+	// errors and latency quantiles.
+	mresp, err := http.Get(srv.URL + "/api/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var metrics struct {
+		Requests  int64 `json:"requests"`
+		Errors    int64 `json:"errors"`
+		Endpoints map[string]struct {
+			Count int64   `json:"count"`
+			P50Ms float64 `json:"p50_ms"`
+			P99Ms float64 `json:"p99_ms"`
+		} `json:"endpoints"`
+	}
+	if err := json.NewDecoder(mresp.Body).Decode(&metrics); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmetrics: %d requests, %d errors\n", metrics.Requests, metrics.Errors)
+	for ep, m := range metrics.Endpoints {
+		fmt.Printf("  %-32s count %2d  p50 %6.2fms  p99 %6.2fms\n", ep, m.Count, m.P50Ms, m.P99Ms)
+	}
 }
 
 func post(url string, body, out any) {

@@ -76,7 +76,9 @@ func main() {
 		// Fold the stream task's feedback into the involved workers'
 		// skills (§4.2 issue 2 — crowd update).
 		for _, r := range task.Responses {
-			model.UpdateWorkerSkill(r.Worker, []crowdselect.TaskCategory{cat}, []float64{r.Score})
+			if err := model.UpdateWorkerSkill(r.Worker, []crowdselect.TaskCategory{cat}, []float64{r.Score}); err != nil {
+				log.Fatal(err)
+			}
 		}
 
 		if routable%50 == 0 {

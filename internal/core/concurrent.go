@@ -1,0 +1,118 @@
+package core
+
+import (
+	"sync"
+
+	"crowdselect/internal/linalg"
+	"crowdselect/internal/randx"
+	"crowdselect/internal/text"
+)
+
+// ConcurrentModel makes one trained Model safe for the serving regime
+// of §2 Figure 1: crowd-selection reads (Project, SelectTopK, Rank)
+// running concurrently with incremental posterior writes
+// (UpdateWorkerSkill[Drift]) as feedback keeps arriving. A bare Model
+// is not safe for that mix — the update path swaps LambdaW/NuW2
+// entries the selection path is reading.
+//
+// The wrapper holds an RWMutex: selection and projection take the read
+// lock (so any number run in parallel, which matters — projection is
+// the expensive conjugate-gradient step), and posterior updates take
+// the write lock for the short solve-and-swap. Together with the
+// update's commit-after-solve discipline this guarantees readers never
+// observe a half-applied posterior.
+//
+// Methods not exposed here (training, Save, TopTerms, …) are reached
+// through Unwrap, which hands back the underlying Model; the caller
+// must ensure no concurrent wrapper calls are in flight while using it
+// for anything that mutates.
+type ConcurrentModel struct {
+	mu sync.RWMutex
+	m  *Model
+}
+
+// NewConcurrentModel wraps m. The wrapper owns synchronization from
+// here on: callers must not keep mutating m directly.
+func NewConcurrentModel(m *Model) *ConcurrentModel {
+	return &ConcurrentModel{m: m}
+}
+
+// Unwrap returns the underlying Model for setup-time configuration or
+// exclusive-access operations (saving, diagnostics). See the type
+// comment for the safety contract.
+func (c *ConcurrentModel) Unwrap() *Model { return c.m }
+
+// Name identifies the algorithm in reports, like (*Model).Name.
+func (c *ConcurrentModel) Name() string { return c.m.Name() }
+
+// NumWorkers returns the number of workers the model was trained over.
+func (c *ConcurrentModel) NumWorkers() int { return c.m.NumWorkers() }
+
+// Project estimates the latent category of a new task (Algorithm 3,
+// first phase) under the read lock.
+func (c *ConcurrentModel) Project(bag text.Bag) TaskCategory {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.m.Project(bag)
+}
+
+// ProjectAll projects a batch of tasks; the read lock is held across
+// the whole batch so every projection sees one model version.
+func (c *ConcurrentModel) ProjectAll(bags []text.Bag, parallelism int) []TaskCategory {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.m.ProjectAll(bags, parallelism)
+}
+
+// Score returns worker i's predictive performance wᵢ·c (§4.2).
+func (c *ConcurrentModel) Score(worker int, cat linalg.Vector) float64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.m.Score(worker, cat)
+}
+
+// SelectTopK implements Eq. 1 under the read lock.
+func (c *ConcurrentModel) SelectTopK(cat linalg.Vector, candidates []int, k int) []int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.m.SelectTopK(cat, candidates, k)
+}
+
+// SelectForTask is the end-to-end Algorithm 3 under the read lock, so
+// the projection and the ranking see the same posteriors.
+func (c *ConcurrentModel) SelectForTask(bag text.Bag, candidates []int, k int, rng *randx.RNG) []int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.m.SelectForTask(bag, candidates, k, rng)
+}
+
+// Rank orders the candidate workers best first for the task — the
+// Selector-interface form of SelectForTask.
+func (c *ConcurrentModel) Rank(bag text.Bag, candidates []int) []int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.m.Rank(bag, candidates)
+}
+
+// Skills returns a copy of worker i's posterior-mean skill vector.
+// Unlike (*Model).Skills it does not alias model state: a snapshot is
+// the only read that stays coherent once updates resume.
+func (c *ConcurrentModel) Skills(i int) linalg.Vector {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.m.Skills(i).Clone()
+}
+
+// UpdateWorkerSkill folds feedback on resolved tasks into one worker's
+// posterior under the write lock.
+func (c *ConcurrentModel) UpdateWorkerSkill(worker int, cats []TaskCategory, scores []float64) error {
+	return c.UpdateWorkerSkillDrift(worker, cats, scores, 0)
+}
+
+// UpdateWorkerSkillDrift is UpdateWorkerSkill with Kalman-style
+// process noise, under the write lock.
+func (c *ConcurrentModel) UpdateWorkerSkillDrift(worker int, cats []TaskCategory, scores []float64, processVar float64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m.UpdateWorkerSkillDrift(worker, cats, scores, processVar)
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"crowdselect/internal/text"
+)
+
+func TestConcurrentModelDelegates(t *testing.T) {
+	d, m, _ := trainSmall(t, 5)
+	cm := NewConcurrentModel(m)
+	if cm.Name() != m.Name() || cm.NumWorkers() != m.NumWorkers() {
+		t.Errorf("identity mismatch: %s/%d", cm.Name(), cm.NumWorkers())
+	}
+	bag := d.Tasks[0].Bag(d.Vocab)
+	want := m.Project(bag)
+	got := cm.Project(bag)
+	if !got.Lambda.Equal(want.Lambda, 0) || !got.Nu2.Equal(want.Nu2, 0) {
+		t.Error("Project differs from the underlying model")
+	}
+	cands := []int{0, 1, 2, 3, 4}
+	wantRank := m.Rank(bag, cands)
+	gotRank := cm.Rank(bag, cands)
+	for i := range wantRank {
+		if gotRank[i] != wantRank[i] {
+			t.Fatalf("Rank = %v, want %v", gotRank, wantRank)
+		}
+	}
+	if cm.Score(0, want.Mean()) != m.Score(0, want.Mean()) {
+		t.Error("Score differs from the underlying model")
+	}
+	if cm.Unwrap() != m {
+		t.Error("Unwrap did not return the wrapped model")
+	}
+}
+
+func TestConcurrentModelSkillsIsACopy(t *testing.T) {
+	_, m, _ := trainSmall(t, 4)
+	cm := NewConcurrentModel(m)
+	s := cm.Skills(0)
+	s[0] += 100
+	if m.Skills(0)[0] == s[0] {
+		t.Error("Skills aliases model state; mutation leaked through")
+	}
+}
+
+// TestConcurrentModelSelectVsUpdateRace drives selection reads against
+// posterior writes from many goroutines. Run under -race this fails on
+// an unwrapped Model: UpdateWorkerSkillDrift swaps LambdaW/NuW2
+// entries that Rank is reading.
+func TestConcurrentModelSelectVsUpdateRace(t *testing.T) {
+	d, m, _ := trainSmall(t, 4)
+	cm := NewConcurrentModel(m)
+	bag := d.Tasks[1].Bag(d.Vocab)
+	cat := cm.Project(bag)
+	cands := make([]int, m.NumWorkers())
+	for i := range cands {
+		cands[i] = i
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if got := cm.Rank(bag, cands); len(got) != len(cands) {
+					t.Errorf("Rank returned %d of %d candidates", len(got), len(cands))
+					return
+				}
+			}
+		}()
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if err := cm.UpdateWorkerSkillDrift(worker, []TaskCategory{cat}, []float64{float64(i % 7)}, 0.01); err != nil {
+					t.Errorf("update: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// Interface conformance: the wrapper must be usable anywhere the bare
+// model is used for serving.
+var _ interface {
+	Name() string
+	Rank(bag text.Bag, candidates []int) []int
+	Project(bag text.Bag) TaskCategory
+	UpdateWorkerSkill(worker int, cats []TaskCategory, scores []float64) error
+} = (*ConcurrentModel)(nil)

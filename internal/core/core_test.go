@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -283,7 +284,9 @@ func TestUpdateWorkerSkillMovesTowardEvidence(t *testing.T) {
 		cats[i] = cat
 		scores[i] = 10
 	}
-	m.UpdateWorkerSkill(w, cats, scores)
+	if err := m.UpdateWorkerSkill(w, cats, scores); err != nil {
+		t.Fatal(err)
+	}
 	after := m.Skills(w)
 	if after[2] <= before[2] {
 		t.Errorf("skill[2] did not increase: %v -> %v", before[2], after[2])
@@ -292,12 +295,59 @@ func TestUpdateWorkerSkillMovesTowardEvidence(t *testing.T) {
 	if m.NuW2[w][2] >= 1 {
 		t.Errorf("variance did not shrink: %v", m.NuW2[w][2])
 	}
-	// Degenerate calls are no-ops.
+	// Empty evidence is a successful no-op; invalid input errors and
+	// leaves the posterior untouched.
 	snapshot := m.Skills(w).Clone()
-	m.UpdateWorkerSkill(w, nil, nil)
-	m.UpdateWorkerSkill(w, cats[:2], scores[:1])
+	if err := m.UpdateWorkerSkill(w, nil, nil); err != nil {
+		t.Errorf("empty update: %v", err)
+	}
+	bad := []struct {
+		name string
+		err  error
+	}{
+		{"mismatched lengths", m.UpdateWorkerSkill(w, cats[:2], scores[:1])},
+		{"negative process variance", m.UpdateWorkerSkillDrift(w, cats, scores, -1)},
+		{"worker below range", m.UpdateWorkerSkill(-1, cats, scores)},
+		{"worker above range", m.UpdateWorkerSkill(m.M, cats, scores)},
+		{"mismatched category dimension", m.UpdateWorkerSkill(w,
+			[]TaskCategory{{Lambda: linalg.NewVector(2), Nu2: linalg.NewVector(2)}}, []float64{1})},
+	}
+	for _, c := range bad {
+		if !errors.Is(c.err, ErrBadUpdate) {
+			t.Errorf("%s: err = %v, want ErrBadUpdate", c.name, c.err)
+		}
+	}
 	if !m.Skills(w).Equal(snapshot, 0) {
 		t.Error("degenerate update modified skills")
+	}
+}
+
+// TestUpdateWorkerSkillFailedSolveLeavesPosterior forces SPDSolve to
+// fail (a degenerate category with hugely negative variance drives the
+// update precision indefinite beyond the defensive jitter) and asserts
+// the posterior is bit-identical afterwards. Before the staged-commit
+// fix, the processVar widening of NuW2 survived the failed solve.
+func TestUpdateWorkerSkillFailedSolveLeavesPosterior(t *testing.T) {
+	_, m, _ := trainSmall(t, 5)
+	w := 1
+	lamBefore := m.Skills(w).Clone()
+	nuBefore := m.NuW2[w].Clone()
+	degenerate := TaskCategory{
+		Lambda: linalg.ConstVector(5, 0.1),
+		Nu2:    linalg.ConstVector(5, -1e6),
+	}
+	err := m.UpdateWorkerSkillDrift(w, []TaskCategory{degenerate}, []float64{1}, 0.5)
+	if err == nil {
+		t.Fatal("degenerate category did not fail the solve")
+	}
+	if errors.Is(err, ErrBadUpdate) {
+		t.Fatalf("want a solver error, got input validation: %v", err)
+	}
+	if !m.Skills(w).Equal(lamBefore, 0) {
+		t.Error("failed solve modified LambdaW")
+	}
+	if !m.NuW2[w].Equal(nuBefore, 0) {
+		t.Error("failed solve left NuW2 widened by processVar")
 	}
 }
 

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"errors"
+	"fmt"
 	"math"
 
 	"crowdselect/internal/linalg"
@@ -205,13 +207,20 @@ func (m *Model) Rank(bag text.Bag, candidates []int) []int {
 	return m.SelectForTask(bag, candidates, len(candidates), nil)
 }
 
+// ErrBadUpdate is returned by UpdateWorkerSkill[Drift] when the
+// arguments cannot describe a valid posterior update.
+var ErrBadUpdate = errors.New("core: invalid skill update")
+
 // UpdateWorkerSkill folds newly resolved tasks into one worker's
 // posterior without a full retrain — the crowd-update path of §4.2
 // issue (2). cats and scores pair the projected categories of the new
 // tasks with the worker's feedback on them; prior responsibilities are
-// carried by the worker's current posterior acting as the prior.
-func (m *Model) UpdateWorkerSkill(worker int, cats []TaskCategory, scores []float64) {
-	m.UpdateWorkerSkillDrift(worker, cats, scores, 0)
+// carried by the worker's current posterior acting as the prior. An
+// empty evidence set is a no-op; invalid input returns ErrBadUpdate
+// and a failed solve returns the solver's error, in both cases leaving
+// the posterior untouched.
+func (m *Model) UpdateWorkerSkill(worker int, cats []TaskCategory, scores []float64) error {
+	return m.UpdateWorkerSkillDrift(worker, cats, scores, 0)
 }
 
 // UpdateWorkerSkillDrift is UpdateWorkerSkill with Kalman-style
@@ -221,24 +230,40 @@ func (m *Model) UpdateWorkerSkill(worker int, cats []TaskCategory, scores []floa
 // crowds set it near the per-answer skill-drift variance so the
 // posterior keeps enough uncertainty to track the walk (see the
 // SkillDrift corpus extension and BenchmarkAblationDriftTracking).
-func (m *Model) UpdateWorkerSkillDrift(worker int, cats []TaskCategory, scores []float64, processVar float64) {
-	if len(cats) == 0 || len(cats) != len(scores) || processVar < 0 {
-		return
-	}
+//
+// The update is transactional: LambdaW and NuW2 are only written —
+// both together, as freshly allocated vectors — after the solve
+// succeeds, so an error never leaves a half-applied posterior behind.
+func (m *Model) UpdateWorkerSkillDrift(worker int, cats []TaskCategory, scores []float64, processVar float64) error {
 	k := m.K
+	switch {
+	case worker < 0 || worker >= m.M:
+		return fmt.Errorf("%w: worker %d out of range [0,%d)", ErrBadUpdate, worker, m.M)
+	case len(cats) != len(scores):
+		return fmt.Errorf("%w: %d categories vs %d scores", ErrBadUpdate, len(cats), len(scores))
+	case processVar < 0:
+		return fmt.Errorf("%w: negative process variance %g", ErrBadUpdate, processVar)
+	case len(cats) == 0:
+		return nil // no evidence: nothing to fold in
+	}
 	// Prior: the worker's current Gaussian posterior, widened by the
-	// process noise.
+	// process noise. The widening is staged locally so a failed solve
+	// cannot leave the stored variances already inflated.
+	widened := make(linalg.Vector, k)
 	prec := linalg.NewMatrix(k, k)
 	rhs := linalg.NewVector(k)
 	for kk := 0; kk < k; kk++ {
-		m.NuW2[worker][kk] += processVar
-		p := 1 / m.NuW2[worker][kk]
+		widened[kk] = m.NuW2[worker][kk] + processVar
+		p := 1 / widened[kk]
 		prec.Set(kk, kk, p)
 		rhs[kk] = p * m.LambdaW[worker][kk]
 	}
 	invTau2 := 1 / m.Tau2
 	quad := linalg.NewVector(k)
 	for t, cat := range cats {
+		if len(cat.Lambda) != k || len(cat.Nu2) != k {
+			return fmt.Errorf("%w: category %d has dimensions %d/%d, want %d", ErrBadUpdate, t, len(cat.Lambda), len(cat.Nu2), k)
+		}
 		prec.AddOuterInPlace(invTau2, cat.Lambda, cat.Lambda)
 		prec.AddDiagInPlace(cat.Nu2.Scale(invTau2))
 		rhs.AddScaledInPlace(invTau2*scores[t], cat.Lambda)
@@ -248,10 +273,15 @@ func (m *Model) UpdateWorkerSkillDrift(worker int, cats []TaskCategory, scores [
 	}
 	lw, err := linalg.SPDSolve(prec.Symmetrize(), rhs)
 	if err != nil {
-		return
+		return fmt.Errorf("core: skill update for worker %d: %w", worker, err)
 	}
-	m.LambdaW[worker] = lw
+	nu2 := make(linalg.Vector, k)
 	for kk := 0; kk < k; kk++ {
-		m.NuW2[worker][kk] = 1 / (1/m.NuW2[worker][kk] + quad[kk]*invTau2)
+		nu2[kk] = 1 / (1/widened[kk] + quad[kk]*invTau2)
 	}
+	// Commit both moments as a swap of fresh slices: a reader holding a
+	// reference from Skills never observes in-place mutation.
+	m.LambdaW[worker] = lw
+	m.NuW2[worker] = nu2
+	return nil
 }

@@ -17,12 +17,14 @@ type Selector interface {
 }
 
 // SkillUpdater is the optional incremental-learning hook: when the
-// manager's Selector also implements it (as *core.Model does), every
-// resolved task's feedback is folded into the answerers' skill
-// posteriors — the crowd-update path of §4.2.
+// manager's Selector also implements it (as *core.Model and
+// *core.ConcurrentModel do), every resolved task's feedback is folded
+// into the answerers' skill posteriors — the crowd-update path of
+// §4.2. UpdateWorkerSkill reports invalid input or a failed solve; the
+// manager surfaces that error to the feedback caller.
 type SkillUpdater interface {
 	Project(bag text.Bag) core.TaskCategory
-	UpdateWorkerSkill(worker int, cats []core.TaskCategory, scores []float64)
+	UpdateWorkerSkill(worker int, cats []core.TaskCategory, scores []float64) error
 }
 
 // Manager is the crowd manager of Figure 1: it projects incoming
@@ -38,12 +40,20 @@ type Manager struct {
 // NewManager wires a crowd manager over the store. vocab maps task
 // text to the term ids the selector was trained on; k is the default
 // crowd size per task.
+//
+// A bare *core.Model is wrapped in a core.ConcurrentModel: the manager
+// serves selection and feedback traffic concurrently (the HTTP server
+// handles each request on its own goroutine), and an unwrapped model
+// would race its posterior updates against selection reads.
 func NewManager(store *Store, vocab *text.Vocabulary, sel Selector, k int) (*Manager, error) {
 	if store == nil || vocab == nil || sel == nil {
 		return nil, fmt.Errorf("%w: manager needs a store, vocabulary and selector", ErrBadRequest)
 	}
 	if k < 1 {
 		return nil, fmt.Errorf("%w: crowd size %d", ErrBadRequest, k)
+	}
+	if m, ok := sel.(*core.Model); ok {
+		sel = core.NewConcurrentModel(m)
 	}
 	return &Manager{store: store, vocab: vocab, sel: sel, k: k}, nil
 }
@@ -130,7 +140,9 @@ func (m *Manager) RedispatchExpired(maxAge time.Duration, k int) ([]int, error) 
 
 // ResolveTask records the feedback scores for a task's answers (the
 // red path of Figure 1) and, when the selector supports incremental
-// learning, updates the answerers' latent skills.
+// learning, updates the answerers' latent skills. A failed skill
+// update is reported alongside the already-resolved record: the store
+// transition committed, the model update did not.
 func (m *Manager) ResolveTask(taskID int, scores map[int]float64) (TaskRecord, error) {
 	rec, err := m.store.Resolve(taskID, scores)
 	if err != nil {
@@ -139,7 +151,9 @@ func (m *Manager) ResolveTask(taskID int, scores map[int]float64) (TaskRecord, e
 	if up, ok := m.sel.(SkillUpdater); ok {
 		cat := up.Project(text.NewBagKnown(m.vocab, rec.Tokens))
 		for _, a := range rec.Answers {
-			up.UpdateWorkerSkill(a.Worker, []core.TaskCategory{cat}, []float64{a.Score})
+			if err := up.UpdateWorkerSkill(a.Worker, []core.TaskCategory{cat}, []float64{a.Score}); err != nil {
+				return rec, fmt.Errorf("task %d resolved but skill update failed: %w", taskID, err)
+			}
 		}
 	}
 	return rec, nil

@@ -140,11 +140,12 @@ func TestSubmitRespectsPresence(t *testing.T) {
 
 func TestResolveUpdatesSkillsIncrementally(t *testing.T) {
 	mgr, d := managerFixture(t)
-	_, model := mgr.sel.(*core.Model)
-	if !model {
-		t.Fatal("selector is not a core model")
+	// NewManager must have wrapped the bare model for concurrent
+	// serving.
+	m, ok := mgr.sel.(*core.ConcurrentModel)
+	if !ok {
+		t.Fatalf("selector is %T, want *core.ConcurrentModel", mgr.sel)
 	}
-	m := mgr.sel.(*core.Model)
 
 	taskText := ""
 	for _, tok := range d.Tasks[1].Tokens {

@@ -1,0 +1,148 @@
+package crowddb
+
+import (
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the upper bounds, in seconds, of the fixed
+// log-spaced latency histogram each endpoint accumulates into. The
+// final bucket is an implicit +Inf overflow.
+var latencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// endpointStats accumulates one endpoint's counters. Latencies live in
+// a fixed histogram rather than a sample buffer so memory stays
+// constant under heavy traffic.
+type endpointStats struct {
+	count   int64
+	errors  int64
+	sum     float64 // seconds
+	max     float64 // seconds
+	buckets []int64 // len(latencyBuckets)+1, last is overflow
+}
+
+// Metrics aggregates per-endpoint request counts, error counts and
+// latency histograms for the crowd-manager HTTP server. All methods
+// are safe for concurrent use.
+type Metrics struct {
+	mu        sync.Mutex
+	start     time.Time
+	endpoints map[string]*endpointStats
+}
+
+// NewMetrics returns an empty registry with uptime anchored at now.
+func NewMetrics() *Metrics {
+	return &Metrics{start: time.Now(), endpoints: make(map[string]*endpointStats)}
+}
+
+// Observe records one request against an endpoint label (for the
+// server: "METHOD /normalized/path"). Responses with status ≥ 400
+// count as errors.
+func (m *Metrics) Observe(endpoint string, status int, d time.Duration) {
+	sec := d.Seconds()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.endpoints[endpoint]
+	if st == nil {
+		st = &endpointStats{buckets: make([]int64, len(latencyBuckets)+1)}
+		m.endpoints[endpoint] = st
+	}
+	st.count++
+	if status >= 400 {
+		st.errors++
+	}
+	st.sum += sec
+	if sec > st.max {
+		st.max = sec
+	}
+	b := len(latencyBuckets)
+	for i, hi := range latencyBuckets {
+		if sec <= hi {
+			b = i
+			break
+		}
+	}
+	st.buckets[b]++
+}
+
+// EndpointMetrics is one endpoint's externally visible counters;
+// latencies are reported in milliseconds.
+type EndpointMetrics struct {
+	Count  int64   `json:"count"`
+	Errors int64   `json:"errors"`
+	MeanMs float64 `json:"mean_ms"`
+	MaxMs  float64 `json:"max_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+}
+
+// MetricsSnapshot is the GET /api/metrics payload.
+type MetricsSnapshot struct {
+	UptimeSeconds float64                    `json:"uptime_seconds"`
+	Requests      int64                      `json:"requests"`
+	Errors        int64                      `json:"errors"`
+	Endpoints     map[string]EndpointMetrics `json:"endpoints"`
+}
+
+// Snapshot returns a consistent copy of every counter.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	snap := MetricsSnapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Endpoints:     make(map[string]EndpointMetrics, len(m.endpoints)),
+	}
+	for name, st := range m.endpoints {
+		em := EndpointMetrics{
+			Count:  st.count,
+			Errors: st.errors,
+			MeanMs: st.sum / float64(st.count) * 1000,
+			MaxMs:  st.max * 1000,
+			P50Ms:  st.quantile(0.50) * 1000,
+			P90Ms:  st.quantile(0.90) * 1000,
+			P99Ms:  st.quantile(0.99) * 1000,
+		}
+		snap.Requests += st.count
+		snap.Errors += st.errors
+		snap.Endpoints[name] = em
+	}
+	return snap
+}
+
+// quantile estimates the q-th latency quantile (in seconds) from the
+// histogram by linear interpolation inside the covering bucket,
+// clamped to the observed maximum (interpolating to a bucket's upper
+// bound can otherwise overshoot what was actually seen). The overflow
+// bucket reports the observed maximum.
+func (st *endpointStats) quantile(q float64) float64 {
+	if st.count == 0 {
+		return 0
+	}
+	target := q * float64(st.count)
+	var cum float64
+	for i, n := range st.buckets {
+		if n == 0 {
+			continue
+		}
+		if cum+float64(n) >= target {
+			if i >= len(latencyBuckets) {
+				return st.max
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = latencyBuckets[i-1]
+			}
+			frac := (target - cum) / float64(n)
+			if v := lo + frac*(latencyBuckets[i]-lo); v < st.max {
+				return v
+			}
+			return st.max
+		}
+		cum += float64(n)
+	}
+	return st.max
+}

@@ -1,0 +1,95 @@
+package crowddb
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMetricsObserveAndSnapshot(t *testing.T) {
+	m := NewMetrics()
+	// 90 fast requests, 10 slow, 5 of them errors.
+	for i := 0; i < 90; i++ {
+		m.Observe("POST /api/tasks", 201, 2*time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		status := 200
+		if i < 5 {
+			status = 500
+		}
+		m.Observe("POST /api/tasks", status, 80*time.Millisecond)
+	}
+	m.Observe("GET /api/stats", 200, 1*time.Millisecond)
+
+	snap := m.Snapshot()
+	if snap.Requests != 101 || snap.Errors != 5 {
+		t.Errorf("totals = %d/%d, want 101/5", snap.Requests, snap.Errors)
+	}
+	ep := snap.Endpoints["POST /api/tasks"]
+	if ep.Count != 100 || ep.Errors != 5 {
+		t.Fatalf("endpoint = %+v", ep)
+	}
+	// p50 sits in the fast bucket, p99 in the slow one.
+	if ep.P50Ms > 5 {
+		t.Errorf("p50 = %gms, want <= 5ms", ep.P50Ms)
+	}
+	if ep.P99Ms < 25 || ep.P99Ms > 250 {
+		t.Errorf("p99 = %gms, want within the slow bucket", ep.P99Ms)
+	}
+	if ep.MaxMs < 75 {
+		t.Errorf("max = %gms", ep.MaxMs)
+	}
+	if ep.MeanMs <= 0 || ep.MeanMs > 80 {
+		t.Errorf("mean = %gms", ep.MeanMs)
+	}
+	if snap.UptimeSeconds < 0 {
+		t.Errorf("uptime = %g", snap.UptimeSeconds)
+	}
+}
+
+func TestMetricsOverflowBucketReportsMax(t *testing.T) {
+	m := NewMetrics()
+	m.Observe("GET /x", 200, 42*time.Second) // beyond the last bound
+	ep := m.Snapshot().Endpoints["GET /x"]
+	if ep.P50Ms != 42000 || ep.P99Ms != 42000 {
+		t.Errorf("overflow quantiles = %g/%g, want 42000", ep.P50Ms, ep.P99Ms)
+	}
+}
+
+func TestMetricsConcurrentObserve(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				m.Observe(fmt.Sprintf("GET /e%d", g%2), 200, time.Millisecond)
+				if i%10 == 0 {
+					m.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := m.Snapshot().Requests; got != 800 {
+		t.Errorf("requests = %d, want 800", got)
+	}
+}
+
+func TestEndpointLabelNormalizesIDs(t *testing.T) {
+	cases := map[string]string{
+		"/api/tasks/17/feedback": "POST /api/tasks/{id}/feedback",
+		"/api/tasks/9":           "POST /api/tasks/{id}",
+		"/api/workers/0":         "POST /api/workers/{id}",
+		"/api/stats":             "POST /api/stats",
+	}
+	for path, want := range cases {
+		r := httptest.NewRequest("POST", path, nil)
+		if got := endpointLabel(r); got != want {
+			t.Errorf("endpointLabel(%s) = %q, want %q", path, got, want)
+		}
+	}
+}

@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Server exposes the crowd manager over HTTP:
@@ -18,10 +20,18 @@ import (
 //	GET  /api/workers/{id}
 //	POST /api/workers/{id}/presence     {"online": false}
 //	GET  /api/stats
+//	GET  /api/metrics
+//
+// Every request passes through a recovery/metrics/logging middleware:
+// handler panics become 500 responses instead of killing the
+// connection, and per-endpoint counts, error counts and latency
+// quantiles accumulate for GET /api/metrics.
 type Server struct {
-	mgr   *Manager
-	mux   *http.ServeMux
-	query QueryEngine // optional: POST /api/query
+	mgr     *Manager
+	mux     *http.ServeMux
+	query   QueryEngine // optional: POST /api/query
+	metrics *Metrics
+	logf    func(format string, args ...any) // nil: quiet
 }
 
 // QueryEngine executes crowdql statements; *crowdql.Engine satisfies
@@ -33,17 +43,26 @@ type QueryEngine interface {
 
 // NewServer wraps a manager.
 func NewServer(mgr *Manager) *Server {
-	s := &Server{mgr: mgr, mux: http.NewServeMux()}
+	s := &Server{mgr: mgr, mux: http.NewServeMux(), metrics: NewMetrics()}
 	s.mux.HandleFunc("/api/tasks", s.handleTasks)
 	s.mux.HandleFunc("/api/tasks/", s.handleTaskSubtree)
 	s.mux.HandleFunc("/api/workers/", s.handleWorkerSubtree)
 	s.mux.HandleFunc("/api/stats", s.handleStats)
 	s.mux.HandleFunc("/api/query", s.handleQuery)
+	s.mux.HandleFunc("/api/metrics", s.handleMetrics)
 	return s
 }
 
 // SetQueryEngine enables POST /api/query {"q": "SELECT ..."}.
 func (s *Server) SetQueryEngine(e QueryEngine) { s.query = e }
+
+// SetLogger installs a request/panic log sink (log.Printf shaped).
+// The default is silent.
+func (s *Server) SetLogger(logf func(format string, args ...any)) { s.logf = logf }
+
+// Metrics exposes the server's metrics registry, e.g. for logging a
+// final snapshot at shutdown.
+func (s *Server) Metrics() *Metrics { return s.metrics }
 
 type queryRequest struct {
 	Q string `json:"q"`
@@ -75,8 +94,81 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, res)
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. It is the middleware shell:
+// route, then record status/latency per endpoint and turn handler
+// panics into 500s.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	sw := &statusWriter{ResponseWriter: w}
+	defer func() {
+		if p := recover(); p != nil {
+			if s.logf != nil {
+				s.logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+			}
+			if !sw.wrote {
+				httpError(sw, http.StatusInternalServerError, errors.New("internal server error"))
+			}
+		}
+		status := sw.status()
+		s.metrics.Observe(endpointLabel(r), status, time.Since(start))
+		if s.logf != nil {
+			s.logf("%s %s -> %d (%s)", r.Method, r.URL.Path, status, time.Since(start).Round(time.Microsecond))
+		}
+	}()
+	s.mux.ServeHTTP(sw, r)
+}
+
+// statusWriter captures the response status for metrics and logging.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code, w.wrote = code, true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if !w.wrote {
+		w.code, w.wrote = http.StatusOK, true
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) status() int {
+	if !w.wrote {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+// endpointLabel normalizes a request to its route pattern — numeric
+// path segments collapse to {id} so /api/tasks/17/feedback and
+// /api/tasks/99/feedback share one metrics series.
+func endpointLabel(r *http.Request) string {
+	segs := strings.Split(r.URL.Path, "/")
+	for i, seg := range segs {
+		if seg == "" {
+			continue
+		}
+		if _, err := strconv.Atoi(seg); err == nil {
+			segs[i] = "{id}"
+		}
+	}
+	return r.Method + " " + strings.Join(segs, "/")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+}
 
 type submitRequest struct {
 	Text string `json:"text"`

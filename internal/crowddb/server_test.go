@@ -8,6 +8,8 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"crowdselect/internal/text"
 )
 
 func serverFixture(t *testing.T) (*httptest.Server, *Manager) {
@@ -121,6 +123,87 @@ func TestServerWorkerEndpoints(t *testing.T) {
 	}
 	if w := decode[Worker](t, resp); w.Online {
 		t.Error("presence update not applied")
+	}
+}
+
+func TestServerMetricsEndpoint(t *testing.T) {
+	ts, _ := serverFixture(t)
+	// Generate traffic: one created task, one 404.
+	resp := postJSON(t, ts.URL+"/api/tasks", map[string]any{"text": "metrics probe question", "k": 1})
+	resp.Body.Close()
+	resp, err := http.Get(ts.URL + "/api/tasks/9999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/api/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", resp.StatusCode)
+	}
+	snap := decode[MetricsSnapshot](t, resp)
+	if ep := snap.Endpoints["POST /api/tasks"]; ep.Count != 1 || ep.Errors != 0 {
+		t.Errorf("submit series = %+v", ep)
+	}
+	if ep := snap.Endpoints["GET /api/tasks/{id}"]; ep.Count != 1 || ep.Errors != 1 {
+		t.Errorf("404 series = %+v", ep)
+	}
+	// Latency quantiles are populated and ordered.
+	ep := snap.Endpoints["POST /api/tasks"]
+	if ep.P50Ms <= 0 || ep.P99Ms < ep.P50Ms || ep.MaxMs <= 0 {
+		t.Errorf("quantiles = %+v", ep)
+	}
+	// Wrong method is rejected.
+	resp = postJSON(t, ts.URL+"/api/metrics", map[string]any{})
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST metrics status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// panicSelector explodes on Rank to exercise the recovery middleware.
+type panicSelector struct{ staticSelector }
+
+func (panicSelector) Rank(_ text.Bag, _ []int) []int { panic("selector exploded") }
+
+func TestServerRecoversFromHandlerPanic(t *testing.T) {
+	d, _ := trainedFixture(t)
+	store := NewStore()
+	if _, err := store.AddWorker(0, "w"); err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := NewManager(store, d.Vocab, panicSelector{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(mgr)
+	var logged bool
+	srv.SetLogger(func(string, ...any) { logged = true })
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp := postJSON(t, ts.URL+"/api/tasks", map[string]any{"text": "boom", "k": 1})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("panic status = %d, want 500", resp.StatusCode)
+	}
+	if !logged {
+		t.Error("panic was not logged")
+	}
+	if ep := srv.Metrics().Snapshot().Endpoints["POST /api/tasks"]; ep.Errors != 1 {
+		t.Errorf("panic not counted as error: %+v", ep)
+	}
+	// The server keeps serving after the panic.
+	resp2, err := http.Get(ts.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("post-panic stats status = %d", resp2.StatusCode)
 	}
 }
 
