@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench ci
+.PHONY: build vet test race bench fuzz crash ci
 
 build:
 	$(GO) build ./...
@@ -22,4 +22,13 @@ race:
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
-ci: vet build race
+# Short coverage-guided fuzz of the journal replay path (CI runs the
+# same smoke; bump -fuzztime locally for longer hunts).
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzReplayJournal -fuzztime 20s ./internal/crowddb
+
+# The crash-injection durability suite under the race detector.
+crash:
+	$(GO) test -race -run 'TestCrashRecoveryLosesNothing|TestTornWriteTable' -v ./internal/crowddb
+
+ci: vet build race fuzz crash

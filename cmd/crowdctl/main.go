@@ -10,30 +10,124 @@
 //	crowdctl [-addr ...]                  worker    -id 2
 //	crowdctl [-addr ...]                  presence  -id 2 -online=false
 //	crowdctl [-addr ...]                  stats
+//
+// Requests carry a per-request timeout (-timeout) and transient
+// failures are retried with exponential backoff plus jitter, bounded
+// by -retries: connection errors always (for POSTs only when the dial
+// failed, so a mutation is never sent twice), and 5xx responses on
+// idempotent GETs.
 package main
 
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
+	"net"
 	"net/http"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 )
 
 func main() {
 	addr := flag.String("addr", "http://localhost:8080", "crowdd base URL")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request timeout")
+	retries := flag.Int("retries", 3, "max retries for transient failures")
+	backoff := flag.Duration("retry-backoff", 200*time.Millisecond, "initial retry backoff (doubles per attempt, with jitter)")
 	flag.Parse()
-	if err := run(*addr, flag.Args(), os.Stdout); err != nil {
+	cli := newClient(*timeout, *retries, *backoff)
+	if err := run(cli, *addr, flag.Args(), os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "crowdctl:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, args []string, out io.Writer) error {
+// client is the HTTP transport with bounded retry semantics.
+type client struct {
+	hc      *http.Client
+	retries int
+	backoff time.Duration
+	sleep   func(time.Duration) // injectable for tests
+}
+
+func newClient(timeout time.Duration, retries int, backoff time.Duration) *client {
+	return &client{
+		hc:      &http.Client{Timeout: timeout},
+		retries: retries,
+		backoff: backoff,
+		sleep:   time.Sleep,
+	}
+}
+
+// backoffFor computes the delay before retry attempt n (1-based):
+// exponential from the base, capped at 5s, with up to 50% random
+// jitter subtracted so synchronized clients fan out.
+func (c *client) backoffFor(n int) time.Duration {
+	d := c.backoff << (n - 1)
+	if max := 5 * time.Second; d > max {
+		d = max
+	}
+	return d - time.Duration(rand.Int63n(int64(d)/2+1))
+}
+
+// retriableErr reports whether a transport error may be retried for
+// the given method. GETs are idempotent, so any transport failure is
+// fair game; for mutating requests only dial errors are safe — the
+// request never reached the server, so retrying cannot double-apply.
+func retriableErr(method string, err error) bool {
+	if method == http.MethodGet {
+		return true
+	}
+	var op *net.OpError
+	return errors.As(err, &op) && op.Op == "dial"
+}
+
+// do issues the request, retrying transient failures: transport
+// errors per retriableErr, and 5xx responses on GETs. The response is
+// the first success or non-retriable status; err is the final failure
+// after the retry budget is spent.
+func (c *client) do(method, url string, body []byte) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			c.sleep(c.backoffFor(attempt))
+		}
+		var reader io.Reader
+		if body != nil {
+			reader = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, url, reader)
+		if err != nil {
+			return nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			lastErr = err
+			if !retriableErr(method, err) {
+				return nil, err
+			}
+			continue
+		}
+		if resp.StatusCode >= 500 && method == http.MethodGet && attempt < c.retries {
+			payload, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			lastErr = fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(payload)))
+			continue
+		}
+		return resp, nil
+	}
+	return nil, fmt.Errorf("after %d attempts: %w", c.retries+1, lastErr)
+}
+
+func run(cli *client, addr string, args []string, out io.Writer) error {
 	if len(args) == 0 {
 		return fmt.Errorf("missing subcommand (submit, answer, feedback, task, worker, presence, stats)")
 	}
@@ -49,7 +143,7 @@ func run(addr string, args []string, out io.Writer) error {
 		if *text == "" {
 			return fmt.Errorf("submit: -text is required")
 		}
-		return call(out, http.MethodPost, addr+"/api/tasks", map[string]any{"text": *text, "k": *k})
+		return call(cli, out, http.MethodPost, addr+"/api/tasks", map[string]any{"text": *text, "k": *k})
 	case "answer":
 		fs := flag.NewFlagSet("answer", flag.ContinueOnError)
 		task := fs.Int("task", -1, "task id")
@@ -61,7 +155,7 @@ func run(addr string, args []string, out io.Writer) error {
 		if *task < 0 || *worker < 0 {
 			return fmt.Errorf("answer: -task and -worker are required")
 		}
-		return call(out, http.MethodPost, fmt.Sprintf("%s/api/tasks/%d/answers", addr, *task),
+		return call(cli, out, http.MethodPost, fmt.Sprintf("%s/api/tasks/%d/answers", addr, *task),
 			map[string]any{"worker": *worker, "answer": *text})
 	case "feedback":
 		fs := flag.NewFlagSet("feedback", flag.ContinueOnError)
@@ -77,7 +171,7 @@ func run(addr string, args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		return call(out, http.MethodPost, fmt.Sprintf("%s/api/tasks/%d/feedback", addr, *task),
+		return call(cli, out, http.MethodPost, fmt.Sprintf("%s/api/tasks/%d/feedback", addr, *task),
 			map[string]any{"scores": parsed})
 	case "task":
 		fs := flag.NewFlagSet("task", flag.ContinueOnError)
@@ -85,14 +179,14 @@ func run(addr string, args []string, out io.Writer) error {
 		if err := fs.Parse(rest); err != nil {
 			return err
 		}
-		return call(out, http.MethodGet, fmt.Sprintf("%s/api/tasks/%d", addr, *id), nil)
+		return call(cli, out, http.MethodGet, fmt.Sprintf("%s/api/tasks/%d", addr, *id), nil)
 	case "worker":
 		fs := flag.NewFlagSet("worker", flag.ContinueOnError)
 		id := fs.Int("id", -1, "worker id")
 		if err := fs.Parse(rest); err != nil {
 			return err
 		}
-		return call(out, http.MethodGet, fmt.Sprintf("%s/api/workers/%d", addr, *id), nil)
+		return call(cli, out, http.MethodGet, fmt.Sprintf("%s/api/workers/%d", addr, *id), nil)
 	case "presence":
 		fs := flag.NewFlagSet("presence", flag.ContinueOnError)
 		id := fs.Int("id", -1, "worker id")
@@ -100,7 +194,7 @@ func run(addr string, args []string, out io.Writer) error {
 		if err := fs.Parse(rest); err != nil {
 			return err
 		}
-		return call(out, http.MethodPost, fmt.Sprintf("%s/api/workers/%d/presence", addr, *id),
+		return call(cli, out, http.MethodPost, fmt.Sprintf("%s/api/workers/%d/presence", addr, *id),
 			map[string]any{"online": *online})
 	case "query":
 		fs := flag.NewFlagSet("query", flag.ContinueOnError)
@@ -111,9 +205,9 @@ func run(addr string, args []string, out io.Writer) error {
 		if strings.TrimSpace(*q) == "" {
 			return fmt.Errorf("query: -q is required")
 		}
-		return call(out, http.MethodPost, addr+"/api/query", map[string]any{"q": *q})
+		return call(cli, out, http.MethodPost, addr+"/api/query", map[string]any{"q": *q})
 	case "stats":
-		return call(out, http.MethodGet, addr+"/api/stats", nil)
+		return call(cli, out, http.MethodGet, addr+"/api/stats", nil)
 	default:
 		return fmt.Errorf("unknown subcommand %q", cmd)
 	}
@@ -142,24 +236,18 @@ func parseScores(s string) (map[string]float64, error) {
 	return out, nil
 }
 
-// call performs the request and pretty-prints the JSON response.
-func call(out io.Writer, method, url string, body any) error {
-	var reader io.Reader
+// call performs the request through the retrying client and
+// pretty-prints the JSON response.
+func call(cli *client, out io.Writer, method, url string, body any) error {
+	var payloadBytes []byte
 	if body != nil {
 		b, err := json.Marshal(body)
 		if err != nil {
 			return err
 		}
-		reader = bytes.NewReader(b)
+		payloadBytes = b
 	}
-	req, err := http.NewRequest(method, url, reader)
-	if err != nil {
-		return err
-	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := http.DefaultClient.Do(req)
+	resp, err := cli.do(method, url, payloadBytes)
 	if err != nil {
 		return err
 	}

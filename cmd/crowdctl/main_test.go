@@ -3,10 +3,14 @@ package main
 import (
 	"bytes"
 	"fmt"
+	"net"
+	"net/http"
 	"net/http/httptest"
 	"reflect"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"crowdselect/internal/core"
 	"crowdselect/internal/corpus"
@@ -46,6 +50,13 @@ func testServer(t *testing.T) *httptest.Server {
 	return srv
 }
 
+// testClient retries without real sleeping so tests stay fast.
+func testClient() *client {
+	c := newClient(5*time.Second, 3, time.Millisecond)
+	c.sleep = func(time.Duration) {}
+	return c
+}
+
 func TestParseScores(t *testing.T) {
 	got, err := parseScores("2=4, 7=1.5")
 	if err != nil {
@@ -70,7 +81,7 @@ func TestEndToEndCLI(t *testing.T) {
 	var out bytes.Buffer
 
 	// Submit.
-	if err := run(srv.URL, []string{"submit", "-text", "database index question", "-k", "2"}, &out); err != nil {
+	if err := run(testClient(), srv.URL, []string{"submit", "-text", "database index question", "-k", "2"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "task_id") || !strings.Contains(out.String(), "TDPM") {
@@ -93,7 +104,7 @@ func TestEndToEndCLI(t *testing.T) {
 	// Answer (both assigned workers) and feedback.
 	for _, w := range []int{w0, w1} {
 		out.Reset()
-		if err := run(srv.URL, []string{"answer", "-task", "0", "-worker", fmt.Sprint(w), "-text", "hi"}, &out); err != nil {
+		if err := run(testClient(), srv.URL, []string{"answer", "-task", "0", "-worker", fmt.Sprint(w), "-text", "hi"}, &out); err != nil {
 			t.Fatal(err)
 		}
 		if !strings.Contains(out.String(), "ok") {
@@ -101,7 +112,7 @@ func TestEndToEndCLI(t *testing.T) {
 		}
 	}
 	out.Reset()
-	if err := run(srv.URL, []string{"feedback", "-task", "0", "-scores", fmt.Sprintf("%d=4,%d=1", w0, w1)}, &out); err != nil {
+	if err := run(testClient(), srv.URL, []string{"feedback", "-task", "0", "-scores", fmt.Sprintf("%d=4,%d=1", w0, w1)}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), `"status": 2`) {
@@ -110,19 +121,19 @@ func TestEndToEndCLI(t *testing.T) {
 
 	// Reads.
 	out.Reset()
-	if err := run(srv.URL, []string{"task", "-id", "0"}, &out); err != nil {
+	if err := run(testClient(), srv.URL, []string{"task", "-id", "0"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	out.Reset()
-	if err := run(srv.URL, []string{"worker", "-id", "0"}, &out); err != nil {
+	if err := run(testClient(), srv.URL, []string{"worker", "-id", "0"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	out.Reset()
-	if err := run(srv.URL, []string{"presence", "-id", "0", "-online=false"}, &out); err != nil {
+	if err := run(testClient(), srv.URL, []string{"presence", "-id", "0", "-online=false"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	out.Reset()
-	if err := run(srv.URL, []string{"stats"}, &out); err != nil {
+	if err := run(testClient(), srv.URL, []string{"stats"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), `"resolved": 1`) {
@@ -131,17 +142,17 @@ func TestEndToEndCLI(t *testing.T) {
 
 	// crowdql through the CLI.
 	out.Reset()
-	if err := run(srv.URL, []string{"query", "-q", "SELECT WORKERS WHERE resolved >= 1 LIMIT 5"}, &out); err != nil {
+	if err := run(testClient(), srv.URL, []string{"query", "-q", "SELECT WORKERS WHERE resolved >= 1 LIMIT 5"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "columns") {
 		t.Errorf("query output: %s", out.String())
 	}
 	out.Reset()
-	if err := run(srv.URL, []string{"query"}, &out); err == nil {
+	if err := run(testClient(), srv.URL, []string{"query"}, &out); err == nil {
 		t.Error("query without -q accepted")
 	}
-	if err := run(srv.URL, []string{"query", "-q", "EXPLODE"}, &out); err == nil {
+	if err := run(testClient(), srv.URL, []string{"query", "-q", "EXPLODE"}, &out); err == nil {
 		t.Error("bad query accepted")
 	}
 }
@@ -160,8 +171,122 @@ func TestCLIErrors(t *testing.T) {
 	}
 	for _, args := range cases {
 		out.Reset()
-		if err := run(srv.URL, args, &out); err == nil {
+		if err := run(testClient(), srv.URL, args, &out); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
+	}
+}
+
+// TestRetryFlaky5xx: a GET that hits a server failing its first
+// responses with 500s must succeed once the server recovers, within
+// the retry budget.
+func TestRetryFlaky5xx(t *testing.T) {
+	var hits int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if atomic.AddInt32(&hits, 1) <= 2 {
+			http.Error(w, "transient", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"workers": 3}`)
+	}))
+	defer srv.Close()
+
+	var out bytes.Buffer
+	if err := run(testClient(), srv.URL, []string{"stats"}, &out); err != nil {
+		t.Fatalf("GET through flaky server: %v", err)
+	}
+	if got := atomic.LoadInt32(&hits); got != 3 {
+		t.Errorf("server hit %d times, want 3 (2 failures + success)", got)
+	}
+	if !strings.Contains(out.String(), "workers") {
+		t.Errorf("output: %s", out.String())
+	}
+}
+
+// TestRetryBudgetExhausted: a persistently failing GET returns the
+// last error after the bounded retries, not an infinite loop.
+func TestRetryBudgetExhausted(t *testing.T) {
+	var hits int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&hits, 1)
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	var out bytes.Buffer
+	err := run(testClient(), srv.URL, []string{"stats"}, &out)
+	if err == nil {
+		t.Fatal("persistent 500s reported success")
+	}
+	if !strings.Contains(err.Error(), "500") {
+		t.Errorf("error %q does not surface the final status", err)
+	}
+	if got := atomic.LoadInt32(&hits); got != 4 {
+		t.Errorf("server hit %d times, want 4 (1 + 3 retries)", got)
+	}
+}
+
+// TestPostNotRetriedOn5xx: mutations must not be replayed when the
+// server answered — only dial failures are safe to retry.
+func TestPostNotRetriedOn5xx(t *testing.T) {
+	var hits int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&hits, 1)
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	var out bytes.Buffer
+	if err := run(testClient(), srv.URL, []string{"submit", "-text", "q"}, &out); err == nil {
+		t.Fatal("500 on POST reported success")
+	}
+	if got := atomic.LoadInt32(&hits); got != 1 {
+		t.Errorf("POST sent %d times, want exactly 1", got)
+	}
+}
+
+// TestRetryConnectionRefused: dial errors are retried for POSTs too —
+// the request never reached a server. The server comes up between
+// attempts.
+func TestRetryConnectionRefused(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // nothing listening: first attempts get connection refused
+
+	c := testClient()
+	started := make(chan *httptest.Server, 1)
+	attempt := 0
+	c.sleep = func(time.Duration) {
+		attempt++
+		if attempt == 2 {
+			// Bring the server up on the probed address before the
+			// third attempt.
+			l, err := net.Listen("tcp", addr)
+			if err != nil {
+				t.Errorf("relisten: %v", err)
+				return
+			}
+			s := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				w.WriteHeader(http.StatusNoContent)
+			}))
+			s.Listener.Close()
+			s.Listener = l
+			s.Start()
+			started <- s
+		}
+	}
+	var out bytes.Buffer
+	if err := run(c, "http://"+addr, []string{"presence", "-id", "0", "-online=false"}, &out); err != nil {
+		t.Fatalf("POST after server came up: %v", err)
+	}
+	select {
+	case s := <-started:
+		s.Close()
+	default:
+		t.Fatal("server never started; POST succeeded against nothing")
 	}
 }

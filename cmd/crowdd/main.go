@@ -7,14 +7,24 @@
 //
 //	crowdd -profile quora -scale 0.1 -k 10 -addr :8080
 //	crowdd -data quora.json -k 10 -addr :8080
+//	crowdd -data-dir /var/lib/crowdd -sync always -addr :8080
+//
+// With -data-dir the crowd database is durable: every mutation is
+// appended to a checksummed write-ahead journal under the configured
+// -sync policy, the store and skill posteriors are checkpointed
+// atomically every -compact-every records, and on restart the daemon
+// recovers the newest valid snapshot plus journal instead of
+// retraining. While recovery runs the listener is already up but
+// GET /readyz (and /api/*) answer 503, so load balancers hold traffic;
+// GET /healthz is 200 throughout. On SIGINT/SIGTERM the server flips
+// /readyz to 503, drains in-flight requests for up to -drain, then
+// compacts and closes the data directory.
 //
 // Endpoints (see internal/crowddb): POST /api/tasks,
 // POST /api/tasks/{id}/answers, POST /api/tasks/{id}/feedback,
-// GET /api/workers/{id}, GET /api/stats, GET /api/metrics; with
-// -pprof, the net/http/pprof handlers under /debug/pprof/.
-//
-// On SIGINT/SIGTERM the server stops accepting connections and drains
-// in-flight requests for up to -drain before forcing them closed.
+// GET /api/workers/{id}, GET /api/stats, GET /api/metrics,
+// GET /healthz, GET /readyz; with -pprof, the net/http/pprof handlers
+// under /debug/pprof/.
 package main
 
 import (
@@ -28,6 +38,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -37,6 +48,23 @@ import (
 	"crowdselect/internal/crowdql"
 	"crowdselect/internal/eval"
 )
+
+// daemonConfig collects everything run needs; flag parsing stays in
+// main so tests can drive run directly.
+type daemonConfig struct {
+	profile      string
+	scale        float64
+	data         string
+	k, crowdK    int
+	sweeps       int
+	addr         string
+	drain        time.Duration
+	pprofOn      bool
+	dataDir      string
+	sync         crowddb.SyncPolicy
+	compactEvery int64
+	maxInflight  int
+}
 
 func main() {
 	var (
@@ -49,43 +77,124 @@ func main() {
 		sweeps  = flag.Int("sweeps", 0, "override TDPM training sweeps (0 = default)")
 		drain   = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 		pprofOn = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+
+		dataDir      = flag.String("data-dir", "", "durable data directory (empty = in-memory only)")
+		syncFlag     = flag.String("sync", "always", "journal fsync policy: always, os, every=N or interval=DUR")
+		compactEvery = flag.Int64("compact-every", 10000, "journal records between automatic snapshots (0 disables)")
+		maxInflight  = flag.Int("max-inflight", 0, "max concurrently served /api requests; excess sheds with 429 (0 = unlimited)")
 	)
 	flag.Parse()
-	if err := run(*profile, *scale, *data, *k, *crowdK, *addr, *sweeps, *drain, *pprofOn); err != nil {
+	policy, err := crowddb.ParseSyncPolicy(*syncFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crowdd:", err)
+		os.Exit(2)
+	}
+	cfg := daemonConfig{
+		profile: *profile, scale: *scale, data: *data,
+		k: *k, crowdK: *crowdK, sweeps: *sweeps,
+		addr: *addr, drain: *drain, pprofOn: *pprofOn,
+		dataDir: *dataDir, sync: policy,
+		compactEvery: *compactEvery, maxInflight: *maxInflight,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "crowdd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(profile string, scale float64, data string, k, crowdK int, addr string, sweeps int, drain time.Duration, pprofOn bool) error {
-	srv, online, err := buildService(profile, scale, data, k, crowdK, sweeps)
+// bootGate is the handler installed while the service is still being
+// built (training or recovery): /healthz answers 200, everything else
+// 503 with Retry-After, so load balancers can distinguish "process
+// alive" from "ready for traffic" from the first accepted connection.
+// Once the real server is installed it takes over entirely.
+type bootGate struct {
+	srv atomic.Pointer[crowddb.Server]
+}
+
+func (g *bootGate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s := g.srv.Load(); s != nil {
+		s.ServeHTTP(w, r)
+		return
+	}
+	if r.URL.Path == "/healthz" {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"status":"ok"}`)
+		return
+	}
+	w.Header().Set("Retry-After", "1")
+	http.Error(w, "starting: recovery in progress", http.StatusServiceUnavailable)
+}
+
+// drainStarted flips readiness off so probes fail before connections
+// start draining.
+func (g *bootGate) drainStarted() {
+	if s := g.srv.Load(); s != nil {
+		s.SetReady(false)
+	}
+}
+
+func run(cfg daemonConfig) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Listen before the (potentially slow) build so probes see the
+	// boot gate's 503s instead of connection refusals.
+	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
+		return err
+	}
+	gate := &bootGate{}
+	var handler http.Handler = gate
+	if cfg.pprofOn {
+		handler = withPprof(handler)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- serve(ctx, ln, handler, cfg.drain, gate.drainStarted) }()
+	log.Printf("listening on %s (not ready: building service)", ln.Addr())
+
+	srv, db, online, err := buildService(cfg)
+	if err != nil {
+		stop()
+		<-errc
 		return err
 	}
 	srv.SetLogger(log.Printf)
-	var handler http.Handler = srv
-	if pprofOn {
-		handler = withPprof(handler)
+	if cfg.maxInflight > 0 {
+		srv.SetMaxInFlight(cfg.maxInflight)
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return err
+	gate.srv.Store(srv)
+	log.Printf("crowd-selection service ready on %s (%d workers online)", ln.Addr(), online)
+
+	err = serveErr(<-errc)
+	if db != nil {
+		// Snapshot on graceful shutdown so the next boot restores
+		// without replay.
+		if cerr := db.Compact(); cerr != nil {
+			log.Printf("shutdown compaction failed: %v", cerr)
+		}
+		if cerr := db.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
 	}
-	log.Printf("crowd-selection service listening on %s (%d workers online)", ln.Addr(), online)
-	err = serve(ctx, ln, handler, drain)
 	snap := srv.Metrics().Snapshot()
-	log.Printf("served %d requests (%d errors) over %s", snap.Requests, snap.Errors, time.Duration(snap.UptimeSeconds*float64(time.Second)).Round(time.Second))
+	log.Printf("served %d requests (%d errors, %d shed) over %s", snap.Requests, snap.Errors, snap.Shed, time.Duration(snap.UptimeSeconds*float64(time.Second)).Round(time.Second))
+	return err
+}
+
+func serveErr(err error) error {
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
 	return err
 }
 
 // serve runs handler on ln until ctx is cancelled, then shuts down
-// gracefully: the listener closes immediately, in-flight requests get
-// up to drain to finish, and whatever remains is forcibly closed. It
-// is split from run so tests can drive the full lifecycle against a
-// 127.0.0.1:0 listener.
-func serve(ctx context.Context, ln net.Listener, handler http.Handler, drain time.Duration) error {
+// gracefully: onDrain (may be nil) runs first so readiness probes go
+// dark, the listener closes, in-flight requests get up to drain to
+// finish, and whatever remains is forcibly closed. It is split from
+// run so tests can drive the full lifecycle against a 127.0.0.1:0
+// listener.
+func serve(ctx context.Context, ln net.Listener, handler http.Handler, drain time.Duration, onDrain func()) error {
 	srv := &http.Server{Handler: handler, ReadHeaderTimeout: 5 * time.Second}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
@@ -93,6 +202,9 @@ func serve(ctx context.Context, ln net.Listener, handler http.Handler, drain tim
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
+	}
+	if onDrain != nil {
+		onDrain()
 	}
 	log.Printf("shutting down: draining in-flight requests (up to %s)", drain)
 	sctx, cancel := context.WithTimeout(context.Background(), drain)
@@ -120,58 +232,120 @@ func withPprof(h http.Handler) http.Handler {
 	return mux
 }
 
-// buildService assembles the full pipeline — dataset, trained TDPM,
-// crowd database, manager — and returns the HTTP server plus the
-// number of online workers.
-func buildService(profile string, scale float64, data string, k, crowdK, sweeps int) (*crowddb.Server, int, error) {
+// buildService assembles the full pipeline — dataset, TDPM model,
+// crowd database, manager — and returns the HTTP server, the durable
+// DB (nil without -data-dir) and the number of online workers. With a
+// fresh data directory the dataset is generated (or copied from
+// -data), the model trained, and generation 1 snapshotted; with an
+// existing one, dataset and model checkpoint are loaded from the
+// directory and the journal replayed — no retraining.
+func buildService(cfg daemonConfig) (*crowddb.Server, *crowddb.DB, int, error) {
+	var db *crowddb.DB
+	if cfg.dataDir != "" {
+		var err error
+		db, err = crowddb.Open(cfg.dataDir, crowddb.Options{
+			Sync:                cfg.sync,
+			CompactEveryRecords: cfg.compactEvery,
+			Logf:                log.Printf,
+		})
+		if err != nil {
+			return nil, nil, 0, err
+		}
+	}
+
 	var (
-		d   *corpus.Dataset
-		err error
+		d     *corpus.Dataset
+		model *core.Model
+		err   error
 	)
-	if data != "" {
-		log.Printf("loading dataset from %s", data)
-		d, err = corpus.LoadFile(data)
+	restoring := db != nil && !db.Fresh()
+	if restoring {
+		log.Printf("restoring generation %d from %s", db.Generation(), cfg.dataDir)
+		if d, err = corpus.LoadFile(db.DatasetPath()); err != nil {
+			return nil, nil, 0, fmt.Errorf("data dir has state but no dataset: %w", err)
+		}
+		if model, err = db.LoadModel(); err != nil {
+			return nil, nil, 0, err
+		}
 	} else {
-		log.Printf("generating %s dataset at scale %g", profile, scale)
-		var p corpus.Profile
-		if p, err = corpus.ProfileByName(profile); err == nil {
-			d, err = corpus.Generate(p.Scaled(scale))
+		if cfg.data != "" {
+			log.Printf("loading dataset from %s", cfg.data)
+			d, err = corpus.LoadFile(cfg.data)
+		} else {
+			log.Printf("generating %s dataset at scale %g", cfg.profile, cfg.scale)
+			var p corpus.Profile
+			if p, err = corpus.ProfileByName(cfg.profile); err == nil {
+				d, err = corpus.Generate(p.Scaled(cfg.scale))
+			}
+		}
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		log.Print(d.Stats())
+
+		trainCfg := core.NewConfig(cfg.k)
+		if cfg.sweeps > 0 {
+			trainCfg.MaxIter = cfg.sweeps
+		}
+		log.Printf("training TDPM with K=%d", cfg.k)
+		start := time.Now()
+		var stats *core.TrainStats
+		model, stats, err = core.Train(eval.ResolvedTasks(d), len(d.Workers), d.Vocab.Size(), trainCfg)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		log.Printf("trained in %s (%d sweeps, converged=%v)", time.Since(start).Round(time.Millisecond), stats.Sweeps, stats.Converged)
+	}
+
+	var store *crowddb.Store
+	if db != nil {
+		store = db.Store()
+	} else {
+		store = crowddb.NewStore()
+	}
+	if !restoring {
+		for _, w := range d.Workers {
+			if _, err := store.AddWorker(w.ID, fmt.Sprintf("worker-%04d", w.ID)); err != nil {
+				return nil, nil, 0, err
+			}
 		}
 	}
+	// An explicit ConcurrentModel so the durability layer can
+	// checkpoint posteriors consistently while requests are served.
+	cm := core.NewConcurrentModel(model)
+	mgr, err := crowddb.NewManager(store, d.Vocab, cm, cfg.crowdK)
 	if err != nil {
-		return nil, 0, err
+		return nil, nil, 0, err
 	}
-	log.Print(d.Stats())
-
-	cfg := core.NewConfig(k)
-	if sweeps > 0 {
-		cfg.MaxIter = sweeps
-	}
-	log.Printf("training TDPM with K=%d", k)
-	start := time.Now()
-	model, stats, err := core.Train(eval.ResolvedTasks(d), len(d.Workers), d.Vocab.Size(), cfg)
-	if err != nil {
-		return nil, 0, err
-	}
-	log.Printf("trained in %s (%d sweeps, converged=%v)", time.Since(start).Round(time.Millisecond), stats.Sweeps, stats.Converged)
-
-	store := crowddb.NewStore()
-	for _, w := range d.Workers {
-		if _, err := store.AddWorker(w.ID, fmt.Sprintf("worker-%04d", w.ID)); err != nil {
-			return nil, 0, err
+	if db != nil {
+		db.SetModelSnapshotter(cm.Save)
+		db.SetQuiescer(mgr.Quiesce)
+		if restoring {
+			if err := db.Recover(mgr.ApplySkillFeedback); err != nil {
+				return nil, nil, 0, err
+			}
+			st := db.Stats()
+			log.Printf("recovered generation %d: %d journal records replayed in %dms (torn tail truncated: %v)",
+				st.Generation, st.RecoveredRecords, st.RecoveryMillis, st.TornTailTruncated)
+		} else {
+			// The dataset is the vocabulary source on restart; persist
+			// it before the first snapshot commits the directory.
+			if err := d.SaveFile(db.DatasetPath()); err != nil {
+				return nil, nil, 0, err
+			}
+			if err := db.Begin(); err != nil {
+				return nil, nil, 0, err
+			}
 		}
-	}
-	// The manager wraps the model in a core.ConcurrentModel, so
-	// concurrent selection and feedback requests are race-free.
-	mgr, err := crowddb.NewManager(store, d.Vocab, model, crowdK)
-	if err != nil {
-		return nil, 0, err
 	}
 	srv := crowddb.NewServer(mgr)
+	if db != nil {
+		srv.SetDurabilityStats(db.Stats)
+	}
 	engine, err := crowdql.NewEngine(mgr)
 	if err != nil {
-		return nil, 0, err
+		return nil, nil, 0, err
 	}
 	srv.SetQueryEngine(crowdql.HTTPAdapter{Engine: engine})
-	return srv, len(store.OnlineWorkers()), nil
+	return srv, db, len(store.OnlineWorkers()), nil
 }

@@ -13,12 +13,25 @@ import (
 	"time"
 
 	"crowdselect/internal/corpus"
+	"crowdselect/internal/crowddb"
 )
 
+// testConfig is a small in-memory service; tests override fields.
+func testConfig() daemonConfig {
+	return daemonConfig{
+		profile: "quora", scale: 0.02,
+		k: 4, crowdK: 2, sweeps: 4,
+		sync: crowddb.SyncAlways(),
+	}
+}
+
 func TestBuildServiceServes(t *testing.T) {
-	handler, online, err := buildService("quora", 0.02, "", 4, 2, 4)
+	handler, db, online, err := buildService(testConfig())
 	if err != nil {
 		t.Fatal(err)
+	}
+	if db != nil {
+		t.Fatal("in-memory config produced a durable DB")
 	}
 	if online == 0 {
 		t.Fatal("no workers online")
@@ -76,6 +89,18 @@ func TestBuildServiceServes(t *testing.T) {
 	if resp2.StatusCode != http.StatusBadRequest {
 		t.Errorf("bad query status = %d", resp2.StatusCode)
 	}
+
+	// Probe endpoints.
+	for path, want := range map[string]int{"/healthz": 200, "/readyz": 200} {
+		r, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != want {
+			t.Errorf("GET %s = %d, want %d", path, r.StatusCode, want)
+		}
+	}
 }
 
 func TestBuildServiceFromDataFile(t *testing.T) {
@@ -85,9 +110,86 @@ func TestBuildServiceFromDataFile(t *testing.T) {
 	if err := d.SaveFile(path); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := buildService("", 0, path, 4, 2, 3); err != nil {
+	cfg := testConfig()
+	cfg.profile, cfg.scale, cfg.data, cfg.sweeps = "", 0, path, 3
+	if _, _, _, err := buildService(cfg); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestBuildServicePersistsAcrossRestart: the durable path must restore
+// tasks and model from -data-dir on a second boot instead of
+// retraining, and keep serving mutations made before the restart.
+func TestBuildServicePersistsAcrossRestart(t *testing.T) {
+	cfg := testConfig()
+	cfg.dataDir = t.TempDir()
+
+	handler, db, _, err := buildService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db == nil {
+		t.Fatal("durable config produced no DB")
+	}
+	srv := httptest.NewServer(handler)
+	resp, err := http.Post(srv.URL+"/api/tasks", "application/json",
+		strings.NewReader(`{"text":"durable question","k":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub struct {
+		TaskID int `json:"task_id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	srv.Close()
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	handler2, db2, online, err := buildService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if online == 0 {
+		t.Fatal("no workers online after restart")
+	}
+	srv2 := httptest.NewServer(handler2)
+	defer srv2.Close()
+	r, err := http.Get(srv2.URL + "/api/tasks/" + jsonInt(sub.TaskID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("task lost across restart: status %d", r.StatusCode)
+	}
+	// Durability counters surface in /api/metrics after restore.
+	mr, err := http.Get(srv2.URL + "/api/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mr.Body.Close()
+	var metrics struct {
+		Durability *crowddb.DurabilitySnapshot `json:"durability"`
+	}
+	if err := json.NewDecoder(mr.Body).Decode(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	if metrics.Durability == nil || metrics.Durability.Generation == 0 {
+		t.Errorf("durability metrics missing: %+v", metrics.Durability)
+	}
+}
+
+func jsonInt(n int) string {
+	b, _ := json.Marshal(n)
+	return string(b)
 }
 
 // TestServeGracefulShutdown: cancelling the serve context (the SIGINT/
@@ -107,8 +209,9 @@ func TestServeGracefulShutdown(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	drained := make(chan struct{})
 	done := make(chan error, 1)
-	go func() { done <- serve(ctx, ln, h, 5*time.Second) }()
+	go func() { done <- serve(ctx, ln, h, 5*time.Second, func() { close(drained) }) }()
 
 	type result struct {
 		body string
@@ -141,6 +244,11 @@ func TestServeGracefulShutdown(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("serve did not return after shutdown")
 	}
+	select {
+	case <-drained:
+	default:
+		t.Error("onDrain hook never ran")
+	}
 	// The listener is closed: new connections are refused.
 	if _, err := net.DialTimeout("tcp", ln.Addr().String(), time.Second); err == nil {
 		t.Error("listener still accepting after shutdown")
@@ -165,7 +273,7 @@ func TestServeShutdownDeadline(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	done := make(chan error, 1)
-	go func() { done <- serve(ctx, ln, h, 50*time.Millisecond) }()
+	go func() { done <- serve(ctx, ln, h, 50*time.Millisecond, nil) }()
 
 	go func() {
 		resp, err := http.Get("http://" + ln.Addr().String() + "/")
@@ -186,10 +294,14 @@ func TestServeShutdownDeadline(t *testing.T) {
 }
 
 func TestBuildServiceErrors(t *testing.T) {
-	if _, _, err := buildService("reddit", 0.02, "", 4, 2, 3); err == nil {
+	cfg := testConfig()
+	cfg.profile = "reddit"
+	if _, _, _, err := buildService(cfg); err == nil {
 		t.Error("unknown profile accepted")
 	}
-	if _, _, err := buildService("", 0, "/no/such/file.json", 4, 2, 3); err == nil {
+	cfg = testConfig()
+	cfg.profile, cfg.scale, cfg.data = "", 0, "/no/such/file.json"
+	if _, _, _, err := buildService(cfg); err == nil {
 		t.Error("missing data file accepted")
 	}
 }

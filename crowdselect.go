@@ -30,6 +30,7 @@ package crowdselect
 
 import (
 	"io"
+	"time"
 
 	"crowdselect/internal/baseline/drm"
 	"crowdselect/internal/baseline/tspm"
@@ -161,6 +162,11 @@ func StackOverflowProfile() Profile { return corpus.StackOverflow() }
 // (Algorithm 1 of the paper).
 func GenerateDataset(p Profile) (*Dataset, error) { return corpus.Generate(p) }
 
+// LoadDatasetFile reads a dataset previously written with
+// (*Dataset).SaveFile — e.g. the copy a DurableDB keeps in its data
+// directory so restarts recover the vocabulary without regenerating.
+func LoadDatasetFile(path string) (*Dataset, error) { return corpus.LoadFile(path) }
+
 // DataRecord is one answered-task row from a real platform dump.
 type DataRecord = corpus.Record
 
@@ -203,6 +209,47 @@ func NewManager(store *Store, vocab *Vocabulary, sel crowddb.Selector, k int) (*
 
 // NewServer wraps a manager with the HTTP API.
 func NewServer(mgr *Manager) *Server { return crowddb.NewServer(mgr) }
+
+// Durable crowd database: a checksummed write-ahead journal plus
+// atomic snapshot generations under a data directory, with boot-time
+// recovery that restores both the store and the TDPM skill
+// posteriors. See DESIGN.md §7 for the durability contract and
+// examples/durability for the lifecycle end to end.
+type (
+	// DurableDB owns a data directory: snapshot generations, the
+	// model checkpoint, and the live journal.
+	DurableDB = crowddb.DB
+	// DurabilityOptions configures the fsync policy and compaction
+	// thresholds of a DurableDB.
+	DurabilityOptions = crowddb.Options
+	// SyncPolicy decides when journal appends reach stable storage.
+	SyncPolicy = crowddb.SyncPolicy
+	// DurabilitySnapshot is a point-in-time view of the durability
+	// counters (generation, records, fsyncs, recovery cost).
+	DurabilitySnapshot = crowddb.DurabilitySnapshot
+)
+
+// OpenDurable opens (or initialises) a data directory, restoring the
+// newest valid snapshot into the embedded store. A restored database
+// still needs Recover to replay the journal tail; a fresh one needs
+// Begin to start journaling.
+func OpenDurable(dir string, opts DurabilityOptions) (*DurableDB, error) {
+	return crowddb.Open(dir, opts)
+}
+
+// SyncAlways fsyncs after every record: an acknowledged mutation is
+// on disk before the caller sees success.
+func SyncAlways() SyncPolicy { return crowddb.SyncAlways() }
+
+// SyncEvery fsyncs after every n records (group commit).
+func SyncEvery(n int) SyncPolicy { return crowddb.SyncEvery(n) }
+
+// SyncInterval fsyncs when d has elapsed since the last sync.
+func SyncInterval(d time.Duration) SyncPolicy { return crowddb.SyncInterval(d) }
+
+// ParseSyncPolicy parses the -sync flag syntax: "always", "os",
+// "every=N", or "interval=DURATION".
+func ParseSyncPolicy(s string) (SyncPolicy, error) { return crowddb.ParseSyncPolicy(s) }
 
 // Crowd-selection query language (internal/crowdql):
 //

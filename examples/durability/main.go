@@ -1,0 +1,155 @@
+// Durability demo: the crowd database surviving a restart. The first
+// "process lifetime" trains TDPM, opens a durable data directory,
+// journals a burst of crowd activity (submit → answer → feedback),
+// and shuts down cleanly. The second lifetime reopens the same
+// directory and restores everything — store rows, and the skill
+// posteriors the feedback taught the model — without retraining,
+// by loading the model checkpoint and replaying the journal through
+// the manager's feedback path (DESIGN.md §7).
+//
+// This is the same lifecycle cmd/crowdd runs behind its -data-dir
+// flag, driven in process through the public API.
+//
+// Run with:
+//
+//	go run ./examples/durability
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"crowdselect"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "crowdselect-durability-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// ---- first process lifetime: train, serve, journal, shut down ----
+
+	d, err := crowdselect.GenerateDataset(crowdselect.QuoraProfile().Scaled(0.05))
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, _, err := crowdselect.Train(crowdselect.ResolvedTasksOf(d), len(d.Workers), d.Vocab.Size(), crowdselect.NewConfig(8))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	db, err := crowdselect.OpenDurable(dir, crowdselect.DurabilityOptions{
+		// Every acknowledged mutation is fsynced before success —
+		// the strictest policy; see SyncEvery/SyncInterval for the
+		// group-commit trade-offs.
+		Sync: crowdselect.SyncAlways(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	store := db.Store()
+	for _, w := range d.Workers {
+		if _, err := store.AddWorker(w.ID, fmt.Sprintf("worker-%03d", w.ID)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	cm := crowdselect.NewConcurrentModel(model)
+	mgr, err := crowdselect.NewManager(store, d.Vocab, cm, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Wire the durability hooks: the model checkpoint written at each
+	// compaction, quiesced so no feedback update tears it.
+	db.SetModelSnapshotter(cm.Save)
+	db.SetQuiescer(mgr.Quiesce)
+	// The dataset carries the vocabulary; persist it so the restart
+	// can project new tasks without regenerating the corpus.
+	if err := d.SaveFile(db.DatasetPath()); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Begin(); err != nil {
+		log.Fatal(err)
+	}
+
+	// A burst of crowd activity, all journaled as it happens.
+	resolved := 0
+	for _, t := range d.Tasks[:6] {
+		sub, err := mgr.SubmitTask(strings.Join(t.Tokens, " "), 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		scores := make(map[int]float64)
+		for rank, w := range sub.Workers {
+			if err := mgr.CollectAnswer(sub.Task.ID, w, fmt.Sprintf("answer from %d", w)); err != nil {
+				log.Fatal(err)
+			}
+			scores[w] = float64(5 - rank) // feedback: earlier ranks scored higher
+		}
+		if _, err := mgr.ResolveTask(sub.Task.ID, scores); err != nil {
+			log.Fatal(err)
+		}
+		resolved++
+	}
+	st := db.Stats()
+	fmt.Printf("first lifetime: resolved %d tasks; journaled %d records (%d bytes, %d fsyncs)\n",
+		resolved, st.RecordsWritten, st.BytesWritten, st.Fsyncs)
+
+	// Graceful shutdown: compact (atomic snapshot + model checkpoint,
+	// journal rotation) and close. A crash instead of this is fine
+	// too — recovery would replay the journal; see the crash tests in
+	// internal/crowddb.
+	if err := db.Compact(); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	// ---- second process lifetime: restore without retraining ----
+
+	db2, err := crowdselect.OpenDurable(dir, crowdselect.DurabilityOptions{Sync: crowdselect.SyncAlways()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if db2.Fresh() {
+		log.Fatal("expected persisted state in the data directory")
+	}
+	d2, err := crowdselect.LoadDatasetFile(db2.DatasetPath())
+	if err != nil {
+		log.Fatal(err)
+	}
+	model2, err := db2.LoadModel()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cm2 := crowdselect.NewConcurrentModel(model2)
+	mgr2, err := crowdselect.NewManager(db2.Store(), d2.Vocab, cm2, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db2.SetModelSnapshotter(cm2.Save)
+	db2.SetQuiescer(mgr2.Quiesce)
+	// Replay the journal tail; resolve events flow through the
+	// manager's feedback path, rebuilding the exact skill posteriors.
+	if err := db2.Recover(mgr2.ApplySkillFeedback); err != nil {
+		log.Fatal(err)
+	}
+	st2 := db2.Stats()
+	fmt.Printf("second lifetime: restored generation %d, replayed %d journal records in %dms\n",
+		st2.Generation, st2.RecoveredRecords, st2.RecoveryMillis)
+	fmt.Printf("store after restart: %d workers, %d tasks\n", db2.Store().NumWorkers(), db2.Store().NumTasks())
+
+	// The restored manager keeps serving — and keeps journaling.
+	sub, err := mgr2.SubmitTask(strings.Join(d2.Tasks[7].Tokens, " "), 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("post-restart selection for task %d: workers %v\n", sub.Task.ID, sub.Workers)
+	if err := db2.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"io"
 	"sync"
 
 	"crowdselect/internal/linalg"
@@ -101,6 +102,16 @@ func (c *ConcurrentModel) Skills(i int) linalg.Vector {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.m.Skills(i).Clone()
+}
+
+// Save serializes the model under the read lock, so a checkpoint
+// written while feedback traffic keeps arriving is a consistent
+// point-in-time view of the posteriors (the durability layer's model
+// snapshotter).
+func (c *ConcurrentModel) Save(w io.Writer) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.m.Save(w)
 }
 
 // UpdateWorkerSkill folds feedback on resolved tasks into one worker's

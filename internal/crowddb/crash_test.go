@@ -1,0 +1,256 @@
+package crowddb
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+
+	"crowdselect/internal/core"
+	"crowdselect/internal/faultfs"
+)
+
+// cloneModel deep-copies a model through its serialized form, the same
+// representation durability uses, so rounds of the crash test start
+// from identical posteriors.
+func cloneModel(t *testing.T, m *core.Model) *core.Model {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// expTask is the acknowledged state of one task: only mutations whose
+// call returned nil error are recorded here, so the expectation set is
+// exactly what durability promises to preserve.
+type expTask struct {
+	text     string
+	assigned []int
+	answers  map[int]string
+	scores   map[int]float64
+	resolved bool
+}
+
+type expectations struct {
+	tasks    map[int]*expTask
+	presence map[int]bool // last acked presence override
+	acked    int          // acked mutation count
+}
+
+// runCrashWorkload drives ≥500 mutations through the manager with a
+// deterministic op sequence, compacting every compactEvery mutations,
+// and stops at the first injected journal failure (the simulated
+// process death). It returns the acked expectations and whether the
+// workload crashed.
+func runCrashWorkload(t *testing.T, rig *durableRig, compactEvery int) (*expectations, bool) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	exp := &expectations{tasks: make(map[int]*expTask), presence: make(map[int]bool)}
+	workers := rig.db.Store().Workers()
+
+	// crash classifies an op error: an injected journal failure ends
+	// the workload; anything else is a test bug.
+	crash := func(err error) bool {
+		if err == nil {
+			return false
+		}
+		if errors.Is(err, ErrJournal) {
+			return true
+		}
+		t.Fatalf("workload hit non-journal error: %v", err)
+		return true
+	}
+
+	lastCompact := 0
+	for cycle := 0; cycle < 160; cycle++ {
+		// Occasionally bounce a worker's presence (two mutations).
+		if rng.Intn(5) == 0 {
+			w := workers[rng.Intn(len(workers))].ID
+			for _, online := range []bool{false, true} {
+				if err := rig.db.Store().SetOnline(w, online); err != nil {
+					if crash(err) {
+						return exp, true
+					}
+				}
+				exp.presence[w] = online
+				exp.acked++
+			}
+		}
+
+		text := fmt.Sprintf("crash round question %d about topic %d", cycle, rng.Intn(50))
+		sub, err := rig.mgr.SubmitTask(text, 2)
+		if crash(err) {
+			return exp, true
+		}
+		et := &expTask{
+			text:     text,
+			assigned: append([]int(nil), sub.Workers...),
+			answers:  make(map[int]string),
+			scores:   make(map[int]float64),
+		}
+		exp.tasks[sub.Task.ID] = et
+		exp.acked++
+
+		for i, w := range sub.Workers {
+			ans := fmt.Sprintf("answer %d from %d", i, w)
+			if crash(rig.mgr.CollectAnswer(sub.Task.ID, w, ans)) {
+				return exp, true
+			}
+			et.answers[w] = ans
+			exp.acked++
+		}
+
+		scores := make(map[int]float64, len(sub.Workers))
+		for _, w := range sub.Workers {
+			scores[w] = float64(rng.Intn(6))
+		}
+		if _, err := rig.mgr.ResolveTask(sub.Task.ID, scores); crash(err) {
+			return exp, true
+		}
+		for w, sc := range scores {
+			et.scores[w] = sc
+		}
+		et.resolved = true
+		exp.acked++
+
+		if exp.acked-lastCompact >= compactEvery {
+			if err := rig.db.Compact(); err != nil {
+				t.Fatalf("compaction before any injected failure: %v", err)
+			}
+			lastCompact = exp.acked
+		}
+	}
+	return exp, false
+}
+
+// assertRecovered checks every acked expectation against the
+// recovered store.
+func assertRecovered(t *testing.T, st *Store, exp *expectations) {
+	t.Helper()
+	for id, et := range exp.tasks {
+		got, err := st.GetTask(id)
+		if err != nil {
+			t.Fatalf("acked task %d lost: %v", id, err)
+		}
+		if got.Text != et.text {
+			t.Fatalf("task %d text %q, want %q", id, got.Text, et.text)
+		}
+		if len(got.Assigned) != len(et.assigned) {
+			t.Fatalf("task %d assigned %v, want %v", id, got.Assigned, et.assigned)
+		}
+		for i, w := range et.assigned {
+			if got.Assigned[i] != w {
+				t.Fatalf("task %d assigned %v, want %v", id, got.Assigned, et.assigned)
+			}
+		}
+		byWorker := make(map[int]Answer, len(got.Answers))
+		for _, a := range got.Answers {
+			byWorker[a.Worker] = a
+		}
+		for w, text := range et.answers {
+			a, ok := byWorker[w]
+			if !ok {
+				t.Fatalf("task %d: acked answer from worker %d lost", id, w)
+			}
+			if a.Text != text {
+				t.Fatalf("task %d worker %d answer %q, want %q", id, w, a.Text, text)
+			}
+		}
+		if et.resolved {
+			if got.Status != TaskResolved {
+				t.Fatalf("acked resolved task %d recovered as %v", id, got.Status)
+			}
+			for w, sc := range et.scores {
+				if byWorker[w].Score != sc {
+					t.Fatalf("task %d worker %d score %v, want %v", id, w, byWorker[w].Score, sc)
+				}
+			}
+		}
+	}
+	for w, online := range exp.presence {
+		got, err := st.GetWorker(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Online != online {
+			t.Errorf("worker %d presence %v, want acked %v", w, got.Online, online)
+		}
+	}
+}
+
+// TestCrashRecoveryLosesNothing is the acceptance-criteria test: a
+// workload of ≥500 mutations with the journal writer killed at a
+// random byte offset must recover from the data directory with zero
+// acknowledged mutations lost and skill posteriors element-wise equal
+// to the pre-crash model.
+func TestCrashRecoveryLosesNothing(t *testing.T) {
+	d, model := trainedFixture(t)
+
+	// Calibration round: unlimited budget, measures total journal
+	// traffic and doubles as the no-crash durability check.
+	dir := t.TempDir()
+	rig := openDurable(t, dir, d, cloneModel(t, model), Options{Sync: SyncAlways()})
+	exp, crashed := runCrashWorkload(t, rig, 150)
+	if crashed {
+		t.Fatal("calibration round crashed without fault injection")
+	}
+	if exp.acked < 500 {
+		t.Fatalf("workload produced only %d mutations, need ≥ 500", exp.acked)
+	}
+	totalBytes := int64(rig.db.Stats().BytesWritten)
+	if totalBytes == 0 {
+		t.Fatal("no journal bytes written")
+	}
+	preModel := rig.cm.Unwrap()
+	if err := rig.db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec := openDurable(t, dir, d, nil, Options{Sync: SyncAlways()})
+	assertRecovered(t, rec.db.Store(), exp)
+	assertModelsEqual(t, preModel, rec.cm.Unwrap())
+	if err := rec.db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash rounds: the journal writer dies at a random offset inside
+	// the measured traffic. The workload stops at the first injected
+	// failure, like a killed process; recovery must preserve every
+	// acked mutation and reproduce the posteriors exactly.
+	budgets := rand.New(rand.NewSource(42))
+	for round := 0; round < 3; round++ {
+		round := round
+		t.Run(fmt.Sprintf("crash_round_%d", round), func(t *testing.T) {
+			// Cap below the calibrated traffic so the fault always fires.
+			budget := faultfs.NewBudget(1 + budgets.Int63n(totalBytes*9/10))
+			dir := t.TempDir()
+			opts := Options{
+				Sync: SyncAlways(),
+				OpenJournalFile: func(path string) (JournalFile, error) {
+					return faultfs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644, budget)
+				},
+			}
+			rig := openDurable(t, dir, d, cloneModel(t, model), opts)
+			exp, crashed := runCrashWorkload(t, rig, 150)
+			if !crashed || !budget.Tripped() {
+				t.Fatalf("fault did not fire (crashed=%v tripped=%v)", crashed, budget.Tripped())
+			}
+			preModel := rig.cm.Unwrap()
+			// No Close: the process died. Reopen from disk alone.
+			rec := openDurable(t, dir, d, nil, Options{Sync: SyncAlways()})
+			defer rec.db.Close()
+			assertRecovered(t, rec.db.Store(), exp)
+			assertModelsEqual(t, preModel, rec.cm.Unwrap())
+			if !rec.db.Stats().TornTailTruncated {
+				t.Log("crash landed exactly on a record boundary; nothing torn")
+			}
+		})
+	}
+}

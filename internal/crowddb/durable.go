@@ -1,0 +1,506 @@
+package crowddb
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"crowdselect/internal/core"
+)
+
+// This file is the snapshot+journal lifecycle over the primitives in
+// store.go and journal.go: a data directory of numbered generations,
+// each an atomic snapshot of the crowd database plus the model's
+// skill posteriors, followed by a checksummed journal of everything
+// since. Recovery restores the newest valid generation and replays
+// its journal — including routing resolve events back through the
+// manager's feedback path so LambdaW/NuW2 match the pre-crash model.
+//
+// Data directory layout (generation g):
+//
+//	snapshot-%08d.json   store snapshot (the generation's commit point)
+//	model-%08d.json      model posteriors as of the snapshot
+//	journal-%08d.wal     framed mutations since the snapshot
+//	dataset.json         owned by the daemon (vocabulary source), not the DB
+//
+// Compaction writes generation g+1 (model first, then the snapshot —
+// the rename of snapshot-%08d.json commits the generation), rotates
+// the journal, and removes older generations. A crash between any two
+// steps leaves either generation fully usable.
+
+const (
+	snapshotPattern = "snapshot-%08d.json"
+	modelPattern    = "model-%08d.json"
+	journalPattern  = "journal-%08d.wal"
+)
+
+// DurabilityStats counts what the durability layer did; all fields
+// are safe for concurrent use.
+type DurabilityStats struct {
+	RecordsWritten atomic.Int64
+	BytesWritten   atomic.Int64
+	Fsyncs         atomic.Int64
+	Compactions    atomic.Int64
+	// RecoveryMillis is the wall time of the last Recover call.
+	RecoveryMillis atomic.Int64
+	// RecoveredRecords is how many journal records the last Recover
+	// replayed on top of the snapshot.
+	RecoveredRecords atomic.Int64
+	// TornTailTruncated reports whether the last Recover discarded a
+	// torn final record (1) or not (0).
+	TornTailTruncated atomic.Int64
+}
+
+func (st *DurabilityStats) recordWritten(n int64) {
+	st.RecordsWritten.Add(1)
+	st.BytesWritten.Add(n)
+}
+
+// DurabilitySnapshot is the JSON form of DurabilityStats for
+// /api/metrics.
+type DurabilitySnapshot struct {
+	Generation        uint64 `json:"generation"`
+	RecordsWritten    int64  `json:"records_written"`
+	BytesWritten      int64  `json:"bytes_written"`
+	Fsyncs            int64  `json:"fsyncs"`
+	Compactions       int64  `json:"compactions"`
+	RecoveryMillis    int64  `json:"recovery_ms"`
+	RecoveredRecords  int64  `json:"recovered_records"`
+	TornTailTruncated bool   `json:"torn_tail_truncated"`
+}
+
+// Options configures Open.
+type Options struct {
+	// Sync is the journal fsync policy. The zero value never fsyncs
+	// explicitly; use SyncAlways for read-your-crash durability.
+	Sync SyncPolicy
+	// CompactEveryRecords triggers automatic compaction once the
+	// current journal holds at least this many records (0 disables).
+	CompactEveryRecords int64
+	// CompactEveryBytes triggers automatic compaction once the current
+	// journal reaches this many bytes (0 disables).
+	CompactEveryBytes int64
+	// CheckInterval is how often the auto-compaction loop looks at the
+	// thresholds (default 1s).
+	CheckInterval time.Duration
+	// OpenJournalFile overrides how the append handle on a journal
+	// file is opened — the crash-injection hook. nil uses os.OpenFile.
+	OpenJournalFile func(path string) (JournalFile, error)
+	// Logf receives lifecycle notices (recovery, compaction). nil is
+	// silent.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) openJournal(path string) (JournalFile, error) {
+	if o.OpenJournalFile != nil {
+		return o.OpenJournalFile(path)
+	}
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// DB manages a crowd database rooted in a data directory: snapshot
+// restore on open, journal replay on Recover, appends under the sync
+// policy, and periodic compaction. Mutations go through Store() as
+// usual; the DB owns the files.
+type DB struct {
+	dir   string
+	opts  Options
+	store *Store
+	stats DurabilityStats
+
+	mu        sync.Mutex // generation state: gen, jw, live
+	gen       uint64
+	jw        *journalWriter
+	live      bool
+	saveModel func(io.Writer) error
+	quiesce   func(func() error) error
+
+	stopOnce sync.Once
+	stopc    chan struct{}
+	donec    chan struct{} // non-nil once the auto-compaction loop runs
+}
+
+// Open scans dir (creating it if needed), restores the newest valid
+// snapshot generation into a fresh store, and returns a DB that is
+// not yet accepting journaled writes: load the model (LoadModel),
+// wire the manager, then call Recover — or, for an empty directory,
+// populate the store and call Begin. Invalid newer generations are
+// skipped in favour of older intact ones.
+func Open(dir string, opts Options) (*DB, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("crowddb: open %s: %w", dir, err)
+	}
+	if opts.CheckInterval <= 0 {
+		opts.CheckInterval = time.Second
+	}
+	db := &DB{
+		dir:   dir,
+		opts:  opts,
+		store: NewStore(),
+		stopc: make(chan struct{}),
+	}
+	gens, err := listGenerations(dir)
+	if err != nil {
+		return nil, err
+	}
+	for i := len(gens) - 1; i >= 0; i-- {
+		g := gens[i]
+		s := NewStore()
+		if err := s.RestoreSnapshotFile(filepath.Join(dir, fmt.Sprintf(snapshotPattern, g))); err != nil {
+			opts.logf("crowddb: generation %d snapshot unusable (%v); falling back", g, err)
+			continue
+		}
+		db.store = s
+		db.gen = g
+		break
+	}
+	return db, nil
+}
+
+// listGenerations returns the generation numbers with a snapshot file
+// present, ascending.
+func listGenerations(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("crowddb: scan %s: %w", dir, err)
+	}
+	var gens []uint64
+	for _, e := range entries {
+		var g uint64
+		if _, err := fmt.Sscanf(e.Name(), snapshotPattern, &g); err == nil {
+			gens = append(gens, g)
+		}
+	}
+	sort.Slice(gens, func(a, b int) bool { return gens[a] < gens[b] })
+	return gens, nil
+}
+
+// Store returns the crowd database. Before Recover/Begin it holds the
+// restored snapshot only; mutations are journaled once the DB is
+// live.
+func (db *DB) Store() *Store { return db.store }
+
+// Generation returns the current generation (0 for a fresh
+// directory).
+func (db *DB) Generation() uint64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.gen
+}
+
+// Fresh reports whether Open found no usable snapshot — the caller
+// must bootstrap state and call Begin instead of Recover.
+func (db *DB) Fresh() bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.gen == 0
+}
+
+// DatasetPath is where the daemon conventionally keeps the dataset
+// that seeded this data directory (vocabulary source). The DB never
+// reads or writes it; the path lives here so daemon and tools agree.
+func (db *DB) DatasetPath() string {
+	return filepath.Join(db.dir, "dataset.json")
+}
+
+// ModelPath returns the current generation's model file ("" when
+// fresh).
+func (db *DB) ModelPath() string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.gen == 0 {
+		return ""
+	}
+	return filepath.Join(db.dir, fmt.Sprintf(modelPattern, db.gen))
+}
+
+// LoadModel reads the model checkpoint of the restored generation.
+func (db *DB) LoadModel() (*core.Model, error) {
+	path := db.ModelPath()
+	if path == "" {
+		return nil, errors.New("crowddb: no model checkpoint in a fresh data directory")
+	}
+	return core.LoadModelFile(path)
+}
+
+// SetModelSnapshotter installs the function that serializes the
+// current model (e.g. core.ConcurrentModel.Save); compaction calls it
+// to checkpoint posteriors alongside the store snapshot. Must be set
+// before Begin and before any compaction.
+func (db *DB) SetModelSnapshotter(save func(io.Writer) error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.saveModel = save
+}
+
+// SetQuiescer installs the manager's Quiesce so compaction can cut a
+// snapshot with no resolve half-applied between the store and the
+// model (Manager.ResolveTask commits to the store first, then updates
+// posteriors — a snapshot between the two would desynchronize them).
+func (db *DB) SetQuiescer(q func(func() error) error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.quiesce = q
+}
+
+// Recover replays the restored generation's journal into the store —
+// routing each resolve through onResolve so the caller can rebuild
+// skill posteriors — truncates a torn tail, then attaches the journal
+// for appends under the sync policy and starts the auto-compaction
+// loop. After Recover returns nil the DB is live.
+func (db *DB) Recover(onResolve func(TaskRecord) error) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.live {
+		return errors.New("crowddb: Recover on a live DB")
+	}
+	start := time.Now()
+	path := db.journalPath(db.gen)
+	res, err := replayJournalFile(db.store, path, onResolve)
+	if err != nil {
+		return err
+	}
+	if res.Torn {
+		if err := os.Truncate(path, res.GoodBytes); err != nil {
+			return fmt.Errorf("crowddb: truncate torn journal: %w", err)
+		}
+		db.opts.logf("crowddb: discarded torn journal tail after byte %d", res.GoodBytes)
+	}
+	if err := db.attachJournalLocked(db.gen, int64(res.Records), res.GoodBytes); err != nil {
+		return err
+	}
+	db.stats.RecoveryMillis.Store(time.Since(start).Milliseconds())
+	db.stats.RecoveredRecords.Store(int64(res.Records))
+	if res.Torn {
+		db.stats.TornTailTruncated.Store(1)
+	}
+	db.live = true
+	db.startAutoCompaction()
+	db.opts.logf("crowddb: recovered generation %d (%d journal records, torn=%v) in %s",
+		db.gen, res.Records, res.Torn, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// Begin makes a freshly bootstrapped DB live: it writes generation 1
+// (model checkpoint + store snapshot), opens an empty journal and
+// starts the auto-compaction loop. The store must already hold the
+// initial state (registered workers).
+func (db *DB) Begin() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.live {
+		return errors.New("crowddb: Begin on a live DB")
+	}
+	if db.gen != 0 {
+		return errors.New("crowddb: Begin on a restored data directory (use Recover)")
+	}
+	if err := db.compactLocked(); err != nil {
+		return err
+	}
+	db.live = true
+	db.startAutoCompaction()
+	return nil
+}
+
+func (db *DB) journalPath(gen uint64) string {
+	return filepath.Join(db.dir, fmt.Sprintf(journalPattern, gen))
+}
+
+// attachJournalLocked opens generation gen's journal for appends and
+// wires it into the store. initRecords/initBytes seed the rotation
+// thresholds with what the journal already holds on disk.
+func (db *DB) attachJournalLocked(gen uint64, initRecords, initBytes int64) error {
+	f, err := db.opts.openJournal(db.journalPath(gen))
+	if err != nil {
+		return fmt.Errorf("crowddb: open journal: %w", err)
+	}
+	db.jw = newJournalWriter(f, db.opts.Sync, &db.stats, nil)
+	db.jw.records, db.jw.bytes = initRecords, initBytes
+	db.store.attachSink(db.jw)
+	return nil
+}
+
+// NeedsCompaction reports whether the current journal has crossed a
+// configured threshold.
+func (db *DB) NeedsCompaction() bool {
+	db.mu.Lock()
+	jw := db.jw
+	recLimit, byteLimit := db.opts.CompactEveryRecords, db.opts.CompactEveryBytes
+	db.mu.Unlock()
+	if jw == nil {
+		return false
+	}
+	records, bytes := jw.Size()
+	return (recLimit > 0 && records >= recLimit) || (byteLimit > 0 && bytes >= byteLimit)
+}
+
+// Compact writes a new generation — model checkpoint and store
+// snapshot via temp+fsync+rename — rotates the journal, and removes
+// older generations. The cut is atomic with respect to mutations and
+// resolves: no acknowledged write is in only the old journal's future
+// or the new snapshot's past.
+func (db *DB) Compact() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.compactLocked()
+}
+
+func (db *DB) compactLocked() error {
+	run := db.quiesce
+	if run == nil {
+		run = func(f func() error) error { return f() }
+	}
+	next := db.gen + 1
+	err := run(func() error {
+		// With resolves quiesced and the store write-locked, the store
+		// snapshot, the model checkpoint and the journal rotation all
+		// observe the same instant.
+		db.store.mu.Lock()
+		defer db.store.mu.Unlock()
+		if db.saveModel != nil {
+			if err := writeFileAtomic(filepath.Join(db.dir, fmt.Sprintf(modelPattern, next)), db.saveModel); err != nil {
+				return fmt.Errorf("crowddb: compact model: %w", err)
+			}
+		}
+		if err := writeFileAtomic(filepath.Join(db.dir, fmt.Sprintf(snapshotPattern, next)), db.store.snapshotLocked); err != nil {
+			return fmt.Errorf("crowddb: compact snapshot: %w", err)
+		}
+		f, err := db.opts.openJournal(db.journalPath(next))
+		if err != nil {
+			return fmt.Errorf("crowddb: compact journal: %w", err)
+		}
+		if err := syncDir(db.dir); err != nil {
+			f.Close()
+			return fmt.Errorf("crowddb: compact: %w", err)
+		}
+		old := db.jw
+		db.jw = newJournalWriter(f, db.opts.Sync, &db.stats, nil)
+		db.store.journal = db.jw
+		if old != nil {
+			if err := old.Close(); err != nil {
+				db.opts.logf("crowddb: closing rotated journal: %v", err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	prev := db.gen
+	db.gen = next
+	db.stats.Compactions.Add(1)
+	db.removeGenerationsThrough(prev)
+	db.opts.logf("crowddb: compacted to generation %d", next)
+	return nil
+}
+
+// removeGenerationsThrough deletes the files of every generation up
+// to and including g. Best effort: stale files are ignored by
+// recovery anyway.
+func (db *DB) removeGenerationsThrough(g uint64) {
+	gens, err := listGenerations(db.dir)
+	if err != nil {
+		return
+	}
+	for _, gen := range gens {
+		if gen > g {
+			continue
+		}
+		for _, pat := range []string{snapshotPattern, modelPattern, journalPattern} {
+			os.Remove(filepath.Join(db.dir, fmt.Sprintf(pat, gen)))
+		}
+	}
+	// A generation-0 bootstrap has no snapshot, but may have left a
+	// journal (it never does today; keep the sweep simple).
+}
+
+// startAutoCompaction launches the threshold watcher; callers hold
+// db.mu.
+func (db *DB) startAutoCompaction() {
+	if db.opts.CompactEveryRecords <= 0 && db.opts.CompactEveryBytes <= 0 {
+		return
+	}
+	db.donec = make(chan struct{})
+	go func() {
+		defer close(db.donec)
+		ticker := time.NewTicker(db.opts.CheckInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-db.stopc:
+				return
+			case <-ticker.C:
+				if db.NeedsCompaction() {
+					if err := db.Compact(); err != nil {
+						db.opts.logf("crowddb: auto-compaction failed: %v", err)
+					}
+				}
+			}
+		}
+	}()
+}
+
+// Sync forces an fsync of the current journal regardless of policy.
+func (db *DB) Sync() error {
+	db.mu.Lock()
+	jw := db.jw
+	db.mu.Unlock()
+	if jw == nil {
+		return nil
+	}
+	return jw.Sync()
+}
+
+// Close stops the compaction loop, detaches the journal, and syncs
+// and closes the journal file. It does not snapshot; call Compact
+// first for a clean shutdown checkpoint.
+func (db *DB) Close() error {
+	db.stopOnce.Do(func() { close(db.stopc) })
+	db.mu.Lock()
+	donec := db.donec
+	db.mu.Unlock()
+	if donec != nil {
+		<-donec
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.jw == nil {
+		return nil
+	}
+	db.store.attachSink(nil)
+	jw := db.jw
+	db.jw = nil
+	if err := jw.Close(); err != nil {
+		return fmt.Errorf("crowddb: close journal: %w", err)
+	}
+	return nil
+}
+
+// Stats snapshots the durability counters.
+func (db *DB) Stats() DurabilitySnapshot {
+	db.mu.Lock()
+	gen := db.gen
+	db.mu.Unlock()
+	return DurabilitySnapshot{
+		Generation:        gen,
+		RecordsWritten:    db.stats.RecordsWritten.Load(),
+		BytesWritten:      db.stats.BytesWritten.Load(),
+		Fsyncs:            db.stats.Fsyncs.Load(),
+		Compactions:       db.stats.Compactions.Load(),
+		RecoveryMillis:    db.stats.RecoveryMillis.Load(),
+		RecoveredRecords:  db.stats.RecoveredRecords.Load(),
+		TornTailTruncated: db.stats.TornTailTruncated.Load() == 1,
+	}
+}

@@ -5,31 +5,42 @@ import (
 	"testing"
 )
 
-// FuzzReplayJournal checks that journal replay never panics and that a
-// successful replay yields an internally consistent store.
+// FuzzReplayJournal checks that journal replay never panics on
+// arbitrary bytes and that a successful replay yields an internally
+// consistent store. Seeds cover well-formed framed journals, framed
+// garbage payloads, and raw unframed noise (torn/corrupt frames).
 func FuzzReplayJournal(f *testing.F) {
-	seeds := []string{
-		"",
-		`{"kind":"add_worker","worker":0,"name":"w"}`,
-		`{"kind":"add_worker","worker":0}` + "\n" + `{"kind":"add_task","task":0,"text":"t"}`,
-		`{"kind":"add_worker","worker":0}` + "\n" +
-			`{"kind":"add_task","task":0}` + "\n" +
-			`{"kind":"assign","task":0,"workers":[0]}` + "\n" +
-			`{"kind":"answer","task":0,"worker":0,"answer":"a"}` + "\n" +
-			`{"kind":"resolve","task":0,"scores":{"0":3}}`,
-		`{"kind":"presence","worker":0,"online":false}`,
-		`{"kind":"zzz"}`,
-		`{"kind":"add_task","task":7}`,
-		"{",
-		`{"kind":"resolve","task":0,"scores":{"x":1}}`,
+	framed := [][]string{
+		{},
+		{`{"kind":"add_worker","worker":0,"name":"w"}`},
+		{`{"kind":"add_worker","worker":0}`, `{"kind":"add_task","task":0,"text":"t"}`},
+		{`{"kind":"add_worker","worker":0}`,
+			`{"kind":"add_task","task":0}`,
+			`{"kind":"assign","task":0,"workers":[0]}`,
+			`{"kind":"answer","task":0,"worker":0,"answer":"a"}`,
+			`{"kind":"resolve","task":0,"scores":{"0":3}}`},
+		{`{"kind":"presence","worker":0,"online":false}`},
+		{`{"kind":"zzz"}`},
+		{`{"kind":"add_task","task":7}`},
+		{"{"},
+		{`{"kind":"resolve","task":0,"scores":{"x":1}}`},
 	}
-	for _, s := range seeds {
-		f.Add(s)
+	for _, payloads := range framed {
+		f.Add(string(frameRecords(payloads...)))
 	}
+	// Unframed noise and torn frames.
+	f.Add("")
+	f.Add("\x00\x00\x00")
+	f.Add("\xff\xff\xff\xff\xff\xff\xff\xff")
+	f.Add(string(frameRecords(`{"kind":"add_worker","worker":0}`))[:10])
 	f.Fuzz(func(t *testing.T, payload string) {
 		s := NewStore()
-		if err := s.ReplayJournal(strings.NewReader(payload)); err != nil {
+		res, err := s.replayJournal(strings.NewReader(payload), nil)
+		if err != nil {
 			return
+		}
+		if res.GoodBytes > int64(len(payload)) {
+			t.Fatalf("GoodBytes %d beyond input length %d", res.GoodBytes, len(payload))
 		}
 		// A store built by replay must round-trip through a snapshot.
 		var sb strings.Builder

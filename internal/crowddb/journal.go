@@ -1,21 +1,34 @@
 package crowddb
 
 import (
-	"bufio"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
+	"strconv"
+	"strings"
+	"sync"
 	"time"
 )
 
 // The crowd database persists in two complementary ways: point-in-time
 // snapshots (Snapshot/RestoreSnapshot) and an append-only journal of
-// every mutation (AttachJournal/ReplayJournal). The journal makes the
-// store recoverable up to the last applied operation, which the
-// paper's architecture needs because crowd updates arrive continuously
-// (§2: crowd insertion, crowd update, crowd retrieval).
+// every mutation. The journal makes the store recoverable up to the
+// last acknowledged operation, which the paper's architecture needs
+// because crowd updates arrive continuously (§2: crowd insertion,
+// crowd update, crowd retrieval).
+//
+// Journal wire format: a sequence of framed records,
+//
+//	[4B little-endian payload length][4B little-endian CRC32 (IEEE) of payload][payload]
+//
+// where the payload is one JSON-encoded event. The frame makes a torn
+// final record (a crash mid-append) detectable and truncatable, and
+// the checksum turns silent mid-file corruption into a typed error
+// carrying the byte offset of the bad record.
 
 // eventKind tags a journal record.
 type eventKind string
@@ -49,9 +62,239 @@ type event struct {
 // ErrJournal wraps journal write failures.
 var ErrJournal = errors.New("crowddb: journal write failed")
 
-// AttachJournal makes every subsequent mutation append one JSON line
-// to w before the mutating call returns. Pass nil to detach. The
-// caller owns w's lifetime (and flushing, if buffered).
+// recordHeaderSize is the framing overhead per record.
+const recordHeaderSize = 8
+
+// maxRecordSize bounds a single record's payload. A header announcing
+// more than this is treated as corruption, not a huge record.
+const maxRecordSize = 1 << 20
+
+// CorruptError reports a journal record that is present in full but
+// fails its checksum or cannot be decoded or applied — mid-file
+// corruption, as opposed to a torn final record (which replay
+// tolerates by truncation). Offset is the byte offset of the corrupt
+// record's frame; Record is its zero-based index.
+type CorruptError struct {
+	Offset int64
+	Record int
+	Err    error
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("crowddb: journal corrupt at record %d (byte offset %d): %v", e.Record, e.Offset, e.Err)
+}
+
+func (e *CorruptError) Unwrap() error { return e.Err }
+
+// encodeRecord frames one JSON payload.
+func encodeRecord(payload []byte) []byte {
+	buf := make([]byte, recordHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[recordHeaderSize:], payload)
+	return buf
+}
+
+// journalSink receives events from store mutations; implementations
+// are called with the store lock held.
+type journalSink interface {
+	logRecord(e event) error
+}
+
+// writerSink frames events onto a plain io.Writer with no durability
+// guarantees — the AttachJournal compatibility path and the
+// building block for in-memory journals in tests.
+type writerSink struct{ w io.Writer }
+
+func (ws writerSink) logRecord(e event) error {
+	payload, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrJournal, err)
+	}
+	if _, err := ws.w.Write(encodeRecord(payload)); err != nil {
+		return fmt.Errorf("%w: %v", ErrJournal, err)
+	}
+	return nil
+}
+
+// SyncPolicy says when the journal fsyncs relative to appends. The
+// zero value never syncs explicitly (the OS decides); use SyncAlways,
+// SyncEvery or SyncInterval for a real durability contract.
+type SyncPolicy struct {
+	every    int           // fsync after this many appends (1 = every append)
+	interval time.Duration // fsync on the first append after this much time
+}
+
+// SyncAlways fsyncs after every append: an acknowledged mutation is on
+// disk before the mutating call returns.
+func SyncAlways() SyncPolicy { return SyncPolicy{every: 1} }
+
+// SyncEvery fsyncs after every n appends; a crash may lose up to the
+// last n-1 acknowledged records.
+func SyncEvery(n int) SyncPolicy {
+	if n < 1 {
+		n = 1
+	}
+	return SyncPolicy{every: n}
+}
+
+// SyncInterval fsyncs on the first append after d has elapsed since
+// the previous sync; a crash may lose acknowledged records from the
+// last interval.
+func SyncInterval(d time.Duration) SyncPolicy { return SyncPolicy{interval: d} }
+
+// String renders the policy in the -sync flag syntax.
+func (p SyncPolicy) String() string {
+	switch {
+	case p.every == 1:
+		return "always"
+	case p.every > 1:
+		return fmt.Sprintf("every=%d", p.every)
+	case p.interval > 0:
+		return fmt.Sprintf("interval=%s", p.interval)
+	default:
+		return "os"
+	}
+}
+
+// ParseSyncPolicy parses the -sync flag syntax: "always", "every=N",
+// "interval=DURATION", or "os" (never fsync explicitly).
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch {
+	case s == "always":
+		return SyncAlways(), nil
+	case s == "os":
+		return SyncPolicy{}, nil
+	case strings.HasPrefix(s, "every="):
+		n, err := strconv.Atoi(strings.TrimPrefix(s, "every="))
+		if err != nil || n < 1 {
+			return SyncPolicy{}, fmt.Errorf("crowddb: bad sync policy %q (want every=N with N ≥ 1)", s)
+		}
+		return SyncEvery(n), nil
+	case strings.HasPrefix(s, "interval="):
+		d, err := time.ParseDuration(strings.TrimPrefix(s, "interval="))
+		if err != nil || d <= 0 {
+			return SyncPolicy{}, fmt.Errorf("crowddb: bad sync policy %q (want interval=DURATION)", s)
+		}
+		return SyncInterval(d), nil
+	default:
+		return SyncPolicy{}, fmt.Errorf("crowddb: unknown sync policy %q (want always, every=N, interval=D or os)", s)
+	}
+}
+
+// JournalFile is what a journal writer appends to: an *os.File, or a
+// fault-injecting wrapper in crash tests.
+type JournalFile interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// journalWriter appends framed records to a file under a sync policy
+// and keeps the durability counters. Calls arrive serialized (the
+// store mutation lock), but Sync/Close may race with appends during
+// shutdown, so it carries its own lock.
+type journalWriter struct {
+	mu       sync.Mutex
+	f        JournalFile
+	policy   SyncPolicy
+	unsynced int
+	lastSync time.Time
+	records  int64
+	bytes    int64
+	stats    *DurabilityStats
+	clock    func() time.Time
+}
+
+func newJournalWriter(f JournalFile, policy SyncPolicy, stats *DurabilityStats, clock func() time.Time) *journalWriter {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &journalWriter{f: f, policy: policy, stats: stats, lastSync: clock(), clock: clock}
+}
+
+func (jw *journalWriter) logRecord(e event) error {
+	payload, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrJournal, err)
+	}
+	frame := encodeRecord(payload)
+	jw.mu.Lock()
+	defer jw.mu.Unlock()
+	if _, err := jw.f.Write(frame); err != nil {
+		return fmt.Errorf("%w: %v", ErrJournal, err)
+	}
+	jw.records++
+	jw.bytes += int64(len(frame))
+	jw.unsynced++
+	if jw.stats != nil {
+		jw.stats.recordWritten(int64(len(frame)))
+	}
+	if jw.shouldSync() {
+		if err := jw.syncLocked(); err != nil {
+			return fmt.Errorf("%w: %v", ErrJournal, err)
+		}
+	}
+	return nil
+}
+
+func (jw *journalWriter) shouldSync() bool {
+	if jw.policy.every > 0 && jw.unsynced >= jw.policy.every {
+		return true
+	}
+	if jw.policy.interval > 0 && jw.clock().Sub(jw.lastSync) >= jw.policy.interval {
+		return true
+	}
+	return false
+}
+
+func (jw *journalWriter) syncLocked() error {
+	if err := jw.f.Sync(); err != nil {
+		return err
+	}
+	jw.unsynced = 0
+	jw.lastSync = jw.clock()
+	if jw.stats != nil {
+		jw.stats.Fsyncs.Add(1)
+	}
+	return nil
+}
+
+// Sync forces an fsync regardless of policy (shutdown, rotation).
+func (jw *journalWriter) Sync() error {
+	jw.mu.Lock()
+	defer jw.mu.Unlock()
+	if jw.unsynced == 0 {
+		return nil
+	}
+	return jw.syncLocked()
+}
+
+// Close syncs and closes the underlying file.
+func (jw *journalWriter) Close() error {
+	jw.mu.Lock()
+	defer jw.mu.Unlock()
+	if jw.unsynced > 0 {
+		if err := jw.syncLocked(); err != nil {
+			jw.f.Close()
+			return err
+		}
+	}
+	return jw.f.Close()
+}
+
+// Size reports bytes appended through this writer (not the file size
+// it was opened at).
+func (jw *journalWriter) Size() (records, bytes int64) {
+	jw.mu.Lock()
+	defer jw.mu.Unlock()
+	return jw.records, jw.bytes
+}
+
+// AttachJournal makes every subsequent mutation append one framed
+// record to w before the mutating call returns. Pass nil to detach.
+// The caller owns w's lifetime; no fsyncs are issued — use Open for
+// the full durability pipeline.
 func (s *Store) AttachJournal(w io.Writer) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -59,42 +302,115 @@ func (s *Store) AttachJournal(w io.Writer) {
 		s.journal = nil
 		return
 	}
-	s.journal = json.NewEncoder(w)
+	s.journal = writerSink{w: w}
 }
 
-// logEvent appends an event; callers hold s.mu.
+// attachSink swaps the journal sink; callers may hold s.mu (Open and
+// compaction do, via attachSinkLocked).
+func (s *Store) attachSink(sink journalSink) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.journal = sink
+}
+
+// logEvent appends an event; callers hold s.mu. Mutators that stamp a
+// timestamp into the row pass the same instant in e.At so replay
+// reproduces the row exactly; otherwise the event is stamped here.
 func (s *Store) logEvent(e event) error {
 	if s.journal == nil {
 		return nil
 	}
-	e.At = s.clock()
-	if err := s.journal.Encode(e); err != nil {
-		return fmt.Errorf("%w: %v", ErrJournal, err)
+	if e.At.IsZero() {
+		e.At = s.clock()
 	}
-	return nil
+	return s.journal.logRecord(e)
 }
 
-// ReplayJournal applies journal records from r to the store, stopping
-// at the first malformed or inconsistent record. It is meant to run on
-// a freshly constructed (or snapshot-restored) store before new
-// mutations are accepted.
+// ReplayResult reports what a journal replay consumed.
+type ReplayResult struct {
+	// Records is the number of records applied.
+	Records int
+	// GoodBytes is the byte offset of the end of the last fully
+	// applied record — the length a torn journal should be truncated
+	// to before appending resumes.
+	GoodBytes int64
+	// Torn reports whether a torn final record was discarded.
+	Torn bool
+}
+
+// ReplayJournal applies framed journal records from r to the store. A
+// torn final record (crash mid-append) is tolerated and discarded;
+// mid-file corruption or a record that fails to apply surfaces as a
+// *CorruptError. It is meant to run on a freshly constructed (or
+// snapshot-restored) store before new mutations are accepted.
 func (s *Store) ReplayJournal(r io.Reader) error {
-	dec := json.NewDecoder(bufio.NewReader(r))
-	for n := 0; ; n++ {
-		var e event
-		if err := dec.Decode(&e); err != nil {
-			if errors.Is(err, io.EOF) {
-				return nil
-			}
-			return fmt.Errorf("crowddb: replay record %d: %w", n, err)
-		}
-		if err := s.applyEvent(e); err != nil {
-			return fmt.Errorf("crowddb: replay record %d: %w", n, err)
-		}
-	}
+	_, err := s.replayJournal(r, nil)
+	return err
 }
 
-func (s *Store) applyEvent(e event) error {
+// replayJournal is ReplayJournal with the resolve hook used by
+// recovery to rebuild model posteriors: after each resolve event
+// commits to the store, onResolve receives the resolved record so the
+// caller can replay the feedback through the skill-update path.
+func (s *Store) replayJournal(r io.Reader, onResolve func(TaskRecord) error) (ReplayResult, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return ReplayResult{}, fmt.Errorf("crowddb: replay: %w", err)
+	}
+	// Replay re-executes mutations through the normal store methods,
+	// which stamp timestamps from the clock. Pin the clock to each
+	// event's recorded time so the rebuilt state matches the original
+	// byte for byte, then restore the live clock.
+	s.mu.Lock()
+	origClock := s.clock
+	s.mu.Unlock()
+	defer s.SetClock(origClock)
+
+	var res ReplayResult
+	size := int64(len(data))
+	for res.GoodBytes < size {
+		off := res.GoodBytes
+		rest := data[off:]
+		if len(rest) < recordHeaderSize {
+			res.Torn = true // partial header at EOF
+			return res, nil
+		}
+		length := int64(binary.LittleEndian.Uint32(rest[0:4]))
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		if length > maxRecordSize {
+			return res, &CorruptError{Offset: off, Record: res.Records,
+				Err: fmt.Errorf("record length %d exceeds %d", length, maxRecordSize)}
+		}
+		if int64(len(rest)) < recordHeaderSize+length {
+			res.Torn = true // partial payload at EOF
+			return res, nil
+		}
+		payload := rest[recordHeaderSize : recordHeaderSize+length]
+		if crc32.ChecksumIEEE(payload) != sum {
+			if off+recordHeaderSize+length == size {
+				// The final record is present at full length but its
+				// bytes are wrong — a torn write inside the payload.
+				res.Torn = true
+				return res, nil
+			}
+			return res, &CorruptError{Offset: off, Record: res.Records, Err: errors.New("checksum mismatch")}
+		}
+		var e event
+		if err := json.Unmarshal(payload, &e); err != nil {
+			return res, &CorruptError{Offset: off, Record: res.Records, Err: err}
+		}
+		at := e.At
+		s.SetClock(func() time.Time { return at })
+		if err := s.applyEvent(e, onResolve); err != nil {
+			return res, &CorruptError{Offset: off, Record: res.Records, Err: err}
+		}
+		res.Records++
+		res.GoodBytes = off + recordHeaderSize + length
+	}
+	return res, nil
+}
+
+func (s *Store) applyEvent(e event, onResolve func(TaskRecord) error) error {
 	switch e.Kind {
 	case evAddWorker:
 		_, err := s.AddWorker(e.Worker, e.Name)
@@ -128,40 +444,63 @@ func (s *Store) applyEvent(e event) error {
 			}
 			scores[id] = v
 		}
-		_, err := s.Resolve(e.Task, scores)
-		return err
+		rec, err := s.Resolve(e.Task, scores)
+		if err != nil {
+			return err
+		}
+		if onResolve != nil {
+			return onResolve(rec)
+		}
+		return nil
 	default:
 		return fmt.Errorf("%w: unknown journal event %q", ErrBadRequest, e.Kind)
 	}
 }
 
-// OpenJournaledStore builds a store backed by the journal file at
-// path: existing records are replayed, then the file is attached for
-// appends. The returned close function flushes and closes the file.
+// OpenJournaledStore builds a store backed by the single journal file
+// at path: existing records are replayed (a torn tail is truncated
+// away), then the file is attached for appends with fsync on every
+// record. The returned close function syncs and closes the file.
+//
+// This is the minimal single-file form; Open adds snapshots,
+// compaction and model recovery on top.
 func OpenJournaledStore(path string) (*Store, func() error, error) {
 	s := NewStore()
-	if f, err := os.Open(path); err == nil {
-		replayErr := s.ReplayJournal(f)
-		f.Close()
-		if replayErr != nil {
-			return nil, nil, replayErr
+	res, err := replayJournalFile(s, path, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	if res.Torn {
+		if err := os.Truncate(path, res.GoodBytes); err != nil {
+			return nil, nil, fmt.Errorf("crowddb: truncate torn journal: %w", err)
 		}
-	} else if !errors.Is(err, os.ErrNotExist) {
-		return nil, nil, fmt.Errorf("crowddb: open journal: %w", err)
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("crowddb: open journal: %w", err)
 	}
-	bw := bufio.NewWriter(f)
-	s.AttachJournal(bw)
+	jw := newJournalWriter(f, SyncAlways(), nil, nil)
+	s.attachSink(jw)
 	closeFn := func() error {
-		s.AttachJournal(nil)
-		if err := bw.Flush(); err != nil {
-			f.Close()
+		s.attachSink(nil)
+		if err := jw.Close(); err != nil {
 			return fmt.Errorf("crowddb: close journal: %w", err)
 		}
-		return f.Close()
+		return nil
 	}
 	return s, closeFn, nil
+}
+
+// replayJournalFile replays path into s; a missing file is an empty
+// journal.
+func replayJournalFile(s *Store, path string, onResolve func(TaskRecord) error) (ReplayResult, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return ReplayResult{}, nil
+	}
+	if err != nil {
+		return ReplayResult{}, fmt.Errorf("crowddb: open journal: %w", err)
+	}
+	defer f.Close()
+	return s.replayJournal(f, onResolve)
 }

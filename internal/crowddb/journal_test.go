@@ -2,12 +2,13 @@ package crowddb
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
-	"strings"
 	"testing"
+	"time"
 )
 
 // journalScript drives a store through a representative mutation
@@ -41,6 +42,15 @@ func journalScript(t *testing.T, s *Store) {
 	if _, err := s.AddTask("still open", nil); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// frameRecords frames raw JSON payloads in the journal wire format.
+func frameRecords(payloads ...string) []byte {
+	var buf bytes.Buffer
+	for _, p := range payloads {
+		buf.Write(encodeRecord([]byte(p)))
+	}
+	return buf.Bytes()
 }
 
 func TestJournalReplayReproducesState(t *testing.T) {
@@ -94,20 +104,227 @@ func TestJournalReplayReproducesState(t *testing.T) {
 }
 
 func TestJournalReplayRejectsGarbage(t *testing.T) {
-	cases := map[string]string{
-		"not json":        "{oops",
-		"unknown kind":    `{"kind":"explode"}`,
-		"presence no arg": `{"kind":"presence","worker":0}`,
-		"dangling assign": `{"kind":"assign","task":0,"workers":[0]}`,
-		"bad score key":   `{"kind":"add_worker","worker":0}` + "\n" + `{"kind":"add_task","task":0}` + "\n" + `{"kind":"assign","task":0,"workers":[0]}` + "\n" + `{"kind":"answer","task":0,"worker":0}` + "\n" + `{"kind":"resolve","task":0,"scores":{"zero":1}}`,
-		"task id skew":    `{"kind":"add_task","task":7,"text":"x"}`,
+	cases := map[string][]byte{
+		"not json":        frameRecords("{oops"),
+		"unknown kind":    frameRecords(`{"kind":"explode"}`),
+		"presence no arg": frameRecords(`{"kind":"presence","worker":0}`),
+		"dangling assign": frameRecords(`{"kind":"assign","task":0,"workers":[0]}`),
+		"bad score key": frameRecords(`{"kind":"add_worker","worker":0}`, `{"kind":"add_task","task":0}`,
+			`{"kind":"assign","task":0,"workers":[0]}`, `{"kind":"answer","task":0,"worker":0}`,
+			`{"kind":"resolve","task":0,"scores":{"zero":1}}`),
+		"task id skew": frameRecords(`{"kind":"add_task","task":7,"text":"x"}`),
 	}
 	for name, payload := range cases {
 		s := NewStore()
-		if err := s.ReplayJournal(strings.NewReader(payload)); err == nil {
+		err := s.ReplayJournal(bytes.NewReader(payload))
+		if err == nil {
 			t.Errorf("%s: garbage accepted", name)
+			continue
+		}
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Errorf("%s: error %v is not a *CorruptError", name, err)
 		}
 	}
+}
+
+// TestTornWriteTable truncates a valid journal at every possible byte
+// offset and checks that replay of the prefix recovers cleanly: no
+// error, only complete records applied, and GoodBytes marking where
+// appends may resume.
+func TestTornWriteTable(t *testing.T) {
+	var journal bytes.Buffer
+	s := NewStore()
+	s.SetClock(fixedClock())
+	s.AttachJournal(&journal)
+	journalScript(t, s)
+	full := journal.Bytes()
+
+	// Record boundaries of the intact journal.
+	var boundaries []int64
+	off := int64(0)
+	for off < int64(len(full)) {
+		length := int64(binary.LittleEndian.Uint32(full[off : off+4]))
+		off += recordHeaderSize + length
+		boundaries = append(boundaries, off)
+	}
+	completeUpTo := func(n int64) (records int, good int64) {
+		for _, b := range boundaries {
+			if b <= n {
+				records++
+				good = b
+			}
+		}
+		return records, good
+	}
+
+	for cut := 0; cut <= len(full); cut++ {
+		replayed := NewStore()
+		res, err := replayed.replayJournal(bytes.NewReader(full[:cut]), nil)
+		if err != nil {
+			t.Fatalf("cut at %d: replay error %v (torn tails must be tolerated)", cut, err)
+		}
+		wantRecords, wantGood := completeUpTo(int64(cut))
+		if res.Records != wantRecords || res.GoodBytes != wantGood {
+			t.Fatalf("cut at %d: applied %d records / %d bytes, want %d / %d",
+				cut, res.Records, res.GoodBytes, wantRecords, wantGood)
+		}
+		if wantTorn := int64(cut) != wantGood; res.Torn != wantTorn {
+			t.Fatalf("cut at %d: torn = %v, want %v", cut, res.Torn, wantTorn)
+		}
+	}
+}
+
+// TestMidFileCorruptionSurfacesOffset flips a byte inside a non-final
+// record and expects a typed error carrying that record's offset.
+func TestMidFileCorruptionSurfacesOffset(t *testing.T) {
+	var journal bytes.Buffer
+	s := NewStore()
+	s.SetClock(fixedClock())
+	s.AttachJournal(&journal)
+	journalScript(t, s)
+	full := append([]byte(nil), journal.Bytes()...)
+
+	// Corrupt a payload byte of the second record.
+	firstLen := int64(binary.LittleEndian.Uint32(full[0:4]))
+	secondOff := recordHeaderSize + firstLen
+	full[secondOff+recordHeaderSize+2] ^= 0xFF
+
+	replayed := NewStore()
+	res, err := replayed.replayJournal(bytes.NewReader(full), nil)
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("replay of corrupted journal returned %v, want *CorruptError", err)
+	}
+	if ce.Offset != secondOff || ce.Record != 1 {
+		t.Errorf("corruption reported at record %d offset %d, want record 1 offset %d", ce.Record, ce.Offset, secondOff)
+	}
+	if res.Records != 1 {
+		t.Errorf("replayed %d records before corruption, want 1", res.Records)
+	}
+}
+
+// A bad final record whose frame is complete is indistinguishable from
+// a torn write inside the payload, so it is truncated, not fatal.
+func TestCorruptFinalRecordTreatedAsTorn(t *testing.T) {
+	full := frameRecords(`{"kind":"add_worker","worker":0,"name":"w"}`, `{"kind":"add_worker","worker":1,"name":"x"}`)
+	full[len(full)-1] ^= 0xFF
+	s := NewStore()
+	res, err := s.replayJournal(bytes.NewReader(full), nil)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if !res.Torn || res.Records != 1 || s.NumWorkers() != 1 {
+		t.Errorf("res = %+v with %d workers, want 1 record and a torn tail", res, s.NumWorkers())
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	good := map[string]string{
+		"always":        "always",
+		"os":            "os",
+		"every=64":      "every=64",
+		"interval=1s":   "interval=1s",
+		"interval=50ms": "interval=50ms",
+	}
+	for in, want := range good {
+		p, err := ParseSyncPolicy(in)
+		if err != nil {
+			t.Errorf("ParseSyncPolicy(%q): %v", in, err)
+			continue
+		}
+		if p.String() != want {
+			t.Errorf("ParseSyncPolicy(%q).String() = %q, want %q", in, p.String(), want)
+		}
+	}
+	for _, bad := range []string{"", "every=0", "every=x", "interval=-1s", "interval=bogus", "sometimes"} {
+		if _, err := ParseSyncPolicy(bad); err == nil {
+			t.Errorf("ParseSyncPolicy(%q) accepted", bad)
+		}
+	}
+}
+
+// countingFile counts Sync calls.
+type countingFile struct {
+	buf   bytes.Buffer
+	syncs int
+}
+
+func (c *countingFile) Write(p []byte) (int, error) { return c.buf.Write(p) }
+func (c *countingFile) Sync() error                 { c.syncs++; return nil }
+func (c *countingFile) Close() error                { return nil }
+
+func TestSyncPolicies(t *testing.T) {
+	ev := event{Kind: evAddWorker, Worker: 1, At: time.Unix(0, 0)}
+
+	t.Run("always", func(t *testing.T) {
+		f := &countingFile{}
+		jw := newJournalWriter(f, SyncAlways(), nil, nil)
+		for i := 0; i < 5; i++ {
+			if err := jw.logRecord(ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if f.syncs != 5 {
+			t.Errorf("always: %d syncs after 5 appends", f.syncs)
+		}
+	})
+
+	t.Run("every=3", func(t *testing.T) {
+		f := &countingFile{}
+		jw := newJournalWriter(f, SyncEvery(3), nil, nil)
+		for i := 0; i < 7; i++ {
+			if err := jw.logRecord(ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if f.syncs != 2 {
+			t.Errorf("every=3: %d syncs after 7 appends, want 2", f.syncs)
+		}
+		// Close flushes the unsynced remainder.
+		if err := jw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if f.syncs != 3 {
+			t.Errorf("every=3: %d syncs after close, want 3", f.syncs)
+		}
+	})
+
+	t.Run("interval", func(t *testing.T) {
+		f := &countingFile{}
+		now := time.Unix(0, 0)
+		jw := newJournalWriter(f, SyncInterval(time.Minute), nil, func() time.Time { return now })
+		if err := jw.logRecord(ev); err != nil {
+			t.Fatal(err)
+		}
+		if f.syncs != 0 {
+			t.Errorf("interval: synced before the interval elapsed")
+		}
+		now = now.Add(2 * time.Minute)
+		if err := jw.logRecord(ev); err != nil {
+			t.Fatal(err)
+		}
+		if f.syncs != 1 {
+			t.Errorf("interval: %d syncs after elapsed interval, want 1", f.syncs)
+		}
+	})
+
+	t.Run("stats", func(t *testing.T) {
+		f := &countingFile{}
+		var stats DurabilityStats
+		jw := newJournalWriter(f, SyncAlways(), &stats, nil)
+		for i := 0; i < 4; i++ {
+			if err := jw.logRecord(ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if stats.RecordsWritten.Load() != 4 || stats.Fsyncs.Load() != 4 {
+			t.Errorf("stats = %d records / %d fsyncs, want 4 / 4", stats.RecordsWritten.Load(), stats.Fsyncs.Load())
+		}
+		if stats.BytesWritten.Load() != int64(f.buf.Len()) {
+			t.Errorf("stats bytes = %d, file holds %d", stats.BytesWritten.Load(), f.buf.Len())
+		}
+	})
 }
 
 func TestOpenJournaledStorePersistsAcrossReopen(t *testing.T) {
@@ -147,10 +364,59 @@ func TestOpenJournaledStorePersistsAcrossReopen(t *testing.T) {
 	}
 }
 
+// A torn final record must not block reopening: it is truncated away
+// and appends continue from the last good byte.
+func TestOpenJournaledStoreTruncatesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "crowd.journal")
+	s1, close1, err := OpenJournaledStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	journalScript(t, s1)
+	if err := close1(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the final record.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, close2, err := OpenJournaledStore(path)
+	if err != nil {
+		t.Fatalf("torn tail rejected: %v", err)
+	}
+	// The torn record was the second AddTask: one task short.
+	if s2.NumWorkers() != 3 || s2.NumTasks() != 1 {
+		t.Fatalf("after torn recovery: %d workers, %d tasks", s2.NumWorkers(), s2.NumTasks())
+	}
+	// Appends continue cleanly after the truncation point.
+	if _, err := s2.AddTask("replacement", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := close2(); err != nil {
+		t.Fatal(err)
+	}
+	s3, close3, err := OpenJournaledStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer close3()
+	if s3.NumTasks() != 2 {
+		t.Errorf("after torn recovery and append: %d tasks, want 2", s3.NumTasks())
+	}
+}
+
 func TestOpenJournaledStoreRejectsCorruptFile(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "bad.journal")
-	if err := writeFile(path, "{torn record"); err != nil {
+	// Mid-file corruption (bad CRC on a non-final record) is fatal.
+	data := frameRecords(`{"kind":"add_worker","worker":0}`, `{"kind":"add_worker","worker":1}`)
+	data[recordHeaderSize+2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, _, err := OpenJournaledStore(path); err == nil {
@@ -178,7 +444,3 @@ func TestJournalWriteFailureSurfaces(t *testing.T) {
 type failingWriter struct{}
 
 func (failingWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
-
-func writeFile(path, content string) error {
-	return os.WriteFile(path, []byte(content), 0o644)
-}

@@ -2,7 +2,7 @@ package crowddb
 
 import (
 	"fmt"
-
+	"sync"
 	"time"
 
 	"crowdselect/internal/core"
@@ -35,6 +35,11 @@ type Manager struct {
 	vocab *text.Vocabulary
 	sel   Selector
 	k     int
+	// resolveMu keeps the two halves of a resolve — the store commit
+	// and the model's posterior update — atomic with respect to
+	// durability checkpoints: ResolveTask holds it shared, Quiesce
+	// exclusively.
+	resolveMu sync.RWMutex
 }
 
 // NewManager wires a crowd manager over the store. vocab maps task
@@ -144,17 +149,48 @@ func (m *Manager) RedispatchExpired(maxAge time.Duration, k int) ([]int, error) 
 // update is reported alongside the already-resolved record: the store
 // transition committed, the model update did not.
 func (m *Manager) ResolveTask(taskID int, scores map[int]float64) (TaskRecord, error) {
+	m.resolveMu.RLock()
+	defer m.resolveMu.RUnlock()
 	rec, err := m.store.Resolve(taskID, scores)
 	if err != nil {
 		return TaskRecord{}, err
 	}
-	if up, ok := m.sel.(SkillUpdater); ok {
-		cat := up.Project(text.NewBagKnown(m.vocab, rec.Tokens))
-		for _, a := range rec.Answers {
-			if err := up.UpdateWorkerSkill(a.Worker, []core.TaskCategory{cat}, []float64{a.Score}); err != nil {
-				return rec, fmt.Errorf("task %d resolved but skill update failed: %w", taskID, err)
-			}
-		}
+	if err := m.applySkillFeedback(rec); err != nil {
+		return rec, fmt.Errorf("task %d resolved but skill update failed: %w", taskID, err)
 	}
 	return rec, nil
+}
+
+// applySkillFeedback folds one resolved task's scores into the
+// answerers' posteriors — the second half of ResolveTask, also used
+// verbatim when recovery replays resolve events so the rebuilt
+// posteriors match the pre-crash model element-wise.
+func (m *Manager) applySkillFeedback(rec TaskRecord) error {
+	up, ok := m.sel.(SkillUpdater)
+	if !ok {
+		return nil
+	}
+	cat := up.Project(text.NewBagKnown(m.vocab, rec.Tokens))
+	for _, a := range rec.Answers {
+		if err := up.UpdateWorkerSkill(a.Worker, []core.TaskCategory{cat}, []float64{a.Score}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ApplySkillFeedback is the journal-recovery hook (DB.Recover's
+// onResolve): it replays a resolved record's feedback through the
+// same skill-update path ResolveTask uses live.
+func (m *Manager) ApplySkillFeedback(rec TaskRecord) error {
+	return m.applySkillFeedback(rec)
+}
+
+// Quiesce runs f with no resolve in flight: the durability layer's
+// hook (DB.SetQuiescer) for cutting checkpoints where the store and
+// the model agree.
+func (m *Manager) Quiesce(f func() error) error {
+	m.resolveMu.Lock()
+	defer m.resolveMu.Unlock()
+	return f()
 }

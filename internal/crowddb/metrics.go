@@ -31,6 +31,7 @@ type Metrics struct {
 	mu        sync.Mutex
 	start     time.Time
 	endpoints map[string]*endpointStats
+	shed      int64
 }
 
 // NewMetrics returns an empty registry with uptime anchored at now.
@@ -68,6 +69,13 @@ func (m *Metrics) Observe(endpoint string, status int, d time.Duration) {
 	st.buckets[b]++
 }
 
+// ObserveShed counts one request refused by the load-shedding gate.
+func (m *Metrics) ObserveShed() {
+	m.mu.Lock()
+	m.shed++
+	m.mu.Unlock()
+}
+
 // EndpointMetrics is one endpoint's externally visible counters;
 // latencies are reported in milliseconds.
 type EndpointMetrics struct {
@@ -80,12 +88,15 @@ type EndpointMetrics struct {
 	P99Ms  float64 `json:"p99_ms"`
 }
 
-// MetricsSnapshot is the GET /api/metrics payload.
+// MetricsSnapshot is the GET /api/metrics payload. Durability is
+// populated by the server when a durable DB backs the service.
 type MetricsSnapshot struct {
 	UptimeSeconds float64                    `json:"uptime_seconds"`
 	Requests      int64                      `json:"requests"`
 	Errors        int64                      `json:"errors"`
+	Shed          int64                      `json:"shed"`
 	Endpoints     map[string]EndpointMetrics `json:"endpoints"`
+	Durability    *DurabilitySnapshot        `json:"durability,omitempty"`
 }
 
 // Snapshot returns a consistent copy of every counter.
@@ -94,6 +105,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	defer m.mu.Unlock()
 	snap := MetricsSnapshot{
 		UptimeSeconds: time.Since(m.start).Seconds(),
+		Shed:          m.shed,
 		Endpoints:     make(map[string]EndpointMetrics, len(m.endpoints)),
 	}
 	for name, st := range m.endpoints {

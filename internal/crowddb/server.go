@@ -8,6 +8,7 @@ import (
 	"runtime/debug"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
@@ -26,12 +27,27 @@ import (
 // handler panics become 500 responses instead of killing the
 // connection, and per-endpoint counts, error counts and latency
 // quantiles accumulate for GET /api/metrics.
+//
+// Two probe endpoints sit outside /api for load balancers:
+//
+//	GET /healthz   always 200 while the process can serve at all
+//	GET /readyz    200 once recovery finished and until shutdown
+//	               drain begins, 503 otherwise
+//
+// Point LB liveness checks at /healthz and routing decisions at
+// /readyz: the daemon flips /readyz to 503 during boot-time recovery
+// and again when a graceful shutdown starts draining, so traffic moves
+// away without dropping in-flight requests. Both probes bypass the
+// load-shedding gate.
 type Server struct {
-	mgr     *Manager
-	mux     *http.ServeMux
-	query   QueryEngine // optional: POST /api/query
-	metrics *Metrics
-	logf    func(format string, args ...any) // nil: quiet
+	mgr        *Manager
+	mux        *http.ServeMux
+	query      QueryEngine // optional: POST /api/query
+	metrics    *Metrics
+	logf       func(format string, args ...any) // nil: quiet
+	ready      atomic.Bool
+	inflight   chan struct{}             // nil: unlimited
+	durability func() DurabilitySnapshot // nil: no durability section
 }
 
 // QueryEngine executes crowdql statements; *crowdql.Engine satisfies
@@ -41,15 +57,20 @@ type QueryEngine interface {
 	Execute(q string) (any, error)
 }
 
-// NewServer wraps a manager.
+// NewServer wraps a manager. The server starts ready; daemons that
+// recover state on boot call SetReady(false) before serving and flip
+// it once recovery completes.
 func NewServer(mgr *Manager) *Server {
 	s := &Server{mgr: mgr, mux: http.NewServeMux(), metrics: NewMetrics()}
+	s.ready.Store(true)
 	s.mux.HandleFunc("/api/tasks", s.handleTasks)
 	s.mux.HandleFunc("/api/tasks/", s.handleTaskSubtree)
 	s.mux.HandleFunc("/api/workers/", s.handleWorkerSubtree)
 	s.mux.HandleFunc("/api/stats", s.handleStats)
 	s.mux.HandleFunc("/api/query", s.handleQuery)
 	s.mux.HandleFunc("/api/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	return s
 }
 
@@ -59,6 +80,40 @@ func (s *Server) SetQueryEngine(e QueryEngine) { s.query = e }
 // SetLogger installs a request/panic log sink (log.Printf shaped).
 // The default is silent.
 func (s *Server) SetLogger(logf func(format string, args ...any)) { s.logf = logf }
+
+// SetReady flips the readiness gate: while false, /readyz reports 503
+// and /api/* requests are refused with 503 + Retry-After so load
+// balancers route elsewhere during recovery or shutdown drain.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// SetMaxInFlight caps concurrently served /api requests; excess
+// requests are shed immediately with 429 + Retry-After instead of
+// queueing until the client times out. n <= 0 removes the cap. Call
+// before serving traffic.
+func (s *Server) SetMaxInFlight(n int) {
+	if n <= 0 {
+		s.inflight = nil
+		return
+	}
+	s.inflight = make(chan struct{}, n)
+}
+
+// SetDurabilityStats adds a durability section to GET /api/metrics,
+// fed by the given snapshot function (typically (*DB).Stats).
+func (s *Server) SetDurabilityStats(f func() DurabilitySnapshot) { s.durability = f }
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "not ready"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
 
 // Metrics exposes the server's metrics registry, e.g. for logging a
 // final snapshot at shutdown.
@@ -115,6 +170,24 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			s.logf("%s %s -> %d (%s)", r.Method, r.URL.Path, status, time.Since(start).Round(time.Microsecond))
 		}
 	}()
+	if probe := r.URL.Path == "/healthz" || r.URL.Path == "/readyz"; !probe {
+		if !s.ready.Load() {
+			sw.Header().Set("Retry-After", "1")
+			httpError(sw, http.StatusServiceUnavailable, errors.New("service not ready"))
+			return
+		}
+		if s.inflight != nil {
+			select {
+			case s.inflight <- struct{}{}:
+				defer func() { <-s.inflight }()
+			default:
+				s.metrics.ObserveShed()
+				sw.Header().Set("Retry-After", "1")
+				httpError(sw, http.StatusTooManyRequests, errors.New("server at capacity"))
+				return
+			}
+		}
+	}
 	s.mux.ServeHTTP(sw, r)
 }
 
@@ -167,7 +240,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
 		return
 	}
-	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+	snap := s.metrics.Snapshot()
+	if s.durability != nil {
+		d := s.durability()
+		snap.Durability = &d
+	}
+	writeJSON(w, http.StatusOK, snap)
 }
 
 type submitRequest struct {

@@ -273,3 +273,144 @@ func TestServerErrorPaths(t *testing.T) {
 		resp.Body.Close()
 	}
 }
+
+// TestServerHealthAndReadiness: /healthz always answers 200; /readyz
+// and /api/* track the readiness gate.
+func TestServerHealthAndReadiness(t *testing.T) {
+	mgr, _ := managerFixture(t)
+	srv := NewServer(mgr)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	get := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Errorf("healthz = %d", got)
+	}
+	if got := get("/readyz"); got != http.StatusOK {
+		t.Errorf("readyz while ready = %d", got)
+	}
+
+	srv.SetReady(false)
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Errorf("healthz while not ready = %d, probes must stay green", got)
+	}
+	if got := get("/readyz"); got != http.StatusServiceUnavailable {
+		t.Errorf("readyz while not ready = %d", got)
+	}
+	resp, err := http.Get(ts.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("api while not ready = %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+
+	srv.SetReady(true)
+	if got := get("/api/stats"); got != http.StatusOK {
+		t.Errorf("api after ready = %d", got)
+	}
+}
+
+// TestServerLoadShedding: with a max-in-flight of 1 and one request
+// parked in a handler, the next /api request is shed with 429 +
+// Retry-After, health probes still answer, and the shed counter shows
+// up in metrics.
+func TestServerLoadShedding(t *testing.T) {
+	mgr, _ := managerFixture(t)
+	srv := NewServer(mgr)
+	srv.SetQueryEngine(blockingEngine{entered: make(chan struct{}), release: make(chan struct{})})
+	be := srv.query.(blockingEngine)
+	srv.SetMaxInFlight(1)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, err := http.Post(ts.URL+"/api/query", "application/json",
+			strings.NewReader(`{"q":"SELECT CROWD FOR TASK 'x' LIMIT 1"}`))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-be.entered // the slot is now held
+
+	resp, err := http.Get(ts.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("second request = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	if got := func() int {
+		r, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		return r.StatusCode
+	}(); got != http.StatusOK {
+		t.Errorf("healthz under full load = %d, probes must bypass shedding", got)
+	}
+
+	close(be.release)
+	<-done
+	resp2, err := http.Get(ts.URL + "/api/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := decode[MetricsSnapshot](t, resp2)
+	if snap.Shed != 1 {
+		t.Errorf("shed counter = %d, want 1", snap.Shed)
+	}
+}
+
+// blockingEngine parks /api/query until released, to hold the
+// in-flight slot deterministically.
+type blockingEngine struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (e blockingEngine) Execute(string) (any, error) {
+	e.entered <- struct{}{}
+	<-e.release
+	return map[string]string{"ok": "true"}, nil
+}
+
+// TestServerDurabilityMetrics: the durability section appears in
+// /api/metrics when a stats source is installed.
+func TestServerDurabilityMetrics(t *testing.T) {
+	mgr, _ := managerFixture(t)
+	srv := NewServer(mgr)
+	srv.SetDurabilityStats(func() DurabilitySnapshot {
+		return DurabilitySnapshot{Generation: 3, RecordsWritten: 42}
+	})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Get(ts.URL + "/api/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := decode[MetricsSnapshot](t, resp)
+	if snap.Durability == nil || snap.Durability.Generation != 3 || snap.Durability.RecordsWritten != 42 {
+		t.Errorf("durability section = %+v", snap.Durability)
+	}
+}

@@ -92,7 +92,7 @@ type Store struct {
 	tasks   map[int]*TaskRecord
 	nextTID int
 	clock   func() time.Time
-	journal *json.Encoder // nil unless AttachJournal was called
+	journal journalSink // nil unless a journal is attached
 }
 
 // NewStore returns an empty crowd database.
@@ -122,9 +122,10 @@ func (s *Store) AddWorker(id int, name string) (Worker, error) {
 	if _, ok := s.workers[id]; ok {
 		return Worker{}, fmt.Errorf("%w: worker %d exists", ErrBadRequest, id)
 	}
-	w := &Worker{ID: id, Name: name, Online: true, Joined: s.clock()}
+	now := s.clock()
+	w := &Worker{ID: id, Name: name, Online: true, Joined: now}
 	s.workers[id] = w
-	return *w, s.logEvent(event{Kind: evAddWorker, Worker: id, Name: name})
+	return *w, s.logEvent(event{Kind: evAddWorker, Worker: id, Name: name, At: now})
 }
 
 // GetWorker retrieves a worker by id.
@@ -190,16 +191,17 @@ func (s *Store) Workers() []Worker {
 func (s *Store) AddTask(text string, tokens []string) (TaskRecord, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	now := s.clock()
 	t := &TaskRecord{
 		ID:      s.nextTID,
 		Text:    text,
 		Tokens:  append([]string(nil), tokens...),
 		Status:  TaskOpen,
-		Created: s.clock(),
+		Created: now,
 	}
 	s.nextTID++
 	s.tasks[t.ID] = t
-	return *t, s.logEvent(event{Kind: evAddTask, Task: t.ID, Text: text, Tokens: t.Tokens})
+	return *t, s.logEvent(event{Kind: evAddTask, Task: t.ID, Text: text, Tokens: t.Tokens, At: now})
 }
 
 // GetTask retrieves a task by id.
@@ -251,10 +253,11 @@ func (s *Store) Assign(taskID int, workers []int) error {
 			return fmt.Errorf("%w: worker %d", ErrNotFound, w)
 		}
 	}
+	now := s.clock()
 	t.Assigned = append([]int(nil), workers...)
 	t.Status = TaskAssigned
-	t.AssignedAt = s.clock()
-	return s.logEvent(event{Kind: evAssign, Task: taskID, Workers: t.Assigned})
+	t.AssignedAt = now
+	return s.logEvent(event{Kind: evAssign, Task: taskID, Workers: t.Assigned, At: now})
 }
 
 // RecordAnswer stores an answer from an assigned worker.
@@ -283,8 +286,9 @@ func (s *Store) RecordAnswer(taskID, workerID int, answerText string) error {
 			return fmt.Errorf("%w: worker %d on task %d", ErrDuplicate, workerID, taskID)
 		}
 	}
-	t.Answers = append(t.Answers, Answer{Worker: workerID, Text: answerText, At: s.clock()})
-	return s.logEvent(event{Kind: evAnswer, Task: taskID, Worker: workerID, Answer: answerText})
+	now := s.clock()
+	t.Answers = append(t.Answers, Answer{Worker: workerID, Text: answerText, At: now})
+	return s.logEvent(event{Kind: evAnswer, Task: taskID, Worker: workerID, Answer: answerText, At: now})
 }
 
 // ExpireAssignments reopens assigned tasks whose dispatch is older
@@ -394,6 +398,13 @@ type snapshot struct {
 func (s *Store) Snapshot(w io.Writer) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	return s.snapshotLocked(w)
+}
+
+// snapshotLocked is Snapshot with s.mu already held (compaction holds
+// the write lock so the snapshot and the journal rotation are one
+// atomic cut).
+func (s *Store) snapshotLocked(w io.Writer) error {
 	snap := snapshot{NextTID: s.nextTID}
 	for _, wk := range s.workers {
 		snap.Workers = append(snap.Workers, *wk)
@@ -409,28 +420,57 @@ func (s *Store) Snapshot(w io.Writer) error {
 	return nil
 }
 
-// SnapshotFile writes a snapshot atomically to path (write to a temp
-// file in the same directory, then rename).
+// SnapshotFile writes a snapshot atomically and durably to path
+// (write to a temp file in the same directory, fsync, rename, fsync
+// the directory).
 func (s *Store) SnapshotFile(path string) error {
-	tmp, err := os.CreateTemp(dirOf(path), ".crowddb-*")
-	if err != nil {
+	if err := writeFileAtomic(path, s.Snapshot); err != nil {
 		return fmt.Errorf("crowddb: snapshot: %w", err)
+	}
+	return nil
+}
+
+// writeFileAtomic writes fill's output to path via temp+fsync+rename
+// so readers only ever see a complete file, even across a crash.
+func writeFileAtomic(path string, fill func(io.Writer) error) error {
+	dir := dirOf(path)
+	tmp, err := os.CreateTemp(dir, ".crowddb-*")
+	if err != nil {
+		return err
 	}
 	defer os.Remove(tmp.Name())
 	bw := bufio.NewWriter(tmp)
-	if err := s.Snapshot(bw); err != nil {
+	if err := fill(bw); err != nil {
 		tmp.Close()
 		return err
 	}
 	if err := bw.Flush(); err != nil {
 		tmp.Close()
-		return fmt.Errorf("crowddb: snapshot: %w", err)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
 	}
 	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("crowddb: snapshot: %w", err)
+		return err
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("crowddb: snapshot: %w", err)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so renames and creates within it are
+// durable. Filesystems that cannot sync directories are tolerated.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, os.ErrInvalid) {
+		return err
 	}
 	return nil
 }

@@ -1,0 +1,136 @@
+// Package faultfs injects write failures at byte granularity: a file
+// wrapper that persists exactly the first N bytes handed to it and
+// then fails, simulating a process killed (or a disk gone away)
+// mid-append. The crash-safety tests in internal/crowddb use it to
+// kill the journal at arbitrary offsets and assert that recovery
+// loses no acknowledged mutation.
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"sync"
+)
+
+// ErrInjected is returned by every operation after the budget is
+// exhausted.
+var ErrInjected = errors.New("faultfs: injected write failure")
+
+// Budget is a shared pool of bytes that may still reach disk. One
+// budget can back several files (e.g. a journal and its rotated
+// successor), so "crash after N bytes of total write traffic" spans
+// rotations.
+type Budget struct {
+	mu        sync.Mutex
+	remaining int64
+	tripped   bool
+}
+
+// NewBudget allows n bytes of writes before failure. n < 0 means
+// unlimited (no injected failures).
+func NewBudget(n int64) *Budget {
+	return &Budget{remaining: n}
+}
+
+// take consumes up to n bytes, returning how many may be written and
+// whether the budget tripped on this call or earlier.
+func (b *Budget) take(n int64) (allowed int64, tripped bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.remaining < 0 {
+		return n, false
+	}
+	if b.tripped {
+		return 0, true
+	}
+	if n <= b.remaining {
+		b.remaining -= n
+		return n, false
+	}
+	allowed = b.remaining
+	b.remaining = 0
+	b.tripped = true
+	return allowed, true
+}
+
+// Tripped reports whether the injected failure has fired.
+func (b *Budget) Tripped() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tripped
+}
+
+// File wraps an *os.File, counting every written byte against a
+// Budget. The write that crosses the budget is torn: the allowed
+// prefix reaches the real file, the rest never does, and the call —
+// like every subsequent Write or Sync — returns ErrInjected. Close
+// always closes the real file.
+type File struct {
+	f *os.File
+	b *Budget
+}
+
+// OpenFile opens path with os.OpenFile semantics and wraps it.
+func OpenFile(path string, flag int, perm os.FileMode, b *Budget) (*File, error) {
+	f, err := os.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &File{f: f, b: b}, nil
+}
+
+// Write persists the budgeted prefix of p and fails on the rest.
+func (f *File) Write(p []byte) (int, error) {
+	allowed, tripped := f.b.take(int64(len(p)))
+	n := 0
+	if allowed > 0 {
+		var err error
+		n, err = f.f.Write(p[:allowed])
+		if err != nil {
+			return n, err
+		}
+	}
+	if tripped {
+		// What made it through must be on disk — the torn prefix is
+		// the crash artifact recovery has to cope with.
+		f.f.Sync()
+		return n, ErrInjected
+	}
+	return n, nil
+}
+
+// Sync fsyncs the real file, or fails if the budget tripped.
+func (f *File) Sync() error {
+	if f.b.Tripped() {
+		return ErrInjected
+	}
+	return f.f.Sync()
+}
+
+// Close closes the underlying file regardless of budget state.
+func (f *File) Close() error { return f.f.Close() }
+
+// Writer wraps any io.Writer with the same byte budget, for unit
+// tests that do not need a real file.
+type Writer struct {
+	W io.Writer
+	B *Budget
+}
+
+// Write persists the budgeted prefix and fails on the rest.
+func (w Writer) Write(p []byte) (int, error) {
+	allowed, tripped := w.B.take(int64(len(p)))
+	n := 0
+	if allowed > 0 {
+		var err error
+		n, err = w.W.Write(p[:allowed])
+		if err != nil {
+			return n, err
+		}
+	}
+	if tripped {
+		return n, ErrInjected
+	}
+	return n, nil
+}

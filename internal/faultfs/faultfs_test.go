@@ -1,0 +1,78 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFileTornWrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	b := NewBudget(10)
+	f, err := OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	if n, err := f.Write([]byte("12345678")); n != 8 || err != nil {
+		t.Fatalf("within budget: n=%d err=%v", n, err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync within budget: %v", err)
+	}
+	// This write crosses the budget: 2 bytes land, the rest is torn.
+	n, err := f.Write([]byte("abcdef"))
+	if n != 2 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("crossing write: n=%d err=%v", n, err)
+	}
+	if !b.Tripped() {
+		t.Error("budget not tripped")
+	}
+	// Everything afterwards fails without touching the file.
+	if n, err := f.Write([]byte("x")); n != 0 || !errors.Is(err, ErrInjected) {
+		t.Errorf("post-trip write: n=%d err=%v", n, err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Errorf("post-trip sync: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "12345678ab" {
+		t.Errorf("file contents %q, want the exact 10-byte budget", got)
+	}
+}
+
+func TestUnlimitedBudget(t *testing.T) {
+	var buf bytes.Buffer
+	w := Writer{W: &buf, B: NewBudget(-1)}
+	for i := 0; i < 100; i++ {
+		if _, err := w.Write([]byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.B.Tripped() {
+		t.Error("unlimited budget tripped")
+	}
+}
+
+func TestWriterExactBoundary(t *testing.T) {
+	var buf bytes.Buffer
+	w := Writer{W: &buf, B: NewBudget(7)}
+	// A write that exactly exhausts the budget succeeds...
+	if n, err := w.Write([]byte("exactly")); n != 7 || err != nil {
+		t.Fatalf("exact write: n=%d err=%v", n, err)
+	}
+	// ...and the next one fails with nothing written.
+	if n, err := w.Write([]byte("more")); n != 0 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("next write: n=%d err=%v", n, err)
+	}
+}
