@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench fuzz crash ci
+.PHONY: build vet test race bench bench-serve bench-serve-smoke fuzz crash ci
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,16 @@ race:
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
+# Regenerate the committed serving benchmark (BENCH_serve.json):
+# sequential vs batched submission throughput against a live crowdd.
+bench-serve:
+	$(GO) run ./cmd/crowdbench serve
+
+# CI smoke: a miniature live-serving run plus strict schema (and 3x
+# batch-speedup) validation of the committed BENCH_serve.json.
+bench-serve-smoke:
+	$(GO) test -run 'TestServeBenchSmoke|TestCommittedServeReport' -v ./cmd/crowdbench
+
 # Short coverage-guided fuzz of the journal replay path (CI runs the
 # same smoke; bump -fuzztime locally for longer hunts).
 fuzz:
@@ -31,4 +41,4 @@ fuzz:
 crash:
 	$(GO) test -race -run 'TestCrashRecoveryLosesNothing|TestTornWriteTable' -v ./internal/crowddb
 
-ci: vet build race fuzz crash
+ci: vet build race fuzz crash bench-serve-smoke

@@ -1,0 +1,394 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"crowdselect/internal/core"
+	"crowdselect/internal/corpus"
+	"crowdselect/internal/crowdclient"
+	"crowdselect/internal/crowddb"
+	"crowdselect/internal/eval"
+)
+
+// serveConfig parameterizes the serving benchmark: it drives a live
+// crowdd HTTP service with crowd-selection traffic and measures
+// throughput and latency of the sequential (one selection per round
+// trip) versus batched (POST /api/v1/tasks:batch) submission paths.
+type serveConfig struct {
+	Addr        string  // external crowdd base URL; "" self-hosts in-process
+	Scale       float64 // Quora-profile scale for the self-hosted model
+	Seed        int64   // corpus seed
+	Categories  int     // latent categories K
+	TrainIters  int     // training sweeps (kept low: serving, not quality)
+	CrowdK      int     // workers selected per task
+	TextPool    int     // distinct task texts cycled through
+	Selections  int     // selections measured per run
+	Concurrency []int   // client goroutine counts to sweep
+	Batches     []int   // batch sizes to sweep (1 = sequential endpoint)
+	Out         string  // report path; "" skips writing
+}
+
+func defaultServeConfig() serveConfig {
+	return serveConfig{
+		Scale:       0.03,
+		Seed:        11,
+		Categories:  5,
+		TrainIters:  5,
+		CrowdK:      3,
+		TextPool:    256,
+		Selections:  1920,
+		Concurrency: []int{1, 4},
+		Batches:     []int{1, 8, 32},
+		Out:         "BENCH_serve.json",
+	}
+}
+
+// serveRun is one measured (mode, batch, concurrency) cell.
+type serveRun struct {
+	Mode             string  `json:"mode"` // "sequential" or "batch"
+	Batch            int     `json:"batch"`
+	Concurrency      int     `json:"concurrency"`
+	Selections       int     `json:"selections"`
+	Requests         int     `json:"requests"`
+	Seconds          float64 `json:"seconds"`
+	SelectionsPerSec float64 `json:"selections_per_sec"`
+	P50Ms            float64 `json:"p50_ms"`
+	P95Ms            float64 `json:"p95_ms"`
+	P99Ms            float64 `json:"p99_ms"`
+}
+
+// serveReport is the committed BENCH_serve.json schema.
+type serveReport struct {
+	Config struct {
+		Scale      float64 `json:"scale"`
+		Seed       int64   `json:"seed"`
+		Categories int     `json:"categories"`
+		CrowdK     int     `json:"crowd_k"`
+		TextPool   int     `json:"text_pool"`
+		Selections int     `json:"selections"`
+		GoMaxProcs int     `json:"gomaxprocs"`
+	} `json:"config"`
+	Runs []serveRun `json:"runs"`
+	// BatchSpeedup32 is selections/sec at batch 32 divided by the
+	// sequential single-request loop, both at concurrency 1 — the
+	// headline number for the batched endpoint. 0 when the sweep did
+	// not include both cells.
+	BatchSpeedup32 float64 `json:"batch_speedup_32"`
+}
+
+// runServe is the `crowdbench serve` entry point.
+func runServe(args []string, out io.Writer) error {
+	def := defaultServeConfig()
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "", "external crowdd base URL (default: self-host in-process)")
+	scale := fs.Float64("scale", def.Scale, "Quora-profile scale for the self-hosted model")
+	seed := fs.Int64("seed", def.Seed, "corpus seed")
+	cats := fs.Int("categories", def.Categories, "latent categories")
+	iters := fs.Int("train-iters", def.TrainIters, "training sweeps")
+	crowdK := fs.Int("k", def.CrowdK, "workers selected per task")
+	pool := fs.Int("texts", def.TextPool, "distinct task texts cycled through")
+	selections := fs.Int("selections", def.Selections, "selections measured per run")
+	concs := fs.String("concurrency", "1,4", "client goroutine counts, comma separated")
+	batches := fs.String("batches", "1,8,32", "batch sizes, comma separated (1 = sequential endpoint)")
+	outPath := fs.String("out", def.Out, "report path ('' = stdout only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := def
+	cfg.Addr = *addr
+	cfg.Scale = *scale
+	cfg.Seed = *seed
+	cfg.Categories = *cats
+	cfg.TrainIters = *iters
+	cfg.CrowdK = *crowdK
+	cfg.TextPool = *pool
+	cfg.Selections = *selections
+	cfg.Out = *outPath
+	var err error
+	if cfg.Concurrency, err = parseInts(*concs); err != nil {
+		return fmt.Errorf("bad -concurrency: %w", err)
+	}
+	if cfg.Batches, err = parseInts(*batches); err != nil {
+		return fmt.Errorf("bad -batches: %w", err)
+	}
+	report, err := serveBench(cfg, out)
+	if err != nil {
+		return err
+	}
+	if cfg.Out != "" {
+		b, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.Out, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", cfg.Out)
+	}
+	return nil
+}
+
+// serveBench runs the benchmark and returns the report. With
+// cfg.Addr == "" it trains a TDPM on a synthetic Quora-profile corpus,
+// stands up the crowd manager and HTTP server in-process on an
+// ephemeral port, and drives it over real localhost HTTP — the same
+// stack crowdd serves, minus the durability layer.
+func serveBench(cfg serveConfig, out io.Writer) (*serveReport, error) {
+	if cfg.Selections < 1 || cfg.TextPool < 1 || len(cfg.Batches) == 0 || len(cfg.Concurrency) == 0 {
+		return nil, fmt.Errorf("serve: need positive selections, texts, and non-empty sweeps")
+	}
+	base := cfg.Addr
+	if base == "" {
+		var stop func()
+		var err error
+		base, stop, err = selfHost(cfg, out)
+		if err != nil {
+			return nil, err
+		}
+		defer stop()
+	}
+	cli := crowdclient.New(base, crowdclient.Options{Timeout: 60 * time.Second, Retries: 0})
+	ctx := context.Background()
+
+	texts := textPool(cfg)
+	// Warm up: push the whole pool through once so the projection
+	// cache reaches its steady state before any cell is timed — every
+	// cell then measures the same serving regime.
+	if _, err := submitChunked(ctx, cli, texts, cfg.CrowdK); err != nil {
+		return nil, fmt.Errorf("serve: warmup: %w", err)
+	}
+
+	report := &serveReport{}
+	report.Config.Scale = cfg.Scale
+	report.Config.Seed = cfg.Seed
+	report.Config.Categories = cfg.Categories
+	report.Config.CrowdK = cfg.CrowdK
+	report.Config.TextPool = cfg.TextPool
+	report.Config.Selections = cfg.Selections
+	report.Config.GoMaxProcs = runtime.GOMAXPROCS(0)
+
+	fmt.Fprintf(out, "%-12s %6s %12s %14s %9s %9s %9s\n",
+		"mode", "batch", "concurrency", "selections/s", "p50(ms)", "p95(ms)", "p99(ms)")
+	for _, conc := range cfg.Concurrency {
+		for _, batch := range cfg.Batches {
+			run, err := benchCell(ctx, cli, texts, cfg, conc, batch)
+			if err != nil {
+				return nil, err
+			}
+			report.Runs = append(report.Runs, run)
+			fmt.Fprintf(out, "%-12s %6d %12d %14.0f %9.2f %9.2f %9.2f\n",
+				run.Mode, run.Batch, run.Concurrency, run.SelectionsPerSec, run.P50Ms, run.P95Ms, run.P99Ms)
+		}
+	}
+	report.BatchSpeedup32 = speedupAt(report.Runs, 32)
+	if report.BatchSpeedup32 > 0 {
+		fmt.Fprintf(out, "batch-32 speedup over sequential (concurrency 1): %.2fx\n", report.BatchSpeedup32)
+	}
+	return report, nil
+}
+
+// benchCell measures one (concurrency, batch) cell: cfg.Selections
+// selections split across conc client goroutines, each issuing
+// requests of `batch` tasks (batch 1 uses the sequential endpoint).
+func benchCell(ctx context.Context, cli *crowdclient.Client, texts []string, cfg serveConfig, conc, batch int) (serveRun, error) {
+	if conc < 1 || batch < 1 {
+		return serveRun{}, fmt.Errorf("serve: concurrency %d / batch %d", conc, batch)
+	}
+	requests := cfg.Selections / (conc * batch)
+	if requests < 1 {
+		requests = 1
+	}
+	mode := "batch"
+	if batch == 1 {
+		mode = "sequential"
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		lats     []time.Duration
+		firstErr error
+	)
+	start := time.Now()
+	for g := 0; g < conc; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			local := make([]time.Duration, 0, requests)
+			for r := 0; r < requests; r++ {
+				// Cycle the pool with a per-goroutine stride so
+				// concurrent clients do not submit identical windows.
+				off := (g*requests + r) * batch
+				var err error
+				t0 := time.Now()
+				if batch == 1 {
+					_, err = cli.SubmitTask(ctx, texts[off%len(texts)], cfg.CrowdK)
+				} else {
+					reqs := make([]crowddb.SubmitRequest, batch)
+					for i := range reqs {
+						reqs[i] = crowddb.SubmitRequest{Text: texts[(off+i)%len(texts)], K: cfg.CrowdK}
+					}
+					_, err = cli.SubmitBatch(ctx, reqs)
+				}
+				local = append(local, time.Since(t0))
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return serveRun{}, fmt.Errorf("serve: %s batch=%d conc=%d: %w", mode, batch, conc, firstErr)
+	}
+	total := conc * requests * batch
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	return serveRun{
+		Mode:             mode,
+		Batch:            batch,
+		Concurrency:      conc,
+		Selections:       total,
+		Requests:         conc * requests,
+		Seconds:          elapsed.Seconds(),
+		SelectionsPerSec: float64(total) / elapsed.Seconds(),
+		P50Ms:            quantileMs(lats, 0.50),
+		P95Ms:            quantileMs(lats, 0.95),
+		P99Ms:            quantileMs(lats, 0.99),
+	}, nil
+}
+
+// speedupAt returns batch-b throughput over sequential throughput at
+// concurrency 1, or 0 when either cell is missing.
+func speedupAt(runs []serveRun, b int) float64 {
+	var seq, bat float64
+	for _, r := range runs {
+		if r.Concurrency != 1 {
+			continue
+		}
+		switch r.Batch {
+		case 1:
+			seq = r.SelectionsPerSec
+		case b:
+			bat = r.SelectionsPerSec
+		}
+	}
+	if seq <= 0 || bat <= 0 {
+		return 0
+	}
+	return bat / seq
+}
+
+// quantileMs returns the q-quantile of sorted durations in
+// milliseconds.
+func quantileMs(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return float64(sorted[i]) / float64(time.Millisecond)
+}
+
+// selfHost trains the model and serves the crowd manager on an
+// ephemeral localhost port, returning the base URL and a shutdown
+// function.
+func selfHost(cfg serveConfig, out io.Writer) (string, func(), error) {
+	fmt.Fprintf(out, "training TDPM (Quora scale %.3g, K=%d, %d sweeps)...\n", cfg.Scale, cfg.Categories, cfg.TrainIters)
+	p := corpus.Quora().Scaled(cfg.Scale).WithSeed(cfg.Seed)
+	d, err := corpus.Generate(p)
+	if err != nil {
+		return "", nil, err
+	}
+	tcfg := core.NewConfig(cfg.Categories)
+	tcfg.MaxIter = cfg.TrainIters
+	tcfg.MinIter = 0
+	tcfg.Parallelism = runtime.GOMAXPROCS(0)
+	model, _, err := core.Train(eval.ResolvedTasks(d), len(d.Workers), d.Vocab.Size(), tcfg)
+	if err != nil {
+		return "", nil, err
+	}
+	store := crowddb.NewStore()
+	for i := range d.Workers {
+		if _, err := store.AddWorker(i, fmt.Sprintf("w%d", i)); err != nil {
+			return "", nil, err
+		}
+	}
+	mgr, err := crowddb.NewManager(store, d.Vocab, model, cfg.CrowdK)
+	if err != nil {
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: crowddb.NewServer(mgr)}
+	go func() { _ = srv.Serve(ln) }()
+	fmt.Fprintf(out, "serving %d workers on %s\n", len(d.Workers), ln.Addr())
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}
+	return "http://" + ln.Addr().String(), stop, nil
+}
+
+// textPool builds cfg.TextPool distinct task texts by cycling the
+// corpus-flavoured term stock — realistic token distributions without
+// shipping a dataset.
+func textPool(cfg serveConfig) []string {
+	stock := []string{
+		"database", "index", "btree", "join", "transaction", "lock",
+		"query", "optimizer", "schema", "shard", "replica", "cache",
+		"python", "golang", "compiler", "closure", "pointer", "thread",
+		"network", "socket", "latency", "protocol", "http", "dns",
+	}
+	texts := make([]string, cfg.TextPool)
+	for i := range texts {
+		a := stock[i%len(stock)]
+		b := stock[(i/len(stock)+i+7)%len(stock)]
+		c := stock[(i*3+1)%len(stock)]
+		texts[i] = fmt.Sprintf("%s %s %s question %d", a, b, c, i)
+	}
+	return texts
+}
+
+// submitChunked submits every text once, in batches within the
+// server's batch cap.
+func submitChunked(ctx context.Context, cli *crowdclient.Client, texts []string, k int) (int, error) {
+	const chunk = 512
+	n := 0
+	for at := 0; at < len(texts); at += chunk {
+		end := at + chunk
+		if end > len(texts) {
+			end = len(texts)
+		}
+		reqs := make([]crowddb.SubmitRequest, 0, end-at)
+		for _, t := range texts[at:end] {
+			reqs = append(reqs, crowddb.SubmitRequest{Text: t, K: k})
+		}
+		subs, err := cli.SubmitBatch(ctx, reqs)
+		if err != nil {
+			return n, err
+		}
+		n += len(subs)
+	}
+	return n, nil
+}

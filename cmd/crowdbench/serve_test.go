@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestServeBenchSmoke runs a miniature serving benchmark end to end —
+// in-process server, real localhost HTTP — and sanity-checks the
+// report.
+func TestServeBenchSmoke(t *testing.T) {
+	cfg := defaultServeConfig()
+	cfg.Scale = 0.02
+	cfg.TrainIters = 2
+	cfg.TextPool = 32
+	cfg.Selections = 64
+	cfg.Concurrency = []int{1}
+	cfg.Batches = []int{1, 8}
+	cfg.Out = ""
+	var out bytes.Buffer
+	report, err := serveBench(cfg, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Runs) != 2 {
+		t.Fatalf("runs = %d, want 2", len(report.Runs))
+	}
+	for _, r := range report.Runs {
+		if r.SelectionsPerSec <= 0 || r.Seconds <= 0 || r.Selections <= 0 || r.Requests <= 0 {
+			t.Errorf("degenerate run %+v", r)
+		}
+		if r.P50Ms <= 0 || r.P99Ms < r.P50Ms {
+			t.Errorf("bad quantiles %+v", r)
+		}
+		wantMode := "batch"
+		if r.Batch == 1 {
+			wantMode = "sequential"
+		}
+		if r.Mode != wantMode {
+			t.Errorf("mode = %q for batch %d", r.Mode, r.Batch)
+		}
+	}
+	if report.Config.GoMaxProcs <= 0 {
+		t.Errorf("config = %+v", report.Config)
+	}
+}
+
+// TestCommittedServeReport validates the committed BENCH_serve.json:
+// the schema decodes strictly, every cell is populated, and the
+// headline batch-32 speedup is at least the 3x the batched endpoint
+// promises over the sequential loop.
+func TestCommittedServeReport(t *testing.T) {
+	raw, err := os.ReadFile("../../BENCH_serve.json")
+	if err != nil {
+		t.Fatalf("committed report missing: %v (regenerate with `go run ./cmd/crowdbench serve`)", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var report serveReport
+	if err := dec.Decode(&report); err != nil {
+		t.Fatalf("BENCH_serve.json does not match the serveReport schema: %v", err)
+	}
+	if len(report.Runs) == 0 {
+		t.Fatal("no runs in committed report")
+	}
+	var seq1, batch32 bool
+	for _, r := range report.Runs {
+		if r.SelectionsPerSec <= 0 || r.Seconds <= 0 || r.Selections <= 0 {
+			t.Errorf("degenerate committed run %+v", r)
+		}
+		if r.Concurrency == 1 && r.Batch == 1 {
+			seq1 = true
+		}
+		if r.Concurrency == 1 && r.Batch == 32 {
+			batch32 = true
+		}
+	}
+	if !seq1 || !batch32 {
+		t.Fatal("committed sweep must include batch 1 and batch 32 at concurrency 1")
+	}
+	if report.BatchSpeedup32 < 3 {
+		t.Errorf("batch_speedup_32 = %.2f, want >= 3", report.BatchSpeedup32)
+	}
+}

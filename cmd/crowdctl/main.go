@@ -1,37 +1,38 @@
 // Command crowdctl is the command-line client for the crowdd HTTP
-// service (the crowd manager of Figure 1).
+// service (the crowd manager of Figure 1). It is a thin shell over
+// the crowdclient package, which owns the transport policy: per-
+// request timeouts and bounded retries with exponential backoff plus
+// jitter — connection errors always (for POSTs only when the dial
+// failed, so a mutation is never sent twice), and 5xx responses on
+// idempotent GETs.
 //
 // Usage:
 //
 //	crowdctl [-addr http://localhost:8080] submit   -text "..." [-k 3]
+//	crowdctl [-addr ...]                  batch     [-k 3] "text 1" "text 2" ...
 //	crowdctl [-addr ...]                  answer    -task 1 -worker 2 -text "..."
 //	crowdctl [-addr ...]                  feedback  -task 1 -scores "2=4,7=1"
 //	crowdctl [-addr ...]                  task      -id 1
 //	crowdctl [-addr ...]                  worker    -id 2
 //	crowdctl [-addr ...]                  presence  -id 2 -online=false
+//	crowdctl [-addr ...]                  query     -q "SELECT ..."
 //	crowdctl [-addr ...]                  stats
-//
-// Requests carry a per-request timeout (-timeout) and transient
-// failures are retried with exponential backoff plus jitter, bounded
-// by -retries: connection errors always (for POSTs only when the dial
-// failed, so a mutation is never sent twice), and 5xx responses on
-// idempotent GETs.
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"io"
-	"math/rand"
-	"net"
-	"net/http"
 	"os"
 	"strconv"
 	"strings"
 	"time"
+
+	"crowdselect/internal/crowdclient"
+	"crowdselect/internal/crowddb"
 )
 
 func main() {
@@ -40,97 +41,22 @@ func main() {
 	retries := flag.Int("retries", 3, "max retries for transient failures")
 	backoff := flag.Duration("retry-backoff", 200*time.Millisecond, "initial retry backoff (doubles per attempt, with jitter)")
 	flag.Parse()
-	cli := newClient(*timeout, *retries, *backoff)
-	if err := run(cli, *addr, flag.Args(), os.Stdout); err != nil {
+	cli := crowdclient.New(*addr, crowdclient.Options{
+		Timeout: *timeout,
+		Retries: *retries,
+		Backoff: *backoff,
+	})
+	if err := run(cli, flag.Args(), os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "crowdctl:", err)
 		os.Exit(1)
 	}
 }
 
-// client is the HTTP transport with bounded retry semantics.
-type client struct {
-	hc      *http.Client
-	retries int
-	backoff time.Duration
-	sleep   func(time.Duration) // injectable for tests
-}
-
-func newClient(timeout time.Duration, retries int, backoff time.Duration) *client {
-	return &client{
-		hc:      &http.Client{Timeout: timeout},
-		retries: retries,
-		backoff: backoff,
-		sleep:   time.Sleep,
-	}
-}
-
-// backoffFor computes the delay before retry attempt n (1-based):
-// exponential from the base, capped at 5s, with up to 50% random
-// jitter subtracted so synchronized clients fan out.
-func (c *client) backoffFor(n int) time.Duration {
-	d := c.backoff << (n - 1)
-	if max := 5 * time.Second; d > max {
-		d = max
-	}
-	return d - time.Duration(rand.Int63n(int64(d)/2+1))
-}
-
-// retriableErr reports whether a transport error may be retried for
-// the given method. GETs are idempotent, so any transport failure is
-// fair game; for mutating requests only dial errors are safe — the
-// request never reached the server, so retrying cannot double-apply.
-func retriableErr(method string, err error) bool {
-	if method == http.MethodGet {
-		return true
-	}
-	var op *net.OpError
-	return errors.As(err, &op) && op.Op == "dial"
-}
-
-// do issues the request, retrying transient failures: transport
-// errors per retriableErr, and 5xx responses on GETs. The response is
-// the first success or non-retriable status; err is the final failure
-// after the retry budget is spent.
-func (c *client) do(method, url string, body []byte) (*http.Response, error) {
-	var lastErr error
-	for attempt := 0; attempt <= c.retries; attempt++ {
-		if attempt > 0 {
-			c.sleep(c.backoffFor(attempt))
-		}
-		var reader io.Reader
-		if body != nil {
-			reader = bytes.NewReader(body)
-		}
-		req, err := http.NewRequest(method, url, reader)
-		if err != nil {
-			return nil, err
-		}
-		if body != nil {
-			req.Header.Set("Content-Type", "application/json")
-		}
-		resp, err := c.hc.Do(req)
-		if err != nil {
-			lastErr = err
-			if !retriableErr(method, err) {
-				return nil, err
-			}
-			continue
-		}
-		if resp.StatusCode >= 500 && method == http.MethodGet && attempt < c.retries {
-			payload, _ := io.ReadAll(resp.Body)
-			resp.Body.Close()
-			lastErr = fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(payload)))
-			continue
-		}
-		return resp, nil
-	}
-	return nil, fmt.Errorf("after %d attempts: %w", c.retries+1, lastErr)
-}
-
-func run(cli *client, addr string, args []string, out io.Writer) error {
+func run(cli *crowdclient.Client, args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("missing subcommand (submit, answer, feedback, task, worker, presence, stats)")
+		return fmt.Errorf("missing subcommand (submit, batch, answer, feedback, task, worker, presence, query, stats)")
 	}
+	ctx := context.Background()
 	cmd, rest := args[0], args[1:]
 	switch cmd {
 	case "submit":
@@ -143,7 +69,30 @@ func run(cli *client, addr string, args []string, out io.Writer) error {
 		if *text == "" {
 			return fmt.Errorf("submit: -text is required")
 		}
-		return call(cli, out, http.MethodPost, addr+"/api/tasks", map[string]any{"text": *text, "k": *k})
+		sub, err := cli.SubmitTask(ctx, *text, *k)
+		if err != nil {
+			return err
+		}
+		return printJSON(out, sub)
+	case "batch":
+		fs := flag.NewFlagSet("batch", flag.ContinueOnError)
+		k := fs.Int("k", 0, "crowd size per task (0 = server default)")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		texts := fs.Args()
+		if len(texts) == 0 {
+			return fmt.Errorf("batch: pass one or more task texts as arguments")
+		}
+		reqs := make([]crowddb.SubmitRequest, len(texts))
+		for i, text := range texts {
+			reqs[i] = crowddb.SubmitRequest{Text: text, K: *k}
+		}
+		subs, err := cli.SubmitBatch(ctx, reqs)
+		if err != nil {
+			return err
+		}
+		return printJSON(out, subs)
 	case "answer":
 		fs := flag.NewFlagSet("answer", flag.ContinueOnError)
 		task := fs.Int("task", -1, "task id")
@@ -155,8 +104,11 @@ func run(cli *client, addr string, args []string, out io.Writer) error {
 		if *task < 0 || *worker < 0 {
 			return fmt.Errorf("answer: -task and -worker are required")
 		}
-		return call(cli, out, http.MethodPost, fmt.Sprintf("%s/api/tasks/%d/answers", addr, *task),
-			map[string]any{"worker": *worker, "answer": *text})
+		if err := cli.Answer(ctx, *task, *worker, *text); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "ok")
+		return nil
 	case "feedback":
 		fs := flag.NewFlagSet("feedback", flag.ContinueOnError)
 		task := fs.Int("task", -1, "task id")
@@ -171,22 +123,33 @@ func run(cli *client, addr string, args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		return call(cli, out, http.MethodPost, fmt.Sprintf("%s/api/tasks/%d/feedback", addr, *task),
-			map[string]any{"scores": parsed})
+		rec, err := cli.Feedback(ctx, *task, parsed)
+		if err != nil {
+			return err
+		}
+		return printJSON(out, rec)
 	case "task":
 		fs := flag.NewFlagSet("task", flag.ContinueOnError)
 		id := fs.Int("id", -1, "task id")
 		if err := fs.Parse(rest); err != nil {
 			return err
 		}
-		return call(cli, out, http.MethodGet, fmt.Sprintf("%s/api/tasks/%d", addr, *id), nil)
+		task, err := cli.GetTask(ctx, *id)
+		if err != nil {
+			return err
+		}
+		return printJSON(out, task)
 	case "worker":
 		fs := flag.NewFlagSet("worker", flag.ContinueOnError)
 		id := fs.Int("id", -1, "worker id")
 		if err := fs.Parse(rest); err != nil {
 			return err
 		}
-		return call(cli, out, http.MethodGet, fmt.Sprintf("%s/api/workers/%d", addr, *id), nil)
+		w, err := cli.GetWorker(ctx, *id)
+		if err != nil {
+			return err
+		}
+		return printJSON(out, w)
 	case "presence":
 		fs := flag.NewFlagSet("presence", flag.ContinueOnError)
 		id := fs.Int("id", -1, "worker id")
@@ -194,8 +157,11 @@ func run(cli *client, addr string, args []string, out io.Writer) error {
 		if err := fs.Parse(rest); err != nil {
 			return err
 		}
-		return call(cli, out, http.MethodPost, fmt.Sprintf("%s/api/workers/%d/presence", addr, *id),
-			map[string]any{"online": *online})
+		if err := cli.SetPresence(ctx, *id, *online); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "ok")
+		return nil
 	case "query":
 		fs := flag.NewFlagSet("query", flag.ContinueOnError)
 		q := fs.String("q", "", "crowdql statement, e.g. \"SELECT CROWD FOR TASK '...' LIMIT 3\"")
@@ -205,17 +171,25 @@ func run(cli *client, addr string, args []string, out io.Writer) error {
 		if strings.TrimSpace(*q) == "" {
 			return fmt.Errorf("query: -q is required")
 		}
-		return call(cli, out, http.MethodPost, addr+"/api/query", map[string]any{"q": *q})
+		res, err := cli.Query(ctx, *q)
+		if err != nil {
+			return err
+		}
+		return printRaw(out, res)
 	case "stats":
-		return call(cli, out, http.MethodGet, addr+"/api/stats", nil)
+		st, err := cli.Stats(ctx)
+		if err != nil {
+			return err
+		}
+		return printJSON(out, st)
 	default:
 		return fmt.Errorf("unknown subcommand %q", cmd)
 	}
 }
 
-// parseScores parses "2=4,7=1.5" into {"2": 4, "7": 1.5}.
-func parseScores(s string) (map[string]float64, error) {
-	out := make(map[string]float64)
+// parseScores parses "2=4,7=1.5" into {2: 4, 7: 1.5}.
+func parseScores(s string) (map[int]float64, error) {
+	out := make(map[int]float64)
 	if strings.TrimSpace(s) == "" {
 		return out, nil
 	}
@@ -224,45 +198,32 @@ func parseScores(s string) (map[string]float64, error) {
 		if len(kv) != 2 {
 			return nil, fmt.Errorf("bad score pair %q (want worker=score)", pair)
 		}
-		if _, err := strconv.Atoi(kv[0]); err != nil {
+		w, err := strconv.Atoi(kv[0])
+		if err != nil {
 			return nil, fmt.Errorf("bad worker id %q", kv[0])
 		}
 		v, err := strconv.ParseFloat(kv[1], 64)
 		if err != nil {
 			return nil, fmt.Errorf("bad score %q", kv[1])
 		}
-		out[kv[0]] = v
+		out[w] = v
 	}
 	return out, nil
 }
 
-// call performs the request through the retrying client and
-// pretty-prints the JSON response.
-func call(cli *client, out io.Writer, method, url string, body any) error {
-	var payloadBytes []byte
-	if body != nil {
-		b, err := json.Marshal(body)
-		if err != nil {
-			return err
-		}
-		payloadBytes = b
-	}
-	resp, err := cli.do(method, url, payloadBytes)
+// printJSON renders a typed response as indented JSON.
+func printJSON(out io.Writer, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
-	payload, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode >= 300 {
-		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(payload)))
-	}
-	if len(bytes.TrimSpace(payload)) == 0 {
-		fmt.Fprintln(out, "ok")
-		return nil
-	}
+	fmt.Fprintln(out, string(b))
+	return nil
+}
+
+// printRaw re-indents a raw JSON payload (falling back to verbatim
+// output if it is not JSON).
+func printRaw(out io.Writer, payload []byte) error {
 	var pretty bytes.Buffer
 	if err := json.Indent(&pretty, payload, "", "  "); err != nil {
 		_, werr := out.Write(payload)

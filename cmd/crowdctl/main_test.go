@@ -3,17 +3,15 @@ package main
 import (
 	"bytes"
 	"fmt"
-	"net"
-	"net/http"
 	"net/http/httptest"
 	"reflect"
 	"strings"
-	"sync/atomic"
 	"testing"
 	"time"
 
 	"crowdselect/internal/core"
 	"crowdselect/internal/corpus"
+	"crowdselect/internal/crowdclient"
 	"crowdselect/internal/crowddb"
 	"crowdselect/internal/crowdql"
 	"crowdselect/internal/eval"
@@ -51,10 +49,13 @@ func testServer(t *testing.T) *httptest.Server {
 }
 
 // testClient retries without real sleeping so tests stay fast.
-func testClient() *client {
-	c := newClient(5*time.Second, 3, time.Millisecond)
-	c.sleep = func(time.Duration) {}
-	return c
+func testClient(baseURL string) *crowdclient.Client {
+	return crowdclient.New(baseURL, crowdclient.Options{
+		Timeout: 5 * time.Second,
+		Retries: 3,
+		Backoff: time.Millisecond,
+		Sleep:   func(time.Duration) {},
+	})
 }
 
 func TestParseScores(t *testing.T) {
@@ -62,7 +63,7 @@ func TestParseScores(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := map[string]float64{"2": 4, "7": 1.5}
+	want := map[int]float64{2: 4, 7: 1.5}
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("parseScores = %v", got)
 	}
@@ -81,7 +82,7 @@ func TestEndToEndCLI(t *testing.T) {
 	var out bytes.Buffer
 
 	// Submit.
-	if err := run(testClient(), srv.URL, []string{"submit", "-text", "database index question", "-k", "2"}, &out); err != nil {
+	if err := run(testClient(srv.URL), []string{"submit", "-text", "database index question", "-k", "2"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "task_id") || !strings.Contains(out.String(), "TDPM") {
@@ -104,7 +105,7 @@ func TestEndToEndCLI(t *testing.T) {
 	// Answer (both assigned workers) and feedback.
 	for _, w := range []int{w0, w1} {
 		out.Reset()
-		if err := run(testClient(), srv.URL, []string{"answer", "-task", "0", "-worker", fmt.Sprint(w), "-text", "hi"}, &out); err != nil {
+		if err := run(testClient(srv.URL), []string{"answer", "-task", "0", "-worker", fmt.Sprint(w), "-text", "hi"}, &out); err != nil {
 			t.Fatal(err)
 		}
 		if !strings.Contains(out.String(), "ok") {
@@ -112,28 +113,37 @@ func TestEndToEndCLI(t *testing.T) {
 		}
 	}
 	out.Reset()
-	if err := run(testClient(), srv.URL, []string{"feedback", "-task", "0", "-scores", fmt.Sprintf("%d=4,%d=1", w0, w1)}, &out); err != nil {
+	if err := run(testClient(srv.URL), []string{"feedback", "-task", "0", "-scores", fmt.Sprintf("%d=4,%d=1", w0, w1)}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), `"status": 2`) {
 		t.Errorf("feedback output: %s", out.String())
 	}
 
+	// Batched submit.
+	out.Reset()
+	if err := run(testClient(srv.URL), []string{"batch", "-k", "2", "sql join question", "b tree question"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out.String(), "task_id"); got != 2 {
+		t.Errorf("batch output has %d results, want 2: %s", got, out.String())
+	}
+
 	// Reads.
 	out.Reset()
-	if err := run(testClient(), srv.URL, []string{"task", "-id", "0"}, &out); err != nil {
+	if err := run(testClient(srv.URL), []string{"task", "-id", "0"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	out.Reset()
-	if err := run(testClient(), srv.URL, []string{"worker", "-id", "0"}, &out); err != nil {
+	if err := run(testClient(srv.URL), []string{"worker", "-id", "0"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	out.Reset()
-	if err := run(testClient(), srv.URL, []string{"presence", "-id", "0", "-online=false"}, &out); err != nil {
+	if err := run(testClient(srv.URL), []string{"presence", "-id", "0", "-online=false"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	out.Reset()
-	if err := run(testClient(), srv.URL, []string{"stats"}, &out); err != nil {
+	if err := run(testClient(srv.URL), []string{"stats"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), `"resolved": 1`) {
@@ -142,17 +152,17 @@ func TestEndToEndCLI(t *testing.T) {
 
 	// crowdql through the CLI.
 	out.Reset()
-	if err := run(testClient(), srv.URL, []string{"query", "-q", "SELECT WORKERS WHERE resolved >= 1 LIMIT 5"}, &out); err != nil {
+	if err := run(testClient(srv.URL), []string{"query", "-q", "SELECT WORKERS WHERE resolved >= 1 LIMIT 5"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "columns") {
 		t.Errorf("query output: %s", out.String())
 	}
 	out.Reset()
-	if err := run(testClient(), srv.URL, []string{"query"}, &out); err == nil {
+	if err := run(testClient(srv.URL), []string{"query"}, &out); err == nil {
 		t.Error("query without -q accepted")
 	}
-	if err := run(testClient(), srv.URL, []string{"query", "-q", "EXPLODE"}, &out); err == nil {
+	if err := run(testClient(srv.URL), []string{"query", "-q", "EXPLODE"}, &out); err == nil {
 		t.Error("bad query accepted")
 	}
 }
@@ -164,6 +174,7 @@ func TestCLIErrors(t *testing.T) {
 		{},
 		{"unknown"},
 		{"submit"},               // missing -text
+		{"batch"},                // no task texts
 		{"answer", "-task", "0"}, // missing -worker
 		{"feedback"},             // missing -task
 		{"feedback", "-task", "0", "-scores", "bad"},
@@ -171,122 +182,8 @@ func TestCLIErrors(t *testing.T) {
 	}
 	for _, args := range cases {
 		out.Reset()
-		if err := run(testClient(), srv.URL, args, &out); err == nil {
+		if err := run(testClient(srv.URL), args, &out); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
-	}
-}
-
-// TestRetryFlaky5xx: a GET that hits a server failing its first
-// responses with 500s must succeed once the server recovers, within
-// the retry budget.
-func TestRetryFlaky5xx(t *testing.T) {
-	var hits int32
-	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if atomic.AddInt32(&hits, 1) <= 2 {
-			http.Error(w, "transient", http.StatusInternalServerError)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintln(w, `{"workers": 3}`)
-	}))
-	defer srv.Close()
-
-	var out bytes.Buffer
-	if err := run(testClient(), srv.URL, []string{"stats"}, &out); err != nil {
-		t.Fatalf("GET through flaky server: %v", err)
-	}
-	if got := atomic.LoadInt32(&hits); got != 3 {
-		t.Errorf("server hit %d times, want 3 (2 failures + success)", got)
-	}
-	if !strings.Contains(out.String(), "workers") {
-		t.Errorf("output: %s", out.String())
-	}
-}
-
-// TestRetryBudgetExhausted: a persistently failing GET returns the
-// last error after the bounded retries, not an infinite loop.
-func TestRetryBudgetExhausted(t *testing.T) {
-	var hits int32
-	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		atomic.AddInt32(&hits, 1)
-		http.Error(w, "down", http.StatusInternalServerError)
-	}))
-	defer srv.Close()
-
-	var out bytes.Buffer
-	err := run(testClient(), srv.URL, []string{"stats"}, &out)
-	if err == nil {
-		t.Fatal("persistent 500s reported success")
-	}
-	if !strings.Contains(err.Error(), "500") {
-		t.Errorf("error %q does not surface the final status", err)
-	}
-	if got := atomic.LoadInt32(&hits); got != 4 {
-		t.Errorf("server hit %d times, want 4 (1 + 3 retries)", got)
-	}
-}
-
-// TestPostNotRetriedOn5xx: mutations must not be replayed when the
-// server answered — only dial failures are safe to retry.
-func TestPostNotRetriedOn5xx(t *testing.T) {
-	var hits int32
-	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		atomic.AddInt32(&hits, 1)
-		http.Error(w, "boom", http.StatusInternalServerError)
-	}))
-	defer srv.Close()
-
-	var out bytes.Buffer
-	if err := run(testClient(), srv.URL, []string{"submit", "-text", "q"}, &out); err == nil {
-		t.Fatal("500 on POST reported success")
-	}
-	if got := atomic.LoadInt32(&hits); got != 1 {
-		t.Errorf("POST sent %d times, want exactly 1", got)
-	}
-}
-
-// TestRetryConnectionRefused: dial errors are retried for POSTs too —
-// the request never reached a server. The server comes up between
-// attempts.
-func TestRetryConnectionRefused(t *testing.T) {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	addr := ln.Addr().String()
-	ln.Close() // nothing listening: first attempts get connection refused
-
-	c := testClient()
-	started := make(chan *httptest.Server, 1)
-	attempt := 0
-	c.sleep = func(time.Duration) {
-		attempt++
-		if attempt == 2 {
-			// Bring the server up on the probed address before the
-			// third attempt.
-			l, err := net.Listen("tcp", addr)
-			if err != nil {
-				t.Errorf("relisten: %v", err)
-				return
-			}
-			s := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-				w.WriteHeader(http.StatusNoContent)
-			}))
-			s.Listener.Close()
-			s.Listener = l
-			s.Start()
-			started <- s
-		}
-	}
-	var out bytes.Buffer
-	if err := run(c, "http://"+addr, []string{"presence", "-id", "0", "-online=false"}, &out); err != nil {
-		t.Fatalf("POST after server came up: %v", err)
-	}
-	select {
-	case s := <-started:
-		s.Close()
-	default:
-		t.Fatal("server never started; POST succeeded against nothing")
 	}
 }

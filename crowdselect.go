@@ -37,6 +37,7 @@ import (
 	"crowdselect/internal/baseline/vsm"
 	"crowdselect/internal/core"
 	"crowdselect/internal/corpus"
+	"crowdselect/internal/crowdclient"
 	"crowdselect/internal/crowddb"
 	"crowdselect/internal/crowdql"
 	"crowdselect/internal/eval"
@@ -209,6 +210,39 @@ func NewManager(store *Store, vocab *Vocabulary, sel crowddb.Selector, k int) (*
 
 // NewServer wraps a manager with the HTTP API.
 func NewServer(mgr *Manager) *Server { return crowddb.NewServer(mgr) }
+
+// Versioned v1 HTTP API surface: wire DTOs shared by the server and
+// the typed client, plus the client itself. The unversioned /api/*
+// paths remain as deprecated aliases of /api/v1/*.
+type (
+	// TaskSubmission is one element of Manager.SubmitBatch.
+	TaskSubmission = crowddb.TaskSubmission
+	// SubmitRequest is the body of POST /api/v1/tasks (and one element
+	// of a batch).
+	SubmitRequest = crowddb.SubmitRequest
+	// SubmitResponse is the result of one task submission.
+	SubmitResponse = crowddb.SubmitResponse
+	// BatchSubmitRequest is the body of POST /api/v1/tasks:batch.
+	BatchSubmitRequest = crowddb.BatchSubmitRequest
+	// BatchSubmitResponse is one SubmitResponse per task, in order.
+	BatchSubmitResponse = crowddb.BatchSubmitResponse
+	// StatsResponse is the body of GET /api/v1/stats.
+	StatsResponse = crowddb.StatsResponse
+	// APIErrorBody is the payload of the v1 error envelope.
+	APIErrorBody = crowddb.ErrorBody
+	// APIClient is the typed HTTP client for the v1 API, with built-in
+	// timeouts and retry/backoff.
+	APIClient = crowdclient.Client
+	// APIClientOptions tunes an APIClient.
+	APIClientOptions = crowdclient.Options
+	// APIError is a non-2xx response decoded from the error envelope.
+	APIError = crowdclient.APIError
+)
+
+// NewAPIClient returns a typed client for the crowdd at baseURL.
+func NewAPIClient(baseURL string, opts APIClientOptions) *APIClient {
+	return crowdclient.New(baseURL, opts)
+}
 
 // Durable crowd database: a checksummed write-ahead journal plus
 // atomic snapshot generations under a data directory, with boot-time

@@ -2,6 +2,7 @@ package crowdselect_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"testing"
 
@@ -104,7 +105,7 @@ func TestFacadeCrowdPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sub, err := mgr.SubmitTask("database index questions", 2)
+	sub, err := mgr.SubmitTask(context.Background(), "database index questions", 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestFacadeCrowdPipeline(t *testing.T) {
 	if err := mgr.CollectAnswer(sub.Task.ID, sub.Workers[0], "an answer"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := mgr.ResolveTask(sub.Task.ID, map[int]float64{sub.Workers[0]: 5}); err != nil {
+	if _, err := mgr.ResolveTask(context.Background(), sub.Task.ID, map[int]float64{sub.Workers[0]: 5}); err != nil {
 		t.Fatal(err)
 	}
 }

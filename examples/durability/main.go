@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -78,7 +79,7 @@ func main() {
 	// A burst of crowd activity, all journaled as it happens.
 	resolved := 0
 	for _, t := range d.Tasks[:6] {
-		sub, err := mgr.SubmitTask(strings.Join(t.Tokens, " "), 3)
+		sub, err := mgr.SubmitTask(context.Background(), strings.Join(t.Tokens, " "), 3)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -89,7 +90,7 @@ func main() {
 			}
 			scores[w] = float64(5 - rank) // feedback: earlier ranks scored higher
 		}
-		if _, err := mgr.ResolveTask(sub.Task.ID, scores); err != nil {
+		if _, err := mgr.ResolveTask(context.Background(), sub.Task.ID, scores); err != nil {
 			log.Fatal(err)
 		}
 		resolved++
@@ -144,7 +145,7 @@ func main() {
 	fmt.Printf("store after restart: %d workers, %d tasks\n", db2.Store().NumWorkers(), db2.Store().NumTasks())
 
 	// The restored manager keeps serving — and keeps journaling.
-	sub, err := mgr2.SubmitTask(strings.Join(d2.Tasks[7].Tokens, " "), 3)
+	sub, err := mgr2.SubmitTask(context.Background(), strings.Join(d2.Tasks[7].Tokens, " "), 3)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,13 +1,21 @@
 package core
 
 import (
+	"context"
 	"io"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"crowdselect/internal/linalg"
 	"crowdselect/internal/randx"
 	"crowdselect/internal/text"
 )
+
+// defaultProjectionCacheCap bounds the projection cache of a freshly
+// wrapped model. At K≈10 an entry is a few hundred bytes, so the
+// default costs at most a couple of megabytes.
+const defaultProjectionCacheCap = 8192
 
 // ConcurrentModel makes one trained Model safe for the serving regime
 // of §2 Figure 1: crowd-selection reads (Project, SelectTopK, Rank)
@@ -23,19 +31,37 @@ import (
 // update's commit-after-solve discipline this guarantees readers never
 // observe a half-applied posterior.
 //
-// Methods not exposed here (training, Save, TopTerms, …) are reached
+// # Projection cache
+//
+// The wrapper memoizes Project results by exact bag fingerprint in a
+// bounded LRU: arrival streams repeat task texts, and a cache hit
+// replaces a conjugate-gradient solve with a map lookup. Every cached
+// category is tagged with the wrapper's epoch — a counter bumped by
+// every committed UpdateWorkerSkill[Drift] — and a lookup under a
+// newer epoch is a miss, so a feedback write can never serve a stale
+// category. (Projection depends only on the fixed category/language
+// parameters today, making the invalidation conservative; the epoch
+// contract keeps it correct if the projection path ever reads
+// posterior state.) Returned categories are defensive copies; callers
+// may mutate them freely.
+//
+// Methods not exposed here (training, TopTerms, …) are reached
 // through Unwrap, which hands back the underlying Model; the caller
 // must ensure no concurrent wrapper calls are in flight while using it
-// for anything that mutates.
+// for anything that mutates, and must call InvalidateProjections
+// afterwards so cached projections of the pre-mutation model are
+// dropped.
 type ConcurrentModel struct {
-	mu sync.RWMutex
-	m  *Model
+	mu    sync.RWMutex
+	m     *Model
+	epoch atomic.Uint64
+	cache *projectionCache
 }
 
 // NewConcurrentModel wraps m. The wrapper owns synchronization from
 // here on: callers must not keep mutating m directly.
 func NewConcurrentModel(m *Model) *ConcurrentModel {
-	return &ConcurrentModel{m: m}
+	return &ConcurrentModel{m: m, cache: newProjectionCache(defaultProjectionCacheCap)}
 }
 
 // Unwrap returns the underlying Model for setup-time configuration or
@@ -49,20 +75,90 @@ func (c *ConcurrentModel) Name() string { return c.m.Name() }
 // NumWorkers returns the number of workers the model was trained over.
 func (c *ConcurrentModel) NumWorkers() int { return c.m.NumWorkers() }
 
+// Epoch returns the model-version counter: it advances on every
+// committed posterior update (and on InvalidateProjections), and tags
+// projection-cache entries so none outlives the model state it was
+// computed from.
+func (c *ConcurrentModel) Epoch() uint64 { return c.epoch.Load() }
+
+// InvalidateProjections advances the epoch, orphaning every cached
+// projection. Call it after mutating the model through Unwrap.
+func (c *ConcurrentModel) InvalidateProjections() { c.epoch.Add(1) }
+
+// SetProjectionCacheCapacity resizes the projection cache; n <= 0
+// disables caching entirely. Safe to call while serving.
+func (c *ConcurrentModel) SetProjectionCacheCapacity(n int) { c.cache.resize(n) }
+
+// CacheStats reports projection-cache hits, misses and occupancy.
+func (c *ConcurrentModel) CacheStats() ProjectionCacheStats { return c.cache.stats() }
+
 // Project estimates the latent category of a new task (Algorithm 3,
-// first phase) under the read lock.
+// first phase) under the read lock, serving repeats from the
+// projection cache.
 func (c *ConcurrentModel) Project(bag text.Bag) TaskCategory {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return c.m.Project(bag)
+	return c.projectLocked(bag)
+}
+
+// projectLocked is the cache-through projection; the caller holds the
+// read lock, which excludes posterior commits, so the epoch read here
+// is stable for the whole computation.
+func (c *ConcurrentModel) projectLocked(bag text.Bag) TaskCategory {
+	key := bagKey(bag)
+	epoch := c.epoch.Load()
+	if cat, ok := c.cache.get(key, epoch); ok {
+		return cat
+	}
+	cat := c.m.Project(bag)
+	c.cache.put(key, epoch, cat)
+	return cat
 }
 
 // ProjectAll projects a batch of tasks; the read lock is held across
 // the whole batch so every projection sees one model version.
 func (c *ConcurrentModel) ProjectAll(bags []text.Bag, parallelism int) []TaskCategory {
+	out, _ := c.ProjectAllCtx(context.Background(), bags, parallelism)
+	return out
+}
+
+// ProjectAllCtx projects a batch with cancellation: cache hits are
+// filled first, then the misses fan out through the model's parallel
+// projection, all under one read lock (one model version per batch).
+// A cancelled ctx abandons the remaining projections and returns
+// ctx.Err().
+func (c *ConcurrentModel) ProjectAllCtx(ctx context.Context, bags []text.Bag, parallelism int) ([]TaskCategory, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return c.m.ProjectAll(bags, parallelism)
+	return c.projectAllLocked(ctx, bags, parallelism)
+}
+
+func (c *ConcurrentModel) projectAllLocked(ctx context.Context, bags []text.Bag, parallelism int) ([]TaskCategory, error) {
+	epoch := c.epoch.Load()
+	out := make([]TaskCategory, len(bags))
+	keys := make([]string, len(bags))
+	var missIdx []int
+	var missBags []text.Bag
+	for i, bag := range bags {
+		keys[i] = bagKey(bag)
+		if cat, ok := c.cache.get(keys[i], epoch); ok {
+			out[i] = cat
+			continue
+		}
+		missIdx = append(missIdx, i)
+		missBags = append(missBags, bag)
+	}
+	if len(missBags) > 0 {
+		cats, err := c.m.ProjectAllCtx(ctx, missBags, parallelism)
+		if err != nil {
+			return nil, err
+		}
+		for j, i := range missIdx {
+			out[i] = cats[j]
+			c.cache.put(keys[i], epoch, cats[j])
+		}
+	}
+	return out, nil
 }
 
 // Score returns worker i's predictive performance wᵢ·c (§4.2).
@@ -80,19 +176,46 @@ func (c *ConcurrentModel) SelectTopK(cat linalg.Vector, candidates []int, k int)
 }
 
 // SelectForTask is the end-to-end Algorithm 3 under the read lock, so
-// the projection and the ranking see the same posteriors.
+// the projection and the ranking see the same posteriors. The
+// projection is served through the cache.
 func (c *ConcurrentModel) SelectForTask(bag text.Bag, candidates []int, k int, rng *randx.RNG) []int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return c.m.SelectForTask(bag, candidates, k, rng)
+	cat := c.projectLocked(bag)
+	cv := cat.Mean()
+	if rng != nil {
+		cv = cat.Sample(rng)
+	}
+	return c.m.SelectTopK(cv, candidates, k)
 }
 
 // Rank orders the candidate workers best first for the task — the
 // Selector-interface form of SelectForTask.
 func (c *ConcurrentModel) Rank(bag text.Bag, candidates []int) []int {
+	return c.SelectForTask(bag, candidates, len(candidates), nil)
+}
+
+// RankBatch ranks every bag's top-k crowd in one read-lock scope:
+// projections fan out across GOMAXPROCS goroutines (cache hits are
+// free), then each category is ranked against the shared candidate
+// set. All selections see one model version — exactly what a loop of
+// Rank calls yields when no update commits in between, element-wise.
+// A cancelled ctx abandons the batch and returns ctx.Err().
+func (c *ConcurrentModel) RankBatch(ctx context.Context, bags []text.Bag, candidates []int, k int) ([][]int, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return c.m.Rank(bag, candidates)
+	cats, err := c.projectAllLocked(ctx, bags, runtime.GOMAXPROCS(0))
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]int, len(bags))
+	for i, cat := range cats {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		out[i] = c.m.SelectTopK(cat.Mean(), candidates, k)
+	}
+	return out, nil
 }
 
 // Skills returns a copy of worker i's posterior-mean skill vector.
@@ -121,9 +244,15 @@ func (c *ConcurrentModel) UpdateWorkerSkill(worker int, cats []TaskCategory, sco
 }
 
 // UpdateWorkerSkillDrift is UpdateWorkerSkill with Kalman-style
-// process noise, under the write lock.
+// process noise, under the write lock. A committed update (non-empty
+// evidence, successful solve) bumps the epoch, invalidating every
+// cached projection.
 func (c *ConcurrentModel) UpdateWorkerSkillDrift(worker int, cats []TaskCategory, scores []float64, processVar float64) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.m.UpdateWorkerSkillDrift(worker, cats, scores, processVar)
+	err := c.m.UpdateWorkerSkillDrift(worker, cats, scores, processVar)
+	if err == nil && len(cats) > 0 {
+		c.epoch.Add(1)
+	}
+	return err
 }

@@ -29,6 +29,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"crowdselect/internal/linalg"
 	"crowdselect/internal/text"
@@ -177,6 +178,13 @@ type Model struct {
 	// Cached inverses maintained alongside the parameters.
 	sigmaWInv *linalg.Matrix
 	sigmaCInv *linalg.Matrix
+
+	// allWorkers is the shared identity candidate slice [0, M), built
+	// lazily for SelectTopK's nil-candidates path so serving does not
+	// allocate an M-element slice per selection. rank.TopK only reads
+	// candidates, so sharing one slice across goroutines is safe.
+	allWorkersOnce sync.Once
+	allWorkers     []int
 }
 
 // ErrNoData is returned when Train is given nothing to learn from.

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"crowdselect/internal/linalg"
 	"crowdselect/internal/optimize"
@@ -31,6 +33,45 @@ func (t TaskCategory) Sample(rng *randx.RNG) linalg.Vector {
 	return rng.NormalVecDiag(t.Lambda, sigma)
 }
 
+// projectScratch holds the per-call working set of Project: the
+// in-vocabulary filter, the φ matrix, and the optimizer's start and
+// accumulator vectors. Pooled because Project is the serving hot path
+// — at batch arrival rates these allocations dominated the profile.
+// Returned TaskCategory vectors never alias the scratch.
+type projectScratch struct {
+	ids    []int
+	counts []float64
+	phi    linalg.Matrix
+	logits linalg.Vector
+	tokSum linalg.Vector
+	x0     linalg.Vector
+}
+
+var projectScratchPool = sync.Pool{New: func() any { return new(projectScratch) }}
+
+// vec returns a zeroed length-n view of buf, growing it as needed.
+func scratchVec(buf *linalg.Vector, n int) linalg.Vector {
+	if cap(*buf) < n {
+		*buf = make(linalg.Vector, n)
+	}
+	v := (*buf)[:n]
+	for i := range v {
+		v[i] = 0
+	}
+	return v
+}
+
+// phiFor shapes the scratch φ matrix to rows×cols, reusing its backing
+// array. Rows are fully overwritten before being read, so no zeroing.
+func (sc *projectScratch) phiFor(rows, cols int) *linalg.Matrix {
+	if cap(sc.phi.Data) < rows*cols {
+		sc.phi.Data = make([]float64, rows*cols)
+	}
+	sc.phi.Rows, sc.phi.Cols = rows, cols
+	sc.phi.Data = sc.phi.Data[:rows*cols]
+	return &sc.phi
+}
+
 // Project estimates the latent category of a new, unscored task
 // (Algorithm 3, first phase): it iterates the φ update (Eq. 12), the ε
 // update (Eq. 13) and the conjugate-gradient update of (λ_c, ν_c) with
@@ -41,20 +82,22 @@ func (m *Model) Project(bag text.Bag) TaskCategory {
 	k := m.K
 	lam := m.MuC.Clone()
 	nu2 := m.SigmaC.Diag()
+	sc := projectScratchPool.Get().(*projectScratch)
+	defer projectScratchPool.Put(sc)
 	// Keep only in-vocabulary terms.
-	ids := make([]int, 0, len(bag.IDs))
-	counts := make([]float64, 0, len(bag.IDs))
+	ids, counts := sc.ids[:0], sc.counts[:0]
 	for p, v := range bag.IDs {
 		if v >= 0 && v < m.V {
 			ids = append(ids, v)
 			counts = append(counts, bag.Counts[p])
 		}
 	}
+	sc.ids, sc.counts = ids, counts // keep grown capacity pooled
 	if len(ids) == 0 {
 		return TaskCategory{Lambda: lam, Nu2: nu2}
 	}
-	phi := linalg.NewMatrix(len(ids), k)
-	logits := make(linalg.Vector, k)
+	phi := sc.phiFor(len(ids), k)
+	logits := scratchVec(&sc.logits, k)
 	eps := 0.0
 
 	for round := 0; round < m.projectInner(); round++ {
@@ -78,14 +121,14 @@ func (m *Model) Project(bag text.Bag) TaskCategory {
 			k:         k,
 			muC:       m.MuC,
 			sigmaCInv: m.sigmaCInv,
-			tokSum:    linalg.NewVector(k),
+			tokSum:    scratchVec(&sc.tokSum, k),
 			eps:       eps,
 		}
 		for p := range ids {
 			obj.total += counts[p]
 			obj.tokSum.AddScaledInPlace(counts[p], phi.Row(p))
 		}
-		x0 := make(linalg.Vector, 2*k)
+		x0 := scratchVec(&sc.x0, 2*k)
 		copy(x0[:k], lam)
 		for kk := 0; kk < k; kk++ {
 			x0[k+kk] = math.Log(nu2[kk])
@@ -130,15 +173,26 @@ func (m *Model) Score(worker int, c linalg.Vector) float64 {
 
 // SelectTopK implements Eq. 1: among candidates, the k workers
 // maximizing wᵢ·cⱼ, best first. A nil candidates slice means all
-// workers.
+// workers; that path shares one lazily built [0, M) slice instead of
+// allocating M ints per call (rank.TopK never mutates candidates).
 func (m *Model) SelectTopK(c linalg.Vector, candidates []int, k int) []int {
 	if candidates == nil {
-		candidates = make([]int, m.M)
-		for i := range candidates {
-			candidates[i] = i
-		}
+		candidates = m.allWorkerIDs()
 	}
 	return rank.TopK(candidates, func(id int) float64 { return m.Score(id, c) }, k)
+}
+
+// allWorkerIDs returns the shared identity candidate slice [0, M).
+// Callers must treat it as read-only.
+func (m *Model) allWorkerIDs() []int {
+	m.allWorkersOnce.Do(func() {
+		ids := make([]int, m.M)
+		for i := range ids {
+			ids[i] = i
+		}
+		m.allWorkers = ids
+	})
+	return m.allWorkers
 }
 
 // SelectForTask is the end-to-end Algorithm 3: project the task into
@@ -160,13 +214,28 @@ func (m *Model) SelectForTask(bag text.Bag, candidates []int, k int, rng *randx.
 // read-only model state. It serves the high-rate arrival setting the
 // paper motivates incremental crowd-selection with (§1).
 func (m *Model) ProjectAll(bags []text.Bag, parallelism int) []TaskCategory {
+	out, _ := m.ProjectAllCtx(context.Background(), bags, parallelism)
+	return out
+}
+
+// ProjectAllCtx is ProjectAll with cancellation: each worker checks ctx
+// between projections and the call returns ctx.Err() once the batch is
+// abandoned, so a disconnected client stops burning CPU mid-batch
+// rather than projecting tasks nobody will read.
+func (m *Model) ProjectAllCtx(ctx context.Context, bags []text.Bag, parallelism int) ([]TaskCategory, error) {
 	out := make([]TaskCategory, len(bags))
 	parallelFor(len(bags), parallelism, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
+			if ctx.Err() != nil {
+				return
+			}
 			out[i] = m.Project(bags[i])
 		}
 	})
-	return out
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // SkillSpectrum returns the descending eigenvalues of the learned

@@ -1,0 +1,323 @@
+// Package crowdclient is the typed Go client for the crowdd v1 HTTP
+// API (crowddb.Server). It owns the transport policy every caller
+// wants and none should re-implement: per-request timeouts, bounded
+// retries with exponential backoff plus jitter — connection errors
+// always (for mutations only when the dial failed, so a request that
+// may have reached the server is never sent twice), and 5xx responses
+// on idempotent GETs.
+//
+// Non-2xx responses decode the server's error envelope
+// {"error": {"code", "message"}} into *APIError, so callers can branch
+// on the stable code without string matching.
+package crowdclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"crowdselect/internal/crowddb"
+)
+
+// Options tunes a Client; the zero value selects the defaults noted
+// per field.
+type Options struct {
+	// Timeout bounds each HTTP request end to end (default 10s).
+	// Ignored when HTTPClient is set.
+	Timeout time.Duration
+	// Retries is the maximum number of retry attempts after the first
+	// failure (default 3). Negative disables retrying.
+	Retries int
+	// Backoff is the delay before the first retry; it doubles per
+	// attempt, capped at 5s, with up to 50% random jitter subtracted so
+	// synchronized clients fan out (default 200ms).
+	Backoff time.Duration
+	// HTTPClient overrides the transport entirely (tests, custom TLS).
+	HTTPClient *http.Client
+	// Sleep replaces time.Sleep between retries (test hook).
+	Sleep func(time.Duration)
+}
+
+// Client talks to one crowdd base URL. It is safe for concurrent use.
+type Client struct {
+	base    string
+	hc      *http.Client
+	retries int
+	backoff time.Duration
+	sleep   func(time.Duration)
+}
+
+// New returns a client for the crowdd at baseURL (e.g.
+// "http://localhost:8080"); a trailing slash is trimmed.
+func New(baseURL string, opts Options) *Client {
+	if opts.Timeout <= 0 {
+		opts.Timeout = 10 * time.Second
+	}
+	if opts.Retries == 0 {
+		opts.Retries = 3
+	} else if opts.Retries < 0 {
+		opts.Retries = 0
+	}
+	if opts.Backoff <= 0 {
+		opts.Backoff = 200 * time.Millisecond
+	}
+	if opts.HTTPClient == nil {
+		opts.HTTPClient = &http.Client{Timeout: opts.Timeout}
+	}
+	if opts.Sleep == nil {
+		opts.Sleep = time.Sleep
+	}
+	return &Client{
+		base:    strings.TrimRight(baseURL, "/"),
+		hc:      opts.HTTPClient,
+		retries: opts.Retries,
+		backoff: opts.Backoff,
+		sleep:   opts.Sleep,
+	}
+}
+
+// APIError is a non-2xx response, carrying the server's error envelope
+// when it sent one.
+type APIError struct {
+	// StatusCode is the HTTP status, e.g. 404.
+	StatusCode int
+	// Status is the full status line, e.g. "404 Not Found".
+	Status string
+	// Code is the envelope's machine-readable class ("bad_request",
+	// "not_found", …); empty when the body was not an envelope.
+	Code string
+	// Message is the envelope's human-readable detail, or the raw body.
+	Message string
+}
+
+func (e *APIError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("%s: %s [%s]", e.Status, e.Message, e.Code)
+	}
+	return fmt.Sprintf("%s: %s", e.Status, e.Message)
+}
+
+// backoffFor computes the delay before retry attempt n (1-based):
+// exponential from the base, capped at 5s, with up to 50% random
+// jitter subtracted.
+func (c *Client) backoffFor(n int) time.Duration {
+	d := c.backoff << (n - 1)
+	if max := 5 * time.Second; d > max {
+		d = max
+	}
+	return d - time.Duration(rand.Int63n(int64(d)/2+1))
+}
+
+// retriableErr reports whether a transport error may be retried for
+// the given method. GETs are idempotent, so any transport failure is
+// fair game; for mutating requests only dial errors are safe — the
+// request never reached the server, so retrying cannot double-apply.
+func retriableErr(method string, err error) bool {
+	if method == http.MethodGet {
+		return true
+	}
+	var op *net.OpError
+	return errors.As(err, &op) && op.Op == "dial"
+}
+
+// do issues the request with the retry policy: transport errors per
+// retriableErr, and 5xx responses on GETs. The response is the first
+// success or non-retriable status; err is the final failure after the
+// retry budget is spent. A cancelled ctx stops the retry loop.
+func (c *Client) do(ctx context.Context, method, url string, body []byte) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			c.sleep(c.backoffFor(attempt))
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		var reader io.Reader
+		if body != nil {
+			reader = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, url, reader)
+		if err != nil {
+			return nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			lastErr = err
+			if ctx.Err() != nil || !retriableErr(method, err) {
+				return nil, err
+			}
+			continue
+		}
+		if resp.StatusCode >= 500 && method == http.MethodGet && attempt < c.retries {
+			payload, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			lastErr = fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(payload)))
+			continue
+		}
+		return resp, nil
+	}
+	return nil, fmt.Errorf("after %d attempts: %w", c.retries+1, lastErr)
+}
+
+// Do issues one API request and returns the raw response payload; path
+// is relative to the base URL (e.g. "/api/v1/stats") and a non-nil
+// body is sent as JSON. Non-2xx responses return *APIError. Typed
+// methods below cover the whole v1 surface; Do is the escape hatch for
+// endpoints with free-form payloads (query, metrics).
+func (c *Client) Do(ctx context.Context, method, path string, body any) ([]byte, error) {
+	var payload []byte
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return nil, err
+		}
+		payload = b
+	}
+	resp, err := c.do(ctx, method, c.base+path, payload)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 300 {
+		return nil, apiError(resp, out)
+	}
+	return out, nil
+}
+
+// apiError builds the *APIError for a non-2xx response, decoding the
+// server's envelope when present.
+func apiError(resp *http.Response, body []byte) *APIError {
+	e := &APIError{
+		StatusCode: resp.StatusCode,
+		Status:     resp.Status,
+		Message:    strings.TrimSpace(string(body)),
+	}
+	var env crowddb.ErrorEnvelope
+	if err := json.Unmarshal(body, &env); err == nil && env.Error.Code != "" {
+		e.Code = env.Error.Code
+		e.Message = env.Error.Message
+	}
+	return e
+}
+
+// get decodes a GET response into out.
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	b, err := c.Do(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(b, out)
+}
+
+// post sends body and, when out is non-nil, decodes the response.
+func (c *Client) post(ctx context.Context, path string, body, out any) error {
+	b, err := c.Do(ctx, http.MethodPost, path, body)
+	if err != nil {
+		return err
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(b, out)
+}
+
+// SubmitTask submits one task (POST /api/v1/tasks); k ≤ 0 selects the
+// server's default crowd size.
+func (c *Client) SubmitTask(ctx context.Context, text string, k int) (crowddb.SubmitResponse, error) {
+	var out crowddb.SubmitResponse
+	err := c.post(ctx, "/api/v1/tasks", crowddb.SubmitRequest{Text: text, K: k}, &out)
+	return out, err
+}
+
+// SubmitBatch submits a whole batch in one round trip
+// (POST /api/v1/tasks:batch) and returns one result per task, in
+// request order.
+func (c *Client) SubmitBatch(ctx context.Context, tasks []crowddb.SubmitRequest) ([]crowddb.SubmitResponse, error) {
+	var out crowddb.BatchSubmitResponse
+	err := c.post(ctx, "/api/v1/tasks:batch", crowddb.BatchSubmitRequest{Tasks: tasks}, &out)
+	return out.Results, err
+}
+
+// GetTask fetches a stored task (GET /api/v1/tasks/{id}).
+func (c *Client) GetTask(ctx context.Context, id int) (crowddb.TaskRecord, error) {
+	var out crowddb.TaskRecord
+	err := c.get(ctx, "/api/v1/tasks/"+strconv.Itoa(id), &out)
+	return out, err
+}
+
+// Answer records one worker's answer
+// (POST /api/v1/tasks/{id}/answers).
+func (c *Client) Answer(ctx context.Context, taskID, workerID int, answer string) error {
+	return c.post(ctx, fmt.Sprintf("/api/v1/tasks/%d/answers", taskID),
+		map[string]any{"worker": workerID, "answer": answer}, nil)
+}
+
+// Feedback resolves a task with per-worker scores
+// (POST /api/v1/tasks/{id}/feedback) and returns the resolved record.
+func (c *Client) Feedback(ctx context.Context, taskID int, scores map[int]float64) (crowddb.TaskRecord, error) {
+	wire := make(map[string]float64, len(scores))
+	for w, s := range scores {
+		wire[strconv.Itoa(w)] = s
+	}
+	var out crowddb.TaskRecord
+	err := c.post(ctx, fmt.Sprintf("/api/v1/tasks/%d/feedback", taskID),
+		map[string]any{"scores": wire}, &out)
+	return out, err
+}
+
+// GetWorker fetches a worker row (GET /api/v1/workers/{id}).
+func (c *Client) GetWorker(ctx context.Context, id int) (crowddb.Worker, error) {
+	var out crowddb.Worker
+	err := c.get(ctx, "/api/v1/workers/"+strconv.Itoa(id), &out)
+	return out, err
+}
+
+// SetPresence flips a worker's online flag
+// (POST /api/v1/workers/{id}/presence).
+func (c *Client) SetPresence(ctx context.Context, id int, online bool) error {
+	return c.post(ctx, fmt.Sprintf("/api/v1/workers/%d/presence", id),
+		map[string]any{"online": online}, nil)
+}
+
+// Stats fetches the crowd database counters (GET /api/v1/stats).
+func (c *Client) Stats(ctx context.Context) (crowddb.StatsResponse, error) {
+	var out crowddb.StatsResponse
+	err := c.get(ctx, "/api/v1/stats", &out)
+	return out, err
+}
+
+// Query runs one crowdql statement (POST /api/v1/query) and returns
+// the raw JSON result.
+func (c *Client) Query(ctx context.Context, q string) (json.RawMessage, error) {
+	return c.Do(ctx, http.MethodPost, "/api/v1/query", map[string]string{"q": q})
+}
+
+// MetricsRaw fetches the metrics snapshot (GET /api/v1/metrics) as raw
+// JSON.
+func (c *Client) MetricsRaw(ctx context.Context) (json.RawMessage, error) {
+	return c.Do(ctx, http.MethodGet, "/api/v1/metrics", nil)
+}
+
+// Ready reports nil once GET /readyz answers 200 — the readiness probe
+// for scripts that wait out boot-time recovery.
+func (c *Client) Ready(ctx context.Context) error {
+	_, err := c.Do(ctx, http.MethodGet, "/readyz", nil)
+	return err
+}

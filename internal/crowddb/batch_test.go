@@ -1,0 +1,131 @@
+package crowddb
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"crowdselect/internal/text"
+)
+
+// TestSubmitBatchMatchesSequential: a batch submission must select
+// exactly the crowds that one-at-a-time submissions select — same task
+// ids, same workers, element-wise — including per-element k overrides.
+// Two managers are built from the same deterministic fixture so the
+// comparison runs on identical models and stores.
+func TestSubmitBatchMatchesSequential(t *testing.T) {
+	mgrBatch, d := managerFixture(t)
+	mgrSeq, _ := managerFixture(t)
+
+	reqs := []TaskSubmission{
+		{Text: strings.Join(d.Tasks[0].Tokens, " "), K: 2},
+		{Text: strings.Join(d.Tasks[1].Tokens, " "), K: 3},
+		{Text: strings.Join(d.Tasks[2].Tokens, " ")}, // K=0: manager default
+		{Text: strings.Join(d.Tasks[3].Tokens, " "), K: 1},
+		{Text: strings.Join(d.Tasks[0].Tokens, " "), K: 4}, // repeat text, larger k
+	}
+	batch, err := mgrBatch.SubmitBatch(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(reqs) {
+		t.Fatalf("batch returned %d submissions for %d requests", len(batch), len(reqs))
+	}
+	for i, r := range reqs {
+		seq, err := mgrSeq.SubmitTask(context.Background(), r.Text, r.K)
+		if err != nil {
+			t.Fatalf("sequential submit %d: %v", i, err)
+		}
+		if batch[i].Task.ID != seq.Task.ID {
+			t.Errorf("element %d: task id %d vs sequential %d", i, batch[i].Task.ID, seq.Task.ID)
+		}
+		if !reflect.DeepEqual(batch[i].Workers, seq.Workers) {
+			t.Errorf("element %d: workers %v vs sequential %v", i, batch[i].Workers, seq.Workers)
+		}
+		if batch[i].Task.Status != TaskAssigned {
+			t.Errorf("element %d: status %v", i, batch[i].Task.Status)
+		}
+	}
+}
+
+// TestSubmitBatchValidation: empty batches and offline crowds are
+// rejected as bad requests.
+func TestSubmitBatchValidation(t *testing.T) {
+	mgr, _ := managerFixture(t)
+	if _, err := mgr.SubmitBatch(context.Background(), nil); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("empty batch: %v", err)
+	}
+	for i := 0; i < mgr.Store().NumWorkers(); i++ {
+		if err := mgr.Store().SetOnline(i, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := mgr.SubmitBatch(context.Background(), []TaskSubmission{{Text: "anything", K: 1}})
+	if !errors.Is(err, ErrBadRequest) {
+		t.Errorf("no online workers: %v", err)
+	}
+}
+
+// TestSubmitBatchContextCancel: a cancelled context aborts the batch
+// before (or during) ranking.
+func TestSubmitBatchContextCancel(t *testing.T) {
+	mgr, d := managerFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := mgr.SubmitBatch(ctx, []TaskSubmission{{Text: strings.Join(d.Tasks[0].Tokens, " "), K: 2}})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled batch: %v", err)
+	}
+	if _, err := mgr.SubmitTask(ctx, "x y z", 1); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled submit: %v", err)
+	}
+	if _, err := mgr.ResolveTask(ctx, 0, map[int]float64{0: 1}); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled resolve: %v", err)
+	}
+}
+
+// slowSelector blocks each Rank until released, so a test can cancel a
+// batch mid-flight.
+type slowSelector struct {
+	staticSelector
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (s *slowSelector) Rank(bag text.Bag, candidates []int) []int {
+	s.entered <- struct{}{}
+	<-s.release
+	return s.staticSelector.Rank(bag, candidates)
+}
+
+// TestSubmitBatchCancelMidFlight: cancelling while the (sequential
+// fallback) ranking loop is in progress stops the remaining elements.
+func TestSubmitBatchCancelMidFlight(t *testing.T) {
+	d, _ := trainedFixture(t)
+	store := NewStore()
+	if _, err := store.AddWorker(0, "w0"); err != nil {
+		t.Fatal(err)
+	}
+	sel := &slowSelector{entered: make(chan struct{}, 2), release: make(chan struct{})}
+	mgr, err := NewManager(store, d.Vocab, sel, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := mgr.SubmitBatch(ctx, []TaskSubmission{
+			{Text: "first task", K: 1},
+			{Text: "second task", K: 1},
+		})
+		done <- err
+	}()
+	<-sel.entered // ranking element 0
+	cancel()
+	close(sel.release)
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Errorf("mid-flight cancel: %v", err)
+	}
+}

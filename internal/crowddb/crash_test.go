@@ -2,6 +2,7 @@ package crowddb
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -86,7 +87,7 @@ func runCrashWorkload(t *testing.T, rig *durableRig, compactEvery int) (*expecta
 		}
 
 		text := fmt.Sprintf("crash round question %d about topic %d", cycle, rng.Intn(50))
-		sub, err := rig.mgr.SubmitTask(text, 2)
+		sub, err := rig.mgr.SubmitTask(context.Background(), text, 2)
 		if crash(err) {
 			return exp, true
 		}
@@ -112,7 +113,7 @@ func runCrashWorkload(t *testing.T, rig *durableRig, compactEvery int) (*expecta
 		for _, w := range sub.Workers {
 			scores[w] = float64(rng.Intn(6))
 		}
-		if _, err := rig.mgr.ResolveTask(sub.Task.ID, scores); crash(err) {
+		if _, err := rig.mgr.ResolveTask(context.Background(), sub.Task.ID, scores); crash(err) {
 			return exp, true
 		}
 		for w, sc := range scores {

@@ -1,6 +1,7 @@
 package crowddb
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -71,7 +72,7 @@ func openDurable(t *testing.T, dir string, d *corpus.Dataset, fresh *core.Model,
 // feedback.
 func (r *durableRig) resolveOneTask(t *testing.T, text string, scores []float64) TaskRecord {
 	t.Helper()
-	sub, err := r.mgr.SubmitTask(text, 2)
+	sub, err := r.mgr.SubmitTask(context.Background(), text, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func (r *durableRig) resolveOneTask(t *testing.T, text string, scores []float64)
 	for i, w := range sub.Workers {
 		sc[w] = scores[i%len(scores)]
 	}
-	rec, err := r.mgr.ResolveTask(sub.Task.ID, sc)
+	rec, err := r.mgr.ResolveTask(context.Background(), sub.Task.ID, sc)
 	if err != nil {
 		t.Fatal(err)
 	}

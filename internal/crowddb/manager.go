@@ -1,6 +1,7 @@
 package crowddb
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -14,6 +15,17 @@ import (
 type Selector interface {
 	Name() string
 	Rank(bag text.Bag, candidates []int) []int
+}
+
+// BatchRanker is the optional batched-selection hook: a Selector that
+// also implements it (as *core.ConcurrentModel does) ranks a whole
+// batch of tasks in one call — projections fan out across cores and
+// every selection sees one model version. The manager's SubmitBatch
+// uses it when available and falls back to sequential Rank calls
+// otherwise. Results must be element-wise identical to ranking each
+// bag alone (truncated to k).
+type BatchRanker interface {
+	RankBatch(ctx context.Context, bags []text.Bag, candidates []int, k int) ([][]int, error)
 }
 
 // SkillUpdater is the optional incremental-learning hook: when the
@@ -76,34 +88,110 @@ type Submission struct {
 	Workers []int
 }
 
+// TaskSubmission is one element of a SubmitBatch request. K ≤ 0 uses
+// the manager default crowd size.
+type TaskSubmission struct {
+	Text string
+	K    int
+}
+
 // SubmitTask runs the blue path of Figure 1: store the task, project
 // it into the latent category space, rank the online workers, keep the
-// top k, and dispatch. k ≤ 0 uses the manager default.
-func (m *Manager) SubmitTask(taskText string, k int) (Submission, error) {
-	if k <= 0 {
-		k = m.k
-	}
-	tokens := text.Tokenize(taskText)
-	task, err := m.store.AddTask(taskText, tokens)
+// top k, and dispatch. k ≤ 0 uses the manager default. ctx cancels
+// the selection work (a disconnected HTTP client stops the
+// projection).
+func (m *Manager) SubmitTask(ctx context.Context, taskText string, k int) (Submission, error) {
+	subs, err := m.SubmitBatch(ctx, []TaskSubmission{{Text: taskText, K: k}})
 	if err != nil {
 		return Submission{}, err
+	}
+	return subs[0], nil
+}
+
+// SubmitBatch runs the blue path of Figure 1 for a whole batch in one
+// round trip: every task is stored (ids are assigned in input order),
+// all bags are projected and ranked together — through the selector's
+// BatchRanker fast path when available, which fans projections across
+// cores — and each task is dispatched to its own top-k crowd.
+// Selections are element-wise identical to submitting the tasks one by
+// one with no interleaved feedback.
+//
+// The batch is not transactional: a mid-batch failure (or ctx
+// cancellation during ranking) returns the error and leaves already
+// stored tasks open and unassigned, exactly as if their individual
+// submissions had failed at the same point.
+func (m *Manager) SubmitBatch(ctx context.Context, reqs []TaskSubmission) ([]Submission, error) {
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("%w: empty batch", ErrBadRequest)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	tasks := make([]TaskRecord, len(reqs))
+	bags := make([]text.Bag, len(reqs))
+	ks := make([]int, len(reqs))
+	kmax := 0
+	for i, r := range reqs {
+		ks[i] = r.K
+		if ks[i] <= 0 {
+			ks[i] = m.k
+		}
+		if ks[i] > kmax {
+			kmax = ks[i]
+		}
+		tokens := text.Tokenize(r.Text)
+		task, err := m.store.AddTask(r.Text, tokens)
+		if err != nil {
+			return nil, err
+		}
+		tasks[i] = task
+		bags[i] = text.NewBagKnown(m.vocab, tokens)
 	}
 	online := m.store.OnlineWorkers()
 	if len(online) == 0 {
-		return Submission{}, fmt.Errorf("%w: no online workers", ErrBadRequest)
+		return nil, fmt.Errorf("%w: no online workers", ErrBadRequest)
 	}
-	ranked := m.sel.Rank(text.NewBagKnown(m.vocab, tokens), online)
-	if len(ranked) > k {
-		ranked = ranked[:k]
-	}
-	if err := m.store.Assign(task.ID, ranked); err != nil {
-		return Submission{}, err
-	}
-	stored, err := m.store.GetTask(task.ID)
+	ranked, err := m.rankBatch(ctx, bags, online, kmax)
 	if err != nil {
-		return Submission{}, err
+		return nil, err
 	}
-	return Submission{Task: stored, Workers: ranked}, nil
+	out := make([]Submission, len(reqs))
+	for i := range reqs {
+		crowd := ranked[i]
+		if len(crowd) > ks[i] {
+			crowd = crowd[:ks[i]]
+		}
+		if err := m.store.Assign(tasks[i].ID, crowd); err != nil {
+			return nil, err
+		}
+		stored, err := m.store.GetTask(tasks[i].ID)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = Submission{Task: stored, Workers: crowd}
+	}
+	return out, nil
+}
+
+// rankBatch ranks every bag against the candidate set, truncated to k:
+// one BatchRanker call when the selector supports it, otherwise a
+// sequential loop with a cancellation check per task.
+func (m *Manager) rankBatch(ctx context.Context, bags []text.Bag, candidates []int, k int) ([][]int, error) {
+	if br, ok := m.sel.(BatchRanker); ok {
+		return br.RankBatch(ctx, bags, candidates, k)
+	}
+	out := make([][]int, len(bags))
+	for i, bag := range bags {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		ranked := m.sel.Rank(bag, candidates)
+		if len(ranked) > k {
+			ranked = ranked[:k]
+		}
+		out[i] = ranked
+	}
+	return out, nil
 }
 
 // CollectAnswer records one worker's answer to a dispatched task.
@@ -114,8 +202,8 @@ func (m *Manager) CollectAnswer(taskID, workerID int, answer string) error {
 // RedispatchExpired reopens assignments older than maxAge that got no
 // answers and dispatches each reopened task to a fresh crowd of k
 // workers (the dispatcher's timeout path). It returns the redispatched
-// task ids.
-func (m *Manager) RedispatchExpired(maxAge time.Duration, k int) ([]int, error) {
+// task ids. ctx cancels the per-task selection loop.
+func (m *Manager) RedispatchExpired(ctx context.Context, maxAge time.Duration, k int) ([]int, error) {
 	if k <= 0 {
 		k = m.k
 	}
@@ -128,6 +216,9 @@ func (m *Manager) RedispatchExpired(maxAge time.Duration, k int) ([]int, error) 
 		return nil, fmt.Errorf("%w: no online workers to redispatch to", ErrBadRequest)
 	}
 	for _, id := range reopened {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		task, err := m.store.GetTask(id)
 		if err != nil {
 			return nil, err
@@ -147,8 +238,14 @@ func (m *Manager) RedispatchExpired(maxAge time.Duration, k int) ([]int, error) 
 // red path of Figure 1) and, when the selector supports incremental
 // learning, updates the answerers' latent skills. A failed skill
 // update is reported alongside the already-resolved record: the store
-// transition committed, the model update did not.
-func (m *Manager) ResolveTask(taskID int, scores map[int]float64) (TaskRecord, error) {
+// transition committed, the model update did not. A ctx already
+// cancelled at entry aborts before the store commits; once the
+// resolve has committed the skill update always runs, so the model
+// never silently diverges from the store.
+func (m *Manager) ResolveTask(ctx context.Context, taskID int, scores map[int]float64) (TaskRecord, error) {
+	if err := ctx.Err(); err != nil {
+		return TaskRecord{}, err
+	}
 	m.resolveMu.RLock()
 	defer m.resolveMu.RUnlock()
 	rec, err := m.store.Resolve(taskID, scores)

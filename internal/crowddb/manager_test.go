@@ -1,6 +1,7 @@
 package crowddb
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -64,7 +65,7 @@ func TestNewManagerValidation(t *testing.T) {
 func TestSubmitTaskPipeline(t *testing.T) {
 	mgr, d := managerFixture(t)
 	taskText := d.Tasks[0].Tokens[0] + " " + d.Tasks[0].Tokens[1]
-	sub, err := mgr.SubmitTask(taskText, 3)
+	sub, err := mgr.SubmitTask(context.Background(), taskText, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestSubmitTaskPipeline(t *testing.T) {
 		}
 	}
 	scores := map[int]float64{sub.Workers[0]: 5, sub.Workers[1]: 2, sub.Workers[2]: 0}
-	rec, err := mgr.ResolveTask(sub.Task.ID, scores)
+	rec, err := mgr.ResolveTask(context.Background(), sub.Task.ID, scores)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestSubmitTaskPipeline(t *testing.T) {
 
 func TestSubmitDefaultK(t *testing.T) {
 	mgr, _ := managerFixture(t)
-	sub, err := mgr.SubmitTask("some task text", 0)
+	sub, err := mgr.SubmitTask(context.Background(), "some task text", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestSubmitRespectsPresence(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	sub, err := mgr.SubmitTask("anything at all", 5)
+	sub, err := mgr.SubmitTask(context.Background(), "anything at all", 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestSubmitRespectsPresence(t *testing.T) {
 	// No online workers at all is an error.
 	mgr.Store().SetOnline(0, false)
 	mgr.Store().SetOnline(1, false)
-	if _, err := mgr.SubmitTask("x", 1); !errors.Is(err, ErrBadRequest) {
+	if _, err := mgr.SubmitTask(context.Background(), "x", 1); !errors.Is(err, ErrBadRequest) {
 		t.Errorf("no-online submit: %v", err)
 	}
 }
@@ -151,7 +152,7 @@ func TestResolveUpdatesSkillsIncrementally(t *testing.T) {
 	for _, tok := range d.Tasks[1].Tokens {
 		taskText += tok + " "
 	}
-	sub, err := mgr.SubmitTask(taskText, 2)
+	sub, err := mgr.SubmitTask(context.Background(), taskText, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +161,7 @@ func TestResolveUpdatesSkillsIncrementally(t *testing.T) {
 	if err := mgr.CollectAnswer(sub.Task.ID, w0, "a"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := mgr.ResolveTask(sub.Task.ID, map[int]float64{w0: 9}); err != nil {
+	if _, err := mgr.ResolveTask(context.Background(), sub.Task.ID, map[int]float64{w0: 9}); err != nil {
 		t.Fatal(err)
 	}
 	if m.Skills(w0).Equal(before, 0) {
@@ -184,14 +185,14 @@ func TestManagerWithBaselineSelector(t *testing.T) {
 	if mgr.SelectorName() != "static" {
 		t.Errorf("SelectorName = %q", mgr.SelectorName())
 	}
-	sub, err := mgr.SubmitTask("whatever", 2)
+	sub, err := mgr.SubmitTask(context.Background(), "whatever", 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := mgr.CollectAnswer(sub.Task.ID, sub.Workers[0], "a"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := mgr.ResolveTask(sub.Task.ID, map[int]float64{sub.Workers[0]: 1}); err != nil {
+	if _, err := mgr.ResolveTask(context.Background(), sub.Task.ID, map[int]float64{sub.Workers[0]: 1}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -202,12 +203,12 @@ func TestRedispatchExpired(t *testing.T) {
 	now := t0
 	mgr.Store().SetClock(func() time.Time { return now })
 
-	sub, err := mgr.SubmitTask("a question nobody answers", 2)
+	sub, err := mgr.SubmitTask(context.Background(), "a question nobody answers", 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	now = t0.Add(2 * time.Hour)
-	redispatched, err := mgr.RedispatchExpired(time.Hour, 3)
+	redispatched, err := mgr.RedispatchExpired(context.Background(), time.Hour, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +223,7 @@ func TestRedispatchExpired(t *testing.T) {
 		t.Errorf("redispatched task = %+v", got)
 	}
 	// Nothing stale: no-op.
-	redispatched, err = mgr.RedispatchExpired(time.Hour, 2)
+	redispatched, err = mgr.RedispatchExpired(context.Background(), time.Hour, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,14 +250,14 @@ func TestManagerOverJournaledStore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sub, err := mgr.SubmitTask("some task about anything", 2)
+	sub, err := mgr.SubmitTask(context.Background(), "some task about anything", 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := mgr.CollectAnswer(sub.Task.ID, sub.Workers[0], "a"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := mgr.ResolveTask(sub.Task.ID, map[int]float64{sub.Workers[0]: 3}); err != nil {
+	if _, err := mgr.ResolveTask(context.Background(), sub.Task.ID, map[int]float64{sub.Workers[0]: 3}); err != nil {
 		t.Fatal(err)
 	}
 	if err := closeFn(); err != nil {

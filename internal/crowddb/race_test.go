@@ -2,6 +2,7 @@ package crowddb
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -37,7 +38,7 @@ func TestConcurrentSelectVsFeedback(t *testing.T) {
 	type target struct{ task, worker int }
 	targets := make([]target, 0, nResolve)
 	for i := 0; i < nResolve; i++ {
-		sub, err := mgr.SubmitTask(fmt.Sprintf("question %d about database indexes", i), 1)
+		sub, err := mgr.SubmitTask(context.Background(), fmt.Sprintf("question %d about database indexes", i), 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -93,10 +94,10 @@ func TestConcurrentSelectVsFeedback(t *testing.T) {
 		t.Fatal(err)
 	}
 	snap := decode[MetricsSnapshot](t, resp)
-	if got := snap.Endpoints["POST /api/tasks"].Count; got < 4*8 {
+	if got := snap.Endpoints["POST /api/v1/tasks"].Count; got < 4*8 {
 		t.Errorf("metrics counted %d submits, want >= 32", got)
 	}
-	if got := snap.Endpoints["POST /api/tasks/{id}/feedback"].Count; got != nResolve {
+	if got := snap.Endpoints["POST /api/v1/tasks/{id}/feedback"].Count; got != nResolve {
 		t.Errorf("metrics counted %d feedback posts, want %d", got, nResolve)
 	}
 }

@@ -1,6 +1,7 @@
 package crowddb
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -12,21 +13,41 @@ import (
 	"time"
 )
 
-// Server exposes the crowd manager over HTTP:
+// Server exposes the crowd manager over a versioned HTTP API:
 //
-//	POST /api/tasks                     {"text": "...", "k": 3}
-//	GET  /api/tasks/{id}
-//	POST /api/tasks/{id}/answers        {"worker": 2, "answer": "..."}
-//	POST /api/tasks/{id}/feedback       {"scores": {"2": 4}}
-//	GET  /api/workers/{id}
-//	POST /api/workers/{id}/presence     {"online": false}
-//	GET  /api/stats
-//	GET  /api/metrics
+//	POST /api/v1/tasks                     {"text": "...", "k": 3}
+//	POST /api/v1/tasks:batch               {"tasks": [{"text": "...", "k": 3}, ...]}
+//	GET  /api/v1/tasks/{id}
+//	POST /api/v1/tasks/{id}/answers        {"worker": 2, "answer": "..."}
+//	POST /api/v1/tasks/{id}/feedback       {"scores": {"2": 4}}
+//	GET  /api/v1/workers/{id}
+//	POST /api/v1/workers/{id}/presence     {"online": false}
+//	GET  /api/v1/stats
+//	POST /api/v1/query                     {"q": "SELECT ..."}
+//	GET  /api/v1/metrics
+//
+// The unversioned /api/* paths of earlier releases are deprecated
+// aliases: ServeHTTP rewrites them to /api/v1/* before dispatch, so
+// both spellings share one handler and one metrics series (labeled
+// under the v1 path). New clients should use /api/v1 exclusively.
+//
+// Every non-2xx response carries one JSON error envelope:
+//
+//	{"error": {"code": "bad_request", "message": "empty task text"}}
+//
+// where code is a stable machine-readable class (bad_request,
+// not_found, method_not_allowed, over_capacity, client_closed_request,
+// unavailable, not_implemented, internal) and message is
+// human-readable detail.
+//
+// Handlers thread the request context into the manager, so a client
+// that disconnects mid-request cancels the in-flight selection work;
+// such aborts are reported as status 499 (client closed request).
 //
 // Every request passes through a recovery/metrics/logging middleware:
 // handler panics become 500 responses instead of killing the
 // connection, and per-endpoint counts, error counts and latency
-// quantiles accumulate for GET /api/metrics.
+// quantiles accumulate for GET /api/v1/metrics.
 //
 // Two probe endpoints sit outside /api for load balancers:
 //
@@ -42,7 +63,7 @@ import (
 type Server struct {
 	mgr        *Manager
 	mux        *http.ServeMux
-	query      QueryEngine // optional: POST /api/query
+	query      QueryEngine // optional: POST /api/v1/query
 	metrics    *Metrics
 	logf       func(format string, args ...any) // nil: quiet
 	ready      atomic.Bool
@@ -50,12 +71,24 @@ type Server struct {
 	durability func() DurabilitySnapshot // nil: no durability section
 }
 
-// QueryEngine executes crowdql statements; *crowdql.Engine satisfies
-// it. The indirection keeps crowddb free of a dependency on the query
-// package.
+// QueryEngine executes crowdql statements; crowdql.HTTPAdapter
+// satisfies it. The indirection keeps crowddb free of a dependency on
+// the query package. ctx is the request context: a disconnected client
+// cancels query-driven selection work.
 type QueryEngine interface {
-	Execute(q string) (any, error)
+	Execute(ctx context.Context, q string) (any, error)
 }
+
+// maxBatchTasks bounds one POST /api/v1/tasks:batch request. The cap
+// keeps a single request from monopolizing the selection path; clients
+// with more tasks split them across requests.
+const maxBatchTasks = 1024
+
+// statusClientClosedRequest reports a request aborted because the
+// client went away (context cancelled or deadline exceeded) — the
+// de facto 499 status popularized by nginx; net/http has no name
+// for it.
+const statusClientClosedRequest = 499
 
 // NewServer wraps a manager. The server starts ready; daemons that
 // recover state on boot call SetReady(false) before serving and flip
@@ -63,18 +96,19 @@ type QueryEngine interface {
 func NewServer(mgr *Manager) *Server {
 	s := &Server{mgr: mgr, mux: http.NewServeMux(), metrics: NewMetrics()}
 	s.ready.Store(true)
-	s.mux.HandleFunc("/api/tasks", s.handleTasks)
-	s.mux.HandleFunc("/api/tasks/", s.handleTaskSubtree)
-	s.mux.HandleFunc("/api/workers/", s.handleWorkerSubtree)
-	s.mux.HandleFunc("/api/stats", s.handleStats)
-	s.mux.HandleFunc("/api/query", s.handleQuery)
-	s.mux.HandleFunc("/api/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/api/v1/tasks", s.handleTasks)
+	s.mux.HandleFunc("/api/v1/tasks:batch", s.handleTasksBatch)
+	s.mux.HandleFunc("/api/v1/tasks/", s.handleTaskSubtree)
+	s.mux.HandleFunc("/api/v1/workers/", s.handleWorkerSubtree)
+	s.mux.HandleFunc("/api/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/api/v1/query", s.handleQuery)
+	s.mux.HandleFunc("/api/v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	return s
 }
 
-// SetQueryEngine enables POST /api/query {"q": "SELECT ..."}.
+// SetQueryEngine enables POST /api/v1/query {"q": "SELECT ..."}.
 func (s *Server) SetQueryEngine(e QueryEngine) { s.query = e }
 
 // SetLogger installs a request/panic log sink (log.Printf shaped).
@@ -98,7 +132,7 @@ func (s *Server) SetMaxInFlight(n int) {
 	s.inflight = make(chan struct{}, n)
 }
 
-// SetDurabilityStats adds a durability section to GET /api/metrics,
+// SetDurabilityStats adds a durability section to GET /api/v1/metrics,
 // fed by the given snapshot function (typically (*DB).Stats).
 func (s *Server) SetDurabilityStats(f func() DurabilitySnapshot) { s.durability = f }
 
@@ -141,7 +175,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, errors.New("empty query"))
 		return
 	}
-	res, err := s.query.Execute(req.Q)
+	res, err := s.query.Execute(r.Context(), req.Q)
 	if err != nil {
 		httpError(w, statusOf(err), err)
 		return
@@ -149,12 +183,26 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, res)
 }
 
+// legacyRewrite maps a deprecated unversioned /api/* path to its
+// /api/v1/* home, or returns "" when the path needs no rewrite.
+func legacyRewrite(path string) string {
+	if !strings.HasPrefix(path, "/api/") || strings.HasPrefix(path, "/api/v1/") || path == "/api/v1" {
+		return ""
+	}
+	return "/api/v1/" + strings.TrimPrefix(path, "/api/")
+}
+
 // ServeHTTP implements http.Handler. It is the middleware shell:
-// route, then record status/latency per endpoint and turn handler
-// panics into 500s.
+// rewrite deprecated /api/* paths onto /api/v1/*, route, then record
+// status/latency per endpoint (under the v1 label for both spellings)
+// and turn handler panics into 500s.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	sw := &statusWriter{ResponseWriter: w}
+	if v1 := legacyRewrite(r.URL.Path); v1 != "" {
+		r = r.Clone(r.Context())
+		r.URL.Path = v1
+	}
 	defer func() {
 		if p := recover(); p != nil {
 			if s.logf != nil {
@@ -220,8 +268,10 @@ func (w *statusWriter) status() int {
 }
 
 // endpointLabel normalizes a request to its route pattern — numeric
-// path segments collapse to {id} so /api/tasks/17/feedback and
-// /api/tasks/99/feedback share one metrics series.
+// path segments collapse to {id} so /api/v1/tasks/17/feedback and
+// /api/v1/tasks/99/feedback share one metrics series. Legacy /api/*
+// requests were rewritten before this runs, so both spellings land on
+// the v1 series.
 func endpointLabel(r *http.Request) string {
 	segs := strings.Split(r.URL.Path, "/")
 	for i, seg := range segs {
@@ -248,15 +298,32 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, snap)
 }
 
-type submitRequest struct {
+// SubmitRequest is the body of POST /api/v1/tasks and one element of a
+// batch submission. K ≤ 0 selects the manager's default crowd size.
+type SubmitRequest struct {
 	Text string `json:"text"`
 	K    int    `json:"k"`
 }
 
-type submitResponse struct {
+// SubmitResponse is the result of one task submission: the stored task
+// id, its selected crowd (best first), and the selector that ranked
+// it.
+type SubmitResponse struct {
 	TaskID  int    `json:"task_id"`
 	Workers []int  `json:"workers"`
 	Model   string `json:"model"`
+}
+
+// BatchSubmitRequest is the body of POST /api/v1/tasks:batch: up to
+// maxBatchTasks submissions served in one round trip.
+type BatchSubmitRequest struct {
+	Tasks []SubmitRequest `json:"tasks"`
+}
+
+// BatchSubmitResponse carries one SubmitResponse per submitted task,
+// in request order.
+type BatchSubmitResponse struct {
+	Results []SubmitResponse `json:"results"`
 }
 
 func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
@@ -264,7 +331,7 @@ func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
 		return
 	}
-	var req submitRequest
+	var req SubmitRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -273,16 +340,55 @@ func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, errors.New("empty task text"))
 		return
 	}
-	sub, err := s.mgr.SubmitTask(req.Text, req.K)
+	sub, err := s.mgr.SubmitTask(r.Context(), req.Text, req.K)
 	if err != nil {
 		httpError(w, statusOf(err), err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, submitResponse{
+	writeJSON(w, http.StatusCreated, SubmitResponse{
 		TaskID:  sub.Task.ID,
 		Workers: sub.Workers,
 		Model:   s.mgr.SelectorName(),
 	})
+}
+
+func (s *Server) handleTasksBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	var req BatchSubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Tasks) == 0 {
+		httpError(w, http.StatusBadRequest, errors.New("empty batch"))
+		return
+	}
+	if len(req.Tasks) > maxBatchTasks {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("batch of %d tasks exceeds the limit of %d", len(req.Tasks), maxBatchTasks))
+		return
+	}
+	reqs := make([]TaskSubmission, len(req.Tasks))
+	for i, t := range req.Tasks {
+		if strings.TrimSpace(t.Text) == "" {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("empty task text at index %d", i))
+			return
+		}
+		reqs[i] = TaskSubmission{Text: t.Text, K: t.K}
+	}
+	subs, err := s.mgr.SubmitBatch(r.Context(), reqs)
+	if err != nil {
+		httpError(w, statusOf(err), err)
+		return
+	}
+	model := s.mgr.SelectorName()
+	resp := BatchSubmitResponse{Results: make([]SubmitResponse, len(subs))}
+	for i, sub := range subs {
+		resp.Results[i] = SubmitResponse{TaskID: sub.Task.ID, Workers: sub.Workers, Model: model}
+	}
+	writeJSON(w, http.StatusCreated, resp)
 }
 
 type answerRequest struct {
@@ -295,7 +401,7 @@ type feedbackRequest struct {
 }
 
 func (s *Server) handleTaskSubtree(w http.ResponseWriter, r *http.Request) {
-	rest := strings.TrimPrefix(r.URL.Path, "/api/tasks/")
+	rest := strings.TrimPrefix(r.URL.Path, "/api/v1/tasks/")
 	parts := strings.Split(rest, "/")
 	id, err := strconv.Atoi(parts[0])
 	if err != nil {
@@ -336,7 +442,7 @@ func (s *Server) handleTaskSubtree(w http.ResponseWriter, r *http.Request) {
 			}
 			scores[wid] = v
 		}
-		rec, err := s.mgr.ResolveTask(id, scores)
+		rec, err := s.mgr.ResolveTask(r.Context(), id, scores)
 		if err != nil {
 			httpError(w, statusOf(err), err)
 			return
@@ -352,7 +458,7 @@ type presenceRequest struct {
 }
 
 func (s *Server) handleWorkerSubtree(w http.ResponseWriter, r *http.Request) {
-	rest := strings.TrimPrefix(r.URL.Path, "/api/workers/")
+	rest := strings.TrimPrefix(r.URL.Path, "/api/v1/workers/")
 	parts := strings.Split(rest, "/")
 	id, err := strconv.Atoi(parts[0])
 	if err != nil {
@@ -383,7 +489,9 @@ func (s *Server) handleWorkerSubtree(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-type statsResponse struct {
+// StatsResponse is the body of GET /api/v1/stats: crowd database
+// counters and the active selector.
+type StatsResponse struct {
 	Workers  int    `json:"workers"`
 	Online   int    `json:"online"`
 	Tasks    int    `json:"tasks"`
@@ -399,7 +507,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := s.mgr.Store()
-	writeJSON(w, http.StatusOK, statsResponse{
+	writeJSON(w, http.StatusOK, StatsResponse{
 		Workers:  st.NumWorkers(),
 		Online:   len(st.OnlineWorkers()),
 		Tasks:    st.NumTasks(),
@@ -412,6 +520,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func statusOf(err error) int {
 	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return statusClientClosedRequest
 	case errors.Is(err, ErrNotFound):
 		return http.StatusNotFound
 	case errors.Is(err, ErrBadState), errors.Is(err, ErrNotAsked),
@@ -428,6 +538,42 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// ErrorBody is the payload of the error envelope every non-2xx
+// response carries: a stable machine-readable code plus human-readable
+// detail.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// ErrorEnvelope is the JSON shape of every non-2xx response:
+// {"error": {"code": "...", "message": "..."}}.
+type ErrorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}
+
+// codeOf maps an HTTP status to the envelope's stable error code.
+func codeOf(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusMethodNotAllowed:
+		return "method_not_allowed"
+	case http.StatusTooManyRequests:
+		return "over_capacity"
+	case statusClientClosedRequest:
+		return "client_closed_request"
+	case http.StatusNotImplemented:
+		return "not_implemented"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	default:
+		return "internal"
+	}
+}
+
 func httpError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	writeJSON(w, status, ErrorEnvelope{Error: ErrorBody{Code: codeOf(status), Message: err.Error()}})
 }

@@ -2,6 +2,7 @@ package crowddb
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -47,17 +48,17 @@ func TestServerEndToEnd(t *testing.T) {
 	ts, _ := serverFixture(t)
 
 	// Submit a task.
-	resp := postJSON(t, ts.URL+"/api/tasks", map[string]any{"text": "how do b+ trees differ from b trees", "k": 2})
+	resp := postJSON(t, ts.URL+"/api/v1/tasks", map[string]any{"text": "how do b+ trees differ from b trees", "k": 2})
 	if resp.StatusCode != http.StatusCreated {
 		t.Fatalf("submit status = %d", resp.StatusCode)
 	}
-	sub := decode[submitResponse](t, resp)
+	sub := decode[SubmitResponse](t, resp)
 	if len(sub.Workers) != 2 || sub.Model != "TDPM" {
 		t.Fatalf("submit = %+v", sub)
 	}
 
 	// Fetch it back.
-	resp, err := http.Get(fmt.Sprintf("%s/api/tasks/%d", ts.URL, sub.TaskID))
+	resp, err := http.Get(fmt.Sprintf("%s/api/v1/tasks/%d", ts.URL, sub.TaskID))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestServerEndToEnd(t *testing.T) {
 
 	// Both workers answer.
 	for _, w := range sub.Workers {
-		resp = postJSON(t, fmt.Sprintf("%s/api/tasks/%d/answers", ts.URL, sub.TaskID),
+		resp = postJSON(t, fmt.Sprintf("%s/api/v1/tasks/%d/answers", ts.URL, sub.TaskID),
 			map[string]any{"worker": w, "answer": "an answer"})
 		if resp.StatusCode != http.StatusNoContent {
 			t.Fatalf("answer status = %d", resp.StatusCode)
@@ -81,7 +82,7 @@ func TestServerEndToEnd(t *testing.T) {
 	for i, w := range sub.Workers {
 		scores[fmt.Sprint(w)] = float64(5 - i)
 	}
-	resp = postJSON(t, fmt.Sprintf("%s/api/tasks/%d/feedback", ts.URL, sub.TaskID),
+	resp = postJSON(t, fmt.Sprintf("%s/api/v1/tasks/%d/feedback", ts.URL, sub.TaskID),
 		map[string]any{"scores": scores})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("feedback status = %d", resp.StatusCode)
@@ -92,11 +93,11 @@ func TestServerEndToEnd(t *testing.T) {
 	}
 
 	// Stats reflect the pipeline.
-	resp, err = http.Get(ts.URL + "/api/stats")
+	resp, err = http.Get(ts.URL + "/api/v1/stats")
 	if err != nil {
 		t.Fatal(err)
 	}
-	stats := decode[statsResponse](t, resp)
+	stats := decode[StatsResponse](t, resp)
 	if stats.Resolved != 1 || stats.Tasks != 1 || stats.Model != "TDPM" {
 		t.Errorf("stats = %+v", stats)
 	}
@@ -104,7 +105,7 @@ func TestServerEndToEnd(t *testing.T) {
 
 func TestServerWorkerEndpoints(t *testing.T) {
 	ts, _ := serverFixture(t)
-	resp, err := http.Get(ts.URL + "/api/workers/0")
+	resp, err := http.Get(ts.URL + "/api/v1/workers/0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,12 +113,12 @@ func TestServerWorkerEndpoints(t *testing.T) {
 	if w.ID != 0 || !w.Online {
 		t.Errorf("worker = %+v", w)
 	}
-	resp = postJSON(t, ts.URL+"/api/workers/0/presence", map[string]any{"online": false})
+	resp = postJSON(t, ts.URL+"/api/v1/workers/0/presence", map[string]any{"online": false})
 	if resp.StatusCode != http.StatusNoContent {
 		t.Fatalf("presence status = %d", resp.StatusCode)
 	}
 	resp.Body.Close()
-	resp, err = http.Get(ts.URL + "/api/workers/0")
+	resp, err = http.Get(ts.URL + "/api/v1/workers/0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,15 +130,15 @@ func TestServerWorkerEndpoints(t *testing.T) {
 func TestServerMetricsEndpoint(t *testing.T) {
 	ts, _ := serverFixture(t)
 	// Generate traffic: one created task, one 404.
-	resp := postJSON(t, ts.URL+"/api/tasks", map[string]any{"text": "metrics probe question", "k": 1})
+	resp := postJSON(t, ts.URL+"/api/v1/tasks", map[string]any{"text": "metrics probe question", "k": 1})
 	resp.Body.Close()
-	resp, err := http.Get(ts.URL + "/api/tasks/9999")
+	resp, err := http.Get(ts.URL + "/api/v1/tasks/9999")
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 
-	resp, err = http.Get(ts.URL + "/api/metrics")
+	resp, err = http.Get(ts.URL + "/api/v1/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,19 +146,19 @@ func TestServerMetricsEndpoint(t *testing.T) {
 		t.Fatalf("metrics status = %d", resp.StatusCode)
 	}
 	snap := decode[MetricsSnapshot](t, resp)
-	if ep := snap.Endpoints["POST /api/tasks"]; ep.Count != 1 || ep.Errors != 0 {
+	if ep := snap.Endpoints["POST /api/v1/tasks"]; ep.Count != 1 || ep.Errors != 0 {
 		t.Errorf("submit series = %+v", ep)
 	}
-	if ep := snap.Endpoints["GET /api/tasks/{id}"]; ep.Count != 1 || ep.Errors != 1 {
+	if ep := snap.Endpoints["GET /api/v1/tasks/{id}"]; ep.Count != 1 || ep.Errors != 1 {
 		t.Errorf("404 series = %+v", ep)
 	}
 	// Latency quantiles are populated and ordered.
-	ep := snap.Endpoints["POST /api/tasks"]
+	ep := snap.Endpoints["POST /api/v1/tasks"]
 	if ep.P50Ms <= 0 || ep.P99Ms < ep.P50Ms || ep.MaxMs <= 0 {
 		t.Errorf("quantiles = %+v", ep)
 	}
 	// Wrong method is rejected.
-	resp = postJSON(t, ts.URL+"/api/metrics", map[string]any{})
+	resp = postJSON(t, ts.URL+"/api/v1/metrics", map[string]any{})
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("POST metrics status = %d", resp.StatusCode)
 	}
@@ -185,7 +186,7 @@ func TestServerRecoversFromHandlerPanic(t *testing.T) {
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
-	resp := postJSON(t, ts.URL+"/api/tasks", map[string]any{"text": "boom", "k": 1})
+	resp := postJSON(t, ts.URL+"/api/v1/tasks", map[string]any{"text": "boom", "k": 1})
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusInternalServerError {
 		t.Errorf("panic status = %d, want 500", resp.StatusCode)
@@ -193,11 +194,11 @@ func TestServerRecoversFromHandlerPanic(t *testing.T) {
 	if !logged {
 		t.Error("panic was not logged")
 	}
-	if ep := srv.Metrics().Snapshot().Endpoints["POST /api/tasks"]; ep.Errors != 1 {
+	if ep := srv.Metrics().Snapshot().Endpoints["POST /api/v1/tasks"]; ep.Errors != 1 {
 		t.Errorf("panic not counted as error: %+v", ep)
 	}
 	// The server keeps serving after the panic.
-	resp2, err := http.Get(ts.URL + "/api/stats")
+	resp2, err := http.Get(ts.URL + "/api/v1/stats")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,54 +216,54 @@ func TestServerErrorPaths(t *testing.T) {
 		status int
 	}{
 		{"empty text", func() *http.Response {
-			return postJSON(t, ts.URL+"/api/tasks", map[string]any{"text": "  "})
+			return postJSON(t, ts.URL+"/api/v1/tasks", map[string]any{"text": "  "})
 		}, http.StatusBadRequest},
 		{"bad json", func() *http.Response {
-			resp, err := http.Post(ts.URL+"/api/tasks", "application/json", strings.NewReader("{"))
+			resp, err := http.Post(ts.URL+"/api/v1/tasks", "application/json", strings.NewReader("{"))
 			if err != nil {
 				t.Fatal(err)
 			}
 			return resp
 		}, http.StatusBadRequest},
 		{"get missing task", func() *http.Response {
-			resp, err := http.Get(ts.URL + "/api/tasks/999")
+			resp, err := http.Get(ts.URL + "/api/v1/tasks/999")
 			if err != nil {
 				t.Fatal(err)
 			}
 			return resp
 		}, http.StatusNotFound},
 		{"bad task id", func() *http.Response {
-			resp, err := http.Get(ts.URL + "/api/tasks/abc")
+			resp, err := http.Get(ts.URL + "/api/v1/tasks/abc")
 			if err != nil {
 				t.Fatal(err)
 			}
 			return resp
 		}, http.StatusBadRequest},
 		{"answer missing task", func() *http.Response {
-			return postJSON(t, ts.URL+"/api/tasks/999/answers", map[string]any{"worker": 0, "answer": "x"})
+			return postJSON(t, ts.URL+"/api/v1/tasks/999/answers", map[string]any{"worker": 0, "answer": "x"})
 		}, http.StatusNotFound},
 		{"feedback bad worker id", func() *http.Response {
-			return postJSON(t, ts.URL+"/api/tasks/0/feedback", map[string]any{"scores": map[string]float64{"nope": 1}})
+			return postJSON(t, ts.URL+"/api/v1/tasks/0/feedback", map[string]any{"scores": map[string]float64{"nope": 1}})
 		}, http.StatusBadRequest},
 		{"get missing worker", func() *http.Response {
-			resp, err := http.Get(ts.URL + "/api/workers/98765")
+			resp, err := http.Get(ts.URL + "/api/v1/workers/98765")
 			if err != nil {
 				t.Fatal(err)
 			}
 			return resp
 		}, http.StatusNotFound},
 		{"tasks wrong method", func() *http.Response {
-			resp, err := http.Get(ts.URL + "/api/tasks")
+			resp, err := http.Get(ts.URL + "/api/v1/tasks")
 			if err != nil {
 				t.Fatal(err)
 			}
 			return resp
 		}, http.StatusMethodNotAllowed},
 		{"stats wrong method", func() *http.Response {
-			return postJSON(t, ts.URL+"/api/stats", map[string]any{})
+			return postJSON(t, ts.URL+"/api/v1/stats", map[string]any{})
 		}, http.StatusMethodNotAllowed},
 		{"unknown subroute", func() *http.Response {
-			return postJSON(t, ts.URL+"/api/tasks/0/bogus", map[string]any{})
+			return postJSON(t, ts.URL+"/api/v1/tasks/0/bogus", map[string]any{})
 		}, http.StatusNotFound},
 	}
 	for _, c := range cases {
@@ -305,7 +306,7 @@ func TestServerHealthAndReadiness(t *testing.T) {
 	if got := get("/readyz"); got != http.StatusServiceUnavailable {
 		t.Errorf("readyz while not ready = %d", got)
 	}
-	resp, err := http.Get(ts.URL + "/api/stats")
+	resp, err := http.Get(ts.URL + "/api/v1/stats")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -339,7 +340,7 @@ func TestServerLoadShedding(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		resp, err := http.Post(ts.URL+"/api/query", "application/json",
+		resp, err := http.Post(ts.URL+"/api/v1/query", "application/json",
 			strings.NewReader(`{"q":"SELECT CROWD FOR TASK 'x' LIMIT 1"}`))
 		if err == nil {
 			resp.Body.Close()
@@ -347,7 +348,7 @@ func TestServerLoadShedding(t *testing.T) {
 	}()
 	<-be.entered // the slot is now held
 
-	resp, err := http.Get(ts.URL + "/api/stats")
+	resp, err := http.Get(ts.URL + "/api/v1/stats")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -371,7 +372,7 @@ func TestServerLoadShedding(t *testing.T) {
 
 	close(be.release)
 	<-done
-	resp2, err := http.Get(ts.URL + "/api/metrics")
+	resp2, err := http.Get(ts.URL + "/api/v1/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -388,7 +389,7 @@ type blockingEngine struct {
 	release chan struct{}
 }
 
-func (e blockingEngine) Execute(string) (any, error) {
+func (e blockingEngine) Execute(context.Context, string) (any, error) {
 	e.entered <- struct{}{}
 	<-e.release
 	return map[string]string{"ok": "true"}, nil
@@ -405,7 +406,7 @@ func TestServerDurabilityMetrics(t *testing.T) {
 	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
 
-	resp, err := http.Get(ts.URL + "/api/metrics")
+	resp, err := http.Get(ts.URL + "/api/v1/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}

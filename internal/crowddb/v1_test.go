@@ -1,0 +1,216 @@
+package crowddb
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestLegacyAliasMatchesV1: the deprecated unversioned /api/* paths
+// are pure aliases of /api/v1/* — same handler, byte-identical
+// payloads, one shared metrics series under the v1 label.
+func TestLegacyAliasMatchesV1(t *testing.T) {
+	hts, _ := serverFixture(t)
+	ts := hts.URL
+
+	read := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(b)
+	}
+
+	legacyStatus, legacyBody := read("/api/stats")
+	v1Status, v1Body := read("/api/v1/stats")
+	if legacyStatus != http.StatusOK || v1Status != http.StatusOK {
+		t.Fatalf("stats status: legacy %d, v1 %d", legacyStatus, v1Status)
+	}
+	if legacyBody != v1Body {
+		t.Errorf("alias payload differs:\nlegacy: %s\nv1:     %s", legacyBody, v1Body)
+	}
+
+	// Mutations work through both spellings.
+	for i, path := range []string{"/api/tasks", "/api/v1/tasks"} {
+		resp := postJSON(t, ts+path, map[string]any{"text": fmt.Sprintf("alias probe %d", i), "k": 1})
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("%s status = %d", path, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	// Both submissions landed on one v1-labeled metrics series, and no
+	// legacy-labeled series exists.
+	resp, err := http.Get(ts + "/api/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := decode[MetricsSnapshot](t, resp)
+	if got := snap.Endpoints["POST /api/v1/tasks"].Count; got != 2 {
+		t.Errorf("v1 series count = %d, want 2 (legacy + v1)", got)
+	}
+	for label := range snap.Endpoints {
+		if strings.Contains(label, "/api/") && !strings.Contains(label, "/api/v1/") {
+			t.Errorf("legacy-labeled series leaked: %q", label)
+		}
+	}
+}
+
+// TestErrorEnvelope: every non-2xx response carries the one error
+// envelope with a stable code matching its status.
+func TestErrorEnvelope(t *testing.T) {
+	mgr, _ := managerFixture(t)
+	srv := NewServer(mgr)
+	hts := httptest.NewServer(srv)
+	t.Cleanup(hts.Close)
+	ts := hts.URL
+
+	cases := []struct {
+		name     string
+		do       func() *http.Response
+		status   int
+		wantCode string
+	}{
+		{"empty text", func() *http.Response {
+			return postJSON(t, ts+"/api/v1/tasks", map[string]any{"text": " "})
+		}, http.StatusBadRequest, "bad_request"},
+		{"missing task", func() *http.Response {
+			resp, err := http.Get(ts + "/api/v1/tasks/999")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return resp
+		}, http.StatusNotFound, "not_found"},
+		{"wrong method", func() *http.Response {
+			resp, err := http.Get(ts + "/api/v1/tasks")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return resp
+		}, http.StatusMethodNotAllowed, "method_not_allowed"},
+		{"query unconfigured", func() *http.Response {
+			return postJSON(t, ts+"/api/v1/query", map[string]any{"q": "SELECT X"})
+		}, http.StatusNotImplemented, "not_implemented"},
+		{"legacy alias error", func() *http.Response {
+			resp, err := http.Get(ts + "/api/tasks/999")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return resp
+		}, http.StatusNotFound, "not_found"},
+		{"empty batch", func() *http.Response {
+			return postJSON(t, ts+"/api/v1/tasks:batch", map[string]any{"tasks": []any{}})
+		}, http.StatusBadRequest, "bad_request"},
+	}
+	for _, c := range cases {
+		resp := c.do()
+		if resp.StatusCode != c.status {
+			t.Errorf("%s: status = %d, want %d", c.name, resp.StatusCode, c.status)
+			resp.Body.Close()
+			continue
+		}
+		env := decode[ErrorEnvelope](t, resp)
+		if env.Error.Code != c.wantCode {
+			t.Errorf("%s: code = %q, want %q", c.name, env.Error.Code, c.wantCode)
+		}
+		if env.Error.Message == "" {
+			t.Errorf("%s: empty error message", c.name)
+		}
+	}
+
+	// Not-ready responses use the envelope too.
+	srv.SetReady(false)
+	resp, err := http.Get(ts + "/api/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("not-ready status = %d", resp.StatusCode)
+	}
+	if env := decode[ErrorEnvelope](t, resp); env.Error.Code != "unavailable" {
+		t.Errorf("not-ready code = %q", env.Error.Code)
+	}
+}
+
+// TestBatchEndpoint: POST /api/v1/tasks:batch serves N selections in
+// one round trip, element-wise identical to N sequential submissions
+// against an identical server.
+func TestBatchEndpoint(t *testing.T) {
+	mgrBatch, d := managerFixture(t)
+	mgrSeq, _ := managerFixture(t)
+	htsBatch := httptest.NewServer(NewServer(mgrBatch))
+	htsSeq := httptest.NewServer(NewServer(mgrSeq))
+	t.Cleanup(htsBatch.Close)
+	t.Cleanup(htsSeq.Close)
+	tsBatch := htsBatch.URL
+	tsSeq := htsSeq.URL
+
+	texts := []string{
+		strings.Join(d.Tasks[0].Tokens, " "),
+		strings.Join(d.Tasks[1].Tokens, " "),
+		strings.Join(d.Tasks[2].Tokens, " "),
+	}
+	var tasks []map[string]any
+	for _, text := range texts {
+		tasks = append(tasks, map[string]any{"text": text, "k": 2})
+	}
+	resp := postJSON(t, tsBatch+"/api/v1/tasks:batch", map[string]any{"tasks": tasks})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("batch status = %d", resp.StatusCode)
+	}
+	batch := decode[BatchSubmitResponse](t, resp)
+	if len(batch.Results) != len(texts) {
+		t.Fatalf("batch returned %d results", len(batch.Results))
+	}
+	for i, text := range texts {
+		resp := postJSON(t, tsSeq+"/api/v1/tasks", map[string]any{"text": text, "k": 2})
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("sequential status = %d", resp.StatusCode)
+		}
+		seq := decode[SubmitResponse](t, resp)
+		got := batch.Results[i]
+		if got.TaskID != seq.TaskID || got.Model != seq.Model {
+			t.Errorf("element %d: %+v vs sequential %+v", i, got, seq)
+		}
+		if len(got.Workers) != len(seq.Workers) {
+			t.Fatalf("element %d: worker counts differ: %v vs %v", i, got.Workers, seq.Workers)
+		}
+		for j := range got.Workers {
+			if got.Workers[j] != seq.Workers[j] {
+				t.Errorf("element %d: workers %v vs sequential %v", i, got.Workers, seq.Workers)
+				break
+			}
+		}
+	}
+
+	// Per-element validation failures identify the offending index.
+	resp = postJSON(t, tsBatch+"/api/v1/tasks:batch", map[string]any{
+		"tasks": []map[string]any{{"text": "fine", "k": 1}, {"text": "  "}},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("blank element status = %d", resp.StatusCode)
+	}
+	if env := decode[ErrorEnvelope](t, resp); !strings.Contains(env.Error.Message, "index 1") {
+		t.Errorf("blank element message = %q", env.Error.Message)
+	}
+
+	// The batch cap is enforced.
+	over := make([]map[string]any, maxBatchTasks+1)
+	for i := range over {
+		over[i] = map[string]any{"text": "x", "k": 1}
+	}
+	resp = postJSON(t, tsBatch+"/api/v1/tasks:batch", map[string]any{"tasks": over})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("over-cap status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}

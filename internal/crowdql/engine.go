@@ -1,6 +1,7 @@
 package crowdql
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -28,20 +29,31 @@ type Result struct {
 	Rows    [][]string `json:"rows"`
 }
 
-// Execute parses and runs one statement.
+// Execute parses and runs one statement with no cancellation.
 func (e *Engine) Execute(input string) (Result, error) {
+	return e.ExecuteContext(context.Background(), input)
+}
+
+// ExecuteContext parses and runs one statement; ctx cancels
+// crowd-selection work (the SELECT CROWD path projects and ranks).
+func (e *Engine) ExecuteContext(ctx context.Context, input string) (Result, error) {
 	q, err := Parse(input)
 	if err != nil {
 		return Result{}, err
 	}
-	return e.Run(q)
+	return e.RunContext(ctx, q)
 }
 
-// Run executes a parsed query.
+// Run executes a parsed query with no cancellation.
 func (e *Engine) Run(q Query) (Result, error) {
+	return e.RunContext(context.Background(), q)
+}
+
+// RunContext executes a parsed query under ctx.
+func (e *Engine) RunContext(ctx context.Context, q Query) (Result, error) {
 	switch q := q.(type) {
 	case SelectCrowd:
-		return e.selectCrowd(q)
+		return e.selectCrowd(ctx, q)
 	case SelectWorkers:
 		return e.selectWorkers(q)
 	case SelectTasks:
@@ -63,8 +75,8 @@ func (e *Engine) Run(q Query) (Result, error) {
 
 // selectCrowd runs the crowd-selection query: the task is stored,
 // projected and dispatched exactly as via Manager.SubmitTask.
-func (e *Engine) selectCrowd(q SelectCrowd) (Result, error) {
-	sub, err := e.mgr.SubmitTask(q.TaskText, q.K)
+func (e *Engine) selectCrowd(ctx context.Context, q SelectCrowd) (Result, error) {
+	sub, err := e.mgr.SubmitTask(ctx, q.TaskText, q.K)
 	if err != nil {
 		return Result{}, err
 	}
@@ -203,14 +215,14 @@ type HTTPAdapter struct {
 	Engine *Engine
 }
 
-// Execute runs the statement; parse failures surface as
-// crowddb.ErrBadRequest so the HTTP layer returns 400.
-func (a HTTPAdapter) Execute(q string) (any, error) {
+// Execute runs the statement under the request context; parse failures
+// surface as crowddb.ErrBadRequest so the HTTP layer returns 400.
+func (a HTTPAdapter) Execute(ctx context.Context, q string) (any, error) {
 	parsed, err := Parse(q)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", crowddb.ErrBadRequest, err)
 	}
-	return a.Engine.Run(parsed)
+	return a.Engine.RunContext(ctx, parsed)
 }
 
 // FormatTable renders a result as an aligned text table.
