@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench bench-serve bench-serve-smoke fuzz crash ci
+.PHONY: build vet test race bench bench-serve bench-serve-smoke fuzz crash chaos ci
 
 build:
 	$(GO) build ./...
@@ -41,4 +41,9 @@ fuzz:
 crash:
 	$(GO) test -race -run 'TestCrashRecoveryLosesNothing|TestTornWriteTable' -v ./internal/crowddb
 
-ci: vet build race fuzz crash bench-serve-smoke
+# The network/disk chaos suite (faultnet + faultfs through a real
+# client) and the proxy's own tests, under the race detector.
+chaos:
+	$(GO) test -race -v ./internal/chaos/ ./internal/faultnet/
+
+ci: vet build race fuzz crash chaos bench-serve-smoke

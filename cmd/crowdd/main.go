@@ -20,6 +20,18 @@
 // /readyz to 503, drains in-flight requests for up to -drain, then
 // compacts and closes the data directory.
 //
+// Overload and resilience controls: -max-inflight is the ceiling of an
+// adaptive AIMD admission limit (floor -admission-min) that sheds
+// excess reads with 429 before mutations; -read-budget/-write-budget
+// arm server-side deadlines whose overruns answer 503
+// deadline_exceeded and drive the limit down; -max-body caps POST
+// bodies (413); -read-timeout/-write-timeout/-idle-timeout set the
+// http.Server socket deadlines. If a journal append or fsync fails,
+// the daemon enters degraded read-only mode: mutations answer 503
+// degraded_read_only while selections keep serving from the last
+// committed model, and a background probe heals the data directory and
+// reopens writes automatically.
+//
 // Endpoints (see internal/crowddb): POST /api/tasks,
 // POST /api/tasks/{id}/answers, POST /api/tasks/{id}/feedback,
 // GET /api/workers/{id}, GET /api/stats, GET /api/metrics,
@@ -64,6 +76,20 @@ type daemonConfig struct {
 	sync         crowddb.SyncPolicy
 	compactEvery int64
 	maxInflight  int
+	admissionMin int
+	readBudget   time.Duration
+	writeBudget  time.Duration
+	maxBody      int64
+	timeouts     httpTimeouts
+}
+
+// httpTimeouts carries the http.Server socket timeouts: the outer
+// defense against slow-loris clients and connections wedged mid-body,
+// one layer below the per-request deadline budgets.
+type httpTimeouts struct {
+	read  time.Duration // full-request read deadline (0 = none)
+	write time.Duration // response write deadline (0 = none)
+	idle  time.Duration // keep-alive idle deadline (0 = none)
 }
 
 func main() {
@@ -81,7 +107,14 @@ func main() {
 		dataDir      = flag.String("data-dir", "", "durable data directory (empty = in-memory only)")
 		syncFlag     = flag.String("sync", "always", "journal fsync policy: always, os, every=N or interval=DUR")
 		compactEvery = flag.Int64("compact-every", 10000, "journal records between automatic snapshots (0 disables)")
-		maxInflight  = flag.Int("max-inflight", 0, "max concurrently served /api requests; excess sheds with 429 (0 = unlimited)")
+		maxInflight  = flag.Int("max-inflight", 0, "adaptive admission ceiling: max concurrently served /api requests; excess sheds with 429 (0 = unlimited)")
+		admissionMin = flag.Int("admission-min", 1, "adaptive admission floor the AIMD limit never shrinks below")
+		readBudget   = flag.Duration("read-budget", 0, "server-side deadline for read requests; overruns answer 503 deadline_exceeded (0 = none)")
+		writeBudget  = flag.Duration("write-budget", 0, "server-side deadline for mutations (0 = none)")
+		maxBody      = flag.Int64("max-body", 0, "POST body cap in bytes; oversized requests get 413 (0 = 1 MiB default)")
+		readTimeout  = flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout: full-request read deadline (0 = none)")
+		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "http.Server WriteTimeout: response write deadline (0 = none)")
+		idleTimeout  = flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections (0 = none)")
 	)
 	flag.Parse()
 	policy, err := crowddb.ParseSyncPolicy(*syncFlag)
@@ -95,6 +128,10 @@ func main() {
 		addr: *addr, drain: *drain, pprofOn: *pprofOn,
 		dataDir: *dataDir, sync: policy,
 		compactEvery: *compactEvery, maxInflight: *maxInflight,
+		admissionMin: *admissionMin,
+		readBudget:   *readBudget, writeBudget: *writeBudget,
+		maxBody:  *maxBody,
+		timeouts: httpTimeouts{read: *readTimeout, write: *writeTimeout, idle: *idleTimeout},
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "crowdd:", err)
@@ -149,7 +186,7 @@ func run(cfg daemonConfig) error {
 		handler = withPprof(handler)
 	}
 	errc := make(chan error, 1)
-	go func() { errc <- serve(ctx, ln, handler, cfg.drain, gate.drainStarted) }()
+	go func() { errc <- serve(ctx, ln, handler, cfg.drain, cfg.timeouts, gate.drainStarted) }()
 	log.Printf("listening on %s (not ready: building service)", ln.Addr())
 
 	srv, db, online, err := buildService(cfg)
@@ -160,7 +197,18 @@ func run(cfg daemonConfig) error {
 	}
 	srv.SetLogger(log.Printf)
 	if cfg.maxInflight > 0 {
-		srv.SetMaxInFlight(cfg.maxInflight)
+		// Adaptive AIMD between the floor and the flag's ceiling; the
+		// limit starts at the ceiling and backs off on deadline overruns.
+		srv.SetAdmission(crowddb.AdmissionConfig{
+			Initial: cfg.maxInflight,
+			Min:     cfg.admissionMin,
+			Max:     cfg.maxInflight,
+		})
+	}
+	srv.SetDeadlineBudgets(cfg.readBudget, cfg.writeBudget)
+	srv.SetMaxBodyBytes(cfg.maxBody)
+	if db != nil {
+		srv.SetDegradedCheck(db.Degraded)
 	}
 	gate.srv.Store(srv)
 	log.Printf("crowd-selection service ready on %s (%d workers online)", ln.Addr(), online)
@@ -194,8 +242,14 @@ func serveErr(err error) error {
 // finish, and whatever remains is forcibly closed. It is split from
 // run so tests can drive the full lifecycle against a 127.0.0.1:0
 // listener.
-func serve(ctx context.Context, ln net.Listener, handler http.Handler, drain time.Duration, onDrain func()) error {
-	srv := &http.Server{Handler: handler, ReadHeaderTimeout: 5 * time.Second}
+func serve(ctx context.Context, ln net.Listener, handler http.Handler, drain time.Duration, timeouts httpTimeouts, onDrain func()) error {
+	srv := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       timeouts.read,
+		WriteTimeout:      timeouts.write,
+		IdleTimeout:       timeouts.idle,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	select {

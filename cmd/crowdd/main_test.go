@@ -211,7 +211,7 @@ func TestServeGracefulShutdown(t *testing.T) {
 	defer cancel()
 	drained := make(chan struct{})
 	done := make(chan error, 1)
-	go func() { done <- serve(ctx, ln, h, 5*time.Second, func() { close(drained) }) }()
+	go func() { done <- serve(ctx, ln, h, 5*time.Second, httpTimeouts{}, func() { close(drained) }) }()
 
 	type result struct {
 		body string
@@ -273,7 +273,7 @@ func TestServeShutdownDeadline(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	done := make(chan error, 1)
-	go func() { done <- serve(ctx, ln, h, 50*time.Millisecond, nil) }()
+	go func() { done <- serve(ctx, ln, h, 50*time.Millisecond, httpTimeouts{}, nil) }()
 
 	go func() {
 		resp, err := http.Get("http://" + ln.Addr().String() + "/")

@@ -226,6 +226,12 @@ type (
 	BatchSubmitRequest = crowddb.BatchSubmitRequest
 	// BatchSubmitResponse is one SubmitResponse per task, in order.
 	BatchSubmitResponse = crowddb.BatchSubmitResponse
+	// SelectionsResponse is the body of POST /api/v1/selections — the
+	// pure ranking path that stores nothing and keeps serving in
+	// degraded read-only mode.
+	SelectionsResponse = crowddb.SelectionsResponse
+	// SelectionResult is one ranked crowd within a SelectionsResponse.
+	SelectionResult = crowddb.SelectionResult
 	// StatsResponse is the body of GET /api/v1/stats.
 	StatsResponse = crowddb.StatsResponse
 	// APIErrorBody is the payload of the v1 error envelope.
@@ -237,7 +243,15 @@ type (
 	APIClientOptions = crowdclient.Options
 	// APIError is a non-2xx response decoded from the error envelope.
 	APIError = crowdclient.APIError
+	// APIClientStats snapshots the client's resilience counters
+	// (breaker state, retry tokens, hedges).
+	APIClientStats = crowdclient.ClientStats
 )
+
+// ErrCircuitOpen is returned by an APIClient without touching the
+// network while its circuit breaker is open (the server has been
+// unreachable at the transport level); branch with errors.Is.
+var ErrCircuitOpen = crowdclient.ErrCircuitOpen
 
 // NewAPIClient returns a typed client for the crowdd at baseURL.
 func NewAPIClient(baseURL string, opts APIClientOptions) *APIClient {

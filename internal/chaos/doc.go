@@ -1,0 +1,18 @@
+// Package chaos holds the end-to-end resilience suite: a full crowdd
+// stack (durable DB, manager, HTTP server) exercised through the
+// fault-injecting layers — internal/faultnet between client and server,
+// internal/faultfs under the journal — by a real crowdclient.
+//
+// The suite asserts the resilience contract (DESIGN.md §9):
+//
+//   - no acknowledged mutation is lost or double-applied, whatever the
+//     network does;
+//   - the client's circuit breaker opens under a blackhole and closes
+//     again after the network heals;
+//   - a journal write failure seals mutations into degraded read-only
+//     mode while selections keep answering from the last committed
+//     model, and the server heals itself once the disk returns.
+//
+// The package has no non-test code; it exists so `go test
+// ./internal/chaos/` (the `make chaos` target) names the suite.
+package chaos

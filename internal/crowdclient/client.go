@@ -4,7 +4,14 @@
 // retries with exponential backoff plus jitter — connection errors
 // always (for mutations only when the dial failed, so a request that
 // may have reached the server is never sent twice), and 5xx responses
-// on idempotent GETs.
+// on idempotent requests (GETs and pure selections).
+//
+// On top of the per-request policy sit three client-wide guards: a
+// closed/open/half-open circuit breaker that fails fast (ErrCircuitOpen)
+// once the server stops answering at the transport level, a token-bucket
+// retry budget so concurrent callers cannot multiply a retry storm, and
+// optional hedging of slow idempotent requests. Stats exposes their
+// counters.
 //
 // Non-2xx responses decode the server's error envelope
 // {"error": {"code", "message"}} into *APIError, so callers can branch
@@ -23,6 +30,8 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"crowdselect/internal/crowddb"
@@ -45,6 +54,34 @@ type Options struct {
 	HTTPClient *http.Client
 	// Sleep replaces time.Sleep between retries (test hook).
 	Sleep func(time.Duration)
+
+	// BreakerThreshold is the number of consecutive transport failures
+	// that opens the circuit breaker (default 5; negative disables the
+	// breaker). Only transport errors count: a server answering any
+	// HTTP status — even 503 — is alive, so shed and degraded responses
+	// never open the breaker and selections keep flowing.
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before one
+	// half-open trial request is let through (default 1s). The trial's
+	// outcome closes the breaker or re-opens it for another cooldown.
+	BreakerCooldown time.Duration
+	// RetryBudget is a token bucket bounding retries across the whole
+	// client, so many concurrent callers cannot multiply a retry storm:
+	// each retry spends one token, each successful request refunds one,
+	// and when the bucket is empty requests fail after their first
+	// attempt (default 10; negative disables the budget).
+	RetryBudget int
+	// HedgeDelay, when > 0, hedges idempotent requests: if no response
+	// arrives within the delay, a second identical request races the
+	// first and the earlier response wins. Spends latency variance,
+	// not correctness — only GETs and pure selections are hedged.
+	HedgeDelay time.Duration
+	// Seed seeds the client's private jitter source; 0 seeds from the
+	// clock. Each client owns its randomness — nothing touches the
+	// global math/rand state.
+	Seed int64
+	// Clock replaces time.Now for the breaker cooldown (test hook).
+	Clock func() time.Time
 }
 
 // Client talks to one crowdd base URL. It is safe for concurrent use.
@@ -54,6 +91,16 @@ type Client struct {
 	retries int
 	backoff time.Duration
 	sleep   func(time.Duration)
+
+	brk        *breaker     // nil: breaker disabled
+	budget     *retryBudget // nil: unbounded retries
+	hedgeDelay time.Duration
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	hedges    atomic.Int64
+	hedgeWins atomic.Int64
 }
 
 // New returns a client for the crowdd at baseURL (e.g.
@@ -76,13 +123,62 @@ func New(baseURL string, opts Options) *Client {
 	if opts.Sleep == nil {
 		opts.Sleep = time.Sleep
 	}
-	return &Client{
-		base:    strings.TrimRight(baseURL, "/"),
-		hc:      opts.HTTPClient,
-		retries: opts.Retries,
-		backoff: opts.Backoff,
-		sleep:   opts.Sleep,
+	if opts.BreakerThreshold == 0 {
+		opts.BreakerThreshold = 5
 	}
+	if opts.BreakerCooldown <= 0 {
+		opts.BreakerCooldown = time.Second
+	}
+	if opts.RetryBudget == 0 {
+		opts.RetryBudget = 10
+	}
+	if opts.Seed == 0 {
+		opts.Seed = time.Now().UnixNano()
+	}
+	c := &Client{
+		base:       strings.TrimRight(baseURL, "/"),
+		hc:         opts.HTTPClient,
+		retries:    opts.Retries,
+		backoff:    opts.Backoff,
+		sleep:      opts.Sleep,
+		hedgeDelay: opts.HedgeDelay,
+		rng:        rand.New(rand.NewSource(opts.Seed)),
+	}
+	if opts.BreakerThreshold > 0 {
+		c.brk = newBreaker(opts.BreakerThreshold, opts.BreakerCooldown, opts.Clock)
+	}
+	if opts.RetryBudget > 0 {
+		c.budget = newRetryBudget(opts.RetryBudget)
+	}
+	return c
+}
+
+// ClientStats snapshots the client's resilience counters.
+type ClientStats struct {
+	BreakerState     string  `json:"breaker_state"`
+	BreakerOpens     int64   `json:"breaker_opens"`
+	BreakerFastFails int64   `json:"breaker_fast_fails"`
+	RetryTokens      float64 `json:"retry_tokens"`
+	HedgesLaunched   int64   `json:"hedges_launched"`
+	HedgeWins        int64   `json:"hedge_wins"`
+}
+
+// ResilienceStats snapshots the breaker, retry-budget and hedging
+// counters. (Stats, by contrast, is the server's GET /api/v1/stats.)
+func (c *Client) ResilienceStats() ClientStats {
+	st := ClientStats{
+		BreakerState:   "disabled",
+		RetryTokens:    -1,
+		HedgesLaunched: c.hedges.Load(),
+		HedgeWins:      c.hedgeWins.Load(),
+	}
+	if c.brk != nil {
+		st.BreakerState, st.BreakerOpens, st.BreakerFastFails = c.brk.snapshot()
+	}
+	if c.budget != nil {
+		st.RetryTokens = c.budget.level()
+	}
+	return st
 }
 
 // APIError is a non-2xx response, carrying the server's error envelope
@@ -108,64 +204,186 @@ func (e *APIError) Error() string {
 
 // backoffFor computes the delay before retry attempt n (1-based):
 // exponential from the base, capped at 5s, with up to 50% random
-// jitter subtracted.
+// jitter subtracted (from the client's private source).
 func (c *Client) backoffFor(n int) time.Duration {
 	d := c.backoff << (n - 1)
 	if max := 5 * time.Second; d > max {
 		d = max
 	}
-	return d - time.Duration(rand.Int63n(int64(d)/2+1))
+	c.rngMu.Lock()
+	jitter := c.rng.Int63n(int64(d)/2 + 1)
+	c.rngMu.Unlock()
+	return d - time.Duration(jitter)
+}
+
+// idempotent reports whether a request may be repeated safely: GETs,
+// and POST /api/v1/selections — a pure model read that stores nothing,
+// so replaying it cannot double-apply. POST /api/v1/query is not on
+// the list: a SELECT CROWD submits tasks.
+func idempotent(method, url string) bool {
+	return method == http.MethodGet ||
+		(method == http.MethodPost && strings.HasSuffix(url, "/api/v1/selections"))
 }
 
 // retriableErr reports whether a transport error may be retried for
-// the given method. GETs are idempotent, so any transport failure is
-// fair game; for mutating requests only dial errors are safe — the
-// request never reached the server, so retrying cannot double-apply.
-func retriableErr(method string, err error) bool {
-	if method == http.MethodGet {
+// the given request. Idempotent requests are fair game on any
+// transport failure; for mutating requests only dial errors are safe —
+// the request never reached the server, so retrying cannot
+// double-apply.
+func retriableErr(method, url string, err error) bool {
+	if idempotent(method, url) {
 		return true
 	}
 	var op *net.OpError
 	return errors.As(err, &op) && op.Op == "dial"
 }
 
-// do issues the request with the retry policy: transport errors per
-// retriableErr, and 5xx responses on GETs. The response is the first
-// success or non-retriable status; err is the final failure after the
-// retry budget is spent. A cancelled ctx stops the retry loop.
+// attemptResult carries one racing attempt's outcome; idx 1 marks the
+// hedge.
+type attemptResult struct {
+	resp *http.Response
+	err  error
+	idx  int
+}
+
+// attempt issues one HTTP request through the circuit breaker. The
+// breaker records only what the attempt proved: an HTTP response of
+// any status is a success (the server is alive), a transport error is
+// a failure, and a context cancelled by the caller is neutral.
+func (c *Client) attempt(ctx context.Context, method, url string, body []byte) (*http.Response, error) {
+	if c.brk != nil {
+		if err := c.brk.allow(); err != nil {
+			return nil, err
+		}
+	}
+	var reader io.Reader
+	if body != nil {
+		reader = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, reader)
+	if err != nil {
+		if c.brk != nil {
+			c.brk.neutral()
+		}
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if c.brk != nil {
+		switch {
+		case err == nil:
+			c.brk.record(true)
+		case ctx.Err() != nil:
+			c.brk.neutral()
+		default:
+			c.brk.record(false)
+		}
+	}
+	return resp, err
+}
+
+// hedged races a second identical attempt against a slow first one:
+// the hedge launches if no response lands within HedgeDelay, and the
+// earlier response wins. The loser is drained in the background so
+// its connection returns to the pool. Only called for idempotent
+// requests.
+func (c *Client) hedged(ctx context.Context, method, url string, body []byte) (*http.Response, error) {
+	ch := make(chan attemptResult, 2)
+	launch := func(idx int) {
+		go func() {
+			resp, err := c.attempt(ctx, method, url, body)
+			ch <- attemptResult{resp: resp, err: err, idx: idx}
+		}()
+	}
+	launch(0)
+	timer := time.NewTimer(c.hedgeDelay)
+	defer timer.Stop()
+	launched, received := 1, 0
+	var firstErr error
+	for {
+		select {
+		case r := <-ch:
+			received++
+			if r.err == nil {
+				if r.idx == 1 {
+					c.hedgeWins.Add(1)
+				}
+				if received < launched {
+					go func() {
+						if lose := <-ch; lose.resp != nil {
+							io.Copy(io.Discard, lose.resp.Body)
+							lose.resp.Body.Close()
+						}
+					}()
+				}
+				return r.resp, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if received == launched {
+				return nil, firstErr
+			}
+		case <-timer.C:
+			if launched == 1 {
+				c.hedges.Add(1)
+				launch(1)
+				launched = 2
+			}
+		}
+	}
+}
+
+// do issues the request with the full resilience policy: the circuit
+// breaker fails fast while the server is unreachable, the token-bucket
+// retry budget bounds retries across the whole client, transport
+// errors retry per retriableErr, 5xx responses retry on idempotent
+// requests, and slow idempotent requests may be hedged. The response
+// is the first success or non-retriable status; err is the final
+// failure after the per-request retry cap or the shared budget is
+// spent. A cancelled ctx stops the retry loop.
 func (c *Client) do(ctx context.Context, method, url string, body []byte) (*http.Response, error) {
+	idem := idempotent(method, url)
 	var lastErr error
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
+			if c.budget != nil && !c.budget.take() {
+				return nil, fmt.Errorf("retry budget exhausted after %d attempts: %w", attempt, lastErr)
+			}
 			c.sleep(c.backoffFor(attempt))
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
 		}
-		var reader io.Reader
-		if body != nil {
-			reader = bytes.NewReader(body)
+		var resp *http.Response
+		var err error
+		if idem && c.hedgeDelay > 0 {
+			resp, err = c.hedged(ctx, method, url, body)
+		} else {
+			resp, err = c.attempt(ctx, method, url, body)
 		}
-		req, err := http.NewRequestWithContext(ctx, method, url, reader)
-		if err != nil {
-			return nil, err
-		}
-		if body != nil {
-			req.Header.Set("Content-Type", "application/json")
-		}
-		resp, err := c.hc.Do(req)
 		if err != nil {
 			lastErr = err
-			if ctx.Err() != nil || !retriableErr(method, err) {
+			if errors.Is(err, ErrCircuitOpen) {
+				// The breaker already knows the server is unreachable;
+				// burning retries against it helps nobody.
+				return nil, fmt.Errorf("after %d attempts: %w", attempt+1, err)
+			}
+			if ctx.Err() != nil || !retriableErr(method, url, err) {
 				return nil, err
 			}
 			continue
 		}
-		if resp.StatusCode >= 500 && method == http.MethodGet && attempt < c.retries {
+		if resp.StatusCode >= 500 && idem && attempt < c.retries {
 			payload, _ := io.ReadAll(resp.Body)
 			resp.Body.Close()
 			lastErr = fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(payload)))
 			continue
+		}
+		if resp.StatusCode < 500 && c.budget != nil {
+			c.budget.refund()
 		}
 		return resp, nil
 	}
@@ -253,6 +471,17 @@ func (c *Client) SubmitBatch(ctx context.Context, tasks []crowddb.SubmitRequest)
 	var out crowddb.BatchSubmitResponse
 	err := c.post(ctx, "/api/v1/tasks:batch", crowddb.BatchSubmitRequest{Tasks: tasks}, &out)
 	return out.Results, err
+}
+
+// Selections ranks crowds for a batch of task texts without storing
+// anything (POST /api/v1/selections) — the pure read that keeps
+// answering while the server is in degraded read-only mode. It is
+// idempotent, so the client retries it on any transport failure and
+// hedges it when HedgeDelay is set.
+func (c *Client) Selections(ctx context.Context, tasks []crowddb.SubmitRequest) (crowddb.SelectionsResponse, error) {
+	var out crowddb.SelectionsResponse
+	err := c.post(ctx, "/api/v1/selections", crowddb.BatchSubmitRequest{Tasks: tasks}, &out)
+	return out, err
 }
 
 // GetTask fetches a stored task (GET /api/v1/tasks/{id}).

@@ -1,0 +1,320 @@
+package crowdclient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"crowdselect/internal/crowddb"
+)
+
+// deadAddr returns an address nothing listens on, so dials fail fast.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestBreakerOpensAndFastFails: consecutive transport failures open
+// the breaker; further calls fail fast with ErrCircuitOpen without
+// touching the network.
+func TestBreakerOpensAndFastFails(t *testing.T) {
+	addr := deadAddr(t)
+	cli := New("http://"+addr, Options{
+		Retries:          -1, // one attempt per call: failures count cleanly
+		BreakerThreshold: 3,
+		BreakerCooldown:  time.Hour, // stays open for the whole test
+		Timeout:          2 * time.Second,
+	})
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := cli.Stats(ctx); err == nil || errors.Is(err, ErrCircuitOpen) {
+			t.Fatalf("call %d = %v, want a transport error", i, err)
+		}
+	}
+	st := cli.ResilienceStats()
+	if st.BreakerState != "open" || st.BreakerOpens != 1 {
+		t.Fatalf("after threshold: state %q, opens %d; want open, 1", st.BreakerState, st.BreakerOpens)
+	}
+	if _, err := cli.Stats(ctx); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("call while open = %v, want ErrCircuitOpen", err)
+	}
+	if st := cli.ResilienceStats(); st.BreakerFastFails == 0 {
+		t.Error("fast-fail not counted")
+	}
+}
+
+// TestBreakerHalfOpenRecovery: after the cooldown one trial request is
+// let through; a failing trial re-opens the breaker, a succeeding one
+// closes it.
+func TestBreakerHalfOpenRecovery(t *testing.T) {
+	addr := deadAddr(t)
+	var nowNanos atomic.Int64
+	clock := func() time.Time { return time.Unix(0, nowNanos.Load()) }
+	cli := New("http://"+addr, Options{
+		Retries:          -1,
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Second,
+		Clock:            clock,
+		Timeout:          2 * time.Second,
+	})
+	ctx := context.Background()
+	cli.Stats(ctx)
+	cli.Stats(ctx)
+	if st := cli.ResilienceStats(); st.BreakerState != "open" {
+		t.Fatalf("state = %q, want open", st.BreakerState)
+	}
+	// Cooldown elapses but the server is still down: the half-open
+	// trial fails and re-opens the breaker.
+	nowNanos.Add(int64(2 * time.Second))
+	if _, err := cli.Stats(ctx); err == nil || errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("half-open trial = %v, want a transport error", err)
+	}
+	st := cli.ResilienceStats()
+	if st.BreakerState != "open" || st.BreakerOpens != 2 {
+		t.Fatalf("after failed trial: state %q, opens %d; want open, 2", st.BreakerState, st.BreakerOpens)
+	}
+	// The server comes back on the same address; the next trial closes
+	// the breaker.
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"workers": 1}`)
+	}))
+	srv.Listener.Close()
+	srv.Listener = l
+	srv.Start()
+	defer srv.Close()
+
+	nowNanos.Add(int64(2 * time.Second))
+	if _, err := cli.Stats(ctx); err != nil {
+		t.Fatalf("trial against recovered server: %v", err)
+	}
+	if st := cli.ResilienceStats(); st.BreakerState != "closed" {
+		t.Fatalf("state after recovery = %q, want closed", st.BreakerState)
+	}
+}
+
+// TestBreakerIgnoresHTTPErrors: a server answering 503s is alive —
+// HTTP responses of any status must never open the breaker, or
+// degraded-mode reads would be cut off exactly when they matter.
+func TestBreakerIgnoresHTTPErrors(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "degraded", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	cli := New(srv.URL, Options{Retries: -1, BreakerThreshold: 2})
+	for i := 0; i < 5; i++ {
+		var apiErr *APIError
+		if _, err := cli.Stats(context.Background()); !errors.As(err, &apiErr) {
+			t.Fatalf("call %d = %v, want *APIError", i, err)
+		}
+	}
+	if st := cli.ResilienceStats(); st.BreakerState != "closed" || st.BreakerOpens != 0 {
+		t.Fatalf("breaker after 5xx storm: state %q, opens %d; want closed, 0", st.BreakerState, st.BreakerOpens)
+	}
+}
+
+// TestRetryBudgetBoundsRetryStorm: the client-wide token bucket cuts
+// retries off once spent, turning calls into first-attempt-only.
+func TestRetryBudgetBoundsRetryStorm(t *testing.T) {
+	var hits int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&hits, 1)
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	cli := New(srv.URL, Options{
+		Retries:     3,
+		Backoff:     time.Millisecond,
+		Sleep:       func(time.Duration) {},
+		RetryBudget: 2,
+	})
+	// First call: 1 attempt + 2 budgeted retries, then the bucket runs
+	// dry mid-loop.
+	_, err := cli.Stats(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "retry budget exhausted") {
+		t.Fatalf("first call = %v, want retry budget exhausted", err)
+	}
+	if got := atomic.LoadInt32(&hits); got != 3 {
+		t.Fatalf("server hit %d times, want 3 (1 + 2 budgeted retries)", got)
+	}
+	// Second call: no tokens left, so exactly one attempt.
+	_, err = cli.Stats(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "retry budget exhausted") {
+		t.Fatalf("second call = %v, want retry budget exhausted", err)
+	}
+	if got := atomic.LoadInt32(&hits); got != 4 {
+		t.Fatalf("server hit %d times, want 4 (budget empty: first attempt only)", got)
+	}
+	if st := cli.ResilienceStats(); st.RetryTokens != 0 {
+		t.Errorf("tokens = %v, want 0", st.RetryTokens)
+	}
+}
+
+// TestRetryBudgetRefundsOnSuccess: successful requests refill the
+// bucket so a transient blip does not permanently disable retries.
+func TestRetryBudgetRefundsOnSuccess(t *testing.T) {
+	var hits int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if atomic.AddInt32(&hits, 1) <= 2 {
+			http.Error(w, "transient", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"workers": 3}`)
+	}))
+	defer srv.Close()
+	cli := New(srv.URL, Options{
+		Retries:     3,
+		Backoff:     time.Millisecond,
+		Sleep:       func(time.Duration) {},
+		RetryBudget: 10,
+	})
+	if _, err := cli.Stats(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Two retries spent, one refunded by the success.
+	if st := cli.ResilienceStats(); st.RetryTokens != 9 {
+		t.Errorf("tokens = %v, want 9", st.RetryTokens)
+	}
+}
+
+// TestHedgingRacesIdempotentRequests: a slow first response triggers a
+// hedge whose faster answer wins; mutations are never hedged.
+func TestHedgingRacesIdempotentRequests(t *testing.T) {
+	var hits int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if atomic.AddInt32(&hits, 1) == 1 {
+			time.Sleep(300 * time.Millisecond) // only the first request is slow
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if r.Method == http.MethodPost {
+			fmt.Fprintln(w, `{"task_id": 1, "workers": [0], "model": "TDPM"}`)
+			return
+		}
+		fmt.Fprintln(w, `{"workers": 2}`)
+	}))
+	defer srv.Close()
+	cli := New(srv.URL, Options{HedgeDelay: 20 * time.Millisecond})
+
+	start := time.Now()
+	st, err := cli.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Workers != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if elapsed := time.Since(start); elapsed >= 300*time.Millisecond {
+		t.Errorf("hedged GET took %v; the hedge should have won well under the slow path", elapsed)
+	}
+	rs := cli.ResilienceStats()
+	if rs.HedgesLaunched != 1 || rs.HedgeWins != 1 {
+		t.Errorf("hedges = %d launched, %d wins; want 1, 1", rs.HedgesLaunched, rs.HedgeWins)
+	}
+
+	// A mutation through the same client is sent exactly once, however
+	// slow the server is: hedging a POST /tasks could double-submit.
+	atomic.StoreInt32(&hits, 0) // handler fast from here on
+	before := cli.ResilienceStats().HedgesLaunched
+	if _, err := cli.SubmitTask(context.Background(), "not hedged", 1); err != nil {
+		t.Fatal(err)
+	}
+	if after := cli.ResilienceStats().HedgesLaunched; after != before {
+		t.Error("mutation was hedged")
+	}
+}
+
+// TestIdempotentClassification: only GETs and the pure selections POST
+// are replay-safe.
+func TestIdempotentClassification(t *testing.T) {
+	cases := []struct {
+		method, url string
+		want        bool
+	}{
+		{http.MethodGet, "http://x/api/v1/stats", true},
+		{http.MethodPost, "http://x/api/v1/selections", true},
+		{http.MethodPost, "http://x/api/v1/tasks", false},
+		{http.MethodPost, "http://x/api/v1/query", false},
+		{http.MethodPost, "http://x/api/v1/tasks/1/feedback", false},
+	}
+	for _, c := range cases {
+		if got := idempotent(c.method, c.url); got != c.want {
+			t.Errorf("idempotent(%s %s) = %v, want %v", c.method, c.url, got, c.want)
+		}
+	}
+}
+
+// TestSelectionsTypedAndRetried: the Selections method decodes the
+// server payload, and — being idempotent — retries transport failures
+// that a mutation would not.
+func TestSelectionsTypedAndRetried(t *testing.T) {
+	var hits int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/api/v1/selections" || r.Method != http.MethodPost {
+			http.NotFound(w, r)
+			return
+		}
+		if atomic.AddInt32(&hits, 1) == 1 {
+			http.Error(w, "transient", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"results":[{"workers":[2,0]}],"model":"TDPM"}`)
+	}))
+	defer srv.Close()
+
+	sel, err := testClient(srv.URL).Selections(context.Background(),
+		[]crowddb.SubmitRequest{{Text: "rank me", K: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Results) != 1 || len(sel.Results[0].Workers) != 2 || sel.Model != "TDPM" {
+		t.Fatalf("selections = %+v", sel)
+	}
+	if got := atomic.LoadInt32(&hits); got != 2 {
+		t.Errorf("server hit %d times, want 2 (5xx retried: selections are idempotent)", got)
+	}
+}
+
+// TestSeededJitterIsDeterministic: two clients with the same seed
+// produce identical backoff sequences; the client owns its randomness
+// rather than the global math/rand state.
+func TestSeededJitterIsDeterministic(t *testing.T) {
+	a := New("http://x", Options{Seed: 42})
+	b := New("http://x", Options{Seed: 42})
+	c := New("http://x", Options{Seed: 7})
+	var sameAll, diffAny bool
+	sameAll = true
+	for i := 1; i <= 8; i++ {
+		av, bv, cv := a.backoffFor(i), b.backoffFor(i), c.backoffFor(i)
+		if av != bv {
+			sameAll = false
+		}
+		if av != cv {
+			diffAny = true
+		}
+	}
+	if !sameAll {
+		t.Error("identical seeds diverged")
+	}
+	if !diffAny {
+		t.Error("different seeds produced identical jitter (suspicious)")
+	}
+}

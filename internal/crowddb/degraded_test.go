@@ -1,0 +1,194 @@
+package crowddb
+
+import (
+	"context"
+	"errors"
+	"os"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// errDiskGone is the injected failure for degraded-mode tests.
+var errDiskGone = errors.New("injected: disk gone")
+
+// flakyDisk gates journal writes and the health probe on one switch,
+// simulating a disk that goes away and later comes back.
+type flakyDisk struct{ broken atomic.Bool }
+
+func (d *flakyDisk) openJournal(path string) (JournalFile, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &flakyFile{f: f, disk: d}, nil
+}
+
+func (d *flakyDisk) probe() error {
+	if d.broken.Load() {
+		return errDiskGone
+	}
+	return nil
+}
+
+type flakyFile struct {
+	f    *os.File
+	disk *flakyDisk
+}
+
+func (ff *flakyFile) Write(p []byte) (int, error) {
+	if ff.disk.broken.Load() {
+		return 0, errDiskGone
+	}
+	return ff.f.Write(p)
+}
+
+func (ff *flakyFile) Sync() error {
+	if ff.disk.broken.Load() {
+		return errDiskGone
+	}
+	return ff.f.Sync()
+}
+
+func (ff *flakyFile) Close() error { return ff.f.Close() }
+
+// degradedOptions wires a flakyDisk into the durability layer with a
+// fast probe so tests heal in milliseconds.
+func degradedOptions(disk *flakyDisk) Options {
+	return Options{
+		Sync:            SyncAlways(),
+		OpenJournalFile: disk.openJournal,
+		Probe:           disk.probe,
+		ProbeInterval:   5 * time.Millisecond,
+	}
+}
+
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestDegradedModeSealsMutationsKeepsSelections(t *testing.T) {
+	d, model := trainedFixture(t)
+	dir := t.TempDir()
+	disk := &flakyDisk{}
+	rig := openDurable(t, dir, d, model, degradedOptions(disk))
+	defer rig.db.Close()
+
+	// Healthy baseline: one resolved task and a reference selection.
+	rig.resolveOneTask(t, "baseline question about trees", []float64{4, 1})
+	sel := []TaskSubmission{{Text: "how do b+ trees differ from b trees", K: 2}}
+	before, err := rig.mgr.RankOnly(context.Background(), sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The disk goes away: the next journaled mutation fails and trips
+	// degraded read-only mode.
+	disk.broken.Store(true)
+	if _, err := rig.mgr.SubmitTask(context.Background(), "doomed submission", 2); !errors.Is(err, ErrJournal) {
+		t.Fatalf("mutation during disk failure = %v, want ErrJournal", err)
+	}
+	if !rig.db.Degraded() {
+		t.Fatal("DB not degraded after journal write failure")
+	}
+	// Later mutations are refused up front by the seal, before touching
+	// the journal.
+	if err := rig.db.Store().SetOnline(0, false); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("sealed mutation = %v, want ErrDegraded", err)
+	}
+	if _, err := rig.mgr.SubmitTask(context.Background(), "also doomed", 2); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("sealed submission = %v, want ErrDegraded", err)
+	}
+	// Selections keep answering from the last committed model, and they
+	// answer the same thing they did before the fault.
+	during, err := rig.mgr.RankOnly(context.Background(), sel)
+	if err != nil {
+		t.Fatalf("selection during degraded mode: %v", err)
+	}
+	if !reflect.DeepEqual(before, during) {
+		t.Fatalf("degraded selection = %v, want pre-fault %v", during, before)
+	}
+	stats := rig.db.Stats()
+	if !stats.Degraded || stats.DegradedEnters != 1 || stats.DegradedExits != 0 {
+		t.Fatalf("stats during fault = degraded %v, enters %d, exits %d",
+			stats.Degraded, stats.DegradedEnters, stats.DegradedExits)
+	}
+
+	// The disk comes back: the probe loop heals via compaction to a
+	// fresh generation and unseals.
+	genBefore := rig.db.Generation()
+	disk.broken.Store(false)
+	waitUntil(t, "degraded mode to clear", func() bool { return !rig.db.Degraded() })
+	if gen := rig.db.Generation(); gen <= genBefore {
+		t.Fatalf("healing did not advance the generation (%d -> %d)", genBefore, gen)
+	}
+	stats = rig.db.Stats()
+	if stats.Degraded || stats.DegradedExits != 1 {
+		t.Fatalf("stats after heal = degraded %v, exits %d", stats.Degraded, stats.DegradedExits)
+	}
+	// Mutations work again.
+	rig.resolveOneTask(t, "post-heal question about indexes", []float64{5, 2})
+}
+
+func TestDegradedModeEntersOnce(t *testing.T) {
+	d, model := trainedFixture(t)
+	disk := &flakyDisk{}
+	rig := openDurable(t, t.TempDir(), d, model, degradedOptions(disk))
+	defer rig.db.Close()
+
+	disk.broken.Store(true)
+	// Only the first journal failure transitions; the seal blocks the
+	// rest, so the enter counter must not double-count.
+	rig.mgr.SubmitTask(context.Background(), "doomed one", 2)
+	rig.mgr.SubmitTask(context.Background(), "doomed two", 2)
+	rig.db.Store().SetOnline(0, false)
+	if got := rig.db.Stats().DegradedEnters; got != 1 {
+		t.Fatalf("DegradedEnters = %d, want 1", got)
+	}
+}
+
+func TestDegradedStateSurvivesReopen(t *testing.T) {
+	// A process that dies while degraded must come back serving: the
+	// acked pre-fault state recovers; the un-acked failed mutation may
+	// or may not (it was never acknowledged), but nothing acked is lost.
+	d, model := trainedFixture(t)
+	dir := t.TempDir()
+	disk := &flakyDisk{}
+	rig := openDurable(t, dir, d, model, degradedOptions(disk))
+
+	acked := rig.resolveOneTask(t, "acked before the fault", []float64{4, 1})
+	disk.broken.Store(true)
+	rig.mgr.SubmitTask(context.Background(), "never acked", 2)
+	if !rig.db.Degraded() {
+		t.Fatal("not degraded")
+	}
+	// Close while degraded must not fail shutdown even though the final
+	// journal sync cannot succeed.
+	if err := rig.db.Close(); err != nil {
+		t.Fatalf("Close while degraded = %v, want nil", err)
+	}
+
+	disk.broken.Store(false)
+	rig2 := openDurable(t, dir, d, nil, degradedOptions(disk))
+	defer rig2.db.Close()
+	if rig2.db.Degraded() {
+		t.Fatal("fresh process inherited degraded mode")
+	}
+	got, err := rig2.db.Store().GetTask(acked.ID)
+	if err != nil {
+		t.Fatalf("acked task lost across degraded crash: %v", err)
+	}
+	if got.Status != TaskResolved {
+		t.Fatalf("acked task recovered as %v, want resolved", got.Status)
+	}
+	// The recovered process accepts mutations again.
+	rig2.resolveOneTask(t, "life after the fault", []float64{3, 2})
+}

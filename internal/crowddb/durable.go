@@ -55,6 +55,10 @@ type DurabilityStats struct {
 	// TornTailTruncated reports whether the last Recover discarded a
 	// torn final record (1) or not (0).
 	TornTailTruncated atomic.Int64
+	// DegradedEnters / DegradedExits count transitions into and out of
+	// degraded read-only mode (journal write failure → disk heal).
+	DegradedEnters atomic.Int64
+	DegradedExits  atomic.Int64
 }
 
 func (st *DurabilityStats) recordWritten(n int64) {
@@ -73,6 +77,9 @@ type DurabilitySnapshot struct {
 	RecoveryMillis    int64  `json:"recovery_ms"`
 	RecoveredRecords  int64  `json:"recovered_records"`
 	TornTailTruncated bool   `json:"torn_tail_truncated"`
+	Degraded          bool   `json:"degraded"`
+	DegradedEnters    int64  `json:"degraded_enters"`
+	DegradedExits     int64  `json:"degraded_exits"`
 }
 
 // Options configures Open.
@@ -92,6 +99,14 @@ type Options struct {
 	// OpenJournalFile overrides how the append handle on a journal
 	// file is opened — the crash-injection hook. nil uses os.OpenFile.
 	OpenJournalFile func(path string) (JournalFile, error)
+	// Probe overrides the disk-health check run while the DB is in
+	// degraded read-only mode; returning nil means the disk looks
+	// writable again and the DB may try to heal. nil uses a default
+	// that writes, fsyncs and removes a scratch file in the data dir.
+	Probe func() error
+	// ProbeInterval is how often the recovery probe runs while
+	// degraded (default 1s).
+	ProbeInterval time.Duration
 	// Logf receives lifecycle notices (recovery, compaction). nil is
 	// silent.
 	Logf func(format string, args ...any)
@@ -130,6 +145,11 @@ type DB struct {
 	stopOnce sync.Once
 	stopc    chan struct{}
 	donec    chan struct{} // non-nil once the auto-compaction loop runs
+
+	// degraded read-only mode: set on journal write failure, cleared
+	// when the probe loop heals the disk with a fresh generation.
+	degraded atomic.Bool
+	probeWG  sync.WaitGroup
 }
 
 // Open scans dir (creating it if needed), restores the newest valid
@@ -144,6 +164,9 @@ func Open(dir string, opts Options) (*DB, error) {
 	}
 	if opts.CheckInterval <= 0 {
 		opts.CheckInterval = time.Second
+	}
+	if opts.ProbeInterval <= 0 {
+		opts.ProbeInterval = time.Second
 	}
 	db := &DB{
 		dir:   dir,
@@ -327,6 +350,7 @@ func (db *DB) attachJournalLocked(gen uint64, initRecords, initBytes int64) erro
 		return fmt.Errorf("crowddb: open journal: %w", err)
 	}
 	db.jw = newJournalWriter(f, db.opts.Sync, &db.stats, nil)
+	db.jw.onErr = db.enterDegraded
 	db.jw.records, db.jw.bytes = initRecords, initBytes
 	db.store.attachSink(db.jw)
 	return nil
@@ -387,6 +411,7 @@ func (db *DB) compactLocked() error {
 		}
 		old := db.jw
 		db.jw = newJournalWriter(f, db.opts.Sync, &db.stats, nil)
+		db.jw.onErr = db.enterDegraded
 		db.store.journal = db.jw
 		if old != nil {
 			if err := old.Close(); err != nil {
@@ -404,6 +429,74 @@ func (db *DB) compactLocked() error {
 	db.removeGenerationsThrough(prev)
 	db.opts.logf("crowddb: compacted to generation %d", next)
 	return nil
+}
+
+// Degraded reports whether the DB is in degraded read-only mode: a
+// journal append or fsync failed, mutations are sealed, and the probe
+// loop is waiting for the disk to heal. Selections and other reads
+// keep serving from the last committed state.
+func (db *DB) Degraded() bool { return db.degraded.Load() }
+
+// enterDegraded flips the DB into degraded read-only mode on the
+// first journal failure: it seals the store so no further mutation is
+// acknowledged that the journal would not survive, and starts the
+// probe loop that watches for the disk to come back. Called from
+// inside a failing journal append with the store lock held, so it
+// only touches atomics and spawns the prober.
+func (db *DB) enterDegraded(err error) {
+	if !db.degraded.CompareAndSwap(false, true) {
+		return
+	}
+	db.stats.DegradedEnters.Add(1)
+	db.store.Seal()
+	db.opts.logf("crowddb: journal write failed (%v); entering degraded read-only mode", err)
+	db.probeWG.Add(1)
+	go func() {
+		defer db.probeWG.Done()
+		db.probeLoop()
+	}()
+}
+
+// probeLoop runs while degraded: every ProbeInterval it checks the
+// disk and, once writable, heals by compacting to a fresh generation —
+// the new snapshot + journal make whatever the failed journal lost or
+// tore irrelevant — then unseals mutations.
+func (db *DB) probeLoop() {
+	ticker := time.NewTicker(db.opts.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-db.stopc:
+			return
+		case <-ticker.C:
+			if err := db.probe(); err != nil {
+				continue
+			}
+			if err := db.Compact(); err != nil {
+				db.opts.logf("crowddb: degraded: probe passed but healing compaction failed: %v", err)
+				continue
+			}
+			db.store.Unseal()
+			db.degraded.Store(false)
+			db.stats.DegradedExits.Add(1)
+			db.opts.logf("crowddb: disk healed; left degraded read-only mode at generation %d", db.Generation())
+			return
+		}
+	}
+}
+
+// probe is one disk-health check: the Options hook, or a write + fsync
+// + remove of a scratch file in the data directory.
+func (db *DB) probe() error {
+	if db.opts.Probe != nil {
+		return db.opts.Probe()
+	}
+	path := filepath.Join(db.dir, ".probe")
+	defer os.Remove(path)
+	return writeFileAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "ok")
+		return err
+	})
 }
 
 // removeGenerationsThrough deletes the files of every generation up
@@ -442,6 +535,9 @@ func (db *DB) startAutoCompaction() {
 			case <-db.stopc:
 				return
 			case <-ticker.C:
+				if db.degraded.Load() {
+					continue // the probe loop owns the disk while degraded
+				}
 				if db.NeedsCompaction() {
 					if err := db.Compact(); err != nil {
 						db.opts.logf("crowddb: auto-compaction failed: %v", err)
@@ -474,6 +570,7 @@ func (db *DB) Close() error {
 	if donec != nil {
 		<-donec
 	}
+	db.probeWG.Wait()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.jw == nil {
@@ -483,6 +580,12 @@ func (db *DB) Close() error {
 	jw := db.jw
 	db.jw = nil
 	if err := jw.Close(); err != nil {
+		// While degraded the journal is already known-broken; a failing
+		// final sync must not block shutdown.
+		if db.degraded.Load() {
+			db.opts.logf("crowddb: close journal while degraded: %v", err)
+			return nil
+		}
 		return fmt.Errorf("crowddb: close journal: %w", err)
 	}
 	return nil
@@ -502,5 +605,8 @@ func (db *DB) Stats() DurabilitySnapshot {
 		RecoveryMillis:    db.stats.RecoveryMillis.Load(),
 		RecoveredRecords:  db.stats.RecoveredRecords.Load(),
 		TornTailTruncated: db.stats.TornTailTruncated.Load() == 1,
+		Degraded:          db.degraded.Load(),
+		DegradedEnters:    db.stats.DegradedEnters.Load(),
+		DegradedExits:     db.stats.DegradedExits.Load(),
 	}
 }

@@ -204,6 +204,10 @@ type journalWriter struct {
 	bytes    int64
 	stats    *DurabilityStats
 	clock    func() time.Time
+	// onErr observes append/fsync failures (the durability layer's
+	// degraded-mode trigger). Called with jw.mu — and typically the
+	// store lock — held, so it must not block or re-enter the store.
+	onErr func(error)
 }
 
 func newJournalWriter(f JournalFile, policy SyncPolicy, stats *DurabilityStats, clock func() time.Time) *journalWriter {
@@ -222,6 +226,7 @@ func (jw *journalWriter) logRecord(e event) error {
 	jw.mu.Lock()
 	defer jw.mu.Unlock()
 	if _, err := jw.f.Write(frame); err != nil {
+		jw.failed(err)
 		return fmt.Errorf("%w: %v", ErrJournal, err)
 	}
 	jw.records++
@@ -232,10 +237,18 @@ func (jw *journalWriter) logRecord(e event) error {
 	}
 	if jw.shouldSync() {
 		if err := jw.syncLocked(); err != nil {
+			jw.failed(err)
 			return fmt.Errorf("%w: %v", ErrJournal, err)
 		}
 	}
 	return nil
+}
+
+// failed reports one append/fsync failure to the onErr observer.
+func (jw *journalWriter) failed(err error) {
+	if jw.onErr != nil {
+		jw.onErr(err)
+	}
 }
 
 func (jw *journalWriter) shouldSync() bool {

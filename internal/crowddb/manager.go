@@ -173,6 +173,48 @@ func (m *Manager) SubmitBatch(ctx context.Context, reqs []TaskSubmission) ([]Sub
 	return out, nil
 }
 
+// RankOnly is the pure selection path: it projects and ranks a batch
+// of tasks against the online workers without storing anything — no
+// task rows, no assignments, no journal writes. This is the read-only
+// counterpart of SubmitBatch (selections are computed by the same
+// ranking code) and the only selection path that stays available in
+// degraded read-only mode, when the store has sealed mutations.
+func (m *Manager) RankOnly(ctx context.Context, reqs []TaskSubmission) ([][]int, error) {
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("%w: empty batch", ErrBadRequest)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	bags := make([]text.Bag, len(reqs))
+	ks := make([]int, len(reqs))
+	kmax := 0
+	for i, r := range reqs {
+		ks[i] = r.K
+		if ks[i] <= 0 {
+			ks[i] = m.k
+		}
+		if ks[i] > kmax {
+			kmax = ks[i]
+		}
+		bags[i] = text.NewBagKnown(m.vocab, text.Tokenize(r.Text))
+	}
+	online := m.store.OnlineWorkers()
+	if len(online) == 0 {
+		return nil, fmt.Errorf("%w: no online workers", ErrBadRequest)
+	}
+	ranked, err := m.rankBatch(ctx, bags, online, kmax)
+	if err != nil {
+		return nil, err
+	}
+	for i := range ranked {
+		if len(ranked[i]) > ks[i] {
+			ranked[i] = ranked[i][:ks[i]]
+		}
+	}
+	return ranked, nil
+}
+
 // rankBatch ranks every bag against the candidate set, truncated to k:
 // one BatchRanker call when the selector supports it, otherwise a
 // sequential loop with a cancellation check per task.

@@ -28,10 +28,13 @@ type endpointStats struct {
 // latency histograms for the crowd-manager HTTP server. All methods
 // are safe for concurrent use.
 type Metrics struct {
-	mu        sync.Mutex
-	start     time.Time
-	endpoints map[string]*endpointStats
-	shed      int64
+	mu           sync.Mutex
+	start        time.Time
+	endpoints    map[string]*endpointStats
+	shed         int64
+	shedReads    int64
+	shedWrites   int64
+	deadlineOver int64
 }
 
 // NewMetrics returns an empty registry with uptime anchored at now.
@@ -69,10 +72,25 @@ func (m *Metrics) Observe(endpoint string, status int, d time.Duration) {
 	st.buckets[b]++
 }
 
-// ObserveShed counts one request refused by the load-shedding gate.
-func (m *Metrics) ObserveShed() {
+// ObserveShed counts one request refused by the load-shedding gate,
+// split by priority class (mutations shed only after reads).
+func (m *Metrics) ObserveShed(mutation bool) {
 	m.mu.Lock()
 	m.shed++
+	if mutation {
+		m.shedWrites++
+	} else {
+		m.shedReads++
+	}
+	m.mu.Unlock()
+}
+
+// ObserveDeadlineOverrun counts one request whose server-side deadline
+// budget expired before the handler finished — the admission
+// controller's overload signal.
+func (m *Metrics) ObserveDeadlineOverrun() {
+	m.mu.Lock()
+	m.deadlineOver++
 	m.mu.Unlock()
 }
 
@@ -91,12 +109,16 @@ type EndpointMetrics struct {
 // MetricsSnapshot is the GET /api/metrics payload. Durability is
 // populated by the server when a durable DB backs the service.
 type MetricsSnapshot struct {
-	UptimeSeconds float64                    `json:"uptime_seconds"`
-	Requests      int64                      `json:"requests"`
-	Errors        int64                      `json:"errors"`
-	Shed          int64                      `json:"shed"`
-	Endpoints     map[string]EndpointMetrics `json:"endpoints"`
-	Durability    *DurabilitySnapshot        `json:"durability,omitempty"`
+	UptimeSeconds    float64                    `json:"uptime_seconds"`
+	Requests         int64                      `json:"requests"`
+	Errors           int64                      `json:"errors"`
+	Shed             int64                      `json:"shed"`
+	ShedReads        int64                      `json:"shed_reads"`
+	ShedMutations    int64                      `json:"shed_mutations"`
+	DeadlineOverruns int64                      `json:"deadline_overruns"`
+	Endpoints        map[string]EndpointMetrics `json:"endpoints"`
+	Admission        *AdmissionSnapshot         `json:"admission,omitempty"`
+	Durability       *DurabilitySnapshot        `json:"durability,omitempty"`
 }
 
 // Snapshot returns a consistent copy of every counter.
@@ -104,9 +126,12 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	snap := MetricsSnapshot{
-		UptimeSeconds: time.Since(m.start).Seconds(),
-		Shed:          m.shed,
-		Endpoints:     make(map[string]EndpointMetrics, len(m.endpoints)),
+		UptimeSeconds:    time.Since(m.start).Seconds(),
+		Shed:             m.shed,
+		ShedReads:        m.shedReads,
+		ShedMutations:    m.shedWrites,
+		DeadlineOverruns: m.deadlineOver,
+		Endpoints:        make(map[string]EndpointMetrics, len(m.endpoints)),
 	}
 	for name, st := range m.endpoints {
 		em := EndpointMetrics{

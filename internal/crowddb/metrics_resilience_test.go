@@ -1,0 +1,107 @@
+package crowddb
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestMetricsQuantileInterpolation: quantiles interpolate linearly
+// inside the covering bucket and clamp to the observed maximum — a
+// quantile must never exceed what was actually seen.
+func TestMetricsQuantileInterpolation(t *testing.T) {
+	m := NewMetrics()
+	// 100 identical 2ms samples land in the (1ms, 2.5ms] bucket.
+	for i := 0; i < 100; i++ {
+		m.Observe("GET /x", 200, 2*time.Millisecond)
+	}
+	ep := m.Snapshot().Endpoints["GET /x"]
+	// p50: target 50 of 100 in one bucket → lo + 0.5*(hi-lo) =
+	// 1ms + 0.5*1.5ms = 1.75ms.
+	if math.Abs(ep.P50Ms-1.75) > 1e-9 {
+		t.Errorf("p50 = %v ms, want 1.75", ep.P50Ms)
+	}
+	// p99 would interpolate to 2.485ms — past the observed max, so it
+	// clamps to 2ms.
+	if math.Abs(ep.P99Ms-2.0) > 1e-9 {
+		t.Errorf("p99 = %v ms, want clamp to observed max 2.0", ep.P99Ms)
+	}
+	if ep.MaxMs != 2.0 {
+		t.Errorf("max = %v ms, want 2.0", ep.MaxMs)
+	}
+}
+
+// TestMetricsQuantileAtBucketBoundary: a sample exactly on a bucket's
+// upper bound belongs to that bucket (<=), so interpolation uses the
+// lower bucket's range, not the next one's.
+func TestMetricsQuantileAtBucketBoundary(t *testing.T) {
+	m := NewMetrics()
+	// 1ms is exactly the upper bound of the (0.5ms, 1ms] bucket.
+	for i := 0; i < 10; i++ {
+		m.Observe("GET /edge", 200, time.Millisecond)
+	}
+	ep := m.Snapshot().Endpoints["GET /edge"]
+	// p50 interpolates inside (0.5ms, 1ms]: 0.5 + 0.5*0.5 = 0.75ms.
+	if math.Abs(ep.P50Ms-0.75) > 1e-9 {
+		t.Errorf("p50 = %v ms, want 0.75 (boundary sample in lower bucket)", ep.P50Ms)
+	}
+	// Every quantile stays within the bucket that holds all samples.
+	if ep.P99Ms > 1.0+1e-9 {
+		t.Errorf("p99 = %v ms, want <= 1.0", ep.P99Ms)
+	}
+}
+
+// TestMetricsShedAndOverrunCounters: the resilience counters split by
+// class and survive a snapshot round trip.
+func TestMetricsShedAndOverrunCounters(t *testing.T) {
+	m := NewMetrics()
+	m.ObserveShed(false)
+	m.ObserveShed(false)
+	m.ObserveShed(true)
+	m.ObserveDeadlineOverrun()
+	snap := m.Snapshot()
+	if snap.Shed != 3 || snap.ShedReads != 2 || snap.ShedMutations != 1 {
+		t.Errorf("shed = %d (reads %d, mutations %d); want 3 (2, 1)",
+			snap.Shed, snap.ShedReads, snap.ShedMutations)
+	}
+	if snap.DeadlineOverruns != 1 {
+		t.Errorf("deadline overruns = %d, want 1", snap.DeadlineOverruns)
+	}
+}
+
+// TestMetricsConcurrentResilienceCounters hammers every observer
+// alongside Snapshot; meaningful under -race, and the final counts
+// must be exact.
+func TestMetricsConcurrentResilienceCounters(t *testing.T) {
+	m := NewMetrics()
+	const goroutines, per = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				m.Observe("GET /hammer", 200, time.Duration(i)*time.Microsecond)
+				m.ObserveShed(i%2 == 0)
+				m.ObserveDeadlineOverrun()
+				if i%50 == 0 {
+					m.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := m.Snapshot()
+	total := int64(goroutines * per)
+	if snap.Requests != total {
+		t.Errorf("requests = %d, want %d", snap.Requests, total)
+	}
+	if snap.Shed != total || snap.ShedReads != total/2 || snap.ShedMutations != total/2 {
+		t.Errorf("shed = %d (reads %d, mutations %d); want %d (%d, %d)",
+			snap.Shed, snap.ShedReads, snap.ShedMutations, total, total/2, total/2)
+	}
+	if snap.DeadlineOverruns != total {
+		t.Errorf("overruns = %d, want %d", snap.DeadlineOverruns, total)
+	}
+}

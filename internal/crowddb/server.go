@@ -17,6 +17,7 @@ import (
 //
 //	POST /api/v1/tasks                     {"text": "...", "k": 3}
 //	POST /api/v1/tasks:batch               {"tasks": [{"text": "...", "k": 3}, ...]}
+//	POST /api/v1/selections                {"tasks": [{"text": "...", "k": 3}, ...]}  (pure read: rank, store nothing)
 //	GET  /api/v1/tasks/{id}
 //	POST /api/v1/tasks/{id}/answers        {"worker": 2, "answer": "..."}
 //	POST /api/v1/tasks/{id}/feedback       {"scores": {"2": 4}}
@@ -36,8 +37,9 @@ import (
 //	{"error": {"code": "bad_request", "message": "empty task text"}}
 //
 // where code is a stable machine-readable class (bad_request,
-// not_found, method_not_allowed, over_capacity, client_closed_request,
-// unavailable, not_implemented, internal) and message is
+// not_found, method_not_allowed, request_too_large, over_capacity,
+// client_closed_request, unavailable, degraded_read_only,
+// deadline_exceeded, not_implemented, internal) and message is
 // human-readable detail.
 //
 // Handlers thread the request context into the manager, so a client
@@ -67,8 +69,13 @@ type Server struct {
 	metrics    *Metrics
 	logf       func(format string, args ...any) // nil: quiet
 	ready      atomic.Bool
-	inflight   chan struct{}             // nil: unlimited
-	durability func() DurabilitySnapshot // nil: no durability section
+	adm        *admission    // nil: unlimited
+	readBudget time.Duration // server-side deadline for reads (0: none)
+
+	writeBudget time.Duration             // server-side deadline for mutations (0: none)
+	maxBody     int64                     // request-body cap for POSTs
+	degraded    func() bool               // nil: never degraded
+	durability  func() DurabilitySnapshot // nil: no durability section
 }
 
 // QueryEngine executes crowdql statements; crowdql.HTTPAdapter
@@ -84,6 +91,10 @@ type QueryEngine interface {
 // with more tasks split them across requests.
 const maxBatchTasks = 1024
 
+// defaultMaxBody caps a POST request body unless SetMaxBodyBytes says
+// otherwise; oversized bodies get 413 with the request_too_large code.
+const defaultMaxBody = 1 << 20
+
 // statusClientClosedRequest reports a request aborted because the
 // client went away (context cancelled or deadline exceeded) — the
 // de facto 499 status popularized by nginx; net/http has no name
@@ -94,10 +105,11 @@ const statusClientClosedRequest = 499
 // recover state on boot call SetReady(false) before serving and flip
 // it once recovery completes.
 func NewServer(mgr *Manager) *Server {
-	s := &Server{mgr: mgr, mux: http.NewServeMux(), metrics: NewMetrics()}
+	s := &Server{mgr: mgr, mux: http.NewServeMux(), metrics: NewMetrics(), maxBody: defaultMaxBody}
 	s.ready.Store(true)
 	s.mux.HandleFunc("/api/v1/tasks", s.handleTasks)
 	s.mux.HandleFunc("/api/v1/tasks:batch", s.handleTasksBatch)
+	s.mux.HandleFunc("/api/v1/selections", s.handleSelections)
 	s.mux.HandleFunc("/api/v1/tasks/", s.handleTaskSubtree)
 	s.mux.HandleFunc("/api/v1/workers/", s.handleWorkerSubtree)
 	s.mux.HandleFunc("/api/v1/stats", s.handleStats)
@@ -120,17 +132,53 @@ func (s *Server) SetLogger(logf func(format string, args ...any)) { s.logf = log
 // balancers route elsewhere during recovery or shutdown drain.
 func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
 
-// SetMaxInFlight caps concurrently served /api requests; excess
-// requests are shed immediately with 429 + Retry-After instead of
-// queueing until the client times out. n <= 0 removes the cap. Call
-// before serving traffic.
+// SetMaxInFlight pins a fixed concurrency cap on /api requests (no
+// AIMD adaptation): excess reads are shed immediately with 429 +
+// Retry-After; mutations keep a small reserve above the cap so they
+// are never shed before reads. n <= 0 removes the cap. Call before
+// serving traffic. For an adaptive limit use SetAdmission.
 func (s *Server) SetMaxInFlight(n int) {
 	if n <= 0 {
-		s.inflight = nil
+		s.adm = nil
 		return
 	}
-	s.inflight = make(chan struct{}, n)
+	s.adm = newAdmission(AdmissionConfig{Initial: n, Min: n, Max: n})
 }
+
+// SetAdmission installs the adaptive AIMD admission controller: the
+// concurrency limit grows additively while requests finish inside
+// their deadline budget and shrinks multiplicatively on deadline
+// overruns, within [cfg.Min, cfg.Max]. Call before serving traffic.
+func (s *Server) SetAdmission(cfg AdmissionConfig) {
+	s.adm = newAdmission(cfg)
+}
+
+// SetDeadlineBudgets installs per-request server-side deadlines: read
+// requests (GETs, selections, query) get read, mutations get write.
+// Zero disables that class's budget. The budget is threaded through
+// the request context, so handler work is actually abandoned at the
+// deadline; the response is 503 with the deadline_exceeded code, and
+// each overrun is an overload signal to the admission controller.
+func (s *Server) SetDeadlineBudgets(read, write time.Duration) {
+	s.readBudget, s.writeBudget = read, write
+}
+
+// SetMaxBodyBytes caps POST request bodies (default 1 MiB); oversized
+// requests get 413 with the request_too_large code. n <= 0 restores
+// the default.
+func (s *Server) SetMaxBodyBytes(n int64) {
+	if n <= 0 {
+		n = defaultMaxBody
+	}
+	s.maxBody = n
+}
+
+// SetDegradedCheck wires the durability layer's degraded-mode flag
+// (typically (*DB).Degraded): while it reports true, mutations are
+// refused up front with 503 + degraded_read_only and /readyz carries a
+// mode detail, while selections and other reads keep serving from the
+// last committed model.
+func (s *Server) SetDegradedCheck(f func() bool) { s.degraded = f }
 
 // SetDurabilityStats adds a durability section to GET /api/v1/metrics,
 // fed by the given snapshot function (typically (*DB).Stats).
@@ -144,6 +192,12 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if !s.ready.Load() {
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "not ready"})
+		return
+	}
+	// Degraded read-only is still ready — selections keep serving — but
+	// the detail lets operators and dashboards see the state.
+	if s.degraded != nil && s.degraded() {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready", "mode": "degraded_read_only"})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
@@ -167,8 +221,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req queryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	if strings.TrimSpace(req.Q) == "" {
@@ -177,7 +230,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.query.Execute(r.Context(), req.Q)
 	if err != nil {
-		httpError(w, statusOf(err), err)
+		writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -192,10 +245,42 @@ func legacyRewrite(path string) string {
 	return "/api/v1/" + strings.TrimPrefix(path, "/api/")
 }
 
+// isMutation classifies a request for shedding priority, deadline
+// budgets and the degraded-mode gate. POSTs mutate the crowd database
+// — except /api/v1/selections (a pure model read) and /api/v1/query
+// (may be a pure SELECT; its mutating statements are sealed by the
+// store's own gate in degraded mode).
+func isMutation(r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		return false
+	}
+	switch r.URL.Path {
+	case "/api/v1/selections", "/api/v1/query":
+		return false
+	}
+	return true
+}
+
+// parentCtxKey carries the pre-budget request context so the error
+// mapper can tell a server-imposed deadline (503 deadline_exceeded,
+// overload signal) from a client disconnect (499).
+type parentCtxKey struct{}
+
+// serverDeadlineFired reports whether the server's own deadline budget
+// expired while the client was still there.
+func serverDeadlineFired(ctx context.Context) bool {
+	if !errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return false
+	}
+	parent, ok := ctx.Value(parentCtxKey{}).(context.Context)
+	return ok && parent.Err() == nil
+}
+
 // ServeHTTP implements http.Handler. It is the middleware shell:
-// rewrite deprecated /api/* paths onto /api/v1/*, route, then record
-// status/latency per endpoint (under the v1 label for both spellings)
-// and turn handler panics into 500s.
+// rewrite deprecated /api/* paths onto /api/v1/*, run the readiness,
+// degraded-mode and admission gates, arm the deadline budget, cap the
+// request body, route, then record status/latency per endpoint (under
+// the v1 label for both spellings) and turn handler panics into 500s.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	sw := &statusWriter{ResponseWriter: w}
@@ -224,19 +309,47 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			httpError(sw, http.StatusServiceUnavailable, errors.New("service not ready"))
 			return
 		}
-		if s.inflight != nil {
-			select {
-			case s.inflight <- struct{}{}:
-				defer func() { <-s.inflight }()
-			default:
-				s.metrics.ObserveShed()
-				sw.Header().Set("Retry-After", "1")
+		mutation := isMutation(r)
+		if mutation && s.degraded != nil && s.degraded() {
+			httpErrorCode(sw, http.StatusServiceUnavailable, codeDegradedReadOnly,
+				errors.New("journal unavailable: mutations sealed, reads still served"))
+			return
+		}
+		if s.adm != nil {
+			ok, retryAfter := s.adm.acquire(mutation)
+			if !ok {
+				s.metrics.ObserveShed(mutation)
+				sw.Header().Set("Retry-After", strconv.Itoa(retryAfter))
 				httpError(sw, http.StatusTooManyRequests, errors.New("server at capacity"))
 				return
 			}
+			defer func() {
+				overloaded := serverDeadlineFired(r.Context())
+				if overloaded {
+					s.metrics.ObserveDeadlineOverrun()
+				}
+				s.adm.release(time.Since(start), overloaded)
+			}()
+		}
+		if budget := s.budgetFor(mutation); budget > 0 {
+			parent := r.Context()
+			ctx, cancel := context.WithTimeout(context.WithValue(parent, parentCtxKey{}, parent), budget)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		if r.Method == http.MethodPost {
+			r.Body = http.MaxBytesReader(sw, r.Body, s.maxBody)
 		}
 	}
 	s.mux.ServeHTTP(sw, r)
+}
+
+// budgetFor picks the deadline budget for a request class.
+func (s *Server) budgetFor(mutation bool) time.Duration {
+	if mutation {
+		return s.writeBudget
+	}
+	return s.readBudget
 }
 
 // statusWriter captures the response status for metrics and logging.
@@ -295,6 +408,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		d := s.durability()
 		snap.Durability = &d
 	}
+	if s.adm != nil {
+		a := s.adm.snapshot()
+		snap.Admission = &a
+	}
 	writeJSON(w, http.StatusOK, snap)
 }
 
@@ -332,8 +449,7 @@ func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req SubmitRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	if strings.TrimSpace(req.Text) == "" {
@@ -342,7 +458,7 @@ func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
 	}
 	sub, err := s.mgr.SubmitTask(r.Context(), req.Text, req.K)
 	if err != nil {
-		httpError(w, statusOf(err), err)
+		writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, SubmitResponse{
@@ -358,29 +474,16 @@ func (s *Server) handleTasksBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req BatchSubmitRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
-	if len(req.Tasks) == 0 {
-		httpError(w, http.StatusBadRequest, errors.New("empty batch"))
+	reqs, ok := s.batchSubmissions(w, req)
+	if !ok {
 		return
-	}
-	if len(req.Tasks) > maxBatchTasks {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("batch of %d tasks exceeds the limit of %d", len(req.Tasks), maxBatchTasks))
-		return
-	}
-	reqs := make([]TaskSubmission, len(req.Tasks))
-	for i, t := range req.Tasks {
-		if strings.TrimSpace(t.Text) == "" {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("empty task text at index %d", i))
-			return
-		}
-		reqs[i] = TaskSubmission{Text: t.Text, K: t.K}
 	}
 	subs, err := s.mgr.SubmitBatch(r.Context(), reqs)
 	if err != nil {
-		httpError(w, statusOf(err), err)
+		writeErr(w, r, err)
 		return
 	}
 	model := s.mgr.SelectorName()
@@ -389,6 +492,72 @@ func (s *Server) handleTasksBatch(w http.ResponseWriter, r *http.Request) {
 		resp.Results[i] = SubmitResponse{TaskID: sub.Task.ID, Workers: sub.Workers, Model: model}
 	}
 	writeJSON(w, http.StatusCreated, resp)
+}
+
+// batchSubmissions validates a batch body shared by tasks:batch and
+// selections; on failure it writes the error and reports !ok.
+func (s *Server) batchSubmissions(w http.ResponseWriter, req BatchSubmitRequest) ([]TaskSubmission, bool) {
+	if len(req.Tasks) == 0 {
+		httpError(w, http.StatusBadRequest, errors.New("empty batch"))
+		return nil, false
+	}
+	if len(req.Tasks) > maxBatchTasks {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("batch of %d tasks exceeds the limit of %d", len(req.Tasks), maxBatchTasks))
+		return nil, false
+	}
+	reqs := make([]TaskSubmission, len(req.Tasks))
+	for i, t := range req.Tasks {
+		if strings.TrimSpace(t.Text) == "" {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("empty task text at index %d", i))
+			return nil, false
+		}
+		reqs[i] = TaskSubmission{Text: t.Text, K: t.K}
+	}
+	return reqs, true
+}
+
+// SelectionResult is one element of a selections response: the crowd
+// for one task text, best worker first.
+type SelectionResult struct {
+	Workers []int `json:"workers"`
+}
+
+// SelectionsResponse is the body of POST /api/v1/selections: one
+// result per requested task, in request order, plus the selector that
+// ranked them.
+type SelectionsResponse struct {
+	Results []SelectionResult `json:"results"`
+	Model   string            `json:"model"`
+}
+
+// handleSelections is the pure selection path: rank crowds for up to
+// maxBatchTasks task texts without storing anything. It reads only the
+// committed model and the online-worker set, so it keeps answering in
+// degraded read-only mode — the property the paper's selection queries
+// need (§5.3: a selection needs only the last committed projection).
+func (s *Server) handleSelections(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	var req BatchSubmitRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	reqs, ok := s.batchSubmissions(w, req)
+	if !ok {
+		return
+	}
+	crowds, err := s.mgr.RankOnly(r.Context(), reqs)
+	if err != nil {
+		writeErr(w, r, err)
+		return
+	}
+	resp := SelectionsResponse{Results: make([]SelectionResult, len(crowds)), Model: s.mgr.SelectorName()}
+	for i, c := range crowds {
+		resp.Results[i] = SelectionResult{Workers: c}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 type answerRequest struct {
@@ -412,25 +581,23 @@ func (s *Server) handleTaskSubtree(w http.ResponseWriter, r *http.Request) {
 	case len(parts) == 1 && r.Method == http.MethodGet:
 		task, err := s.mgr.Store().GetTask(id)
 		if err != nil {
-			httpError(w, statusOf(err), err)
+			writeErr(w, r, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, task)
 	case len(parts) == 2 && parts[1] == "answers" && r.Method == http.MethodPost:
 		var req answerRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, err)
+		if !s.decodeJSON(w, r, &req) {
 			return
 		}
 		if err := s.mgr.CollectAnswer(id, req.Worker, req.Answer); err != nil {
-			httpError(w, statusOf(err), err)
+			writeErr(w, r, err)
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
 	case len(parts) == 2 && parts[1] == "feedback" && r.Method == http.MethodPost:
 		var req feedbackRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, err)
+		if !s.decodeJSON(w, r, &req) {
 			return
 		}
 		scores := make(map[int]float64, len(req.Scores))
@@ -444,7 +611,7 @@ func (s *Server) handleTaskSubtree(w http.ResponseWriter, r *http.Request) {
 		}
 		rec, err := s.mgr.ResolveTask(r.Context(), id, scores)
 		if err != nil {
-			httpError(w, statusOf(err), err)
+			writeErr(w, r, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, rec)
@@ -469,18 +636,17 @@ func (s *Server) handleWorkerSubtree(w http.ResponseWriter, r *http.Request) {
 	case len(parts) == 1 && r.Method == http.MethodGet:
 		worker, err := s.mgr.Store().GetWorker(id)
 		if err != nil {
-			httpError(w, statusOf(err), err)
+			writeErr(w, r, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, worker)
 	case len(parts) == 2 && parts[1] == "presence" && r.Method == http.MethodPost:
 		var req presenceRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, err)
+		if !s.decodeJSON(w, r, &req) {
 			return
 		}
 		if err := s.mgr.Store().SetOnline(id, req.Online); err != nil {
-			httpError(w, statusOf(err), err)
+			writeErr(w, r, err)
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
@@ -522,6 +688,8 @@ func statusOf(err error) int {
 	switch {
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return statusClientClosedRequest
+	case errors.Is(err, ErrDegraded), errors.Is(err, ErrJournal):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrNotFound):
 		return http.StatusNotFound
 	case errors.Is(err, ErrBadState), errors.Is(err, ErrNotAsked),
@@ -530,6 +698,42 @@ func statusOf(err error) int {
 	default:
 		return http.StatusInternalServerError
 	}
+}
+
+// writeErr maps a handler error onto the envelope, aware of the
+// request context: a server-imposed deadline overrun becomes 503
+// deadline_exceeded (the client is still there; retrying is correct),
+// a client disconnect stays 499, and sealed mutations in degraded
+// read-only mode carry the stable degraded_read_only code.
+func writeErr(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, ErrDegraded), errors.Is(err, ErrJournal):
+		httpErrorCode(w, http.StatusServiceUnavailable, codeDegradedReadOnly, err)
+	case serverDeadlineFired(r.Context()) &&
+		(errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)):
+		w.Header().Set("Retry-After", "1")
+		httpErrorCode(w, http.StatusServiceUnavailable, codeDeadlineExceeded, err)
+	default:
+		httpError(w, statusOf(err), err)
+	}
+}
+
+// decodeJSON decodes a POST body into v; on failure it writes the
+// error response (413 request_too_large when the body cap tripped,
+// 400 otherwise) and reports false.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	err := json.NewDecoder(r.Body).Decode(v)
+	if err == nil {
+		return true
+	}
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		httpErrorCode(w, http.StatusRequestEntityTooLarge, codeRequestTooLarge,
+			fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+		return false
+	}
+	httpError(w, http.StatusBadRequest, err)
+	return false
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -552,6 +756,15 @@ type ErrorEnvelope struct {
 	Error ErrorBody `json:"error"`
 }
 
+// Stable error codes that refine the status-derived default: sealed
+// mutations in degraded read-only mode, server-side deadline overruns,
+// and request bodies over the POST cap.
+const (
+	codeDegradedReadOnly = "degraded_read_only"
+	codeDeadlineExceeded = "deadline_exceeded"
+	codeRequestTooLarge  = "request_too_large"
+)
+
 // codeOf maps an HTTP status to the envelope's stable error code.
 func codeOf(status int) string {
 	switch status {
@@ -561,6 +774,8 @@ func codeOf(status int) string {
 		return "not_found"
 	case http.StatusMethodNotAllowed:
 		return "method_not_allowed"
+	case http.StatusRequestEntityTooLarge:
+		return codeRequestTooLarge
 	case http.StatusTooManyRequests:
 		return "over_capacity"
 	case statusClientClosedRequest:
@@ -575,5 +790,11 @@ func codeOf(status int) string {
 }
 
 func httpError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, ErrorEnvelope{Error: ErrorBody{Code: codeOf(status), Message: err.Error()}})
+	httpErrorCode(w, status, codeOf(status), err)
+}
+
+// httpErrorCode writes the envelope with an explicit code, for errors
+// whose code is more specific than the status-derived default.
+func httpErrorCode(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, ErrorEnvelope{Error: ErrorBody{Code: code, Message: err.Error()}})
 }

@@ -15,6 +15,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -82,6 +83,10 @@ var (
 	ErrNotAsked   = errors.New("crowddb: worker was not assigned this task")
 	ErrDuplicate  = errors.New("crowddb: duplicate answer")
 	ErrBadRequest = errors.New("crowddb: invalid request")
+	// ErrDegraded seals mutations while the database is in degraded
+	// read-only mode after a journal write failure: reads and pure
+	// selections keep working, writes are refused until the disk heals.
+	ErrDegraded = errors.New("crowddb: degraded read-only mode (journal write failure)")
 )
 
 // Store is the crowd database. It is safe for concurrent use. The zero
@@ -93,6 +98,10 @@ type Store struct {
 	nextTID int
 	clock   func() time.Time
 	journal journalSink // nil unless a journal is attached
+	// sealed is the degraded read-only gate: mutations refused while
+	// set. Atomic (not under mu) because the durability layer seals
+	// from inside a journal append, where mu is already held.
+	sealed atomic.Bool
 }
 
 // NewStore returns an empty crowd database.
@@ -102,6 +111,26 @@ func NewStore() *Store {
 		tasks:   make(map[int]*TaskRecord),
 		clock:   time.Now,
 	}
+}
+
+// Seal flips the store into degraded read-only mode: every mutator
+// returns ErrDegraded until Unseal. Reads and snapshots are untouched.
+// The durability layer seals on journal write failure so no mutation
+// can be acknowledged that would not survive a crash.
+func (s *Store) Seal() { s.sealed.Store(true) }
+
+// Unseal reopens the store for mutations after the disk has healed.
+func (s *Store) Unseal() { s.sealed.Store(false) }
+
+// Sealed reports whether the store is in degraded read-only mode.
+func (s *Store) Sealed() bool { return s.sealed.Load() }
+
+// sealedErrLocked is the mutation gate; callers hold s.mu.
+func (s *Store) sealedErrLocked() error {
+	if s.sealed.Load() {
+		return ErrDegraded
+	}
+	return nil
 }
 
 // SetClock replaces the time source (tests).
@@ -119,6 +148,9 @@ func (s *Store) SetClock(clock func() time.Time) {
 func (s *Store) AddWorker(id int, name string) (Worker, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.sealedErrLocked(); err != nil {
+		return Worker{}, err
+	}
 	if _, ok := s.workers[id]; ok {
 		return Worker{}, fmt.Errorf("%w: worker %d exists", ErrBadRequest, id)
 	}
@@ -144,6 +176,9 @@ func (s *Store) GetWorker(id int) (Worker, error) {
 func (s *Store) SetOnline(id int, online bool) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.sealedErrLocked(); err != nil {
+		return err
+	}
 	w, ok := s.workers[id]
 	if !ok {
 		return fmt.Errorf("%w: worker %d", ErrNotFound, id)
@@ -191,6 +226,9 @@ func (s *Store) Workers() []Worker {
 func (s *Store) AddTask(text string, tokens []string) (TaskRecord, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.sealedErrLocked(); err != nil {
+		return TaskRecord{}, err
+	}
 	now := s.clock()
 	t := &TaskRecord{
 		ID:      s.nextTID,
@@ -241,6 +279,9 @@ func (s *Store) NumTasks() int {
 func (s *Store) Assign(taskID int, workers []int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.sealedErrLocked(); err != nil {
+		return err
+	}
 	t, ok := s.tasks[taskID]
 	if !ok {
 		return fmt.Errorf("%w: task %d", ErrNotFound, taskID)
@@ -264,6 +305,9 @@ func (s *Store) Assign(taskID int, workers []int) error {
 func (s *Store) RecordAnswer(taskID, workerID int, answerText string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.sealedErrLocked(); err != nil {
+		return err
+	}
 	t, ok := s.tasks[taskID]
 	if !ok {
 		return fmt.Errorf("%w: task %d", ErrNotFound, taskID)
@@ -302,6 +346,9 @@ func (s *Store) ExpireAssignments(maxAge time.Duration) ([]int, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.sealedErrLocked(); err != nil {
+		return nil, err
+	}
 	cutoff := s.clock().Add(-maxAge)
 	var reopened []int
 	for _, t := range s.tasks {
@@ -329,6 +376,9 @@ func (s *Store) ExpireAssignments(maxAge time.Duration) ([]int, error) {
 func (s *Store) reopenTask(id int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.sealedErrLocked(); err != nil {
+		return err
+	}
 	t, ok := s.tasks[id]
 	if !ok {
 		return fmt.Errorf("%w: task %d", ErrNotFound, id)
@@ -349,6 +399,9 @@ func (s *Store) reopenTask(id int) error {
 func (s *Store) Resolve(taskID int, scores map[int]float64) (TaskRecord, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.sealedErrLocked(); err != nil {
+		return TaskRecord{}, err
+	}
 	t, ok := s.tasks[taskID]
 	if !ok {
 		return TaskRecord{}, fmt.Errorf("%w: task %d", ErrNotFound, taskID)
