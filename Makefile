@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench bench-serve bench-serve-smoke fuzz crash chaos ci
+.PHONY: build vet test race bench bench-serve bench-serve-smoke fuzz fuzz-repl crash chaos replication ci
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,11 @@ bench-serve-smoke:
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzReplayJournal -fuzztime 20s ./internal/crowddb
 
+# Short coverage-guided fuzz of the replication frame decoder: typed
+# errors on any corruption, never a panic or hang.
+fuzz-repl:
+	$(GO) test -run '^$$' -fuzz FuzzReplicationFrameDecoder -fuzztime 20s ./internal/crowddb
+
 # The crash-injection durability suite under the race detector.
 crash:
 	$(GO) test -race -run 'TestCrashRecoveryLosesNothing|TestTornWriteTable' -v ./internal/crowddb
@@ -46,4 +51,10 @@ crash:
 chaos:
 	$(GO) test -race -v ./internal/chaos/ ./internal/faultnet/
 
-ci: vet build race fuzz crash chaos bench-serve-smoke
+# The replication failover drill (DESIGN.md §10): a real primary/
+# follower pair through a faultnet partition, primary kill, verified
+# promotion — zero acked-mutation loss, byte-identical model.
+replication:
+	$(GO) test -race -run 'TestChaosReplicationFailover|TestReplica|TestReplication' -v ./internal/chaos/ ./internal/crowddb
+
+ci: vet build race fuzz fuzz-repl crash chaos replication bench-serve-smoke

@@ -17,6 +17,12 @@
 //	crowdctl [-addr ...]                  presence  -id 2 -online=false
 //	crowdctl [-addr ...]                  query     -q "SELECT ..."
 //	crowdctl [-addr ...]                  stats
+//	crowdctl [-addr ...]                  promote
+//
+// promote asks the addressed node to become the primary — the failover
+// step after the old primary dies: point -addr at a caught-up replica
+// and it seals its stream, replays to its journal tail, and starts
+// accepting mutations. The printed status shows the new role.
 package main
 
 import (
@@ -54,7 +60,7 @@ func main() {
 
 func run(cli *crowdclient.Client, args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("missing subcommand (submit, batch, answer, feedback, task, worker, presence, query, stats)")
+		return fmt.Errorf("missing subcommand (submit, batch, answer, feedback, task, worker, presence, query, stats, promote)")
 	}
 	ctx := context.Background()
 	cmd, rest := args[0], args[1:]
@@ -178,6 +184,12 @@ func run(cli *crowdclient.Client, args []string, out io.Writer) error {
 		return printRaw(out, res)
 	case "stats":
 		st, err := cli.Stats(ctx)
+		if err != nil {
+			return err
+		}
+		return printJSON(out, st)
+	case "promote":
+		st, err := cli.Promote(ctx)
 		if err != nil {
 			return err
 		}

@@ -8,6 +8,7 @@
 //	crowdd -profile quora -scale 0.1 -k 10 -addr :8080
 //	crowdd -data quora.json -k 10 -addr :8080
 //	crowdd -data-dir /var/lib/crowdd -sync always -addr :8080
+//	crowdd -replica-of http://primary:8080 -data-dir /var/lib/crowdd-replica -addr :8081
 //
 // With -data-dir the crowd database is durable: every mutation is
 // appended to a checksummed write-ahead journal under the configured
@@ -31,6 +32,15 @@
 // degraded_read_only while selections keep serving from the last
 // committed model, and a background probe heals the data directory and
 // reopens writes automatically.
+//
+// With -replica-of the daemon runs as a warm standby: it bootstraps a
+// snapshot from the primary, streams its journal, applies every record
+// through the recovery path into its own durable directory, and serves
+// read-only selections while refusing mutations with 421 not_primary
+// and an X-Crowdd-Primary redirect. GET /readyz reports the role and
+// replication lag; POST /api/v1/replication/promote (crowdctl promote)
+// seals the stream and flips the node to primary for verified
+// failover.
 //
 // Endpoints (see internal/crowddb): POST /api/tasks,
 // POST /api/tasks/{id}/answers, POST /api/tasks/{id}/feedback,
@@ -73,6 +83,7 @@ type daemonConfig struct {
 	drain        time.Duration
 	pprofOn      bool
 	dataDir      string
+	replicaOf    string
 	sync         crowddb.SyncPolicy
 	compactEvery int64
 	maxInflight  int
@@ -105,6 +116,7 @@ func main() {
 		pprofOn = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 
 		dataDir      = flag.String("data-dir", "", "durable data directory (empty = in-memory only)")
+		replicaOf    = flag.String("replica-of", "", "run as a warm-standby read replica of the primary at this base URL (requires -data-dir)")
 		syncFlag     = flag.String("sync", "always", "journal fsync policy: always, os, every=N or interval=DUR")
 		compactEvery = flag.Int64("compact-every", 10000, "journal records between automatic snapshots (0 disables)")
 		maxInflight  = flag.Int("max-inflight", 0, "adaptive admission ceiling: max concurrently served /api requests; excess sheds with 429 (0 = unlimited)")
@@ -126,7 +138,7 @@ func main() {
 		profile: *profile, scale: *scale, data: *data,
 		k: *k, crowdK: *crowdK, sweeps: *sweeps,
 		addr: *addr, drain: *drain, pprofOn: *pprofOn,
-		dataDir: *dataDir, sync: policy,
+		dataDir: *dataDir, replicaOf: *replicaOf, sync: policy,
 		compactEvery: *compactEvery, maxInflight: *maxInflight,
 		admissionMin: *admissionMin,
 		readBudget:   *readBudget, writeBudget: *writeBudget,
@@ -189,7 +201,20 @@ func run(cfg daemonConfig) error {
 	go func() { errc <- serve(ctx, ln, handler, cfg.drain, cfg.timeouts, gate.drainStarted) }()
 	log.Printf("listening on %s (not ready: building service)", ln.Addr())
 
-	srv, db, online, err := buildService(cfg)
+	var (
+		srv    *crowddb.Server
+		db     *crowddb.DB
+		rep    *crowddb.Replica
+		online int
+	)
+	if cfg.replicaOf != "" {
+		srv, rep, online, err = buildReplica(cfg)
+		if rep != nil {
+			db = rep.DB()
+		}
+	} else {
+		srv, db, online, err = buildService(cfg)
+	}
 	if err != nil {
 		stop()
 		<-errc
@@ -214,6 +239,10 @@ func run(cfg daemonConfig) error {
 	log.Printf("crowd-selection service ready on %s (%d workers online)", ln.Addr(), online)
 
 	err = serveErr(<-errc)
+	if rep != nil {
+		// Stop streaming before the shared DB is compacted and closed.
+		rep.Stop()
+	}
 	if db != nil {
 		// Snapshot on graceful shutdown so the next boot restores
 		// without replay.
@@ -395,6 +424,11 @@ func buildService(cfg daemonConfig) (*crowddb.Server, *crowddb.DB, int, error) {
 	srv := crowddb.NewServer(mgr)
 	if db != nil {
 		srv.SetDurabilityStats(db.Stats)
+		// A durable primary can feed warm standbys: expose the journal
+		// stream and report the source-side replication status.
+		src := crowddb.NewReplicationSource(db, crowddb.ReplicationSourceOptions{Logf: log.Printf})
+		srv.SetReplicationSource(src)
+		srv.SetReplicationStatus(src.Status)
 	}
 	engine, err := crowdql.NewEngine(mgr)
 	if err != nil {
@@ -402,4 +436,62 @@ func buildService(cfg daemonConfig) (*crowddb.Server, *crowddb.DB, int, error) {
 	}
 	srv.SetQueryEngine(crowdql.HTTPAdapter{Engine: engine})
 	return srv, db, len(store.OnlineWorkers()), nil
+}
+
+// buildReplica assembles the warm-standby stack: a Replica streaming
+// from -replica-of into its own durable directory, served read-only by
+// the same HTTP server with the role gate engaged. The replica also
+// exposes a replication source of its own, so after promotion the
+// remaining standbys can re-point at it and chain bootstrap works.
+func buildReplica(cfg daemonConfig) (*crowddb.Server, *crowddb.Replica, int, error) {
+	if cfg.dataDir == "" {
+		return nil, nil, 0, errors.New("-replica-of requires -data-dir")
+	}
+	build := func(datasetPath string, model *core.Model, store *crowddb.Store) (*crowddb.Manager, *core.ConcurrentModel, error) {
+		d, err := corpus.LoadFile(datasetPath)
+		if err != nil {
+			return nil, nil, fmt.Errorf("replica dataset: %w", err)
+		}
+		cm := core.NewConcurrentModel(model)
+		mgr, err := crowddb.NewManager(store, d.Vocab, cm, cfg.crowdK)
+		if err != nil {
+			return nil, nil, err
+		}
+		return mgr, cm, nil
+	}
+	log.Printf("starting as replica of %s", cfg.replicaOf)
+	rep, err := crowddb.StartReplica(crowddb.ReplicaOptions{
+		Primary: cfg.replicaOf,
+		Dir:     cfg.dataDir,
+		DB: crowddb.Options{
+			Sync:                cfg.sync,
+			CompactEveryRecords: cfg.compactEvery,
+			Logf:                log.Printf,
+		},
+		Build: build,
+		Logf:  log.Printf,
+	})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	db := rep.DB()
+	srv := crowddb.NewServer(rep.Manager())
+	srv.SetRole(crowddb.RoleReplica)
+	srv.SetDurabilityStats(db.Stats)
+	srv.SetDegradedCheck(db.Degraded)
+	src := crowddb.NewReplicationSource(db, crowddb.ReplicationSourceOptions{Logf: log.Printf})
+	srv.SetReplicationSource(src)
+	srv.SetReplicationStatus(func() crowddb.ReplicationStatus {
+		st := rep.Status()
+		st.Followers = src.Followers()
+		return st
+	})
+	srv.SetPromoter(rep.Promote)
+	engine, err := crowdql.NewEngine(rep.Manager())
+	if err != nil {
+		rep.Close()
+		return nil, nil, 0, err
+	}
+	srv.SetQueryEngine(crowdql.HTTPAdapter{Engine: engine})
+	return srv, rep, len(db.Store().OnlineWorkers()), nil
 }

@@ -299,6 +299,43 @@ func SyncInterval(d time.Duration) SyncPolicy { return crowddb.SyncInterval(d) }
 // "every=N", or "interval=DURATION".
 func ParseSyncPolicy(s string) (SyncPolicy, error) { return crowddb.ParseSyncPolicy(s) }
 
+// Warm-standby replication (DESIGN.md §10): a primary streams its
+// journal to followers that serve read-only selections and can be
+// promoted on failover.
+type (
+	// Replica is a warm standby: a durable copy of a primary's
+	// database and model, continuously applied from the replicated
+	// journal, promotable once caught up.
+	Replica = crowddb.Replica
+	// ReplicaOptions configures StartReplica (primary URL, data
+	// directory, serving-stack builder).
+	ReplicaOptions = crowddb.ReplicaOptions
+	// ReplicationSource streams a primary's journal to followers over
+	// HTTP; wire it into a Server with SetReplicationSource.
+	ReplicationSource = crowddb.ReplicationSource
+	// ReplicationStatus reports role, stream position and lag — the
+	// replication block of /readyz and /api/v1/metrics.
+	ReplicationStatus = crowddb.ReplicationStatus
+	// ReplicationLag is the follower's distance behind the primary in
+	// records, journal bytes and seconds since last contact.
+	ReplicationLag = crowddb.ReplicationLag
+	// APIMulti fans one logical client across a primary and its read
+	// replicas: reads round-robin with failover, writes follow the
+	// primary (including 421 redirects after a promotion).
+	APIMulti = crowdclient.Multi
+)
+
+// StartReplica opens (or re-opens) a follower data directory and
+// starts streaming from the primary; see crowdd's -replica-of flag
+// for the daemon form.
+func StartReplica(opts ReplicaOptions) (*Replica, error) { return crowddb.StartReplica(opts) }
+
+// NewAPIMulti builds a multi-endpoint client over the given base URLs
+// (the first is the initial believed primary).
+func NewAPIMulti(endpoints []string, opts APIClientOptions) (*APIMulti, error) {
+	return crowdclient.NewMulti(endpoints, opts)
+}
+
 // Crowd-selection query language (internal/crowdql):
 //
 //	SELECT CROWD FOR TASK '...' LIMIT 3

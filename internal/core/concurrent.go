@@ -237,6 +237,18 @@ func (c *ConcurrentModel) Save(w io.Writer) error {
 	return c.m.Save(w)
 }
 
+// Replace swaps the wrapped model for m under the write lock and
+// bumps the epoch so every cached projection is invalidated. It is the
+// re-bootstrap path for replication: a follower that fell behind its
+// primary's compaction adopts a whole new checkpoint in place while
+// readers keep serving.
+func (c *ConcurrentModel) Replace(m *Model) {
+	c.mu.Lock()
+	c.m = m
+	c.epoch.Add(1)
+	c.mu.Unlock()
+}
+
 // UpdateWorkerSkill folds feedback on resolved tasks into one worker's
 // posterior under the write lock.
 func (c *ConcurrentModel) UpdateWorkerSkill(worker int, cats []TaskCategory, scores []float64) error {

@@ -193,6 +193,12 @@ type APIError struct {
 	Code string
 	// Message is the envelope's human-readable detail, or the raw body.
 	Message string
+	// RetryAfter is the server's Retry-After hint, when it sent one
+	// (shed 503s do); zero otherwise.
+	RetryAfter time.Duration
+	// Primary is the X-Crowdd-Primary redirect a replica attaches to
+	// not_primary (421) refusals: the base URL mutations should go to.
+	Primary string
 }
 
 func (e *APIError) Error() string {
@@ -340,19 +346,28 @@ func (c *Client) hedged(ctx context.Context, method, url string, body []byte) (*
 // breaker fails fast while the server is unreachable, the token-bucket
 // retry budget bounds retries across the whole client, transport
 // errors retry per retriableErr, 5xx responses retry on idempotent
-// requests, and slow idempotent requests may be hedged. The response
+// requests (honoring the server's Retry-After as a floor on the next
+// backoff), and slow idempotent requests may be hedged. The response
 // is the first success or non-retriable status; err is the final
 // failure after the per-request retry cap or the shared budget is
 // spent. A cancelled ctx stops the retry loop.
 func (c *Client) do(ctx context.Context, method, url string, body []byte) (*http.Response, error) {
 	idem := idempotent(method, url)
 	var lastErr error
+	var retryHint time.Duration
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
 			if c.budget != nil && !c.budget.take() {
 				return nil, fmt.Errorf("retry budget exhausted after %d attempts: %w", attempt, lastErr)
 			}
-			c.sleep(c.backoffFor(attempt))
+			delay := c.backoffFor(attempt)
+			// A shedding server's Retry-After is a floor, not a cap:
+			// coming back sooner than it asked just gets shed again.
+			if retryHint > delay {
+				delay = retryHint
+			}
+			retryHint = 0
+			c.sleep(delay)
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
@@ -377,6 +392,12 @@ func (c *Client) do(ctx context.Context, method, url string, body []byte) (*http
 			continue
 		}
 		if resp.StatusCode >= 500 && idem && attempt < c.retries {
+			if hint := parseRetryAfter(resp.Header.Get("Retry-After")); hint > 0 {
+				if max := 10 * time.Second; hint > max {
+					hint = max
+				}
+				retryHint = hint
+			}
 			payload, _ := io.ReadAll(resp.Body)
 			resp.Body.Close()
 			lastErr = fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(payload)))
@@ -426,6 +447,8 @@ func apiError(resp *http.Response, body []byte) *APIError {
 		StatusCode: resp.StatusCode,
 		Status:     resp.Status,
 		Message:    strings.TrimSpace(string(body)),
+		RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		Primary:    resp.Header.Get("X-Crowdd-Primary"),
 	}
 	var env crowddb.ErrorEnvelope
 	if err := json.Unmarshal(body, &env); err == nil && env.Error.Code != "" {
@@ -433,6 +456,27 @@ func apiError(resp *http.Response, body []byte) *APIError {
 		e.Message = env.Error.Message
 	}
 	return e
+}
+
+// parseRetryAfter decodes a Retry-After header in either RFC form —
+// delta-seconds or an HTTP date — into a non-negative duration; zero
+// means absent or unparseable.
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(h); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // get decodes a GET response into out.
@@ -549,4 +593,25 @@ func (c *Client) MetricsRaw(ctx context.Context) (json.RawMessage, error) {
 func (c *Client) Ready(ctx context.Context) error {
 	_, err := c.Do(ctx, http.MethodGet, "/readyz", nil)
 	return err
+}
+
+// ReadyStatus fetches the full readiness payload (GET /readyz),
+// including the server's replication role and lag when it reports
+// them. Unlike Ready it decodes the body, so operators and the Multi
+// client can tell a primary from a replica.
+func (c *Client) ReadyStatus(ctx context.Context) (crowddb.ReadyzResponse, error) {
+	var out crowddb.ReadyzResponse
+	err := c.get(ctx, "/readyz", &out)
+	return out, err
+}
+
+// Promote asks the server to become the primary
+// (POST /api/v1/replication/promote): a replica seals its stream,
+// replays the journal to its tail, and flips roles; a server that is
+// already primary answers idempotently. The returned status reflects
+// the post-promotion state.
+func (c *Client) Promote(ctx context.Context) (crowddb.ReplicationStatus, error) {
+	var out crowddb.ReplicationStatus
+	err := c.post(ctx, "/api/v1/replication/promote", nil, &out)
+	return out, err
 }

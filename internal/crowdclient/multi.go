@@ -1,0 +1,282 @@
+package crowdclient
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync/atomic"
+
+	"crowdselect/internal/crowddb"
+)
+
+// Multi fans one logical client across a primary and its read
+// replicas. It routes by operation class:
+//
+//   - Reads (selections, gets, stats) round-robin across every
+//     endpoint and fail over to the next on transport errors, an open
+//     breaker, 5xx, or a not_primary refusal — any healthy copy of the
+//     model answers a read.
+//   - Writes go to the believed primary only. Failover is deliberately
+//     narrow: the Multi moves to another endpoint only when the error
+//     proves the mutation was not applied — the breaker was open or
+//     the dial failed (the request never reached a server), or the
+//     server itself refused with not_primary (421), in which case the
+//     X-Crowdd-Primary redirect is followed when it names a configured
+//     endpoint. A generic transport error mid-request is returned to
+//     the caller instead, because retrying it elsewhere could
+//     double-apply.
+//
+// After a failover the Multi remembers the endpoint that accepted the
+// write as the new believed primary, so steady-state traffic pays no
+// discovery cost. It is safe for concurrent use.
+type Multi struct {
+	clients   []*Client
+	endpoints []string
+	primary   atomic.Int64 // index of the believed primary
+	rr        atomic.Int64 // round-robin cursor for reads
+	failovers atomic.Int64
+}
+
+// NewMulti builds a Multi over the given base URLs — the first is the
+// initial believed primary — sharing one Options across the per-
+// endpoint clients. At least one endpoint is required.
+func NewMulti(endpoints []string, opts Options) (*Multi, error) {
+	if len(endpoints) == 0 {
+		return nil, errors.New("crowdclient: NewMulti needs at least one endpoint")
+	}
+	m := &Multi{}
+	for _, e := range endpoints {
+		c := New(e, opts)
+		m.clients = append(m.clients, c)
+		m.endpoints = append(m.endpoints, c.base)
+	}
+	return m, nil
+}
+
+// Endpoints returns the configured base URLs in order.
+func (m *Multi) Endpoints() []string {
+	out := make([]string, len(m.endpoints))
+	copy(out, m.endpoints)
+	return out
+}
+
+// Primary returns the base URL currently believed to be the primary.
+func (m *Multi) Primary() string {
+	return m.endpoints[m.primary.Load()]
+}
+
+// Failovers counts write-path failovers since construction.
+func (m *Multi) Failovers() int64 { return m.failovers.Load() }
+
+// indexOf resolves a base URL (as sent in X-Crowdd-Primary) to a
+// configured endpoint index, or -1.
+func (m *Multi) indexOf(base string) int {
+	base = strings.TrimRight(base, "/")
+	for i, e := range m.endpoints {
+		if e == base {
+			return i
+		}
+	}
+	return -1
+}
+
+// notPrimaryErr extracts the *APIError when err is a replica's 421
+// not_primary refusal.
+func notPrimaryErr(err error) *APIError {
+	var ae *APIError
+	if errors.As(err, &ae) && (ae.Code == "not_primary" || ae.StatusCode == http.StatusMisdirectedRequest) {
+		return ae
+	}
+	return nil
+}
+
+// dialErr reports whether err proves the request never reached a
+// server: the TCP dial itself failed.
+func dialErr(err error) bool {
+	var op *net.OpError
+	return errors.As(err, &op) && op.Op == "dial"
+}
+
+// writeFailover reports whether a write may safely move to another
+// endpoint: only when the mutation provably was not applied anywhere.
+func writeFailover(err error) bool {
+	return errors.Is(err, ErrCircuitOpen) || dialErr(err) || notPrimaryErr(err) != nil
+}
+
+// readFailover reports whether a read should try the next endpoint.
+// Reads are idempotent, so any failure that another copy might not
+// share qualifies: transport errors, an open breaker, 5xx, and
+// replica refusals.
+func readFailover(err error) bool {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.StatusCode >= 500 || ae.StatusCode == http.StatusMisdirectedRequest
+	}
+	return true // transport error or ErrCircuitOpen
+}
+
+// write runs fn against the believed primary, following not_primary
+// redirects and failing over on provably-unapplied errors. Each
+// endpoint is tried at most once plus one redirect hop.
+func (m *Multi) write(fn func(c *Client) error) error {
+	idx := int(m.primary.Load())
+	var lastErr error
+	for tried := 0; tried <= len(m.clients); tried++ {
+		err := fn(m.clients[idx])
+		if err == nil {
+			if int64(idx) != m.primary.Load() {
+				m.primary.Store(int64(idx))
+			}
+			return nil
+		}
+		lastErr = err
+		if !writeFailover(err) {
+			return err
+		}
+		m.failovers.Add(1)
+		next := -1
+		if ae := notPrimaryErr(err); ae != nil && ae.Primary != "" {
+			next = m.indexOf(ae.Primary)
+		}
+		if next < 0 {
+			next = (idx + 1) % len(m.clients)
+		}
+		idx = next
+	}
+	return fmt.Errorf("write failed on every endpoint: %w", lastErr)
+}
+
+// read runs fn against endpoints in round-robin order, failing over
+// until one answers.
+func (m *Multi) read(fn func(c *Client) error) error {
+	start := int(m.rr.Add(1)-1) % len(m.clients)
+	if start < 0 {
+		start += len(m.clients)
+	}
+	var lastErr error
+	for i := 0; i < len(m.clients); i++ {
+		c := m.clients[(start+i)%len(m.clients)]
+		err := fn(c)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !readFailover(err) {
+			return err
+		}
+	}
+	return fmt.Errorf("read failed on every endpoint: %w", lastErr)
+}
+
+// Selections ranks crowds for a batch of task texts on any available
+// endpoint (replicas serve this read).
+func (m *Multi) Selections(ctx context.Context, tasks []crowddb.SubmitRequest) (crowddb.SelectionsResponse, error) {
+	var out crowddb.SelectionsResponse
+	err := m.read(func(c *Client) error {
+		var e error
+		out, e = c.Selections(ctx, tasks)
+		return e
+	})
+	return out, err
+}
+
+// GetTask fetches a stored task from any available endpoint.
+func (m *Multi) GetTask(ctx context.Context, id int) (crowddb.TaskRecord, error) {
+	var out crowddb.TaskRecord
+	err := m.read(func(c *Client) error {
+		var e error
+		out, e = c.GetTask(ctx, id)
+		return e
+	})
+	return out, err
+}
+
+// Stats fetches the database counters from any available endpoint.
+func (m *Multi) Stats(ctx context.Context) (crowddb.StatsResponse, error) {
+	var out crowddb.StatsResponse
+	err := m.read(func(c *Client) error {
+		var e error
+		out, e = c.Stats(ctx)
+		return e
+	})
+	return out, err
+}
+
+// SubmitTask submits one task to the primary, failing over per the
+// write policy.
+func (m *Multi) SubmitTask(ctx context.Context, text string, k int) (crowddb.SubmitResponse, error) {
+	var out crowddb.SubmitResponse
+	err := m.write(func(c *Client) error {
+		var e error
+		out, e = c.SubmitTask(ctx, text, k)
+		return e
+	})
+	return out, err
+}
+
+// SubmitBatch submits a batch to the primary.
+func (m *Multi) SubmitBatch(ctx context.Context, tasks []crowddb.SubmitRequest) ([]crowddb.SubmitResponse, error) {
+	var out []crowddb.SubmitResponse
+	err := m.write(func(c *Client) error {
+		var e error
+		out, e = c.SubmitBatch(ctx, tasks)
+		return e
+	})
+	return out, err
+}
+
+// Answer records a worker's answer on the primary.
+func (m *Multi) Answer(ctx context.Context, taskID, workerID int, answer string) error {
+	return m.write(func(c *Client) error {
+		return c.Answer(ctx, taskID, workerID, answer)
+	})
+}
+
+// Feedback resolves a task with per-worker scores on the primary.
+func (m *Multi) Feedback(ctx context.Context, taskID int, scores map[int]float64) (crowddb.TaskRecord, error) {
+	var out crowddb.TaskRecord
+	err := m.write(func(c *Client) error {
+		var e error
+		out, e = c.Feedback(ctx, taskID, scores)
+		return e
+	})
+	return out, err
+}
+
+// Query runs one crowdql statement on the primary (a SELECT CROWD
+// submits tasks, so the whole endpoint routes as a write).
+func (m *Multi) Query(ctx context.Context, q string) (json.RawMessage, error) {
+	var out json.RawMessage
+	err := m.write(func(c *Client) error {
+		var e error
+		out, e = c.Query(ctx, q)
+		return e
+	})
+	return out, err
+}
+
+// GetWorker fetches a worker row from any available endpoint.
+func (m *Multi) GetWorker(ctx context.Context, id int) (crowddb.Worker, error) {
+	var out crowddb.Worker
+	err := m.read(func(c *Client) error {
+		var e error
+		out, e = c.GetWorker(ctx, id)
+		return e
+	})
+	return out, err
+}
+
+// SetPresence flips a worker's online flag on the primary.
+func (m *Multi) SetPresence(ctx context.Context, id int, online bool) error {
+	return m.write(func(c *Client) error {
+		return c.SetPresence(ctx, id, online)
+	})
+}
+
+// Client returns the per-endpoint client at index i, for direct
+// access (promotion, metrics).
+func (m *Multi) Client(i int) *Client { return m.clients[i] }

@@ -150,6 +150,11 @@ type DB struct {
 	// when the probe loop heals the disk with a fresh generation.
 	degraded atomic.Bool
 	probeWG  sync.WaitGroup
+
+	// repl tracks the replication position (records and bytes since
+	// history start), the per-stream fan-out hub, and generation pins
+	// held by bootstrap readers. See replication.go.
+	repl replState
 }
 
 // Open scans dir (creating it if needed), restores the newest valid
@@ -189,6 +194,7 @@ func Open(dir string, opts Options) (*DB, error) {
 		db.gen = g
 		break
 	}
+	db.loadReplState()
 	return db, nil
 }
 
@@ -304,6 +310,12 @@ func (db *DB) Recover(onResolve func(TaskRecord) error) error {
 	if err := db.attachJournalLocked(db.gen, int64(res.Records), res.GoodBytes); err != nil {
 		return err
 	}
+	// The replayed records advance the replication position past the
+	// restored generation's base, exactly as their original appends did.
+	db.repl.mu.Lock()
+	db.repl.seq = db.repl.baseSeq + int64(res.Records)
+	db.repl.bytes = db.repl.baseBytes + res.GoodBytes
+	db.repl.mu.Unlock()
 	db.stats.RecoveryMillis.Store(time.Since(start).Milliseconds())
 	db.stats.RecoveredRecords.Store(int64(res.Records))
 	if res.Torn {
@@ -351,6 +363,7 @@ func (db *DB) attachJournalLocked(gen uint64, initRecords, initBytes int64) erro
 	}
 	db.jw = newJournalWriter(f, db.opts.Sync, &db.stats, nil)
 	db.jw.onErr = db.enterDegraded
+	db.jw.onAppend = db.replPublish
 	db.jw.records, db.jw.bytes = initRecords, initBytes
 	db.store.attachSink(db.jw)
 	return nil
@@ -387,16 +400,23 @@ func (db *DB) compactLocked() error {
 		run = func(f func() error) error { return f() }
 	}
 	next := db.gen + 1
+	var cutSeq, cutBytes int64
 	err := run(func() error {
 		// With resolves quiesced and the store write-locked, the store
-		// snapshot, the model checkpoint and the journal rotation all
-		// observe the same instant.
+		// snapshot, the model checkpoint, the journal rotation and the
+		// replication position all observe the same instant.
 		db.store.mu.Lock()
 		defer db.store.mu.Unlock()
+		db.repl.mu.Lock()
+		cutSeq, cutBytes = db.repl.seq, db.repl.bytes
+		db.repl.mu.Unlock()
 		if db.saveModel != nil {
 			if err := writeFileAtomic(filepath.Join(db.dir, fmt.Sprintf(modelPattern, next)), db.saveModel); err != nil {
 				return fmt.Errorf("crowddb: compact model: %w", err)
 			}
+		}
+		if err := db.writeReplSidecarLocked(next, cutSeq, cutBytes); err != nil {
+			return fmt.Errorf("crowddb: compact replication sidecar: %w", err)
 		}
 		if err := writeFileAtomic(filepath.Join(db.dir, fmt.Sprintf(snapshotPattern, next)), db.store.snapshotLocked); err != nil {
 			return fmt.Errorf("crowddb: compact snapshot: %w", err)
@@ -412,6 +432,7 @@ func (db *DB) compactLocked() error {
 		old := db.jw
 		db.jw = newJournalWriter(f, db.opts.Sync, &db.stats, nil)
 		db.jw.onErr = db.enterDegraded
+		db.jw.onAppend = db.replPublish
 		db.store.journal = db.jw
 		if old != nil {
 			if err := old.Close(); err != nil {
@@ -425,6 +446,9 @@ func (db *DB) compactLocked() error {
 	}
 	prev := db.gen
 	db.gen = next
+	db.repl.mu.Lock()
+	db.repl.baseSeq, db.repl.baseBytes = cutSeq, cutBytes
+	db.repl.mu.Unlock()
 	db.stats.Compactions.Add(1)
 	db.removeGenerationsThrough(prev)
 	db.opts.logf("crowddb: compacted to generation %d", next)
@@ -500,18 +524,19 @@ func (db *DB) probe() error {
 }
 
 // removeGenerationsThrough deletes the files of every generation up
-// to and including g. Best effort: stale files are ignored by
-// recovery anyway.
+// to and including g, except generations pinned by an open replication
+// bootstrap reader (unpinning sweeps them). Best effort: stale files
+// are ignored by recovery anyway.
 func (db *DB) removeGenerationsThrough(g uint64) {
 	gens, err := listGenerations(db.dir)
 	if err != nil {
 		return
 	}
 	for _, gen := range gens {
-		if gen > g {
+		if gen > g || db.replPinned(gen) {
 			continue
 		}
-		for _, pat := range []string{snapshotPattern, modelPattern, journalPattern} {
+		for _, pat := range []string{snapshotPattern, modelPattern, journalPattern, replPattern} {
 			os.Remove(filepath.Join(db.dir, fmt.Sprintf(pat, gen)))
 		}
 	}

@@ -208,6 +208,12 @@ type journalWriter struct {
 	// degraded-mode trigger). Called with jw.mu — and typically the
 	// store lock — held, so it must not block or re-enter the store.
 	onErr func(error)
+	// onAppend observes every record handed to the journal — even one
+	// whose write or fsync failed, because the store has already
+	// applied the mutation by the time it journals (replication
+	// mirrors the store, not the disk). Called with jw.mu held; must
+	// not block or re-enter the store.
+	onAppend func(payload []byte, frameLen int)
 }
 
 func newJournalWriter(f JournalFile, policy SyncPolicy, stats *DurabilityStats, clock func() time.Time) *journalWriter {
@@ -225,6 +231,9 @@ func (jw *journalWriter) logRecord(e event) error {
 	frame := encodeRecord(payload)
 	jw.mu.Lock()
 	defer jw.mu.Unlock()
+	if jw.onAppend != nil {
+		defer jw.onAppend(payload, len(frame))
+	}
 	if _, err := jw.f.Write(frame); err != nil {
 		jw.failed(err)
 		return fmt.Errorf("%w: %v", ErrJournal, err)
@@ -273,14 +282,20 @@ func (jw *journalWriter) syncLocked() error {
 	return nil
 }
 
-// Sync forces an fsync regardless of policy (shutdown, rotation).
+// Sync forces an fsync regardless of policy (shutdown, rotation). A
+// failure here is the same disk-loss signal as a failing append, so it
+// reaches the onErr observer too.
 func (jw *journalWriter) Sync() error {
 	jw.mu.Lock()
 	defer jw.mu.Unlock()
 	if jw.unsynced == 0 {
 		return nil
 	}
-	return jw.syncLocked()
+	if err := jw.syncLocked(); err != nil {
+		jw.failed(err)
+		return err
+	}
+	return nil
 }
 
 // Close syncs and closes the underlying file.
@@ -421,6 +436,22 @@ func (s *Store) replayJournal(r io.Reader, onResolve func(TaskRecord) error) (Re
 		res.GoodBytes = off + recordHeaderSize + length
 	}
 	return res, nil
+}
+
+// applyReplicated applies one replicated event with the clock pinned
+// to the event's recorded time, so a follower's rows match the
+// primary's byte for byte — the streaming counterpart of replay's
+// per-record clock pinning. Unlike replay, the store has a live
+// journal attached, so the application also journals the event
+// locally (that is what makes a follower durable in its own right).
+func (s *Store) applyReplicated(e event, onResolve func(TaskRecord) error) error {
+	s.mu.Lock()
+	origClock := s.clock
+	s.mu.Unlock()
+	at := e.At
+	s.SetClock(func() time.Time { return at })
+	defer s.SetClock(origClock)
+	return s.applyEvent(e, onResolve)
 }
 
 func (s *Store) applyEvent(e event, onResolve func(TaskRecord) error) error {

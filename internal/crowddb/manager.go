@@ -325,6 +325,17 @@ func (m *Manager) ApplySkillFeedback(rec TaskRecord) error {
 	return m.applySkillFeedback(rec)
 }
 
+// applyReplicatedEvent applies one replicated journal event through
+// the same replay path boot recovery uses, holding the resolve lock
+// across the whole application so a resolve's store commit and skill
+// update are never split by a checkpoint — the replica-side twin of
+// ResolveTask's locking.
+func (m *Manager) applyReplicatedEvent(e event) error {
+	m.resolveMu.RLock()
+	defer m.resolveMu.RUnlock()
+	return m.store.applyReplicated(e, m.applySkillFeedback)
+}
+
 // Quiesce runs f with no resolve in flight: the durability layer's
 // hook (DB.SetQuiescer) for cutting checkpoints where the store and
 // the model agree.

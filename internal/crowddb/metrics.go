@@ -119,6 +119,7 @@ type MetricsSnapshot struct {
 	Endpoints        map[string]EndpointMetrics `json:"endpoints"`
 	Admission        *AdmissionSnapshot         `json:"admission,omitempty"`
 	Durability       *DurabilitySnapshot        `json:"durability,omitempty"`
+	Replication      *ReplicationStatus         `json:"replication,omitempty"`
 }
 
 // Snapshot returns a consistent copy of every counter.

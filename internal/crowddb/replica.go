@@ -1,0 +1,536 @@
+package crowddb
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"crowdselect/internal/core"
+)
+
+// ErrReplicaDiverged means the primary refused this follower's resume
+// position: within the same history the follower claims records the
+// primary never committed. That happens when the follower was itself
+// promoted earlier, or the primary lost acked state; the replica stops
+// streaming (still serving reads) and an operator must decide which
+// lineage survives.
+var ErrReplicaDiverged = errors.New("crowddb: replica diverged from primary")
+
+// ReplicaBuilder constructs the serving stack over a bootstrapped (or
+// recovered) store: load the dataset for its vocabulary, wrap the
+// model for concurrent serving, and return the manager. It keeps
+// crowddb free of a dependency on the corpus package.
+type ReplicaBuilder func(datasetPath string, model *core.Model, store *Store) (*Manager, *core.ConcurrentModel, error)
+
+// ReplicaOptions configures StartReplica.
+type ReplicaOptions struct {
+	// Primary is the primary's base URL (e.g. http://host:8080).
+	Primary string
+	// Dir is the follower's own data directory: it keeps a full
+	// generation + journal lifecycle so it can recover and resume.
+	Dir string
+	// DB configures the follower's durability layer.
+	DB Options
+	// Build assembles manager and concurrent model after bootstrap or
+	// local recovery. Required.
+	Build ReplicaBuilder
+	// HTTPClient overrides the streaming client. The default has no
+	// overall timeout (the stream is long-lived by design).
+	HTTPClient *http.Client
+	// ReconnectBackoff is the initial delay between connection
+	// attempts (default 250ms, doubling to a 5s cap).
+	ReconnectBackoff time.Duration
+	// Logf receives lifecycle notices. nil is silent.
+	Logf func(format string, args ...any)
+}
+
+// Replica is a warm standby: it maintains a durable copy of the
+// primary's crowd database and model by applying the replicated
+// journal through the same paths boot recovery uses, serves read-only
+// selections from the continuously updated model, and can be promoted
+// to primary once caught up.
+type Replica struct {
+	opts ReplicaOptions
+	db   *DB
+	mgr  *Manager
+	cm   *core.ConcurrentModel
+
+	mu           sync.Mutex
+	headSeq      int64 // primary's head, as last advertised
+	headBytes    int64
+	appliedSeq   int64 // last record fully applied, side effects included
+	appliedBytes int64 // primary's byte count at our applied position
+	lastContact  time.Time
+	connected    bool
+	fatal        error // divergence; set once, stream stays down
+
+	reconnects    atomic.Int64
+	framesApplied atomic.Int64
+	bootstraps    atomic.Int64
+
+	promoted atomic.Bool
+	cancel   context.CancelFunc
+	done     chan struct{}
+}
+
+// StartReplica opens (or re-opens) the follower's data directory and
+// starts streaming from the primary. A fresh directory requires the
+// primary to be reachable now — the initial bootstrap is synchronous,
+// so a nil error means the replica is already serving real state. A
+// restored directory recovers locally first and catches up in the
+// background, so a follower can restart while the primary is down.
+func StartReplica(opts ReplicaOptions) (*Replica, error) {
+	if opts.Primary == "" {
+		return nil, errors.New("crowddb: replica needs a primary URL")
+	}
+	if opts.Dir == "" {
+		return nil, errors.New("crowddb: replica needs a data directory")
+	}
+	if opts.Build == nil {
+		return nil, errors.New("crowddb: replica needs a builder")
+	}
+	if opts.HTTPClient == nil {
+		opts.HTTPClient = &http.Client{}
+	}
+	if opts.ReconnectBackoff <= 0 {
+		opts.ReconnectBackoff = 250 * time.Millisecond
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	db, err := Open(opts.Dir, opts.DB)
+	if err != nil {
+		return nil, err
+	}
+	r := &Replica{opts: opts, db: db, done: make(chan struct{})}
+	ctx, cancel := context.WithCancel(context.Background())
+	r.cancel = cancel
+	var st *replStream
+	if db.Fresh() {
+		st, err = r.dial(ctx, 0, "", true)
+		if err == nil {
+			err = r.bootstrap(st, true)
+		}
+		if err != nil {
+			if st != nil {
+				st.Close()
+			}
+			cancel()
+			db.Close()
+			return nil, fmt.Errorf("crowddb: replica bootstrap: %w", err)
+		}
+	} else {
+		model, err := db.LoadModel()
+		if err == nil {
+			r.mgr, r.cm, err = opts.Build(db.DatasetPath(), model, db.Store())
+		}
+		if err == nil {
+			db.SetModelSnapshotter(r.cm.Save)
+			db.SetQuiescer(r.mgr.Quiesce)
+			err = db.Recover(r.mgr.ApplySkillFeedback)
+		}
+		if err != nil {
+			cancel()
+			db.Close()
+			return nil, err
+		}
+		// Recovery replayed the journal tail through the manager, so
+		// everything in the local journal is fully applied.
+		r.appliedSeq, r.appliedBytes = db.ReplicationHead()
+	}
+	go r.run(ctx, st)
+	return r, nil
+}
+
+// DB exposes the follower's durability layer (stats, compaction,
+// shutdown). The caller owns closing it after Stop.
+func (r *Replica) DB() *DB { return r.db }
+
+// Manager exposes the serving stack over the replicated state; wire it
+// into a Server for read-only selections.
+func (r *Replica) Manager() *Manager { return r.mgr }
+
+// Model exposes the continuously updated concurrent model.
+func (r *Replica) Model() *core.ConcurrentModel { return r.cm }
+
+// Err reports a permanent streaming failure (ErrReplicaDiverged), or
+// nil while the replica is healthy or merely reconnecting.
+func (r *Replica) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.fatal
+}
+
+// Status reports role, position and lag for /readyz and metrics.
+func (r *Replica) Status() ReplicationStatus {
+	r.mu.Lock()
+	applied := r.appliedSeq
+	head, headBytes, appliedBytes := r.headSeq, r.headBytes, r.appliedBytes
+	connected, lastContact := r.connected, r.lastContact
+	r.mu.Unlock()
+	if r.promoted.Load() {
+		// A promoted node journals its own mutations; the journal head
+		// is the applied position again.
+		applied, _ = r.db.ReplicationHead()
+	}
+	if applied > head {
+		head = applied
+	}
+	role := RoleReplica
+	if r.promoted.Load() {
+		role = RolePrimary
+	}
+	lag := ReplicationLag{Records: head - applied, Bytes: maxInt64(0, headBytes-appliedBytes)}
+	if !lastContact.IsZero() {
+		lag.Seconds = time.Since(lastContact).Seconds()
+	}
+	return ReplicationStatus{
+		Role:          role,
+		Primary:       r.opts.Primary,
+		Connected:     connected,
+		History:       r.db.ReplicationHistory(),
+		AppliedSeq:    applied,
+		HeadSeq:       head,
+		HeadBytes:     headBytes,
+		Reconnects:    r.reconnects.Load(),
+		FramesApplied: r.framesApplied.Load(),
+		Bootstraps:    r.bootstraps.Load(),
+		Lag:           &lag,
+	}
+}
+
+// Promote seals the stream and flips this node to primary: the stream
+// is cancelled, the apply loop drains (every record read from the
+// primary is applied inline, so drained means replayed to tail), and a
+// fresh generation checkpoints the promoted state. The caller (server
+// or daemon) flips the HTTP role afterwards. Idempotent.
+func (r *Replica) Promote(ctx context.Context) error {
+	if !r.promoted.CompareAndSwap(false, true) {
+		return nil
+	}
+	r.cancel()
+	select {
+	case <-r.done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	if err := r.db.Compact(); err != nil {
+		return fmt.Errorf("crowddb: promote checkpoint: %w", err)
+	}
+	applied, _ := r.db.ReplicationHead()
+	r.opts.Logf("crowddb: replica promoted to primary at record %d (history %s)", applied, r.db.ReplicationHistory())
+	return nil
+}
+
+// Stop cancels streaming and waits for the apply loop to exit. It does
+// not close the DB; pair with DB().Close().
+func (r *Replica) Stop() {
+	r.cancel()
+	<-r.done
+}
+
+// Close stops streaming and closes the follower's data directory.
+func (r *Replica) Close() error {
+	r.Stop()
+	return r.db.Close()
+}
+
+// replStream is one open stream: the response body, a frame cursor,
+// and the primary's hello.
+type replStream struct {
+	body  io.ReadCloser
+	off   int64
+	hello replHello
+}
+
+func (st *replStream) next() (typ byte, payload []byte, err error) {
+	typ, payload, n, err := readReplFrame(st.body, st.off)
+	st.off += n
+	return typ, payload, err
+}
+
+func (st *replStream) Close() { st.body.Close() }
+
+// dial opens the stream and reads the hello frame.
+func (r *Replica) dial(ctx context.Context, from int64, history string, boot bool) (*replStream, error) {
+	q := url.Values{}
+	q.Set("from", fmt.Sprintf("%d", from))
+	if history != "" {
+		q.Set("history", history)
+	}
+	if boot {
+		q.Set("boot", "1")
+	}
+	u := r.opts.Primary + "/api/v1/replication/stream?" + q.Encode()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := r.opts.HTTPClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		var env ErrorEnvelope
+		_ = json.Unmarshal(body, &env)
+		if resp.StatusCode == http.StatusConflict && env.Error.Code == codeReplicaDiverged {
+			return nil, fmt.Errorf("%w: %s", ErrReplicaDiverged, env.Error.Message)
+		}
+		return nil, fmt.Errorf("crowddb: replication stream refused: %s (%s)", resp.Status, env.Error.Message)
+	}
+	st := &replStream{body: resp.Body}
+	typ, payload, err := st.next()
+	if err != nil {
+		st.Close()
+		return nil, fmt.Errorf("crowddb: replication hello: %w", err)
+	}
+	if typ != frameHello {
+		st.Close()
+		return nil, fmt.Errorf("crowddb: replication stream began with frame type %d, want hello", typ)
+	}
+	if err := json.Unmarshal(payload, &st.hello); err != nil {
+		st.Close()
+		return nil, fmt.Errorf("crowddb: replication hello: %w", err)
+	}
+	return st, nil
+}
+
+// bootstrap consumes the dataset/model/snapshot frames at the head of
+// st and installs them. fresh means the local directory is empty (the
+// StartReplica path: build the stack and Begin); otherwise this is a
+// live re-bootstrap after falling behind the primary's compaction: the
+// store and model are swapped in place under their own locks and a
+// compaction checkpoints the adopted state as a new local generation.
+func (r *Replica) bootstrap(st *replStream, fresh bool) error {
+	var model *core.Model
+	var snap replSnapshotMsg
+	for {
+		typ, payload, err := st.next()
+		if err != nil {
+			return err
+		}
+		if typ == frameDataset {
+			if err := os.WriteFile(r.db.DatasetPath(), payload, 0o644); err != nil {
+				return err
+			}
+			continue
+		}
+		if typ == frameModel {
+			if model, err = core.LoadModel(bytes.NewReader(payload)); err != nil {
+				return fmt.Errorf("bootstrap model: %w", err)
+			}
+			continue
+		}
+		if typ == frameSnapshot {
+			if err := json.Unmarshal(payload, &snap); err != nil {
+				return fmt.Errorf("bootstrap snapshot: %w", err)
+			}
+			break
+		}
+		return fmt.Errorf("unexpected frame type %d during bootstrap", typ)
+	}
+	if model == nil {
+		return errors.New("bootstrap stream carried no model checkpoint")
+	}
+	if err := r.db.Store().RestoreSnapshot(bytes.NewReader(snap.Store)); err != nil {
+		return fmt.Errorf("bootstrap snapshot: %w", err)
+	}
+	if fresh {
+		mgr, cm, err := r.opts.Build(r.db.DatasetPath(), model, r.db.Store())
+		if err != nil {
+			return err
+		}
+		r.mgr, r.cm = mgr, cm
+		r.db.SetModelSnapshotter(cm.Save)
+		r.db.SetQuiescer(mgr.Quiesce)
+		r.db.seedReplication(st.hello.History, snap.Seq, snap.Bytes)
+		if err := r.db.Begin(); err != nil {
+			return err
+		}
+	} else {
+		r.cm.Replace(model)
+		r.db.seedReplication(st.hello.History, snap.Seq, snap.Bytes)
+		if err := r.db.Compact(); err != nil {
+			return err
+		}
+	}
+	r.bootstraps.Add(1)
+	r.mu.Lock()
+	r.headSeq, r.headBytes = st.hello.Seq, st.hello.Bytes
+	r.appliedSeq = snap.Seq
+	r.appliedBytes = snap.Bytes
+	r.lastContact = time.Now()
+	r.mu.Unlock()
+	r.opts.Logf("crowddb: replica bootstrapped at record %d of history %s (head %d)", snap.Seq, st.hello.History, st.hello.Seq)
+	return nil
+}
+
+// run is the streaming loop: consume the open stream, reconnect with
+// backoff from the applied position, re-bootstrap when the primary
+// says our position predates its oldest generation, stop on promotion
+// or divergence.
+func (r *Replica) run(ctx context.Context, st *replStream) {
+	defer close(r.done)
+	defer r.setConnected(false)
+	backoff := r.opts.ReconnectBackoff
+	for {
+		if ctx.Err() != nil || r.promoted.Load() {
+			if st != nil {
+				st.Close()
+			}
+			return
+		}
+		if st == nil {
+			applied, _ := r.db.ReplicationHead()
+			var err error
+			st, err = r.dial(ctx, applied, r.db.ReplicationHistory(), false)
+			if err != nil {
+				if errors.Is(err, ErrReplicaDiverged) {
+					r.mu.Lock()
+					r.fatal = err
+					r.mu.Unlock()
+					r.opts.Logf("crowddb: replica: %v; streaming stopped (reads still served)", err)
+					return
+				}
+				if ctx.Err() == nil {
+					r.opts.Logf("crowddb: replica: connect: %v (retrying in %s)", err, backoff)
+				}
+				r.sleep(ctx, backoff)
+				backoff = minDuration(backoff*2, 5*time.Second)
+				continue
+			}
+			backoff = r.opts.ReconnectBackoff
+			if st.hello.Bootstrap {
+				if err := r.bootstrap(st, false); err != nil {
+					r.opts.Logf("crowddb: replica: re-bootstrap: %v", err)
+					st.Close()
+					st = nil
+					r.sleep(ctx, backoff)
+					continue
+				}
+			}
+		}
+		r.setConnected(true)
+		r.observeHead(st.hello.Seq, st.hello.Bytes)
+		err := r.consume(ctx, st)
+		st.Close()
+		st = nil
+		r.setConnected(false)
+		if ctx.Err() != nil || r.promoted.Load() {
+			return
+		}
+		r.opts.Logf("crowddb: replica: stream ended: %v; reconnecting", err)
+		r.reconnects.Add(1)
+		r.sleep(ctx, backoff)
+	}
+}
+
+// consume applies frames until the stream errors or the context ends.
+func (r *Replica) consume(ctx context.Context, st *replStream) error {
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		typ, payload, err := st.next()
+		if err != nil {
+			return err
+		}
+		switch typ {
+		case frameRecord:
+			var msg replRecordMsg
+			if err := json.Unmarshal(payload, &msg); err != nil {
+				return fmt.Errorf("record frame: %w", err)
+			}
+			applied, _ := r.db.ReplicationHead()
+			if msg.Seq <= applied {
+				continue // overlap between the file replay and the live tail
+			}
+			if msg.Seq != applied+1 {
+				return fmt.Errorf("record gap: applied %d, received %d", applied, msg.Seq)
+			}
+			var e event
+			if err := json.Unmarshal(msg.Event, &e); err != nil {
+				return fmt.Errorf("record %d: %w", msg.Seq, err)
+			}
+			if err := r.mgr.applyReplicatedEvent(e); err != nil {
+				return fmt.Errorf("apply record %d: %w", msg.Seq, err)
+			}
+			r.framesApplied.Add(1)
+			r.observeApplied(msg.Seq, msg.Bytes)
+		case frameHeartbeat:
+			var hb replHeartbeat
+			if err := json.Unmarshal(payload, &hb); err != nil {
+				return fmt.Errorf("heartbeat frame: %w", err)
+			}
+			r.observeHead(hb.Seq, hb.Bytes)
+		default:
+			return fmt.Errorf("unexpected frame type %d mid-stream", typ)
+		}
+	}
+}
+
+func (r *Replica) observeApplied(seq, bytes int64) {
+	r.mu.Lock()
+	if seq > r.headSeq {
+		r.headSeq = seq
+	}
+	if bytes > r.headBytes {
+		r.headBytes = bytes
+	}
+	r.appliedSeq = seq
+	r.appliedBytes = bytes
+	r.lastContact = time.Now()
+	r.mu.Unlock()
+}
+
+func (r *Replica) observeHead(seq, bytes int64) {
+	r.mu.Lock()
+	if seq > r.headSeq {
+		r.headSeq = seq
+	}
+	if bytes > r.headBytes {
+		r.headBytes = bytes
+	}
+	r.lastContact = time.Now()
+	r.mu.Unlock()
+}
+
+func (r *Replica) setConnected(c bool) {
+	r.mu.Lock()
+	r.connected = c
+	r.mu.Unlock()
+}
+
+func (r *Replica) sleep(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+func minDuration(a, b time.Duration) time.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,687 @@
+package crowddb
+
+import (
+	"bytes"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Warm-standby replication (DESIGN.md §10): a primary streams its
+// journal to followers over one long-lived HTTP response. A new (or
+// lapsed) follower first receives a bootstrap — the dataset file, the
+// model checkpoint and the store snapshot of the primary's current
+// generation — then the journal records since that snapshot, then
+// whatever the primary commits next, as it commits it. The follower
+// applies each record through the same replay path boot recovery
+// uses, journals it locally, and so can itself recover, resume, or be
+// promoted.
+//
+// Positions are (seq, bytes) pairs counted from the start of a
+// replication history: seq is the number of journal records ever
+// committed under this primary's history id, bytes the framed journal
+// bytes they occupied. The pair survives compaction — each generation
+// records its base position in a repl-%08d.json sidecar — so a
+// follower's resume point stays meaningful across snapshot cuts on
+// either side.
+//
+// Replication frame wire format (distinct from the journal's 8-byte
+// frame; the extra leading byte carries the frame type):
+//
+//	[1B type][4B little-endian payload length][4B little-endian CRC32 (IEEE) of payload][payload]
+//
+// Decoding never panics: a clean end between frames is io.EOF, and a
+// truncated or corrupt frame is a *FrameError.
+
+// Replication frame types.
+const (
+	frameHello     byte = 1 // stream header: history, head position, bootstrap flag
+	frameDataset   byte = 2 // bootstrap only: raw dataset.json bytes
+	frameModel     byte = 3 // bootstrap only: raw model checkpoint bytes
+	frameSnapshot  byte = 4 // bootstrap only: base position + raw store snapshot
+	frameRecord    byte = 5 // one journal event with its position
+	frameHeartbeat byte = 6 // head position while the journal is idle
+)
+
+// replFrameHeaderSize is the framing overhead per replication frame.
+const replFrameHeaderSize = 9
+
+// maxReplFrameSize bounds one frame's payload. Record frames stay
+// within the journal's 1 MiB record cap plus envelope, but bootstrap
+// frames carry whole snapshots and model checkpoints.
+const maxReplFrameSize = 64 << 20
+
+// FrameError reports a truncated or corrupt replication frame at a
+// byte offset within the stream. Clean end-of-stream between frames is
+// io.EOF, not a FrameError.
+type FrameError struct {
+	Offset int64
+	Err    error
+}
+
+func (e *FrameError) Error() string {
+	return fmt.Sprintf("crowddb: replication frame at byte offset %d: %v", e.Offset, e.Err)
+}
+
+func (e *FrameError) Unwrap() error { return e.Err }
+
+// writeReplFrame frames one payload onto w.
+func writeReplFrame(w io.Writer, typ byte, payload []byte) error {
+	var hdr [replFrameHeaderSize]byte
+	hdr[0] = typ
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[5:9], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readReplFrame reads one frame from r; off is the stream offset of
+// the frame's first byte, used only for error reporting. n is the
+// frame's total length on the wire. A clean EOF before any header byte
+// is io.EOF; everything else wrong is a *FrameError.
+func readReplFrame(r io.Reader, off int64) (typ byte, payload []byte, n int64, err error) {
+	var hdr [replFrameHeaderSize]byte
+	nr, err := io.ReadFull(r, hdr[:])
+	if err != nil {
+		if nr == 0 && errors.Is(err, io.EOF) {
+			return 0, nil, 0, io.EOF
+		}
+		return 0, nil, 0, &FrameError{Offset: off, Err: io.ErrUnexpectedEOF}
+	}
+	typ = hdr[0]
+	length := binary.LittleEndian.Uint32(hdr[1:5])
+	sum := binary.LittleEndian.Uint32(hdr[5:9])
+	if typ < frameHello || typ > frameHeartbeat {
+		return 0, nil, 0, &FrameError{Offset: off, Err: fmt.Errorf("unknown frame type 0x%02x", typ)}
+	}
+	if length > maxReplFrameSize {
+		return 0, nil, 0, &FrameError{Offset: off, Err: fmt.Errorf("frame length %d exceeds %d", length, maxReplFrameSize)}
+	}
+	// CopyN rather than a pre-sized ReadFull so a lying length header
+	// cannot force a huge allocation before the truncation is noticed.
+	var buf bytes.Buffer
+	if _, err := io.CopyN(&buf, r, int64(length)); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, 0, &FrameError{Offset: off, Err: err}
+	}
+	payload = buf.Bytes()
+	if crc32.ChecksumIEEE(payload) != sum {
+		return 0, nil, 0, &FrameError{Offset: off, Err: errors.New("checksum mismatch")}
+	}
+	return typ, payload, replFrameHeaderSize + int64(length), nil
+}
+
+// replHello opens every stream: the primary's history id, its head
+// position, the generation serving this stream, and whether a
+// bootstrap (dataset + model + snapshot frames) follows.
+type replHello struct {
+	History    string `json:"history"`
+	Seq        int64  `json:"seq"`
+	Bytes      int64  `json:"bytes"`
+	Generation uint64 `json:"generation"`
+	Bootstrap  bool   `json:"bootstrap"`
+}
+
+// replRecordMsg is one journal event at its position: Seq is the
+// record's ordinal since history start, Bytes the cumulative framed
+// journal bytes through this record.
+type replRecordMsg struct {
+	Seq   int64           `json:"seq"`
+	Bytes int64           `json:"bytes"`
+	Event json.RawMessage `json:"event,omitempty"`
+}
+
+// replSnapshotMsg carries the bootstrap snapshot and the position it
+// represents: a follower restoring Store starts applying at Seq+1.
+type replSnapshotMsg struct {
+	Seq   int64           `json:"seq"`
+	Bytes int64           `json:"bytes"`
+	Store json.RawMessage `json:"store"`
+}
+
+// replHeartbeat advertises the primary's head while no records flow,
+// so a caught-up follower's staleness clock keeps ticking forward.
+type replHeartbeat struct {
+	Seq   int64     `json:"seq"`
+	Bytes int64     `json:"bytes"`
+	At    time.Time `json:"at"`
+}
+
+// Server roles. A node is born a primary unless it runs with
+// -replica-of; promotion flips a replica to primary for good.
+const (
+	RolePrimary = "primary"
+	RoleReplica = "replica"
+)
+
+// ReplicationLag is a follower's distance behind its primary:
+// journal records, journal bytes (as counted by the primary), and
+// seconds since the follower last heard from the primary at all
+// (records/bytes bound staleness while connected; Seconds exposes a
+// partition, during which the other two cannot grow).
+type ReplicationLag struct {
+	Records int64   `json:"records"`
+	Bytes   int64   `json:"bytes"`
+	Seconds float64 `json:"seconds"`
+}
+
+// ReplicationStatus is the replication section of /readyz and
+// /api/v1/metrics. A primary reports its head position and connected
+// followers; a follower additionally reports its primary, applied
+// position and lag.
+type ReplicationStatus struct {
+	Role          string          `json:"role"`
+	Primary       string          `json:"primary,omitempty"`
+	Connected     bool            `json:"connected"`
+	History       string          `json:"history,omitempty"`
+	AppliedSeq    int64           `json:"applied_seq"`
+	HeadSeq       int64           `json:"head_seq"`
+	HeadBytes     int64           `json:"head_bytes,omitempty"`
+	Followers     int64           `json:"followers"`
+	StreamsServed int64           `json:"streams_served,omitempty"`
+	Bootstraps    int64           `json:"bootstraps,omitempty"`
+	Reconnects    int64           `json:"reconnects,omitempty"`
+	FramesApplied int64           `json:"frames_applied,omitempty"`
+	Lag           *ReplicationLag `json:"replication_lag,omitempty"`
+}
+
+// replPattern is the per-generation sidecar recording the history id
+// and the (seq, bytes) position of the generation's snapshot cut.
+const replPattern = "repl-%08d.json"
+
+type replSidecar struct {
+	History string `json:"history"`
+	Seq     int64  `json:"seq"`
+	Bytes   int64  `json:"bytes"`
+}
+
+// replState is the DB's replication position and fan-out hub. Lock
+// order: db.mu and store.mu (and jw.mu) may be held when taking
+// repl.mu; never the reverse.
+type replState struct {
+	mu        sync.Mutex
+	history   string
+	seq       int64 // records committed since history start
+	bytes     int64 // framed journal bytes since history start
+	baseSeq   int64 // position of the current generation's snapshot
+	baseBytes int64
+	subs      map[*replSub]struct{}
+	pins      map[uint64]int // generation → open bootstrap/stream readers
+}
+
+// replSub is one live stream's subscription to committed records. The
+// publisher never blocks on it: a subscriber that falls a full buffer
+// behind has its channel closed and must reconnect (resuming from its
+// applied position, which the journal files still cover).
+type replSub struct {
+	ch chan replRecordMsg
+}
+
+const replSubBuffer = 4096
+
+// newHistoryID mints the random id that names one primary lineage.
+// Followers refuse to mix positions across histories: after a wipe or
+// an unrelated primary, positions from another lineage mean nothing.
+func newHistoryID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Fall back to the clock; uniqueness, not secrecy, is the point.
+		return fmt.Sprintf("t%016x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+func (db *DB) replSidecarPath(gen uint64) string {
+	return filepath.Join(db.dir, fmt.Sprintf(replPattern, gen))
+}
+
+// loadReplState seeds the replication position from the restored
+// generation's sidecar. A directory from before replication existed
+// (no sidecar) starts a fresh history at position zero — internally
+// consistent, which is all followers need.
+func (db *DB) loadReplState() {
+	r := &db.repl
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if db.gen != 0 {
+		if data, err := os.ReadFile(db.replSidecarPath(db.gen)); err == nil {
+			var sc replSidecar
+			if err := json.Unmarshal(data, &sc); err == nil && sc.History != "" {
+				r.history = sc.History
+				r.seq, r.bytes = sc.Seq, sc.Bytes
+				r.baseSeq, r.baseBytes = sc.Seq, sc.Bytes
+				return
+			}
+		}
+	}
+	r.history = newHistoryID()
+}
+
+// writeReplSidecarLocked persists gen's base position; called inside
+// the compaction cut so the sidecar and the snapshot agree.
+func (db *DB) writeReplSidecarLocked(gen uint64, seq, bytes int64) error {
+	db.repl.mu.Lock()
+	sc := replSidecar{History: db.repl.history, Seq: seq, Bytes: bytes}
+	db.repl.mu.Unlock()
+	return writeFileAtomic(db.replSidecarPath(gen), func(w io.Writer) error {
+		return json.NewEncoder(w).Encode(sc)
+	})
+}
+
+// replPublish advances the position and fans the committed record out
+// to live streams. Called from the journal writer's append hook (under
+// store.mu and jw.mu) for every record handed to the journal — even
+// one whose write or fsync failed, because the store applied the
+// mutation regardless and followers mirror the store, not the disk
+// (degraded mode then seals further mutations either way).
+func (db *DB) replPublish(payload []byte, frameLen int) {
+	r := &db.repl
+	r.mu.Lock()
+	r.seq++
+	r.bytes += int64(frameLen)
+	msg := replRecordMsg{Seq: r.seq, Bytes: r.bytes, Event: payload}
+	for sub := range r.subs {
+		select {
+		case sub.ch <- msg:
+		default:
+			delete(r.subs, sub)
+			close(sub.ch)
+		}
+	}
+	r.mu.Unlock()
+}
+
+func (db *DB) replSubscribe() *replSub {
+	sub := &replSub{ch: make(chan replRecordMsg, replSubBuffer)}
+	db.repl.mu.Lock()
+	if db.repl.subs == nil {
+		db.repl.subs = make(map[*replSub]struct{})
+	}
+	db.repl.subs[sub] = struct{}{}
+	db.repl.mu.Unlock()
+	return sub
+}
+
+func (db *DB) replUnsubscribe(sub *replSub) {
+	db.repl.mu.Lock()
+	if _, ok := db.repl.subs[sub]; ok {
+		delete(db.repl.subs, sub)
+		close(sub.ch)
+	}
+	db.repl.mu.Unlock()
+}
+
+// ReplicationHead returns the committed position: how many journal
+// records this node has applied since its history began, and the
+// framed bytes they occupied. On a follower this is its applied
+// position (the follower journals every replicated record itself, so
+// the counters advance in lockstep with the primary's).
+func (db *DB) ReplicationHead() (seq, bytes int64) {
+	db.repl.mu.Lock()
+	defer db.repl.mu.Unlock()
+	return db.repl.seq, db.repl.bytes
+}
+
+// ReplicationHistory returns the history id naming this node's
+// lineage; a follower inherits its primary's at bootstrap.
+func (db *DB) ReplicationHistory() string {
+	db.repl.mu.Lock()
+	defer db.repl.mu.Unlock()
+	return db.repl.history
+}
+
+// seedReplication adopts a primary's history and position — the
+// bootstrap path, before Begin (or before the re-bootstrap Compact)
+// persists them into the new generation's sidecar.
+func (db *DB) seedReplication(history string, seq, bytes int64) {
+	r := &db.repl
+	r.mu.Lock()
+	r.history = history
+	r.seq, r.bytes = seq, bytes
+	r.baseSeq, r.baseBytes = seq, bytes
+	r.mu.Unlock()
+}
+
+// PinGeneration takes a reference on the current generation so its
+// files survive compaction GC while a bootstrap or resume reader
+// streams them, and returns the generation with its base position.
+// unpin releases the reference (idempotent) and sweeps any
+// generations the pin kept alive.
+func (db *DB) PinGeneration() (gen uint64, baseSeq, baseBytes int64, unpin func(), err error) {
+	db.mu.Lock()
+	if db.gen == 0 {
+		db.mu.Unlock()
+		return 0, 0, 0, nil, errors.New("crowddb: no committed generation to pin")
+	}
+	gen = db.gen
+	r := &db.repl
+	r.mu.Lock()
+	baseSeq, baseBytes = r.baseSeq, r.baseBytes
+	if r.pins == nil {
+		r.pins = make(map[uint64]int)
+	}
+	r.pins[gen]++
+	r.mu.Unlock()
+	db.mu.Unlock()
+	var once sync.Once
+	unpin = func() {
+		once.Do(func() {
+			r.mu.Lock()
+			if r.pins[gen] > 1 {
+				r.pins[gen]--
+				r.mu.Unlock()
+				return
+			}
+			delete(r.pins, gen)
+			r.mu.Unlock()
+			if cur := db.Generation(); gen < cur {
+				db.removeGenerationsThrough(cur - 1)
+			}
+		})
+	}
+	return gen, baseSeq, baseBytes, unpin, nil
+}
+
+// replPinned reports whether generation gen has open readers.
+func (db *DB) replPinned(gen uint64) bool {
+	db.repl.mu.Lock()
+	defer db.repl.mu.Unlock()
+	return db.repl.pins[gen] > 0
+}
+
+// forEachJournalRecord walks the framed records in a journal file's
+// bytes, calling fn with each record's index, payload and on-wire
+// frame length. A torn tail ends the walk cleanly (the journal owner
+// truncates it on recovery); mid-file corruption is a *CorruptError.
+func forEachJournalRecord(data []byte, fn func(idx int, payload []byte, frameLen int) error) error {
+	var off int64
+	size := int64(len(data))
+	idx := 0
+	for off < size {
+		rest := data[off:]
+		if len(rest) < recordHeaderSize {
+			return nil
+		}
+		length := int64(binary.LittleEndian.Uint32(rest[0:4]))
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		if length > maxRecordSize {
+			return &CorruptError{Offset: off, Record: idx,
+				Err: fmt.Errorf("record length %d exceeds %d", length, maxRecordSize)}
+		}
+		if int64(len(rest)) < recordHeaderSize+length {
+			return nil
+		}
+		payload := rest[recordHeaderSize : recordHeaderSize+length]
+		if crc32.ChecksumIEEE(payload) != sum {
+			if off+recordHeaderSize+length == size {
+				return nil
+			}
+			return &CorruptError{Offset: off, Record: idx, Err: errors.New("checksum mismatch")}
+		}
+		if err := fn(idx, payload, int(recordHeaderSize+length)); err != nil {
+			return err
+		}
+		idx++
+		off += recordHeaderSize + length
+	}
+	return nil
+}
+
+// ReplicationSourceOptions tunes a ReplicationSource.
+type ReplicationSourceOptions struct {
+	// Heartbeat is how often an idle stream advertises the head
+	// position (default 500ms). Followers use it as their staleness
+	// clock, so it bounds how quickly a partition becomes visible.
+	Heartbeat time.Duration
+	// Logf receives stream lifecycle notices. nil is silent.
+	Logf func(format string, args ...any)
+}
+
+// ReplicationSource serves GET /api/v1/replication/stream from a DB:
+// one long-lived response per follower carrying a bootstrap (when the
+// follower is new, lapsed behind compaction, or from another history)
+// followed by the live journal. Wire it with Server.SetReplicationSource.
+type ReplicationSource struct {
+	db        *DB
+	heartbeat time.Duration
+	logf      func(format string, args ...any)
+
+	followers  atomic.Int64 // streams open right now
+	streams    atomic.Int64 // streams ever served
+	bootstraps atomic.Int64 // streams that began with a bootstrap
+}
+
+// NewReplicationSource builds a source over db.
+func NewReplicationSource(db *DB, opts ReplicationSourceOptions) *ReplicationSource {
+	if opts.Heartbeat <= 0 {
+		opts.Heartbeat = 500 * time.Millisecond
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	return &ReplicationSource{db: db, heartbeat: opts.Heartbeat, logf: opts.Logf}
+}
+
+// Followers reports how many streams are open right now.
+func (src *ReplicationSource) Followers() int64 { return src.followers.Load() }
+
+// Status summarizes the source for /readyz and /api/v1/metrics on a
+// primary: its own head is by definition applied, so lag is zero.
+func (src *ReplicationSource) Status() ReplicationStatus {
+	head, headBytes := src.db.ReplicationHead()
+	return ReplicationStatus{
+		Role:          RolePrimary,
+		Connected:     true,
+		History:       src.db.ReplicationHistory(),
+		AppliedSeq:    head,
+		HeadSeq:       head,
+		HeadBytes:     headBytes,
+		Followers:     src.followers.Load(),
+		StreamsServed: src.streams.Load(),
+		Bootstraps:    src.bootstraps.Load(),
+		Lag:           &ReplicationLag{},
+	}
+}
+
+// ServeHTTP streams the journal. Query parameters:
+//
+//	from     the follower's applied seq; records after it are streamed
+//	history  the follower's history id; a mismatch forces a bootstrap
+//	boot     "1" forces a bootstrap (fresh follower)
+//
+// A follower claiming a position ahead of this primary's head within
+// the same history has diverged (it was promoted, or this node lost
+// acked records) and is refused with 409 replica_diverged.
+func (src *ReplicationSource) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	q := r.URL.Query()
+	var from int64
+	if s := q.Get("from"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil || v < 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad from %q", s))
+			return
+		}
+		from = v
+	}
+	history := q.Get("history")
+	wantBoot := q.Get("boot") == "1"
+
+	// Subscribe before pinning: every record is then either ≤ the
+	// pinned base (in the snapshot), in the pinned journal file, or in
+	// the subscription — overlap is deduplicated by seq below.
+	sub := src.db.replSubscribe()
+	defer src.db.replUnsubscribe(sub)
+	gen, baseSeq, baseBytes, unpin, err := src.db.PinGeneration()
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	defer unpin()
+
+	ourHistory := src.db.ReplicationHistory()
+	head, headBytes := src.db.ReplicationHead()
+	bootstrap := wantBoot || from < baseSeq || (history != "" && history != ourHistory)
+	if !bootstrap && from > head {
+		httpErrorCode(w, http.StatusConflict, codeReplicaDiverged,
+			fmt.Errorf("follower position %d is ahead of primary head %d in history %s", from, head, ourHistory))
+		return
+	}
+
+	// Stage the files before committing to a streaming response so
+	// errors can still become proper HTTP statuses.
+	journal, err := os.ReadFile(src.db.journalPath(gen))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	var dataset, model, snapMsg []byte
+	if bootstrap {
+		if b, err := os.ReadFile(src.db.DatasetPath()); err == nil {
+			dataset = b
+		}
+		if model, err = os.ReadFile(filepath.Join(src.db.dir, fmt.Sprintf(modelPattern, gen))); err != nil {
+			httpError(w, http.StatusInternalServerError, fmt.Errorf("model checkpoint: %w", err))
+			return
+		}
+		snap, err := os.ReadFile(filepath.Join(src.db.dir, fmt.Sprintf(snapshotPattern, gen)))
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, fmt.Errorf("store snapshot: %w", err))
+			return
+		}
+		if snapMsg, err = json.Marshal(replSnapshotMsg{Seq: baseSeq, Bytes: baseBytes, Store: snap}); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		from = baseSeq
+	}
+
+	// The stream outlives any per-request read/write deadlines the
+	// serving http.Server configured.
+	rc := http.NewResponseController(w)
+	_ = rc.SetReadDeadline(time.Time{})
+	_ = rc.SetWriteDeadline(time.Time{})
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+
+	src.streams.Add(1)
+	src.followers.Add(1)
+	defer src.followers.Add(-1)
+	if bootstrap {
+		src.bootstraps.Add(1)
+	}
+	src.logf("crowddb: replication: stream open (from=%d bootstrap=%v gen=%d head=%d)", from, bootstrap, gen, head)
+
+	hello, err := json.Marshal(replHello{History: ourHistory, Seq: head, Bytes: headBytes, Generation: gen, Bootstrap: bootstrap})
+	if err != nil {
+		return
+	}
+	if err := writeReplFrame(w, frameHello, hello); err != nil {
+		return
+	}
+	if bootstrap {
+		if dataset != nil {
+			if err := writeReplFrame(w, frameDataset, dataset); err != nil {
+				return
+			}
+		}
+		if err := writeReplFrame(w, frameModel, model); err != nil {
+			return
+		}
+		if err := writeReplFrame(w, frameSnapshot, snapMsg); err != nil {
+			return
+		}
+	}
+
+	// Records already on disk in the pinned generation's journal.
+	lastSent, sentBytes := from, baseBytes
+	err = forEachJournalRecord(journal, func(idx int, payload []byte, frameLen int) error {
+		seq := baseSeq + int64(idx) + 1
+		sentBytes += int64(frameLen)
+		if seq <= lastSent {
+			return nil
+		}
+		msg, err := json.Marshal(replRecordMsg{Seq: seq, Bytes: sentBytes, Event: payload})
+		if err != nil {
+			return err
+		}
+		if err := writeReplFrame(w, frameRecord, msg); err != nil {
+			return err
+		}
+		lastSent = seq
+		return nil
+	})
+	if err != nil {
+		src.logf("crowddb: replication: stream ended replaying generation %d: %v", gen, err)
+		return
+	}
+	if err := rc.Flush(); err != nil {
+		return
+	}
+
+	// Live tail: committed records from the hub, heartbeats while idle.
+	ticker := time.NewTicker(src.heartbeat)
+	defer ticker.Stop()
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case msg, ok := <-sub.ch:
+			if !ok {
+				src.logf("crowddb: replication: follower overran the stream buffer; closing for resume")
+				return
+			}
+			if msg.Seq <= lastSent {
+				continue
+			}
+			if msg.Seq != lastSent+1 {
+				src.logf("crowddb: replication: stream gap (%d after %d); closing for resume", msg.Seq, lastSent)
+				return
+			}
+			b, err := json.Marshal(msg)
+			if err != nil {
+				return
+			}
+			if err := writeReplFrame(w, frameRecord, b); err != nil {
+				return
+			}
+			lastSent = msg.Seq
+			if err := rc.Flush(); err != nil {
+				return
+			}
+		case <-ticker.C:
+			head, headBytes := src.db.ReplicationHead()
+			b, err := json.Marshal(replHeartbeat{Seq: head, Bytes: headBytes, At: time.Now()})
+			if err != nil {
+				return
+			}
+			if err := writeReplFrame(w, frameHeartbeat, b); err != nil {
+				return
+			}
+			if err := rc.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}

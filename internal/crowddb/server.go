@@ -26,6 +26,15 @@ import (
 //	GET  /api/v1/stats
 //	POST /api/v1/query                     {"q": "SELECT ..."}
 //	GET  /api/v1/metrics
+//	GET  /api/v1/replication/stream        long-lived journal stream for followers (primary only)
+//	POST /api/v1/replication/promote       flip a replica to primary
+//
+// A node running as a read replica (SetRole) refuses mutations and
+// /api/v1/query with 421 + the not_primary code and an
+// X-Crowdd-Primary header pointing at its primary; selections and
+// other reads keep serving from the replicated model. Replication
+// paths bypass admission, deadline budgets and the body cap — the
+// stream is long-lived by design.
 //
 // The unversioned /api/* paths of earlier releases are deprecated
 // aliases: ServeHTTP rewrites them to /api/v1/* before dispatch, so
@@ -39,8 +48,8 @@ import (
 // where code is a stable machine-readable class (bad_request,
 // not_found, method_not_allowed, request_too_large, over_capacity,
 // client_closed_request, unavailable, degraded_read_only,
-// deadline_exceeded, not_implemented, internal) and message is
-// human-readable detail.
+// deadline_exceeded, not_primary, replica_diverged, not_implemented,
+// internal) and message is human-readable detail.
 //
 // Handlers thread the request context into the manager, so a client
 // that disconnects mid-request cancels the in-flight selection work;
@@ -76,6 +85,11 @@ type Server struct {
 	maxBody     int64                     // request-body cap for POSTs
 	degraded    func() bool               // nil: never degraded
 	durability  func() DurabilitySnapshot // nil: no durability section
+
+	role       atomic.Value             // RolePrimary | RoleReplica
+	replSource http.Handler             // GET /api/v1/replication/stream
+	replStatus func() ReplicationStatus // nil: no replication section
+	promoter   func(context.Context) error
 }
 
 // QueryEngine executes crowdql statements; crowdql.HTTPAdapter
@@ -115,8 +129,11 @@ func NewServer(mgr *Manager) *Server {
 	s.mux.HandleFunc("/api/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/api/v1/query", s.handleQuery)
 	s.mux.HandleFunc("/api/v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/api/v1/replication/stream", s.handleReplStream)
+	s.mux.HandleFunc("/api/v1/replication/promote", s.handlePromote)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.role.Store(RolePrimary)
 	return s
 }
 
@@ -184,23 +201,120 @@ func (s *Server) SetDegradedCheck(f func() bool) { s.degraded = f }
 // fed by the given snapshot function (typically (*DB).Stats).
 func (s *Server) SetDurabilityStats(f func() DurabilitySnapshot) { s.durability = f }
 
+// SetRole declares this node's replication role. A replica refuses
+// mutations (and /api/v1/query, which may mutate) with 421 +
+// not_primary and an X-Crowdd-Primary redirect header; promotion
+// flips the role back to primary. The default is RolePrimary.
+func (s *Server) SetRole(role string) { s.role.Store(role) }
+
+// Role reports the node's current replication role.
+func (s *Server) Role() string {
+	if v, ok := s.role.Load().(string); ok {
+		return v
+	}
+	return RolePrimary
+}
+
+// SetReplicationSource enables GET /api/v1/replication/stream
+// (typically a *ReplicationSource). Only a primary serves it.
+func (s *Server) SetReplicationSource(h http.Handler) { s.replSource = h }
+
+// SetReplicationStatus adds a replication section to /readyz and
+// GET /api/v1/metrics (typically (*ReplicationSource).Status on a
+// primary, or a composite over (*Replica).Status on a follower).
+func (s *Server) SetReplicationStatus(f func() ReplicationStatus) { s.replStatus = f }
+
+// SetPromoter enables POST /api/v1/replication/promote on a replica
+// (typically (*Replica).Promote). On success the server's role flips
+// to primary.
+func (s *Server) SetPromoter(f func(context.Context) error) { s.promoter = f }
+
+// replicationStatusNow snapshots the replication section, with the
+// server's own role as the authority.
+func (s *Server) replicationStatusNow() ReplicationStatus {
+	st := ReplicationStatus{Role: s.Role(), Connected: s.Role() == RolePrimary}
+	if s.replStatus != nil {
+		st = s.replStatus()
+		st.Role = s.Role()
+	}
+	return st
+}
+
+// handleReplStream serves the journal stream to followers; the
+// long-lived response is produced by the installed ReplicationSource.
+func (s *Server) handleReplStream(w http.ResponseWriter, r *http.Request) {
+	if s.replSource == nil {
+		httpError(w, http.StatusNotImplemented, errors.New("replication source not configured"))
+		return
+	}
+	if s.Role() != RolePrimary {
+		httpErrorCode(w, http.StatusServiceUnavailable, codeNotPrimary,
+			errors.New("a replica does not serve the replication stream; connect to the primary"))
+		return
+	}
+	s.replSource.ServeHTTP(w, r)
+}
+
+// handlePromote flips a replica to primary: the promoter seals the
+// stream, replays to tail and checkpoints; then the role flips and
+// mutations are accepted. Idempotent — promoting a primary reports
+// its status with 200.
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	if s.Role() == RolePrimary {
+		writeJSON(w, http.StatusOK, s.replicationStatusNow())
+		return
+	}
+	if s.promoter == nil {
+		httpError(w, http.StatusNotImplemented, errors.New("no promoter configured"))
+		return
+	}
+	if err := s.promoter(r.Context()); err != nil {
+		writeErr(w, r, err)
+		return
+	}
+	s.SetRole(RolePrimary)
+	if s.logf != nil {
+		s.logf("promoted to primary")
+	}
+	writeJSON(w, http.StatusOK, s.replicationStatusNow())
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// ReadyzResponse is the body of GET /readyz: readiness, the degraded
+// detail when the journal is unavailable, the node's replication role,
+// and (when replication is wired) position and lag.
+type ReadyzResponse struct {
+	Status      string             `json:"status"`
+	Mode        string             `json:"mode,omitempty"`
+	Role        string             `json:"role"`
+	Replication *ReplicationStatus `json:"replication,omitempty"`
+}
+
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	resp := ReadyzResponse{Status: "ready", Role: s.Role()}
+	if s.replStatus != nil {
+		st := s.replicationStatusNow()
+		resp.Replication = &st
+	}
 	if !s.ready.Load() {
+		resp.Status = "not ready"
 		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "not ready"})
+		writeJSON(w, http.StatusServiceUnavailable, resp)
 		return
 	}
 	// Degraded read-only is still ready — selections keep serving — but
 	// the detail lets operators and dashboards see the state.
 	if s.degraded != nil && s.degraded() {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ready", "mode": "degraded_read_only"})
-		return
+		resp.Mode = "degraded_read_only"
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // Metrics exposes the server's metrics registry, e.g. for logging a
@@ -309,7 +423,25 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			httpError(sw, http.StatusServiceUnavailable, errors.New("service not ready"))
 			return
 		}
+		if strings.HasPrefix(r.URL.Path, "/api/v1/replication/") {
+			// Replication traffic manages its own lifetime: the stream
+			// is long-lived by design (no admission slot, no deadline
+			// budget, no body cap) and promote must reach a replica that
+			// refuses ordinary mutations.
+			s.mux.ServeHTTP(sw, r)
+			return
+		}
 		mutation := isMutation(r)
+		if s.Role() == RoleReplica && (mutation || r.URL.Path == "/api/v1/query") {
+			if s.replStatus != nil {
+				if p := s.replStatus().Primary; p != "" {
+					sw.Header().Set("X-Crowdd-Primary", p)
+				}
+			}
+			httpErrorCode(sw, http.StatusMisdirectedRequest, codeNotPrimary,
+				errors.New("this node is a read replica; send writes to the primary"))
+			return
+		}
 		if mutation && s.degraded != nil && s.degraded() {
 			httpErrorCode(sw, http.StatusServiceUnavailable, codeDegradedReadOnly,
 				errors.New("journal unavailable: mutations sealed, reads still served"))
@@ -373,6 +505,11 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// Unwrap lets http.ResponseController reach the underlying writer, so
+// the replication stream can flush frames and clear the server's
+// read/write deadlines through the middleware shell.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 func (w *statusWriter) status() int {
 	if !w.wrote {
 		return http.StatusOK
@@ -411,6 +548,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.adm != nil {
 		a := s.adm.snapshot()
 		snap.Admission = &a
+	}
+	if s.replStatus != nil {
+		rs := s.replicationStatusNow()
+		snap.Replication = &rs
 	}
 	writeJSON(w, http.StatusOK, snap)
 }
@@ -763,6 +904,8 @@ const (
 	codeDegradedReadOnly = "degraded_read_only"
 	codeDeadlineExceeded = "deadline_exceeded"
 	codeRequestTooLarge  = "request_too_large"
+	codeNotPrimary       = "not_primary"
+	codeReplicaDiverged  = "replica_diverged"
 )
 
 // codeOf maps an HTTP status to the envelope's stable error code.
@@ -780,6 +923,10 @@ func codeOf(status int) string {
 		return "over_capacity"
 	case statusClientClosedRequest:
 		return "client_closed_request"
+	case http.StatusMisdirectedRequest:
+		return codeNotPrimary
+	case http.StatusConflict:
+		return codeReplicaDiverged
 	case http.StatusNotImplemented:
 		return "not_implemented"
 	case http.StatusServiceUnavailable:

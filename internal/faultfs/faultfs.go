@@ -20,11 +20,14 @@ var ErrInjected = errors.New("faultfs: injected write failure")
 // Budget is a shared pool of bytes that may still reach disk. One
 // budget can back several files (e.g. a journal and its rotated
 // successor), so "crash after N bytes of total write traffic" spans
-// rotations.
+// rotations. Independently of the byte budget it can fail fsyncs
+// only (FailSyncs), simulating a disk that accepts writes into its
+// cache but cannot flush them.
 type Budget struct {
 	mu        sync.Mutex
 	remaining int64
 	tripped   bool
+	failSyncs bool
 }
 
 // NewBudget allows n bytes of writes before failure. n < 0 means
@@ -59,6 +62,22 @@ func (b *Budget) Tripped() bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.tripped
+}
+
+// FailSyncs toggles sync-only failure: while set, File.Sync returns
+// ErrInjected but writes keep succeeding — the write path stays
+// healthy while durability is gone. Clearing it heals syncs.
+func (b *Budget) FailSyncs(fail bool) {
+	b.mu.Lock()
+	b.failSyncs = fail
+	b.mu.Unlock()
+}
+
+// syncsFailing reports whether sync-only failure is active.
+func (b *Budget) syncsFailing() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.failSyncs
 }
 
 // File wraps an *os.File, counting every written byte against a
@@ -100,9 +119,10 @@ func (f *File) Write(p []byte) (int, error) {
 	return n, nil
 }
 
-// Sync fsyncs the real file, or fails if the budget tripped.
+// Sync fsyncs the real file, or fails if the budget tripped or
+// sync-only failure is active.
 func (f *File) Sync() error {
-	if f.b.Tripped() {
+	if f.b.Tripped() || f.b.syncsFailing() {
 		return ErrInjected
 	}
 	return f.f.Sync()
