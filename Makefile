@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench bench-serve bench-serve-smoke fuzz fuzz-repl crash chaos replication ci
+.PHONY: build vet test race bench bench-serve bench-serve-smoke bench-shard fuzz fuzz-repl crash chaos replication shard ci
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,11 @@ bench-serve:
 bench-serve-smoke:
 	$(GO) test -run 'TestServeBenchSmoke|TestCommittedServeReport' -v ./cmd/crowdbench
 
+# Regenerate the committed sharding benchmark (BENCH_shard.json):
+# Router scatter-gather selection throughput over 1/2/4-shard fleets.
+bench-shard:
+	$(GO) run ./cmd/crowdbench shard
+
 # Short coverage-guided fuzz of the journal replay path (CI runs the
 # same smoke; bump -fuzztime locally for longer hunts).
 fuzz:
@@ -57,4 +62,11 @@ chaos:
 replication:
 	$(GO) test -race -run 'TestChaosReplicationFailover|TestReplica|TestReplication' -v ./internal/chaos/ ./internal/crowddb
 
-ci: vet build race fuzz fuzz-repl crash chaos replication bench-serve-smoke
+# The sharding suite (DESIGN.md §11) under the race detector: the
+# merge-equivalence property, the fleet-vs-single-node e2e equality,
+# the wrong-shard routing contract, the shard kill/rebalance drill, and
+# the committed BENCH_shard.json schema check.
+shard:
+	$(GO) test -race -run 'TestMergeTopK|TestRouter|TestWrongShard|TestShardOfWorker|TestStoreStridedTaskIDs|TestChaosShardKillAndRebalance|TestShardBenchSmoke|TestCommittedShardReport' -v ./internal/rank/ ./internal/crowddb/ ./internal/crowdclient/ ./internal/chaos/ ./cmd/crowdbench/
+
+ci: vet build race fuzz fuzz-repl crash chaos replication shard bench-serve-smoke

@@ -39,6 +39,13 @@ func main() {
 		}
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "shard" {
+		if err := runShard(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "crowdbench shard:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var (
 		exps      = flag.String("exp", "all", "comma-separated experiment ids (T2..T8, F3..F8) or 'all'")
 		scale     = flag.Float64("scale", 0.25, "dataset scale multiplier")

@@ -1,0 +1,315 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"crowdselect/internal/core"
+	"crowdselect/internal/corpus"
+	"crowdselect/internal/crowdclient"
+	"crowdselect/internal/crowddb"
+	"crowdselect/internal/eval"
+)
+
+// shardConfig parameterizes the sharded-selection benchmark: one
+// trained model served by fleets of 1, 2 and 4 in-process shards, each
+// fleet driven through the scatter-gather Router, measuring what
+// horizontal partitioning does to selection throughput and latency.
+type shardConfig struct {
+	Scale       float64 // Quora-profile scale for the model
+	Seed        int64   // corpus seed
+	Categories  int     // latent categories K
+	TrainIters  int     // training sweeps
+	CrowdK      int     // workers selected per task
+	TextPool    int     // distinct task texts cycled through
+	Selections  int     // selections measured per fleet size
+	Batch       int     // tasks per selections request
+	Concurrency int     // client goroutines
+	Shards      []int   // fleet sizes to sweep
+	Out         string  // report path; "" skips writing
+}
+
+func defaultShardConfig() shardConfig {
+	return shardConfig{
+		Scale:       0.03,
+		Seed:        11,
+		Categories:  5,
+		TrainIters:  5,
+		CrowdK:      3,
+		TextPool:    256,
+		Selections:  1536,
+		Batch:       8,
+		Concurrency: 4,
+		Shards:      []int{1, 2, 4},
+		Out:         "BENCH_shard.json",
+	}
+}
+
+// shardRun is one measured fleet size.
+type shardRun struct {
+	Shards           int     `json:"shards"`
+	Selections       int     `json:"selections"`
+	Requests         int     `json:"requests"`
+	Seconds          float64 `json:"seconds"`
+	SelectionsPerSec float64 `json:"selections_per_sec"`
+	P50Ms            float64 `json:"p50_ms"`
+	P95Ms            float64 `json:"p95_ms"`
+	P99Ms            float64 `json:"p99_ms"`
+}
+
+// shardReport is the committed BENCH_shard.json schema.
+type shardReport struct {
+	Config struct {
+		Scale       float64 `json:"scale"`
+		Seed        int64   `json:"seed"`
+		Categories  int     `json:"categories"`
+		CrowdK      int     `json:"crowd_k"`
+		TextPool    int     `json:"text_pool"`
+		Selections  int     `json:"selections"`
+		Batch       int     `json:"batch"`
+		Concurrency int     `json:"concurrency"`
+		GoMaxProcs  int     `json:"gomaxprocs"`
+	} `json:"config"`
+	Runs []shardRun `json:"runs"`
+}
+
+// runShard is the `crowdbench shard` entry point.
+func runShard(args []string, out io.Writer) error {
+	def := defaultShardConfig()
+	fs := flag.NewFlagSet("shard", flag.ContinueOnError)
+	scale := fs.Float64("scale", def.Scale, "Quora-profile scale for the model")
+	seed := fs.Int64("seed", def.Seed, "corpus seed")
+	cats := fs.Int("categories", def.Categories, "latent categories")
+	iters := fs.Int("train-iters", def.TrainIters, "training sweeps")
+	crowdK := fs.Int("k", def.CrowdK, "workers selected per task")
+	pool := fs.Int("texts", def.TextPool, "distinct task texts cycled through")
+	selections := fs.Int("selections", def.Selections, "selections measured per fleet size")
+	batch := fs.Int("batch", def.Batch, "tasks per selections request")
+	conc := fs.Int("concurrency", def.Concurrency, "client goroutines")
+	shards := fs.String("shards", "1,2,4", "fleet sizes, comma separated")
+	outPath := fs.String("out", def.Out, "report path ('' = stdout only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := def
+	cfg.Scale = *scale
+	cfg.Seed = *seed
+	cfg.Categories = *cats
+	cfg.TrainIters = *iters
+	cfg.CrowdK = *crowdK
+	cfg.TextPool = *pool
+	cfg.Selections = *selections
+	cfg.Batch = *batch
+	cfg.Concurrency = *conc
+	cfg.Out = *outPath
+	var err error
+	if cfg.Shards, err = parseInts(*shards); err != nil {
+		return fmt.Errorf("bad -shards: %w", err)
+	}
+	report, err := shardBench(cfg, out)
+	if err != nil {
+		return err
+	}
+	if cfg.Out != "" {
+		b, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.Out, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", cfg.Out)
+	}
+	return nil
+}
+
+// shardBench trains one model, then for each fleet size stands up that
+// many sharded nodes in-process and measures Router selections against
+// them over real localhost HTTP.
+func shardBench(cfg shardConfig, out io.Writer) (*shardReport, error) {
+	if cfg.Selections < 1 || cfg.TextPool < 1 || cfg.Batch < 1 || cfg.Concurrency < 1 || len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("shard: need positive selections, texts, batch, concurrency, and a fleet sweep")
+	}
+	fmt.Fprintf(out, "training TDPM (Quora scale %.3g, K=%d, %d sweeps)...\n", cfg.Scale, cfg.Categories, cfg.TrainIters)
+	p := corpus.Quora().Scaled(cfg.Scale).WithSeed(cfg.Seed)
+	d, err := corpus.Generate(p)
+	if err != nil {
+		return nil, err
+	}
+	tcfg := core.NewConfig(cfg.Categories)
+	tcfg.MaxIter = cfg.TrainIters
+	tcfg.MinIter = 0
+	tcfg.Parallelism = runtime.GOMAXPROCS(0)
+	model, _, err := core.Train(eval.ResolvedTasks(d), len(d.Workers), d.Vocab.Size(), tcfg)
+	if err != nil {
+		return nil, err
+	}
+
+	report := &shardReport{}
+	report.Config.Scale = cfg.Scale
+	report.Config.Seed = cfg.Seed
+	report.Config.Categories = cfg.Categories
+	report.Config.CrowdK = cfg.CrowdK
+	report.Config.TextPool = cfg.TextPool
+	report.Config.Selections = cfg.Selections
+	report.Config.Batch = cfg.Batch
+	report.Config.Concurrency = cfg.Concurrency
+	report.Config.GoMaxProcs = runtime.GOMAXPROCS(0)
+
+	texts := textPool(serveConfig{TextPool: cfg.TextPool})
+	fmt.Fprintf(out, "%-8s %14s %9s %9s %9s\n", "shards", "selections/s", "p50(ms)", "p95(ms)", "p99(ms)")
+	for _, count := range cfg.Shards {
+		run, err := shardCell(cfg, d, model, texts, count)
+		if err != nil {
+			return nil, err
+		}
+		report.Runs = append(report.Runs, run)
+		fmt.Fprintf(out, "%-8d %14.0f %9.2f %9.2f %9.2f\n",
+			run.Shards, run.SelectionsPerSec, run.P50Ms, run.P95Ms, run.P99Ms)
+	}
+	return report, nil
+}
+
+// shardCell boots a count-shard fleet on ephemeral localhost ports and
+// measures Router selections against it.
+func shardCell(cfg shardConfig, d *corpus.Dataset, model *core.Model, texts []string, count int) (shardRun, error) {
+	if count < 1 {
+		return shardRun{}, fmt.Errorf("shard: fleet size %d", count)
+	}
+	servers := make([]*crowddb.Server, count)
+	var stops []func()
+	defer func() {
+		for _, stop := range stops {
+			stop()
+		}
+	}()
+	doc := crowddb.Topology{Epoch: 1, Count: count}
+	for i := 0; i < count; i++ {
+		var buf bytes.Buffer
+		if err := model.Save(&buf); err != nil {
+			return shardRun{}, err
+		}
+		m, err := core.LoadModel(&buf)
+		if err != nil {
+			return shardRun{}, err
+		}
+		store := crowddb.NewStore()
+		for w := range d.Workers {
+			if _, err := store.AddWorker(w, fmt.Sprintf("w%d", w)); err != nil {
+				return shardRun{}, err
+			}
+		}
+		mgr, err := crowddb.NewManager(store, d.Vocab, core.NewConcurrentModel(m), cfg.CrowdK)
+		if err != nil {
+			return shardRun{}, err
+		}
+		mgr.SetShard(crowddb.ShardSpec{Index: i, Count: count})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return shardRun{}, err
+		}
+		srv := crowddb.NewServer(mgr)
+		servers[i] = srv
+		hsrv := &http.Server{Handler: srv}
+		go func() { _ = hsrv.Serve(ln) }()
+		stops = append(stops, func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = hsrv.Shutdown(ctx)
+		})
+		doc.Shards = append(doc.Shards, crowddb.ShardAddr{Index: i, URL: "http://" + ln.Addr().String()})
+	}
+	for _, srv := range servers {
+		if err := srv.SetTopology(doc); err != nil {
+			return shardRun{}, err
+		}
+	}
+	ctx := context.Background()
+	router, err := crowdclient.NewRouter(ctx, []string{doc.Shards[0].URL}, crowdclient.Options{Timeout: 60 * time.Second, Retries: 0})
+	if err != nil {
+		return shardRun{}, err
+	}
+
+	// Warm up each shard's projection cache with one pass of the pool.
+	var warm []crowddb.SubmitRequest
+	for _, t := range texts {
+		warm = append(warm, crowddb.SubmitRequest{Text: t, K: cfg.CrowdK})
+	}
+	for at := 0; at < len(warm); at += 256 {
+		end := at + 256
+		if end > len(warm) {
+			end = len(warm)
+		}
+		if _, err := router.Selections(ctx, warm[at:end]); err != nil {
+			return shardRun{}, fmt.Errorf("shard: warmup: %w", err)
+		}
+	}
+
+	requests := cfg.Selections / (cfg.Concurrency * cfg.Batch)
+	if requests < 1 {
+		requests = 1
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		lats     []time.Duration
+		firstErr error
+	)
+	start := time.Now()
+	for g := 0; g < cfg.Concurrency; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			local := make([]time.Duration, 0, requests)
+			for r := 0; r < requests; r++ {
+				off := (g*requests + r) * cfg.Batch
+				reqs := make([]crowddb.SubmitRequest, cfg.Batch)
+				for i := range reqs {
+					reqs[i] = crowddb.SubmitRequest{Text: texts[(off+i)%len(texts)], K: cfg.CrowdK}
+				}
+				t0 := time.Now()
+				_, err := router.Selections(ctx, reqs)
+				local = append(local, time.Since(t0))
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return shardRun{}, fmt.Errorf("shard: fleet=%d: %w", count, firstErr)
+	}
+	total := cfg.Concurrency * requests * cfg.Batch
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	return shardRun{
+		Shards:           count,
+		Selections:       total,
+		Requests:         cfg.Concurrency * requests,
+		Seconds:          elapsed.Seconds(),
+		SelectionsPerSec: float64(total) / elapsed.Seconds(),
+		P50Ms:            quantileMs(lats, 0.50),
+		P95Ms:            quantileMs(lats, 0.95),
+		P99Ms:            quantileMs(lats, 0.99),
+	}, nil
+}

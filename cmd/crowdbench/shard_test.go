@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestShardBenchSmoke runs a miniature sharded-selection benchmark —
+// real in-process fleets of 1 and 2 shards behind the scatter-gather
+// Router — and sanity-checks the report.
+func TestShardBenchSmoke(t *testing.T) {
+	cfg := defaultShardConfig()
+	cfg.Scale = 0.02
+	cfg.TrainIters = 2
+	cfg.TextPool = 32
+	cfg.Selections = 64
+	cfg.Batch = 4
+	cfg.Concurrency = 2
+	cfg.Shards = []int{1, 2}
+	cfg.Out = ""
+	var out bytes.Buffer
+	report, err := shardBench(cfg, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Runs) != 2 {
+		t.Fatalf("runs = %d, want 2", len(report.Runs))
+	}
+	for i, r := range report.Runs {
+		if r.Shards != cfg.Shards[i] {
+			t.Errorf("run %d measures %d shards, want %d", i, r.Shards, cfg.Shards[i])
+		}
+		if r.SelectionsPerSec <= 0 || r.Seconds <= 0 || r.Selections <= 0 || r.Requests <= 0 {
+			t.Errorf("degenerate run %+v", r)
+		}
+		if r.P50Ms <= 0 || r.P99Ms < r.P50Ms {
+			t.Errorf("bad quantiles %+v", r)
+		}
+	}
+	if report.Config.GoMaxProcs <= 0 {
+		t.Errorf("config = %+v", report.Config)
+	}
+}
+
+// TestCommittedShardReport validates the committed BENCH_shard.json:
+// strict schema, populated cells, and the 1/2/4-shard sweep present.
+func TestCommittedShardReport(t *testing.T) {
+	raw, err := os.ReadFile("../../BENCH_shard.json")
+	if err != nil {
+		t.Fatalf("committed report missing: %v (regenerate with `go run ./cmd/crowdbench shard`)", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var report shardReport
+	if err := dec.Decode(&report); err != nil {
+		t.Fatalf("BENCH_shard.json does not match the shardReport schema: %v", err)
+	}
+	want := map[int]bool{1: false, 2: false, 4: false}
+	for _, r := range report.Runs {
+		if r.SelectionsPerSec <= 0 || r.Seconds <= 0 || r.Selections <= 0 {
+			t.Errorf("degenerate committed run %+v", r)
+		}
+		if _, ok := want[r.Shards]; ok {
+			want[r.Shards] = true
+		}
+	}
+	for shards, seen := range want {
+		if !seen {
+			t.Errorf("committed sweep missing the %d-shard cell", shards)
+		}
+	}
+}

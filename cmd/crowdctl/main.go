@@ -18,6 +18,7 @@
 //	crowdctl [-addr ...]                  query     -q "SELECT ..."
 //	crowdctl [-addr ...]                  stats
 //	crowdctl [-addr ...]                  promote
+//	crowdctl [-addr ...]                  topology [-push layout.json]
 //
 // promote asks the addressed node to become the primary — the failover
 // step after the old primary dies: point -addr at a caught-up replica
@@ -60,7 +61,7 @@ func main() {
 
 func run(cli *crowdclient.Client, args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("missing subcommand (submit, batch, answer, feedback, task, worker, presence, query, stats, promote)")
+		return fmt.Errorf("missing subcommand (submit, batch, answer, feedback, task, worker, presence, query, stats, promote, topology)")
 	}
 	ctx := context.Background()
 	cmd, rest := args[0], args[1:]
@@ -194,6 +195,32 @@ func run(cli *crowdclient.Client, args []string, out io.Writer) error {
 			return err
 		}
 		return printJSON(out, st)
+	case "topology":
+		fs := flag.NewFlagSet("topology", flag.ContinueOnError)
+		file := fs.String("push", "", "path to a topology JSON document to install (empty = print the node's current layout)")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		if *file == "" {
+			doc, err := cli.Topology(ctx)
+			if err != nil {
+				return err
+			}
+			return printJSON(out, doc)
+		}
+		raw, err := os.ReadFile(*file)
+		if err != nil {
+			return err
+		}
+		var doc crowddb.Topology
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return fmt.Errorf("topology document: %w", err)
+		}
+		installed, err := cli.PushTopology(ctx, doc)
+		if err != nil {
+			return err
+		}
+		return printJSON(out, installed)
 	default:
 		return fmt.Errorf("unknown subcommand %q", cmd)
 	}

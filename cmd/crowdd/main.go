@@ -60,6 +60,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -84,6 +85,8 @@ type daemonConfig struct {
 	pprofOn      bool
 	dataDir      string
 	replicaOf    string
+	shard        crowddb.ShardSpec
+	shardPeers   []string
 	sync         crowddb.SyncPolicy
 	compactEvery int64
 	maxInflight  int
@@ -117,6 +120,8 @@ func main() {
 
 		dataDir      = flag.String("data-dir", "", "durable data directory (empty = in-memory only)")
 		replicaOf    = flag.String("replica-of", "", "run as a warm-standby read replica of the primary at this base URL (requires -data-dir)")
+		shardFlag    = flag.String("shard", "", "shard identity i/N: own workers hashed to shard i of N, mint task ids ≡ i (mod N), refuse misrouted mutations with 421 wrong_shard (empty = unsharded)")
+		shardPeers   = flag.String("shard-peers", "", "comma-separated base URLs of all N shard primaries, index order; seeds the epoch-1 topology served at /api/v1/topology")
 		syncFlag     = flag.String("sync", "always", "journal fsync policy: always, os, every=N or interval=DUR")
 		compactEvery = flag.Int64("compact-every", 10000, "journal records between automatic snapshots (0 disables)")
 		maxInflight  = flag.Int("max-inflight", 0, "adaptive admission ceiling: max concurrently served /api requests; excess sheds with 429 (0 = unlimited)")
@@ -134,11 +139,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "crowdd:", err)
 		os.Exit(2)
 	}
+	shard, err := crowddb.ParseShardSpec(*shardFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crowdd:", err)
+		os.Exit(2)
+	}
+	var peers []string
+	if *shardPeers != "" {
+		for _, p := range strings.Split(*shardPeers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, p)
+			}
+		}
+		if len(peers) != shard.Count {
+			fmt.Fprintf(os.Stderr, "crowdd: -shard-peers lists %d URLs for %d shards\n", len(peers), shard.Count)
+			os.Exit(2)
+		}
+	}
 	cfg := daemonConfig{
 		profile: *profile, scale: *scale, data: *data,
 		k: *k, crowdK: *crowdK, sweeps: *sweeps,
 		addr: *addr, drain: *drain, pprofOn: *pprofOn,
-		dataDir: *dataDir, replicaOf: *replicaOf, sync: policy,
+		dataDir: *dataDir, replicaOf: *replicaOf,
+		shard: shard, shardPeers: peers, sync: policy,
 		compactEvery: *compactEvery, maxInflight: *maxInflight,
 		admissionMin: *admissionMin,
 		readBudget:   *readBudget, writeBudget: *writeBudget,
@@ -400,6 +423,10 @@ func buildService(cfg daemonConfig) (*crowddb.Server, *crowddb.DB, int, error) {
 	if err != nil {
 		return nil, nil, 0, err
 	}
+	// Shard identity must be set before recovery: the task-id stride and
+	// the posterior ownership filter shape journal replay, so a sharded
+	// node rebuilds exactly the partition it owns.
+	mgr.SetShard(cfg.shard)
 	if db != nil {
 		db.SetModelSnapshotter(cm.Save)
 		db.SetQuiescer(mgr.Quiesce)
@@ -422,6 +449,10 @@ func buildService(cfg daemonConfig) (*crowddb.Server, *crowddb.DB, int, error) {
 		}
 	}
 	srv := crowddb.NewServer(mgr)
+	srv.SetCacheStats(cm.CacheStats)
+	if err := seedTopology(srv, cfg); err != nil {
+		return nil, nil, 0, err
+	}
 	if db != nil {
 		srv.SetDurabilityStats(db.Stats)
 		// A durable primary can feed warm standbys: expose the journal
@@ -438,6 +469,20 @@ func buildService(cfg daemonConfig) (*crowddb.Server, *crowddb.DB, int, error) {
 	return srv, db, len(store.OnlineWorkers()), nil
 }
 
+// seedTopology installs the epoch-1 fleet layout from -shard-peers so
+// routers can discover the fleet from any node before an operator
+// pushes a newer epoch via crowdctl topology.
+func seedTopology(srv *crowddb.Server, cfg daemonConfig) error {
+	if len(cfg.shardPeers) == 0 {
+		return nil
+	}
+	doc := crowddb.Topology{Epoch: 1, Count: cfg.shard.Count}
+	for i, u := range cfg.shardPeers {
+		doc.Shards = append(doc.Shards, crowddb.ShardAddr{Index: i, URL: u})
+	}
+	return srv.SetTopology(doc)
+}
+
 // buildReplica assembles the warm-standby stack: a Replica streaming
 // from -replica-of into its own durable directory, served read-only by
 // the same HTTP server with the role gate engaged. The replica also
@@ -447,6 +492,7 @@ func buildReplica(cfg daemonConfig) (*crowddb.Server, *crowddb.Replica, int, err
 	if cfg.dataDir == "" {
 		return nil, nil, 0, errors.New("-replica-of requires -data-dir")
 	}
+	var cmRef atomic.Pointer[core.ConcurrentModel]
 	build := func(datasetPath string, model *core.Model, store *crowddb.Store) (*crowddb.Manager, *core.ConcurrentModel, error) {
 		d, err := corpus.LoadFile(datasetPath)
 		if err != nil {
@@ -457,6 +503,11 @@ func buildReplica(cfg daemonConfig) (*crowddb.Server, *crowddb.Replica, int, err
 		if err != nil {
 			return nil, nil, err
 		}
+		// A sharded replica must filter posteriors exactly like its
+		// primary while applying the replicated journal, or promotion
+		// would install a model the rest of the fleet has never seen.
+		mgr.SetShard(cfg.shard)
+		cmRef.Store(cm)
 		return mgr, cm, nil
 	}
 	log.Printf("starting as replica of %s", cfg.replicaOf)
@@ -476,6 +527,16 @@ func buildReplica(cfg daemonConfig) (*crowddb.Server, *crowddb.Replica, int, err
 	}
 	db := rep.DB()
 	srv := crowddb.NewServer(rep.Manager())
+	srv.SetCacheStats(func() core.ProjectionCacheStats {
+		if cm := cmRef.Load(); cm != nil {
+			return cm.CacheStats()
+		}
+		return core.ProjectionCacheStats{}
+	})
+	if err := seedTopology(srv, cfg); err != nil {
+		rep.Close()
+		return nil, nil, 0, err
+	}
 	srv.SetRole(crowddb.RoleReplica)
 	srv.SetDurabilityStats(db.Stats)
 	srv.SetDegradedCheck(db.Degraded)

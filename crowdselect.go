@@ -29,6 +29,7 @@
 package crowdselect
 
 import (
+	"context"
 	"io"
 	"time"
 
@@ -334,6 +335,54 @@ func StartReplica(opts ReplicaOptions) (*Replica, error) { return crowddb.StartR
 // (the first is the initial believed primary).
 func NewAPIMulti(endpoints []string, opts APIClientOptions) (*APIMulti, error) {
 	return crowdclient.NewMulti(endpoints, opts)
+}
+
+// Horizontal sharding (DESIGN.md §11): workers partitioned across
+// crowdd shards by consistent hashing, selections scatter-gathered by
+// a shard-aware router so the fleet answers exactly like one node.
+type (
+	// ShardSpec is a node's slice of the fleet: index i of count N
+	// (crowdd's -shard i/N flag).
+	ShardSpec = crowddb.ShardSpec
+	// ShardTopology is the epoch-versioned fleet layout served at
+	// GET /api/v1/topology.
+	ShardTopology = crowddb.Topology
+	// ShardAddr names one shard's primary URL and replicas inside a
+	// ShardTopology.
+	ShardAddr = crowddb.ShardAddr
+	// WrongShardRefusal is the typed 421 wrong_shard refusal, carrying
+	// the owning shard's index.
+	WrongShardRefusal = crowddb.WrongShardError
+	// APIRouter is the shard-aware client: scatter-gather selections,
+	// home-shard task routing, cross-shard feedback fan-out, live
+	// topology refresh on wrong_shard refusals.
+	APIRouter = crowdclient.Router
+)
+
+// ErrWrongShard tags requests refused by a shard that does not own
+// the addressed worker; branch with errors.Is.
+var ErrWrongShard = crowddb.ErrWrongShard
+
+// ErrStaleTopologyEpoch rejects a topology install whose epoch does
+// not exceed the currently installed one.
+var ErrStaleTopologyEpoch = crowddb.ErrStaleEpoch
+
+// ParseShardSpec parses crowdd's -shard flag syntax "i/N".
+func ParseShardSpec(s string) (ShardSpec, error) { return crowddb.ParseShardSpec(s) }
+
+// ShardOfWorker returns the shard owning a worker id in a fleet of
+// count shards — the same consistent-hash ring servers and routers
+// share.
+func ShardOfWorker(id, count int) int { return crowddb.ShardOfWorker(id, count) }
+
+// ShardOfTask returns the home shard of a task id (ids are strided:
+// shard i mints ids congruent to i mod count).
+func ShardOfTask(id, count int) int { return crowddb.ShardOfTask(id, count) }
+
+// NewAPIRouter discovers the fleet topology from the seed URLs and
+// returns a shard-aware router over it.
+func NewAPIRouter(ctx context.Context, seeds []string, opts APIClientOptions) (*APIRouter, error) {
+	return crowdclient.NewRouter(ctx, seeds, opts)
 }
 
 // Crowd-selection query language (internal/crowdql):

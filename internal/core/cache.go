@@ -48,7 +48,10 @@ func (c *projectionCache) get(key string, epoch uint64) (TaskCategory, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.capacity <= 0 {
-		c.misses++
+		// A disabled cache is not a thrashing cache: counting these
+		// lookups as misses would surface a 0% hit rate in metrics that
+		// is indistinguishable from real churn. Leave the counters
+		// untouched; stats() reports Disabled instead.
 		return TaskCategory{}, false
 	}
 	el, ok := c.items[key]
@@ -115,12 +118,22 @@ type ProjectionCacheStats struct {
 	Misses   uint64 `json:"misses"`
 	Entries  int    `json:"entries"`
 	Capacity int    `json:"capacity"`
+	// Disabled reports a capacity <= 0 cache. While disabled, lookups
+	// are not counted, so Hits/Misses describe only the periods the
+	// cache was live.
+	Disabled bool `json:"disabled,omitempty"`
 }
 
 func (c *projectionCache) stats() ProjectionCacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return ProjectionCacheStats{Hits: c.hits, Misses: c.misses, Entries: c.ll.Len(), Capacity: c.capacity}
+	return ProjectionCacheStats{
+		Hits:     c.hits,
+		Misses:   c.misses,
+		Entries:  c.ll.Len(),
+		Capacity: c.capacity,
+		Disabled: c.capacity <= 0,
+	}
 }
 
 // bagKey is the exact fingerprint of a bag: the (id, count) pairs in

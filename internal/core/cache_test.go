@@ -109,13 +109,20 @@ func TestProjectionCacheCapacity(t *testing.T) {
 	}
 
 	cm.SetProjectionCacheCapacity(0)
-	if st := cm.CacheStats(); st.Entries != 0 {
+	if st := cm.CacheStats(); st.Entries != 0 || !st.Disabled {
 		t.Errorf("disable did not clear: %+v", st)
 	}
+	// While disabled, lookups neither cache nor count: a disabled cache
+	// must be distinguishable from a thrashing one in metrics.
+	base := cm.CacheStats()
 	cm.Project(d.Tasks[1].Bag(d.Vocab))
 	cm.Project(d.Tasks[1].Bag(d.Vocab))
-	if st := cm.CacheStats(); st.Hits != pre.Hits+1 || st.Entries != 0 {
-		t.Errorf("disabled cache still caching: %+v", st)
+	if st := cm.CacheStats(); st.Hits != base.Hits || st.Misses != base.Misses || st.Entries != 0 {
+		t.Errorf("disabled cache still counting: base %+v now %+v", base, cm.CacheStats())
+	}
+	cm.SetProjectionCacheCapacity(4)
+	if st := cm.CacheStats(); st.Disabled {
+		t.Errorf("re-enabled cache still reports disabled: %+v", st)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"crowdselect/internal/linalg"
 	"crowdselect/internal/randx"
+	"crowdselect/internal/rank"
 	"crowdselect/internal/text"
 )
 
@@ -214,6 +215,27 @@ func (c *ConcurrentModel) RankBatch(ctx context.Context, bags []text.Bag, candid
 			return nil, err
 		}
 		out[i] = c.m.SelectTopK(cat.Mean(), candidates, k)
+	}
+	return out, nil
+}
+
+// RankBatchScored is RankBatch keeping the Eq. 1 scores: one scored
+// top-k list per bag, all under one read lock (one model version per
+// batch). This is the per-shard leg of scatter-gather selection — the
+// coordinator merges these lists with rank.MergeTopK.
+func (c *ConcurrentModel) RankBatchScored(ctx context.Context, bags []text.Bag, candidates []int, k int) ([][]rank.Item, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	cats, err := c.projectAllLocked(ctx, bags, runtime.GOMAXPROCS(0))
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]rank.Item, len(bags))
+	for i, cat := range cats {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		out[i] = c.m.SelectTopKScored(cat.Mean(), candidates, k)
 	}
 	return out, nil
 }

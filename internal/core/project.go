@@ -182,6 +182,19 @@ func (m *Model) SelectTopK(c linalg.Vector, candidates []int, k int) []int {
 	return rank.TopK(candidates, func(id int) float64 { return m.Score(id, c) }, k)
 }
 
+// SelectTopKScored is SelectTopK keeping the Eq. 1 scores: the k best
+// candidates as rank.Items, best first. A shard serving a
+// scatter-gather coordinator must return scores — per-shard ranks
+// cannot be merged into a global top-k, per-shard scores can, because
+// wᵢ·cⱼ lives in the one shared latent space and is comparable across
+// shards.
+func (m *Model) SelectTopKScored(c linalg.Vector, candidates []int, k int) []rank.Item {
+	if candidates == nil {
+		candidates = m.allWorkerIDs()
+	}
+	return rank.TopKScored(candidates, func(id int) float64 { return m.Score(id, c) }, k)
+}
+
 // allWorkerIDs returns the shared identity candidate slice [0, M).
 // Callers must treat it as read-only.
 func (m *Model) allWorkerIDs() []int {

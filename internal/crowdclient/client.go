@@ -199,6 +199,13 @@ type APIError struct {
 	// Primary is the X-Crowdd-Primary redirect a replica attaches to
 	// not_primary (421) refusals: the base URL mutations should go to.
 	Primary string
+	// ShardOwner is the owning shard index a sharded node attaches to
+	// wrong_shard (421) refusals via X-Crowdd-Shard-Owner; -1 when
+	// absent.
+	ShardOwner int
+	// ShardOwnerURL is the owner's base URL (X-Crowdd-Shard-Owner-URL)
+	// when the refusing node's topology knows it.
+	ShardOwnerURL string
 }
 
 func (e *APIError) Error() string {
@@ -444,11 +451,18 @@ func (c *Client) Do(ctx context.Context, method, path string, body any) ([]byte,
 // server's envelope when present.
 func apiError(resp *http.Response, body []byte) *APIError {
 	e := &APIError{
-		StatusCode: resp.StatusCode,
-		Status:     resp.Status,
-		Message:    strings.TrimSpace(string(body)),
-		RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
-		Primary:    resp.Header.Get("X-Crowdd-Primary"),
+		StatusCode:    resp.StatusCode,
+		Status:        resp.Status,
+		Message:       strings.TrimSpace(string(body)),
+		RetryAfter:    parseRetryAfter(resp.Header.Get("Retry-After")),
+		Primary:       resp.Header.Get("X-Crowdd-Primary"),
+		ShardOwner:    -1,
+		ShardOwnerURL: resp.Header.Get("X-Crowdd-Shard-Owner-URL"),
+	}
+	if v := resp.Header.Get("X-Crowdd-Shard-Owner"); v != "" {
+		if owner, err := strconv.Atoi(v); err == nil {
+			e.ShardOwner = owner
+		}
 	}
 	var env crowddb.ErrorEnvelope
 	if err := json.Unmarshal(body, &env); err == nil && env.Error.Code != "" {
@@ -525,6 +539,46 @@ func (c *Client) SubmitBatch(ctx context.Context, tasks []crowddb.SubmitRequest)
 func (c *Client) Selections(ctx context.Context, tasks []crowddb.SubmitRequest) (crowddb.SelectionsResponse, error) {
 	var out crowddb.SelectionsResponse
 	err := c.post(ctx, "/api/v1/selections", crowddb.BatchSubmitRequest{Tasks: tasks}, &out)
+	return out, err
+}
+
+// SelectionsScored is Selections with include_scores set: each result
+// carries the workers' Eq. 1 scores, parallel to the ranking. Scored
+// selections are the per-shard leg of scatter-gather — scores are what
+// make per-shard top-k lists mergeable.
+func (c *Client) SelectionsScored(ctx context.Context, tasks []crowddb.SubmitRequest) (crowddb.SelectionsResponse, error) {
+	var out crowddb.SelectionsResponse
+	err := c.post(ctx, "/api/v1/selections", crowddb.BatchSubmitRequest{Tasks: tasks, IncludeScores: true}, &out)
+	return out, err
+}
+
+// SkillFeedback folds feedback scores into the posteriors of workers
+// this server owns, without touching a task row
+// (POST /api/v1/skills:feedback) — the cross-shard red path. A server
+// that does not own one of the scored workers refuses with 421
+// wrong_shard and an owner hint.
+func (c *Client) SkillFeedback(ctx context.Context, taskText string, scores map[int]float64) error {
+	wire := make(map[string]float64, len(scores))
+	for w, s := range scores {
+		wire[strconv.Itoa(w)] = s
+	}
+	return c.post(ctx, "/api/v1/skills:feedback", map[string]any{"text": taskText, "scores": wire}, nil)
+}
+
+// Topology fetches the server's live fleet layout
+// (GET /api/v1/topology). Every node serves it, replicas included.
+func (c *Client) Topology(ctx context.Context) (crowddb.Topology, error) {
+	var out crowddb.Topology
+	err := c.get(ctx, "/api/v1/topology", &out)
+	return out, err
+}
+
+// PushTopology installs a new fleet layout on the server
+// (POST /api/v1/topology). A document whose epoch is older than the
+// server's current one is refused with 409 stale_epoch.
+func (c *Client) PushTopology(ctx context.Context, doc crowddb.Topology) (crowddb.Topology, error) {
+	var out crowddb.Topology
+	err := c.post(ctx, "/api/v1/topology", doc, &out)
 	return out, err
 }
 

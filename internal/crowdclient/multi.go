@@ -88,7 +88,13 @@ func (m *Multi) indexOf(base string) int {
 // not_primary refusal.
 func notPrimaryErr(err error) *APIError {
 	var ae *APIError
-	if errors.As(err, &ae) && (ae.Code == "not_primary" || ae.StatusCode == http.StatusMisdirectedRequest) {
+	if !errors.As(err, &ae) || ae.Code == "wrong_shard" {
+		// wrong_shard is also 421, but it is a property of the whole
+		// shard, not of this endpoint — failing over within the shard
+		// cannot help. The Router handles it by re-routing.
+		return nil
+	}
+	if ae.Code == "not_primary" || ae.StatusCode == http.StatusMisdirectedRequest {
 		return ae
 	}
 	return nil
@@ -114,6 +120,9 @@ func writeFailover(err error) bool {
 func readFailover(err error) bool {
 	var ae *APIError
 	if errors.As(err, &ae) {
+		if ae.Code == "wrong_shard" {
+			return false // every copy of this shard refuses identically
+		}
 		return ae.StatusCode >= 500 || ae.StatusCode == http.StatusMisdirectedRequest
 	}
 	return true // transport error or ErrCircuitOpen
@@ -275,6 +284,37 @@ func (m *Multi) SetPresence(ctx context.Context, id int, online bool) error {
 	return m.write(func(c *Client) error {
 		return c.SetPresence(ctx, id, online)
 	})
+}
+
+// SelectionsScored is Selections with per-worker Eq. 1 scores, served
+// by primary or replica alike.
+func (m *Multi) SelectionsScored(ctx context.Context, tasks []crowddb.SubmitRequest) (crowddb.SelectionsResponse, error) {
+	var out crowddb.SelectionsResponse
+	err := m.read(func(c *Client) error {
+		var e error
+		out, e = c.SelectionsScored(ctx, tasks)
+		return e
+	})
+	return out, err
+}
+
+// SkillFeedback folds feedback into locally-owned posteriors on the
+// primary (mutation — follows not_primary redirects).
+func (m *Multi) SkillFeedback(ctx context.Context, taskText string, scores map[int]float64) error {
+	return m.write(func(c *Client) error {
+		return c.SkillFeedback(ctx, taskText, scores)
+	})
+}
+
+// Topology reads the fleet layout from whichever endpoint answers.
+func (m *Multi) Topology(ctx context.Context) (crowddb.Topology, error) {
+	var out crowddb.Topology
+	err := m.read(func(c *Client) error {
+		var e error
+		out, e = c.Topology(ctx)
+		return e
+	})
+	return out, err
 }
 
 // Client returns the per-endpoint client at index i, for direct

@@ -1,0 +1,496 @@
+package crowdclient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"crowdselect/internal/crowddb"
+	"crowdselect/internal/rank"
+)
+
+// Router is the shard-aware front door to a horizontally-partitioned
+// crowdd fleet. It holds one Multi (primary + replicas) per shard and
+// routes by resource ownership:
+//
+//   - Selections scatter to every shard (each shard ranks only the
+//     workers it owns, with scores) and gather by merging the
+//     per-shard top-k lists — score descending, id ascending on ties —
+//     which is bitwise-identical to a single node ranking the full
+//     roster, because Eq. 1 scores live in one shared latent space.
+//     Shards that are entirely unreachable are skipped: selections
+//     degrade to the surviving shards' candidates instead of failing.
+//   - Task reads and mutations (get, answer, feedback) go to the
+//     task's home shard, identified by id mod count — shards mint
+//     strided task ids precisely so the id carries its owner.
+//   - Worker presence goes to the worker's owner under the consistent-
+//     hash ring shared with the servers.
+//   - Feedback resolves at the home shard, then forwards each foreign
+//     answerer's score to that worker's owner shard over
+//     skills:feedback, so every posterior lands exactly once.
+//
+// The Router carries an epoch-versioned Topology. Any 421 wrong_shard
+// refusal triggers a refresh-and-retry: the fleet layout is re-fetched
+// (highest epoch wins) and the call re-routed once. It is safe for
+// concurrent use.
+type Router struct {
+	opts  Options
+	seeds []string
+
+	mu     sync.RWMutex
+	topo   crowddb.Topology
+	shards []*Multi
+
+	rrHome    atomic.Int64 // round-robin cursor for batch home shards
+	refreshes atomic.Int64
+	partials  atomic.Int64 // scatter legs skipped because a shard was down
+}
+
+// NewRouter discovers the fleet layout from the seed URLs (any node of
+// any shard serves GET /api/v1/topology, replicas included) and builds
+// one Multi per shard from the discovered topology.
+func NewRouter(ctx context.Context, seeds []string, opts Options) (*Router, error) {
+	if len(seeds) == 0 {
+		return nil, errors.New("crowdclient: NewRouter needs at least one seed URL")
+	}
+	r := &Router{opts: opts, seeds: append([]string(nil), seeds...)}
+	var lastErr error
+	for _, s := range seeds {
+		doc, err := New(s, opts).Topology(ctx)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if err := r.adopt(doc); err != nil {
+			lastErr = err
+			continue
+		}
+		return r, nil
+	}
+	return nil, fmt.Errorf("crowdclient: no seed served a topology: %w", lastErr)
+}
+
+// adopt installs doc as the Router's layout and rebuilds the per-shard
+// Multis. The caller must not hold r.mu.
+func (r *Router) adopt(doc crowddb.Topology) error {
+	if err := doc.Validate(); err != nil {
+		return err
+	}
+	shards := make([]*Multi, doc.Count)
+	for i, sh := range doc.Shards {
+		endpoints := append([]string{sh.URL}, sh.Replicas...)
+		m, err := NewMulti(endpoints, r.opts)
+		if err != nil {
+			return err
+		}
+		shards[i] = m
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.topo.Count != 0 && doc.Epoch <= r.topo.Epoch {
+		return nil // keep the layout we already trust
+	}
+	r.topo = doc
+	r.shards = shards
+	return nil
+}
+
+// Refresh re-fetches the fleet layout from every known endpoint and
+// adopts the highest-epoch document found. Called automatically on
+// wrong_shard refusals; callers may also invoke it after pushing a new
+// topology elsewhere.
+func (r *Router) Refresh(ctx context.Context) error {
+	r.refreshes.Add(1)
+	var (
+		best  crowddb.Topology
+		found bool
+		last  error
+	)
+	for _, m := range r.snapshotShards() {
+		doc, err := m.Topology(ctx)
+		if err != nil {
+			last = err
+			continue
+		}
+		if !found || doc.Epoch > best.Epoch {
+			best, found = doc, true
+		}
+	}
+	if !found {
+		for _, s := range r.seeds {
+			doc, err := New(s, r.opts).Topology(ctx)
+			if err != nil {
+				last = err
+				continue
+			}
+			if !found || doc.Epoch > best.Epoch {
+				best, found = doc, true
+			}
+		}
+	}
+	if !found {
+		return fmt.Errorf("crowdclient: topology refresh failed on every endpoint: %w", last)
+	}
+	return r.adopt(best)
+}
+
+// PushTopology installs doc on every endpoint of every shard (primaries
+// and replicas — replicas serve discovery too) and adopts it locally.
+// Per-endpoint failures are joined, not fatal: a partially-pushed epoch
+// converges as routers refresh.
+func (r *Router) PushTopology(ctx context.Context, doc crowddb.Topology) error {
+	if err := doc.Validate(); err != nil {
+		return err
+	}
+	var errs []error
+	for _, m := range r.snapshotShards() {
+		for i := range m.Endpoints() {
+			if _, err := m.Client(i).PushTopology(ctx, doc); err != nil {
+				errs = append(errs, fmt.Errorf("%s: %w", m.Endpoints()[i], err))
+			}
+		}
+	}
+	if err := r.adopt(doc); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}
+
+// Topology returns the layout the Router currently trusts.
+func (r *Router) Topology() crowddb.Topology {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.topo
+}
+
+// Count returns the number of shards in the trusted layout.
+func (r *Router) Count() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.topo.Count
+}
+
+// Refreshes counts topology refreshes since construction.
+func (r *Router) Refreshes() int64 { return r.refreshes.Load() }
+
+// Partials counts scatter legs skipped because their shard was
+// unreachable — nonzero means some selections were computed from a
+// degraded candidate set.
+func (r *Router) Partials() int64 { return r.partials.Load() }
+
+// Shard returns the Multi for shard i (for drills and diagnostics).
+func (r *Router) Shard(i int) *Multi {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.shards[i]
+}
+
+func (r *Router) snapshotShards() []*Multi {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]*Multi(nil), r.shards...)
+}
+
+func (r *Router) shardForTask(id int) (*Multi, int) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	idx := crowddb.ShardOfTask(id, r.topo.Count)
+	return r.shards[idx], idx
+}
+
+func (r *Router) shardForWorker(id int) (*Multi, int) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	idx := crowddb.ShardOfWorker(id, r.topo.Count)
+	return r.shards[idx], idx
+}
+
+// wrongShardErr extracts the *APIError when err is a 421 wrong_shard
+// refusal (possibly wrapped by a Multi's failover report).
+func wrongShardErr(err error) *APIError {
+	var ae *APIError
+	if errors.As(err, &ae) && ae.Code == "wrong_shard" {
+		return ae
+	}
+	return nil
+}
+
+// rerouted runs do against the shard picked by pick; on a wrong_shard
+// refusal it refreshes the topology and retries once — at the owner the
+// server hinted when the hint is in range, else at pick's new answer.
+func (r *Router) rerouted(ctx context.Context, pick func() (*Multi, int), do func(m *Multi) error) error {
+	m, _ := pick()
+	err := do(m)
+	ae := wrongShardErr(err)
+	if ae == nil {
+		return err
+	}
+	if rerr := r.Refresh(ctx); rerr != nil {
+		return errors.Join(err, rerr)
+	}
+	if ae.ShardOwner >= 0 {
+		r.mu.RLock()
+		inRange := ae.ShardOwner < len(r.shards)
+		if inRange {
+			m = r.shards[ae.ShardOwner]
+		}
+		r.mu.RUnlock()
+		if inRange {
+			return do(m)
+		}
+	}
+	m, _ = pick()
+	return do(m)
+}
+
+// scatterScored fans the selection batch to every shard and returns the
+// per-shard scored responses (nil for shards that failed outright) plus
+// the selector name from any successful leg.
+func (r *Router) scatterScored(ctx context.Context, tasks []crowddb.SubmitRequest) ([]*crowddb.SelectionsResponse, string, error) {
+	shards := r.snapshotShards()
+	out := make([]*crowddb.SelectionsResponse, len(shards))
+	errs := make([]error, len(shards))
+	var wg sync.WaitGroup
+	for i, m := range shards {
+		wg.Add(1)
+		go func(i int, m *Multi) {
+			defer wg.Done()
+			resp, err := m.SelectionsScored(ctx, tasks)
+			if err != nil {
+				errs[i] = fmt.Errorf("shard %d: %w", i, err)
+				return
+			}
+			out[i] = &resp
+		}(i, m)
+	}
+	wg.Wait()
+	model, ok := "", false
+	for _, resp := range out {
+		if resp != nil {
+			model, ok = resp.Model, true
+			break
+		}
+	}
+	if !ok {
+		return nil, "", fmt.Errorf("selection failed on every shard: %w", errors.Join(errs...))
+	}
+	for _, err := range errs {
+		if err != nil {
+			r.partials.Add(1)
+		}
+	}
+	return out, model, nil
+}
+
+// mergeScattered folds the per-shard scored responses into one global
+// top-k list per task, in request order.
+func mergeScattered(legs []*crowddb.SelectionsResponse, tasks []crowddb.SubmitRequest) []crowddb.SelectionResult {
+	results := make([]crowddb.SelectionResult, len(tasks))
+	for t := range tasks {
+		var lists [][]rank.Item
+		for _, leg := range legs {
+			if leg == nil || t >= len(leg.Results) {
+				continue
+			}
+			res := leg.Results[t]
+			items := make([]rank.Item, len(res.Workers))
+			for i, w := range res.Workers {
+				items[i] = rank.Item{ID: w, Score: res.Scores[i]}
+			}
+			lists = append(lists, items)
+		}
+		merged := rank.MergeTopK(lists, tasks[t].K)
+		sel := crowddb.SelectionResult{
+			Workers: make([]int, len(merged)),
+			Scores:  make([]float64, len(merged)),
+		}
+		for i, it := range merged {
+			sel.Workers[i] = it.ID
+			sel.Scores[i] = it.Score
+		}
+		results[t] = sel
+	}
+	return results
+}
+
+// checkExplicitK enforces the Router's one extra contract over the
+// single-node API: every task must carry an explicit k. Without it,
+// each shard would apply its own server-side default and the Router
+// could not tell a full per-shard list from an exhausted one, so the
+// truncation point of the merge would be a guess.
+func checkExplicitK(tasks []crowddb.SubmitRequest) error {
+	for i, t := range tasks {
+		if t.K <= 0 {
+			return fmt.Errorf("router requires explicit k > 0 (task %d)", i)
+		}
+	}
+	return nil
+}
+
+// Selections ranks crowds for a batch of task texts across the whole
+// fleet: scatter scored per-shard selections, gather with a rank merge.
+// Results carry both workers and scores.
+func (r *Router) Selections(ctx context.Context, tasks []crowddb.SubmitRequest) (crowddb.SelectionsResponse, error) {
+	if err := checkExplicitK(tasks); err != nil {
+		return crowddb.SelectionsResponse{}, err
+	}
+	legs, model, err := r.scatterScored(ctx, tasks)
+	if err != nil {
+		return crowddb.SelectionsResponse{}, err
+	}
+	return crowddb.SelectionsResponse{Results: mergeScattered(legs, tasks), Model: model}, nil
+}
+
+// SubmitBatch stores a batch of tasks on one home shard with the crowd
+// preassigned from a fleet-wide scatter-gather selection. The home
+// shard rotates per call; if it is down the batch moves to the next
+// shard (task ids carry their minting shard, so any shard can be home).
+func (r *Router) SubmitBatch(ctx context.Context, reqs []crowddb.SubmitRequest) ([]crowddb.SubmitResponse, error) {
+	if err := checkExplicitK(reqs); err != nil {
+		return nil, err
+	}
+	legs, _, err := r.scatterScored(ctx, reqs)
+	if err != nil {
+		return nil, err
+	}
+	merged := mergeScattered(legs, reqs)
+	pre := make([]crowddb.SubmitRequest, len(reqs))
+	for i, req := range reqs {
+		if len(merged[i].Workers) == 0 {
+			return nil, fmt.Errorf("no online workers for task %d", i)
+		}
+		pre[i] = crowddb.SubmitRequest{Text: req.Text, K: req.K, Workers: merged[i].Workers}
+	}
+	shards := r.snapshotShards()
+	start := int(r.rrHome.Add(1)-1) % len(shards)
+	if start < 0 {
+		start += len(shards)
+	}
+	var lastErr error
+	for i := 0; i < len(shards); i++ {
+		home := shards[(start+i)%len(shards)]
+		resp, err := home.SubmitBatch(ctx, pre)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("submit failed on every shard: %w", lastErr)
+}
+
+// SubmitTask stores one task with a fleet-wide selected crowd.
+func (r *Router) SubmitTask(ctx context.Context, text string, k int) (crowddb.SubmitResponse, error) {
+	resp, err := r.SubmitBatch(ctx, []crowddb.SubmitRequest{{Text: text, K: k}})
+	if err != nil {
+		return crowddb.SubmitResponse{}, err
+	}
+	return resp[0], nil
+}
+
+// GetTask fetches a task from its home shard.
+func (r *Router) GetTask(ctx context.Context, id int) (crowddb.TaskRecord, error) {
+	var out crowddb.TaskRecord
+	err := r.rerouted(ctx,
+		func() (*Multi, int) { return r.shardForTask(id) },
+		func(m *Multi) error {
+			var e error
+			out, e = m.GetTask(ctx, id)
+			return e
+		})
+	return out, err
+}
+
+// Answer records a worker's answer on the task's home shard.
+func (r *Router) Answer(ctx context.Context, taskID, workerID int, text string) error {
+	return r.rerouted(ctx,
+		func() (*Multi, int) { return r.shardForTask(taskID) },
+		func(m *Multi) error { return m.Answer(ctx, taskID, workerID, text) })
+}
+
+// Feedback resolves a task at its home shard, then forwards each
+// foreign answerer's score to that worker's owner shard so every
+// posterior update lands on exactly one owner. The home shard folds
+// only the workers it owns; the forwarded legs are journaled by their
+// owners, so a recovering shard rebuilds the same model. Forward-leg
+// failures are joined into the returned error alongside the resolved
+// record — the resolution itself is durable at that point.
+func (r *Router) Feedback(ctx context.Context, taskID int, scores map[int]float64) (crowddb.TaskRecord, error) {
+	var rec crowddb.TaskRecord
+	_, home := r.shardForTask(taskID)
+	err := r.rerouted(ctx,
+		func() (*Multi, int) { return r.shardForTask(taskID) },
+		func(m *Multi) error {
+			var e error
+			rec, e = m.Feedback(ctx, taskID, scores)
+			return e
+		})
+	if err != nil {
+		return rec, err
+	}
+	count := r.Count()
+	foreign := make(map[int]map[int]float64)
+	for _, a := range rec.Answers {
+		owner := crowddb.ShardOfWorker(a.Worker, count)
+		if owner == home {
+			continue
+		}
+		if foreign[owner] == nil {
+			foreign[owner] = make(map[int]float64)
+		}
+		foreign[owner][a.Worker] = a.Score
+	}
+	owners := make([]int, 0, len(foreign))
+	for o := range foreign {
+		owners = append(owners, o)
+	}
+	sort.Ints(owners)
+	var errs []error
+	for _, o := range owners {
+		m := r.Shard(o)
+		if ferr := m.SkillFeedback(ctx, rec.Text, foreign[o]); ferr != nil {
+			errs = append(errs, fmt.Errorf("skill feedback to shard %d: %w", o, ferr))
+		}
+	}
+	return rec, errors.Join(errs...)
+}
+
+// SetPresence flips a worker's availability on the shard that owns the
+// worker.
+func (r *Router) SetPresence(ctx context.Context, id int, online bool) error {
+	return r.rerouted(ctx,
+		func() (*Multi, int) { return r.shardForWorker(id) },
+		func(m *Multi) error { return m.SetPresence(ctx, id, online) })
+}
+
+// GetWorker fetches a worker's roster entry from its owner shard (the
+// owner holds the authoritative presence bit).
+func (r *Router) GetWorker(ctx context.Context, id int) (crowddb.Worker, error) {
+	var out crowddb.Worker
+	err := r.rerouted(ctx,
+		func() (*Multi, int) { return r.shardForWorker(id) },
+		func(m *Multi) error {
+			var e error
+			out, e = m.GetWorker(ctx, id)
+			return e
+		})
+	return out, err
+}
+
+// FleetStats returns every shard's stats, indexed by shard.
+func (r *Router) FleetStats(ctx context.Context) ([]crowddb.StatsResponse, error) {
+	shards := r.snapshotShards()
+	out := make([]crowddb.StatsResponse, len(shards))
+	var errs []error
+	for i, m := range shards {
+		st, err := m.Stats(ctx)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
+			continue
+		}
+		out[i] = st
+	}
+	return out, errors.Join(errs...)
+}

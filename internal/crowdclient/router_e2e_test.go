@@ -1,0 +1,303 @@
+package crowdclient
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"crowdselect/internal/core"
+	"crowdselect/internal/corpus"
+	"crowdselect/internal/crowddb"
+)
+
+// fleetFixture is a single-node reference service plus an N-shard
+// fleet built from the same dataset and trained model, each node with
+// its own copy of the model so posterior updates stay independent.
+type fleetFixture struct {
+	dataset *corpus.Dataset
+	single  *httptest.Server
+	shards  []*httptest.Server
+}
+
+func trainedModel(t *testing.T) (*corpus.Dataset, *core.Model) {
+	t.Helper()
+	p := corpus.Quora().Scaled(0.03)
+	p.Seed = 17
+	d := corpus.MustGenerate(p)
+	var tasks []core.ResolvedTask
+	for _, task := range d.Tasks {
+		rt := core.ResolvedTask{Bag: task.Bag(d.Vocab)}
+		for _, r := range task.Responses {
+			rt.Responses = append(rt.Responses, core.Scored{Worker: r.Worker, Score: r.Score})
+		}
+		tasks = append(tasks, rt)
+	}
+	cfg := core.NewConfig(5)
+	cfg.MaxIter = 5
+	m, _, err := core.Train(tasks, len(d.Workers), d.Vocab.Size(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, m
+}
+
+// cloneModel round-trips the model through its serialization so every
+// node mutates its own posteriors.
+func cloneModel(t *testing.T, m *core.Model) *core.Model {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	clone, err := core.LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return clone
+}
+
+func newNode(t *testing.T, d *corpus.Dataset, m *core.Model, sp crowddb.ShardSpec) (*crowddb.Server, *httptest.Server) {
+	t.Helper()
+	store := crowddb.NewStore()
+	for i := range d.Workers {
+		if _, err := store.AddWorker(i, fmt.Sprintf("worker-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mgr, err := crowddb.NewManager(store, d.Vocab, core.NewConcurrentModel(cloneModel(t, m)), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.SetShard(sp)
+	srv := crowddb.NewServer(mgr)
+	hs := httptest.NewServer(srv)
+	t.Cleanup(hs.Close)
+	return srv, hs
+}
+
+func newFleet(t *testing.T, count int) *fleetFixture {
+	t.Helper()
+	d, m := trainedModel(t)
+	f := &fleetFixture{dataset: d}
+	_, f.single = newNode(t, d, m, crowddb.ShardSpec{})
+
+	servers := make([]*crowddb.Server, count)
+	doc := crowddb.Topology{Epoch: 1, Count: count}
+	for i := 0; i < count; i++ {
+		srv, hs := newNode(t, d, m, crowddb.ShardSpec{Index: i, Count: count})
+		servers[i] = srv
+		f.shards = append(f.shards, hs)
+		doc.Shards = append(doc.Shards, crowddb.ShardAddr{Index: i, URL: hs.URL})
+	}
+	for _, srv := range servers {
+		if err := srv.SetTopology(doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+func (f *fleetFixture) router(t *testing.T) *Router {
+	t.Helper()
+	r, err := NewRouter(context.Background(), []string{f.shards[0].URL}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func (f *fleetFixture) texts(n int) []string {
+	out := make([]string, 0, n)
+	for _, task := range f.dataset.Tasks {
+		if len(out) == n {
+			break
+		}
+		out = append(out, strings.Join(task.Tokens, " "))
+	}
+	return out
+}
+
+// TestRouterSelectionsMatchSingleNode is the tentpole acceptance
+// property end to end: a scatter-gathered selection over an N-shard
+// fleet is bitwise-identical to the same selection on one unsharded
+// node holding the full roster.
+func TestRouterSelectionsMatchSingleNode(t *testing.T) {
+	for _, count := range []int{2, 3} {
+		t.Run(fmt.Sprintf("shards=%d", count), func(t *testing.T) {
+			f := newFleet(t, count)
+			r := f.router(t)
+			ctx := context.Background()
+			single := New(f.single.URL, Options{})
+
+			var reqs []crowddb.SubmitRequest
+			for _, text := range f.texts(6) {
+				reqs = append(reqs, crowddb.SubmitRequest{Text: text, K: 5})
+			}
+			want, err := single.Selections(ctx, reqs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := r.Selections(ctx, reqs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Results) != len(want.Results) {
+				t.Fatalf("got %d results, want %d", len(got.Results), len(want.Results))
+			}
+			for i := range want.Results {
+				if !reflect.DeepEqual(got.Results[i].Workers, want.Results[i].Workers) {
+					t.Errorf("task %d: fleet selected %v, single node %v",
+						i, got.Results[i].Workers, want.Results[i].Workers)
+				}
+			}
+		})
+	}
+}
+
+// TestRouterFeedbackKeepsFleetEquivalent drives the full write path —
+// submit, answers, feedback with cross-shard posterior forwarding —
+// identically against the fleet and the single node, then checks that
+// selections still agree. If any shard folded a posterior twice,
+// missed one, or used the wrong score, the rankings would diverge.
+func TestRouterFeedbackKeepsFleetEquivalent(t *testing.T) {
+	f := newFleet(t, 2)
+	r := f.router(t)
+	ctx := context.Background()
+	single := New(f.single.URL, Options{})
+
+	for round, text := range f.texts(4) {
+		sub, err := r.SubmitTask(ctx, text, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ssub, err := single.SubmitTask(ctx, text, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sub.Workers, ssub.Workers) {
+			t.Fatalf("round %d: fleet assigned %v, single node %v", round, sub.Workers, ssub.Workers)
+		}
+		scores := make(map[int]float64)
+		for j, w := range sub.Workers {
+			if err := r.Answer(ctx, sub.TaskID, w, "fleet answer"); err != nil {
+				t.Fatal(err)
+			}
+			if err := single.Answer(ctx, ssub.TaskID, w, "fleet answer"); err != nil {
+				t.Fatal(err)
+			}
+			if j < 3 { // leave one answer unscored: it must fold as 0 on both sides
+				scores[w] = float64(((round+j)%5)+1) / 5
+			}
+		}
+		rec, err := r.Feedback(ctx, sub.TaskID, scores)
+		if err != nil {
+			t.Fatalf("round %d: fleet feedback: %v", round, err)
+		}
+		if rec.Status != crowddb.TaskResolved {
+			t.Fatalf("round %d: fleet task not resolved: %v", round, rec.Status)
+		}
+		if _, err := single.Feedback(ctx, ssub.TaskID, scores); err != nil {
+			t.Fatalf("round %d: single feedback: %v", round, err)
+		}
+	}
+
+	var reqs []crowddb.SubmitRequest
+	for _, text := range f.texts(6) {
+		reqs = append(reqs, crowddb.SubmitRequest{Text: text, K: 6})
+	}
+	want, err := single.Selections(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Selections(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Results {
+		if !reflect.DeepEqual(got.Results[i].Workers, want.Results[i].Workers) {
+			t.Errorf("post-feedback task %d: fleet %v, single %v",
+				i, got.Results[i].Workers, want.Results[i].Workers)
+		}
+	}
+}
+
+// TestWrongShardRefusalCarriesOwnerHint checks the 421 contract: a
+// shard refuses presence flips for workers it does not own, names the
+// owner in the typed error, and the Router lands the same call on the
+// right shard.
+func TestWrongShardRefusalCarriesOwnerHint(t *testing.T) {
+	f := newFleet(t, 2)
+	r := f.router(t)
+	ctx := context.Background()
+
+	// Find a worker owned by shard 1 and aim the call at shard 0.
+	victim := -1
+	for id := 0; id < len(f.dataset.Workers); id++ {
+		if crowddb.ShardOfWorker(id, 2) == 1 {
+			victim = id
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no worker owned by shard 1")
+	}
+	wrong := New(f.shards[0].URL, Options{})
+	err := wrong.SetPresence(ctx, victim, false)
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("want APIError, got %v", err)
+	}
+	if ae.StatusCode != 421 || ae.Code != "wrong_shard" {
+		t.Fatalf("want 421 wrong_shard, got %d %s", ae.StatusCode, ae.Code)
+	}
+	if ae.ShardOwner != 1 {
+		t.Errorf("owner hint = %d, want 1", ae.ShardOwner)
+	}
+	if ae.ShardOwnerURL != f.shards[1].URL {
+		t.Errorf("owner URL = %q, want %q", ae.ShardOwnerURL, f.shards[1].URL)
+	}
+
+	// The Router routes by ownership and succeeds.
+	if err := r.SetPresence(ctx, victim, false); err != nil {
+		t.Fatalf("router presence: %v", err)
+	}
+	w, err := r.GetWorker(ctx, victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Online {
+		t.Error("presence flip did not land on the owner shard")
+	}
+}
+
+// TestRouterSelectionsDegradeToSurvivors kills one shard outright and
+// checks that selections keep answering from the surviving shard's
+// candidates instead of failing.
+func TestRouterSelectionsDegradeToSurvivors(t *testing.T) {
+	f := newFleet(t, 2)
+	r := f.router(t)
+	ctx := context.Background()
+
+	f.shards[1].Close()
+	reqs := []crowddb.SubmitRequest{{Text: f.texts(1)[0], K: 5}}
+	got, err := r.Selections(ctx, reqs)
+	if err != nil {
+		t.Fatalf("degraded selection failed: %v", err)
+	}
+	if len(got.Results[0].Workers) == 0 {
+		t.Fatal("no workers selected from surviving shard")
+	}
+	for _, w := range got.Results[0].Workers {
+		if crowddb.ShardOfWorker(w, 2) != 0 {
+			t.Errorf("worker %d is owned by the dead shard", w)
+		}
+	}
+	if r.Partials() == 0 {
+		t.Error("Partials() did not count the dead scatter leg")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -41,6 +42,12 @@ const (
 	evAnswer    eventKind = "answer"
 	evResolve   eventKind = "resolve"
 	evReopen    eventKind = "reopen"
+	// evSkillFeedback is model-only feedback: scores for workers this
+	// shard owns on a task homed elsewhere. No task row changes — the
+	// event exists so the posterior update survives recovery and
+	// reaches replicas, keeping a sharded model byte-identical across
+	// restarts and failovers.
+	evSkillFeedback eventKind = "skill_feedback"
 )
 
 // event is one journal record. Only the fields relevant to its kind
@@ -480,13 +487,9 @@ func (s *Store) applyEvent(e event, onResolve func(TaskRecord) error) error {
 	case evReopen:
 		return s.reopenTask(e.Task)
 	case evResolve:
-		scores := make(map[int]float64, len(e.Scores))
-		for k, v := range e.Scores {
-			var id int
-			if _, err := fmt.Sscanf(k, "%d", &id); err != nil {
-				return fmt.Errorf("%w: score key %q", ErrBadRequest, k)
-			}
-			scores[id] = v
+		scores, err := decodeScores(e.Scores)
+		if err != nil {
+			return err
 		}
 		rec, err := s.Resolve(e.Task, scores)
 		if err != nil {
@@ -496,9 +499,81 @@ func (s *Store) applyEvent(e event, onResolve func(TaskRecord) error) error {
 			return onResolve(rec)
 		}
 		return nil
+	case evSkillFeedback:
+		// Store rows are untouched; re-journal (live sink only — replay
+		// runs with a nil sink) and hand the scores to the skill-update
+		// hook as a synthetic resolved record.
+		if err := s.logReplayedSkillFeedback(e); err != nil {
+			return err
+		}
+		if onResolve != nil {
+			scores, err := decodeScores(e.Scores)
+			if err != nil {
+				return err
+			}
+			return onResolve(syntheticFeedbackRecord(e.Tokens, scores))
+		}
+		return nil
 	default:
 		return fmt.Errorf("%w: unknown journal event %q", ErrBadRequest, e.Kind)
 	}
+}
+
+// decodeScores converts a journal event's string-keyed score map back
+// to worker ids.
+func decodeScores(in map[string]float64) (map[int]float64, error) {
+	scores := make(map[int]float64, len(in))
+	for k, v := range in {
+		var id int
+		if _, err := fmt.Sscanf(k, "%d", &id); err != nil {
+			return nil, fmt.Errorf("%w: score key %q", ErrBadRequest, k)
+		}
+		scores[id] = v
+	}
+	return scores, nil
+}
+
+// encodeScores is the journaling counterpart of decodeScores.
+func encodeScores(scores map[int]float64) map[string]float64 {
+	out := make(map[string]float64, len(scores))
+	for w, sc := range scores {
+		out[fmt.Sprint(w)] = sc
+	}
+	return out
+}
+
+// syntheticFeedbackRecord shapes model-only skill feedback like a
+// resolved task so it flows through the one skill-update path the
+// manager has. Answers are sorted by worker id for deterministic
+// replay.
+func syntheticFeedbackRecord(tokens []string, scores map[int]float64) TaskRecord {
+	rec := TaskRecord{Tokens: append([]string(nil), tokens...), Status: TaskResolved}
+	for w, sc := range scores {
+		rec.Answers = append(rec.Answers, Answer{Worker: w, Score: sc})
+	}
+	sort.Slice(rec.Answers, func(a, b int) bool { return rec.Answers[a].Worker < rec.Answers[b].Worker })
+	return rec
+}
+
+// LogSkillFeedback journals model-only skill feedback (no store rows
+// change). The sealed gate applies: an acknowledged posterior update
+// must be recoverable, exactly like a resolve.
+func (s *Store) LogSkillFeedback(tokens []string, scores map[int]float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.sealedErrLocked(); err != nil {
+		return err
+	}
+	return s.logEvent(event{Kind: evSkillFeedback, Tokens: append([]string(nil), tokens...), Scores: encodeScores(scores)})
+}
+
+// logReplayedSkillFeedback re-journals a replicated skill-feedback
+// event with its original timestamp; during boot replay the sink is
+// nil and this is a no-op.
+func (s *Store) logReplayedSkillFeedback(e event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.logEvent(event{Kind: evSkillFeedback, Tokens: e.Tokens, Scores: e.Scores, At: e.At})
 }
 
 // OpenJournaledStore builds a store backed by the single journal file

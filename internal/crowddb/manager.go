@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"crowdselect/internal/core"
+	"crowdselect/internal/rank"
 	"crowdselect/internal/text"
 )
 
@@ -26,6 +27,15 @@ type Selector interface {
 // bag alone (truncated to k).
 type BatchRanker interface {
 	RankBatch(ctx context.Context, bags []text.Bag, candidates []int, k int) ([][]int, error)
+}
+
+// ScoredBatchRanker is the scatter-gather hook: a Selector that also
+// implements it (as *core.ConcurrentModel does) returns per-candidate
+// Eq. 1 scores alongside the ranking. Scores are what make per-shard
+// top-k lists mergeable into a global top-k; RankOnlyScored requires
+// this interface.
+type ScoredBatchRanker interface {
+	RankBatchScored(ctx context.Context, bags []text.Bag, candidates []int, k int) ([][]rank.Item, error)
 }
 
 // SkillUpdater is the optional incremental-learning hook: when the
@@ -52,6 +62,13 @@ type Manager struct {
 	// durability checkpoints: ResolveTask holds it shared, Quiesce
 	// exclusively.
 	resolveMu sync.RWMutex
+	// shard is this node's identity in an N-shard fleet. When enabled,
+	// selection candidates shrink to owned workers, skill updates fold
+	// only owned posteriors, and ApplyModelFeedback refuses workers
+	// owned elsewhere. Set once at boot, before traffic and before
+	// recovery replays the journal (replay reuses the same filters, so
+	// the rebuilt model matches the live one).
+	shard ShardSpec
 }
 
 // NewManager wires a crowd manager over the store. vocab maps task
@@ -78,6 +95,36 @@ func NewManager(store *Store, vocab *text.Vocabulary, sel Selector, k int) (*Man
 // Store returns the underlying crowd database.
 func (m *Manager) Store() *Store { return m.store }
 
+// SetShard installs the node's shard identity and strides the store's
+// task ids onto it. Call at boot before recovery and before serving:
+// ownership filters must be in place when the journal replays, or the
+// rebuilt posteriors would differ from the ones that produced it.
+func (m *Manager) SetShard(sp ShardSpec) {
+	m.shard = sp
+	m.store.ConfigureTaskIDStride(sp.Index, sp.Count)
+}
+
+// Shard reports the node's shard identity (zero value: unsharded).
+func (m *Manager) Shard() ShardSpec { return m.shard }
+
+// candidateWorkers is the selection candidate set: online workers,
+// restricted to the ones this shard owns. The global top-k over all
+// shards' candidates equals the single-node top-k because the parts
+// partition the online set.
+func (m *Manager) candidateWorkers() []int {
+	online := m.store.OnlineWorkers()
+	if !m.shard.Enabled() {
+		return online
+	}
+	owned := make([]int, 0, len(online))
+	for _, id := range online {
+		if m.shard.OwnsWorker(id) {
+			owned = append(owned, id)
+		}
+	}
+	return owned
+}
+
 // SelectorName reports which algorithm backs the manager.
 func (m *Manager) SelectorName() string { return m.sel.Name() }
 
@@ -89,10 +136,14 @@ type Submission struct {
 }
 
 // TaskSubmission is one element of a SubmitBatch request. K ≤ 0 uses
-// the manager default crowd size.
+// the manager default crowd size. A non-empty Workers list bypasses
+// ranking and assigns exactly those workers, best first — the
+// scatter-gather coordinator's submit path, where the global top-k was
+// already merged from per-shard scored selections.
 type TaskSubmission struct {
-	Text string
-	K    int
+	Text    string
+	K       int
+	Workers []int
 }
 
 // SubmitTask runs the blue path of Figure 1: store the task, project
@@ -128,16 +179,14 @@ func (m *Manager) SubmitBatch(ctx context.Context, reqs []TaskSubmission) ([]Sub
 		return nil, err
 	}
 	tasks := make([]TaskRecord, len(reqs))
-	bags := make([]text.Bag, len(reqs))
 	ks := make([]int, len(reqs))
+	var rankIdx []int // indices of tasks that still need ranking
+	var rankBags []text.Bag
 	kmax := 0
 	for i, r := range reqs {
 		ks[i] = r.K
 		if ks[i] <= 0 {
 			ks[i] = m.k
-		}
-		if ks[i] > kmax {
-			kmax = ks[i]
 		}
 		tokens := text.Tokenize(r.Text)
 		task, err := m.store.AddTask(r.Text, tokens)
@@ -145,21 +194,37 @@ func (m *Manager) SubmitBatch(ctx context.Context, reqs []TaskSubmission) ([]Sub
 			return nil, err
 		}
 		tasks[i] = task
-		bags[i] = text.NewBagKnown(m.vocab, tokens)
+		if len(r.Workers) > 0 {
+			continue // preassigned crowd: no ranking needed
+		}
+		if ks[i] > kmax {
+			kmax = ks[i]
+		}
+		rankIdx = append(rankIdx, i)
+		rankBags = append(rankBags, text.NewBagKnown(m.vocab, tokens))
 	}
-	online := m.store.OnlineWorkers()
-	if len(online) == 0 {
-		return nil, fmt.Errorf("%w: no online workers", ErrBadRequest)
-	}
-	ranked, err := m.rankBatch(ctx, bags, online, kmax)
-	if err != nil {
-		return nil, err
+	ranked := make([][]int, len(reqs))
+	if len(rankIdx) > 0 {
+		online := m.candidateWorkers()
+		if len(online) == 0 {
+			return nil, fmt.Errorf("%w: no online workers", ErrBadRequest)
+		}
+		parts, err := m.rankBatch(ctx, rankBags, online, kmax)
+		if err != nil {
+			return nil, err
+		}
+		for j, i := range rankIdx {
+			ranked[i] = parts[j]
+		}
 	}
 	out := make([]Submission, len(reqs))
 	for i := range reqs {
-		crowd := ranked[i]
-		if len(crowd) > ks[i] {
-			crowd = crowd[:ks[i]]
+		crowd := reqs[i].Workers
+		if len(crowd) == 0 {
+			crowd = ranked[i]
+			if len(crowd) > ks[i] {
+				crowd = crowd[:ks[i]]
+			}
 		}
 		if err := m.store.Assign(tasks[i].ID, crowd); err != nil {
 			return nil, err
@@ -199,7 +264,7 @@ func (m *Manager) RankOnly(ctx context.Context, reqs []TaskSubmission) ([][]int,
 		}
 		bags[i] = text.NewBagKnown(m.vocab, text.Tokenize(r.Text))
 	}
-	online := m.store.OnlineWorkers()
+	online := m.candidateWorkers()
 	if len(online) == 0 {
 		return nil, fmt.Errorf("%w: no online workers", ErrBadRequest)
 	}
@@ -213,6 +278,82 @@ func (m *Manager) RankOnly(ctx context.Context, reqs []TaskSubmission) ([][]int,
 		}
 	}
 	return ranked, nil
+}
+
+// RankOnlyScored is RankOnly keeping the Eq. 1 scores — the per-shard
+// leg of scatter-gather selection. It requires a selector with the
+// ScoredBatchRanker hook; baseline selectors that expose no scores get
+// ErrBadRequest (their rankings cannot be merged across shards).
+func (m *Manager) RankOnlyScored(ctx context.Context, reqs []TaskSubmission) ([][]rank.Item, error) {
+	sbr, ok := m.sel.(ScoredBatchRanker)
+	if !ok {
+		return nil, fmt.Errorf("%w: selector %s does not expose selection scores", ErrBadRequest, m.sel.Name())
+	}
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("%w: empty batch", ErrBadRequest)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	bags := make([]text.Bag, len(reqs))
+	ks := make([]int, len(reqs))
+	kmax := 0
+	for i, r := range reqs {
+		ks[i] = r.K
+		if ks[i] <= 0 {
+			ks[i] = m.k
+		}
+		if ks[i] > kmax {
+			kmax = ks[i]
+		}
+		bags[i] = text.NewBagKnown(m.vocab, text.Tokenize(r.Text))
+	}
+	online := m.candidateWorkers()
+	if len(online) == 0 {
+		return nil, fmt.Errorf("%w: no online workers", ErrBadRequest)
+	}
+	scored, err := sbr.RankBatchScored(ctx, bags, online, kmax)
+	if err != nil {
+		return nil, err
+	}
+	for i := range scored {
+		if len(scored[i]) > ks[i] {
+			scored[i] = scored[i][:ks[i]]
+		}
+	}
+	return scored, nil
+}
+
+// ApplyModelFeedback folds feedback scores into owned workers'
+// posteriors without touching any task row — the red path's
+// cross-shard leg. The coordinator resolves a task at its home shard,
+// then forwards each foreign answerer's score here, to the shard that
+// owns the worker's posterior. Scores for workers owned elsewhere are
+// refused with a typed wrong-shard error. The update is journaled
+// first (sealed gate applies), so it survives recovery and reaches
+// replicas like any resolve.
+func (m *Manager) ApplyModelFeedback(ctx context.Context, taskText string, scores map[int]float64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if len(scores) == 0 {
+		return fmt.Errorf("%w: no scores", ErrBadRequest)
+	}
+	if _, ok := m.sel.(SkillUpdater); !ok {
+		return fmt.Errorf("%w: selector %s does not learn from feedback", ErrBadRequest, m.sel.Name())
+	}
+	for w := range scores {
+		if !m.shard.OwnsWorker(w) {
+			return &WrongShardError{Resource: "worker", ID: w, Owner: ShardOfWorker(w, m.shard.Count)}
+		}
+	}
+	tokens := text.Tokenize(taskText)
+	m.resolveMu.RLock()
+	defer m.resolveMu.RUnlock()
+	if err := m.store.LogSkillFeedback(tokens, scores); err != nil {
+		return err
+	}
+	return m.applySkillFeedback(syntheticFeedbackRecord(tokens, scores))
 }
 
 // rankBatch ranks every bag against the candidate set, truncated to k:
@@ -253,7 +394,7 @@ func (m *Manager) RedispatchExpired(ctx context.Context, maxAge time.Duration, k
 	if err != nil {
 		return nil, err
 	}
-	online := m.store.OnlineWorkers()
+	online := m.candidateWorkers()
 	if len(online) == 0 && len(reopened) > 0 {
 		return nil, fmt.Errorf("%w: no online workers to redispatch to", ErrBadRequest)
 	}
@@ -311,6 +452,14 @@ func (m *Manager) applySkillFeedback(rec TaskRecord) error {
 	}
 	cat := up.Project(text.NewBagKnown(m.vocab, rec.Tokens))
 	for _, a := range rec.Answers {
+		// A sharded node owns only its slice of the posterior state:
+		// foreign answerers' feedback reaches their owner shards through
+		// the coordinator's ApplyModelFeedback legs. The same filter
+		// runs during journal replay and replication apply, so rebuilt
+		// models match the live one exactly.
+		if !m.shard.OwnsWorker(a.Worker) {
+			continue
+		}
 		if err := up.UpdateWorkerSkill(a.Worker, []core.TaskCategory{cat}, []float64{a.Score}); err != nil {
 			return err
 		}

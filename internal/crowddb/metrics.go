@@ -3,6 +3,8 @@ package crowddb
 import (
 	"sync"
 	"time"
+
+	"crowdselect/internal/core"
 )
 
 // latencyBuckets are the upper bounds, in seconds, of the fixed
@@ -120,6 +122,16 @@ type MetricsSnapshot struct {
 	Admission        *AdmissionSnapshot         `json:"admission,omitempty"`
 	Durability       *DurabilitySnapshot        `json:"durability,omitempty"`
 	Replication      *ReplicationStatus         `json:"replication,omitempty"`
+	Cache            *core.ProjectionCacheStats `json:"cache,omitempty"`
+	Shard            *ShardInfoSnapshot         `json:"shard,omitempty"`
+}
+
+// ShardInfoSnapshot is the shard section of GET /api/v1/metrics: this
+// node's identity in the fleet and its current topology epoch.
+type ShardInfoSnapshot struct {
+	Index int    `json:"index"`
+	Count int    `json:"count"`
+	Epoch uint64 `json:"epoch"`
 }
 
 // Snapshot returns a consistent copy of every counter.

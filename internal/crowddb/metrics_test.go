@@ -1,11 +1,17 @@
 package crowddb
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"crowdselect/internal/core"
 )
 
 func TestMetricsObserveAndSnapshot(t *testing.T) {
@@ -91,5 +97,85 @@ func TestEndpointLabelNormalizesIDs(t *testing.T) {
 		if got := endpointLabel(r); got != want {
 			t.Errorf("endpointLabel(%s) = %q, want %q", path, got, want)
 		}
+	}
+}
+
+// TestMetricsEndpointReportsCacheAndShard pins the /api/v1/metrics
+// additions: the projection-cache section (including the disabled
+// marker — a disabled cache must not report phantom misses) and the
+// shard identity section.
+func TestMetricsEndpointReportsCacheAndShard(t *testing.T) {
+	d, model := trainedFixture(t)
+	store := NewStore()
+	for i := range d.Workers {
+		if _, err := store.AddWorker(i, fmt.Sprintf("worker-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cm := core.NewConcurrentModel(model)
+	mgr, err := NewManager(store, d.Vocab, cm, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.SetShard(ShardSpec{Index: 1, Count: 2})
+	srv := NewServer(mgr)
+	srv.SetCacheStats(cm.CacheStats)
+	if err := srv.SetTopology(Topology{Epoch: 7, Count: 2, Shards: []ShardAddr{
+		{Index: 0, URL: "http://a"}, {Index: 1, URL: "http://b"},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	fetch := func() MetricsSnapshot {
+		t.Helper()
+		resp, err := http.Get(hs.URL + "/api/v1/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var snap MetricsSnapshot
+		if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+			t.Fatal(err)
+		}
+		return snap
+	}
+
+	cm.SetProjectionCacheCapacity(0)
+	project := func() {
+		t.Helper()
+		text := strings.Join(d.Tasks[0].Tokens, " ")
+		if _, err := mgr.RankOnly(context.Background(), []TaskSubmission{{Text: text, K: 2}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	project()
+	snap := fetch()
+	if snap.Cache == nil {
+		t.Fatal("metrics missing cache section")
+	}
+	if !snap.Cache.Disabled {
+		t.Error("disabled cache not marked disabled")
+	}
+	if snap.Cache.Misses != 0 || snap.Cache.Hits != 0 {
+		t.Errorf("disabled cache counted lookups: %+v", snap.Cache)
+	}
+	if snap.Shard == nil {
+		t.Fatal("metrics missing shard section")
+	}
+	if snap.Shard.Index != 1 || snap.Shard.Count != 2 || snap.Shard.Epoch != 7 {
+		t.Errorf("shard section = %+v", snap.Shard)
+	}
+
+	cm.SetProjectionCacheCapacity(8)
+	project()
+	project()
+	snap = fetch()
+	if snap.Cache.Disabled {
+		t.Error("enabled cache still marked disabled")
+	}
+	if snap.Cache.Misses == 0 || snap.Cache.Hits == 0 {
+		t.Errorf("enabled cache not counting: %+v", snap.Cache)
 	}
 }

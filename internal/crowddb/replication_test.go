@@ -501,8 +501,8 @@ func FuzzReplicationFrameDecoder(f *testing.F) {
 	corrupt[len(corrupt)-2] ^= 0x41
 	f.Add(corrupt)
 	f.Add([]byte{frameRecord, 0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0}) // oversize length
-	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0})                      // unknown type, empty frame
-	f.Add([]byte("\x05\x03\x00\x00\x00\xde\xad\xbe\xefabc"))      // bad checksum
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0})                       // unknown type, empty frame
+	f.Add([]byte("\x05\x03\x00\x00\x00\xde\xad\xbe\xefabc"))       // bad checksum
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := bufio.NewReader(bytes.NewReader(data))
 		var off int64

@@ -11,6 +11,9 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"crowdselect/internal/core"
+	"crowdselect/internal/rank"
 )
 
 // Server exposes the crowd manager over a versioned HTTP API:
@@ -90,6 +93,9 @@ type Server struct {
 	replSource http.Handler             // GET /api/v1/replication/stream
 	replStatus func() ReplicationStatus // nil: no replication section
 	promoter   func(context.Context) error
+
+	cacheStats func() core.ProjectionCacheStats // nil: no cache section
+	topo       topologyState                    // live topology document
 }
 
 // QueryEngine executes crowdql statements; crowdql.HTTPAdapter
@@ -129,6 +135,8 @@ func NewServer(mgr *Manager) *Server {
 	s.mux.HandleFunc("/api/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/api/v1/query", s.handleQuery)
 	s.mux.HandleFunc("/api/v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/api/v1/topology", s.handleTopology)
+	s.mux.HandleFunc("/api/v1/skills:feedback", s.handleSkillFeedback)
 	s.mux.HandleFunc("/api/v1/replication/stream", s.handleReplStream)
 	s.mux.HandleFunc("/api/v1/replication/promote", s.handlePromote)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -200,6 +208,133 @@ func (s *Server) SetDegradedCheck(f func() bool) { s.degraded = f }
 // SetDurabilityStats adds a durability section to GET /api/v1/metrics,
 // fed by the given snapshot function (typically (*DB).Stats).
 func (s *Server) SetDurabilityStats(f func() DurabilitySnapshot) { s.durability = f }
+
+// SetCacheStats adds a projection-cache section to GET /api/v1/metrics,
+// fed by the given snapshot function (typically
+// (*core.ConcurrentModel).CacheStats). A disabled cache reports
+// disabled: true rather than an ever-growing miss count.
+func (s *Server) SetCacheStats(f func() core.ProjectionCacheStats) { s.cacheStats = f }
+
+// SetTopology installs (or updates) the fleet topology document served
+// at GET /api/v1/topology. The first call at boot seeds the epoch;
+// later calls follow the same stale-epoch rule as the admin endpoint.
+func (s *Server) SetTopology(doc Topology) error { return s.topo.set(doc) }
+
+// Topology returns the current topology document with Self stamped to
+// this node's shard index.
+func (s *Server) Topology() Topology {
+	doc := s.topo.get()
+	doc.Self = s.shard().Index
+	return doc
+}
+
+// shard is this node's shard identity, read from the manager.
+func (s *Server) shard() ShardSpec { return s.mgr.Shard() }
+
+// handleTopology serves the live topology document and accepts admin
+// updates. GET is served by every node (replicas included) so a router
+// can refresh from whatever it can still reach; POST installs a new
+// layout if its epoch is not stale.
+func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, s.Topology())
+	case http.MethodPost:
+		var doc Topology
+		if !s.decodeJSON(w, r, &doc) {
+			return
+		}
+		if err := s.topo.set(doc); err != nil {
+			writeErr(w, r, err)
+			return
+		}
+		if s.logf != nil {
+			s.logf("topology updated to epoch %d (%d shards)", doc.Epoch, doc.Count)
+		}
+		writeJSON(w, http.StatusOK, s.Topology())
+	default:
+		httpError(w, http.StatusMethodNotAllowed, errors.New("use GET or POST"))
+	}
+}
+
+// skillFeedbackRequest is the body of POST /api/v1/skills:feedback:
+// the task text (for projection) and scores for workers this shard
+// owns. This is the cross-shard red path: the task's home shard keeps
+// the resolved row, each owner shard folds its workers' posteriors.
+type skillFeedbackRequest struct {
+	Text   string             `json:"text"`
+	Scores map[string]float64 `json:"scores"`
+}
+
+func (s *Server) handleSkillFeedback(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	var req skillFeedbackRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	if strings.TrimSpace(req.Text) == "" {
+		httpError(w, http.StatusBadRequest, errors.New("empty task text"))
+		return
+	}
+	scores := make(map[int]float64, len(req.Scores))
+	for k, v := range req.Scores {
+		wid, err := strconv.Atoi(k)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad worker id %q", k))
+			return
+		}
+		scores[wid] = v
+	}
+	if err := s.mgr.ApplyModelFeedback(r.Context(), req.Text, scores); err != nil {
+		s.writeShardErr(w, r, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// writeShardErr is writeErr plus the wrong-shard mapping: a typed 421
+// with the stable wrong_shard code and owner-hint headers
+// (X-Crowdd-Shard-Owner, and X-Crowdd-Shard-Owner-URL when the
+// topology knows the owner's address), so a router with a stale view
+// can re-aim without a directory service.
+func (s *Server) writeShardErr(w http.ResponseWriter, r *http.Request, err error) {
+	var wse *WrongShardError
+	if !errors.As(err, &wse) {
+		writeErr(w, r, err)
+		return
+	}
+	w.Header().Set("X-Crowdd-Shard-Owner", strconv.Itoa(wse.Owner))
+	if url := s.topo.get().URLOf(wse.Owner); url != "" {
+		wse.OwnerURL = url
+		w.Header().Set("X-Crowdd-Shard-Owner-URL", url)
+	}
+	httpErrorCode(w, http.StatusMisdirectedRequest, codeWrongShard, wse)
+}
+
+// refuseUnownedTask gates the /tasks/{id} subtree on a sharded node:
+// a task homed elsewhere gets the typed 421 so the caller re-routes.
+// Reports true when the request was refused.
+func (s *Server) refuseUnownedTask(w http.ResponseWriter, r *http.Request, id int) bool {
+	sp := s.shard()
+	if sp.OwnsTask(id) {
+		return false
+	}
+	s.writeShardErr(w, r, &WrongShardError{Resource: "task", ID: id, Owner: ShardOfTask(id, sp.Count)})
+	return true
+}
+
+// refuseUnownedWorker gates worker mutations (presence) the same way.
+func (s *Server) refuseUnownedWorker(w http.ResponseWriter, r *http.Request, id int) bool {
+	sp := s.shard()
+	if sp.OwnsWorker(id) {
+		return false
+	}
+	s.writeShardErr(w, r, &WrongShardError{Resource: "worker", ID: id, Owner: ShardOfWorker(id, sp.Count)})
+	return true
+}
 
 // SetRole declares this node's replication role. A replica refuses
 // mutations (and /api/v1/query, which may mutate) with 421 +
@@ -432,7 +567,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		mutation := isMutation(r)
-		if s.Role() == RoleReplica && (mutation || r.URL.Path == "/api/v1/query") {
+		// Topology updates are fleet admin, not data: they must reach
+		// replicas (so a promoted standby already knows the layout) and
+		// degraded nodes (so a router can steer around them), like
+		// promote does.
+		topoAdmin := r.URL.Path == "/api/v1/topology"
+		if s.Role() == RoleReplica && (mutation || r.URL.Path == "/api/v1/query") && !topoAdmin {
 			if s.replStatus != nil {
 				if p := s.replStatus().Primary; p != "" {
 					sw.Header().Set("X-Crowdd-Primary", p)
@@ -442,7 +582,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 				errors.New("this node is a read replica; send writes to the primary"))
 			return
 		}
-		if mutation && s.degraded != nil && s.degraded() {
+		if mutation && !topoAdmin && s.degraded != nil && s.degraded() {
 			httpErrorCode(sw, http.StatusServiceUnavailable, codeDegradedReadOnly,
 				errors.New("journal unavailable: mutations sealed, reads still served"))
 			return
@@ -553,14 +693,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		rs := s.replicationStatusNow()
 		snap.Replication = &rs
 	}
+	if s.cacheStats != nil {
+		cs := s.cacheStats()
+		snap.Cache = &cs
+	}
+	if sp := s.shard(); sp.Enabled() {
+		snap.Shard = &ShardInfoSnapshot{Index: sp.Index, Count: sp.Count, Epoch: s.topo.get().Epoch}
+	}
 	writeJSON(w, http.StatusOK, snap)
 }
 
 // SubmitRequest is the body of POST /api/v1/tasks and one element of a
-// batch submission. K ≤ 0 selects the manager's default crowd size.
+// batch submission. K ≤ 0 selects the manager's default crowd size. A
+// non-empty Workers list bypasses ranking and assigns exactly those
+// workers — the scatter-gather coordinator's submit path, after it has
+// merged the global top-k itself.
 type SubmitRequest struct {
-	Text string `json:"text"`
-	K    int    `json:"k"`
+	Text    string `json:"text"`
+	K       int    `json:"k"`
+	Workers []int  `json:"workers,omitempty"`
 }
 
 // SubmitResponse is the result of one task submission: the stored task
@@ -572,10 +723,14 @@ type SubmitResponse struct {
 	Model   string `json:"model"`
 }
 
-// BatchSubmitRequest is the body of POST /api/v1/tasks:batch: up to
-// maxBatchTasks submissions served in one round trip.
+// BatchSubmitRequest is the body of POST /api/v1/tasks:batch and
+// POST /api/v1/selections: up to maxBatchTasks submissions served in
+// one round trip. IncludeScores (selections only) returns each
+// worker's Eq. 1 score alongside the ranking — required by
+// scatter-gather coordinators, which merge per-shard lists by score.
 type BatchSubmitRequest struct {
-	Tasks []SubmitRequest `json:"tasks"`
+	Tasks         []SubmitRequest `json:"tasks"`
+	IncludeScores bool            `json:"include_scores,omitempty"`
 }
 
 // BatchSubmitResponse carries one SubmitResponse per submitted task,
@@ -652,15 +807,17 @@ func (s *Server) batchSubmissions(w http.ResponseWriter, req BatchSubmitRequest)
 			httpError(w, http.StatusBadRequest, fmt.Errorf("empty task text at index %d", i))
 			return nil, false
 		}
-		reqs[i] = TaskSubmission{Text: t.Text, K: t.K}
+		reqs[i] = TaskSubmission{Text: t.Text, K: t.K, Workers: t.Workers}
 	}
 	return reqs, true
 }
 
 // SelectionResult is one element of a selections response: the crowd
-// for one task text, best worker first.
+// for one task text, best worker first. Scores is filled (parallel to
+// Workers) when the request set include_scores.
 type SelectionResult struct {
-	Workers []int `json:"workers"`
+	Workers []int     `json:"workers"`
+	Scores  []float64 `json:"scores,omitempty"`
 }
 
 // SelectionsResponse is the body of POST /api/v1/selections: one
@@ -687,6 +844,23 @@ func (s *Server) handleSelections(w http.ResponseWriter, r *http.Request) {
 	}
 	reqs, ok := s.batchSubmissions(w, req)
 	if !ok {
+		return
+	}
+	if req.IncludeScores {
+		scored, err := s.mgr.RankOnlyScored(r.Context(), reqs)
+		if err != nil {
+			writeErr(w, r, err)
+			return
+		}
+		resp := SelectionsResponse{Results: make([]SelectionResult, len(scored)), Model: s.mgr.SelectorName()}
+		for i, items := range scored {
+			res := SelectionResult{Workers: rank.IDs(items), Scores: make([]float64, len(items))}
+			for j, it := range items {
+				res.Scores[j] = it.Score
+			}
+			resp.Results[i] = res
+		}
+		writeJSON(w, http.StatusOK, resp)
 		return
 	}
 	crowds, err := s.mgr.RankOnly(r.Context(), reqs)
@@ -716,6 +890,9 @@ func (s *Server) handleTaskSubtree(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.Atoi(parts[0])
 	if err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad task id %q", parts[0]))
+		return
+	}
+	if s.refuseUnownedTask(w, r, id) {
 		return
 	}
 	switch {
@@ -782,6 +959,9 @@ func (s *Server) handleWorkerSubtree(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, http.StatusOK, worker)
 	case len(parts) == 2 && parts[1] == "presence" && r.Method == http.MethodPost:
+		if s.refuseUnownedWorker(w, r, id) {
+			return
+		}
 		var req presenceRequest
 		if !s.decodeJSON(w, r, &req) {
 			return
@@ -850,6 +1030,12 @@ func writeErr(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, ErrDegraded), errors.Is(err, ErrJournal):
 		httpErrorCode(w, http.StatusServiceUnavailable, codeDegradedReadOnly, err)
+	case errors.Is(err, ErrStaleEpoch):
+		httpErrorCode(w, http.StatusConflict, codeStaleEpoch, err)
+	case errors.Is(err, ErrWrongShard):
+		// Bare mapping (no owner headers) for callers that did not go
+		// through writeShardErr.
+		httpErrorCode(w, http.StatusMisdirectedRequest, codeWrongShard, err)
 	case serverDeadlineFired(r.Context()) &&
 		(errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)):
 		w.Header().Set("Retry-After", "1")
@@ -906,6 +1092,8 @@ const (
 	codeRequestTooLarge  = "request_too_large"
 	codeNotPrimary       = "not_primary"
 	codeReplicaDiverged  = "replica_diverged"
+	codeWrongShard       = "wrong_shard"
+	codeStaleEpoch       = "stale_epoch"
 )
 
 // codeOf maps an HTTP status to the envelope's stable error code.

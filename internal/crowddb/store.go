@@ -96,8 +96,14 @@ type Store struct {
 	workers map[int]*Worker
 	tasks   map[int]*TaskRecord
 	nextTID int
-	clock   func() time.Time
-	journal journalSink // nil unless a journal is attached
+	// shardIdx/shardCnt stride task-id assignment for a sharded fleet:
+	// with shardCnt > 1 this store only mints ids ≡ shardIdx (mod
+	// shardCnt), so a task id names its home shard and ids stay unique
+	// fleet-wide without coordination. shardCnt == 0 means dense ids.
+	shardIdx int
+	shardCnt int
+	clock    func() time.Time
+	journal  journalSink // nil unless a journal is attached
 	// sealed is the degraded read-only gate: mutations refused while
 	// set. Atomic (not under mu) because the durability layer seals
 	// from inside a journal append, where mu is already held.
@@ -131,6 +137,42 @@ func (s *Store) sealedErrLocked() error {
 		return ErrDegraded
 	}
 	return nil
+}
+
+// ConfigureTaskIDStride homes this store's task ids on shard index of
+// count: every id it mints satisfies id ≡ index (mod count). Configure
+// before recovery and before traffic — replayed AddTask events verify
+// their recorded ids against the stride, so a store recovered under a
+// different shard identity fails loudly instead of renumbering.
+// count <= 1 restores dense ids.
+func (s *Store) ConfigureTaskIDStride(index, count int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if count <= 1 {
+		s.shardIdx, s.shardCnt = 0, 0
+		return
+	}
+	s.shardIdx, s.shardCnt = index, count
+	s.alignTIDLocked()
+}
+
+// alignTIDLocked advances nextTID to the smallest id >= nextTID on
+// this shard's stride.
+func (s *Store) alignTIDLocked() {
+	if s.shardCnt <= 1 {
+		return
+	}
+	for s.nextTID%s.shardCnt != s.shardIdx {
+		s.nextTID++
+	}
+}
+
+// tidStrideLocked is the id increment between consecutive tasks.
+func (s *Store) tidStrideLocked() int {
+	if s.shardCnt <= 1 {
+		return 1
+	}
+	return s.shardCnt
 }
 
 // SetClock replaces the time source (tests).
@@ -237,7 +279,7 @@ func (s *Store) AddTask(text string, tokens []string) (TaskRecord, error) {
 		Status:  TaskOpen,
 		Created: now,
 	}
-	s.nextTID++
+	s.nextTID += s.tidStrideLocked()
 	s.tasks[t.ID] = t
 	return *t, s.logEvent(event{Kind: evAddTask, Task: t.ID, Text: text, Tokens: t.Tokens, At: now})
 }
@@ -570,6 +612,10 @@ func (s *Store) RestoreSnapshot(r io.Reader) error {
 	s.workers = workers
 	s.tasks = tasks
 	s.nextTID = snap.NextTID
+	// A snapshot written before this node was sharded may leave nextTID
+	// off this shard's stride; realign forward so freshly minted ids
+	// stay on it.
+	s.alignTIDLocked()
 	return nil
 }
 

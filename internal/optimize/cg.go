@@ -194,12 +194,12 @@ func GradientDescent(p Problem, x0 linalg.Vector, s Settings) Result {
 	f := p.Eval(x)
 	p.Grad(x, g)
 	res := Result{X: x, F: f, GradNorm: g.NormInf(), Status: IterationLimit}
+	if res.GradNorm <= s.GradTol {
+		res.Status = GradientConverged
+		return res
+	}
 	for iter := 1; iter <= s.MaxIter; iter++ {
 		res.Iterations = iter
-		if g.NormInf() <= s.GradTol {
-			res.Status = GradientConverged
-			return res
-		}
 		d := g.Scale(-1)
 		fNew, xNew, ok := armijo(p, x, f, d, g.Dot(d), s.InitialStep, s)
 		if !ok {
@@ -210,6 +210,10 @@ func GradientDescent(p Problem, x0 linalg.Vector, s Settings) Result {
 		x, f = xNew, fNew
 		p.Grad(x, g)
 		res.X, res.F, res.GradNorm = x, f, g.NormInf()
+		if res.GradNorm <= s.GradTol {
+			res.Status = GradientConverged
+			return res
+		}
 		if relImp >= 0 && relImp < s.FuncTol {
 			res.Status = FunctionConverged
 			return res
@@ -228,7 +232,11 @@ func armijo(p Problem, x linalg.Vector, f float64, d linalg.Vector, slope, step 
 			xt[i] = x[i] + t*d[i]
 		}
 		ft := p.Eval(xt)
-		if !math.IsNaN(ft) && ft <= f+s.ArmijoC*t*slope {
+		// A trial value of NaN or ±Inf means the step left the
+		// objective's domain; −Inf in particular would satisfy the
+		// sufficient-decrease inequality and poison the iterate, so any
+		// non-finite value rejects the step.
+		if !math.IsNaN(ft) && !math.IsInf(ft, 0) && ft <= f+s.ArmijoC*t*slope {
 			return ft, xt.Clone(), true
 		}
 		t *= s.Backtrack

@@ -168,6 +168,68 @@ func TestLineSearchFailureOnDivergentObjective(t *testing.T) {
 	}
 }
 
+func TestArmijoRejectsNegativeInfObjective(t *testing.T) {
+	// An objective that returns −Inf off its domain (here x > 1)
+	// trivially satisfies the sufficient-decrease inequality, so a line
+	// search that only screens NaN would accept the divergent step and
+	// poison every later iterate. The backtracking must shrink past the
+	// domain boundary instead and keep the iterate finite.
+	p := Problem{
+		Eval: func(x linalg.Vector) float64 {
+			if x[0] > 1 {
+				return math.Inf(-1)
+			}
+			return (x[0] - 1) * (x[0] - 1)
+		},
+		Grad: func(x, g linalg.Vector) {
+			if x[0] > 1 {
+				g[0] = math.Inf(-1)
+				return
+			}
+			g[0] = 2 * (x[0] - 1)
+		},
+	}
+	for name, min := range map[string]func(Problem, linalg.Vector, Settings) Result{
+		"cg": ConjugateGradient,
+		"gd": GradientDescent,
+	} {
+		res := min(p, linalg.Vector{-3}, Settings{MaxIter: 100, InitialStep: 4})
+		if !res.X.IsFinite() || math.IsInf(res.F, 0) || math.IsNaN(res.F) {
+			t.Errorf("%s: accepted a non-finite trial: X=%v F=%v", name, res.X, res.F)
+		}
+		if math.Abs(res.X[0]-1) > 1e-3 {
+			t.Errorf("%s: X = %v, want ≈ 1 (status %v)", name, res.X, res.Status)
+		}
+	}
+}
+
+func TestConvergedStartReportsZeroIterations(t *testing.T) {
+	// Starting at the optimum, both minimizers must report the
+	// converged status without charging an iteration or running a line
+	// search.
+	evals := 0
+	a := linalg.Identity(2)
+	b := linalg.Vector{1, 1}
+	base := quadratic(a, b)
+	p := Problem{
+		Eval: func(x linalg.Vector) float64 { evals++; return base.Eval(x) },
+		Grad: base.Grad,
+	}
+	for name, min := range map[string]func(Problem, linalg.Vector, Settings) Result{
+		"cg": ConjugateGradient,
+		"gd": GradientDescent,
+	} {
+		evals = 0
+		res := min(p, linalg.Vector{1, 1}, Settings{})
+		if res.Status != GradientConverged || res.Iterations != 0 {
+			t.Errorf("%s: status %v iterations %d, want gradient converged at 0", name, res.Status, res.Iterations)
+		}
+		if evals > 1 {
+			t.Errorf("%s: %d objective evaluations at a converged start (line search ran)", name, evals)
+		}
+	}
+}
+
 func TestStatusString(t *testing.T) {
 	for s, want := range map[Status]string{
 		GradientConverged: "gradient converged",

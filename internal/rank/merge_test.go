@@ -1,0 +1,87 @@
+package rank
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestMergeTopKEquivalence is the merge-equivalence property the
+// sharded selection path rests on: for any candidate set, any disjoint
+// partition of it, and any k, merging the per-partition top-k lists
+// yields exactly the single-node top-k — including on exact score ties
+// and when k exceeds some (or every) partition's size.
+func TestMergeTopKEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260807))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(60)
+		scores := make(map[int]float64, n)
+		ids := make([]int, n)
+		for i := 0; i < n; i++ {
+			ids[i] = i
+			// Quantized scores make exact ties common, so the id
+			// tie-break is exercised on nearly every trial.
+			scores[i] = float64(rng.Intn(6)) / 3
+		}
+		score := func(id int) float64 { return scores[id] }
+
+		shards := 1 + rng.Intn(5)
+		parts := make([][]int, shards)
+		for _, id := range ids {
+			s := rng.Intn(shards)
+			parts[s] = append(parts[s], id)
+		}
+
+		// k ranges past n so the "k larger than every per-shard count"
+		// regime is covered too.
+		k := 1 + rng.Intn(n+10)
+
+		single := TopKScored(ids, score, k)
+		lists := make([][]Item, shards)
+		for s, part := range parts {
+			lists[s] = TopKScored(part, score, k)
+		}
+		merged := MergeTopK(lists, k)
+
+		if !reflect.DeepEqual(single, merged) {
+			t.Fatalf("trial %d (n=%d shards=%d k=%d): merge diverged\nsingle: %v\nmerged: %v",
+				trial, n, shards, k, single, merged)
+		}
+	}
+}
+
+// TestMergeTopKDuplicatesKeepBestScore covers the overlap case the
+// property test's disjoint partitions never hit: the same id appearing
+// in two lists keeps its best score and appears once.
+func TestMergeTopKDuplicatesKeepBestScore(t *testing.T) {
+	merged := MergeTopK([][]Item{
+		{{ID: 1, Score: 0.2}, {ID: 2, Score: 0.1}},
+		{{ID: 1, Score: 0.9}, {ID: 3, Score: 0.5}},
+	}, 3)
+	want := []Item{{ID: 1, Score: 0.9}, {ID: 3, Score: 0.5}, {ID: 2, Score: 0.1}}
+	if !reflect.DeepEqual(merged, want) {
+		t.Fatalf("got %v, want %v", merged, want)
+	}
+}
+
+func TestMergeTopKEdgeCases(t *testing.T) {
+	if got := MergeTopK(nil, 3); got != nil {
+		t.Errorf("nil lists: got %v", got)
+	}
+	if got := MergeTopK([][]Item{{}, nil}, 3); got != nil {
+		t.Errorf("empty lists: got %v", got)
+	}
+	if got := MergeTopK([][]Item{{{ID: 1, Score: 1}}}, 0); got != nil {
+		t.Errorf("k=0: got %v", got)
+	}
+}
+
+func TestIDs(t *testing.T) {
+	if got := IDs(nil); got != nil {
+		t.Errorf("nil items: got %v", got)
+	}
+	got := IDs([]Item{{ID: 4, Score: 2}, {ID: 1, Score: 1}})
+	if !reflect.DeepEqual(got, []int{4, 1}) {
+		t.Errorf("got %v", got)
+	}
+}

@@ -36,6 +36,78 @@ func TopK(candidates []int, score func(id int) float64, k int) []int {
 	return out
 }
 
+// TopKScored is TopK keeping the scores: the k best candidates as
+// Items, best first, under the same tie-break (score desc, id asc).
+// Scored lists are what a scatter-gather coordinator needs — per-shard
+// ranks alone cannot be merged, per-shard scores can.
+func TopKScored(candidates []int, score func(id int) float64, k int) []Item {
+	if k <= 0 || len(candidates) == 0 {
+		return nil
+	}
+	items := make([]Item, len(candidates))
+	for i, id := range candidates {
+		items[i] = Item{ID: id, Score: score(id)}
+	}
+	sortItems(items)
+	if k > len(items) {
+		k = len(items)
+	}
+	return items[:k:k]
+}
+
+// MergeTopK merges per-shard top-k lists into the global top-k under
+// the same total order TopK uses (score desc, id asc). Duplicate ids
+// across lists keep their best score. Provided every list is itself a
+// top-k of a disjoint candidate subset under that order, the merge is
+// exactly TopK over the union — the merge-equivalence property the
+// sharded selection path relies on (DESIGN §11).
+func MergeTopK(lists [][]Item, k int) []Item {
+	if k <= 0 {
+		return nil
+	}
+	var n int
+	for _, l := range lists {
+		n += len(l)
+	}
+	if n == 0 {
+		return nil
+	}
+	best := make(map[int]float64, n)
+	merged := make([]Item, 0, n)
+	for _, l := range lists {
+		for _, it := range l {
+			if s, ok := best[it.ID]; ok {
+				if it.Score > s {
+					best[it.ID] = it.Score
+				}
+				continue
+			}
+			best[it.ID] = it.Score
+			merged = append(merged, Item{ID: it.ID})
+		}
+	}
+	for i := range merged {
+		merged[i].Score = best[merged[i].ID]
+	}
+	sortItems(merged)
+	if k > len(merged) {
+		k = len(merged)
+	}
+	return merged[:k:k]
+}
+
+// IDs projects a scored list onto its ids, best first.
+func IDs(items []Item) []int {
+	if len(items) == 0 {
+		return nil
+	}
+	out := make([]int, len(items))
+	for i, it := range items {
+		out[i] = it.ID
+	}
+	return out
+}
+
 // RankAll returns every candidate ranked best first.
 func RankAll(candidates []int, score func(id int) float64) []int {
 	return TopK(candidates, score, len(candidates))
