@@ -139,22 +139,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "crowdd:", err)
 		os.Exit(2)
 	}
-	shard, err := crowddb.ParseShardSpec(*shardFlag)
+	shard, peers, err := parseShardFlags(*shardFlag, *shardPeers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "crowdd:", err)
 		os.Exit(2)
-	}
-	var peers []string
-	if *shardPeers != "" {
-		for _, p := range strings.Split(*shardPeers, ",") {
-			if p = strings.TrimSpace(p); p != "" {
-				peers = append(peers, p)
-			}
-		}
-		if len(peers) != shard.Count {
-			fmt.Fprintf(os.Stderr, "crowdd: -shard-peers lists %d URLs for %d shards\n", len(peers), shard.Count)
-			os.Exit(2)
-		}
 	}
 	cfg := daemonConfig{
 		profile: *profile, scale: *scale, data: *data,
@@ -172,6 +160,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, "crowdd:", err)
 		os.Exit(1)
 	}
+}
+
+// parseShardFlags turns the -shard and -shard-peers flag values into a
+// shard identity and peer list. Both flags default to empty, which is
+// the unsharded single-node deployment: the zero spec, no peers.
+func parseShardFlags(shardFlag, shardPeers string) (crowddb.ShardSpec, []string, error) {
+	shard, err := crowddb.ParseShardSpec(shardFlag)
+	if err != nil {
+		return crowddb.ShardSpec{}, nil, err
+	}
+	var peers []string
+	if shardPeers != "" {
+		for _, p := range strings.Split(shardPeers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, p)
+			}
+		}
+		if len(peers) != shard.Count {
+			return crowddb.ShardSpec{}, nil, fmt.Errorf("-shard-peers lists %d URLs for %d shards", len(peers), shard.Count)
+		}
+	}
+	return shard, peers, nil
 }
 
 // bootGate is the handler installed while the service is still being

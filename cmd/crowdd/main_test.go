@@ -293,6 +293,37 @@ func TestServeShutdownDeadline(t *testing.T) {
 	}
 }
 
+// TestParseShardFlagsDefaults is the unsharded-boot regression: both
+// shard flags default to "", and that must parse to the zero spec (a
+// single-node deployment), not an error — a daemon started with no
+// flags at all has to come up.
+func TestParseShardFlagsDefaults(t *testing.T) {
+	shard, peers, err := parseShardFlags("", "")
+	if err != nil {
+		t.Fatalf("default flags refused: %v", err)
+	}
+	if shard.Enabled() || len(peers) != 0 {
+		t.Fatalf("default flags = %v peers %v, want unsharded", shard, peers)
+	}
+	if _, _, _, err := buildService(testConfig()); err != nil {
+		t.Fatalf("unsharded default config failed to build: %v", err)
+	}
+
+	shard, peers, err = parseShardFlags("1/2", " http://a, http://b ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shard != (crowddb.ShardSpec{Index: 1, Count: 2}) || len(peers) != 2 {
+		t.Fatalf("sharded flags = %v peers %v", shard, peers)
+	}
+	if _, _, err := parseShardFlags("1/2", "http://a"); err == nil {
+		t.Error("peer/shard count mismatch accepted")
+	}
+	if _, _, err := parseShardFlags("bogus", ""); err == nil {
+		t.Error("malformed shard spec accepted")
+	}
+}
+
 func TestBuildServiceErrors(t *testing.T) {
 	cfg := testConfig()
 	cfg.profile = "reddit"

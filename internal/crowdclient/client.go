@@ -556,13 +556,20 @@ func (c *Client) SelectionsScored(ctx context.Context, tasks []crowddb.SubmitReq
 // this server owns, without touching a task row
 // (POST /api/v1/skills:feedback) — the cross-shard red path. A server
 // that does not own one of the scored workers refuses with 421
-// wrong_shard and an owner hint.
-func (c *Client) SkillFeedback(ctx context.Context, taskText string, scores map[int]float64) error {
+// wrong_shard and an owner hint. forwardOf >= 0 keys the request to
+// the home-shard task it forwards, making it idempotent at the owner:
+// retrying a failed leg cannot double-fold a posterior. forwardOf < 0
+// sends unkeyed model-only feedback.
+func (c *Client) SkillFeedback(ctx context.Context, forwardOf int, taskText string, scores map[int]float64) error {
 	wire := make(map[string]float64, len(scores))
 	for w, s := range scores {
 		wire[strconv.Itoa(w)] = s
 	}
-	return c.post(ctx, "/api/v1/skills:feedback", map[string]any{"text": taskText, "scores": wire}, nil)
+	body := map[string]any{"text": taskText, "scores": wire}
+	if forwardOf >= 0 {
+		body["task"] = forwardOf
+	}
+	return c.post(ctx, "/api/v1/skills:feedback", body, nil)
 }
 
 // Topology fetches the server's live fleet layout

@@ -299,10 +299,12 @@ func (m *Multi) SelectionsScored(ctx context.Context, tasks []crowddb.SubmitRequ
 }
 
 // SkillFeedback folds feedback into locally-owned posteriors on the
-// primary (mutation — follows not_primary redirects).
-func (m *Multi) SkillFeedback(ctx context.Context, taskText string, scores map[int]float64) error {
+// primary (mutation — follows not_primary redirects). forwardOf >= 0
+// keys the request for owner-side deduplication; see
+// Client.SkillFeedback.
+func (m *Multi) SkillFeedback(ctx context.Context, forwardOf int, taskText string, scores map[int]float64) error {
 	return m.write(func(c *Client) error {
-		return c.SkillFeedback(ctx, taskText, scores)
+		return c.SkillFeedback(ctx, forwardOf, taskText, scores)
 	})
 }
 

@@ -417,6 +417,14 @@ func (r *Router) Answer(ctx context.Context, taskID, workerID int, text string) 
 // owners, so a recovering shard rebuilds the same model. Forward-leg
 // failures are joined into the returned error alongside the resolved
 // record — the resolution itself is durable at that point.
+//
+// Feedback is idempotent, which is what closes the partial-failure
+// window: the forward legs are keyed by task id and deduplicated at
+// each owner, and a Feedback call that finds the task already resolved
+// (a retry after a crash or a failed leg) re-forwards from the stored
+// resolution instead of failing with bad-state. Callers therefore
+// retry the whole call until it returns nil, and every posterior still
+// folds exactly once.
 func (r *Router) Feedback(ctx context.Context, taskID int, scores map[int]float64) (crowddb.TaskRecord, error) {
 	var rec crowddb.TaskRecord
 	_, home := r.shardForTask(taskID)
@@ -428,7 +436,15 @@ func (r *Router) Feedback(ctx context.Context, taskID int, scores map[int]float6
 			return e
 		})
 	if err != nil {
-		return rec, err
+		// The resolve may have committed on an earlier attempt whose
+		// forwards never drained (the home shard answers bad-state
+		// from then on). The stored resolution is authoritative; when
+		// it exists, finish the forwarding legs instead of failing.
+		stored, gerr := r.GetTask(ctx, taskID)
+		if gerr != nil || stored.Status != crowddb.TaskResolved {
+			return rec, err
+		}
+		rec = stored
 	}
 	count := r.Count()
 	foreign := make(map[int]map[int]float64)
@@ -450,7 +466,7 @@ func (r *Router) Feedback(ctx context.Context, taskID int, scores map[int]float6
 	var errs []error
 	for _, o := range owners {
 		m := r.Shard(o)
-		if ferr := m.SkillFeedback(ctx, rec.Text, foreign[o]); ferr != nil {
+		if ferr := m.SkillFeedback(ctx, taskID, rec.Text, foreign[o]); ferr != nil {
 			errs = append(errs, fmt.Errorf("skill feedback to shard %d: %w", o, ferr))
 		}
 	}

@@ -5,9 +5,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"reflect"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"crowdselect/internal/core"
@@ -62,6 +64,12 @@ func cloneModel(t *testing.T, m *core.Model) *core.Model {
 }
 
 func newNode(t *testing.T, d *corpus.Dataset, m *core.Model, sp crowddb.ShardSpec) (*crowddb.Server, *httptest.Server) {
+	return newNodeWith(t, d, m, sp, nil)
+}
+
+// newNodeWith is newNode with an optional handler middleware, so a
+// test can inject faults between the Router and a shard.
+func newNodeWith(t *testing.T, d *corpus.Dataset, m *core.Model, sp crowddb.ShardSpec, wrap func(http.Handler) http.Handler) (*crowddb.Server, *httptest.Server) {
 	t.Helper()
 	store := crowddb.NewStore()
 	for i := range d.Workers {
@@ -75,12 +83,20 @@ func newNode(t *testing.T, d *corpus.Dataset, m *core.Model, sp crowddb.ShardSpe
 	}
 	mgr.SetShard(sp)
 	srv := crowddb.NewServer(mgr)
-	hs := httptest.NewServer(srv)
+	var h http.Handler = srv
+	if wrap != nil {
+		h = wrap(h)
+	}
+	hs := httptest.NewServer(h)
 	t.Cleanup(hs.Close)
 	return srv, hs
 }
 
 func newFleet(t *testing.T, count int) *fleetFixture {
+	return newFleetWrapped(t, count, nil)
+}
+
+func newFleetWrapped(t *testing.T, count int, wrap func(http.Handler) http.Handler) *fleetFixture {
 	t.Helper()
 	d, m := trainedModel(t)
 	f := &fleetFixture{dataset: d}
@@ -89,7 +105,7 @@ func newFleet(t *testing.T, count int) *fleetFixture {
 	servers := make([]*crowddb.Server, count)
 	doc := crowddb.Topology{Epoch: 1, Count: count}
 	for i := 0; i < count; i++ {
-		srv, hs := newNode(t, d, m, crowddb.ShardSpec{Index: i, Count: count})
+		srv, hs := newNodeWith(t, d, m, crowddb.ShardSpec{Index: i, Count: count}, wrap)
 		servers[i] = srv
 		f.shards = append(f.shards, hs)
 		doc.Shards = append(doc.Shards, crowddb.ShardAddr{Index: i, URL: hs.URL})
@@ -221,6 +237,133 @@ func TestRouterFeedbackKeepsFleetEquivalent(t *testing.T) {
 	for i := range want.Results {
 		if !reflect.DeepEqual(got.Results[i].Workers, want.Results[i].Workers) {
 			t.Errorf("post-feedback task %d: fleet %v, single %v",
+				i, got.Results[i].Workers, want.Results[i].Workers)
+		}
+	}
+}
+
+// feedbackOutage fails the next N skills:feedback posts fleet-wide —
+// the injected fault for the forward-leg retry drill.
+type feedbackOutage struct{ remaining atomic.Int32 }
+
+func (o *feedbackOutage) wrap(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/api/v1/skills:feedback") && o.remaining.Add(-1) >= 0 {
+			http.Error(w, `{"error":{"code":"internal","message":"injected forward outage"}}`, http.StatusInternalServerError)
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// TestRouterFeedbackRetriesForwardLegs is the partial-failure drill
+// for cross-shard posterior forwarding: the home-shard resolve
+// commits, the forward leg to the foreign owner dies, and the caller
+// simply retries Feedback. The retry must find the task already
+// resolved, re-forward from the stored resolution, and the owner-side
+// dedupe must keep every posterior folded exactly once — verified by
+// bitwise selection equivalence against a single node that saw the
+// same traffic with no faults.
+func TestRouterFeedbackRetriesForwardLegs(t *testing.T) {
+	outage := &feedbackOutage{}
+	f := newFleetWrapped(t, 2, outage.wrap)
+	r := f.router(t)
+	single := New(f.single.URL, Options{})
+	ctx := context.Background()
+
+	// Walk the deterministic task stream until a submission has at
+	// least one foreign answerer (owned by the non-home shard); tasks
+	// without one resolve normally on both sides to keep parity.
+	var (
+		drillTask, singleTask int
+		drillScores           map[int]float64
+	)
+	for round, text := range f.texts(8) {
+		sub, err := r.SubmitTask(ctx, text, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ssub, err := single.SubmitTask(ctx, text, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sub.Workers, ssub.Workers) {
+			t.Fatalf("round %d: fleet assigned %v, single %v", round, sub.Workers, ssub.Workers)
+		}
+		scores := make(map[int]float64, len(sub.Workers))
+		for j, w := range sub.Workers {
+			if err := r.Answer(ctx, sub.TaskID, w, "drill answer"); err != nil {
+				t.Fatal(err)
+			}
+			if err := single.Answer(ctx, ssub.TaskID, w, "drill answer"); err != nil {
+				t.Fatal(err)
+			}
+			scores[w] = float64(((round+j)%5)+1) / 5
+		}
+		home := crowddb.ShardOfTask(sub.TaskID, 2)
+		foreign := 0
+		for _, w := range sub.Workers {
+			if crowddb.ShardOfWorker(w, 2) != home {
+				foreign++
+			}
+		}
+		if foreign > 0 && drillScores == nil {
+			drillTask, singleTask, drillScores = sub.TaskID, ssub.TaskID, scores
+			continue // resolved below, under the outage
+		}
+		if _, err := r.Feedback(ctx, sub.TaskID, scores); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := single.Feedback(ctx, ssub.TaskID, scores); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if drillScores == nil {
+		t.Fatal("no submission selected a foreign answerer; fixture too small for the drill")
+	}
+
+	// One forward leg dies (two shards: exactly one foreign owner).
+	// The resolve itself is durable, so Feedback must report the leg.
+	outage.remaining.Store(1)
+	if _, err := r.Feedback(ctx, drillTask, drillScores); err == nil {
+		t.Fatal("forward-leg failure not reported")
+	}
+
+	// A bare retry of the same call drains the missing leg: the home
+	// shard answers from the stored resolution, the owner folds once.
+	rec, err := r.Feedback(ctx, drillTask, drillScores)
+	if err != nil {
+		t.Fatalf("Feedback retry after forward failure: %v", err)
+	}
+	if rec.Status != crowddb.TaskResolved {
+		t.Fatalf("retried task not resolved: %v", rec.Status)
+	}
+	// Further retries are acknowledged no-ops (owner-side dedupe).
+	if _, err := r.Feedback(ctx, drillTask, drillScores); err != nil {
+		t.Fatalf("idempotent re-retry: %v", err)
+	}
+	if _, err := single.Feedback(ctx, singleTask, drillScores); err != nil {
+		t.Fatal(err)
+	}
+
+	// Exactly-once proof: had any owner folded the forwarded scores
+	// zero or two times, the fleet's rankings would diverge from the
+	// single node's.
+	var reqs []crowddb.SubmitRequest
+	for _, text := range f.texts(6) {
+		reqs = append(reqs, crowddb.SubmitRequest{Text: text, K: 6})
+	}
+	want, err := single.Selections(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Selections(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Results {
+		if !reflect.DeepEqual(got.Results[i].Workers, want.Results[i].Workers) {
+			t.Errorf("post-drill selection %d: fleet %v, single %v",
 				i, got.Results[i].Workers, want.Results[i].Workers)
 		}
 	}

@@ -70,6 +70,44 @@ func TestSubmitBatchValidation(t *testing.T) {
 
 // TestSubmitBatchContextCancel: a cancelled context aborts the batch
 // before (or during) ranking.
+// TestSubmitBatchPreassignedValidation: the Workers preassignment
+// bypass is reachable from the public tasks endpoints, so the shard
+// must enforce the same presence contract ranking does for every
+// worker it owns — offline, unknown, and duplicate preassignments are
+// refused before any task row is stored.
+func TestSubmitBatchPreassignedValidation(t *testing.T) {
+	mgr, _ := managerFixture(t)
+	ctx := context.Background()
+
+	// Online preassigned crowd: accepted verbatim.
+	subs, err := mgr.SubmitBatch(ctx, []TaskSubmission{{Text: "preassigned task", Workers: []int{2, 0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(subs[0].Workers, []int{2, 0}) {
+		t.Fatalf("preassigned crowd = %v", subs[0].Workers)
+	}
+
+	if err := mgr.Store().SetOnline(1, false); err != nil {
+		t.Fatal(err)
+	}
+	before := mgr.Store().NumTasks()
+	cases := map[string][]int{
+		"offline":   {0, 1},
+		"unknown":   {0, 1 << 20},
+		"duplicate": {0, 0},
+	}
+	for name, crowd := range cases {
+		_, err := mgr.SubmitBatch(ctx, []TaskSubmission{{Text: "bad preassignment", Workers: crowd}})
+		if !errors.Is(err, ErrBadRequest) && !errors.Is(err, ErrNotFound) {
+			t.Errorf("%s preassignment: got %v", name, err)
+		}
+	}
+	if got := mgr.Store().NumTasks(); got != before {
+		t.Errorf("refused preassignments stored %d task rows", got-before)
+	}
+}
+
 func TestSubmitBatchContextCancel(t *testing.T) {
 	mgr, d := managerFixture(t)
 	ctx, cancel := context.WithCancel(context.Background())

@@ -63,7 +63,14 @@ type event struct {
 	Workers []int              `json:"workers,omitempty"`
 	Answer  string             `json:"answer,omitempty"`
 	Scores  map[string]float64 `json:"scores,omitempty"`
-	At      time.Time          `json:"at"`
+	// ForwardOf keys an evSkillFeedback record to the home-shard task
+	// whose resolution it forwards. Set (task ids start at 0, hence a
+	// pointer), it makes the record idempotent: an owner shard folds
+	// each task's forwarded scores at most once, so a coordinator may
+	// retry a failed forward leg safely. Nil for unkeyed model-only
+	// feedback.
+	ForwardOf *int      `json:"forward_of,omitempty"`
+	At        time.Time `json:"at"`
 }
 
 // ErrJournal wraps journal write failures.
@@ -502,9 +509,15 @@ func (s *Store) applyEvent(e event, onResolve func(TaskRecord) error) error {
 	case evSkillFeedback:
 		// Store rows are untouched; re-journal (live sink only — replay
 		// runs with a nil sink) and hand the scores to the skill-update
-		// hook as a synthetic resolved record.
-		if err := s.logReplayedSkillFeedback(e); err != nil {
+		// hook as a synthetic resolved record. A keyed forward already
+		// folded is skipped entirely — replay and replication apply are
+		// idempotent under the same dedupe the live path uses.
+		applied, err := s.logReplayedSkillFeedback(e)
+		if err != nil {
 			return err
+		}
+		if !applied {
+			return nil
 		}
 		if onResolve != nil {
 			scores, err := decodeScores(e.Scores)
@@ -558,22 +571,51 @@ func syntheticFeedbackRecord(tokens []string, scores map[int]float64) TaskRecord
 // LogSkillFeedback journals model-only skill feedback (no store rows
 // change). The sealed gate applies: an acknowledged posterior update
 // must be recoverable, exactly like a resolve.
-func (s *Store) LogSkillFeedback(tokens []string, scores map[int]float64) error {
+//
+// forwardOf >= 0 keys the record to the home-shard task whose
+// resolution it forwards, and makes the call idempotent: the first
+// keyed call journals the record, marks the key applied, and reports
+// applied=true; every later call with the same key is a durable no-op
+// reporting applied=false, so the caller skips the model fold.
+// forwardOf < 0 is unkeyed feedback, always applied.
+func (s *Store) LogSkillFeedback(tokens []string, scores map[int]float64, forwardOf int) (applied bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.sealedErrLocked(); err != nil {
-		return err
+	if forwardOf >= 0 && s.appliedForwards[forwardOf] {
+		return false, nil
 	}
-	return s.logEvent(event{Kind: evSkillFeedback, Tokens: append([]string(nil), tokens...), Scores: encodeScores(scores)})
+	if err := s.sealedErrLocked(); err != nil {
+		return false, err
+	}
+	e := event{Kind: evSkillFeedback, Tokens: append([]string(nil), tokens...), Scores: encodeScores(scores)}
+	if forwardOf >= 0 {
+		key := forwardOf
+		e.ForwardOf = &key
+	}
+	if err := s.logEvent(e); err != nil {
+		return false, err
+	}
+	if forwardOf >= 0 {
+		s.appliedForwards[forwardOf] = true
+	}
+	return true, nil
 }
 
 // logReplayedSkillFeedback re-journals a replicated skill-feedback
-// event with its original timestamp; during boot replay the sink is
-// nil and this is a no-op.
-func (s *Store) logReplayedSkillFeedback(e event) error {
+// event with its original timestamp and forward key; during boot
+// replay the sink is nil and this is a no-op. It reports applied=false
+// when the forward key was already folded (the event must then be
+// skipped, not just un-journaled).
+func (s *Store) logReplayedSkillFeedback(e event) (applied bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.logEvent(event{Kind: evSkillFeedback, Tokens: e.Tokens, Scores: e.Scores, At: e.At})
+	if e.ForwardOf != nil {
+		if s.appliedForwards[*e.ForwardOf] {
+			return false, nil
+		}
+		s.appliedForwards[*e.ForwardOf] = true
+	}
+	return true, s.logEvent(event{Kind: evSkillFeedback, Tokens: e.Tokens, Scores: e.Scores, ForwardOf: e.ForwardOf, At: e.At})
 }
 
 // OpenJournaledStore builds a store backed by the single journal file

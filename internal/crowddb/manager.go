@@ -139,7 +139,9 @@ type Submission struct {
 // the manager default crowd size. A non-empty Workers list bypasses
 // ranking and assigns exactly those workers, best first — the
 // scatter-gather coordinator's submit path, where the global top-k was
-// already merged from per-shard scored selections.
+// already merged from per-shard scored selections. Preassigned workers
+// this shard owns must be online (see validatePreassigned); foreign
+// workers are the coordinator's responsibility.
 type TaskSubmission struct {
 	Text    string
 	K       int
@@ -177,6 +179,11 @@ func (m *Manager) SubmitBatch(ctx context.Context, reqs []TaskSubmission) ([]Sub
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	for i, r := range reqs {
+		if err := m.validatePreassigned(r.Workers); err != nil {
+			return nil, fmt.Errorf("task index %d: %w", i, err)
+		}
 	}
 	tasks := make([]TaskRecord, len(reqs))
 	ks := make([]int, len(reqs))
@@ -236,6 +243,37 @@ func (m *Manager) SubmitBatch(ctx context.Context, reqs []TaskSubmission) ([]Sub
 		out[i] = Submission{Task: stored, Workers: crowd}
 	}
 	return out, nil
+}
+
+// validatePreassigned gates the Workers preassignment bypass, which
+// the public tasks endpoints also expose. For every worker this shard
+// owns (all of them, on an unsharded node) the local presence bit is
+// authoritative, so an unknown, duplicate, or offline worker is
+// refused up front — otherwise any client could assign crowds that
+// will never answer, skipping both ranking and the online filter.
+// Foreign-owned workers are trusted: in a sharded fleet the field is
+// how the scatter-gather coordinator hands a task's home shard the
+// globally merged crowd, whose foreign members were drawn from their
+// owner shards' own online candidate sets.
+func (m *Manager) validatePreassigned(workers []int) error {
+	seen := make(map[int]bool, len(workers))
+	for _, w := range workers {
+		if seen[w] {
+			return fmt.Errorf("%w: duplicate preassigned worker %d", ErrBadRequest, w)
+		}
+		seen[w] = true
+		if !m.shard.OwnsWorker(w) {
+			continue
+		}
+		wk, err := m.store.GetWorker(w)
+		if err != nil {
+			return err
+		}
+		if !wk.Online {
+			return fmt.Errorf("%w: preassigned worker %d is offline", ErrBadRequest, w)
+		}
+	}
+	return nil
 }
 
 // RankOnly is the pure selection path: it projects and ranks a batch
@@ -332,7 +370,13 @@ func (m *Manager) RankOnlyScored(ctx context.Context, reqs []TaskSubmission) ([]
 // refused with a typed wrong-shard error. The update is journaled
 // first (sealed gate applies), so it survives recovery and reaches
 // replicas like any resolve.
-func (m *Manager) ApplyModelFeedback(ctx context.Context, taskText string, scores map[int]float64) error {
+//
+// forwardOf >= 0 names the home-shard task this forward belongs to
+// and makes the call idempotent: the scores for a given task fold at
+// most once per owner, however often a coordinator retries after a
+// partial failure. forwardOf < 0 applies unconditionally (unkeyed
+// model-only feedback).
+func (m *Manager) ApplyModelFeedback(ctx context.Context, forwardOf int, taskText string, scores map[int]float64) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -350,8 +394,12 @@ func (m *Manager) ApplyModelFeedback(ctx context.Context, taskText string, score
 	tokens := text.Tokenize(taskText)
 	m.resolveMu.RLock()
 	defer m.resolveMu.RUnlock()
-	if err := m.store.LogSkillFeedback(tokens, scores); err != nil {
+	applied, err := m.store.LogSkillFeedback(tokens, scores, forwardOf)
+	if err != nil {
 		return err
+	}
+	if !applied { // duplicate forward: already folded, idempotent success
+		return nil
 	}
 	return m.applySkillFeedback(syntheticFeedbackRecord(tokens, scores))
 }

@@ -261,9 +261,14 @@ func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {
 // the task text (for projection) and scores for workers this shard
 // owns. This is the cross-shard red path: the task's home shard keeps
 // the resolved row, each owner shard folds its workers' posteriors.
+// Task, when present, is the home-shard task id the forward belongs
+// to; it keys server-side deduplication so a coordinator can retry a
+// failed forward leg without double-applying (task ids start at 0,
+// hence the pointer).
 type skillFeedbackRequest struct {
 	Text   string             `json:"text"`
 	Scores map[string]float64 `json:"scores"`
+	Task   *int               `json:"task,omitempty"`
 }
 
 func (s *Server) handleSkillFeedback(w http.ResponseWriter, r *http.Request) {
@@ -288,7 +293,15 @@ func (s *Server) handleSkillFeedback(w http.ResponseWriter, r *http.Request) {
 		}
 		scores[wid] = v
 	}
-	if err := s.mgr.ApplyModelFeedback(r.Context(), req.Text, scores); err != nil {
+	forwardOf := -1
+	if req.Task != nil {
+		if *req.Task < 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad task id %d", *req.Task))
+			return
+		}
+		forwardOf = *req.Task
+	}
+	if err := s.mgr.ApplyModelFeedback(r.Context(), forwardOf, req.Text, scores); err != nil {
 		s.writeShardErr(w, r, err)
 		return
 	}
@@ -752,14 +765,16 @@ func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, errors.New("empty task text"))
 		return
 	}
-	sub, err := s.mgr.SubmitTask(r.Context(), req.Text, req.K)
+	// A single submit is a batch of one, so the Workers preassignment
+	// field behaves (and validates) identically on both endpoints.
+	subs, err := s.mgr.SubmitBatch(r.Context(), []TaskSubmission{{Text: req.Text, K: req.K, Workers: req.Workers}})
 	if err != nil {
 		writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, SubmitResponse{
-		TaskID:  sub.Task.ID,
-		Workers: sub.Workers,
+		TaskID:  subs[0].Task.ID,
+		Workers: subs[0].Workers,
 		Model:   s.mgr.SelectorName(),
 	})
 }

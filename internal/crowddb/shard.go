@@ -39,9 +39,14 @@ type ShardSpec struct {
 }
 
 // ParseShardSpec parses the crowdd -shard flag syntax "i/N" with
-// 0 <= i < N.
+// 0 <= i < N. The empty string is the flag's documented default and
+// parses to the zero (unsharded) spec.
 func ParseShardSpec(s string) (ShardSpec, error) {
-	parts := strings.Split(strings.TrimSpace(s), "/")
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return ShardSpec{}, nil
+	}
+	parts := strings.Split(s, "/")
 	if len(parts) != 2 {
 		return ShardSpec{}, fmt.Errorf("shard spec %q: want i/N", s)
 	}
@@ -279,9 +284,12 @@ func (ts *topologyState) get() Topology {
 }
 
 // set installs doc if it is valid and not older than the current
-// epoch. Equal epochs are accepted idempotently only when the layout
-// is identical in count; a stale epoch is refused so a partitioned
-// admin cannot roll the fleet backwards.
+// epoch. An equal epoch is accepted only idempotently — the layout
+// must be identical shard for shard; any change requires an epoch
+// bump, or two conflicting same-epoch pushes could leave nodes with
+// permanently divergent layouts that "highest epoch wins" can never
+// reconcile. A stale epoch is refused so a partitioned admin cannot
+// roll the fleet backwards.
 func (ts *topologyState) set(doc Topology) error {
 	if err := doc.Validate(); err != nil {
 		return fmt.Errorf("%w: %s", ErrBadRequest, err)
@@ -294,10 +302,45 @@ func (ts *topologyState) set(doc Topology) error {
 	if ts.doc.Count > 0 && doc.Count != ts.doc.Count {
 		return fmt.Errorf("%w: shard count cannot change from %d to %d without resharding", ErrBadRequest, ts.doc.Count, doc.Count)
 	}
+	if ts.doc.Count > 0 && doc.Epoch == ts.doc.Epoch && !sameLayout(ts.doc, doc) {
+		return fmt.Errorf("%w: conflicting layout at epoch %d; bump the epoch to change the topology", ErrBadRequest, doc.Epoch)
+	}
 	self := ts.doc.Self
 	ts.doc = doc.clone()
 	ts.doc.Self = self
 	return nil
+}
+
+// sameLayout reports whether two valid topology documents describe the
+// same fleet: same count and, shard for shard, the same URL and
+// replica list (order-sensitive — replica order is part of the
+// document).
+func sameLayout(a, b Topology) bool {
+	if a.Count != b.Count {
+		return false
+	}
+	for _, sh := range a.Shards {
+		other := -1
+		for j, bs := range b.Shards {
+			if bs.Index == sh.Index {
+				other = j
+				break
+			}
+		}
+		if other < 0 {
+			return false
+		}
+		bs := b.Shards[other]
+		if bs.URL != sh.URL || len(bs.Replicas) != len(sh.Replicas) {
+			return false
+		}
+		for k := range sh.Replicas {
+			if sh.Replicas[k] != bs.Replicas[k] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // ErrStaleEpoch rejects a topology update older than the one already

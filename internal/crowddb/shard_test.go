@@ -10,6 +10,8 @@ import (
 
 func TestParseShardSpec(t *testing.T) {
 	good := map[string]ShardSpec{
+		"":      {}, // flag default: unsharded
+		"  ":    {},
 		"0/1":   {Index: 0, Count: 1},
 		"0/2":   {Index: 0, Count: 2},
 		"3/4":   {Index: 3, Count: 4},
@@ -21,7 +23,7 @@ func TestParseShardSpec(t *testing.T) {
 			t.Errorf("ParseShardSpec(%q) = %v, %v; want %v", in, got, err, want)
 		}
 	}
-	for _, in := range []string{"", "2", "a/b", "2/2", "-1/2", "0/0", "1/0", "1/2/3"} {
+	for _, in := range []string{"2", "a/b", "2/2", "-1/2", "0/0", "1/0", "1/2/3"} {
 		if _, err := ParseShardSpec(in); err == nil {
 			t.Errorf("ParseShardSpec(%q) accepted", in)
 		}
@@ -214,5 +216,24 @@ func TestTopologyStateEpochs(t *testing.T) {
 	}
 	if got := ts.get(); got.Epoch != 3 {
 		t.Fatalf("refused update mutated state: %+v", got)
+	}
+
+	// Equal epoch: identical layout re-push is idempotent, but a
+	// conflicting layout at the same epoch is refused — it must bump
+	// the epoch, or nodes that saw different pushes could never
+	// converge ("highest epoch wins" cannot break a same-epoch tie).
+	if err := ts.set(doc(3, "http://a2", "http://b")); err != nil {
+		t.Fatalf("idempotent same-epoch re-push refused: %v", err)
+	}
+	if err := ts.set(doc(3, "http://conflict", "http://b")); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("conflicting same-epoch layout: got %v", err)
+	}
+	conflicting := doc(3, "http://a2", "http://b")
+	conflicting.Shards[1].Replicas = []string{"http://b-standby"}
+	if err := ts.set(conflicting); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("conflicting same-epoch replica list: got %v", err)
+	}
+	if got := ts.get(); got.URLOf(0) != "http://a2" {
+		t.Fatalf("conflict refusal mutated state: %+v", got)
 	}
 }

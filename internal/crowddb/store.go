@@ -102,8 +102,14 @@ type Store struct {
 	// fleet-wide without coordination. shardCnt == 0 means dense ids.
 	shardIdx int
 	shardCnt int
-	clock    func() time.Time
-	journal  journalSink // nil unless a journal is attached
+	// appliedForwards records the home-shard task ids whose forwarded
+	// skill feedback this node has already folded (journal ForwardOf
+	// keys). It is what makes cross-shard forwarding idempotent: a
+	// coordinator retrying a failed leg cannot double-apply a
+	// posterior update. Persisted in snapshots and rebuilt by replay.
+	appliedForwards map[int]bool
+	clock           func() time.Time
+	journal         journalSink // nil unless a journal is attached
 	// sealed is the degraded read-only gate: mutations refused while
 	// set. Atomic (not under mu) because the durability layer seals
 	// from inside a journal append, where mu is already held.
@@ -113,9 +119,10 @@ type Store struct {
 // NewStore returns an empty crowd database.
 func NewStore() *Store {
 	return &Store{
-		workers: make(map[int]*Worker),
-		tasks:   make(map[int]*TaskRecord),
-		clock:   time.Now,
+		workers:         make(map[int]*Worker),
+		tasks:           make(map[int]*TaskRecord),
+		appliedForwards: make(map[int]bool),
+		clock:           time.Now,
 	}
 }
 
@@ -482,11 +489,15 @@ func cloneTask(t *TaskRecord) TaskRecord {
 	return c
 }
 
-// snapshot is the persisted form of the store.
+// snapshot is the persisted form of the store. AppliedForwards is the
+// idempotency set for cross-shard skill-feedback forwards: without it
+// a compaction would forget which forwards were folded and a retried
+// leg could double-apply after restart.
 type snapshot struct {
-	Workers []Worker     `json:"workers"`
-	Tasks   []TaskRecord `json:"tasks"`
-	NextTID int          `json:"next_tid"`
+	Workers         []Worker     `json:"workers"`
+	Tasks           []TaskRecord `json:"tasks"`
+	NextTID         int          `json:"next_tid"`
+	AppliedForwards []int        `json:"applied_forwards,omitempty"`
 }
 
 // Snapshot writes a consistent JSON snapshot of the database to w.
@@ -509,6 +520,10 @@ func (s *Store) snapshotLocked(w io.Writer) error {
 		snap.Tasks = append(snap.Tasks, cloneTask(t))
 	}
 	sort.Slice(snap.Tasks, func(a, b int) bool { return snap.Tasks[a].ID < snap.Tasks[b].ID })
+	for id := range s.appliedForwards {
+		snap.AppliedForwards = append(snap.AppliedForwards, id)
+	}
+	sort.Ints(snap.AppliedForwards)
 	if err := json.NewEncoder(w).Encode(snap); err != nil {
 		return fmt.Errorf("crowddb: snapshot: %w", err)
 	}
@@ -607,11 +622,16 @@ func (s *Store) RestoreSnapshot(r io.Reader) error {
 		}
 		tasks[t.ID] = &t
 	}
+	forwards := make(map[int]bool, len(snap.AppliedForwards))
+	for _, id := range snap.AppliedForwards {
+		forwards[id] = true
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.workers = workers
 	s.tasks = tasks
 	s.nextTID = snap.NextTID
+	s.appliedForwards = forwards
 	// A snapshot written before this node was sharded may leave nextTID
 	// off this shard's stride; realign forward so freshly minted ids
 	// stay on it.
