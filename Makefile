@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench bench-serve bench-serve-smoke bench-shard fuzz fuzz-repl crash chaos replication shard ci
+.PHONY: build vet test race bench bench-serve bench-serve-smoke bench-shard fuzz fuzz-repl crash chaos replication shard fleet ci
 
 build:
 	$(GO) build ./...
@@ -69,4 +69,12 @@ replication:
 shard:
 	$(GO) test -race -run 'TestMergeTopK|TestRouter|TestWrongShard|TestShardOfWorker|TestStoreStridedTaskIDs|TestChaosShardKillAndRebalance|TestShardBenchSmoke|TestCommittedShardReport' -v ./internal/rank/ ./internal/crowddb/ ./internal/crowdclient/ ./internal/chaos/ ./cmd/crowdbench/
 
-ci: vet build race fuzz fuzz-repl crash chaos replication shard bench-serve-smoke
+# The fencing & supervision suite (DESIGN.md §12) under the race
+# detector: fencing-epoch semantics, the lease seal, the concurrent-
+# promotion race, the supervisor state machine, and the split-brain
+# chaos drill — asymmetric partition, auto-promotion, zero
+# dual-primary acks, zero acked-mutation loss.
+fleet:
+	$(GO) test -race -run 'TestFence|TestFencing|TestFenced|TestLease|TestConcurrentPromotion|TestSupervisor|TestMultiWriteFollowsFencedRedirect|TestMultiFencedRedirectIsBounded|TestProxyOneWay|TestChaosSplitBrainFencedFailover' -v ./internal/crowddb/ ./internal/fleet/ ./internal/crowdclient/ ./internal/faultnet/ ./internal/chaos/
+
+ci: vet build race fuzz fuzz-repl crash chaos replication shard fleet bench-serve-smoke

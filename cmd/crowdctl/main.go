@@ -19,11 +19,22 @@
 //	crowdctl [-addr ...]                  stats
 //	crowdctl [-addr ...]                  promote
 //	crowdctl [-addr ...]                  topology [-push layout.json]
+//	crowdctl                              supervise -fleet fleet.json [-admin :9321] [-probe-interval 500ms] [-suspect-after 3] [-lease 1s]
+//	crowdctl                              drain     -supervisor http://localhost:9321 -node http://localhost:8081
+//	crowdctl [-addr ...]                  fence     -history <id> -epoch <n> [-new-primary url]
 //
 // promote asks the addressed node to become the primary — the failover
 // step after the old primary dies: point -addr at a caught-up replica
 // and it seals its stream, replays to its journal tail, and starts
 // accepting mutations. The printed status shows the new role.
+//
+// supervise runs the self-healing fleet supervisor (DESIGN §12): it
+// probes every declared node, keeps the primary under a mutation
+// lease, and on a dead primary auto-promotes the most caught-up
+// standby, fences the loser, and pushes the new topology. drain asks a
+// running supervisor to hand a node's duties off for maintenance.
+// fence manually seals one node at a fencing epoch — the break-glass
+// path when no supervisor is running.
 package main
 
 import (
@@ -33,13 +44,17 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"crowdselect/internal/crowdclient"
 	"crowdselect/internal/crowddb"
+	"crowdselect/internal/fleet"
 )
 
 func main() {
@@ -61,7 +76,7 @@ func main() {
 
 func run(cli *crowdclient.Client, args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("missing subcommand (submit, batch, answer, feedback, task, worker, presence, query, stats, promote, topology)")
+		return fmt.Errorf("missing subcommand (submit, batch, answer, feedback, task, worker, presence, query, stats, promote, topology, supervise, drain, fence)")
 	}
 	ctx := context.Background()
 	cmd, rest := args[0], args[1:]
@@ -195,6 +210,26 @@ func run(cli *crowdclient.Client, args []string, out io.Writer) error {
 			return err
 		}
 		return printJSON(out, st)
+	case "supervise":
+		return runSupervise(rest, out)
+	case "drain":
+		return runDrain(ctx, rest, out)
+	case "fence":
+		fs := flag.NewFlagSet("fence", flag.ContinueOnError)
+		history := fs.String("history", "", "history id the epoch belongs to (from /readyz)")
+		epoch := fs.Uint64("epoch", 0, "fencing epoch to impose (must exceed the node's own)")
+		newPrimary := fs.String("new-primary", "", "base URL of the node that now leads (advertised in refusals)")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		if *history == "" || *epoch == 0 {
+			return fmt.Errorf("fence: -history and -epoch are required")
+		}
+		resp, err := cli.FenceNode(ctx, *history, *epoch, *newPrimary)
+		if err != nil {
+			return err
+		}
+		return printJSON(out, resp)
 	case "topology":
 		fs := flag.NewFlagSet("topology", flag.ContinueOnError)
 		file := fs.String("push", "", "path to a topology JSON document to install (empty = print the node's current layout)")
@@ -224,6 +259,105 @@ func run(cli *crowdclient.Client, args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown subcommand %q", cmd)
 	}
+}
+
+// runSupervise loads the declared fleet and supervises it until a
+// signal arrives. The admin listener (when enabled) serves GET /status
+// and POST /drain for the drain subcommand.
+func runSupervise(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("supervise", flag.ContinueOnError)
+	fleetFile := fs.String("fleet", "", "path to the fleet spec JSON ({\"shards\": [{\"shard\": 0, \"primary\": {\"url\": ...}, \"standbys\": [...]}]})")
+	admin := fs.String("admin", "127.0.0.1:9321", "admin listen address for /status and /drain (empty = no admin listener)")
+	probeInterval := fs.Duration("probe-interval", 500*time.Millisecond, "probe cadence")
+	probeTimeout := fs.Duration("probe-timeout", 0, "per-probe timeout (0 = probe interval)")
+	suspectAfter := fs.Int("suspect-after", 3, "consecutive missed primary probes before failover")
+	lease := fs.Duration("lease", 0, "mutation lease TTL (0 = 3/4 of suspect-after × probe-interval; must stay below that product)")
+	holder := fs.String("holder", "", "lease holder name (default crowdctl-supervise)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *fleetFile == "" {
+		return fmt.Errorf("supervise: -fleet is required")
+	}
+	raw, err := os.ReadFile(*fleetFile)
+	if err != nil {
+		return err
+	}
+	var spec fleet.Spec
+	if err := json.Unmarshal(raw, &spec); err != nil {
+		return fmt.Errorf("fleet spec: %w", err)
+	}
+	sup, err := fleet.New(spec, fleet.Options{
+		ProbeInterval: *probeInterval,
+		ProbeTimeout:  *probeTimeout,
+		SuspectAfter:  *suspectAfter,
+		LeaseTTL:      *lease,
+		Holder:        *holder,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(out, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *admin != "" {
+		srv := &http.Server{Addr: *admin, Handler: sup.AdminHandler()}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "crowdctl: admin listener:", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Fprintf(out, "supervising %d shard(s); admin on http://%s\n", len(spec.Shards), *admin)
+	} else {
+		fmt.Fprintf(out, "supervising %d shard(s)\n", len(spec.Shards))
+	}
+	if err := sup.Run(ctx); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return nil
+}
+
+// runDrain asks a running supervisor (its admin listener) to drain a
+// node and prints the resulting fleet status.
+func runDrain(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("drain", flag.ContinueOnError)
+	supervisor := fs.String("supervisor", "http://127.0.0.1:9321", "supervisor admin base URL")
+	node := fs.String("node", "", "base URL of the node to drain")
+	timeout := fs.Duration("timeout", 30*time.Second, "drain deadline (primary handoff promotes and re-points)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *node == "" {
+		return fmt.Errorf("drain: -node is required")
+	}
+	body, err := json.Marshal(map[string]string{"node": *node})
+	if err != nil {
+		return err
+	}
+	dctx, cancel := context.WithTimeout(ctx, *timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(dctx, http.MethodPost,
+		strings.TrimRight(*supervisor, "/")+"/drain", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("drain refused (%s): %s", resp.Status, strings.TrimSpace(string(payload)))
+	}
+	return printRaw(out, payload)
 }
 
 // parseScores parses "2=4,7=1.5" into {2: 4, 7: 1.5}.

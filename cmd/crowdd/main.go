@@ -463,11 +463,14 @@ func buildService(cfg daemonConfig) (*crowddb.Server, *crowddb.DB, int, error) {
 	if err := seedTopology(srv, cfg); err != nil {
 		return nil, nil, 0, err
 	}
+	fence := crowddb.NewFence(db)
+	srv.SetFence(fence)
 	if db != nil {
 		srv.SetDurabilityStats(db.Stats)
 		// A durable primary can feed warm standbys: expose the journal
 		// stream and report the source-side replication status.
 		src := crowddb.NewReplicationSource(db, crowddb.ReplicationSourceOptions{Logf: log.Printf})
+		src.SetFence(fence)
 		srv.SetReplicationSource(src)
 		srv.SetReplicationStatus(src.Status)
 	}
@@ -550,7 +553,10 @@ func buildReplica(cfg daemonConfig) (*crowddb.Server, *crowddb.Replica, int, err
 	srv.SetRole(crowddb.RoleReplica)
 	srv.SetDurabilityStats(db.Stats)
 	srv.SetDegradedCheck(db.Degraded)
+	fence := crowddb.NewFence(db)
+	srv.SetFence(fence)
 	src := crowddb.NewReplicationSource(db, crowddb.ReplicationSourceOptions{Logf: log.Printf})
+	src.SetFence(fence)
 	srv.SetReplicationSource(src)
 	srv.SetReplicationStatus(func() crowddb.ReplicationStatus {
 		st := rep.Status()

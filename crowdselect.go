@@ -42,6 +42,7 @@ import (
 	"crowdselect/internal/crowddb"
 	"crowdselect/internal/crowdql"
 	"crowdselect/internal/eval"
+	"crowdselect/internal/fleet"
 	"crowdselect/internal/lda"
 	"crowdselect/internal/plsa"
 	"crowdselect/internal/randx"
@@ -383,6 +384,68 @@ func ShardOfTask(id, count int) int { return crowddb.ShardOfTask(id, count) }
 // returns a shard-aware router over it.
 func NewAPIRouter(ctx context.Context, seeds []string, opts APIClientOptions) (*APIRouter, error) {
 	return crowdclient.NewRouter(ctx, seeds, opts)
+}
+
+// Split-brain fencing and fleet supervision (DESIGN.md §12): every
+// history carries a monotonic fencing epoch; a node that observes a
+// higher epoch than its own seals itself — mutations and replication
+// serving refuse with a typed 409 fenced carrying the new primary —
+// and the crowdctl supervise loop watches the fleet, auto-promotes the
+// most caught-up standby when a primary dies, and fences the loser.
+type (
+	// Fence is one node's fencing state: its own epoch, the highest
+	// epoch it has observed, and the mutation lease a supervisor keeps
+	// renewed; sealed when observed exceeds own or the lease lapses.
+	Fence = crowddb.Fence
+	// FenceStatus is the fencing block of /readyz and
+	// /api/v1/metrics: epochs, sealed state and lease.
+	FenceStatus = crowddb.FenceStatus
+	// FenceRequest is the POST /api/v1/replication/fence body: impose
+	// an epoch on a deposed node.
+	FenceRequest = crowddb.FenceRequest
+	// FenceResponse acknowledges a fence order with the node's
+	// resulting role and fencing state.
+	FenceResponse = crowddb.FenceResponse
+	// LeaseRequest is the POST /api/v1/replication/lease body: the
+	// supervisor's heartbeat that doubles as the mutation lease.
+	LeaseRequest = crowddb.LeaseRequest
+	// FleetSpec declares the supervised fleet: one primary plus warm
+	// standbys per shard.
+	FleetSpec = fleet.Spec
+	// FleetShard is one shard's serving group inside a FleetSpec.
+	FleetShard = fleet.ShardFleet
+	// FleetNode names one crowdd process in a FleetSpec.
+	FleetNode = fleet.Node
+	// FleetSupervisor probes the fleet, holds the mutation lease, and
+	// heals dead primaries by promote/fence/topology-push.
+	FleetSupervisor = fleet.Supervisor
+	// FleetOptions tunes probe cadence, suspicion threshold and lease
+	// TTL (which must undercut SuspectAfter × ProbeInterval).
+	FleetOptions = fleet.Options
+	// FleetStatus is the supervisor's snapshot (GET /status on its
+	// admin listener).
+	FleetStatus = fleet.Status
+)
+
+// ErrFenced tags refusals from a sealed node: the mutation provably
+// was not applied, and the error carries the new primary when known;
+// branch with errors.Is.
+var ErrFenced = crowddb.ErrFenced
+
+// ErrPromotionInProgress is returned to the losers of a promotion
+// race: exactly one caller wins, everyone else gets this (or the
+// winner's result once it completes).
+var ErrPromotionInProgress = crowddb.ErrPromotionInProgress
+
+// NewFence builds the fencing state for a database (nil for a pure
+// in-memory node); attach to a Server with SetFence.
+func NewFence(db *DurableDB) *Fence { return crowddb.NewFence(db) }
+
+// NewFleetSupervisor validates the declared fleet and the option
+// coherence (lease TTL below the suspicion deadline) and returns a
+// supervisor; drive it with Run.
+func NewFleetSupervisor(spec FleetSpec, opts FleetOptions) (*FleetSupervisor, error) {
+	return fleet.New(spec, opts)
 }
 
 // Crowd-selection query language (internal/crowdql):

@@ -20,11 +20,12 @@ import (
 // manager, concurrent model, HTTP server with the journal stream
 // endpoint exposed.
 type replRig struct {
-	db  *crowddb.DB
-	mgr *crowddb.Manager
-	cm  *core.ConcurrentModel
-	d   *corpus.Dataset
-	ts  *httptest.Server
+	db    *crowddb.DB
+	mgr   *crowddb.Manager
+	cm    *core.ConcurrentModel
+	d     *corpus.Dataset
+	ts    *httptest.Server
+	fence *crowddb.Fence
 }
 
 // newReplPrimary boots a durable primary whose dataset is persisted
@@ -77,13 +78,16 @@ func newReplPrimary(t *testing.T) *replRig {
 	src := crowddb.NewReplicationSource(db, crowddb.ReplicationSourceOptions{Heartbeat: 20 * time.Millisecond})
 	srv.SetReplicationSource(src)
 	srv.SetReplicationStatus(src.Status)
+	fence := crowddb.NewFence(db)
+	srv.SetFence(fence)
+	src.SetFence(fence)
 	ts := httptest.NewServer(srv)
 	t.Cleanup(func() {
 		ts.CloseClientConnections()
 		ts.Close()
 		db.Close()
 	})
-	return &replRig{db: db, mgr: mgr, cm: cm, d: d, ts: ts}
+	return &replRig{db: db, mgr: mgr, cm: cm, d: d, ts: ts, fence: fence}
 }
 
 // startFollower runs a warm standby streaming from primaryURL, served
@@ -118,6 +122,13 @@ func startFollower(t *testing.T, primaryURL string) (*crowddb.Replica, *httptest
 	srv.SetDurabilityStats(rep.DB().Stats)
 	srv.SetReplicationStatus(rep.Status)
 	srv.SetPromoter(rep.Promote)
+	fence := crowddb.NewFence(rep.DB())
+	srv.SetFence(fence)
+	// A promoted standby must be able to feed followers of its own —
+	// the healed fleet re-converges by re-pointing at the winner.
+	src := crowddb.NewReplicationSource(rep.DB(), crowddb.ReplicationSourceOptions{Heartbeat: 20 * time.Millisecond})
+	src.SetFence(fence)
+	srv.SetReplicationSource(src)
 	ts := httptest.NewServer(srv)
 	t.Cleanup(func() {
 		ts.CloseClientConnections()

@@ -99,8 +99,46 @@ type Client struct {
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
+	gossip *epochGossip // never nil; shared across a Multi's clients
+
 	hedges    atomic.Int64
 	hedgeWins atomic.Int64
+}
+
+// epochGossip remembers the highest fencing epoch seen for the
+// history this client (or Multi) talks to, and echoes it on every
+// request. The echo is what tells a deposed primary — partitioned
+// from its supervisor but still reachable by this client — that a
+// newer epoch exists, sealing it (DESIGN §12).
+type epochGossip struct {
+	mu      sync.Mutex
+	history string
+	epoch   uint64
+}
+
+func (g *epochGossip) load() (string, uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.history, g.epoch
+}
+
+// observe folds in a server-advertised (history, epoch) pair. Within
+// one history the epoch is monotone; a different history replaces the
+// pair outright (the client now talks to another lineage — after a
+// wipe, positions and epochs from the old one mean nothing).
+func (g *epochGossip) observe(history string, epoch uint64) {
+	if history == "" || epoch == 0 {
+		return
+	}
+	g.mu.Lock()
+	if history == g.history {
+		if epoch > g.epoch {
+			g.epoch = epoch
+		}
+	} else {
+		g.history, g.epoch = history, epoch
+	}
+	g.mu.Unlock()
 }
 
 // New returns a client for the crowdd at baseURL (e.g.
@@ -143,6 +181,7 @@ func New(baseURL string, opts Options) *Client {
 		sleep:      opts.Sleep,
 		hedgeDelay: opts.HedgeDelay,
 		rng:        rand.New(rand.NewSource(opts.Seed)),
+		gossip:     &epochGossip{},
 	}
 	if opts.BreakerThreshold > 0 {
 		c.brk = newBreaker(opts.BreakerThreshold, opts.BreakerCooldown, opts.Clock)
@@ -206,6 +245,10 @@ type APIError struct {
 	// ShardOwnerURL is the owner's base URL (X-Crowdd-Shard-Owner-URL)
 	// when the refusing node's topology knows it.
 	ShardOwnerURL string
+	// FencingEpoch is the refusing node's advertised fencing epoch
+	// (X-Crowdd-Fencing-Epoch); on a 409 fenced refusal it is the
+	// epoch that deposed the node. Zero when absent.
+	FencingEpoch uint64
 }
 
 func (e *APIError) Error() string {
@@ -283,7 +326,16 @@ func (c *Client) attempt(ctx context.Context, method, url string, body []byte) (
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if h, e := c.gossip.load(); h != "" {
+		req.Header.Set("X-Crowdd-History", h)
+		req.Header.Set("X-Crowdd-Fencing-Epoch", strconv.FormatUint(e, 10))
+	}
 	resp, err := c.hc.Do(req)
+	if err == nil {
+		if e, perr := strconv.ParseUint(resp.Header.Get("X-Crowdd-Fencing-Epoch"), 10, 64); perr == nil {
+			c.gossip.observe(resp.Header.Get("X-Crowdd-History"), e)
+		}
+	}
 	if c.brk != nil {
 		switch {
 		case err == nil:
@@ -462,6 +514,11 @@ func apiError(resp *http.Response, body []byte) *APIError {
 	if v := resp.Header.Get("X-Crowdd-Shard-Owner"); v != "" {
 		if owner, err := strconv.Atoi(v); err == nil {
 			e.ShardOwner = owner
+		}
+	}
+	if v := resp.Header.Get("X-Crowdd-Fencing-Epoch"); v != "" {
+		if epoch, err := strconv.ParseUint(v, 10, 64); err == nil {
+			e.FencingEpoch = epoch
 		}
 	}
 	var env crowddb.ErrorEnvelope
@@ -676,3 +733,33 @@ func (c *Client) Promote(ctx context.Context) (crowddb.ReplicationStatus, error)
 	err := c.post(ctx, "/api/v1/replication/promote", nil, &out)
 	return out, err
 }
+
+// FenceNode delivers a fence order (POST /api/v1/replication/fence):
+// epoch exists for history, newPrimary (optional) is where writes go
+// now. A node whose own epoch is lower seals itself; the response is
+// its resulting fence status, so the caller checks Fencing.Sealed and
+// Fencing.Observed rather than inferring from the status code.
+func (c *Client) FenceNode(ctx context.Context, history string, epoch uint64, newPrimary string) (crowddb.FenceResponse, error) {
+	var out crowddb.FenceResponse
+	err := c.post(ctx, "/api/v1/replication/fence", crowddb.FenceRequest{
+		History: history, Epoch: epoch, NewPrimary: newPrimary,
+	}, &out)
+	return out, err
+}
+
+// RenewLease renews the supervisor's mutation lease
+// (POST /api/v1/replication/lease). The first renewal arms the lease:
+// from then on the node seals itself whenever the lease lapses, so a
+// primary that loses its supervisor stops acking before the
+// supervisor promotes a successor. A node already deposed by epoch
+// refuses with 409 fenced.
+func (c *Client) RenewLease(ctx context.Context, holder string, ttl time.Duration) (crowddb.ReadyzResponse, error) {
+	var out crowddb.ReadyzResponse
+	err := c.post(ctx, "/api/v1/replication/lease", crowddb.LeaseRequest{
+		Holder: holder, TTLMs: ttl.Milliseconds(),
+	}, &out)
+	return out, err
+}
+
+// Base returns the client's base URL.
+func (c *Client) Base() string { return c.base }

@@ -24,9 +24,10 @@ import (
 //     narrow: the Multi moves to another endpoint only when the error
 //     proves the mutation was not applied — the breaker was open or
 //     the dial failed (the request never reached a server), or the
-//     server itself refused with not_primary (421), in which case the
-//     X-Crowdd-Primary redirect is followed when it names a configured
-//     endpoint. A generic transport error mid-request is returned to
+//     server itself refused with not_primary (421) or fenced (409), in
+//     which case the X-Crowdd-Primary redirect is followed when it
+//     names a configured endpoint and the refuser is forgotten as the
+//     believed primary. A generic transport error mid-request is returned to
 //     the caller instead, because retrying it elsewhere could
 //     double-apply.
 //
@@ -53,6 +54,12 @@ func NewMulti(endpoints []string, opts Options) (*Multi, error) {
 		c := New(e, opts)
 		m.clients = append(m.clients, c)
 		m.endpoints = append(m.endpoints, c.base)
+	}
+	// One epoch-gossip store across the fleet: a fencing epoch learned
+	// from any endpoint is echoed to all of them, so the Multi itself
+	// carries the seal to a deposed primary it can still reach.
+	for _, c := range m.clients[1:] {
+		c.gossip = m.clients[0].gossip
 	}
 	return m, nil
 }
@@ -100,6 +107,27 @@ func notPrimaryErr(err error) *APIError {
 	return nil
 }
 
+// fencedErr extracts the *APIError when err is a sealed node's 409
+// fenced refusal — the mutation provably was not applied, and the
+// X-Crowdd-Primary hint (when present) names the node that deposed
+// the refuser.
+func fencedErr(err error) *APIError {
+	var ae *APIError
+	if errors.As(err, &ae) && ae.Code == "fenced" {
+		return ae
+	}
+	return nil
+}
+
+// redirectErr merges the two refusals that carry a better primary: a
+// replica's 421 not_primary and a sealed node's 409 fenced.
+func redirectErr(err error) *APIError {
+	if ae := notPrimaryErr(err); ae != nil {
+		return ae
+	}
+	return fencedErr(err)
+}
+
 // dialErr reports whether err proves the request never reached a
 // server: the TCP dial itself failed.
 func dialErr(err error) bool {
@@ -110,7 +138,7 @@ func dialErr(err error) bool {
 // writeFailover reports whether a write may safely move to another
 // endpoint: only when the mutation provably was not applied anywhere.
 func writeFailover(err error) bool {
-	return errors.Is(err, ErrCircuitOpen) || dialErr(err) || notPrimaryErr(err) != nil
+	return errors.Is(err, ErrCircuitOpen) || dialErr(err) || redirectErr(err) != nil
 }
 
 // readFailover reports whether a read should try the next endpoint.
@@ -148,8 +176,21 @@ func (m *Multi) write(fn func(c *Client) error) error {
 		}
 		m.failovers.Add(1)
 		next := -1
-		if ae := notPrimaryErr(err); ae != nil && ae.Primary != "" {
-			next = m.indexOf(ae.Primary)
+		if ae := redirectErr(err); ae != nil {
+			if ae.Primary != "" {
+				next = m.indexOf(ae.Primary)
+			}
+			// The refuser is certainly not the primary: forget it now, so
+			// the next write does not start there even if every endpoint
+			// fails this round. The hinted endpoint (or the next in line)
+			// becomes the believed primary until a success says otherwise.
+			if int64(idx) == m.primary.Load() {
+				forget := next
+				if forget < 0 {
+					forget = (idx + 1) % len(m.clients)
+				}
+				m.primary.Store(int64(forget))
+			}
 		}
 		if next < 0 {
 			next = (idx + 1) % len(m.clients)

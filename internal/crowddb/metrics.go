@@ -122,6 +122,7 @@ type MetricsSnapshot struct {
 	Admission        *AdmissionSnapshot         `json:"admission,omitempty"`
 	Durability       *DurabilitySnapshot        `json:"durability,omitempty"`
 	Replication      *ReplicationStatus         `json:"replication,omitempty"`
+	Fencing          *FenceStatus               `json:"fencing,omitempty"`
 	Cache            *core.ProjectionCacheStats `json:"cache,omitempty"`
 	Shard            *ShardInfoSnapshot         `json:"shard,omitempty"`
 }

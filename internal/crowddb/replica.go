@@ -25,6 +25,12 @@ import (
 // lineage survives.
 var ErrReplicaDiverged = errors.New("crowddb: replica diverged from primary")
 
+// ErrPromotionInProgress is returned to the loser of a promotion
+// race: another Promote call holds the flip and has not finished yet.
+// Once the winner completes, further calls are idempotent and return
+// the winner's result.
+var ErrPromotionInProgress = errors.New("crowddb: promotion already in progress")
+
 // ReplicaBuilder constructs the serving stack over a bootstrapped (or
 // recovered) store: load the dataset for its vocabulary, wrap the
 // model for concurrent serving, and return the manager. It keeps
@@ -78,6 +84,8 @@ type Replica struct {
 	bootstraps    atomic.Int64
 
 	promoted atomic.Bool
+	promDone chan struct{} // closed when the winning Promote finishes
+	promErr  error         // the winner's result; read only after promDone
 	cancel   context.CancelFunc
 	done     chan struct{}
 }
@@ -111,7 +119,7 @@ func StartReplica(opts ReplicaOptions) (*Replica, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &Replica{opts: opts, db: db, done: make(chan struct{})}
+	r := &Replica{opts: opts, db: db, done: make(chan struct{}), promDone: make(chan struct{})}
 	ctx, cancel := context.WithCancel(context.Background())
 	r.cancel = cancel
 	var st *replStream
@@ -195,6 +203,7 @@ func (r *Replica) Status() ReplicationStatus {
 	}
 	return ReplicationStatus{
 		Role:          role,
+		FencingEpoch:  r.db.FencingEpoch(),
 		Primary:       r.opts.Primary,
 		Connected:     connected,
 		History:       r.db.ReplicationHistory(),
@@ -210,24 +219,47 @@ func (r *Replica) Status() ReplicationStatus {
 
 // Promote seals the stream and flips this node to primary: the stream
 // is cancelled, the apply loop drains (every record read from the
-// primary is applied inline, so drained means replayed to tail), and a
-// fresh generation checkpoints the promoted state. The caller (server
-// or daemon) flips the HTTP role afterwards. Idempotent.
+// primary is applied inline, so drained means replayed to tail), the
+// fencing epoch is bumped past every epoch this node has seen — the
+// write that deposes the old primary (DESIGN §12) — and a fresh
+// generation checkpoints the promoted state. The caller (server or
+// daemon) flips the HTTP role afterwards.
+//
+// Exactly one caller wins a promotion race: concurrent calls receive
+// ErrPromotionInProgress while the winner is still working, and the
+// winner's result once it is done (idempotent thereafter).
 func (r *Replica) Promote(ctx context.Context) error {
 	if !r.promoted.CompareAndSwap(false, true) {
-		return nil
+		select {
+		case <-r.promDone:
+			return r.promErr
+		default:
+			return ErrPromotionInProgress
+		}
 	}
+	err := r.promote(ctx)
+	r.promErr = err
+	close(r.promDone)
+	return err
+}
+
+func (r *Replica) promote(ctx context.Context) error {
 	r.cancel()
 	select {
 	case <-r.done:
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+	epoch := max(r.db.FencingEpoch(), r.db.FencingObserved()) + 1
+	if err := r.db.SetFencingEpoch(epoch); err != nil {
+		return fmt.Errorf("crowddb: promote fencing epoch: %w", err)
+	}
 	if err := r.db.Compact(); err != nil {
 		return fmt.Errorf("crowddb: promote checkpoint: %w", err)
 	}
 	applied, _ := r.db.ReplicationHead()
-	r.opts.Logf("crowddb: replica promoted to primary at record %d (history %s)", applied, r.db.ReplicationHistory())
+	r.opts.Logf("crowddb: replica promoted to primary at record %d (history %s, fencing epoch %d)",
+		applied, r.db.ReplicationHistory(), epoch)
 	return nil
 }
 
@@ -266,6 +298,9 @@ func (r *Replica) dial(ctx context.Context, from int64, history string, boot boo
 	q.Set("from", fmt.Sprintf("%d", from))
 	if history != "" {
 		q.Set("history", history)
+		// Carry our fencing knowledge: a source that has been deposed
+		// (our observed epoch exceeds its own) seals itself on sight.
+		q.Set("epoch", fmt.Sprintf("%d", max(r.db.FencingEpoch(), r.db.FencingObserved())))
 	}
 	if boot {
 		q.Set("boot", "1")
@@ -354,13 +389,13 @@ func (r *Replica) bootstrap(st *replStream, fresh bool) error {
 		r.mgr, r.cm = mgr, cm
 		r.db.SetModelSnapshotter(cm.Save)
 		r.db.SetQuiescer(mgr.Quiesce)
-		r.db.seedReplication(st.hello.History, snap.Seq, snap.Bytes)
+		r.db.seedReplication(st.hello.History, snap.Seq, snap.Bytes, st.hello.FencingEpoch)
 		if err := r.db.Begin(); err != nil {
 			return err
 		}
 	} else {
 		r.cm.Replace(model)
-		r.db.seedReplication(st.hello.History, snap.Seq, snap.Bytes)
+		r.db.seedReplication(st.hello.History, snap.Seq, snap.Bytes, st.hello.FencingEpoch)
 		if err := r.db.Compact(); err != nil {
 			return err
 		}
@@ -418,6 +453,22 @@ func (r *Replica) run(ctx context.Context, st *replStream) {
 					st = nil
 					r.sleep(ctx, backoff)
 					continue
+				}
+			} else {
+				// Same history resume: refuse a deposed primary (its
+				// epoch is below one we have observed — following it
+				// would replay a fenced lineage), adopt a newer epoch.
+				if st.hello.FencingEpoch < r.db.FencingObserved() {
+					r.opts.Logf("crowddb: replica: primary at fencing epoch %d is deposed (observed %d); not following",
+						st.hello.FencingEpoch, r.db.FencingObserved())
+					st.Close()
+					st = nil
+					r.sleep(ctx, backoff)
+					backoff = minDuration(backoff*2, 5*time.Second)
+					continue
+				}
+				if st.hello.FencingEpoch > r.db.FencingEpoch() {
+					_ = r.db.SetFencingEpoch(st.hello.FencingEpoch)
 				}
 			}
 		}

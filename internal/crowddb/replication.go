@@ -137,6 +137,11 @@ type replHello struct {
 	Bytes      int64  `json:"bytes"`
 	Generation uint64 `json:"generation"`
 	Bootstrap  bool   `json:"bootstrap"`
+	// FencingEpoch is the primary's fencing epoch (DESIGN §12). A
+	// follower adopts it at bootstrap and refuses to follow a primary
+	// whose epoch is below one it has already observed for this
+	// history — a deposed primary cannot re-recruit its old followers.
+	FencingEpoch uint64 `json:"fencing_epoch,omitempty"`
 }
 
 // replRecordMsg is one journal event at its position: Seq is the
@@ -169,6 +174,12 @@ type replHeartbeat struct {
 const (
 	RolePrimary = "primary"
 	RoleReplica = "replica"
+	// RoleFenced is a sealed node: it observed a higher fencing epoch
+	// for its history (or its supervisor lease lapsed) and refuses all
+	// mutations with 409 fenced until re-pointed as a follower. The
+	// wire value for an ordinary follower stays "replica" for
+	// compatibility with PR 5/6 consumers.
+	RoleFenced = "fenced"
 )
 
 // ReplicationLag is a follower's distance behind its primary:
@@ -188,6 +199,7 @@ type ReplicationLag struct {
 // position and lag.
 type ReplicationStatus struct {
 	Role          string          `json:"role"`
+	FencingEpoch  uint64          `json:"fencing_epoch,omitempty"`
 	Primary       string          `json:"primary,omitempty"`
 	Connected     bool            `json:"connected"`
 	History       string          `json:"history,omitempty"`
@@ -210,6 +222,13 @@ type replSidecar struct {
 	History string `json:"history"`
 	Seq     int64  `json:"seq"`
 	Bytes   int64  `json:"bytes"`
+	// FencingEpoch is this node's own epoch; FencingObserved the
+	// highest epoch it has seen for its history (from a promotion
+	// header, a fence order, or a follower's hello). Observed > own
+	// means the node restarts sealed — a deposed primary cannot
+	// resurrect itself as a primary by rebooting.
+	FencingEpoch    uint64 `json:"fencing_epoch,omitempty"`
+	FencingObserved uint64 `json:"fencing_observed,omitempty"`
 }
 
 // replState is the DB's replication position and fan-out hub. Lock
@@ -224,6 +243,9 @@ type replState struct {
 	baseBytes int64
 	subs      map[*replSub]struct{}
 	pins      map[uint64]int // generation → open bootstrap/stream readers
+
+	fencingEpoch    uint64 // this node's own fencing epoch (≥ 1)
+	fencingObserved uint64 // highest epoch seen for this history (≥ own)
 }
 
 // replSub is one live stream's subscription to committed records. The
@@ -267,18 +289,24 @@ func (db *DB) loadReplState() {
 				r.history = sc.History
 				r.seq, r.bytes = sc.Seq, sc.Bytes
 				r.baseSeq, r.baseBytes = sc.Seq, sc.Bytes
+				// Pre-fencing sidecars carry no epochs: epoch 1 is the
+				// floor every history starts at.
+				r.fencingEpoch = max(sc.FencingEpoch, 1)
+				r.fencingObserved = max(sc.FencingObserved, r.fencingEpoch)
 				return
 			}
 		}
 	}
 	r.history = newHistoryID()
+	r.fencingEpoch, r.fencingObserved = 1, 1
 }
 
 // writeReplSidecarLocked persists gen's base position; called inside
 // the compaction cut so the sidecar and the snapshot agree.
 func (db *DB) writeReplSidecarLocked(gen uint64, seq, bytes int64) error {
 	db.repl.mu.Lock()
-	sc := replSidecar{History: db.repl.history, Seq: seq, Bytes: bytes}
+	sc := replSidecar{History: db.repl.history, Seq: seq, Bytes: bytes,
+		FencingEpoch: db.repl.fencingEpoch, FencingObserved: db.repl.fencingObserved}
 	db.repl.mu.Unlock()
 	return writeFileAtomic(db.replSidecarPath(gen), func(w io.Writer) error {
 		return json.NewEncoder(w).Encode(sc)
@@ -347,16 +375,86 @@ func (db *DB) ReplicationHistory() string {
 	return db.repl.history
 }
 
-// seedReplication adopts a primary's history and position — the
-// bootstrap path, before Begin (or before the re-bootstrap Compact)
-// persists them into the new generation's sidecar.
-func (db *DB) seedReplication(history string, seq, bytes int64) {
+// seedReplication adopts a primary's history, position and fencing
+// epoch — the bootstrap path, before Begin (or before the
+// re-bootstrap Compact) persists them into the new generation's
+// sidecar.
+func (db *DB) seedReplication(history string, seq, bytes int64, epoch uint64) {
 	r := &db.repl
 	r.mu.Lock()
 	r.history = history
 	r.seq, r.bytes = seq, bytes
 	r.baseSeq, r.baseBytes = seq, bytes
+	r.fencingEpoch = max(epoch, 1)
+	r.fencingObserved = r.fencingEpoch
 	r.mu.Unlock()
+}
+
+// FencingEpoch returns this node's own fencing epoch (DESIGN §12).
+func (db *DB) FencingEpoch() uint64 {
+	db.repl.mu.Lock()
+	defer db.repl.mu.Unlock()
+	return db.repl.fencingEpoch
+}
+
+// FencingObserved returns the highest fencing epoch this node has
+// seen for its history; when it exceeds FencingEpoch the node is
+// sealed.
+func (db *DB) FencingObserved() uint64 {
+	db.repl.mu.Lock()
+	defer db.repl.mu.Unlock()
+	return db.repl.fencingObserved
+}
+
+// SetFencingEpoch raises this node's own epoch to e (promotion, or a
+// follower adopting its primary's) and persists it. Epochs are
+// monotone: a lower e is a no-op.
+func (db *DB) SetFencingEpoch(e uint64) error {
+	return db.raiseFencing(e, e)
+}
+
+// ObserveFencingEpoch records that epoch e exists for this node's
+// history and persists it. Raising observed above the node's own
+// epoch is what seals it; the caller (Fence.Observe) decides whether
+// e belongs to this history.
+func (db *DB) ObserveFencingEpoch(e uint64) error {
+	return db.raiseFencing(0, e)
+}
+
+// raiseFencing monotonically raises the fencing epochs and rewrites
+// the current generation's sidecar so they survive restart. Lock
+// order: db.mu before repl.mu, and the file write happens outside
+// both (writeFileAtomic is temp+rename, so a racing compaction's
+// sidecar for a newer generation is never clobbered — it carries the
+// same raised epochs, snapshotted under repl.mu).
+func (db *DB) raiseFencing(own, observed uint64) error {
+	db.mu.Lock()
+	gen := db.gen
+	r := &db.repl
+	r.mu.Lock()
+	changed := false
+	if own > r.fencingEpoch {
+		r.fencingEpoch = own
+		changed = true
+	}
+	if r.fencingObserved < r.fencingEpoch {
+		r.fencingObserved = r.fencingEpoch
+		changed = true
+	}
+	if observed > r.fencingObserved {
+		r.fencingObserved = observed
+		changed = true
+	}
+	sc := replSidecar{History: r.history, Seq: r.baseSeq, Bytes: r.baseBytes,
+		FencingEpoch: r.fencingEpoch, FencingObserved: r.fencingObserved}
+	r.mu.Unlock()
+	db.mu.Unlock()
+	if !changed || gen == 0 {
+		return nil
+	}
+	return writeFileAtomic(db.replSidecarPath(gen), func(w io.Writer) error {
+		return json.NewEncoder(w).Encode(sc)
+	})
 }
 
 // PinGeneration takes a reference on the current generation so its
@@ -462,11 +560,17 @@ type ReplicationSource struct {
 	db        *DB
 	heartbeat time.Duration
 	logf      func(format string, args ...any)
+	fence     *Fence // optional; nil serves unfenced
 
 	followers  atomic.Int64 // streams open right now
 	streams    atomic.Int64 // streams ever served
 	bootstraps atomic.Int64 // streams that began with a bootstrap
 }
+
+// SetFence attaches the node's fencing state: a sealed source refuses
+// to serve streams (409 fenced), and a follower presenting a higher
+// epoch in its stream request seals this source on the spot.
+func (src *ReplicationSource) SetFence(f *Fence) { src.fence = f }
 
 // NewReplicationSource builds a source over db.
 func NewReplicationSource(db *DB, opts ReplicationSourceOptions) *ReplicationSource {
@@ -488,6 +592,7 @@ func (src *ReplicationSource) Status() ReplicationStatus {
 	head, headBytes := src.db.ReplicationHead()
 	return ReplicationStatus{
 		Role:          RolePrimary,
+		FencingEpoch:  src.db.FencingEpoch(),
 		Connected:     true,
 		History:       src.db.ReplicationHistory(),
 		AppliedSeq:    head,
@@ -526,6 +631,19 @@ func (src *ReplicationSource) ServeHTTP(w http.ResponseWriter, r *http.Request) 
 	}
 	history := q.Get("history")
 	wantBoot := q.Get("boot") == "1"
+	if src.fence != nil {
+		// A follower that has seen a newer primary tells us so: its
+		// epoch seals this source before a single frame is served.
+		if s := q.Get("epoch"); s != "" && history != "" {
+			if e, err := strconv.ParseUint(s, 10, 64); err == nil {
+				src.fence.Observe(history, e, "")
+			}
+		}
+		if src.fence.Sealed() {
+			src.fence.Refuse(w, errors.New("replication source is fenced"))
+			return
+		}
+	}
 
 	// Subscribe before pinning: every record is then either ≤ the
 	// pinned base (in the snapshot), in the pinned journal file, or in
@@ -592,7 +710,8 @@ func (src *ReplicationSource) ServeHTTP(w http.ResponseWriter, r *http.Request) 
 	}
 	src.logf("crowddb: replication: stream open (from=%d bootstrap=%v gen=%d head=%d)", from, bootstrap, gen, head)
 
-	hello, err := json.Marshal(replHello{History: ourHistory, Seq: head, Bytes: headBytes, Generation: gen, Bootstrap: bootstrap})
+	hello, err := json.Marshal(replHello{History: ourHistory, Seq: head, Bytes: headBytes,
+		Generation: gen, Bootstrap: bootstrap, FencingEpoch: src.db.FencingEpoch()})
 	if err != nil {
 		return
 	}
@@ -671,6 +790,10 @@ func (src *ReplicationSource) ServeHTTP(w http.ResponseWriter, r *http.Request) 
 				return
 			}
 		case <-ticker.C:
+			if src.fence != nil && src.fence.Sealed() {
+				src.logf("crowddb: replication: source fenced; closing stream")
+				return
+			}
 			head, headBytes := src.db.ReplicationHead()
 			b, err := json.Marshal(replHeartbeat{Seq: head, Bytes: headBytes, At: time.Now()})
 			if err != nil {

@@ -93,6 +93,7 @@ type Server struct {
 	replSource http.Handler             // GET /api/v1/replication/stream
 	replStatus func() ReplicationStatus // nil: no replication section
 	promoter   func(context.Context) error
+	fence      *Fence // nil: no fencing (hand-operated fleets)
 
 	cacheStats func() core.ProjectionCacheStats // nil: no cache section
 	topo       topologyState                    // live topology document
@@ -139,6 +140,8 @@ func NewServer(mgr *Manager) *Server {
 	s.mux.HandleFunc("/api/v1/skills:feedback", s.handleSkillFeedback)
 	s.mux.HandleFunc("/api/v1/replication/stream", s.handleReplStream)
 	s.mux.HandleFunc("/api/v1/replication/promote", s.handlePromote)
+	s.mux.HandleFunc("/api/v1/replication/fence", s.handleFence)
+	s.mux.HandleFunc("/api/v1/replication/lease", s.handleLease)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.role.Store(RolePrimary)
@@ -377,13 +380,35 @@ func (s *Server) SetReplicationStatus(f func() ReplicationStatus) { s.replStatus
 // to primary.
 func (s *Server) SetPromoter(f func(context.Context) error) { s.promoter = f }
 
+// SetFence installs the node's fencing state (DESIGN §12): every
+// response then advertises the highest fencing epoch this node has
+// seen via X-Crowdd-Fencing-Epoch, incoming requests echoing a higher
+// epoch seal it, sealed nodes refuse mutations with 409 fenced, and
+// POST /api/v1/replication/{fence,lease} come alive.
+func (s *Server) SetFence(f *Fence) { s.fence = f }
+
+// Fence returns the installed fencing state, or nil.
+func (s *Server) Fence() *Fence { return s.fence }
+
+// roleNow is the effective role: the stored role, overridden by
+// "fenced" while the node is sealed.
+func (s *Server) roleNow() string {
+	if s.fence != nil && s.fence.Sealed() {
+		return RoleFenced
+	}
+	return s.Role()
+}
+
 // replicationStatusNow snapshots the replication section, with the
 // server's own role as the authority.
 func (s *Server) replicationStatusNow() ReplicationStatus {
-	st := ReplicationStatus{Role: s.Role(), Connected: s.Role() == RolePrimary}
+	st := ReplicationStatus{Role: s.roleNow(), Connected: s.Role() == RolePrimary}
 	if s.replStatus != nil {
 		st = s.replStatus()
-		st.Role = s.Role()
+		st.Role = s.roleNow()
+	}
+	if s.fence != nil && st.FencingEpoch == 0 {
+		st.FencingEpoch = s.fence.Epoch()
 	}
 	return st
 }
@@ -412,6 +437,14 @@ func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
 		return
 	}
+	if s.fence != nil {
+		if st := s.fence.Status(); st.Sealed && st.SealedBy == "epoch" {
+			// A node deposed by epoch cannot be promoted in place — a
+			// newer primary exists; re-point this node as its follower.
+			s.fence.Refuse(w, errors.New("cannot promote a fenced node"))
+			return
+		}
+	}
 	if s.Role() == RolePrimary {
 		writeJSON(w, http.StatusOK, s.replicationStatusNow())
 		return
@@ -431,6 +464,95 @@ func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.replicationStatusNow())
 }
 
+// FenceRequest is the body of POST /api/v1/replication/fence: an
+// order that epoch Epoch exists for history History, optionally with
+// the new primary's base URL for the redirect hint. A node whose own
+// epoch is lower seals itself. Idempotent; the response is the
+// resulting FenceStatus, so the caller verifies Sealed/Observed
+// rather than inferring from the status code.
+type FenceRequest struct {
+	History    string `json:"history"`
+	Epoch      uint64 `json:"epoch"`
+	NewPrimary string `json:"new_primary,omitempty"`
+}
+
+// FenceResponse answers the fence and lease endpoints.
+type FenceResponse struct {
+	Role    string      `json:"role"`
+	Fencing FenceStatus `json:"fencing"`
+}
+
+func (s *Server) handleFence(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	if s.fence == nil {
+		httpError(w, http.StatusNotImplemented, errors.New("fencing not configured"))
+		return
+	}
+	var req FenceRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	if req.History == "" || req.Epoch == 0 {
+		httpError(w, http.StatusBadRequest, errors.New("fence needs history and epoch"))
+		return
+	}
+	s.fence.Observe(req.History, req.Epoch, req.NewPrimary)
+	writeJSON(w, http.StatusOK, FenceResponse{Role: s.roleNow(), Fencing: s.fence.Status()})
+}
+
+// LeaseRequest is the body of POST /api/v1/replication/lease: the
+// supervisor's mutation-lease renewal. Once the first renewal arms
+// the lease, the node seals itself (provisionally) whenever the lease
+// lapses — the self-fencing half of the split-brain contract, for
+// primaries partitioned away from the supervisor but still reachable
+// by clients.
+type LeaseRequest struct {
+	Holder string `json:"holder"`
+	TTLMs  int64  `json:"ttl_ms"`
+}
+
+func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	if s.fence == nil {
+		httpError(w, http.StatusNotImplemented, errors.New("fencing not configured"))
+		return
+	}
+	var req LeaseRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	if err := s.fence.Renew(req.Holder, time.Duration(req.TTLMs)*time.Millisecond); err != nil {
+		if errors.Is(err, ErrFenced) {
+			s.fence.Refuse(w, errors.New("lease refused: node already deposed"))
+			return
+		}
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ReadyzResponse{
+		Status:       "ready",
+		Role:         s.roleNow(),
+		FencingEpoch: s.fence.Epoch(),
+		Replication:  s.replicationSection(),
+	})
+}
+
+// replicationSection returns the replication status pointer for
+// payloads that carry it optionally.
+func (s *Server) replicationSection() *ReplicationStatus {
+	if s.replStatus == nil {
+		return nil
+	}
+	st := s.replicationStatusNow()
+	return &st
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
@@ -439,14 +561,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // detail when the journal is unavailable, the node's replication role,
 // and (when replication is wired) position and lag.
 type ReadyzResponse struct {
-	Status      string             `json:"status"`
-	Mode        string             `json:"mode,omitempty"`
-	Role        string             `json:"role"`
-	Replication *ReplicationStatus `json:"replication,omitempty"`
+	Status string `json:"status"`
+	Mode   string `json:"mode,omitempty"`
+	// Role is primary, replica or fenced — load balancers and the
+	// fleet supervisor route on it without parsing replication status.
+	Role         string             `json:"role"`
+	FencingEpoch uint64             `json:"fencing_epoch,omitempty"`
+	Fencing      *FenceStatus       `json:"fencing,omitempty"`
+	Replication  *ReplicationStatus `json:"replication,omitempty"`
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	resp := ReadyzResponse{Status: "ready", Role: s.Role()}
+	resp := ReadyzResponse{Status: "ready", Role: s.roleNow()}
+	if s.fence != nil {
+		fs := s.fence.Status()
+		resp.FencingEpoch = fs.Epoch
+		resp.Fencing = &fs
+	}
 	if s.replStatus != nil {
 		st := s.replicationStatusNow()
 		resp.Replication = &st
@@ -565,6 +696,20 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			s.logf("%s %s -> %d (%s)", r.Method, r.URL.Path, status, time.Since(start).Round(time.Microsecond))
 		}
 	}()
+	if s.fence != nil {
+		// Epoch gossip: every response advertises the highest fencing
+		// epoch this node has seen, and requests echoing a higher one
+		// seal it — a deposed primary learns of its deposition from the
+		// first client that heard of the new epoch, even when it cannot
+		// reach the supervisor or the new primary itself.
+		sw.Header().Set("X-Crowdd-Fencing-Epoch", strconv.FormatUint(s.fence.ObservedEpoch(), 10))
+		sw.Header().Set("X-Crowdd-History", s.fence.History())
+		if h := r.Header.Get("X-Crowdd-History"); h != "" {
+			if e, err := strconv.ParseUint(r.Header.Get("X-Crowdd-Fencing-Epoch"), 10, 64); err == nil && e > 0 {
+				s.fence.Observe(h, e, r.Header.Get("X-Crowdd-New-Primary"))
+			}
+		}
+	}
 	if probe := r.URL.Path == "/healthz" || r.URL.Path == "/readyz"; !probe {
 		if !s.ready.Load() {
 			sw.Header().Set("Retry-After", "1")
@@ -585,6 +730,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// degraded nodes (so a router can steer around them), like
 		// promote does.
 		topoAdmin := r.URL.Path == "/api/v1/topology"
+		if s.fence != nil && (mutation || r.URL.Path == "/api/v1/query") && !topoAdmin && s.fence.Sealed() {
+			// Sealed node: refuse every mutation with the typed 409 and
+			// the new-primary hint. Checked before the replica gate — a
+			// fenced node's 421 would point at a deposed primary.
+			s.fence.Refuse(sw, errors.New("mutations are sealed on a fenced node"))
+			return
+		}
 		if s.Role() == RoleReplica && (mutation || r.URL.Path == "/api/v1/query") && !topoAdmin {
 			if s.replStatus != nil {
 				if p := s.replStatus().Primary; p != "" {
@@ -712,6 +864,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	if sp := s.shard(); sp.Enabled() {
 		snap.Shard = &ShardInfoSnapshot{Index: sp.Index, Count: sp.Count, Epoch: s.topo.get().Epoch}
+	}
+	if s.fence != nil {
+		fs := s.fence.Status()
+		snap.Fencing = &fs
 	}
 	writeJSON(w, http.StatusOK, snap)
 }
@@ -1047,6 +1203,10 @@ func writeErr(w http.ResponseWriter, r *http.Request, err error) {
 		httpErrorCode(w, http.StatusServiceUnavailable, codeDegradedReadOnly, err)
 	case errors.Is(err, ErrStaleEpoch):
 		httpErrorCode(w, http.StatusConflict, codeStaleEpoch, err)
+	case errors.Is(err, ErrFenced):
+		httpErrorCode(w, http.StatusConflict, codeFenced, err)
+	case errors.Is(err, ErrPromotionInProgress):
+		httpErrorCode(w, http.StatusConflict, codePromotionInProgress, err)
 	case errors.Is(err, ErrWrongShard):
 		// Bare mapping (no owner headers) for callers that did not go
 		// through writeShardErr.
@@ -1109,6 +1269,14 @@ const (
 	codeReplicaDiverged  = "replica_diverged"
 	codeWrongShard       = "wrong_shard"
 	codeStaleEpoch       = "stale_epoch"
+	// codeFenced refuses mutations (and promotion, and replication
+	// serving) on a sealed node: a higher fencing epoch exists for its
+	// history, or its supervisor lease lapsed. 409, with an
+	// X-Crowdd-Primary hint when the new primary is known.
+	codeFenced = "fenced"
+	// codePromotionInProgress is the loser of a promotion race: another
+	// promote holds the flip. 409; retry after the winner finishes.
+	codePromotionInProgress = "promotion_in_progress"
 )
 
 // codeOf maps an HTTP status to the envelope's stable error code.

@@ -43,6 +43,17 @@ type Faults struct {
 	// clients hang until their own timeouts fire. New connections are
 	// accepted but never dialed through.
 	Blackhole bool
+	// DropUpstream / DropDownstream are one-way blackholes — an
+	// asymmetric partition. DropUpstream swallows client→server bytes
+	// (requests vanish, the backend's unprompted bytes still flow
+	// down); DropDownstream swallows server→client bytes (requests
+	// arrive, the answers vanish). Connections still establish at the
+	// proxy, and established streams stay up in the surviving
+	// direction — the nasty real-world failure where one side of a
+	// link believes everything is fine. Both set ≡ Blackhole, except
+	// the backend is still dialed.
+	DropUpstream   bool
+	DropDownstream bool
 	// PartialWriteBytes, when > 0, lets only that many server→client
 	// bytes through per connection, then resets — a torn response.
 	PartialWriteBytes int64
@@ -291,9 +302,9 @@ func (p *Proxy) pump(pair *connPair, up bool) {
 		if n > 0 {
 			f := p.current()
 			switch {
-			case f.Blackhole:
+			case f.Blackhole, up && f.DropUpstream, !up && f.DropDownstream:
 				// Swallow from here on; the connection stays up but
-				// goes silent.
+				// goes silent (in this direction, for the one-way drops).
 				p.blackholed.Add(1)
 			default:
 				chunk := buf[:n]
@@ -336,6 +347,11 @@ func (p *Proxy) pump(pair *connPair, up bool) {
 		if err != nil {
 			if !errors.Is(err, io.EOF) {
 				p.kill(pair)
+				return
+			}
+			if f := p.current(); f.Blackhole || (up && f.DropUpstream) || (!up && f.DropDownstream) {
+				// The FIN is dropped with everything else: the other
+				// side must not learn the stream ended.
 				return
 			}
 			// Graceful half-close: propagate the EOF downstream.

@@ -1,6 +1,7 @@
 package faultnet
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -193,4 +194,137 @@ func TestProxyRuntimeReconfigure(t *testing.T) {
 			t.Fatalf("faulted round %d succeeded", i)
 		}
 	}
+}
+
+// TestProxyOneWayDrops covers the asymmetric-partition modes: each
+// direction can go silent independently, the connection still
+// establishes (the backend is dialed), the surviving direction keeps
+// flowing on an established stream, and healing restores both.
+func TestProxyOneWayDrops(t *testing.T) {
+	p := proxyFor(t, echoBackend(t))
+	cli := shortClient(150 * time.Millisecond)
+
+	// Upstream dropped: the request never reaches the backend, so the
+	// client times out — but the proxy did dial through.
+	p.Set(Faults{DropUpstream: true})
+	if _, err := cli.Get(p.URL()); err == nil {
+		t.Fatal("GET with upstream dropped succeeded")
+	}
+	if st := p.Stats(); st.Dialed == 0 || st.Blackholed == 0 {
+		t.Errorf("drop-upstream stats = %+v, want dialed>0 blackholed>0", st)
+	}
+
+	// Downstream dropped: the request arrives (the backend answers into
+	// the void), the client still times out waiting for the reply.
+	p.Heal()
+	p.Set(Faults{DropDownstream: true})
+	up := p.Stats().BytesUp
+	if _, err := cli.Get(p.URL()); err == nil {
+		t.Fatal("GET with downstream dropped succeeded")
+	}
+	if st := p.Stats(); st.BytesUp <= up {
+		t.Errorf("drop-downstream forwarded no request bytes: %+v", st)
+	}
+
+	p.Heal()
+	resp, err := shortClient(2*time.Second).Get(p.URL())
+	if err != nil {
+		t.Fatalf("GET after heal: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "pong" {
+		t.Errorf("healed body = %q, want pong", body)
+	}
+}
+
+// TestProxyOneWayDropSilencesEstablishedStream is the nasty real-world
+// case the drill leans on: a long-lived connection is up and flowing
+// when one direction goes dark mid-stream. The surviving direction
+// keeps delivering and the silenced side sees no FIN — just silence.
+func TestProxyOneWayDropSilencesEstablishedStream(t *testing.T) {
+	// A raw TCP echo backend that writes a banner on connect, then
+	// echoes lines, so both directions can be probed independently.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				io.WriteString(c, "banner\n")
+				buf := make([]byte, 1024)
+				for {
+					n, err := c.Read(buf)
+					if n > 0 {
+						c.Write(buf[:n])
+					}
+					if err != nil {
+						return
+					}
+				}
+			}(c)
+		}
+	}()
+
+	p := proxyFor(t, ln.Addr().String())
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	readLine := func(want string) error {
+		conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		buf := make([]byte, len(want))
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			return err
+		}
+		if string(buf) != want {
+			return fmt.Errorf("read %q, want %q", buf, want)
+		}
+		return nil
+	}
+	if err := readLine("banner\n"); err != nil {
+		t.Fatalf("banner through healthy proxy: %v", err)
+	}
+	if _, err := io.WriteString(conn, "ping\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := readLine("ping\n"); err != nil {
+		t.Fatalf("echo through healthy proxy: %v", err)
+	}
+
+	// Cut the upstream direction mid-stream: writes vanish, so nothing
+	// echoes back — the read deadline fires instead of an EOF or RST,
+	// because a one-way drop must look like silence, not a close.
+	p.Set(Faults{DropUpstream: true})
+	if _, err := io.WriteString(conn, "lost\n"); err != nil {
+		t.Fatalf("write into dropped direction errored immediately: %v", err)
+	}
+	conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+	one := make([]byte, 1)
+	if _, err := conn.Read(one); !isTimeout(err) {
+		t.Fatalf("read after one-way drop = %v, want timeout (silence)", err)
+	}
+
+	// Heal: the stream itself survived the partition, and new writes
+	// flow again on the same connection.
+	p.Heal()
+	if _, err := io.WriteString(conn, "back\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := readLine("back\n"); err != nil {
+		t.Fatalf("echo after heal: %v", err)
+	}
+}
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }

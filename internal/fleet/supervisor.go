@@ -1,0 +1,619 @@
+// Package fleet is the self-healing supervisor over a crowdd fleet
+// (DESIGN §12). Given a declared layout — one primary plus warm
+// standbys per shard — the supervisor probes every node each
+// interval: the primary's probe doubles as a mutation-lease renewal
+// (POST /api/v1/replication/lease), standbys answer /readyz with
+// their replication lag. When the primary misses SuspectAfter
+// consecutive probes, the supervisor runs a verified failover:
+//
+//  1. pick the most caught-up reachable standby (highest applied
+//     sequence; one that already reports role primary wins outright —
+//     a previous failover that died halfway resumes, not restarts),
+//  2. promote it (idempotent; the promotion bumps the fencing epoch),
+//  3. fence the old primary with the new epoch — retried every tick
+//     until the node acknowledges, since the partition that caused
+//     the failover usually hides it,
+//  4. push the epoch-bumped topology to every reachable node so
+//     Router/Multi clients follow.
+//
+// Split-brain safety does not depend on step 3 landing: the lease the
+// supervisor stopped renewing expires after LeaseTTL, and LeaseTTL <
+// SuspectAfter×ProbeInterval means the deposed primary has sealed
+// itself (409 fenced) before the supervisor is even allowed to
+// promote. The fence order merely tells it who won.
+//
+// Drain is the operator path for rolling restarts: draining a standby
+// just drops it from the probe set; draining a primary runs the same
+// failover, gated on a fully caught-up standby (zero record lag), so
+// no acked mutation is in flight when the roles swap.
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"crowdselect/internal/crowdclient"
+	"crowdselect/internal/crowddb"
+)
+
+// Node is one crowdd process in the declared fleet.
+type Node struct {
+	Name string `json:"name,omitempty"`
+	URL  string `json:"url"`
+}
+
+// ShardFleet declares one shard's serving group.
+type ShardFleet struct {
+	Shard    int    `json:"shard"`
+	Primary  Node   `json:"primary"`
+	Standbys []Node `json:"standbys,omitempty"`
+}
+
+// Spec is the declared fleet: what `crowdctl supervise -fleet` reads.
+type Spec struct {
+	Shards []ShardFleet `json:"shards"`
+}
+
+// Validate checks the spec names every node exactly once with a URL.
+func (sp Spec) Validate() error {
+	if len(sp.Shards) == 0 {
+		return errors.New("fleet: spec declares no shards")
+	}
+	seen := make(map[string]bool)
+	for i, sh := range sp.Shards {
+		if sh.Primary.URL == "" {
+			return fmt.Errorf("fleet: shard %d: primary needs a url", i)
+		}
+		for _, n := range append([]Node{sh.Primary}, sh.Standbys...) {
+			if n.URL == "" {
+				return fmt.Errorf("fleet: shard %d: node needs a url", i)
+			}
+			if seen[n.URL] {
+				return fmt.Errorf("fleet: node %s declared twice", n.URL)
+			}
+			seen[n.URL] = true
+		}
+	}
+	return nil
+}
+
+// Options tunes the supervisor.
+type Options struct {
+	// ProbeInterval is the probe cadence (default 500ms).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe (default ProbeInterval).
+	ProbeTimeout time.Duration
+	// SuspectAfter is K: consecutive missed primary probes before a
+	// failover (default 3).
+	SuspectAfter int
+	// LeaseTTL is the mutation lease granted on every primary probe.
+	// Must stay below SuspectAfter×ProbeInterval — that inequality is
+	// the zero-dual-primary-acks guarantee. Default: 3/4 of the bound.
+	LeaseTTL time.Duration
+	// Holder names this supervisor in lease renewals (default
+	// "crowdctl-supervise").
+	Holder string
+	// Client overrides the per-node client options. Retries are forced
+	// to zero — a missed probe must count as missed, not be papered
+	// over.
+	Client crowdclient.Options
+	// Logf receives lifecycle notices. nil is silent.
+	Logf func(format string, args ...any)
+}
+
+// fenceOrder is an unacknowledged fence: retried every tick until the
+// target confirms it observed the epoch.
+type fenceOrder struct {
+	Target     Node   `json:"target"`
+	History    string `json:"history"`
+	Epoch      uint64 `json:"epoch"`
+	NewPrimary string `json:"new_primary"`
+}
+
+// shardState is the supervisor's live view of one shard.
+type shardState struct {
+	spec    ShardFleet
+	misses  int
+	state   string // healthy | suspect | failover | no_candidate
+	history string
+	epoch   uint64
+
+	applied   map[string]int64  // node URL → applied seq at last probe
+	reachable map[string]bool   // node URL → last probe answered
+	roles     map[string]string // node URL → last reported role
+
+	pending *fenceOrder
+	fenced  []Node // deposed, not yet re-pointed (still being fenced or awaiting restart)
+	drained []Node
+}
+
+// ShardStatus is one shard's row in Status.
+type ShardStatus struct {
+	Shard        int               `json:"shard"`
+	State        string            `json:"state"`
+	Primary      Node              `json:"primary"`
+	Standbys     []Node            `json:"standbys"`
+	Misses       int               `json:"misses"`
+	History      string            `json:"history,omitempty"`
+	Epoch        uint64            `json:"epoch,omitempty"`
+	Applied      map[string]int64  `json:"applied,omitempty"`
+	Reachable    map[string]bool   `json:"reachable,omitempty"`
+	Roles        map[string]string `json:"roles,omitempty"`
+	PendingFence *fenceOrder       `json:"pending_fence,omitempty"`
+	Fenced       []Node            `json:"fenced,omitempty"`
+	Drained      []Node            `json:"drained,omitempty"`
+}
+
+// Status is the supervisor's snapshot: GET /status on the admin
+// listener.
+type Status struct {
+	Holder     string        `json:"holder"`
+	Ticks      int64         `json:"ticks"`
+	Failovers  int64         `json:"failovers"`
+	Promotions int64         `json:"promotions"`
+	Fences     int64         `json:"fences_acknowledged"`
+	Shards     []ShardStatus `json:"shards"`
+}
+
+// Supervisor watches a fleet and heals it. Construct with New, drive
+// with Run (or Tick from tests), expose with AdminHandler.
+type Supervisor struct {
+	opts Options
+
+	mu      sync.Mutex
+	shards  []*shardState
+	clients map[string]*crowdclient.Client
+
+	ticks      atomic.Int64
+	failovers  atomic.Int64
+	promotions atomic.Int64
+	fences     atomic.Int64
+}
+
+// New validates the spec and option coherence (LeaseTTL must undercut
+// the suspicion deadline) and returns a supervisor.
+func New(spec Spec, opts Options) (*Supervisor, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.ProbeInterval <= 0 {
+		opts.ProbeInterval = 500 * time.Millisecond
+	}
+	if opts.ProbeTimeout <= 0 {
+		opts.ProbeTimeout = opts.ProbeInterval
+	}
+	if opts.SuspectAfter <= 0 {
+		opts.SuspectAfter = 3
+	}
+	bound := time.Duration(opts.SuspectAfter) * opts.ProbeInterval
+	if opts.LeaseTTL <= 0 {
+		opts.LeaseTTL = bound * 3 / 4
+	}
+	if opts.LeaseTTL >= bound {
+		return nil, fmt.Errorf("fleet: lease ttl %v must stay below suspect-after × probe-interval (%v): the lease must lapse before a failover can begin", opts.LeaseTTL, bound)
+	}
+	if opts.Holder == "" {
+		opts.Holder = "crowdctl-supervise"
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	if opts.Client.Timeout <= 0 {
+		opts.Client.Timeout = opts.ProbeTimeout
+	}
+	opts.Client.Retries = -1 // a missed probe counts as missed
+	s := &Supervisor{opts: opts, clients: make(map[string]*crowdclient.Client)}
+	for _, sh := range spec.Shards {
+		st := &shardState{
+			spec:      sh,
+			state:     "healthy",
+			applied:   make(map[string]int64),
+			reachable: make(map[string]bool),
+			roles:     make(map[string]string),
+		}
+		s.shards = append(s.shards, st)
+		for _, n := range append([]Node{sh.Primary}, sh.Standbys...) {
+			s.client(n.URL)
+		}
+	}
+	return s, nil
+}
+
+func (s *Supervisor) client(url string) *crowdclient.Client {
+	if c, ok := s.clients[url]; ok {
+		return c
+	}
+	c := crowdclient.New(url, s.opts.Client)
+	s.clients[url] = c
+	return c
+}
+
+// Run probes until ctx ends. The first tick fires immediately so a
+// fleet is under lease within one probe timeout of supervisor start.
+func (s *Supervisor) Run(ctx context.Context) error {
+	ticker := time.NewTicker(s.opts.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		s.Tick(ctx)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}
+
+// Tick runs one full probe/heal round. Exported so tests (and the
+// drill) can drive the supervisor deterministically.
+func (s *Supervisor) Tick(ctx context.Context) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ticks.Add(1)
+	for _, sh := range s.shards {
+		s.tickShard(ctx, sh)
+	}
+}
+
+func (s *Supervisor) tickShard(ctx context.Context, sh *shardState) {
+	s.probeStandbys(ctx, sh)
+	s.retryFence(ctx, sh)
+
+	pctx, cancel := context.WithTimeout(ctx, s.opts.ProbeTimeout)
+	st, err := s.client(sh.spec.Primary.URL).RenewLease(pctx, s.opts.Holder, s.opts.LeaseTTL)
+	cancel()
+	switch {
+	case err == nil:
+		sh.misses = 0
+		sh.state = "healthy"
+		sh.reachable[sh.spec.Primary.URL] = true
+		sh.roles[sh.spec.Primary.URL] = st.Role
+		if st.Replication != nil {
+			sh.applied[sh.spec.Primary.URL] = st.Replication.AppliedSeq
+			sh.history = st.Replication.History
+		}
+		if st.FencingEpoch > sh.epoch {
+			sh.epoch = st.FencingEpoch
+		}
+	case isFencedRefusal(err):
+		// The declared primary is already deposed (a failover this
+		// supervisor no longer remembers, or another supervisor's).
+		// Reconcile now rather than waiting out the miss budget.
+		sh.reachable[sh.spec.Primary.URL] = true
+		sh.roles[sh.spec.Primary.URL] = crowddb.RoleFenced
+		s.opts.Logf("fleet: shard %d: declared primary %s is fenced; reconciling", sh.spec.Shard, sh.spec.Primary.URL)
+		s.failover(ctx, sh)
+	default:
+		sh.misses++
+		sh.reachable[sh.spec.Primary.URL] = false
+		if sh.misses < s.opts.SuspectAfter {
+			sh.state = "suspect"
+			s.opts.Logf("fleet: shard %d: primary %s missed probe %d/%d: %v",
+				sh.spec.Shard, sh.spec.Primary.URL, sh.misses, s.opts.SuspectAfter, err)
+			return
+		}
+		s.opts.Logf("fleet: shard %d: primary %s suspected dead after %d missed probes; failing over",
+			sh.spec.Shard, sh.spec.Primary.URL, sh.misses)
+		s.failover(ctx, sh)
+	}
+}
+
+func (s *Supervisor) probeStandbys(ctx context.Context, sh *shardState) {
+	for _, n := range sh.spec.Standbys {
+		pctx, cancel := context.WithTimeout(ctx, s.opts.ProbeTimeout)
+		st, err := s.client(n.URL).ReadyStatus(pctx)
+		cancel()
+		if err != nil {
+			sh.reachable[n.URL] = false
+			continue
+		}
+		sh.reachable[n.URL] = true
+		sh.roles[n.URL] = st.Role
+		if st.Replication != nil {
+			sh.applied[n.URL] = st.Replication.AppliedSeq
+		}
+		if st.FencingEpoch > sh.epoch {
+			sh.epoch = st.FencingEpoch
+		}
+	}
+}
+
+// failover promotes the best standby and reshapes the shard. Called
+// with s.mu held. Idempotent per tick: every step that can fail is
+// retried on the next tick from the updated state.
+func (s *Supervisor) failover(ctx context.Context, sh *shardState) {
+	sh.state = "failover"
+	target, ok := s.pickCandidate(sh)
+	if !ok {
+		sh.state = "no_candidate"
+		s.opts.Logf("fleet: shard %d: no reachable standby to promote; will retry", sh.spec.Shard)
+		return
+	}
+	pctx, cancel := context.WithTimeout(ctx, maxDuration(10*s.opts.ProbeTimeout, 5*time.Second))
+	st, err := s.client(target.URL).Promote(pctx)
+	cancel()
+	if err != nil {
+		s.opts.Logf("fleet: shard %d: promote %s: %v; will retry", sh.spec.Shard, target.URL, err)
+		return
+	}
+	s.promotions.Add(1)
+	s.failovers.Add(1)
+	old := sh.spec.Primary
+	sh.history = st.History
+	if st.FencingEpoch > sh.epoch {
+		sh.epoch = st.FencingEpoch
+	}
+	s.opts.Logf("fleet: shard %d: promoted %s at record %d (fencing epoch %d); fencing %s",
+		sh.spec.Shard, target.URL, st.AppliedSeq, st.FencingEpoch, old.URL)
+
+	// Reshape: the winner leads, the loser leaves the probe set until
+	// an operator re-points it as a follower and re-declares it.
+	standbys := make([]Node, 0, len(sh.spec.Standbys))
+	for _, n := range sh.spec.Standbys {
+		if n.URL != target.URL {
+			standbys = append(standbys, n)
+		}
+	}
+	sh.spec.Primary = target
+	sh.spec.Standbys = standbys
+	sh.misses = 0
+	sh.state = "healthy"
+	sh.fenced = append(sh.fenced, old)
+	sh.pending = &fenceOrder{Target: old, History: sh.history, Epoch: sh.epoch, NewPrimary: target.URL}
+	s.retryFence(ctx, sh)
+	s.pushTopology(ctx, sh)
+}
+
+// pickCandidate chooses the promotion target: a standby already
+// reporting role primary (resume a half-finished failover), else the
+// reachable standby with the highest applied sequence.
+func (s *Supervisor) pickCandidate(sh *shardState) (Node, bool) {
+	var best Node
+	bestSeq := int64(-1)
+	found := false
+	for _, n := range sh.spec.Standbys {
+		if !sh.reachable[n.URL] {
+			continue
+		}
+		if sh.roles[n.URL] == crowddb.RolePrimary {
+			return n, true
+		}
+		if seq := sh.applied[n.URL]; seq > bestSeq {
+			best, bestSeq, found = n, seq, true
+		}
+	}
+	return best, found
+}
+
+// retryFence delivers the pending fence order, clearing it once the
+// target confirms (Observed ≥ the fencing epoch). Safe to call with
+// no order pending.
+func (s *Supervisor) retryFence(ctx context.Context, sh *shardState) {
+	if sh.pending == nil {
+		return
+	}
+	o := sh.pending
+	pctx, cancel := context.WithTimeout(ctx, s.opts.ProbeTimeout)
+	resp, err := s.client(o.Target.URL).FenceNode(pctx, o.History, o.Epoch, o.NewPrimary)
+	cancel()
+	if err != nil {
+		return // unreachable (the usual case mid-partition); retried next tick
+	}
+	if resp.Fencing.Observed >= o.Epoch {
+		s.fences.Add(1)
+		sh.pending = nil
+		s.opts.Logf("fleet: shard %d: fenced %s at epoch %d (role %s)", sh.spec.Shard, o.Target.URL, o.Epoch, resp.Role)
+	}
+}
+
+// pushTopology bumps the fleet-wide topology epoch and installs the
+// new layout on every reachable node, so Router clients re-route and
+// a promoted standby already knows the fleet. Nodes that miss the
+// push learn the document from the next client or operator that
+// carries it (topology installs are idempotent per epoch).
+func (s *Supervisor) pushTopology(ctx context.Context, sh *shardState) {
+	doc := s.buildTopology(ctx)
+	pushed := 0
+	for _, st := range s.shards {
+		for _, n := range append([]Node{st.spec.Primary}, st.spec.Standbys...) {
+			pctx, cancel := context.WithTimeout(ctx, s.opts.ProbeTimeout)
+			_, err := s.client(n.URL).PushTopology(pctx, doc)
+			cancel()
+			if err == nil {
+				pushed++
+			}
+		}
+	}
+	s.opts.Logf("fleet: pushed topology epoch %d to %d nodes", doc.Epoch, pushed)
+}
+
+// buildTopology assembles the layout document from the supervisor's
+// current view, one epoch past the highest epoch any node reported.
+func (s *Supervisor) buildTopology(ctx context.Context) crowddb.Topology {
+	var maxEpoch uint64
+	for _, st := range s.shards {
+		pctx, cancel := context.WithTimeout(ctx, s.opts.ProbeTimeout)
+		doc, err := s.client(st.spec.Primary.URL).Topology(pctx)
+		cancel()
+		if err == nil && doc.Epoch > maxEpoch {
+			maxEpoch = doc.Epoch
+		}
+	}
+	doc := crowddb.Topology{Epoch: maxEpoch + 1, Count: len(s.shards)}
+	for i, st := range s.shards {
+		addr := crowddb.ShardAddr{Index: i, URL: st.spec.Primary.URL}
+		for _, n := range st.spec.Standbys {
+			addr.Replicas = append(addr.Replicas, n.URL)
+		}
+		doc.Shards = append(doc.Shards, addr)
+	}
+	return doc
+}
+
+// Drain removes a node from the fleet for maintenance. A standby just
+// leaves the probe set. A primary hands off first: Drain refuses
+// unless a standby is fully caught up (zero record lag), then runs
+// the same promote/fence/topology sequence as a failover — with the
+// old primary reachable, the fence lands immediately, so no window of
+// doubt. The drained node is safe to stop once Drain returns.
+func (s *Supervisor) Drain(ctx context.Context, nodeURL string) (Status, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sh := range s.shards {
+		for i, n := range sh.spec.Standbys {
+			if n.URL == nodeURL {
+				sh.spec.Standbys = append(sh.spec.Standbys[:i:i], sh.spec.Standbys[i+1:]...)
+				sh.drained = append(sh.drained, n)
+				s.opts.Logf("fleet: shard %d: drained standby %s", sh.spec.Shard, n.URL)
+				return s.statusLocked(), nil
+			}
+		}
+		if sh.spec.Primary.URL == nodeURL {
+			if err := s.drainPrimary(ctx, sh); err != nil {
+				return s.statusLocked(), err
+			}
+			return s.statusLocked(), nil
+		}
+	}
+	return s.statusLocked(), fmt.Errorf("fleet: node %s is not in the fleet", nodeURL)
+}
+
+func (s *Supervisor) drainPrimary(ctx context.Context, sh *shardState) error {
+	// Fresh lag check: the handoff must lose nothing, so the candidate
+	// must hold every record the primary has acked.
+	pctx, cancel := context.WithTimeout(ctx, s.opts.ProbeTimeout)
+	st, err := s.client(sh.spec.Primary.URL).ReadyStatus(pctx)
+	cancel()
+	if err != nil {
+		return fmt.Errorf("fleet: drain %s: primary unreachable (use failover, not drain): %w", sh.spec.Primary.URL, err)
+	}
+	var head int64
+	if st.Replication != nil {
+		head = st.Replication.AppliedSeq
+	}
+	s.probeStandbys(ctx, sh)
+	target, ok := s.pickCandidate(sh)
+	if !ok {
+		return fmt.Errorf("fleet: drain %s: no reachable standby", sh.spec.Primary.URL)
+	}
+	if sh.applied[target.URL] < head {
+		return fmt.Errorf("fleet: drain %s: best standby %s is %d records behind (applied %d, head %d); retry when caught up",
+			sh.spec.Primary.URL, target.URL, head-sh.applied[target.URL], sh.applied[target.URL], head)
+	}
+	old := sh.spec.Primary
+	s.failover(ctx, sh)
+	if sh.spec.Primary.URL == old.URL {
+		return fmt.Errorf("fleet: drain %s: handoff did not complete; see supervisor log", old.URL)
+	}
+	// Reclassify: the old primary was drained on purpose, not lost.
+	for i, n := range sh.fenced {
+		if n.URL == old.URL {
+			sh.fenced = append(sh.fenced[:i:i], sh.fenced[i+1:]...)
+			break
+		}
+	}
+	sh.drained = append(sh.drained, old)
+	s.opts.Logf("fleet: shard %d: drained primary %s (handed off to %s)", sh.spec.Shard, old.URL, sh.spec.Primary.URL)
+	return nil
+}
+
+// Status snapshots the supervisor.
+func (s *Supervisor) Status() Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.statusLocked()
+}
+
+func (s *Supervisor) statusLocked() Status {
+	out := Status{
+		Holder:     s.opts.Holder,
+		Ticks:      s.ticks.Load(),
+		Failovers:  s.failovers.Load(),
+		Promotions: s.promotions.Load(),
+		Fences:     s.fences.Load(),
+	}
+	for _, sh := range s.shards {
+		row := ShardStatus{
+			Shard:        sh.spec.Shard,
+			State:        sh.state,
+			Primary:      sh.spec.Primary,
+			Standbys:     append([]Node(nil), sh.spec.Standbys...),
+			Misses:       sh.misses,
+			History:      sh.history,
+			Epoch:        sh.epoch,
+			Applied:      copyMap(sh.applied),
+			Reachable:    copyMap(sh.reachable),
+			Roles:        copyMap(sh.roles),
+			PendingFence: sh.pending,
+			Fenced:       append([]Node(nil), sh.fenced...),
+			Drained:      append([]Node(nil), sh.drained...),
+		}
+		out.Shards = append(out.Shards, row)
+	}
+	sort.Slice(out.Shards, func(i, j int) bool { return out.Shards[i].Shard < out.Shards[j].Shard })
+	return out
+}
+
+// AdminHandler serves the supervisor's own little API:
+//
+//	GET  /status          the Status snapshot
+//	POST /drain           {"node": "<base url>"} → Drain
+func (s *Supervisor) AdminHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Status())
+	})
+	mux.HandleFunc("/drain", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "use POST", http.StatusMethodNotAllowed)
+			return
+		}
+		var req struct {
+			Node string `json:"node"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Node == "" {
+			http.Error(w, "body must be {\"node\": \"<base url>\"}", http.StatusBadRequest)
+			return
+		}
+		st, err := s.Drain(r.Context(), req.Node)
+		if err != nil {
+			writeJSON(w, http.StatusConflict, map[string]any{"error": err.Error(), "status": st})
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func copyMap[K comparable, V any](m map[K]V) map[K]V {
+	out := make(map[K]V, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func maxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// isFencedRefusal reports whether err is a node's 409 fenced refusal.
+func isFencedRefusal(err error) bool {
+	var ae *crowdclient.APIError
+	return errors.As(err, &ae) && ae.Code == "fenced"
+}

@@ -1,0 +1,423 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"crowdselect/internal/crowddb"
+)
+
+// fakeNode is a scriptable crowdd impostor speaking just enough of the
+// fleet surface — /readyz, lease, promote, fence, topology — that the
+// supervisor's whole state machine can be driven tick by tick without
+// real replication stacks or timing dependence.
+type fakeNode struct {
+	ts *httptest.Server
+
+	mu            sync.Mutex
+	alive         bool
+	role          string
+	history       string
+	epoch         uint64 // own fencing epoch
+	observed      uint64 // highest observed for history
+	applied       int64
+	leaseRenewals int
+	leaseHolder   string
+	promotions    int
+	fenceOrders   int
+	topoPushes    int
+	topo          crowddb.Topology
+}
+
+func newFakeNode(t *testing.T, role, history string, applied int64) *fakeNode {
+	t.Helper()
+	n := &fakeNode{alive: true, role: role, history: history, epoch: 1, observed: 1, applied: applied}
+	n.ts = httptest.NewServer(http.HandlerFunc(n.serve))
+	t.Cleanup(n.ts.Close)
+	return n
+}
+
+func (n *fakeNode) url() string { return n.ts.URL }
+
+func (n *fakeNode) roleNow() string {
+	if n.observed > n.epoch {
+		return crowddb.RoleFenced
+	}
+	return n.role
+}
+
+func (n *fakeNode) readyz() crowddb.ReadyzResponse {
+	return crowddb.ReadyzResponse{
+		Status:       "ready",
+		Role:         n.roleNow(),
+		FencingEpoch: n.epoch,
+		Replication: &crowddb.ReplicationStatus{
+			Role: n.roleNow(), History: n.history, AppliedSeq: n.applied,
+		},
+	}
+}
+
+func (n *fakeNode) serve(w http.ResponseWriter, r *http.Request) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.alive {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+		return
+	}
+	writeBody := func(status int, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(v)
+	}
+	switch r.URL.Path {
+	case "/readyz":
+		writeBody(http.StatusOK, n.readyz())
+	case "/api/v1/replication/lease":
+		if n.observed > n.epoch {
+			writeBody(http.StatusConflict, crowddb.ErrorEnvelope{
+				Error: crowddb.ErrorBody{Code: "fenced", Message: "node is fenced"},
+			})
+			return
+		}
+		var req crowddb.LeaseRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		n.leaseRenewals++
+		n.leaseHolder = req.Holder
+		writeBody(http.StatusOK, n.readyz())
+	case "/api/v1/replication/promote":
+		n.promotions++
+		n.role = crowddb.RolePrimary
+		if n.observed > n.epoch {
+			n.epoch = n.observed
+		}
+		n.epoch++
+		n.observed = n.epoch
+		writeBody(http.StatusOK, crowddb.ReplicationStatus{
+			Role: n.role, History: n.history, AppliedSeq: n.applied, FencingEpoch: n.epoch,
+		})
+	case "/api/v1/replication/fence":
+		var req crowddb.FenceRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		n.fenceOrders++
+		if req.History == n.history && req.Epoch > n.observed {
+			n.observed = req.Epoch
+		}
+		writeBody(http.StatusOK, crowddb.FenceResponse{
+			Role: n.roleNow(),
+			Fencing: crowddb.FenceStatus{
+				History: n.history, Epoch: n.epoch, Observed: n.observed,
+				Sealed: n.observed > n.epoch, NewPrimary: req.NewPrimary,
+			},
+		})
+	case "/api/v1/topology":
+		if r.Method == http.MethodPost {
+			json.NewDecoder(r.Body).Decode(&n.topo)
+			n.topoPushes++
+		}
+		writeBody(http.StatusOK, n.topo)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (n *fakeNode) set(fn func(*fakeNode)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	fn(n)
+}
+
+func (n *fakeNode) snapshot() fakeNode {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return fakeNode{
+		alive: n.alive, role: n.role, history: n.history, epoch: n.epoch,
+		observed: n.observed, applied: n.applied, leaseRenewals: n.leaseRenewals,
+		leaseHolder: n.leaseHolder, promotions: n.promotions,
+		fenceOrders: n.fenceOrders, topoPushes: n.topoPushes, topo: n.topo,
+	}
+}
+
+func testOptions() Options {
+	return Options{
+		ProbeInterval: 10 * time.Millisecond,
+		ProbeTimeout:  2 * time.Second, // ticks are driven manually; probes must not flake
+		SuspectAfter:  3,
+		LeaseTTL:      20 * time.Millisecond,
+		Holder:        "test-supervisor",
+	}
+}
+
+func newTestFleet(t *testing.T, primary *fakeNode, standbys ...*fakeNode) (*Supervisor, Spec) {
+	t.Helper()
+	sh := ShardFleet{Shard: 0, Primary: Node{Name: "p", URL: primary.url()}}
+	for _, s := range standbys {
+		sh.Standbys = append(sh.Standbys, Node{URL: s.url()})
+	}
+	spec := Spec{Shards: []ShardFleet{sh}}
+	sup, err := New(spec, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sup, spec
+}
+
+func TestSupervisorOptionCoherence(t *testing.T) {
+	n := newFakeNode(t, crowddb.RolePrimary, "h", 0)
+	spec := Spec{Shards: []ShardFleet{{Primary: Node{URL: n.url()}}}}
+
+	opts := testOptions()
+	opts.LeaseTTL = 30 * time.Millisecond // == SuspectAfter × ProbeInterval
+	if _, err := New(spec, opts); err == nil {
+		t.Fatal("lease ttl at the suspicion bound accepted: a deposed primary could still be acking when its successor is promoted")
+	}
+	if _, err := New(Spec{}, testOptions()); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+	dup := Spec{Shards: []ShardFleet{{Primary: Node{URL: n.url()}, Standbys: []Node{{URL: n.url()}}}}}
+	if _, err := New(dup, testOptions()); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+}
+
+func TestSupervisorHealthyTickRenewsLease(t *testing.T) {
+	primary := newFakeNode(t, crowddb.RolePrimary, "h1", 10)
+	standby := newFakeNode(t, crowddb.RoleReplica, "h1", 10)
+	sup, _ := newTestFleet(t, primary, standby)
+
+	sup.Tick(context.Background())
+	p := primary.snapshot()
+	if p.leaseRenewals != 1 || p.leaseHolder != "test-supervisor" {
+		t.Fatalf("primary lease: renewals=%d holder=%q", p.leaseRenewals, p.leaseHolder)
+	}
+	st := sup.Status()
+	if len(st.Shards) != 1 || st.Shards[0].State != "healthy" || st.Shards[0].Misses != 0 {
+		t.Fatalf("status = %+v", st.Shards)
+	}
+	if got := st.Shards[0].Applied[standby.url()]; got != 10 {
+		t.Fatalf("standby applied = %d, want 10", got)
+	}
+	if st.Failovers != 0 || primary.snapshot().promotions != 0 {
+		t.Fatal("healthy fleet triggered a failover")
+	}
+}
+
+// TestSupervisorFailoverPromotesMostCaughtUp is the core loop: K
+// missed probes, the standby with the highest applied sequence wins,
+// the topology follows, and the fence order keeps retrying until the
+// partitioned loser finally hears it.
+func TestSupervisorFailoverPromotesMostCaughtUp(t *testing.T) {
+	primary := newFakeNode(t, crowddb.RolePrimary, "h1", 20)
+	lagging := newFakeNode(t, crowddb.RoleReplica, "h1", 5)
+	caught := newFakeNode(t, crowddb.RoleReplica, "h1", 20)
+	sup, _ := newTestFleet(t, primary, lagging, caught)
+	ctx := context.Background()
+
+	sup.Tick(ctx) // healthy baseline
+	primary.set(func(n *fakeNode) { n.alive = false })
+
+	sup.Tick(ctx)
+	sup.Tick(ctx)
+	if st := sup.Status(); st.Shards[0].State != "suspect" || st.Shards[0].Misses != 2 {
+		t.Fatalf("after 2 misses: %+v", st.Shards[0])
+	}
+	if caught.snapshot().promotions != 0 {
+		t.Fatal("promoted before the miss budget ran out")
+	}
+
+	sup.Tick(ctx) // third miss: failover
+	if got := caught.snapshot().promotions; got != 1 {
+		t.Fatalf("caught-up standby promotions = %d, want 1", got)
+	}
+	if got := lagging.snapshot().promotions; got != 0 {
+		t.Fatalf("lagging standby was promoted (%d)", got)
+	}
+	st := sup.Status()
+	row := st.Shards[0]
+	if row.Primary.URL != caught.url() || row.State != "healthy" || st.Failovers != 1 {
+		t.Fatalf("post-failover status = %+v (failovers %d)", row, st.Failovers)
+	}
+	if row.PendingFence == nil || row.PendingFence.Target.URL != primary.url() || row.PendingFence.Epoch != 2 {
+		t.Fatalf("pending fence = %+v, want old primary at epoch 2", row.PendingFence)
+	}
+	if st.Fences != 0 {
+		t.Fatal("fence counted as acknowledged while the target is unreachable")
+	}
+	// The survivors already learned the new layout.
+	if caught.snapshot().topoPushes == 0 || lagging.snapshot().topoPushes == 0 {
+		t.Fatal("topology not pushed to reachable nodes")
+	}
+	if topo := caught.snapshot().topo; len(topo.Shards) != 1 || topo.Shards[0].URL != caught.url() {
+		t.Fatalf("pushed topology = %+v, want the new primary leading shard 0", topo)
+	}
+
+	// The new primary is under lease from the same tick onward.
+	sup.Tick(ctx)
+	if got := caught.snapshot().leaseRenewals; got == 0 {
+		t.Fatal("new primary never got a lease renewal")
+	}
+
+	// Partition heals: the retried fence order finally lands and seals
+	// the deposed primary.
+	primary.set(func(n *fakeNode) { n.alive = true })
+	sup.Tick(ctx)
+	p := primary.snapshot()
+	if p.observed != 2 || p.roleNow() != crowddb.RoleFenced {
+		t.Fatalf("old primary after heal: observed=%d role=%s, want fenced at 2", p.observed, p.roleNow())
+	}
+	st = sup.Status()
+	if st.Fences != 1 || st.Shards[0].PendingFence != nil {
+		t.Fatalf("fence not acknowledged after heal: fences=%d pending=%+v", st.Fences, st.Shards[0].PendingFence)
+	}
+}
+
+// TestSupervisorReconcilesFencedPrimary: a supervisor that comes up
+// pointing at an already-deposed primary (its lease probe answers 409
+// fenced) reconciles immediately instead of waiting out the miss
+// budget — the primary is reachable, just no longer the primary.
+func TestSupervisorReconcilesFencedPrimary(t *testing.T) {
+	deposed := newFakeNode(t, crowddb.RolePrimary, "h1", 20)
+	deposed.set(func(n *fakeNode) { n.observed = 5 }) // sealed by epoch
+	standby := newFakeNode(t, crowddb.RoleReplica, "h1", 20)
+	sup, _ := newTestFleet(t, deposed, standby)
+
+	sup.Tick(context.Background())
+	if got := standby.snapshot().promotions; got != 1 {
+		t.Fatalf("standby promotions = %d, want 1 (immediate reconcile)", got)
+	}
+	if st := sup.Status(); st.Shards[0].Primary.URL != standby.url() {
+		t.Fatalf("shard primary = %s, want the standby", st.Shards[0].Primary.URL)
+	}
+}
+
+// TestSupervisorResumesHalfFinishedFailover: a standby that already
+// reports role primary (a previous supervisor died between promote and
+// topology push) wins candidate selection outright, even when another
+// standby has a higher applied sequence — re-promoting the winner is
+// idempotent, promoting anyone else would fork history.
+func TestSupervisorResumesHalfFinishedFailover(t *testing.T) {
+	dead := newFakeNode(t, crowddb.RolePrimary, "h1", 20)
+	winner := newFakeNode(t, crowddb.RolePrimary, "h1", 15) // already promoted last time
+	higher := newFakeNode(t, crowddb.RoleReplica, "h1", 20)
+	sup, _ := newTestFleet(t, dead, winner, higher)
+	dead.set(func(n *fakeNode) { n.alive = false })
+
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		sup.Tick(ctx)
+	}
+	if got := winner.snapshot().promotions; got != 1 {
+		t.Fatalf("half-promoted standby promotions = %d, want 1 (resume)", got)
+	}
+	if got := higher.snapshot().promotions; got != 0 {
+		t.Fatalf("other standby promoted (%d): history forked", got)
+	}
+}
+
+func TestSupervisorDrain(t *testing.T) {
+	t.Run("standby leaves the probe set", func(t *testing.T) {
+		primary := newFakeNode(t, crowddb.RolePrimary, "h1", 9)
+		standby := newFakeNode(t, crowddb.RoleReplica, "h1", 9)
+		sup, _ := newTestFleet(t, primary, standby)
+		st, err := sup.Drain(context.Background(), standby.url())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(st.Shards[0].Standbys) != 0 || len(st.Shards[0].Drained) != 1 {
+			t.Fatalf("after standby drain: %+v", st.Shards[0])
+		}
+	})
+	t.Run("primary hands off to a caught-up standby", func(t *testing.T) {
+		primary := newFakeNode(t, crowddb.RolePrimary, "h1", 9)
+		standby := newFakeNode(t, crowddb.RoleReplica, "h1", 9)
+		sup, _ := newTestFleet(t, primary, standby)
+		st, err := sup.Drain(context.Background(), primary.url())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if standby.snapshot().promotions != 1 {
+			t.Fatal("drain did not promote the standby")
+		}
+		row := st.Shards[0]
+		if row.Primary.URL != standby.url() || len(row.Drained) != 1 || len(row.Fenced) != 0 {
+			t.Fatalf("after primary drain: %+v", row)
+		}
+		// The old primary was reachable, so the fence landed in-line:
+		// it is sealed before Drain even returns.
+		if p := primary.snapshot(); p.roleNow() != crowddb.RoleFenced {
+			t.Fatalf("drained primary role = %s, want fenced", p.roleNow())
+		}
+	})
+	t.Run("primary drain refused while the standby lags", func(t *testing.T) {
+		primary := newFakeNode(t, crowddb.RolePrimary, "h1", 9)
+		standby := newFakeNode(t, crowddb.RoleReplica, "h1", 4)
+		sup, _ := newTestFleet(t, primary, standby)
+		_, err := sup.Drain(context.Background(), primary.url())
+		if err == nil || !strings.Contains(err.Error(), "behind") {
+			t.Fatalf("drain with lagging standby = %v, want a lag refusal", err)
+		}
+		if standby.snapshot().promotions != 0 {
+			t.Fatal("refused drain still promoted")
+		}
+	})
+	t.Run("unknown node refused", func(t *testing.T) {
+		primary := newFakeNode(t, crowddb.RolePrimary, "h1", 9)
+		sup, _ := newTestFleet(t, primary)
+		if _, err := sup.Drain(context.Background(), "http://nobody.example"); err == nil {
+			t.Fatal("drain of an undeclared node accepted")
+		}
+	})
+}
+
+// TestSupervisorAdminHandler drives the admin surface the drain
+// subcommand uses.
+func TestSupervisorAdminHandler(t *testing.T) {
+	primary := newFakeNode(t, crowddb.RolePrimary, "h1", 3)
+	standby := newFakeNode(t, crowddb.RoleReplica, "h1", 3)
+	sup, _ := newTestFleet(t, primary, standby)
+	admin := httptest.NewServer(sup.AdminHandler())
+	defer admin.Close()
+
+	resp, err := http.Get(admin.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Holder != "test-supervisor" || len(st.Shards) != 1 {
+		t.Fatalf("status = %+v", st)
+	}
+
+	resp, err = http.Post(admin.URL+"/drain", "application/json",
+		strings.NewReader(`{"node": "`+standby.url()+`"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(st.Shards[0].Drained) != 1 {
+		t.Fatalf("drain via admin = %s %+v", resp.Status, st.Shards[0])
+	}
+
+	// Draining a node that is no longer in the fleet is a 409 with the
+	// error surfaced.
+	resp, err = http.Post(admin.URL+"/drain", "application/json",
+		strings.NewReader(`{"node": "`+standby.url()+`"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("double drain = %s, want 409", resp.Status)
+	}
+}
