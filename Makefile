@@ -75,6 +75,6 @@ shard:
 # chaos drill — asymmetric partition, auto-promotion, zero
 # dual-primary acks, zero acked-mutation loss.
 fleet:
-	$(GO) test -race -run 'TestFence|TestFencing|TestFenced|TestLease|TestConcurrentPromotion|TestSupervisor|TestMultiWriteFollowsFencedRedirect|TestMultiFencedRedirectIsBounded|TestProxyOneWay|TestChaosSplitBrainFencedFailover' -v ./internal/crowddb/ ./internal/fleet/ ./internal/crowdclient/ ./internal/faultnet/ ./internal/chaos/
+	$(GO) test -race -run 'TestFence|TestFencing|TestFenced|TestFleetToken|TestLease|TestConcurrentPromotion|TestPromotionFailure|TestSupervisor|TestMultiWriteFollowsFencedRedirect|TestMultiFencedRedirectIsBounded|TestProxyOneWay|TestChaosSplitBrainFencedFailover' -v ./internal/crowddb/ ./internal/fleet/ ./internal/crowdclient/ ./internal/faultnet/ ./internal/chaos/
 
 ci: vet build race fuzz fuzz-repl crash chaos replication shard fleet bench-serve-smoke

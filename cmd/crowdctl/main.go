@@ -62,11 +62,13 @@ func main() {
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request timeout")
 	retries := flag.Int("retries", 3, "max retries for transient failures")
 	backoff := flag.Duration("retry-backoff", 200*time.Millisecond, "initial retry backoff (doubles per attempt, with jitter)")
+	fleetToken := flag.String("fleet-token", "", "bearer token for nodes gating their fleet-control surface (crowdd -fleet-token)")
 	flag.Parse()
 	cli := crowdclient.New(*addr, crowdclient.Options{
-		Timeout: *timeout,
-		Retries: *retries,
-		Backoff: *backoff,
+		Timeout:    *timeout,
+		Retries:    *retries,
+		Backoff:    *backoff,
+		FleetToken: *fleetToken,
 	})
 	if err := run(cli, flag.Args(), os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "crowdctl:", err)
@@ -273,6 +275,7 @@ func runSupervise(args []string, out io.Writer) error {
 	suspectAfter := fs.Int("suspect-after", 3, "consecutive missed primary probes before failover")
 	lease := fs.Duration("lease", 0, "mutation lease TTL (0 = 3/4 of suspect-after × probe-interval; must stay below that product)")
 	holder := fs.String("holder", "", "lease holder name (default crowdctl-supervise)")
+	fleetToken := fs.String("fleet-token", "", "bearer token for nodes gating their fleet-control surface (crowdd -fleet-token)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -293,6 +296,7 @@ func runSupervise(args []string, out io.Writer) error {
 		SuspectAfter:  *suspectAfter,
 		LeaseTTL:      *lease,
 		Holder:        *holder,
+		FleetToken:    *fleetToken,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(out, format+"\n", args...)
 		},

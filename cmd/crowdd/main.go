@@ -94,6 +94,7 @@ type daemonConfig struct {
 	readBudget   time.Duration
 	writeBudget  time.Duration
 	maxBody      int64
+	fleetToken   string
 	timeouts     httpTimeouts
 }
 
@@ -129,6 +130,7 @@ func main() {
 		readBudget   = flag.Duration("read-budget", 0, "server-side deadline for read requests; overruns answer 503 deadline_exceeded (0 = none)")
 		writeBudget  = flag.Duration("write-budget", 0, "server-side deadline for mutations (0 = none)")
 		maxBody      = flag.Int64("max-body", 0, "POST body cap in bytes; oversized requests get 413 (0 = 1 MiB default)")
+		fleetToken   = flag.String("fleet-token", "", "shared bearer token gating the replication/fleet control surface (fence, lease, promote, stream); empty = open")
 		readTimeout  = flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout: full-request read deadline (0 = none)")
 		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "http.Server WriteTimeout: response write deadline (0 = none)")
 		idleTimeout  = flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections (0 = none)")
@@ -153,7 +155,7 @@ func main() {
 		compactEvery: *compactEvery, maxInflight: *maxInflight,
 		admissionMin: *admissionMin,
 		readBudget:   *readBudget, writeBudget: *writeBudget,
-		maxBody:  *maxBody,
+		maxBody: *maxBody, fleetToken: *fleetToken,
 		timeouts: httpTimeouts{read: *readTimeout, write: *writeTimeout, idle: *idleTimeout},
 	}
 	if err := run(cfg); err != nil {
@@ -465,6 +467,7 @@ func buildService(cfg daemonConfig) (*crowddb.Server, *crowddb.DB, int, error) {
 	}
 	fence := crowddb.NewFence(db)
 	srv.SetFence(fence)
+	srv.SetFleetToken(cfg.fleetToken)
 	if db != nil {
 		srv.SetDurabilityStats(db.Stats)
 		// A durable primary can feed warm standbys: expose the journal
@@ -532,8 +535,9 @@ func buildReplica(cfg daemonConfig) (*crowddb.Server, *crowddb.Replica, int, err
 			CompactEveryRecords: cfg.compactEvery,
 			Logf:                log.Printf,
 		},
-		Build: build,
-		Logf:  log.Printf,
+		Build:      build,
+		FleetToken: cfg.fleetToken,
+		Logf:       log.Printf,
 	})
 	if err != nil {
 		return nil, nil, 0, err
@@ -555,6 +559,7 @@ func buildReplica(cfg daemonConfig) (*crowddb.Server, *crowddb.Replica, int, err
 	srv.SetDegradedCheck(db.Degraded)
 	fence := crowddb.NewFence(db)
 	srv.SetFence(fence)
+	srv.SetFleetToken(cfg.fleetToken)
 	src := crowddb.NewReplicationSource(db, crowddb.ReplicationSourceOptions{Logf: log.Printf})
 	src.SetFence(fence)
 	srv.SetReplicationSource(src)

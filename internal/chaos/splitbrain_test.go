@@ -53,7 +53,24 @@ func (l *drillLog) dump(t *testing.T) {
 //   - the supervisor's fence order, retried across the partition,
 //     lands once the network heals and pins the loser at the new
 //     epoch with a redirect hint.
+//
+// The drill runs under both partition shapes, because they fail
+// differently: "requests swallowed" starves the primary of renewals
+// outright, while "responses swallowed" is the nastier one — every
+// renewal the supervisor counts as missed still ARRIVES and re-arms
+// the lease, so the invariants only hold because the supervisor stops
+// renewing a suspect primary and waits out the lease it may have
+// armed.
 func TestChaosSplitBrainFencedFailover(t *testing.T) {
+	t.Run("requests swallowed", func(t *testing.T) {
+		runSplitBrainDrill(t, faultnet.Faults{DropUpstream: true})
+	})
+	t.Run("responses swallowed", func(t *testing.T) {
+		runSplitBrainDrill(t, faultnet.Faults{DropDownstream: true})
+	})
+}
+
+func runSplitBrainDrill(t *testing.T, fault faultnet.Faults) {
 	primary := newReplPrimary(t)
 
 	// The supervisor and the follower reach the primary only through
@@ -130,10 +147,11 @@ func TestChaosSplitBrainFencedFailover(t *testing.T) {
 	wantModel := modelBytes(t, primary.cm)
 	wantTasks := primary.db.Store().NumTasks()
 
-	// Phase 2: asymmetric partition. Requests toward the primary are
-	// swallowed (lease renewals and the replication stream die) while
-	// the primary can still talk — and ordinary clients still reach it.
-	proxy.Set(faultnet.Faults{DropUpstream: true})
+	// Phase 2: asymmetric partition. Depending on the shape, either the
+	// requests toward the primary or the responses out of it are
+	// swallowed — both kill the supervisor's view of the primary and
+	// the replication stream, while ordinary clients still reach it.
+	proxy.Set(fault)
 	proxy.CutActive()
 
 	// The lease lapses and the primary seals itself — before the

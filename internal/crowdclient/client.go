@@ -82,15 +82,21 @@ type Options struct {
 	Seed int64
 	// Clock replaces time.Now for the breaker cooldown (test hook).
 	Clock func() time.Time
+	// FleetToken authenticates fleet-control requests when the server
+	// gates /api/v1/replication/* (Server.SetFleetToken). Sent as
+	// "Authorization: Bearer <token>" on every request; empty sends
+	// nothing.
+	FleetToken string
 }
 
 // Client talks to one crowdd base URL. It is safe for concurrent use.
 type Client struct {
-	base    string
-	hc      *http.Client
-	retries int
-	backoff time.Duration
-	sleep   func(time.Duration)
+	base       string
+	hc         *http.Client
+	retries    int
+	backoff    time.Duration
+	sleep      func(time.Duration)
+	fleetToken string
 
 	brk        *breaker     // nil: breaker disabled
 	budget     *retryBudget // nil: unbounded retries
@@ -107,9 +113,11 @@ type Client struct {
 
 // epochGossip remembers the highest fencing epoch seen for the
 // history this client (or Multi) talks to, and echoes it on every
-// request. The echo is what tells a deposed primary — partitioned
-// from its supervisor but still reachable by this client — that a
-// newer epoch exists, sealing it (DESIGN §12).
+// request as an advisory hint. Servers never trust the echo — an
+// inbound header that could seal a node would let any client forge a
+// deposition — but it rides along for diagnostics, and the remembered
+// epoch is what lets the Multi re-resolve after a fenced refusal
+// (DESIGN §12).
 type epochGossip struct {
 	mu      sync.Mutex
 	history string
@@ -179,6 +187,7 @@ func New(baseURL string, opts Options) *Client {
 		retries:    opts.Retries,
 		backoff:    opts.Backoff,
 		sleep:      opts.Sleep,
+		fleetToken: opts.FleetToken,
 		hedgeDelay: opts.HedgeDelay,
 		rng:        rand.New(rand.NewSource(opts.Seed)),
 		gossip:     &epochGossip{},
@@ -329,6 +338,9 @@ func (c *Client) attempt(ctx context.Context, method, url string, body []byte) (
 	if h, e := c.gossip.load(); h != "" {
 		req.Header.Set("X-Crowdd-History", h)
 		req.Header.Set("X-Crowdd-Fencing-Epoch", strconv.FormatUint(e, 10))
+	}
+	if c.fleetToken != "" {
+		req.Header.Set("Authorization", "Bearer "+c.fleetToken)
 	}
 	resp, err := c.hc.Do(req)
 	if err == nil {
@@ -757,6 +769,19 @@ func (c *Client) RenewLease(ctx context.Context, holder string, ttl time.Duratio
 	var out crowddb.ReadyzResponse
 	err := c.post(ctx, "/api/v1/replication/lease", crowddb.LeaseRequest{
 		Holder: holder, TTLMs: ttl.Milliseconds(),
+	}, &out)
+	return out, err
+}
+
+// SealLease steps the node down (POST /api/v1/replication/lease with
+// seal set): its lease is set already-lapsed, so mutations refuse 409
+// fenced immediately — and reversibly, since a plain RenewLease
+// un-seals it. The drain handoff seals the outgoing primary first,
+// freezing its head, before verifying the successor caught up.
+func (c *Client) SealLease(ctx context.Context, holder string) (crowddb.ReadyzResponse, error) {
+	var out crowddb.ReadyzResponse
+	err := c.post(ctx, "/api/v1/replication/lease", crowddb.LeaseRequest{
+		Holder: holder, Seal: true,
 	}, &out)
 	return out, err
 }

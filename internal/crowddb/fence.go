@@ -42,9 +42,9 @@ var ErrFenced = errors.New("crowddb: node is fenced")
 // the fence/lease endpoints.
 type FenceStatus struct {
 	History  string `json:"history,omitempty"`
-	Epoch    uint64 `json:"epoch"`              // this node's own epoch
-	Observed uint64 `json:"observed"`           // highest epoch seen for History
-	Sealed   bool   `json:"sealed"`             // refusing mutations right now
+	Epoch    uint64 `json:"epoch"`               // this node's own epoch
+	Observed uint64 `json:"observed"`            // highest epoch seen for History
+	Sealed   bool   `json:"sealed"`              // refusing mutations right now
 	SealedBy string `json:"sealed_by,omitempty"` // "epoch" or "lease"
 
 	// NewPrimary is the base URL of the primary that deposed this
@@ -200,6 +200,32 @@ func (f *Fence) Renew(holder string, ttl time.Duration) error {
 func (f *Fence) Sealed() bool {
 	s, _ := f.sealedBy()
 	return s
+}
+
+// SealedByEpoch reports whether the node is permanently sealed: a
+// higher fencing epoch exists for its history, so its lineage is dead.
+// A lease seal does not count — a lease-sealed primary has stopped
+// acking, but its committed tail is still the authoritative prefix and
+// may keep draining to followers (the drain handoff depends on it).
+func (f *Fence) SealedByEpoch() bool {
+	return f.observed() > f.Epoch()
+}
+
+// StepDown seals the node provisionally, as if its supervisor lease
+// had just lapsed: mutations refuse 409 fenced immediately, but a
+// later Renew un-seals. The drain path uses it to freeze the
+// primary's head before verifying the successor caught up — ordering
+// the seal before the final lag check is what closes the lost-ack
+// window. An epoch-sealed node refuses with ErrFenced.
+func (f *Fence) StepDown(holder string) error {
+	if f.SealedByEpoch() {
+		return ErrFenced
+	}
+	f.mu.Lock()
+	f.leaseHolder = holder
+	f.leaseExpiry = f.now().Add(-time.Nanosecond) // armed, and already lapsed
+	f.mu.Unlock()
+	return nil
 }
 
 func (f *Fence) sealedBy() (bool, string) {

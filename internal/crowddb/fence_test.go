@@ -159,8 +159,9 @@ func TestFencingEpochPersistsAcrossReopen(t *testing.T) {
 	}
 }
 
-// TestFencedServerGate drives the HTTP layer end to end: epoch gossip
-// seals a deposed primary, mutations refuse with the typed 409 and
+// TestFencedServerGate drives the HTTP layer end to end: an explicit
+// fence order seals a deposed primary (inbound gossip headers are
+// untrusted and must NOT), mutations refuse with the typed 409 and
 // the new-primary hint, reads keep serving, /readyz and /api/v1/metrics
 // report the fenced role, and the replication stream goes dark.
 func TestFencedServerGate(t *testing.T) {
@@ -192,8 +193,10 @@ func TestFencedServerGate(t *testing.T) {
 		t.Fatalf("gossiped history = %q, want %q", got, history)
 	}
 
-	// A client that heard of epoch 2 echoes it on an ordinary request:
-	// that alone seals the node.
+	// A client that heard of epoch 2 echoes it on an ordinary request.
+	// Request headers are untrusted — anyone who can reach the port can
+	// set them — so the echo must NOT seal the node: a stray curl with
+	// a large epoch would otherwise brick every primary it touches.
 	req, _ := http.NewRequest(http.MethodGet, api.URL+"/readyz", nil)
 	req.Header.Set("X-Crowdd-History", history)
 	req.Header.Set("X-Crowdd-Fencing-Epoch", "2")
@@ -203,11 +206,12 @@ func TestFencedServerGate(t *testing.T) {
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	if !fence.Sealed() {
-		t.Fatal("epoch gossip on a request did not seal the node")
+	if fence.Sealed() {
+		t.Fatal("inbound gossip headers sealed the node: request headers are untrusted input")
 	}
 
-	// The explicit fence order raises further and carries the hint.
+	// The explicit fence order is the trusted path: it seals, raises
+	// the observed epoch, and carries the hint.
 	body, _ := json.Marshal(FenceRequest{History: history, Epoch: 3, NewPrimary: "http://new-primary.example"})
 	resp, err = http.Post(api.URL+"/api/v1/replication/fence", "application/json", bytes.NewReader(body))
 	if err != nil {
@@ -302,6 +306,69 @@ func TestFencedServerGate(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusConflict {
 		t.Fatalf("promote on fenced node got %s, want 409", resp.Status)
+	}
+}
+
+// TestFleetTokenGatesControlSurface: with a fleet token configured,
+// the replication control surface (fence, lease, promote, stream)
+// demands the bearer token; probes and the public task API stay open.
+// Without the gate, anyone who can reach the port could fence a
+// primary or seal its lease — a one-request denial of service.
+func TestFleetTokenGatesControlSurface(t *testing.T) {
+	rig, _, _ := replPrimary(t)
+	fence := NewFence(rig.db)
+	srv := NewServer(rig.mgr)
+	srv.SetFence(fence)
+	srv.SetFleetToken("drill-token")
+	api := httptest.NewServer(srv)
+	defer api.Close()
+	history := rig.db.ReplicationHistory()
+
+	do := func(token, method, path, body string) int {
+		t.Helper()
+		var rd io.Reader
+		if body != "" {
+			rd = bytes.NewBufferString(body)
+		}
+		req, err := http.NewRequest(method, api.URL+path, rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if token != "" {
+			req.Header.Set("Authorization", "Bearer "+token)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	fenceBody := fmt.Sprintf(`{"history":%q,"epoch":9}`, history)
+	if got := do("", http.MethodPost, "/api/v1/replication/fence", fenceBody); got != http.StatusForbidden {
+		t.Fatalf("unauthenticated fence order got %d, want 403", got)
+	}
+	if got := do("wrong-token", http.MethodPost, "/api/v1/replication/fence", fenceBody); got != http.StatusForbidden {
+		t.Fatalf("wrong-token fence order got %d, want 403", got)
+	}
+	if fence.Sealed() {
+		t.Fatal("rejected fence order still sealed the node")
+	}
+	if got := do("", http.MethodPost, "/api/v1/replication/lease", `{"holder":"rogue","seal":true}`); got != http.StatusForbidden {
+		t.Fatalf("unauthenticated lease seal got %d, want 403", got)
+	}
+
+	// The right token passes, and the rest of the node stays open.
+	if got := do("drill-token", http.MethodPost, "/api/v1/replication/lease", `{"holder":"sup","ttl_ms":60000}`); got != http.StatusOK {
+		t.Fatalf("authenticated lease renewal got %d, want 200", got)
+	}
+	if got := do("", http.MethodGet, "/readyz", ""); got != http.StatusOK {
+		t.Fatalf("readyz behind a fleet token got %d, want 200 (probes stay open)", got)
+	}
+	if got := do("", http.MethodPost, "/api/v1/tasks", `{"text":"public api stays open"}`); got != http.StatusCreated {
+		t.Fatalf("task submit behind a fleet token got %d, want 201", got)
 	}
 }
 
@@ -444,5 +511,52 @@ func TestConcurrentPromotionSingleWinner(t *testing.T) {
 	// promotion happened exactly once either way.
 	if err := rep.Promote(context.Background()); err != nil {
 		t.Fatalf("late caller: %v", err)
+	}
+}
+
+// TestPromotionFailureIsRetryable: a promotion that dies mid-flight
+// (here: the checkpoint fails) must not latch the replica into a
+// half-promoted state — the flip is released, the role stays replica,
+// and a later call retries the whole sequence and succeeds.
+func TestPromotionFailureIsRetryable(t *testing.T) {
+	rig, _, ts := replPrimary(t)
+	rig.resolveOneTask(t, "the last committed task", []float64{4, 2})
+	rep := startTestReplica(t, ts.URL, t.TempDir())
+	defer rep.Close()
+	waitCaughtUp(t, rig, rep)
+	killPrimary(ts)
+
+	var mu sync.Mutex
+	boom := true
+	rep.DB().SetQuiescer(func(fn func() error) error {
+		mu.Lock()
+		b := boom
+		boom = false
+		mu.Unlock()
+		if b {
+			return errors.New("boom: checkpoint died mid-promotion")
+		}
+		return rep.Manager().Quiesce(fn)
+	})
+
+	if err := rep.Promote(context.Background()); err == nil {
+		t.Fatal("promotion with a failing checkpoint reported success")
+	}
+	if st := rep.Status(); st.Role == RolePrimary {
+		t.Fatalf("failed promotion still flipped the role: %+v", st)
+	}
+
+	if err := rep.Promote(context.Background()); err != nil {
+		t.Fatalf("retry after a failed promotion: %v", err)
+	}
+	st := rep.Status()
+	if st.Role != RolePrimary {
+		t.Fatalf("after retry: role %q, want primary", st.Role)
+	}
+	// The failed attempt burned epoch 2 (the epoch write landed before
+	// the checkpoint died); the retry claims the next one. Both are
+	// past every observed epoch, which is all fencing needs.
+	if st.FencingEpoch != 3 {
+		t.Fatalf("after retry: fencing epoch %d, want 3", st.FencingEpoch)
 	}
 }

@@ -27,8 +27,8 @@ var ErrReplicaDiverged = errors.New("crowddb: replica diverged from primary")
 
 // ErrPromotionInProgress is returned to the loser of a promotion
 // race: another Promote call holds the flip and has not finished yet.
-// Once the winner completes, further calls are idempotent and return
-// the winner's result.
+// Once the winner succeeds, further calls are idempotent and return
+// nil; a failed attempt releases the flip so a later call can retry.
 var ErrPromotionInProgress = errors.New("crowddb: promotion already in progress")
 
 // ReplicaBuilder constructs the serving stack over a bootstrapped (or
@@ -55,6 +55,10 @@ type ReplicaOptions struct {
 	// ReconnectBackoff is the initial delay between connection
 	// attempts (default 250ms, doubling to a 5s cap).
 	ReconnectBackoff time.Duration
+	// FleetToken authenticates the stream dial when the primary gates
+	// its /api/v1/replication/* surface (Server.SetFleetToken). Empty
+	// for open fleets.
+	FleetToken string
 	// Logf receives lifecycle notices. nil is silent.
 	Logf func(format string, args ...any)
 }
@@ -83,9 +87,8 @@ type Replica struct {
 	framesApplied atomic.Int64
 	bootstraps    atomic.Int64
 
-	promoted atomic.Bool
-	promDone chan struct{} // closed when the winning Promote finishes
-	promErr  error         // the winner's result; read only after promDone
+	promoted atomic.Bool // set only once a promotion SUCCEEDS
+	promBusy bool        // a Promote call is in flight (guarded by mu)
 	cancel   context.CancelFunc
 	done     chan struct{}
 }
@@ -119,7 +122,7 @@ func StartReplica(opts ReplicaOptions) (*Replica, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &Replica{opts: opts, db: db, done: make(chan struct{}), promDone: make(chan struct{})}
+	r := &Replica{opts: opts, db: db, done: make(chan struct{})}
 	ctx, cancel := context.WithCancel(context.Background())
 	r.cancel = cancel
 	var st *replStream
@@ -225,22 +228,36 @@ func (r *Replica) Status() ReplicationStatus {
 // generation checkpoints the promoted state. The caller (server or
 // daemon) flips the HTTP role afterwards.
 //
-// Exactly one caller wins a promotion race: concurrent calls receive
-// ErrPromotionInProgress while the winner is still working, and the
-// winner's result once it is done (idempotent thereafter).
+// Exactly one caller runs a promotion at a time: concurrent calls
+// receive ErrPromotionInProgress while an attempt is in flight, and
+// nil once one has succeeded (idempotent thereafter). Only success is
+// cached — a failed attempt (ctx deadline while draining, checkpoint
+// error) releases the flip so a later Promote retries from scratch;
+// the shard can still heal after one bad attempt.
 func (r *Replica) Promote(ctx context.Context) error {
-	if !r.promoted.CompareAndSwap(false, true) {
-		select {
-		case <-r.promDone:
-			return r.promErr
-		default:
-			return ErrPromotionInProgress
-		}
+	if r.promoted.Load() {
+		return nil
 	}
-	err := r.promote(ctx)
-	r.promErr = err
-	close(r.promDone)
-	return err
+	r.mu.Lock()
+	if r.promBusy {
+		r.mu.Unlock()
+		return ErrPromotionInProgress
+	}
+	r.promBusy = true
+	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		r.promBusy = false
+		r.mu.Unlock()
+	}()
+	if r.promoted.Load() {
+		return nil
+	}
+	if err := r.promote(ctx); err != nil {
+		return err
+	}
+	r.promoted.Store(true)
+	return nil
 }
 
 func (r *Replica) promote(ctx context.Context) error {
@@ -309,6 +326,9 @@ func (r *Replica) dial(ctx context.Context, from int64, history string, boot boo
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return nil, err
+	}
+	if r.opts.FleetToken != "" {
+		req.Header.Set("Authorization", "Bearer "+r.opts.FleetToken)
 	}
 	resp, err := r.opts.HTTPClient.Do(req)
 	if err != nil {

@@ -639,7 +639,11 @@ func (src *ReplicationSource) ServeHTTP(w http.ResponseWriter, r *http.Request) 
 				src.fence.Observe(history, e, "")
 			}
 		}
-		if src.fence.Sealed() {
+		// Only an epoch seal darkens the stream: a deposed lineage must
+		// not feed followers. A lease seal (lapsed or stepped down for a
+		// drain) keeps serving — the node has stopped acking, so its
+		// committed tail is a frozen prefix followers still need.
+		if src.fence.SealedByEpoch() {
 			src.fence.Refuse(w, errors.New("replication source is fenced"))
 			return
 		}
@@ -790,7 +794,7 @@ func (src *ReplicationSource) ServeHTTP(w http.ResponseWriter, r *http.Request) 
 				return
 			}
 		case <-ticker.C:
-			if src.fence != nil && src.fence.Sealed() {
+			if src.fence != nil && src.fence.SealedByEpoch() {
 				src.logf("crowddb: replication: source fenced; closing stream")
 				return
 			}

@@ -2,6 +2,7 @@ package crowddb
 
 import (
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -94,6 +95,7 @@ type Server struct {
 	replStatus func() ReplicationStatus // nil: no replication section
 	promoter   func(context.Context) error
 	fence      *Fence // nil: no fencing (hand-operated fleets)
+	fleetToken string // non-empty: bearer token gating /api/v1/replication/*
 
 	cacheStats func() core.ProjectionCacheStats // nil: no cache section
 	topo       topologyState                    // live topology document
@@ -382,10 +384,31 @@ func (s *Server) SetPromoter(f func(context.Context) error) { s.promoter = f }
 
 // SetFence installs the node's fencing state (DESIGN §12): every
 // response then advertises the highest fencing epoch this node has
-// seen via X-Crowdd-Fencing-Epoch, incoming requests echoing a higher
-// epoch seal it, sealed nodes refuse mutations with 409 fenced, and
-// POST /api/v1/replication/{fence,lease} come alive.
+// seen via X-Crowdd-Fencing-Epoch, sealed nodes refuse mutations with
+// 409 fenced, and POST /api/v1/replication/{fence,lease} come alive.
+// Epoch observations arrive only through those endpoints and the
+// replication stream — never from request headers, which any client
+// can forge.
 func (s *Server) SetFence(f *Fence) { s.fence = f }
+
+// SetFleetToken arms the fleet-control gate: with a non-empty token,
+// every /api/v1/replication/* request (stream, promote, fence, lease)
+// must carry "Authorization: Bearer <token>" or is refused 403
+// forbidden. Those endpoints move a fleet's write availability — a
+// fence order seals a primary until it is re-pointed — so they must
+// come from the supervisor, an operator, or a follower, not from any
+// client that can reach the port. Empty (the default) leaves the
+// surface open for hand-operated fleets on trusted networks.
+func (s *Server) SetFleetToken(token string) { s.fleetToken = token }
+
+// fleetAuthorized checks the fleet-control gate for one request.
+func (s *Server) fleetAuthorized(r *http.Request) bool {
+	if s.fleetToken == "" {
+		return true
+	}
+	tok, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+	return ok && subtle.ConstantTimeCompare([]byte(tok), []byte(s.fleetToken)) == 1
+}
 
 // Fence returns the installed fencing state, or nil.
 func (s *Server) Fence() *Fence { return s.fence }
@@ -508,10 +531,14 @@ func (s *Server) handleFence(w http.ResponseWriter, r *http.Request) {
 // the lease, the node seals itself (provisionally) whenever the lease
 // lapses — the self-fencing half of the split-brain contract, for
 // primaries partitioned away from the supervisor but still reachable
-// by clients.
+// by clients. Seal inverts the request: instead of renewing, the node
+// steps down immediately (its lease set already-lapsed), refusing
+// mutations until a plain renewal un-seals it — the reversible first
+// step of a drain handoff.
 type LeaseRequest struct {
 	Holder string `json:"holder"`
-	TTLMs  int64  `json:"ttl_ms"`
+	TTLMs  int64  `json:"ttl_ms,omitempty"`
+	Seal   bool   `json:"seal,omitempty"`
 }
 
 func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
@@ -525,6 +552,19 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 	}
 	var req LeaseRequest
 	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Seal {
+		if err := s.fence.StepDown(req.Holder); err != nil {
+			s.fence.Refuse(w, errors.New("step-down refused: node already deposed"))
+			return
+		}
+		writeJSON(w, http.StatusOK, ReadyzResponse{
+			Status:       "ready",
+			Role:         s.roleNow(),
+			FencingEpoch: s.fence.Epoch(),
+			Replication:  s.replicationSection(),
+		})
 		return
 	}
 	if err := s.fence.Renew(req.Holder, time.Duration(req.TTLMs)*time.Millisecond); err != nil {
@@ -697,18 +737,17 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 	}()
 	if s.fence != nil {
-		// Epoch gossip: every response advertises the highest fencing
-		// epoch this node has seen, and requests echoing a higher one
-		// seal it — a deposed primary learns of its deposition from the
-		// first client that heard of the new epoch, even when it cannot
-		// reach the supervisor or the new primary itself.
+		// Epoch gossip, outbound only: every response advertises the
+		// highest fencing epoch this node has seen, so clients learn of
+		// a deposition from the first node that heard of the new epoch
+		// and re-resolve. Inbound request headers are never trusted —
+		// the history string rides every response, so a request echoing
+		// it with a huge epoch would let any unauthenticated client
+		// permanently brick a primary. Epoch observations enter only
+		// through the fence endpoint and the replication stream, both
+		// behind the fleet token when one is configured.
 		sw.Header().Set("X-Crowdd-Fencing-Epoch", strconv.FormatUint(s.fence.ObservedEpoch(), 10))
 		sw.Header().Set("X-Crowdd-History", s.fence.History())
-		if h := r.Header.Get("X-Crowdd-History"); h != "" {
-			if e, err := strconv.ParseUint(r.Header.Get("X-Crowdd-Fencing-Epoch"), 10, 64); err == nil && e > 0 {
-				s.fence.Observe(h, e, r.Header.Get("X-Crowdd-New-Primary"))
-			}
-		}
 	}
 	if probe := r.URL.Path == "/healthz" || r.URL.Path == "/readyz"; !probe {
 		if !s.ready.Load() {
@@ -720,7 +759,14 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			// Replication traffic manages its own lifetime: the stream
 			// is long-lived by design (no admission slot, no deadline
 			// budget, no body cap) and promote must reach a replica that
-			// refuses ordinary mutations.
+			// refuses ordinary mutations. It is also the fleet-control
+			// surface — fence, lease, promote move a fleet's write
+			// availability — so it sits behind the fleet token.
+			if !s.fleetAuthorized(r) {
+				httpErrorCode(sw, http.StatusForbidden, codeForbidden,
+					errors.New("fleet control requires the fleet token (Authorization: Bearer ...)"))
+				return
+			}
 			s.mux.ServeHTTP(sw, r)
 			return
 		}
@@ -1277,6 +1323,9 @@ const (
 	// codePromotionInProgress is the loser of a promotion race: another
 	// promote holds the flip. 409; retry after the winner finishes.
 	codePromotionInProgress = "promotion_in_progress"
+	// codeForbidden refuses fleet-control requests that lack the fleet
+	// token (403) when one is configured.
+	codeForbidden = "forbidden"
 )
 
 // codeOf maps an HTTP status to the envelope's stable error code.
@@ -1294,6 +1343,8 @@ func codeOf(status int) string {
 		return "over_capacity"
 	case statusClientClosedRequest:
 		return "client_closed_request"
+	case http.StatusForbidden:
+		return codeForbidden
 	case http.StatusMisdirectedRequest:
 		return codeNotPrimary
 	case http.StatusConflict:

@@ -4,7 +4,8 @@
 // interval: the primary's probe doubles as a mutation-lease renewal
 // (POST /api/v1/replication/lease), standbys answer /readyz with
 // their replication lag. When the primary misses SuspectAfter
-// consecutive probes, the supervisor runs a verified failover:
+// consecutive probes AND its lease has provably lapsed, the
+// supervisor runs a verified failover:
 //
 //  1. pick the most caught-up reachable standby (highest applied
 //     sequence; one that already reports role primary wins outright —
@@ -16,16 +17,33 @@
 //  4. push the epoch-bumped topology to every reachable node so
 //     Router/Multi clients follow.
 //
-// Split-brain safety does not depend on step 3 landing: the lease the
-// supervisor stopped renewing expires after LeaseTTL, and LeaseTTL <
-// SuspectAfter×ProbeInterval means the deposed primary has sealed
-// itself (409 fenced) before the supervisor is even allowed to
-// promote. The fence order merely tells it who won.
+// Split-brain safety does not depend on step 3 landing, but it does
+// depend on the lease discipline. A renewal whose request reaches the
+// primary but whose response is lost still re-arms the lease
+// server-side, so a missed response must never be read as "the lease
+// is running out". The supervisor therefore renews only on proven
+// connectivity: a suspect primary (any missed probe) gets
+// side-effect-free /readyz probes instead, and renewals resume only
+// after one answers. Failover is gated twice — SuspectAfter missed
+// probes, and LeaseTTL+ProbeTimeout elapsed since the START of the
+// last renewal attempt. The ProbeTimeout margin covers the worst
+// case: a renewal sent at T whose request crawled into the primary
+// just before the attempt timed out at T+ProbeTimeout re-armed a
+// lease that lives until T+ProbeTimeout+LeaseTTL. Past the gate the
+// deposed primary has sealed itself (409 fenced) whatever happened to
+// the responses; the fence order merely tells it who won.
+//
+// Probing is concurrent at both levels — shards tick in parallel, and
+// within a shard the primary's renewal, the standby probes and the
+// pending fence retry fan out together — so one slow or unreachable
+// node cannot delay another primary's renewal past its TTL. Status()
+// never waits on the network.
 //
 // Drain is the operator path for rolling restarts: draining a standby
-// just drops it from the probe set; draining a primary runs the same
-// failover, gated on a fully caught-up standby (zero record lag), so
-// no acked mutation is in flight when the roles swap.
+// just drops it from the probe set; draining a primary seals it first
+// (a reversible lease step-down), re-reads the now-frozen head,
+// verifies a standby holds every record of it, and only then promotes
+// — so a mutation acked in the middle of the handoff cannot be lost.
 package fleet
 
 import (
@@ -91,7 +109,7 @@ type Options struct {
 	// ProbeTimeout bounds one probe (default ProbeInterval).
 	ProbeTimeout time.Duration
 	// SuspectAfter is K: consecutive missed primary probes before a
-	// failover (default 3).
+	// failover may begin (default 3).
 	SuspectAfter int
 	// LeaseTTL is the mutation lease granted on every primary probe.
 	// Must stay below SuspectAfter×ProbeInterval — that inequality is
@@ -100,6 +118,10 @@ type Options struct {
 	// Holder names this supervisor in lease renewals (default
 	// "crowdctl-supervise").
 	Holder string
+	// FleetToken authenticates probes and orders against nodes that
+	// gate their fleet-control surface (crowdd -fleet-token). Empty
+	// for open fleets.
+	FleetToken string
 	// Client overrides the per-node client options. Retries are forced
 	// to zero — a missed probe must count as missed, not be papered
 	// over.
@@ -117,13 +139,19 @@ type fenceOrder struct {
 	NewPrimary string `json:"new_primary"`
 }
 
-// shardState is the supervisor's live view of one shard.
+// shardState is the supervisor's live view of one shard. Mutable
+// fields are guarded by the supervisor's mu; opMu serializes the
+// network operations (one tick or drain at a time per shard) and is
+// the only lock held across I/O.
 type shardState struct {
-	spec    ShardFleet
-	misses  int
-	state   string // healthy | suspect | failover | no_candidate
-	history string
-	epoch   uint64
+	opMu sync.Mutex // serializes tick/drain per shard; never held with mu
+
+	spec      ShardFleet
+	misses    int
+	lastLease time.Time // start of the most recent lease-renewal ATTEMPT
+	state     string    // healthy | suspect | failover | no_candidate
+	history   string
+	epoch     uint64
 
 	applied   map[string]int64  // node URL → applied seq at last probe
 	reachable map[string]bool   // node URL → last probe answered
@@ -167,7 +195,7 @@ type Status struct {
 type Supervisor struct {
 	opts Options
 
-	mu      sync.Mutex
+	mu      sync.Mutex // guards shard fields and the client map; never held across network I/O
 	shards  []*shardState
 	clients map[string]*crowdclient.Client
 
@@ -176,6 +204,10 @@ type Supervisor struct {
 	promotions atomic.Int64
 	fences     atomic.Int64
 }
+
+// errNodeDeposed marks a primary whose readiness probe reported an
+// epoch seal: it is reachable but no longer the primary.
+var errNodeDeposed = errors.New("fleet: node reports an epoch seal")
 
 // New validates the spec and option coherence (LeaseTTL must undercut
 // the suspicion deadline) and returns a supervisor.
@@ -209,6 +241,9 @@ func New(spec Spec, opts Options) (*Supervisor, error) {
 		opts.Client.Timeout = opts.ProbeTimeout
 	}
 	opts.Client.Retries = -1 // a missed probe counts as missed
+	if opts.FleetToken != "" {
+		opts.Client.FleetToken = opts.FleetToken
+	}
 	s := &Supervisor{opts: opts, clients: make(map[string]*crowdclient.Client)}
 	for _, sh := range spec.Shards {
 		st := &shardState{
@@ -227,6 +262,8 @@ func New(spec Spec, opts Options) (*Supervisor, error) {
 }
 
 func (s *Supervisor) client(url string) *crowdclient.Client {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if c, ok := s.clients[url]; ok {
 		return c
 	}
@@ -250,88 +287,197 @@ func (s *Supervisor) Run(ctx context.Context) error {
 	}
 }
 
-// Tick runs one full probe/heal round. Exported so tests (and the
+// Tick runs one full probe/heal round, all shards in parallel — a
+// failover or slow standby in one shard must not delay another
+// primary's lease renewal past its TTL. Exported so tests (and the
 // drill) can drive the supervisor deterministically.
 func (s *Supervisor) Tick(ctx context.Context) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.ticks.Add(1)
-	for _, sh := range s.shards {
-		s.tickShard(ctx, sh)
+	var wg sync.WaitGroup
+	s.mu.Lock()
+	shards := append([]*shardState(nil), s.shards...)
+	s.mu.Unlock()
+	for _, sh := range shards {
+		wg.Add(1)
+		go func(sh *shardState) {
+			defer wg.Done()
+			sh.opMu.Lock()
+			defer sh.opMu.Unlock()
+			s.tickShard(ctx, sh)
+		}(sh)
 	}
+	wg.Wait()
 }
 
 func (s *Supervisor) tickShard(ctx context.Context, sh *shardState) {
-	s.probeStandbys(ctx, sh)
-	s.retryFence(ctx, sh)
+	s.mu.Lock()
+	primary := sh.spec.Primary
+	standbys := append([]Node(nil), sh.spec.Standbys...)
+	suspect := sh.misses > 0
+	s.mu.Unlock()
 
-	pctx, cancel := context.WithTimeout(ctx, s.opts.ProbeTimeout)
-	st, err := s.client(sh.spec.Primary.URL).RenewLease(pctx, s.opts.Holder, s.opts.LeaseTTL)
-	cancel()
+	// Fan out: the primary's probe, every standby probe and the pending
+	// fence retry run concurrently, so the slowest answer bounds the
+	// tick, not the sum.
+	var wg sync.WaitGroup
+	var pst crowddb.ReadyzResponse
+	var perr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		pst, perr = s.probePrimary(ctx, sh, primary, suspect)
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.probeStandbys(ctx, sh, standbys)
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.retryFence(ctx, sh)
+	}()
+	wg.Wait()
+
 	switch {
-	case err == nil:
+	case perr == nil:
+		s.mu.Lock()
 		sh.misses = 0
 		sh.state = "healthy"
-		sh.reachable[sh.spec.Primary.URL] = true
-		sh.roles[sh.spec.Primary.URL] = st.Role
-		if st.Replication != nil {
-			sh.applied[sh.spec.Primary.URL] = st.Replication.AppliedSeq
-			sh.history = st.Replication.History
+		sh.reachable[primary.URL] = true
+		sh.roles[primary.URL] = pst.Role
+		if pst.Replication != nil {
+			sh.applied[primary.URL] = pst.Replication.AppliedSeq
+			sh.history = pst.Replication.History
 		}
-		if st.FencingEpoch > sh.epoch {
-			sh.epoch = st.FencingEpoch
+		if pst.FencingEpoch > sh.epoch {
+			sh.epoch = pst.FencingEpoch
 		}
-	case isFencedRefusal(err):
+		s.mu.Unlock()
+	case isFencedRefusal(perr) || errors.Is(perr, errNodeDeposed):
 		// The declared primary is already deposed (a failover this
 		// supervisor no longer remembers, or another supervisor's).
 		// Reconcile now rather than waiting out the miss budget.
-		sh.reachable[sh.spec.Primary.URL] = true
-		sh.roles[sh.spec.Primary.URL] = crowddb.RoleFenced
-		s.opts.Logf("fleet: shard %d: declared primary %s is fenced; reconciling", sh.spec.Shard, sh.spec.Primary.URL)
+		s.mu.Lock()
+		sh.reachable[primary.URL] = true
+		sh.roles[primary.URL] = crowddb.RoleFenced
+		s.mu.Unlock()
+		s.opts.Logf("fleet: shard %d: declared primary %s is fenced; reconciling", sh.spec.Shard, primary.URL)
 		s.failover(ctx, sh)
 	default:
+		s.mu.Lock()
 		sh.misses++
-		sh.reachable[sh.spec.Primary.URL] = false
-		if sh.misses < s.opts.SuspectAfter {
-			sh.state = "suspect"
+		sh.reachable[primary.URL] = false
+		misses := sh.misses
+		leaseAge := time.Since(sh.lastLease)
+		armed := !sh.lastLease.IsZero()
+		s.mu.Unlock()
+		if misses < s.opts.SuspectAfter {
+			s.setState(sh, "suspect")
 			s.opts.Logf("fleet: shard %d: primary %s missed probe %d/%d: %v",
-				sh.spec.Shard, sh.spec.Primary.URL, sh.misses, s.opts.SuspectAfter, err)
+				sh.spec.Shard, primary.URL, misses, s.opts.SuspectAfter, perr)
 			return
 		}
-		s.opts.Logf("fleet: shard %d: primary %s suspected dead after %d missed probes; failing over",
-			sh.spec.Shard, sh.spec.Primary.URL, sh.misses)
+		// Second gate: the lease must provably have lapsed. The last
+		// renewal attempt started at lastLease; its request can have
+		// reached the primary any time before the attempt timed out, so
+		// the lease it (re-)armed lives until lastLease + ProbeTimeout +
+		// LeaseTTL. A primary this supervisor never renewed (lastLease
+		// zero) holds no lease to wait out.
+		if wait := s.opts.LeaseTTL + s.opts.ProbeTimeout; armed && leaseAge <= wait {
+			s.setState(sh, "suspect")
+			s.opts.Logf("fleet: shard %d: primary %s suspected dead (%d missed probes); holding failover until its lease provably lapses (%v of %v)",
+				sh.spec.Shard, primary.URL, misses, leaseAge.Round(time.Millisecond), wait)
+			return
+		}
+		s.opts.Logf("fleet: shard %d: primary %s suspected dead after %d missed probes and a lapsed lease; failing over",
+			sh.spec.Shard, primary.URL, misses)
 		s.failover(ctx, sh)
 	}
 }
 
-func (s *Supervisor) probeStandbys(ctx context.Context, sh *shardState) {
-	for _, n := range sh.spec.Standbys {
-		pctx, cancel := context.WithTimeout(ctx, s.opts.ProbeTimeout)
-		st, err := s.client(n.URL).ReadyStatus(pctx)
-		cancel()
-		if err != nil {
-			sh.reachable[n.URL] = false
-			continue
-		}
-		sh.reachable[n.URL] = true
-		sh.roles[n.URL] = st.Role
-		if st.Replication != nil {
-			sh.applied[n.URL] = st.Replication.AppliedSeq
-		}
-		if st.FencingEpoch > sh.epoch {
-			sh.epoch = st.FencingEpoch
-		}
+func (s *Supervisor) setState(sh *shardState, state string) {
+	s.mu.Lock()
+	sh.state = state
+	s.mu.Unlock()
+}
+
+// probePrimary is the primary's half of a tick. A healthy primary
+// gets a lease renewal. A suspect one gets a side-effect-free /readyz
+// probe instead: a renewal whose response is lost still re-arms the
+// lease server-side, so once a response has gone missing the
+// supervisor must stop pushing the lease forward or the lapse
+// deadline it is waiting for never arrives. Renewals resume the
+// moment a probe proves the node reachable again.
+func (s *Supervisor) probePrimary(ctx context.Context, sh *shardState, primary Node, suspect bool) (crowddb.ReadyzResponse, error) {
+	if !suspect {
+		return s.renewLease(ctx, sh, primary)
 	}
+	pctx, cancel := context.WithTimeout(ctx, s.opts.ProbeTimeout)
+	st, err := s.client(primary.URL).ReadyStatus(pctx)
+	cancel()
+	if err != nil {
+		return st, err
+	}
+	if st.Fencing != nil && st.Fencing.SealedBy == "epoch" {
+		return st, errNodeDeposed
+	}
+	return s.renewLease(ctx, sh, primary)
+}
+
+// renewLease sends one lease renewal, recording the attempt's start
+// time first — the failover gate reasons about when a request COULD
+// have re-armed the lease, which is any time before the attempt's
+// timeout, regardless of whether a response came back.
+func (s *Supervisor) renewLease(ctx context.Context, sh *shardState, primary Node) (crowddb.ReadyzResponse, error) {
+	s.mu.Lock()
+	sh.lastLease = time.Now()
+	s.mu.Unlock()
+	pctx, cancel := context.WithTimeout(ctx, s.opts.ProbeTimeout)
+	st, err := s.client(primary.URL).RenewLease(pctx, s.opts.Holder, s.opts.LeaseTTL)
+	cancel()
+	return st, err
+}
+
+func (s *Supervisor) probeStandbys(ctx context.Context, sh *shardState, standbys []Node) {
+	var wg sync.WaitGroup
+	for _, n := range standbys {
+		wg.Add(1)
+		go func(n Node) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, s.opts.ProbeTimeout)
+			st, err := s.client(n.URL).ReadyStatus(pctx)
+			cancel()
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			if err != nil {
+				sh.reachable[n.URL] = false
+				return
+			}
+			sh.reachable[n.URL] = true
+			sh.roles[n.URL] = st.Role
+			if st.Replication != nil {
+				sh.applied[n.URL] = st.Replication.AppliedSeq
+			}
+			if st.FencingEpoch > sh.epoch {
+				sh.epoch = st.FencingEpoch
+			}
+		}(n)
+	}
+	wg.Wait()
 }
 
 // failover promotes the best standby and reshapes the shard. Called
-// with s.mu held. Idempotent per tick: every step that can fail is
-// retried on the next tick from the updated state.
+// with the shard's opMu held (never with s.mu). Idempotent per tick:
+// every step that can fail is retried on the next tick from the
+// updated state.
 func (s *Supervisor) failover(ctx context.Context, sh *shardState) {
-	sh.state = "failover"
+	s.setState(sh, "failover")
+	s.mu.Lock()
 	target, ok := s.pickCandidate(sh)
+	s.mu.Unlock()
 	if !ok {
-		sh.state = "no_candidate"
+		s.setState(sh, "no_candidate")
 		s.opts.Logf("fleet: shard %d: no reachable standby to promote; will retry", sh.spec.Shard)
 		return
 	}
@@ -344,14 +490,13 @@ func (s *Supervisor) failover(ctx context.Context, sh *shardState) {
 	}
 	s.promotions.Add(1)
 	s.failovers.Add(1)
+
+	s.mu.Lock()
 	old := sh.spec.Primary
 	sh.history = st.History
 	if st.FencingEpoch > sh.epoch {
 		sh.epoch = st.FencingEpoch
 	}
-	s.opts.Logf("fleet: shard %d: promoted %s at record %d (fencing epoch %d); fencing %s",
-		sh.spec.Shard, target.URL, st.AppliedSeq, st.FencingEpoch, old.URL)
-
 	// Reshape: the winner leads, the loser leaves the probe set until
 	// an operator re-points it as a follower and re-declares it.
 	standbys := make([]Node, 0, len(sh.spec.Standbys))
@@ -363,16 +508,22 @@ func (s *Supervisor) failover(ctx context.Context, sh *shardState) {
 	sh.spec.Primary = target
 	sh.spec.Standbys = standbys
 	sh.misses = 0
+	sh.lastLease = time.Time{} // the new primary has its own lease clock
 	sh.state = "healthy"
 	sh.fenced = append(sh.fenced, old)
 	sh.pending = &fenceOrder{Target: old, History: sh.history, Epoch: sh.epoch, NewPrimary: target.URL}
+	s.mu.Unlock()
+
+	s.opts.Logf("fleet: shard %d: promoted %s at record %d (fencing epoch %d); fencing %s",
+		sh.spec.Shard, target.URL, st.AppliedSeq, st.FencingEpoch, old.URL)
 	s.retryFence(ctx, sh)
 	s.pushTopology(ctx, sh)
 }
 
 // pickCandidate chooses the promotion target: a standby already
 // reporting role primary (resume a half-finished failover), else the
-// reachable standby with the highest applied sequence.
+// reachable standby with the highest applied sequence. Called with
+// s.mu held.
 func (s *Supervisor) pickCandidate(sh *shardState) (Node, bool) {
 	var best Node
 	bestSeq := int64(-1)
@@ -395,10 +546,12 @@ func (s *Supervisor) pickCandidate(sh *shardState) (Node, bool) {
 // target confirms (Observed ≥ the fencing epoch). Safe to call with
 // no order pending.
 func (s *Supervisor) retryFence(ctx context.Context, sh *shardState) {
-	if sh.pending == nil {
+	s.mu.Lock()
+	o := sh.pending
+	s.mu.Unlock()
+	if o == nil {
 		return
 	}
-	o := sh.pending
 	pctx, cancel := context.WithTimeout(ctx, s.opts.ProbeTimeout)
 	resp, err := s.client(o.Target.URL).FenceNode(pctx, o.History, o.Epoch, o.NewPrimary)
 	cancel()
@@ -407,44 +560,78 @@ func (s *Supervisor) retryFence(ctx context.Context, sh *shardState) {
 	}
 	if resp.Fencing.Observed >= o.Epoch {
 		s.fences.Add(1)
-		sh.pending = nil
+		s.mu.Lock()
+		if sh.pending == o {
+			sh.pending = nil
+		}
+		s.mu.Unlock()
 		s.opts.Logf("fleet: shard %d: fenced %s at epoch %d (role %s)", sh.spec.Shard, o.Target.URL, o.Epoch, resp.Role)
 	}
 }
 
 // pushTopology bumps the fleet-wide topology epoch and installs the
-// new layout on every reachable node, so Router clients re-route and
-// a promoted standby already knows the fleet. Nodes that miss the
-// push learn the document from the next client or operator that
-// carries it (topology installs are idempotent per epoch).
+// new layout on every reachable node — concurrently, so one
+// unreachable node costs one probe timeout, not one per node. Nodes
+// that miss the push learn the document from the next client or
+// operator that carries it (topology installs are idempotent per
+// epoch).
 func (s *Supervisor) pushTopology(ctx context.Context, sh *shardState) {
 	doc := s.buildTopology(ctx)
-	pushed := 0
+	s.mu.Lock()
+	var nodes []Node
 	for _, st := range s.shards {
-		for _, n := range append([]Node{st.spec.Primary}, st.spec.Standbys...) {
+		nodes = append(nodes, append([]Node{st.spec.Primary}, st.spec.Standbys...)...)
+	}
+	s.mu.Unlock()
+	var pushed atomic.Int64
+	var wg sync.WaitGroup
+	for _, n := range nodes {
+		wg.Add(1)
+		go func(n Node) {
+			defer wg.Done()
 			pctx, cancel := context.WithTimeout(ctx, s.opts.ProbeTimeout)
 			_, err := s.client(n.URL).PushTopology(pctx, doc)
 			cancel()
 			if err == nil {
-				pushed++
+				pushed.Add(1)
 			}
-		}
+		}(n)
 	}
-	s.opts.Logf("fleet: pushed topology epoch %d to %d nodes", doc.Epoch, pushed)
+	wg.Wait()
+	s.opts.Logf("fleet: pushed topology epoch %d to %d nodes", doc.Epoch, pushed.Load())
 }
 
 // buildTopology assembles the layout document from the supervisor's
 // current view, one epoch past the highest epoch any node reported.
 func (s *Supervisor) buildTopology(ctx context.Context) crowddb.Topology {
-	var maxEpoch uint64
+	s.mu.Lock()
+	primaries := make([]Node, 0, len(s.shards))
 	for _, st := range s.shards {
-		pctx, cancel := context.WithTimeout(ctx, s.opts.ProbeTimeout)
-		doc, err := s.client(st.spec.Primary.URL).Topology(pctx)
-		cancel()
-		if err == nil && doc.Epoch > maxEpoch {
-			maxEpoch = doc.Epoch
-		}
+		primaries = append(primaries, st.spec.Primary)
 	}
+	s.mu.Unlock()
+	var mu sync.Mutex
+	var maxEpoch uint64
+	var wg sync.WaitGroup
+	for _, p := range primaries {
+		wg.Add(1)
+		go func(p Node) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, s.opts.ProbeTimeout)
+			doc, err := s.client(p.URL).Topology(pctx)
+			cancel()
+			if err == nil {
+				mu.Lock()
+				if doc.Epoch > maxEpoch {
+					maxEpoch = doc.Epoch
+				}
+				mu.Unlock()
+			}
+		}(p)
+	}
+	wg.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	doc := crowddb.Topology{Epoch: maxEpoch + 1, Count: len(s.shards)}
 	for i, st := range s.shards {
 		addr := crowddb.ShardAddr{Index: i, URL: st.spec.Primary.URL}
@@ -457,73 +644,195 @@ func (s *Supervisor) buildTopology(ctx context.Context) crowddb.Topology {
 }
 
 // Drain removes a node from the fleet for maintenance. A standby just
-// leaves the probe set. A primary hands off first: Drain refuses
-// unless a standby is fully caught up (zero record lag), then runs
-// the same promote/fence/topology sequence as a failover — with the
-// old primary reachable, the fence lands immediately, so no window of
-// doubt. The drained node is safe to stop once Drain returns.
+// leaves the probe set. A primary hands off: Drain seals it (a
+// reversible lease step-down), verifies a standby holds every record
+// of the frozen head, then runs the same promote/fence/topology
+// sequence as a failover — with the old primary reachable, the fence
+// lands immediately. The drained node is safe to stop once Drain
+// returns.
 func (s *Supervisor) Drain(ctx context.Context, nodeURL string) (Status, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	var target *shardState
 	for _, sh := range s.shards {
 		for i, n := range sh.spec.Standbys {
 			if n.URL == nodeURL {
 				sh.spec.Standbys = append(sh.spec.Standbys[:i:i], sh.spec.Standbys[i+1:]...)
 				sh.drained = append(sh.drained, n)
+				st := s.statusLocked()
+				s.mu.Unlock()
 				s.opts.Logf("fleet: shard %d: drained standby %s", sh.spec.Shard, n.URL)
-				return s.statusLocked(), nil
+				return st, nil
 			}
 		}
 		if sh.spec.Primary.URL == nodeURL {
-			if err := s.drainPrimary(ctx, sh); err != nil {
-				return s.statusLocked(), err
-			}
-			return s.statusLocked(), nil
+			target = sh
 		}
 	}
-	return s.statusLocked(), fmt.Errorf("fleet: node %s is not in the fleet", nodeURL)
+	s.mu.Unlock()
+	if target == nil {
+		return s.Status(), fmt.Errorf("fleet: node %s is not in the fleet", nodeURL)
+	}
+	target.opMu.Lock()
+	defer target.opMu.Unlock()
+	// Re-check under the operation lock: a tick may have failed the
+	// shard over while we waited.
+	s.mu.Lock()
+	stillPrimary := target.spec.Primary.URL == nodeURL
+	s.mu.Unlock()
+	if !stillPrimary {
+		return s.Status(), fmt.Errorf("fleet: node %s is no longer the shard's primary; re-check and retry", nodeURL)
+	}
+	err := s.drainPrimary(ctx, target)
+	return s.Status(), err
 }
 
+// drainPrimary hands a live primary's duties off with zero acked-
+// mutation loss. The order is the point (the shard's opMu is held
+// throughout, so no tick renews the lease mid-drain):
+//
+//  1. cheap pre-checks — primary reachable, a candidate standby
+//     exists and is already caught up to the primary's current head
+//     (fail fast without sealing anything);
+//  2. seal the primary via lease step-down: from here it acks
+//     nothing, so its head is frozen — but its replication stream
+//     keeps serving (only an epoch seal darkens it);
+//  3. re-read the frozen head and wait for the candidate to apply it
+//     — every acked mutation, including ones acked between steps 1
+//     and 2, is now on the candidate;
+//  4. promote, fence, push topology (the failover path);
+//  5. on any abort, un-seal with a plain renewal and report why.
 func (s *Supervisor) drainPrimary(ctx context.Context, sh *shardState) error {
-	// Fresh lag check: the handoff must lose nothing, so the candidate
-	// must hold every record the primary has acked.
+	s.mu.Lock()
+	primary := sh.spec.Primary
+	standbys := append([]Node(nil), sh.spec.Standbys...)
+	s.mu.Unlock()
+
 	pctx, cancel := context.WithTimeout(ctx, s.opts.ProbeTimeout)
-	st, err := s.client(sh.spec.Primary.URL).ReadyStatus(pctx)
+	st, err := s.client(primary.URL).ReadyStatus(pctx)
 	cancel()
 	if err != nil {
-		return fmt.Errorf("fleet: drain %s: primary unreachable (use failover, not drain): %w", sh.spec.Primary.URL, err)
+		return fmt.Errorf("fleet: drain %s: primary unreachable (use failover, not drain): %w", primary.URL, err)
 	}
 	var head int64
 	if st.Replication != nil {
 		head = st.Replication.AppliedSeq
 	}
-	s.probeStandbys(ctx, sh)
+	s.probeStandbys(ctx, sh, standbys)
+	s.mu.Lock()
 	target, ok := s.pickCandidate(sh)
+	behind := int64(0)
+	if ok {
+		behind = head - sh.applied[target.URL]
+	}
+	s.mu.Unlock()
 	if !ok {
-		return fmt.Errorf("fleet: drain %s: no reachable standby", sh.spec.Primary.URL)
+		return fmt.Errorf("fleet: drain %s: no reachable standby", primary.URL)
 	}
-	if sh.applied[target.URL] < head {
-		return fmt.Errorf("fleet: drain %s: best standby %s is %d records behind (applied %d, head %d); retry when caught up",
-			sh.spec.Primary.URL, target.URL, head-sh.applied[target.URL], sh.applied[target.URL], head)
+	if behind > 0 {
+		return fmt.Errorf("fleet: drain %s: best standby %s is %d records behind (head %d); retry when caught up",
+			primary.URL, target.URL, behind, head)
 	}
-	old := sh.spec.Primary
+
+	// Seal before the final lag check: mutations acked between the
+	// check above and this seal would otherwise be on the primary but
+	// not the candidate when the roles swap.
+	sealed := true
+	sctx, cancel := context.WithTimeout(ctx, s.opts.ProbeTimeout)
+	_, err = s.client(primary.URL).SealLease(sctx, s.opts.Holder)
+	cancel()
+	if err != nil {
+		switch {
+		case isFencedRefusal(err):
+			// Already epoch-sealed: frozen harder than we need.
+		case isNotImplemented(err):
+			// No fencing configured on this node: nothing to seal with.
+			// Proceed with the handoff anyway — the pre-check above is
+			// then the only loss guard, as it was for unfenced fleets.
+			sealed = false
+			s.opts.Logf("fleet: drain %s: node has no fencing; handing off without a seal", primary.URL)
+		default:
+			return fmt.Errorf("fleet: drain %s: seal: %w", primary.URL, err)
+		}
+	}
+	unseal := func() {
+		if !sealed {
+			return
+		}
+		uctx, cancel := context.WithTimeout(ctx, s.opts.ProbeTimeout)
+		_, err := s.client(primary.URL).RenewLease(uctx, s.opts.Holder, s.opts.LeaseTTL)
+		cancel()
+		if err != nil {
+			s.opts.Logf("fleet: drain %s: un-seal after abort failed (%v); the next healthy tick renews", primary.URL, err)
+		}
+	}
+
+	// The head re-read after the seal is the frozen one.
+	fctx, cancel := context.WithTimeout(ctx, s.opts.ProbeTimeout)
+	st, err = s.client(primary.URL).ReadyStatus(fctx)
+	cancel()
+	if err != nil {
+		unseal()
+		return fmt.Errorf("fleet: drain %s: re-reading sealed head: %w", primary.URL, err)
+	}
+	if st.Replication != nil {
+		head = st.Replication.AppliedSeq
+	}
+
+	// Wait for the candidate to drain the sealed primary's tail.
+	deadline := time.Now().Add(maxDuration(10*s.opts.ProbeTimeout, 5*time.Second))
+	for {
+		cctx, cancel := context.WithTimeout(ctx, s.opts.ProbeTimeout)
+		cst, cerr := s.client(target.URL).ReadyStatus(cctx)
+		cancel()
+		if cerr == nil && cst.Replication != nil {
+			s.mu.Lock()
+			sh.applied[target.URL] = cst.Replication.AppliedSeq
+			sh.reachable[target.URL] = true
+			sh.roles[target.URL] = cst.Role
+			s.mu.Unlock()
+			if cst.Replication.AppliedSeq >= head {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			unseal()
+			return fmt.Errorf("fleet: drain %s: standby %s did not reach the sealed head %d in time; primary un-sealed, retry later",
+				primary.URL, target.URL, head)
+		}
+		select {
+		case <-ctx.Done():
+			unseal()
+			return ctx.Err()
+		case <-time.After(s.opts.ProbeInterval):
+		}
+	}
+
 	s.failover(ctx, sh)
-	if sh.spec.Primary.URL == old.URL {
-		return fmt.Errorf("fleet: drain %s: handoff did not complete; see supervisor log", old.URL)
+	s.mu.Lock()
+	swapped := sh.spec.Primary.URL != primary.URL
+	s.mu.Unlock()
+	if !swapped {
+		unseal()
+		return fmt.Errorf("fleet: drain %s: handoff did not complete; primary un-sealed, see supervisor log", primary.URL)
 	}
 	// Reclassify: the old primary was drained on purpose, not lost.
+	s.mu.Lock()
 	for i, n := range sh.fenced {
-		if n.URL == old.URL {
+		if n.URL == primary.URL {
 			sh.fenced = append(sh.fenced[:i:i], sh.fenced[i+1:]...)
 			break
 		}
 	}
-	sh.drained = append(sh.drained, old)
-	s.opts.Logf("fleet: shard %d: drained primary %s (handed off to %s)", sh.spec.Shard, old.URL, sh.spec.Primary.URL)
+	sh.drained = append(sh.drained, primary)
+	newPrimary := sh.spec.Primary.URL
+	s.mu.Unlock()
+	s.opts.Logf("fleet: shard %d: drained primary %s (handed off to %s)", sh.spec.Shard, primary.URL, newPrimary)
 	return nil
 }
 
-// Status snapshots the supervisor.
+// Status snapshots the supervisor. It takes only the state lock —
+// never a shard's operation lock — so it answers immediately even
+// while a slow probe or failover is in flight.
 func (s *Supervisor) Status() Status {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -616,4 +925,10 @@ func maxDuration(a, b time.Duration) time.Duration {
 func isFencedRefusal(err error) bool {
 	var ae *crowdclient.APIError
 	return errors.As(err, &ae) && ae.Code == "fenced"
+}
+
+// isNotImplemented reports a 501 — the node has no fencing wired.
+func isNotImplemented(err error) bool {
+	var ae *crowdclient.APIError
+	return errors.As(err, &ae) && ae.StatusCode == http.StatusNotImplemented
 }

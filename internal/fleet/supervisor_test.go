@@ -22,10 +22,12 @@ type fakeNode struct {
 
 	mu            sync.Mutex
 	alive         bool
+	swallow       bool // process requests but never deliver the response
 	role          string
 	history       string
 	epoch         uint64 // own fencing epoch
 	observed      uint64 // highest observed for history
+	leaseSealed   bool   // stepped down; a plain renewal un-seals
 	applied       int64
 	leaseRenewals int
 	leaseHolder   string
@@ -46,24 +48,54 @@ func newFakeNode(t *testing.T, role, history string, applied int64) *fakeNode {
 func (n *fakeNode) url() string { return n.ts.URL }
 
 func (n *fakeNode) roleNow() string {
-	if n.observed > n.epoch {
+	if n.observed > n.epoch || n.leaseSealed {
 		return crowddb.RoleFenced
 	}
 	return n.role
 }
 
 func (n *fakeNode) readyz() crowddb.ReadyzResponse {
+	sealedBy := ""
+	if n.observed > n.epoch {
+		sealedBy = "epoch"
+	} else if n.leaseSealed {
+		sealedBy = "lease"
+	}
 	return crowddb.ReadyzResponse{
 		Status:       "ready",
 		Role:         n.roleNow(),
 		FencingEpoch: n.epoch,
+		Fencing: &crowddb.FenceStatus{
+			History: n.history, Epoch: n.epoch, Observed: n.observed,
+			Sealed: sealedBy != "", SealedBy: sealedBy,
+		},
 		Replication: &crowddb.ReplicationStatus{
 			Role: n.roleNow(), History: n.history, AppliedSeq: n.applied,
 		},
 	}
 }
 
+// serve dispatches to serveInner; in swallow mode the request is still
+// processed (its side effects land, exactly like a real node whose
+// answers a partition eats) but the connection is torn down before a
+// byte of response escapes.
 func (n *fakeNode) serve(w http.ResponseWriter, r *http.Request) {
+	n.mu.Lock()
+	swallow := n.swallow
+	n.mu.Unlock()
+	if swallow {
+		n.serveInner(httptest.NewRecorder(), r)
+		if hj, ok := w.(http.Hijacker); ok {
+			if conn, _, err := hj.Hijack(); err == nil {
+				conn.Close()
+			}
+		}
+		return
+	}
+	n.serveInner(w, r)
+}
+
+func (n *fakeNode) serveInner(w http.ResponseWriter, r *http.Request) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if !n.alive {
@@ -87,12 +119,19 @@ func (n *fakeNode) serve(w http.ResponseWriter, r *http.Request) {
 		}
 		var req crowddb.LeaseRequest
 		json.NewDecoder(r.Body).Decode(&req)
+		if req.Seal {
+			n.leaseSealed = true
+			writeBody(http.StatusOK, n.readyz())
+			return
+		}
 		n.leaseRenewals++
 		n.leaseHolder = req.Holder
+		n.leaseSealed = false // a plain renewal un-seals a step-down
 		writeBody(http.StatusOK, n.readyz())
 	case "/api/v1/replication/promote":
 		n.promotions++
 		n.role = crowddb.RolePrimary
+		n.leaseSealed = false
 		if n.observed > n.epoch {
 			n.epoch = n.observed
 		}
@@ -137,19 +176,38 @@ func (n *fakeNode) snapshot() fakeNode {
 	defer n.mu.Unlock()
 	return fakeNode{
 		alive: n.alive, role: n.role, history: n.history, epoch: n.epoch,
-		observed: n.observed, applied: n.applied, leaseRenewals: n.leaseRenewals,
-		leaseHolder: n.leaseHolder, promotions: n.promotions,
-		fenceOrders: n.fenceOrders, topoPushes: n.topoPushes, topo: n.topo,
+		observed: n.observed, leaseSealed: n.leaseSealed, applied: n.applied,
+		leaseRenewals: n.leaseRenewals, leaseHolder: n.leaseHolder,
+		promotions: n.promotions, fenceOrders: n.fenceOrders,
+		topoPushes: n.topoPushes, topo: n.topo,
 	}
 }
 
 func testOptions() Options {
 	return Options{
 		ProbeInterval: 10 * time.Millisecond,
-		ProbeTimeout:  2 * time.Second, // ticks are driven manually; probes must not flake
-		SuspectAfter:  3,
-		LeaseTTL:      20 * time.Millisecond,
-		Holder:        "test-supervisor",
+		// Also the failover gate's margin (LeaseTTL+ProbeTimeout since
+		// the last renewal attempt), so tests that wait out the gate
+		// stay quick. Local probes answer in microseconds.
+		ProbeTimeout: 250 * time.Millisecond,
+		SuspectAfter: 3,
+		LeaseTTL:     20 * time.Millisecond,
+		Holder:       "test-supervisor",
+	}
+}
+
+// tickUntil drives the supervisor until cond holds — the lease-lapse
+// gate makes the exact number of ticks to a failover timing-dependent
+// by design.
+func tickUntil(t *testing.T, sup *Supervisor, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 5s of ticking")
+		}
+		sup.Tick(context.Background())
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 
@@ -230,7 +288,10 @@ func TestSupervisorFailoverPromotesMostCaughtUp(t *testing.T) {
 		t.Fatal("promoted before the miss budget ran out")
 	}
 
-	sup.Tick(ctx) // third miss: failover
+	// The third miss exhausts the budget, but failover also waits for
+	// the lease to provably lapse (LeaseTTL + ProbeTimeout after the
+	// last renewal attempt) — keep ticking until it fires.
+	tickUntil(t, sup, func() bool { return caught.snapshot().promotions > 0 })
 	if got := caught.snapshot().promotions; got != 1 {
 		t.Fatalf("caught-up standby promotions = %d, want 1", got)
 	}
@@ -307,10 +368,7 @@ func TestSupervisorResumesHalfFinishedFailover(t *testing.T) {
 	sup, _ := newTestFleet(t, dead, winner, higher)
 	dead.set(func(n *fakeNode) { n.alive = false })
 
-	ctx := context.Background()
-	for i := 0; i < 3; i++ {
-		sup.Tick(ctx)
-	}
+	tickUntil(t, sup, func() bool { return winner.snapshot().promotions > 0 })
 	if got := winner.snapshot().promotions; got != 1 {
 		t.Fatalf("half-promoted standby promotions = %d, want 1 (resume)", got)
 	}
@@ -364,6 +422,11 @@ func TestSupervisorDrain(t *testing.T) {
 		if standby.snapshot().promotions != 0 {
 			t.Fatal("refused drain still promoted")
 		}
+		// The lag pre-check fails fast, BEFORE the seal: a refused drain
+		// must leave the primary serving.
+		if primary.snapshot().leaseSealed {
+			t.Fatal("refused drain left the primary sealed")
+		}
 	})
 	t.Run("unknown node refused", func(t *testing.T) {
 		primary := newFakeNode(t, crowddb.RolePrimary, "h1", 9)
@@ -372,6 +435,85 @@ func TestSupervisorDrain(t *testing.T) {
 			t.Fatal("drain of an undeclared node accepted")
 		}
 	})
+}
+
+// TestSupervisorLostRenewalResponsesStopTheLease is the dual-primary
+// regression: a partition that delivers requests but eats responses
+// used to let every "missed" probe re-arm the primary's lease
+// server-side, so the supervisor promoted a successor while the old
+// primary still held a live lease and kept acking. The supervisor must
+// stop sending renewals the moment one goes unanswered, and must not
+// promote until the last renewal it attempted has provably lapsed.
+func TestSupervisorLostRenewalResponsesStopTheLease(t *testing.T) {
+	primary := newFakeNode(t, crowddb.RolePrimary, "h1", 20)
+	standby := newFakeNode(t, crowddb.RoleReplica, "h1", 20)
+	sup, _ := newTestFleet(t, primary, standby)
+	ctx := context.Background()
+	opts := testOptions()
+
+	sup.Tick(ctx) // healthy baseline: renewal 1
+	primary.set(func(n *fakeNode) { n.swallow = true })
+
+	// This renewal's request arrives and re-arms the lease; its
+	// response is eaten, so the supervisor records a miss.
+	lastAttempt := time.Now()
+	sup.Tick(ctx)
+	afterLoss := primary.snapshot().leaseRenewals
+	if afterLoss < 2 {
+		t.Fatalf("renewals after lost-response tick = %d, want the request to have arrived", afterLoss)
+	}
+	if st := sup.Status(); st.Shards[0].Misses != 1 {
+		t.Fatalf("lost response not counted as a miss: %+v", st.Shards[0])
+	}
+
+	tickUntil(t, sup, func() bool { return standby.snapshot().promotions > 0 })
+	promotedAt := time.Now()
+
+	// A suspect primary gets side-effect-free probes, never renewals:
+	// the count must not have moved since the lost response.
+	if got := primary.snapshot().leaseRenewals; got != afterLoss {
+		t.Fatalf("supervisor kept renewing a suspect primary's lease: %d → %d renewals", afterLoss, got)
+	}
+	// And the promotion waited out the lease the lost-response renewal
+	// could have re-armed.
+	if elapsed := promotedAt.Sub(lastAttempt); elapsed <= opts.LeaseTTL {
+		t.Fatalf("promoted %v after the last renewal attempt, inside its %v lease", elapsed, opts.LeaseTTL)
+	}
+}
+
+// TestSupervisorStatusDoesNotBlockOnSlowProbes: Status (the admin
+// /status endpoint) must answer from the state lock alone — a probe
+// stuck in the network for a full ProbeTimeout cannot stall it.
+func TestSupervisorStatusDoesNotBlockOnSlowProbes(t *testing.T) {
+	release := make(chan struct{})
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer slow.Close()
+
+	opts := testOptions()
+	opts.ProbeTimeout = 2 * time.Second
+	sup, err := New(Spec{Shards: []ShardFleet{{Primary: Node{URL: slow.URL}}}}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		sup.Tick(context.Background())
+		close(done)
+	}()
+	time.Sleep(50 * time.Millisecond) // the tick is now parked inside the probe
+	start := time.Now()
+	_ = sup.Status()
+	if d := time.Since(start); d > 500*time.Millisecond {
+		t.Fatalf("Status blocked %v behind an in-flight probe", d)
+	}
+	close(release)
+	<-done
 }
 
 // TestSupervisorAdminHandler drives the admin surface the drain
