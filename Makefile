@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench bench-serve bench-serve-smoke bench-shard fuzz fuzz-repl crash chaos replication shard fleet ci
+.PHONY: build vet test race bench bench-serve bench-serve-smoke bench-shard fuzz fuzz-repl crash chaos replication shard fleet tenants readme-api ci
 
 build:
 	$(GO) build ./...
@@ -77,4 +77,16 @@ shard:
 fleet:
 	$(GO) test -race -run 'TestFence|TestFencing|TestFenced|TestFleetToken|TestLease|TestConcurrentPromotion|TestPromotionFailure|TestSupervisor|TestMultiWriteFollowsFencedRedirect|TestMultiFencedRedirectIsBounded|TestProxyOneWay|TestChaosSplitBrainFencedFailover' -v ./internal/crowddb/ ./internal/fleet/ ./internal/crowdclient/ ./internal/faultnet/ ./internal/chaos/
 
-ci: vet build race fuzz fuzz-repl crash chaos replication shard fleet bench-serve-smoke
+# The tenancy suite (DESIGN.md §13) under the race detector: alias
+# equivalence, tenant isolation, quota shedding, journal stamping and
+# cross-tenant refusal, interleaved crash recovery, the two-tenant
+# failover drill, and the README/route-table agreement check.
+tenants:
+	$(GO) test -race -run 'TestTenant|TestValidTenantName|TestSplitTenantPath|TestUnknownTenant|TestAddTenantValidation|TestMultiTenant|TestClientTenant|TestDefaultJournalHasNoTenantStamps|TestAPIReferenceMatchesMux|TestErrorEnvelope|TestChaosTenantFailover|TestParseTenantsFlag|TestBuildServiceTenants|TestBootGateEnvelope' -v ./internal/crowddb/ ./internal/crowdclient/ ./internal/chaos/ ./cmd/crowdd/
+
+# Regenerate the README's API reference table from the server's route
+# registrations (kept honest by TestAPIReferenceMatchesMux).
+readme-api:
+	$(GO) run ./tools/readme-api
+
+ci: vet build race fuzz fuzz-repl crash chaos replication shard fleet tenants bench-serve-smoke

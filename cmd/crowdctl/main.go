@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	crowdctl [-addr http://localhost:8080] submit   -text "..." [-k 3]
+//	crowdctl [-addr http://localhost:8080] [-tenant name] submit -text "..." [-k 3]
 //	crowdctl [-addr ...]                  batch     [-k 3] "text 1" "text 2" ...
 //	crowdctl [-addr ...]                  answer    -task 1 -worker 2 -text "..."
 //	crowdctl [-addr ...]                  feedback  -task 1 -scores "2=4,7=1"
@@ -35,6 +35,12 @@
 // running supervisor to hand a node's duties off for maintenance.
 // fence manually seals one node at a fencing epoch — the break-glass
 // path when no supervisor is running.
+//
+// The global -tenant flag scopes every data command (submit, batch,
+// answer, feedback, task, worker, presence, query, stats) to a named
+// tenant on a multi-tenant crowdd (-tenants): requests are sent under
+// /api/v1/t/{tenant}/. Empty or "default" addresses the un-prefixed
+// default namespace.
 package main
 
 import (
@@ -63,12 +69,14 @@ func main() {
 	retries := flag.Int("retries", 3, "max retries for transient failures")
 	backoff := flag.Duration("retry-backoff", 200*time.Millisecond, "initial retry backoff (doubles per attempt, with jitter)")
 	fleetToken := flag.String("fleet-token", "", "bearer token for nodes gating their fleet-control surface (crowdd -fleet-token)")
+	tenant := flag.String("tenant", "", "tenant namespace to address; requests go to /api/v1/t/{tenant}/... (empty or \"default\" = un-prefixed API)")
 	flag.Parse()
 	cli := crowdclient.New(*addr, crowdclient.Options{
 		Timeout:    *timeout,
 		Retries:    *retries,
 		Backoff:    *backoff,
 		FleetToken: *fleetToken,
+		Tenant:     *tenant,
 	})
 	if err := run(cli, flag.Args(), os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "crowdctl:", err)

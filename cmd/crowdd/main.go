@@ -33,6 +33,17 @@
 // committed model, and a background probe heals the data directory and
 // reopens writes automatically.
 //
+// With -tenants a,b the daemon hosts additional named crowds next to
+// the default one. Each tenant owns a full vertical slice — store,
+// journal (under <data-dir>/tenants/<name>), model, query engine,
+// replication stream — served under /api/v1/t/<name>/...; the
+// un-prefixed /api/v1/* routes keep addressing the default tenant. A
+// fresh tenant starts from a clone of the default tenant's trained
+// model and worker roster and diverges as its own feedback arrives.
+// -tenant-quota caps every tenant's concurrent in-flight requests so
+// one noisy crowd cannot starve the rest (breaches shed with 429
+// tenant_quota_exceeded).
+//
 // With -replica-of the daemon runs as a warm standby: it bootstraps a
 // snapshot from the primary, streams its journal, applies every record
 // through the recovery path into its own durable directory, and serves
@@ -50,6 +61,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
@@ -60,6 +72,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"sync/atomic"
 	"syscall"
@@ -95,6 +108,8 @@ type daemonConfig struct {
 	writeBudget  time.Duration
 	maxBody      int64
 	fleetToken   string
+	tenants      []string
+	tenantQuota  int
 	timeouts     httpTimeouts
 }
 
@@ -131,6 +146,8 @@ func main() {
 		writeBudget  = flag.Duration("write-budget", 0, "server-side deadline for mutations (0 = none)")
 		maxBody      = flag.Int64("max-body", 0, "POST body cap in bytes; oversized requests get 413 (0 = 1 MiB default)")
 		fleetToken   = flag.String("fleet-token", "", "shared bearer token gating the replication/fleet control surface (fence, lease, promote, stream); empty = open")
+		tenantsFlag  = flag.String("tenants", "", "comma-separated names of additional tenants to host under /api/v1/t/{name}/ (empty = default tenant only)")
+		tenantQuota  = flag.Int("tenant-quota", 0, "per-tenant cap on concurrent in-flight API requests; breaches shed with 429 tenant_quota_exceeded (0 = unlimited)")
 		readTimeout  = flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout: full-request read deadline (0 = none)")
 		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "http.Server WriteTimeout: response write deadline (0 = none)")
 		idleTimeout  = flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections (0 = none)")
@@ -146,6 +163,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "crowdd:", err)
 		os.Exit(2)
 	}
+	tenants, err := parseTenantsFlag(*tenantsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crowdd:", err)
+		os.Exit(2)
+	}
 	cfg := daemonConfig{
 		profile: *profile, scale: *scale, data: *data,
 		k: *k, crowdK: *crowdK, sweeps: *sweeps,
@@ -156,6 +178,7 @@ func main() {
 		admissionMin: *admissionMin,
 		readBudget:   *readBudget, writeBudget: *writeBudget,
 		maxBody: *maxBody, fleetToken: *fleetToken,
+		tenants: tenants, tenantQuota: *tenantQuota,
 		timeouts: httpTimeouts{read: *readTimeout, write: *writeTimeout, idle: *idleTimeout},
 	}
 	if err := run(cfg); err != nil {
@@ -186,6 +209,34 @@ func parseShardFlags(shardFlag, shardPeers string) (crowddb.ShardSpec, []string,
 	return shard, peers, nil
 }
 
+// parseTenantsFlag splits and validates the -tenants list. The default
+// tenant always exists and must not be re-listed.
+func parseTenantsFlag(s string) ([]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var names []string
+	seen := make(map[string]bool)
+	for _, n := range strings.Split(s, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		if !crowddb.ValidTenantName(n) {
+			return nil, fmt.Errorf("-tenants: invalid tenant name %q", n)
+		}
+		if n == crowddb.DefaultTenant {
+			return nil, fmt.Errorf("-tenants: %q is built in, do not list it", n)
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("-tenants: duplicate tenant %q", n)
+		}
+		seen[n] = true
+		names = append(names, n)
+	}
+	return names, nil
+}
+
 // bootGate is the handler installed while the service is still being
 // built (training or recovery): /healthz answers 200, everything else
 // 503 with Retry-After, so load balancers can distinguish "process
@@ -205,8 +256,10 @@ func (g *bootGate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, `{"status":"ok"}`)
 		return
 	}
+	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Retry-After", "1")
-	http.Error(w, "starting: recovery in progress", http.StatusServiceUnavailable)
+	w.WriteHeader(http.StatusServiceUnavailable)
+	fmt.Fprintln(w, `{"error":{"code":"unavailable","message":"starting: recovery in progress"}}`)
 }
 
 // drainStarted flips readiness off so probes fail before connections
@@ -238,17 +291,17 @@ func run(cfg daemonConfig) error {
 
 	var (
 		srv    *crowddb.Server
-		db     *crowddb.DB
-		rep    *crowddb.Replica
+		dbs    []*crowddb.DB
+		reps   []*crowddb.Replica
 		online int
 	)
 	if cfg.replicaOf != "" {
-		srv, rep, online, err = buildReplica(cfg)
-		if rep != nil {
-			db = rep.DB()
+		srv, reps, online, err = buildReplica(cfg)
+		for _, rp := range reps {
+			dbs = append(dbs, rp.DB())
 		}
 	} else {
-		srv, db, online, err = buildService(cfg)
+		srv, dbs, online, err = buildService(cfg)
 	}
 	if err != nil {
 		stop()
@@ -267,18 +320,22 @@ func run(cfg daemonConfig) error {
 	}
 	srv.SetDeadlineBudgets(cfg.readBudget, cfg.writeBudget)
 	srv.SetMaxBodyBytes(cfg.maxBody)
-	if db != nil {
-		srv.SetDegradedCheck(db.Degraded)
+	if cfg.tenantQuota > 0 {
+		if qerr := srv.SetTenantQuota(crowddb.DefaultTenant, cfg.tenantQuota); qerr != nil {
+			stop()
+			<-errc
+			return qerr
+		}
 	}
 	gate.srv.Store(srv)
-	log.Printf("crowd-selection service ready on %s (%d workers online)", ln.Addr(), online)
+	log.Printf("crowd-selection service ready on %s (%d tenants, %d workers online)", ln.Addr(), len(srv.Tenants()), online)
 
 	err = serveErr(<-errc)
-	if rep != nil {
-		// Stop streaming before the shared DB is compacted and closed.
-		rep.Stop()
+	for _, rp := range reps {
+		// Stop streaming before the shared DBs are compacted and closed.
+		rp.Stop()
 	}
-	if db != nil {
+	for _, db := range dbs {
 		// Snapshot on graceful shutdown so the next boot restores
 		// without replay.
 		if cerr := db.Compact(); cerr != nil {
@@ -352,12 +409,14 @@ func withPprof(h http.Handler) http.Handler {
 
 // buildService assembles the full pipeline — dataset, TDPM model,
 // crowd database, manager — and returns the HTTP server, the durable
-// DB (nil without -data-dir) and the number of online workers. With a
-// fresh data directory the dataset is generated (or copied from
-// -data), the model trained, and generation 1 snapshotted; with an
-// existing one, dataset and model checkpoint are loaded from the
-// directory and the journal replayed — no retraining.
-func buildService(cfg daemonConfig) (*crowddb.Server, *crowddb.DB, int, error) {
+// DBs in shutdown order (default tenant first; empty without
+// -data-dir) and the number of online workers. With a fresh data
+// directory the dataset is generated (or copied from -data), the model
+// trained, and generation 1 snapshotted; with an existing one, dataset
+// and model checkpoint are loaded from the directory and the journal
+// replayed — no retraining. Additional -tenants each get their own
+// vertical slice via buildTenants.
+func buildService(cfg daemonConfig) (*crowddb.Server, []*crowddb.DB, int, error) {
 	var db *crowddb.DB
 	if cfg.dataDir != "" {
 		var err error
@@ -482,7 +541,137 @@ func buildService(cfg daemonConfig) (*crowddb.Server, *crowddb.DB, int, error) {
 		return nil, nil, 0, err
 	}
 	srv.SetQueryEngine(crowdql.HTTPAdapter{Engine: engine})
-	return srv, db, len(store.OnlineWorkers()), nil
+	var dbs []*crowddb.DB
+	if db != nil {
+		srv.SetDegradedCheck(db.Degraded)
+		dbs = append(dbs, db)
+	}
+	tdbs, err := buildTenants(srv, cfg, d, model, fence)
+	if err != nil {
+		for _, tdb := range append(tdbs, dbs...) {
+			tdb.Close()
+		}
+		return nil, nil, 0, err
+	}
+	return srv, append(dbs, tdbs...), len(store.OnlineWorkers()), nil
+}
+
+// cloneModel deep-copies a trained model through its serialized form,
+// so a new tenant starts from the default tenant's latent space without
+// sharing mutable posterior state.
+func cloneModel(m *core.Model) (*core.Model, error) {
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		return nil, err
+	}
+	return core.LoadModel(&buf)
+}
+
+// buildTenants opens one full vertical slice per -tenants name — store,
+// journal, model, projection cache, query engine, replication source —
+// and registers each on srv. A fresh tenant is seeded with a clone of
+// the default tenant's trained model and worker roster (every crowd
+// shares one latent space until its own feedback diverges it); a
+// restored tenant replays its own journal from
+// <data-dir>/tenants/<name>. Returns the tenant DBs (empty without
+// -data-dir); on error the returned DBs are the ones already opened,
+// for the caller to close.
+func buildTenants(srv *crowddb.Server, cfg daemonConfig, d *corpus.Dataset, model *core.Model, fence *crowddb.Fence) ([]*crowddb.DB, error) {
+	var dbs []*crowddb.DB
+	for _, name := range cfg.tenants {
+		var tdb *crowddb.DB
+		if cfg.dataDir != "" {
+			var err error
+			tdb, err = crowddb.Open(filepath.Join(cfg.dataDir, "tenants", name), crowddb.Options{
+				Sync:                cfg.sync,
+				CompactEveryRecords: cfg.compactEvery,
+				Logf:                log.Printf,
+			})
+			if err != nil {
+				return dbs, fmt.Errorf("tenant %s: %w", name, err)
+			}
+			dbs = append(dbs, tdb)
+		}
+
+		var store *crowddb.Store
+		if tdb != nil {
+			store = tdb.Store()
+		} else {
+			store = crowddb.NewStore()
+		}
+		// Stamp the namespace before anything journals or replays: fresh
+		// mutations must carry the tenant and recovery must refuse
+		// records that belong to another tenant's journal.
+		store.SetTenant(name)
+
+		restoring := tdb != nil && !tdb.Fresh()
+		var (
+			td     *corpus.Dataset
+			tmodel *core.Model
+			err    error
+		)
+		if restoring {
+			log.Printf("tenant %s: restoring generation %d", name, tdb.Generation())
+			if td, err = corpus.LoadFile(tdb.DatasetPath()); err != nil {
+				return dbs, fmt.Errorf("tenant %s has state but no dataset: %w", name, err)
+			}
+			if tmodel, err = tdb.LoadModel(); err != nil {
+				return dbs, fmt.Errorf("tenant %s: %w", name, err)
+			}
+		} else {
+			td = d
+			if tmodel, err = cloneModel(model); err != nil {
+				return dbs, fmt.Errorf("tenant %s: clone model: %w", name, err)
+			}
+			for _, w := range td.Workers {
+				if _, err := store.AddWorker(w.ID, fmt.Sprintf("worker-%04d", w.ID)); err != nil {
+					return dbs, fmt.Errorf("tenant %s: %w", name, err)
+				}
+			}
+		}
+		cm := core.NewConcurrentModel(tmodel)
+		tmgr, err := crowddb.NewManager(store, td.Vocab, cm, cfg.crowdK)
+		if err != nil {
+			return dbs, fmt.Errorf("tenant %s: %w", name, err)
+		}
+		tmgr.SetShard(cfg.shard)
+		if tdb != nil {
+			tdb.SetModelSnapshotter(cm.Save)
+			tdb.SetQuiescer(tmgr.Quiesce)
+			if restoring {
+				if err := tdb.Recover(tmgr.ApplySkillFeedback); err != nil {
+					return dbs, fmt.Errorf("tenant %s: %w", name, err)
+				}
+			} else {
+				if err := td.SaveFile(tdb.DatasetPath()); err != nil {
+					return dbs, fmt.Errorf("tenant %s: %w", name, err)
+				}
+				if err := tdb.Begin(); err != nil {
+					return dbs, fmt.Errorf("tenant %s: %w", name, err)
+				}
+			}
+		}
+		engine, err := crowdql.NewEngine(tmgr)
+		if err != nil {
+			return dbs, fmt.Errorf("tenant %s: %w", name, err)
+		}
+		tc := crowddb.TenantConfig{
+			Manager:     tmgr,
+			Query:       crowdql.HTTPAdapter{Engine: engine},
+			MaxInflight: cfg.tenantQuota,
+		}
+		if tdb != nil {
+			tc.Degraded = tdb.Degraded
+			src := crowddb.NewReplicationSource(tdb, crowddb.ReplicationSourceOptions{Logf: log.Printf})
+			src.SetFence(fence)
+			tc.ReplicationSource = src
+		}
+		if err := srv.AddTenant(name, tc); err != nil {
+			return dbs, err
+		}
+		log.Printf("tenant %s ready (%d workers online)", name, len(store.OnlineWorkers()))
+	}
+	return dbs, nil
 }
 
 // seedTopology installs the epoch-1 fleet layout from -shard-peers so
@@ -499,17 +688,12 @@ func seedTopology(srv *crowddb.Server, cfg daemonConfig) error {
 	return srv.SetTopology(doc)
 }
 
-// buildReplica assembles the warm-standby stack: a Replica streaming
-// from -replica-of into its own durable directory, served read-only by
-// the same HTTP server with the role gate engaged. The replica also
-// exposes a replication source of its own, so after promotion the
-// remaining standbys can re-point at it and chain bootstrap works.
-func buildReplica(cfg daemonConfig) (*crowddb.Server, *crowddb.Replica, int, error) {
-	if cfg.dataDir == "" {
-		return nil, nil, 0, errors.New("-replica-of requires -data-dir")
-	}
-	var cmRef atomic.Pointer[core.ConcurrentModel]
-	build := func(datasetPath string, model *core.Model, store *crowddb.Store) (*crowddb.Manager, *core.ConcurrentModel, error) {
+// replicaBuilder returns the ReplicaBuilder for one follower stream:
+// it reassembles the manager stack from the bootstrapped dataset and
+// model, and publishes the ConcurrentModel through cmRef for cache
+// stats.
+func replicaBuilder(cfg daemonConfig, cmRef *atomic.Pointer[core.ConcurrentModel]) crowddb.ReplicaBuilder {
+	return func(datasetPath string, model *core.Model, store *crowddb.Store) (*crowddb.Manager, *core.ConcurrentModel, error) {
 		d, err := corpus.LoadFile(datasetPath)
 		if err != nil {
 			return nil, nil, fmt.Errorf("replica dataset: %w", err)
@@ -526,6 +710,23 @@ func buildReplica(cfg daemonConfig) (*crowddb.Server, *crowddb.Replica, int, err
 		cmRef.Store(cm)
 		return mgr, cm, nil
 	}
+}
+
+// buildReplica assembles the warm-standby stack: one Replica per
+// tenant, each streaming its namespace's journal from -replica-of into
+// its own durable directory (default at the -data-dir root, others at
+// <data-dir>/tenants/<name>), served read-only by one HTTP server with
+// the role gate engaged. Promotion promotes every tenant's stream
+// before the node flips to primary, so a failover never strands a
+// namespace. The replica also exposes a replication source per tenant,
+// so after promotion the remaining standbys can re-point at it and
+// chain bootstrap works. The returned replicas are in shutdown order,
+// default first.
+func buildReplica(cfg daemonConfig) (*crowddb.Server, []*crowddb.Replica, int, error) {
+	if cfg.dataDir == "" {
+		return nil, nil, 0, errors.New("-replica-of requires -data-dir")
+	}
+	var cmRef atomic.Pointer[core.ConcurrentModel]
 	log.Printf("starting as replica of %s", cfg.replicaOf)
 	rep, err := crowddb.StartReplica(crowddb.ReplicaOptions{
 		Primary: cfg.replicaOf,
@@ -535,11 +736,18 @@ func buildReplica(cfg daemonConfig) (*crowddb.Server, *crowddb.Replica, int, err
 			CompactEveryRecords: cfg.compactEvery,
 			Logf:                log.Printf,
 		},
-		Build:      build,
+		Build:      replicaBuilder(cfg, &cmRef),
 		FleetToken: cfg.fleetToken,
 		Logf:       log.Printf,
 	})
 	if err != nil {
+		return nil, nil, 0, err
+	}
+	reps := []*crowddb.Replica{rep}
+	fail := func(err error) (*crowddb.Server, []*crowddb.Replica, int, error) {
+		for _, rp := range reps {
+			rp.Close()
+		}
 		return nil, nil, 0, err
 	}
 	db := rep.DB()
@@ -551,8 +759,7 @@ func buildReplica(cfg daemonConfig) (*crowddb.Server, *crowddb.Replica, int, err
 		return core.ProjectionCacheStats{}
 	})
 	if err := seedTopology(srv, cfg); err != nil {
-		rep.Close()
-		return nil, nil, 0, err
+		return fail(err)
 	}
 	srv.SetRole(crowddb.RoleReplica)
 	srv.SetDurabilityStats(db.Stats)
@@ -568,12 +775,58 @@ func buildReplica(cfg daemonConfig) (*crowddb.Server, *crowddb.Replica, int, err
 		st.Followers = src.Followers()
 		return st
 	})
-	srv.SetPromoter(rep.Promote)
 	engine, err := crowdql.NewEngine(rep.Manager())
 	if err != nil {
-		rep.Close()
-		return nil, nil, 0, err
+		return fail(err)
 	}
 	srv.SetQueryEngine(crowdql.HTTPAdapter{Engine: engine})
-	return srv, rep, len(db.Store().OnlineWorkers()), nil
+
+	for _, name := range cfg.tenants {
+		log.Printf("tenant %s: starting replica stream", name)
+		trep, terr := crowddb.StartReplica(crowddb.ReplicaOptions{
+			Primary: cfg.replicaOf,
+			Tenant:  name,
+			Dir:     filepath.Join(cfg.dataDir, "tenants", name),
+			DB: crowddb.Options{
+				Sync:                cfg.sync,
+				CompactEveryRecords: cfg.compactEvery,
+				Logf:                log.Printf,
+			},
+			Build:      replicaBuilder(cfg, new(atomic.Pointer[core.ConcurrentModel])),
+			FleetToken: cfg.fleetToken,
+			Logf:       log.Printf,
+		})
+		if terr != nil {
+			return fail(fmt.Errorf("tenant %s: %w", name, terr))
+		}
+		reps = append(reps, trep)
+		tdb := trep.DB()
+		tsrc := crowddb.NewReplicationSource(tdb, crowddb.ReplicationSourceOptions{Logf: log.Printf})
+		tsrc.SetFence(fence)
+		tengine, terr := crowdql.NewEngine(trep.Manager())
+		if terr != nil {
+			return fail(fmt.Errorf("tenant %s: %w", name, terr))
+		}
+		if terr := srv.AddTenant(name, crowddb.TenantConfig{
+			Manager:           trep.Manager(),
+			Query:             crowdql.HTTPAdapter{Engine: tengine},
+			Degraded:          tdb.Degraded,
+			ReplicationSource: tsrc,
+			MaxInflight:       cfg.tenantQuota,
+		}); terr != nil {
+			return fail(terr)
+		}
+	}
+	// Promote every tenant's stream; the node-level role flips only
+	// after all succeed. Replica.Promote is idempotent on success, so a
+	// retried promotion re-drives only the tenants that failed.
+	srv.SetPromoter(func(ctx context.Context) error {
+		for i, rp := range reps {
+			if perr := rp.Promote(ctx); perr != nil {
+				return fmt.Errorf("tenant %s: %w", append([]string{crowddb.DefaultTenant}, cfg.tenants...)[i], perr)
+			}
+		}
+		return nil
+	})
+	return srv, reps, len(db.Store().OnlineWorkers()), nil
 }

@@ -26,11 +26,11 @@ func testConfig() daemonConfig {
 }
 
 func TestBuildServiceServes(t *testing.T) {
-	handler, db, online, err := buildService(testConfig())
+	handler, dbs, online, err := buildService(testConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if db != nil {
+	if len(dbs) != 0 {
 		t.Fatal("in-memory config produced a durable DB")
 	}
 	if online == 0 {
@@ -124,13 +124,14 @@ func TestBuildServicePersistsAcrossRestart(t *testing.T) {
 	cfg := testConfig()
 	cfg.dataDir = t.TempDir()
 
-	handler, db, _, err := buildService(cfg)
+	handler, dbs, _, err := buildService(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if db == nil {
+	if len(dbs) == 0 {
 		t.Fatal("durable config produced no DB")
 	}
+	db := dbs[0]
 	srv := httptest.NewServer(handler)
 	resp, err := http.Post(srv.URL+"/api/tasks", "application/json",
 		strings.NewReader(`{"text":"durable question","k":2}`))
@@ -152,11 +153,11 @@ func TestBuildServicePersistsAcrossRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	handler2, db2, online, err := buildService(cfg)
+	handler2, dbs2, online, err := buildService(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer db2.Close()
+	defer dbs2[0].Close()
 	if online == 0 {
 		t.Fatal("no workers online after restart")
 	}

@@ -204,8 +204,22 @@ type (
 // NewStore returns an empty crowd database.
 func NewStore() *Store { return crowddb.NewStore() }
 
+// ManagerConfig collects a Manager's dependencies (store, vocabulary,
+// selector, crowd size, optional shard identity and tenant namespace)
+// for NewManagerWith.
+type ManagerConfig = crowddb.ManagerConfig
+
+// NewManagerWith wires a crowd manager from an options struct — the
+// growable form of NewManager.
+func NewManagerWith(cfg ManagerConfig) (*Manager, error) {
+	return crowddb.NewManagerWith(cfg)
+}
+
 // NewManager wires a crowd manager over the store with the given
 // selector and default crowd size k.
+//
+// Deprecated: prefer NewManagerWith, whose ManagerConfig grows new
+// fields without breaking call sites.
 func NewManager(store *Store, vocab *Vocabulary, sel crowddb.Selector, k int) (*Manager, error) {
 	return crowddb.NewManager(store, vocab, sel, k)
 }
@@ -239,9 +253,11 @@ type (
 	// APIErrorBody is the payload of the v1 error envelope.
 	APIErrorBody = crowddb.ErrorBody
 	// APIClient is the typed HTTP client for the v1 API, with built-in
-	// timeouts and retry/backoff.
+	// timeouts and retry/backoff. Scope one to a named tenant with the
+	// Options.Tenant field or the ForTenant method.
 	APIClient = crowdclient.Client
-	// APIClientOptions tunes an APIClient.
+	// APIClientOptions tunes an APIClient (timeouts, retries, breaker,
+	// fleet token, tenant namespace).
 	APIClientOptions = crowdclient.Options
 	// APIError is a non-2xx response decoded from the error envelope.
 	APIError = crowdclient.APIError

@@ -87,6 +87,13 @@ type Options struct {
 	// "Authorization: Bearer <token>" on every request; empty sends
 	// nothing.
 	FleetToken string
+	// Tenant scopes the client to one tenant namespace: every
+	// /api/v1/... path is rewritten to /api/v1/t/{tenant}/... before it
+	// leaves the client, so the whole typed surface (and Do) addresses
+	// that tenant's crowd. Empty or "default" keeps the un-prefixed
+	// paths — an exact alias for the default tenant. See also
+	// Client.ForTenant for deriving scoped views from one client.
+	Tenant string
 }
 
 // Client talks to one crowdd base URL. It is safe for concurrent use.
@@ -97,6 +104,7 @@ type Client struct {
 	backoff    time.Duration
 	sleep      func(time.Duration)
 	fleetToken string
+	tenant     string // "": default tenant (un-prefixed paths)
 
 	brk        *breaker     // nil: breaker disabled
 	budget     *retryBudget // nil: unbounded retries
@@ -188,6 +196,7 @@ func New(baseURL string, opts Options) *Client {
 		backoff:    opts.Backoff,
 		sleep:      opts.Sleep,
 		fleetToken: opts.FleetToken,
+		tenant:     normalizeTenant(opts.Tenant),
 		hedgeDelay: opts.HedgeDelay,
 		rng:        rand.New(rand.NewSource(opts.Seed)),
 		gossip:     &epochGossip{},
@@ -199,6 +208,63 @@ func New(baseURL string, opts Options) *Client {
 		c.budget = newRetryBudget(opts.RetryBudget)
 	}
 	return c
+}
+
+// normalizeTenant maps the default tenant's explicit name to the
+// empty string, so "default" and "" build byte-identical requests.
+func normalizeTenant(name string) string {
+	if name == crowddb.DefaultTenant {
+		return ""
+	}
+	return name
+}
+
+// ForTenant derives a client scoped to one tenant namespace: every
+// /api/v1/... path it issues is rewritten to /api/v1/t/{name}/....
+// The view shares the parent's transport, circuit breaker, retry
+// budget and epoch gossip — tenancy scopes the paths, not the
+// resilience state, so a breaker opened by one tenant's traffic
+// protects the others from the same dead server. name "default" (or
+// "") returns a view on the un-prefixed paths.
+func (c *Client) ForTenant(name string) *Client {
+	c.rngMu.Lock()
+	seed := c.rng.Int63()
+	c.rngMu.Unlock()
+	return &Client{
+		base:       c.base,
+		hc:         c.hc,
+		retries:    c.retries,
+		backoff:    c.backoff,
+		sleep:      c.sleep,
+		fleetToken: c.fleetToken,
+		tenant:     normalizeTenant(name),
+		brk:        c.brk,
+		budget:     c.budget,
+		hedgeDelay: c.hedgeDelay,
+		rng:        rand.New(rand.NewSource(seed)),
+		gossip:     c.gossip,
+	}
+}
+
+// Tenant reports the namespace this client is scoped to ("default"
+// for an unscoped client).
+func (c *Client) Tenant() string {
+	if c.tenant == "" {
+		return crowddb.DefaultTenant
+	}
+	return c.tenant
+}
+
+// scopePath maps a canonical /api/v1/... path into the client's
+// tenant namespace; non-API paths (/readyz, /healthz) pass through.
+func (c *Client) scopePath(path string) string {
+	if c.tenant == "" {
+		return path
+	}
+	if rest, ok := strings.CutPrefix(path, "/api/v1/"); ok {
+		return "/api/v1/t/" + c.tenant + "/" + rest
+	}
+	return path
 }
 
 // ClientStats snapshots the client's resilience counters.
@@ -282,12 +348,14 @@ func (c *Client) backoffFor(n int) time.Duration {
 }
 
 // idempotent reports whether a request may be repeated safely: GETs,
-// and POST /api/v1/selections — a pure model read that stores nothing,
-// so replaying it cannot double-apply. POST /api/v1/query is not on
-// the list: a SELECT CROWD submits tasks.
+// and POST .../selections — a pure model read that stores nothing, so
+// replaying it cannot double-apply. The suffix match covers both the
+// un-prefixed and the tenant-scoped (/api/v1/t/{tenant}/selections)
+// spellings. POST .../query is not on the list: a SELECT CROWD
+// submits tasks.
 func idempotent(method, url string) bool {
 	return method == http.MethodGet ||
-		(method == http.MethodPost && strings.HasSuffix(url, "/api/v1/selections"))
+		(method == http.MethodPost && strings.HasSuffix(url, "/selections") && strings.Contains(url, "/api/"))
 }
 
 // retriableErr reports whether a transport error may be retried for
@@ -484,9 +552,11 @@ func (c *Client) do(ctx context.Context, method, url string, body []byte) (*http
 
 // Do issues one API request and returns the raw response payload; path
 // is relative to the base URL (e.g. "/api/v1/stats") and a non-nil
-// body is sent as JSON. Non-2xx responses return *APIError. Typed
-// methods below cover the whole v1 surface; Do is the escape hatch for
-// endpoints with free-form payloads (query, metrics).
+// body is sent as JSON. On a tenant-scoped client, /api/v1/... paths
+// are rewritten into the tenant namespace before they leave. Non-2xx
+// responses return *APIError. Typed methods below cover the whole v1
+// surface; Do is the escape hatch for endpoints with free-form
+// payloads (query, metrics).
 func (c *Client) Do(ctx context.Context, method, path string, body any) ([]byte, error) {
 	var payload []byte
 	if body != nil {
@@ -496,7 +566,7 @@ func (c *Client) Do(ctx context.Context, method, path string, body any) ([]byte,
 		}
 		payload = b
 	}
-	resp, err := c.do(ctx, method, c.base+path, payload)
+	resp, err := c.do(ctx, method, c.base+c.scopePath(path), payload)
 	if err != nil {
 		return nil, err
 	}

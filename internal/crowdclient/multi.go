@@ -64,6 +64,25 @@ func NewMulti(endpoints []string, opts Options) (*Multi, error) {
 	return m, nil
 }
 
+// ForTenant derives a Multi scoped to one tenant namespace: every
+// per-endpoint client is the corresponding ForTenant view, sharing
+// the parent's breakers, retry budgets and epoch gossip. The believed
+// primary carries over — tenants share one replication topology, so
+// what one tenant's traffic learned about who is primary is equally
+// true for the others. Failover counters start fresh per view.
+func (m *Multi) ForTenant(name string) *Multi {
+	nm := &Multi{endpoints: append([]string(nil), m.endpoints...)}
+	for _, c := range m.clients {
+		nm.clients = append(nm.clients, c.ForTenant(name))
+	}
+	nm.primary.Store(m.primary.Load())
+	return nm
+}
+
+// Tenant reports the namespace this Multi is scoped to ("default"
+// for an unscoped Multi).
+func (m *Multi) Tenant() string { return m.clients[0].Tenant() }
+
 // Endpoints returns the configured base URLs in order.
 func (m *Multi) Endpoints() []string {
 	out := make([]string, len(m.endpoints))

@@ -159,6 +159,33 @@ func (r *Router) PushTopology(ctx context.Context, doc crowddb.Topology) error {
 	return errors.Join(errs...)
 }
 
+// ForTenant derives a Router view whose every call is scoped to the
+// named tenant. The view trusts the same topology the parent trusts
+// right now (tenants share one fleet layout) and shares each shard's
+// believed-primary hint, but refreshes independently afterwards. Pass
+// "default" (or "") to address the un-prefixed namespace.
+func (r *Router) ForTenant(name string) *Router {
+	opts := r.opts
+	opts.Tenant = name
+	nr := &Router{opts: opts, seeds: append([]string(nil), r.seeds...)}
+	r.mu.RLock()
+	nr.topo = r.topo
+	nr.shards = make([]*Multi, len(r.shards))
+	for i, m := range r.shards {
+		nr.shards[i] = m.ForTenant(name)
+	}
+	r.mu.RUnlock()
+	return nr
+}
+
+// Tenant reports the namespace this Router addresses.
+func (r *Router) Tenant() string {
+	if t := normalizeTenant(r.opts.Tenant); t != "" {
+		return t
+	}
+	return crowddb.DefaultTenant
+}
+
 // Topology returns the layout the Router currently trusts.
 func (r *Router) Topology() crowddb.Topology {
 	r.mu.RLock()

@@ -71,6 +71,15 @@ type event struct {
 	// feedback.
 	ForwardOf *int      `json:"forward_of,omitempty"`
 	At        time.Time `json:"at"`
+	// Tenant namespaces the record (DESIGN §13). Stores serving a
+	// non-default tenant stamp their name on every record they journal;
+	// replay and replicated apply refuse a record stamped for a
+	// different namespace. Absent means the record predates tenancy or
+	// belongs to the default tenant — the two are deliberately
+	// indistinguishable, which is what lets a PR-7-era journal replay
+	// as the default tenant unchanged (and keeps a default tenant's
+	// journal byte-identical to a pre-tenant one).
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // ErrJournal wraps journal write failures.
@@ -358,12 +367,18 @@ func (s *Store) attachSink(sink journalSink) {
 // logEvent appends an event; callers hold s.mu. Mutators that stamp a
 // timestamp into the row pass the same instant in e.At so replay
 // reproduces the row exactly; otherwise the event is stamped here.
+// Non-default tenants stamp their namespace on every record; the
+// default tenant leaves the field absent so its journal stays
+// byte-identical to a pre-tenant one.
 func (s *Store) logEvent(e event) error {
 	if s.journal == nil {
 		return nil
 	}
 	if e.At.IsZero() {
 		e.At = s.clock()
+	}
+	if e.Tenant == "" && s.tenant != "" && s.tenant != DefaultTenant {
+		e.Tenant = s.tenant
 	}
 	return s.journal.logRecord(e)
 }
@@ -468,7 +483,31 @@ func (s *Store) applyReplicated(e event, onResolve func(TaskRecord) error) error
 	return s.applyEvent(e, onResolve)
 }
 
+// tenantMismatch is the namespace cross-check on replay and replicated
+// apply: a record stamped for another tenant must never fold into this
+// store's model. An unstamped record is accepted anywhere — it is
+// either pre-tenant history or a default-tenant record, both of which
+// belong to whatever namespace owns the journal it sits in.
+func (s *Store) tenantMismatch(e event) error {
+	if e.Tenant == "" {
+		return nil
+	}
+	s.mu.Lock()
+	mine := s.tenant
+	s.mu.Unlock()
+	if mine == "" {
+		mine = DefaultTenant
+	}
+	if e.Tenant != mine {
+		return fmt.Errorf("%w: record for tenant %q in tenant %q journal", ErrBadRequest, e.Tenant, mine)
+	}
+	return nil
+}
+
 func (s *Store) applyEvent(e event, onResolve func(TaskRecord) error) error {
+	if err := s.tenantMismatch(e); err != nil {
+		return err
+	}
 	switch e.Kind {
 	case evAddWorker:
 		_, err := s.AddWorker(e.Worker, e.Name)

@@ -71,9 +71,48 @@ type Manager struct {
 	shard ShardSpec
 }
 
+// ManagerConfig collects a Manager's dependencies for NewManagerWith.
+// New knobs extend the struct without breaking call sites, which is why
+// new code should prefer it over the positional NewManager.
+type ManagerConfig struct {
+	// Store is the crowd database the manager serves (required).
+	Store *Store
+	// Vocab maps task text to the term ids the selector was trained on
+	// (required).
+	Vocab *text.Vocabulary
+	// Selector ranks workers for a task (required).
+	Selector Selector
+	// CrowdK is the default crowd size per task (required, >= 1).
+	CrowdK int
+	// Shard is the node's slice of a sharded fleet (zero: unsharded).
+	Shard ShardSpec
+	// Tenant namespaces the manager's journal records (empty or
+	// "default": the un-prefixed default tenant).
+	Tenant string
+}
+
+// NewManagerWith is the options-struct form of NewManager; it also
+// applies the shard identity and tenant namespace, which must both be
+// set before any mutation is journaled or replayed.
+func NewManagerWith(cfg ManagerConfig) (*Manager, error) {
+	m, err := NewManager(cfg.Store, cfg.Vocab, cfg.Selector, cfg.CrowdK)
+	if err != nil {
+		return nil, err
+	}
+	m.SetShard(cfg.Shard)
+	if cfg.Tenant != "" {
+		m.SetTenant(cfg.Tenant)
+	}
+	return m, nil
+}
+
 // NewManager wires a crowd manager over the store. vocab maps task
 // text to the term ids the selector was trained on; k is the default
 // crowd size per task.
+//
+// Deprecated: prefer NewManagerWith — its ManagerConfig grows new
+// fields (shard identity, tenant namespace, ...) without breaking call
+// sites. NewManager remains supported for existing callers.
 //
 // A bare *core.Model is wrapped in a core.ConcurrentModel: the manager
 // serves selection and feedback traffic concurrently (the HTTP server
@@ -106,6 +145,15 @@ func (m *Manager) SetShard(sp ShardSpec) {
 
 // Shard reports the node's shard identity (zero value: unsharded).
 func (m *Manager) Shard() ShardSpec { return m.shard }
+
+// SetTenant names the tenant this manager (and its store) serves
+// (DESIGN §13). Call once at boot, before mutations and before
+// recovery, so journal records are stamped — and cross-checked —
+// against the right namespace.
+func (m *Manager) SetTenant(name string) { m.store.SetTenant(name) }
+
+// Tenant reports the manager's namespace (DefaultTenant when unset).
+func (m *Manager) Tenant() string { return m.store.Tenant() }
 
 // candidateWorkers is the selection candidate set: online workers,
 // restricted to the ones this shard owns. The global top-k over all

@@ -59,6 +59,14 @@ type ReplicaOptions struct {
 	// its /api/v1/replication/* surface (Server.SetFleetToken). Empty
 	// for open fleets.
 	FleetToken string
+	// Tenant scopes the replica to one tenant namespace (DESIGN §13):
+	// the stream dials /api/v1/t/{name}/replication/stream and the
+	// local store is stamped with the name, so records are journaled —
+	// and cross-checked — under the right namespace. Empty or
+	// DefaultTenant follows the primary's default tenant on the
+	// un-prefixed path. A multi-tenant follower runs one Replica per
+	// tenant, each with its own Dir.
+	Tenant string
 	// Logf receives lifecycle notices. nil is silent.
 	Logf func(format string, args ...any)
 }
@@ -118,9 +126,17 @@ func StartReplica(opts ReplicaOptions) (*Replica, error) {
 	if opts.Logf == nil {
 		opts.Logf = func(string, ...any) {}
 	}
+	if opts.Tenant != "" && !ValidTenantName(opts.Tenant) {
+		return nil, fmt.Errorf("crowddb: invalid replica tenant %q", opts.Tenant)
+	}
 	db, err := Open(opts.Dir, opts.DB)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Tenant != "" {
+		// Stamp the namespace before any replay or append, so recovery
+		// cross-checks records and re-journaled frames carry the name.
+		db.Store().SetTenant(opts.Tenant)
 	}
 	r := &Replica{opts: opts, db: db, done: make(chan struct{})}
 	ctx, cancel := context.WithCancel(context.Background())
@@ -322,7 +338,11 @@ func (r *Replica) dial(ctx context.Context, from int64, history string, boot boo
 	if boot {
 		q.Set("boot", "1")
 	}
-	u := r.opts.Primary + "/api/v1/replication/stream?" + q.Encode()
+	path := "/api/v1/replication/stream"
+	if r.opts.Tenant != "" && r.opts.Tenant != DefaultTenant {
+		path = "/api/v1/t/" + r.opts.Tenant + "/replication/stream"
+	}
+	u := r.opts.Primary + path + "?" + q.Encode()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return nil, err

@@ -45,6 +45,14 @@ import (
 // both spellings share one handler and one metrics series (labeled
 // under the v1 path). New clients should use /api/v1 exclusively.
 //
+// Tenant-scoped routes live under /api/v1/t/{tenant}/... (DESIGN §13):
+// the same rewrite-pre-dispatch trick strips the tenant prefix and
+// threads the tenant through the request context, so every data route
+// serves every tenant from one mux. The un-prefixed /api/v1/* routes
+// are exact aliases for the "default" tenant. Unknown tenants get 404
+// with the unknown_tenant code; a tenant over its in-flight quota gets
+// 429 with tenant_quota_exceeded. See AddTenant / SetTenantQuota.
+//
 // Every non-2xx response carries one JSON error envelope:
 //
 //	{"error": {"code": "bad_request", "message": "empty task text"}}
@@ -52,8 +60,9 @@ import (
 // where code is a stable machine-readable class (bad_request,
 // not_found, method_not_allowed, request_too_large, over_capacity,
 // client_closed_request, unavailable, degraded_read_only,
-// deadline_exceeded, not_primary, replica_diverged, not_implemented,
-// internal) and message is human-readable detail.
+// deadline_exceeded, not_primary, replica_diverged, unknown_tenant,
+// tenant_quota_exceeded, not_implemented, internal) and message is
+// human-readable detail.
 //
 // Handlers thread the request context into the manager, so a client
 // that disconnects mid-request cancels the in-flight selection work;
@@ -99,6 +108,12 @@ type Server struct {
 
 	cacheStats func() core.ProjectionCacheStats // nil: no cache section
 	topo       topologyState                    // live topology document
+
+	// tenants is the tenant registry (DESIGN §13). It always holds the
+	// default entry; AddTenant registers more at boot time. The default
+	// entry's manager/query/... fields stay nil — the Server's own
+	// fields above are authoritative for the default tenant.
+	tenants map[string]*tenantEntry
 }
 
 // QueryEngine executes crowdql statements; crowdql.HTTPAdapter
@@ -130,22 +145,8 @@ const statusClientClosedRequest = 499
 func NewServer(mgr *Manager) *Server {
 	s := &Server{mgr: mgr, mux: http.NewServeMux(), metrics: NewMetrics(), maxBody: defaultMaxBody}
 	s.ready.Store(true)
-	s.mux.HandleFunc("/api/v1/tasks", s.handleTasks)
-	s.mux.HandleFunc("/api/v1/tasks:batch", s.handleTasksBatch)
-	s.mux.HandleFunc("/api/v1/selections", s.handleSelections)
-	s.mux.HandleFunc("/api/v1/tasks/", s.handleTaskSubtree)
-	s.mux.HandleFunc("/api/v1/workers/", s.handleWorkerSubtree)
-	s.mux.HandleFunc("/api/v1/stats", s.handleStats)
-	s.mux.HandleFunc("/api/v1/query", s.handleQuery)
-	s.mux.HandleFunc("/api/v1/metrics", s.handleMetrics)
-	s.mux.HandleFunc("/api/v1/topology", s.handleTopology)
-	s.mux.HandleFunc("/api/v1/skills:feedback", s.handleSkillFeedback)
-	s.mux.HandleFunc("/api/v1/replication/stream", s.handleReplStream)
-	s.mux.HandleFunc("/api/v1/replication/promote", s.handlePromote)
-	s.mux.HandleFunc("/api/v1/replication/fence", s.handleFence)
-	s.mux.HandleFunc("/api/v1/replication/lease", s.handleLease)
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.tenants = map[string]*tenantEntry{DefaultTenant: {name: DefaultTenant}}
+	s.registerRoutes()
 	s.role.Store(RolePrimary)
 	return s
 }
@@ -306,7 +307,7 @@ func (s *Server) handleSkillFeedback(w http.ResponseWriter, r *http.Request) {
 		}
 		forwardOf = *req.Task
 	}
-	if err := s.mgr.ApplyModelFeedback(r.Context(), forwardOf, req.Text, scores); err != nil {
+	if err := s.mgrFor(r).ApplyModelFeedback(r.Context(), forwardOf, req.Text, scores); err != nil {
 		s.writeShardErr(w, r, err)
 		return
 	}
@@ -437,9 +438,12 @@ func (s *Server) replicationStatusNow() ReplicationStatus {
 }
 
 // handleReplStream serves the journal stream to followers; the
-// long-lived response is produced by the installed ReplicationSource.
+// long-lived response is produced by the tenant's installed
+// ReplicationSource — /api/v1/t/{name}/replication/stream streams that
+// tenant's journal, the un-prefixed path the default tenant's.
 func (s *Server) handleReplStream(w http.ResponseWriter, r *http.Request) {
-	if s.replSource == nil {
+	src := s.replSourceFor(r)
+	if src == nil {
 		httpError(w, http.StatusNotImplemented, errors.New("replication source not configured"))
 		return
 	}
@@ -448,7 +452,7 @@ func (s *Server) handleReplStream(w http.ResponseWriter, r *http.Request) {
 			errors.New("a replica does not serve the replication stream; connect to the primary"))
 		return
 	}
-	s.replSource.ServeHTTP(w, r)
+	src.ServeHTTP(w, r)
 }
 
 // handlePromote flips a replica to primary: the promoter seals the
@@ -649,7 +653,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
 		return
 	}
-	if s.query == nil {
+	query := s.queryFor(r)
+	if query == nil {
 		httpError(w, http.StatusNotImplemented, errors.New("query engine not configured"))
 		return
 	}
@@ -661,7 +666,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, errors.New("empty query"))
 		return
 	}
-	res, err := s.query.Execute(r.Context(), req.Q)
+	res, err := query.Execute(r.Context(), req.Q)
 	if err != nil {
 		writeErr(w, r, err)
 		return
@@ -710,10 +715,12 @@ func serverDeadlineFired(ctx context.Context) bool {
 }
 
 // ServeHTTP implements http.Handler. It is the middleware shell:
-// rewrite deprecated /api/* paths onto /api/v1/*, run the readiness,
-// degraded-mode and admission gates, arm the deadline budget, cap the
-// request body, route, then record status/latency per endpoint (under
-// the v1 label for both spellings) and turn handler panics into 500s.
+// rewrite deprecated /api/* paths onto /api/v1/*, strip the
+// /api/v1/t/{tenant} prefix into the request context, run the
+// readiness, degraded-mode, admission and tenant-quota gates, arm the
+// deadline budget, cap the request body, route, then record
+// status/latency per endpoint (under the v1 label for every spelling)
+// and turn handler panics into 500s.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	sw := &statusWriter{ResponseWriter: w}
@@ -750,6 +757,29 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		sw.Header().Set("X-Crowdd-History", s.fence.History())
 	}
 	if probe := r.URL.Path == "/healthz" || r.URL.Path == "/readyz"; !probe {
+		// Tenant rewrite, before every gate: /api/v1/t/{name}/rest
+		// becomes /api/v1/rest with the tenant in the request context,
+		// so tenant-scoped and default spellings share one mux, one
+		// handler and one metrics series — exactly the legacy-alias
+		// contract, extended to namespaces.
+		ten := s.tenants[DefaultTenant]
+		if name, v1, scoped := splitTenantPath(r.URL.Path); scoped {
+			e := s.tenants[name]
+			if e == nil {
+				// Collapse the unknown name before the deferred metrics
+				// observation — arbitrary request paths must not mint
+				// unbounded label cardinality.
+				r = r.Clone(r.Context())
+				r.URL.Path = "/api/v1/t/{tenant}"
+				httpErrorCode(sw, http.StatusNotFound, codeUnknownTenant,
+					fmt.Errorf("unknown tenant %q", name))
+				return
+			}
+			ten = e
+			r = r.Clone(context.WithValue(r.Context(), tenantCtxKey{}, name))
+			r.URL.Path = v1
+		}
+		ten.requests.Add(1)
 		if !s.ready.Load() {
 			sw.Header().Set("Retry-After", "1")
 			httpError(sw, http.StatusServiceUnavailable, errors.New("service not ready"))
@@ -793,7 +823,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 				errors.New("this node is a read replica; send writes to the primary"))
 			return
 		}
-		if mutation && !topoAdmin && s.degraded != nil && s.degraded() {
+		if mutation && !topoAdmin && s.tenantDegraded(ten) {
 			httpErrorCode(sw, http.StatusServiceUnavailable, codeDegradedReadOnly,
 				errors.New("journal unavailable: mutations sealed, reads still served"))
 			return
@@ -814,6 +844,16 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 				s.adm.release(time.Since(start), overloaded)
 			}()
 		}
+		// Per-tenant quota, after the node-wide admission gate: a noisy
+		// tenant sheds on its own budget before it can crowd out the
+		// others' share of the node's capacity.
+		if !ten.admit() {
+			sw.Header().Set("Retry-After", "1")
+			httpErrorCode(sw, http.StatusTooManyRequests, codeTenantQuotaExceeded,
+				fmt.Errorf("tenant %q is over its in-flight quota", ten.name))
+			return
+		}
+		defer ten.release()
 		if budget := s.budgetFor(mutation); budget > 0 {
 			parent := r.Context()
 			ctx, cancel := context.WithTimeout(context.WithValue(parent, parentCtxKey{}, parent), budget)
@@ -915,6 +955,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fs := s.fence.Status()
 		snap.Fencing = &fs
 	}
+	snap.Tenants = s.tenantSnapshots()
 	writeJSON(w, http.StatusOK, snap)
 }
 
@@ -969,7 +1010,8 @@ func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
 	}
 	// A single submit is a batch of one, so the Workers preassignment
 	// field behaves (and validates) identically on both endpoints.
-	subs, err := s.mgr.SubmitBatch(r.Context(), []TaskSubmission{{Text: req.Text, K: req.K, Workers: req.Workers}})
+	mgr := s.mgrFor(r)
+	subs, err := mgr.SubmitBatch(r.Context(), []TaskSubmission{{Text: req.Text, K: req.K, Workers: req.Workers}})
 	if err != nil {
 		writeErr(w, r, err)
 		return
@@ -977,7 +1019,7 @@ func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, SubmitResponse{
 		TaskID:  subs[0].Task.ID,
 		Workers: subs[0].Workers,
-		Model:   s.mgr.SelectorName(),
+		Model:   mgr.SelectorName(),
 	})
 }
 
@@ -994,12 +1036,13 @@ func (s *Server) handleTasksBatch(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	subs, err := s.mgr.SubmitBatch(r.Context(), reqs)
+	mgr := s.mgrFor(r)
+	subs, err := mgr.SubmitBatch(r.Context(), reqs)
 	if err != nil {
 		writeErr(w, r, err)
 		return
 	}
-	model := s.mgr.SelectorName()
+	model := mgr.SelectorName()
 	resp := BatchSubmitResponse{Results: make([]SubmitResponse, len(subs))}
 	for i, sub := range subs {
 		resp.Results[i] = SubmitResponse{TaskID: sub.Task.ID, Workers: sub.Workers, Model: model}
@@ -1063,13 +1106,14 @@ func (s *Server) handleSelections(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	mgr := s.mgrFor(r)
 	if req.IncludeScores {
-		scored, err := s.mgr.RankOnlyScored(r.Context(), reqs)
+		scored, err := mgr.RankOnlyScored(r.Context(), reqs)
 		if err != nil {
 			writeErr(w, r, err)
 			return
 		}
-		resp := SelectionsResponse{Results: make([]SelectionResult, len(scored)), Model: s.mgr.SelectorName()}
+		resp := SelectionsResponse{Results: make([]SelectionResult, len(scored)), Model: mgr.SelectorName()}
 		for i, items := range scored {
 			res := SelectionResult{Workers: rank.IDs(items), Scores: make([]float64, len(items))}
 			for j, it := range items {
@@ -1080,12 +1124,12 @@ func (s *Server) handleSelections(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
-	crowds, err := s.mgr.RankOnly(r.Context(), reqs)
+	crowds, err := mgr.RankOnly(r.Context(), reqs)
 	if err != nil {
 		writeErr(w, r, err)
 		return
 	}
-	resp := SelectionsResponse{Results: make([]SelectionResult, len(crowds)), Model: s.mgr.SelectorName()}
+	resp := SelectionsResponse{Results: make([]SelectionResult, len(crowds)), Model: mgr.SelectorName()}
 	for i, c := range crowds {
 		resp.Results[i] = SelectionResult{Workers: c}
 	}
@@ -1112,9 +1156,10 @@ func (s *Server) handleTaskSubtree(w http.ResponseWriter, r *http.Request) {
 	if s.refuseUnownedTask(w, r, id) {
 		return
 	}
+	mgr := s.mgrFor(r)
 	switch {
 	case len(parts) == 1 && r.Method == http.MethodGet:
-		task, err := s.mgr.Store().GetTask(id)
+		task, err := mgr.Store().GetTask(id)
 		if err != nil {
 			writeErr(w, r, err)
 			return
@@ -1125,7 +1170,7 @@ func (s *Server) handleTaskSubtree(w http.ResponseWriter, r *http.Request) {
 		if !s.decodeJSON(w, r, &req) {
 			return
 		}
-		if err := s.mgr.CollectAnswer(id, req.Worker, req.Answer); err != nil {
+		if err := mgr.CollectAnswer(id, req.Worker, req.Answer); err != nil {
 			writeErr(w, r, err)
 			return
 		}
@@ -1144,7 +1189,7 @@ func (s *Server) handleTaskSubtree(w http.ResponseWriter, r *http.Request) {
 			}
 			scores[wid] = v
 		}
-		rec, err := s.mgr.ResolveTask(r.Context(), id, scores)
+		rec, err := mgr.ResolveTask(r.Context(), id, scores)
 		if err != nil {
 			writeErr(w, r, err)
 			return
@@ -1167,9 +1212,10 @@ func (s *Server) handleWorkerSubtree(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad worker id %q", parts[0]))
 		return
 	}
+	mgr := s.mgrFor(r)
 	switch {
 	case len(parts) == 1 && r.Method == http.MethodGet:
-		worker, err := s.mgr.Store().GetWorker(id)
+		worker, err := mgr.Store().GetWorker(id)
 		if err != nil {
 			writeErr(w, r, err)
 			return
@@ -1183,7 +1229,7 @@ func (s *Server) handleWorkerSubtree(w http.ResponseWriter, r *http.Request) {
 		if !s.decodeJSON(w, r, &req) {
 			return
 		}
-		if err := s.mgr.Store().SetOnline(id, req.Online); err != nil {
+		if err := mgr.Store().SetOnline(id, req.Online); err != nil {
 			writeErr(w, r, err)
 			return
 		}
@@ -1210,7 +1256,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
 		return
 	}
-	st := s.mgr.Store()
+	mgr := s.mgrFor(r)
+	st := mgr.Store()
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Workers:  st.NumWorkers(),
 		Online:   len(st.OnlineWorkers()),
@@ -1218,7 +1265,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Open:     len(st.ListTasks(TaskOpen)),
 		Assigned: len(st.ListTasks(TaskAssigned)),
 		Resolved: len(st.ListTasks(TaskResolved)),
-		Model:    s.mgr.SelectorName(),
+		Model:    mgr.SelectorName(),
 	})
 }
 
@@ -1326,6 +1373,13 @@ const (
 	// codeForbidden refuses fleet-control requests that lack the fleet
 	// token (403) when one is configured.
 	codeForbidden = "forbidden"
+	// codeUnknownTenant answers /api/v1/t/{name}/... for a name no
+	// AddTenant registered (404).
+	codeUnknownTenant = "unknown_tenant"
+	// codeTenantQuotaExceeded sheds a request from a tenant over its
+	// per-tenant in-flight budget (429 + Retry-After); the node itself
+	// still has capacity — other tenants keep serving.
+	codeTenantQuotaExceeded = "tenant_quota_exceeded"
 )
 
 // codeOf maps an HTTP status to the envelope's stable error code.

@@ -110,6 +110,11 @@ type Store struct {
 	appliedForwards map[int]bool
 	clock           func() time.Time
 	journal         journalSink // nil unless a journal is attached
+	// tenant is the namespace this store belongs to (DESIGN §13);
+	// empty means the default tenant. Non-default stores stamp the
+	// name on every journal record and refuse records stamped for a
+	// different namespace on replay.
+	tenant string
 	// sealed is the degraded read-only gate: mutations refused while
 	// set. Atomic (not under mu) because the durability layer seals
 	// from inside a journal append, where mu is already held.
@@ -187,6 +192,27 @@ func (s *Store) SetClock(clock func() time.Time) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.clock = clock
+}
+
+// SetTenant names the tenant namespace this store belongs to
+// (DESIGN §13). Call once at boot, before mutations: a non-default
+// name is stamped on every journal record, and replay/replication
+// apply refuse records stamped for a different namespace. The empty
+// string and DefaultTenant are equivalent.
+func (s *Store) SetTenant(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tenant = name
+}
+
+// Tenant reports the store's namespace (DefaultTenant when unset).
+func (s *Store) Tenant() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.tenant == "" {
+		return DefaultTenant
+	}
+	return s.tenant
 }
 
 // AddWorker inserts a worker with the given id (the id must match the

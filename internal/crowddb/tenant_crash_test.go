@@ -1,0 +1,302 @@
+package crowddb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+
+	"crowdselect/internal/core"
+	"crowdselect/internal/faultfs"
+)
+
+// tenantStepper drives one tenant's workload one task-cycle at a time
+// from a tenant-private rng, recording acked expectations. Because the
+// op sequence depends only on the tenant's own rng and the tenant's
+// own store/model state, a stepper produces the identical sequence
+// whether its tenant runs alone or interleaved with others — which is
+// exactly the isolation property the tests below assert.
+type tenantStepper struct {
+	name   string
+	seed   int64
+	rng    *rand.Rand
+	exp    *expectations
+	cycles int
+}
+
+func newTenantStepper(name string, seed int64) *tenantStepper {
+	return &tenantStepper{
+		name: name,
+		seed: seed,
+		rng:  rand.New(rand.NewSource(seed)),
+		exp:  &expectations{tasks: make(map[int]*expTask), presence: make(map[int]bool)},
+	}
+}
+
+// step runs one cycle (optional presence bounce, submit, answers,
+// resolve) against rig. It reports whether an injected journal failure
+// ended the tenant's run; any other error is a test bug.
+func (ts *tenantStepper) step(t *testing.T, rig *durableRig) bool {
+	t.Helper()
+	crash := func(err error) bool {
+		if err == nil {
+			return false
+		}
+		if errors.Is(err, ErrJournal) {
+			return true
+		}
+		t.Fatalf("tenant %s workload hit non-journal error: %v", ts.name, err)
+		return true
+	}
+	ts.cycles++
+
+	if ts.rng.Intn(5) == 0 {
+		workers := rig.db.Store().Workers()
+		w := workers[ts.rng.Intn(len(workers))].ID
+		for _, online := range []bool{false, true} {
+			if err := rig.db.Store().SetOnline(w, online); crash(err) {
+				return true
+			}
+			ts.exp.presence[w] = online
+			ts.exp.acked++
+		}
+	}
+
+	text := fmt.Sprintf("%s round question %d about topic %d", ts.name, ts.cycles, ts.rng.Intn(40))
+	sub, err := rig.mgr.SubmitTask(context.Background(), text, 2)
+	if crash(err) {
+		return true
+	}
+	et := &expTask{
+		text:     text,
+		assigned: append([]int(nil), sub.Workers...),
+		answers:  make(map[int]string),
+		scores:   make(map[int]float64),
+	}
+	ts.exp.tasks[sub.Task.ID] = et
+	ts.exp.acked++
+
+	for i, w := range sub.Workers {
+		ans := fmt.Sprintf("answer %d from %d", i, w)
+		if crash(rig.mgr.CollectAnswer(sub.Task.ID, w, ans)) {
+			return true
+		}
+		et.answers[w] = ans
+		ts.exp.acked++
+	}
+
+	scores := make(map[int]float64, len(sub.Workers))
+	for _, w := range sub.Workers {
+		scores[w] = float64(ts.rng.Intn(6))
+	}
+	if _, err := rig.mgr.ResolveTask(context.Background(), sub.Task.ID, scores); crash(err) {
+		return true
+	}
+	for w, sc := range scores {
+		et.scores[w] = sc
+	}
+	et.resolved = true
+	ts.exp.acked++
+	return false
+}
+
+// interleave runs every stepper to `cycles` cycles, picking which
+// tenant moves next from a shared master rng so the per-tenant op
+// streams are shuffled against each other. It stops at the first
+// injected crash (a dead process takes every tenant down at once) and
+// reports whether that happened.
+func interleave(t *testing.T, master *rand.Rand, steppers []*tenantStepper, rigs []*durableRig, cycles int) bool {
+	t.Helper()
+	for {
+		live := make([]int, 0, len(steppers))
+		for i, ts := range steppers {
+			if ts.cycles < cycles {
+				live = append(live, i)
+			}
+		}
+		if len(live) == 0 {
+			return false
+		}
+		i := live[master.Intn(len(live))]
+		if steppers[i].step(t, rigs[i]) {
+			return true
+		}
+	}
+}
+
+// TestMultiTenantIsolationUnderInterleaving: three tenants sharing a
+// process, their mutations shuffled together, end with posteriors and
+// stores element-wise equal to fleets that served each tenant alone —
+// and a crash-free restart reconstructs every tenant exactly.
+func TestMultiTenantIsolationUnderInterleaving(t *testing.T) {
+	d, model := trainedFixture(t)
+	tenants := []string{DefaultTenant, "acme", "globex"}
+	const cycles = 40
+
+	dirs := make([]string, len(tenants))
+	rigs := make([]*durableRig, len(tenants))
+	steppers := make([]*tenantStepper, len(tenants))
+	for i, name := range tenants {
+		dirs[i] = t.TempDir()
+		rig, err := openTenantDurable(t, dirs[i], name, d, cloneModel(t, model), Options{Sync: SyncAlways()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rigs[i] = rig
+		steppers[i] = newTenantStepper(name, int64(101+i))
+	}
+	if interleave(t, rand.New(rand.NewSource(99)), steppers, rigs, cycles) {
+		t.Fatal("interleaved round crashed without fault injection")
+	}
+	total := 0
+	for _, ts := range steppers {
+		total += ts.exp.acked
+	}
+	if total < 500 {
+		t.Fatalf("interleaved workload produced only %d mutations, need ≥ 500", total)
+	}
+
+	preModels := make([]*core.Model, len(tenants))
+	for i, rig := range rigs {
+		preModels[i] = cloneModel(t, rig.cm.Unwrap())
+		if err := rig.db.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Solo fleets: same seed, same cycle count, one tenant per process.
+	// Posteriors and acked expectations must match the interleaved run
+	// exactly — other tenants' traffic perturbed nothing.
+	for i, name := range tenants {
+		solo, err := openTenantDurable(t, t.TempDir(), name, d, cloneModel(t, model), Options{Sync: SyncAlways()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := newTenantStepper(name, int64(101+i))
+		for ts.cycles < cycles {
+			if ts.step(t, solo) {
+				t.Fatal("solo round crashed without fault injection")
+			}
+		}
+		if ts.exp.acked != steppers[i].exp.acked {
+			t.Errorf("tenant %s: solo fleet acked %d mutations, interleaved acked %d", name, ts.exp.acked, steppers[i].exp.acked)
+		}
+		assertRecovered(t, solo.db.Store(), steppers[i].exp)
+		assertModelsEqual(t, preModels[i], solo.cm.Unwrap())
+		if err := solo.db.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Restart each tenant from its directory: every acked mutation and
+	// every posterior byte survives, per tenant.
+	for i, name := range tenants {
+		rec, err := openTenantDurable(t, dirs[i], name, d, nil, Options{Sync: SyncAlways()})
+		if err != nil {
+			t.Fatalf("tenant %s failed to recover: %v", name, err)
+		}
+		assertRecovered(t, rec.db.Store(), steppers[i].exp)
+		assertModelsEqual(t, preModels[i], rec.cm.Unwrap())
+		if err := rec.db.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestMultiTenantCrashRecovery: the process dies mid-interleave — one
+// tenant's journal writer trips a faultfs budget and every tenant
+// stops where it stands. Reopening each tenant's directory must
+// preserve all acked mutations and reproduce each tenant's posteriors
+// element-wise, with no cross-tenant bleed.
+func TestMultiTenantCrashRecovery(t *testing.T) {
+	d, model := trainedFixture(t)
+	tenants := []string{DefaultTenant, "acme", "globex"}
+	const cycles = 40
+
+	// Calibration: measure per-tenant journal traffic without faults.
+	traffic := make([]int64, len(tenants))
+	{
+		rigs := make([]*durableRig, len(tenants))
+		steppers := make([]*tenantStepper, len(tenants))
+		for i, name := range tenants {
+			rig, err := openTenantDurable(t, t.TempDir(), name, d, cloneModel(t, model), Options{Sync: SyncAlways()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rigs[i] = rig
+			steppers[i] = newTenantStepper(name, int64(101+i))
+		}
+		if interleave(t, rand.New(rand.NewSource(99)), steppers, rigs, cycles) {
+			t.Fatal("calibration round crashed without fault injection")
+		}
+		for i, rig := range rigs {
+			traffic[i] = int64(rig.db.Stats().BytesWritten)
+			if traffic[i] == 0 {
+				t.Fatalf("tenant %s wrote no journal bytes", tenants[i])
+			}
+			if err := rig.db.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	budgets := rand.New(rand.NewSource(4242))
+	for round := 0; round < 2; round++ {
+		t.Run(fmt.Sprintf("crash_round_%d", round), func(t *testing.T) {
+			dirs := make([]string, len(tenants))
+			rigs := make([]*durableRig, len(tenants))
+			steppers := make([]*tenantStepper, len(tenants))
+			faults := make([]*faultfs.Budget, len(tenants))
+			for i, name := range tenants {
+				dirs[i] = t.TempDir()
+				// Each tenant gets its own budget capped below its
+				// calibrated traffic so whichever tenant the shuffle
+				// favors, some journal writer dies mid-run.
+				budget := faultfs.NewBudget(1 + budgets.Int63n(traffic[i]*9/10))
+				faults[i] = budget
+				opts := Options{
+					Sync: SyncAlways(),
+					OpenJournalFile: func(path string) (JournalFile, error) {
+						return faultfs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644, budget)
+					},
+				}
+				rig, err := openTenantDurable(t, dirs[i], name, d, cloneModel(t, model), opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rigs[i] = rig
+				steppers[i] = newTenantStepper(name, int64(101+i))
+			}
+			if !interleave(t, rand.New(rand.NewSource(99)), steppers, rigs, cycles) {
+				t.Fatal("no tenant crashed despite capped budgets")
+			}
+			tripped := false
+			for _, b := range faults {
+				tripped = tripped || b.Tripped()
+			}
+			if !tripped {
+				t.Fatal("workload stopped but no fault budget tripped")
+			}
+
+			// No Close: the process died. Reopen each tenant from disk
+			// alone and hold every tenant to its own acked history.
+			for i, name := range tenants {
+				preModel := rigs[i].cm.Unwrap()
+				rec, err := openTenantDurable(t, dirs[i], name, d, nil, Options{Sync: SyncAlways()})
+				if err != nil {
+					t.Fatalf("tenant %s failed to recover after crash: %v", name, err)
+				}
+				assertRecovered(t, rec.db.Store(), steppers[i].exp)
+				assertModelsEqual(t, preModel, rec.cm.Unwrap())
+				if n, want := rec.db.Store().NumTasks(), len(steppers[i].exp.tasks); n < want {
+					t.Errorf("tenant %s recovered %d tasks, acked %d", name, n, want)
+				}
+				if err := rec.db.Close(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}

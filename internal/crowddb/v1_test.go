@@ -110,6 +110,27 @@ func TestErrorEnvelope(t *testing.T) {
 		{"empty batch", func() *http.Response {
 			return postJSON(t, ts+"/api/v1/tasks:batch", map[string]any{"tasks": []any{}})
 		}, http.StatusBadRequest, "bad_request"},
+		{"unrouted path", func() *http.Response {
+			resp, err := http.Get(ts + "/api/v1/nonexistent")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return resp
+		}, http.StatusNotFound, "not_found"},
+		{"root path", func() *http.Response {
+			resp, err := http.Get(ts + "/completely/elsewhere")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return resp
+		}, http.StatusNotFound, "not_found"},
+		{"unknown tenant", func() *http.Response {
+			resp, err := http.Get(ts + "/api/v1/t/nosuch/stats")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return resp
+		}, http.StatusNotFound, "unknown_tenant"},
 	}
 	for _, c := range cases {
 		resp := c.do()
@@ -117,6 +138,11 @@ func TestErrorEnvelope(t *testing.T) {
 			t.Errorf("%s: status = %d, want %d", c.name, resp.StatusCode, c.status)
 			resp.Body.Close()
 			continue
+		}
+		// Every non-2xx is the JSON envelope, declared as such —
+		// clients dispatch on the code without sniffing bodies.
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s: Content-Type = %q, want application/json", c.name, ct)
 		}
 		env := decode[ErrorEnvelope](t, resp)
 		if env.Error.Code != c.wantCode {
@@ -135,6 +161,9 @@ func TestErrorEnvelope(t *testing.T) {
 	}
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("not-ready status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("not-ready Content-Type = %q, want application/json", ct)
 	}
 	if env := decode[ErrorEnvelope](t, resp); env.Error.Code != "unavailable" {
 		t.Errorf("not-ready code = %q", env.Error.Code)

@@ -1,0 +1,47 @@
+// Command readme-api regenerates the README's API reference table from
+// the server's route registrations (crowddb.APIReferenceMarkdown),
+// replacing whatever sits between the api-reference markers. Run it via
+// `make readme-api` after changing the route surface; the crowddb test
+// TestAPIReferenceMatchesMux fails while the README is stale.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"crowdselect/internal/crowddb"
+)
+
+const (
+	begin = "<!-- api-reference:begin -->"
+	end   = "<!-- api-reference:end -->"
+)
+
+func main() {
+	path := "README.md"
+	if len(os.Args) > 1 {
+		path = os.Args[1]
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "readme-api:", err)
+		os.Exit(1)
+	}
+	s := string(b)
+	i := strings.Index(s, begin)
+	j := strings.Index(s, end)
+	if i < 0 || j < 0 || j < i {
+		fmt.Fprintf(os.Stderr, "readme-api: %s has no %s / %s markers\n", path, begin, end)
+		os.Exit(1)
+	}
+	out := s[:i] + begin + "\n" + crowddb.APIReferenceMarkdown() + end + s[j+len(end):]
+	if out == s {
+		return
+	}
+	if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "readme-api:", err)
+		os.Exit(1)
+	}
+	fmt.Println("readme-api: regenerated", path)
+}
