@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench bench-serve bench-serve-smoke bench-shard fuzz fuzz-repl crash chaos replication shard fleet tenants readme-api ci
+.PHONY: build vet test race bench bench-serve bench-serve-smoke bench-shard fuzz fuzz-repl crash chaos replication shard fleet tenants scrub readme-api ci
 
 build:
 	$(GO) build ./...
@@ -84,9 +84,18 @@ fleet:
 tenants:
 	$(GO) test -race -run 'TestTenant|TestValidTenantName|TestSplitTenantPath|TestUnknownTenant|TestAddTenantValidation|TestMultiTenant|TestClientTenant|TestDefaultJournalHasNoTenantStamps|TestAPIReferenceMatchesMux|TestErrorEnvelope|TestChaosTenantFailover|TestParseTenantsFlag|TestBuildServiceTenants|TestBootGateEnvelope' -v ./internal/crowddb/ ./internal/crowdclient/ ./internal/chaos/ ./cmd/crowdd/
 
+# The integrity suite (DESIGN.md §14) under the race detector: digest
+# determinism across replay/replication/compaction, the background
+# scrubber's corruption detection and heal, the boot fallback past a
+# corrupt checkpoint, heartbeat anti-entropy (divergence quarantine +
+# forced re-bootstrap), the supervisor's refusal of unsafe standbys,
+# and the at-rest corruption chaos drills.
+scrub:
+	$(GO) test -race -run 'TestDigest|TestReplicatedDigest|TestScrub|TestBootFallsBack|TestHeartbeatDigest|TestReadyzAndMetricsCarryIntegrity|TestMetricsIntegritySchema|TestAtRestCorruption|TestSupervisorRefusesUnsafeStandby|TestSupervisorUnsafeFlagClears|TestChaosFollowerAtRestCorruption|TestChaosPrimaryScrubber' -v ./internal/crowddb/ ./internal/faultfs/ ./internal/fleet/ ./internal/chaos/
+
 # Regenerate the README's API reference table from the server's route
 # registrations (kept honest by TestAPIReferenceMatchesMux).
 readme-api:
 	$(GO) run ./tools/readme-api
 
-ci: vet build race fuzz fuzz-repl crash chaos replication shard fleet tenants bench-serve-smoke
+ci: vet build race fuzz fuzz-repl crash chaos replication shard fleet tenants scrub bench-serve-smoke

@@ -17,6 +17,8 @@
 //	crowdctl [-addr ...]                  presence  -id 2 -online=false
 //	crowdctl [-addr ...]                  query     -q "SELECT ..."
 //	crowdctl [-addr ...]                  stats
+//	crowdctl [-addr ...]                  digest
+//	crowdctl [-addr ... -tenant t]        verify    -nodes http://a:8080,http://b:8081
 //	crowdctl [-addr ...]                  promote
 //	crowdctl [-addr ...]                  topology [-push layout.json]
 //	crowdctl                              supervise -fleet fleet.json [-admin :9321] [-probe-interval 500ms] [-suspect-after 3] [-lease 1s]
@@ -27,6 +29,13 @@
 // step after the old primary dies: point -addr at a caught-up replica
 // and it seals its stream, replays to its journal tail, and starts
 // accepting mutations. The printed status shows the new role.
+//
+// digest prints the addressed node's integrity digest cut (DESIGN
+// §14). verify sweeps a fleet: it fetches every node's digest and
+// readiness, then checks that nodes of the same tenant at the same
+// applied position report the same digest and that no node is
+// diverged or sitting on a failed scrub — exiting non-zero on any
+// violation, so it slots into cron and CI as an anti-entropy audit.
 //
 // supervise runs the self-healing fleet supervisor (DESIGN §12): it
 // probes every declared node, keeps the primary under a mutation
@@ -86,7 +95,7 @@ func main() {
 
 func run(cli *crowdclient.Client, args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("missing subcommand (submit, batch, answer, feedback, task, worker, presence, query, stats, promote, topology, supervise, drain, fence)")
+		return fmt.Errorf("missing subcommand (submit, batch, answer, feedback, task, worker, presence, query, stats, digest, verify, promote, topology, supervise, drain, fence)")
 	}
 	ctx := context.Background()
 	cmd, rest := args[0], args[1:]
@@ -214,6 +223,14 @@ func run(cli *crowdclient.Client, args []string, out io.Writer) error {
 			return err
 		}
 		return printJSON(out, st)
+	case "digest":
+		cut, err := cli.Digest(ctx)
+		if err != nil {
+			return err
+		}
+		return printJSON(out, cut)
+	case "verify":
+		return runVerify(ctx, rest, out)
 	case "promote":
 		st, err := cli.Promote(ctx)
 		if err != nil {
@@ -330,6 +347,124 @@ func runSupervise(args []string, out io.Writer) error {
 		return err
 	}
 	return nil
+}
+
+// verifyRow is one node's line in the `crowdctl verify` report.
+type verifyRow struct {
+	URL        string `json:"url"`
+	Role       string `json:"role,omitempty"`
+	Mode       string `json:"mode,omitempty"`
+	Seq        int64  `json:"seq"`
+	Digest     string `json:"digest,omitempty"`
+	Diverged   bool   `json:"diverged,omitempty"`
+	ScrubFail  bool   `json:"scrub_failed,omitempty"`
+	Err        string `json:"error,omitempty"`
+	lastScrubE string
+}
+
+// runVerify sweeps the fleet's digests (DESIGN §14): every node of
+// the same tenant at the same applied position must report the same
+// digest. Unreachable nodes, self-reported divergence and failed
+// scrubs all fail the sweep.
+func runVerify(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
+	nodes := fs.String("nodes", "", "comma-separated base URLs of the nodes to sweep")
+	tenant := fs.String("tenant", "", "tenant namespace to verify (empty or \"default\" = un-prefixed API)")
+	fleetToken := fs.String("fleet-token", "", "bearer token for nodes gating their fleet-control surface")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-node request timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	urls := strings.Split(*nodes, ",")
+	var clean []string
+	for _, u := range urls {
+		if u = strings.TrimSpace(u); u != "" {
+			clean = append(clean, u)
+		}
+	}
+	if len(clean) == 0 {
+		return fmt.Errorf("verify: -nodes is required (comma-separated base URLs)")
+	}
+	rows := make([]verifyRow, len(clean))
+	for i, u := range clean {
+		cli := crowdclient.New(u, crowdclient.Options{
+			Timeout: *timeout, Retries: 1, FleetToken: *fleetToken, Tenant: *tenant,
+		})
+		rows[i] = verifyNode(ctx, cli, u)
+	}
+	// The invariant: equal applied position ⇒ equal digest. Nodes at
+	// different positions are lagging, not diverged — replication will
+	// carry them forward and the next sweep can compare them.
+	byType := make(map[int64]string)
+	ok := true
+	var problems []string
+	for _, r := range rows {
+		if r.Err != "" {
+			ok = false
+			problems = append(problems, fmt.Sprintf("%s: %s", r.URL, r.Err))
+			continue
+		}
+		if r.Diverged {
+			ok = false
+			problems = append(problems, fmt.Sprintf("%s: reports itself diverged from its primary", r.URL))
+		}
+		if r.ScrubFail {
+			ok = false
+			problems = append(problems, fmt.Sprintf("%s: background scrub found at-rest corruption%s", r.URL, r.lastScrubE))
+		}
+		if want, seen := byType[r.Seq]; seen && want != r.Digest {
+			ok = false
+			problems = append(problems, fmt.Sprintf("%s: digest %.12s disagrees with %.12s at applied position %d", r.URL, r.Digest, want, r.Seq))
+		} else if !seen {
+			byType[r.Seq] = r.Digest
+		}
+	}
+	report := struct {
+		Tenant string      `json:"tenant"`
+		OK     bool        `json:"ok"`
+		Nodes  []verifyRow `json:"nodes"`
+	}{Tenant: tenantLabel(*tenant), OK: ok, Nodes: rows}
+	if err := printJSON(out, report); err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("verify: integrity sweep failed:\n  %s", strings.Join(problems, "\n  "))
+	}
+	return nil
+}
+
+// verifyNode probes one node's readiness and digest.
+func verifyNode(ctx context.Context, cli *crowdclient.Client, url string) verifyRow {
+	row := verifyRow{URL: url}
+	st, err := cli.ReadyStatus(ctx)
+	if err != nil {
+		row.Err = err.Error()
+		return row
+	}
+	row.Role, row.Mode = st.Role, st.Mode
+	if st.Replication != nil {
+		row.Diverged = st.Replication.Diverged
+	}
+	if st.Integrity != nil {
+		row.ScrubFail = st.Integrity.ScrubFailed
+		if st.Integrity.LastError != "" {
+			row.lastScrubE = ": " + st.Integrity.LastError
+		}
+	}
+	cut, err := cli.Digest(ctx)
+	if err != nil {
+		row.Err = "digest: " + err.Error()
+		return row
+	}
+	row.Seq, row.Digest = cut.Seq, cut.Digest
+	return row
+}
+
+func tenantLabel(t string) string {
+	if t == "" {
+		return crowddb.DefaultTenant
+	}
+	return t
 }
 
 // runDrain asks a running supervisor (its admin listener) to drain a

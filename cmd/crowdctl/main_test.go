@@ -2,7 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"reflect"
 	"strings"
@@ -185,5 +187,77 @@ func TestCLIErrors(t *testing.T) {
 		if err := run(testClient(srv.URL), args, &out); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
+	}
+}
+
+// cannedIntegrityNode fakes just enough of a crowdd node — /readyz
+// and /api/v1/digest — for the verify sweep to probe.
+func cannedIntegrityNode(t *testing.T, role string, seq int64, digest string, diverged, scrubFailed bool) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(crowddb.ReadyzResponse{
+			Status: "ready", Role: role,
+			Replication: &crowddb.ReplicationStatus{Role: role, AppliedSeq: seq, Diverged: diverged},
+			Integrity:   &crowddb.IntegritySnapshot{ScrubFailed: scrubFailed},
+		})
+	})
+	mux.HandleFunc("/api/v1/digest", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(crowddb.DigestCut{Tenant: "default", Seq: seq, Digest: digest})
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestVerifySweep(t *testing.T) {
+	primary := cannedIntegrityNode(t, "primary", 7, "aaa", false, false)
+	follower := cannedIntegrityNode(t, "replica", 7, "aaa", false, false)
+	lagging := cannedIntegrityNode(t, "replica", 3, "bbb", false, false)
+
+	// Healthy fleet: same digest at the same position, a lagging node
+	// at a different position is fine.
+	var out bytes.Buffer
+	nodes := primary.URL + "," + follower.URL + "," + lagging.URL
+	if err := run(testClient(primary.URL), []string{"verify", "-nodes", nodes}, &out); err != nil {
+		t.Fatalf("healthy sweep failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), `"ok": true`) {
+		t.Fatalf("healthy sweep report: %s", out.String())
+	}
+
+	// Digest disagreement at the same applied position fails the sweep.
+	rotten := cannedIntegrityNode(t, "replica", 7, "zzz", false, false)
+	out.Reset()
+	err := run(testClient(primary.URL), []string{"verify", "-nodes", primary.URL + "," + rotten.URL}, &out)
+	if err == nil || !strings.Contains(err.Error(), "disagrees") {
+		t.Fatalf("disagreeing sweep err = %v", err)
+	}
+	if !strings.Contains(out.String(), `"ok": false`) {
+		t.Fatalf("disagreeing sweep report: %s", out.String())
+	}
+
+	// A self-reported diverged or scrub-failed node fails the sweep
+	// even with a matching digest.
+	diverged := cannedIntegrityNode(t, "replica", 7, "aaa", true, false)
+	if err := run(testClient(primary.URL), []string{"verify", "-nodes", primary.URL + "," + diverged.URL}, new(bytes.Buffer)); err == nil || !strings.Contains(err.Error(), "diverged") {
+		t.Fatalf("diverged sweep err = %v", err)
+	}
+	scarred := cannedIntegrityNode(t, "replica", 7, "aaa", false, true)
+	if err := run(testClient(primary.URL), []string{"verify", "-nodes", primary.URL + "," + scarred.URL}, new(bytes.Buffer)); err == nil || !strings.Contains(err.Error(), "corruption") {
+		t.Fatalf("scrub-failed sweep err = %v", err)
+	}
+
+	// An unreachable node fails the sweep; a missing -nodes is usage.
+	dead := cannedIntegrityNode(t, "replica", 7, "aaa", false, false)
+	deadURL := dead.URL
+	dead.Close()
+	if err := run(testClient(primary.URL), []string{"verify", "-nodes", primary.URL + "," + deadURL}, new(bytes.Buffer)); err == nil {
+		t.Fatal("sweep with an unreachable node succeeded")
+	}
+	if err := run(testClient(primary.URL), []string{"verify"}, new(bytes.Buffer)); err == nil {
+		t.Fatal("verify without -nodes succeeded")
 	}
 }

@@ -102,6 +102,7 @@ type daemonConfig struct {
 	shardPeers   []string
 	sync         crowddb.SyncPolicy
 	compactEvery int64
+	scrubEvery   time.Duration
 	maxInflight  int
 	admissionMin int
 	readBudget   time.Duration
@@ -140,6 +141,7 @@ func main() {
 		shardPeers   = flag.String("shard-peers", "", "comma-separated base URLs of all N shard primaries, index order; seeds the epoch-1 topology served at /api/v1/topology")
 		syncFlag     = flag.String("sync", "always", "journal fsync policy: always, os, every=N or interval=DUR")
 		compactEvery = flag.Int64("compact-every", 10000, "journal records between automatic snapshots (0 disables)")
+		scrubEvery   = flag.Duration("scrub-interval", time.Minute, "background at-rest integrity scrub cadence: re-verify journal CRCs and snapshot/model checksums, entering degraded read-only on corruption (0 disables)")
 		maxInflight  = flag.Int("max-inflight", 0, "adaptive admission ceiling: max concurrently served /api requests; excess sheds with 429 (0 = unlimited)")
 		admissionMin = flag.Int("admission-min", 1, "adaptive admission floor the AIMD limit never shrinks below")
 		readBudget   = flag.Duration("read-budget", 0, "server-side deadline for read requests; overruns answer 503 deadline_exceeded (0 = none)")
@@ -174,7 +176,8 @@ func main() {
 		addr: *addr, drain: *drain, pprofOn: *pprofOn,
 		dataDir: *dataDir, replicaOf: *replicaOf,
 		shard: shard, shardPeers: peers, sync: policy,
-		compactEvery: *compactEvery, maxInflight: *maxInflight,
+		compactEvery: *compactEvery, scrubEvery: *scrubEvery,
+		maxInflight: *maxInflight,
 		admissionMin: *admissionMin,
 		readBudget:   *readBudget, writeBudget: *writeBudget,
 		maxBody: *maxBody, fleetToken: *fleetToken,
@@ -423,6 +426,7 @@ func buildService(cfg daemonConfig) (*crowddb.Server, []*crowddb.DB, int, error)
 		db, err = crowddb.Open(cfg.dataDir, crowddb.Options{
 			Sync:                cfg.sync,
 			CompactEveryRecords: cfg.compactEvery,
+			ScrubInterval:       cfg.scrubEvery,
 			Logf:                log.Printf,
 		})
 		if err != nil {
@@ -533,6 +537,13 @@ func buildService(cfg daemonConfig) (*crowddb.Server, []*crowddb.DB, int, error)
 		// stream and report the source-side replication status.
 		src := crowddb.NewReplicationSource(db, crowddb.ReplicationSourceOptions{Logf: log.Printf})
 		src.SetFence(fence)
+		// Heartbeats carry the primary's digest so followers can
+		// anti-entropy check themselves (DESIGN §14), and the same cut
+		// serves GET /api/v1/digest for crowdctl verify.
+		cutter := crowddb.NewDigestCutter(db, mgr)
+		src.SetDigest(cutter.Func())
+		srv.SetDigestProvider(cutter.Func())
+		srv.SetIntegrityStats(db.ScrubStats)
 		srv.SetReplicationSource(src)
 		srv.SetReplicationStatus(src.Status)
 	}
@@ -585,6 +596,7 @@ func buildTenants(srv *crowddb.Server, cfg daemonConfig, d *corpus.Dataset, mode
 			tdb, err = crowddb.Open(filepath.Join(cfg.dataDir, "tenants", name), crowddb.Options{
 				Sync:                cfg.sync,
 				CompactEveryRecords: cfg.compactEvery,
+				ScrubInterval:       cfg.scrubEvery,
 				Logf:                log.Printf,
 			})
 			if err != nil {
@@ -664,6 +676,9 @@ func buildTenants(srv *crowddb.Server, cfg daemonConfig, d *corpus.Dataset, mode
 			tc.Degraded = tdb.Degraded
 			src := crowddb.NewReplicationSource(tdb, crowddb.ReplicationSourceOptions{Logf: log.Printf})
 			src.SetFence(fence)
+			tcutter := crowddb.NewDigestCutter(tdb, tmgr)
+			src.SetDigest(tcutter.Func())
+			tc.Digest = tcutter.Func()
 			tc.ReplicationSource = src
 		}
 		if err := srv.AddTenant(name, tc); err != nil {
@@ -734,6 +749,7 @@ func buildReplica(cfg daemonConfig) (*crowddb.Server, []*crowddb.Replica, int, e
 		DB: crowddb.Options{
 			Sync:                cfg.sync,
 			CompactEveryRecords: cfg.compactEvery,
+			ScrubInterval:       cfg.scrubEvery,
 			Logf:                log.Printf,
 		},
 		Build:      replicaBuilder(cfg, &cmRef),
@@ -769,6 +785,20 @@ func buildReplica(cfg daemonConfig) (*crowddb.Server, []*crowddb.Replica, int, e
 	srv.SetFleetToken(cfg.fleetToken)
 	src := crowddb.NewReplicationSource(db, crowddb.ReplicationSourceOptions{Logf: log.Printf})
 	src.SetFence(fence)
+	// The follower's digest cut doubles as its own heartbeat payload
+	// for chained standbys and as the verify endpoint's answer; its
+	// integrity section merges the local scrubber with the divergence
+	// state machine.
+	src.SetDigest(rep.Digest)
+	srv.SetDigestProvider(rep.Digest)
+	srv.SetIntegrityStats(func() crowddb.IntegritySnapshot {
+		is := db.ScrubStats()
+		st := rep.Status()
+		is.Diverged = st.Diverged
+		is.Divergences = st.Divergences
+		is.Repairs = st.Repairs
+		return is
+	})
 	srv.SetReplicationSource(src)
 	srv.SetReplicationStatus(func() crowddb.ReplicationStatus {
 		st := rep.Status()
@@ -790,6 +820,7 @@ func buildReplica(cfg daemonConfig) (*crowddb.Server, []*crowddb.Replica, int, e
 			DB: crowddb.Options{
 				Sync:                cfg.sync,
 				CompactEveryRecords: cfg.compactEvery,
+				ScrubInterval:       cfg.scrubEvery,
 				Logf:                log.Printf,
 			},
 			Build:      replicaBuilder(cfg, new(atomic.Pointer[core.ConcurrentModel])),
@@ -807,11 +838,13 @@ func buildReplica(cfg daemonConfig) (*crowddb.Server, []*crowddb.Replica, int, e
 		if terr != nil {
 			return fail(fmt.Errorf("tenant %s: %w", name, terr))
 		}
+		tsrc.SetDigest(trep.Digest)
 		if terr := srv.AddTenant(name, crowddb.TenantConfig{
 			Manager:           trep.Manager(),
 			Query:             crowdql.HTTPAdapter{Engine: tengine},
 			Degraded:          tdb.Degraded,
 			ReplicationSource: tsrc,
+			Digest:            trep.Digest,
 			MaxInflight:       cfg.tenantQuota,
 		}); terr != nil {
 			return fail(terr)

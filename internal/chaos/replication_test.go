@@ -50,7 +50,7 @@ func newReplPrimary(t *testing.T) *replRig {
 		t.Fatal(err)
 	}
 
-	db, err := crowddb.Open(t.TempDir(), crowddb.Options{Sync: crowddb.SyncAlways()})
+	db, err := crowddb.Open(t.TempDir(), crowddb.Options{Sync: crowddb.SyncAlways(), ScrubInterval: 25 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,6 +76,10 @@ func newReplPrimary(t *testing.T) *replRig {
 	srv.SetDegradedCheck(db.Degraded)
 	srv.SetDurabilityStats(db.Stats)
 	src := crowddb.NewReplicationSource(db, crowddb.ReplicationSourceOptions{Heartbeat: 20 * time.Millisecond})
+	cutter := crowddb.NewDigestCutter(db, mgr)
+	src.SetDigest(cutter.Func())
+	srv.SetDigestProvider(cutter.Func())
+	srv.SetIntegrityStats(db.ScrubStats)
 	srv.SetReplicationSource(src)
 	srv.SetReplicationStatus(src.Status)
 	fence := crowddb.NewFence(db)
@@ -95,6 +99,14 @@ func newReplPrimary(t *testing.T) *replRig {
 // replica mode.
 func startFollower(t *testing.T, primaryURL string) (*crowddb.Replica, *httptest.Server) {
 	t.Helper()
+	return startFollowerDir(t, primaryURL, t.TempDir())
+}
+
+// startFollowerDir is startFollower with a caller-owned data
+// directory, so drills can stop a follower, damage its at-rest files,
+// and restart it over the same state.
+func startFollowerDir(t *testing.T, primaryURL, dir string) (*crowddb.Replica, *httptest.Server) {
+	t.Helper()
 	build := func(datasetPath string, model *core.Model, store *crowddb.Store) (*crowddb.Manager, *core.ConcurrentModel, error) {
 		d, err := corpus.LoadFile(datasetPath)
 		if err != nil {
@@ -109,7 +121,7 @@ func startFollower(t *testing.T, primaryURL string) (*crowddb.Replica, *httptest
 	}
 	rep, err := crowddb.StartReplica(crowddb.ReplicaOptions{
 		Primary:          primaryURL,
-		Dir:              t.TempDir(),
+		Dir:              dir,
 		DB:               crowddb.Options{Sync: crowddb.SyncAlways()},
 		Build:            build,
 		ReconnectBackoff: 10 * time.Millisecond,
@@ -128,6 +140,8 @@ func startFollower(t *testing.T, primaryURL string) (*crowddb.Replica, *httptest
 	// the healed fleet re-converges by re-pointing at the winner.
 	src := crowddb.NewReplicationSource(rep.DB(), crowddb.ReplicationSourceOptions{Heartbeat: 20 * time.Millisecond})
 	src.SetFence(fence)
+	src.SetDigest(rep.Digest)
+	srv.SetDigestProvider(rep.Digest)
 	srv.SetReplicationSource(src)
 	ts := httptest.NewServer(srv)
 	t.Cleanup(func() {

@@ -1,0 +1,29 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// Digest returns a hex-encoded SHA-256 over the model's canonical
+// persisted form (exactly the bytes Save would write). Two models with
+// identical posteriors — whether reached by live feedback, journal
+// replay, replication, or checkpoint reload — produce identical
+// digests, which is what makes the anti-entropy comparison in the
+// replication layer meaningful (DESIGN.md §14).
+func (m *Model) Digest() (string, error) {
+	h := sha256.New()
+	if err := m.Save(h); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// Digest computes the wrapped model's digest under the read lock, so
+// the hash is a consistent point-in-time view even while feedback
+// traffic keeps arriving.
+func (c *ConcurrentModel) Digest() (string, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.m.Digest()
+}

@@ -805,6 +805,17 @@ func (c *Client) ReadyStatus(ctx context.Context) (crowddb.ReadyzResponse, error
 	return out, err
 }
 
+// Digest fetches the node's integrity digest cut
+// (GET /api/v1/digest): the combined state fingerprint at the node's
+// current applied position. Two nodes of the same tenant at the same
+// seq must return the same digest; `crowdctl verify` sweeps a fleet
+// with it.
+func (c *Client) Digest(ctx context.Context) (crowddb.DigestCut, error) {
+	var out crowddb.DigestCut
+	err := c.get(ctx, "/api/v1/digest", &out)
+	return out, err
+}
+
 // Promote asks the server to become the primary
 // (POST /api/v1/replication/promote): a replica seals its stream,
 // replays the journal to its tail, and flips roles; a server that is

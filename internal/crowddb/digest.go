@@ -1,0 +1,173 @@
+package crowddb
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// Integrity digests (DESIGN.md §14). A digest is a deterministic
+// SHA-256 fingerprint of everything the anti-entropy protocol must
+// agree on at a replication position: the model's worker posteriors
+// (the canonical Save bytes) and the store's snapshot (workers, tasks,
+// applied-forward set), both bound to the tenant namespace. Two nodes
+// of the same tenant at the same applied seq MUST produce the same
+// combined digest — whether the state was reached live, by journal
+// replay, by replication apply, or across a compaction — or one of
+// them has silently diverged.
+
+// digestPreimageVersion versions the combined-digest preimage; bump it
+// if the hashed components or their framing ever change, so mixed
+// fleets never compare digests computed under different rules.
+const digestPreimageVersion = "crowd-digest/v1"
+
+// Digest returns the hex SHA-256 of the store's canonical snapshot
+// bytes (exactly what Snapshot writes): worker rows, task rows, next
+// id and the applied-forward set, all in sorted order.
+func (s *Store) Digest() (string, error) {
+	h := sha256.New()
+	if err := s.Snapshot(h); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// combineDigest binds the model and store component digests to the
+// tenant namespace under a versioned preimage. Empty components (a
+// selector with no model, a fresh store) participate as empty strings
+// — still deterministic, still comparable.
+func combineDigest(tenant, model, store string) string {
+	h := sha256.New()
+	io.WriteString(h, digestPreimageVersion+"\n")
+	io.WriteString(h, tenant+"\n")
+	io.WriteString(h, model+"\n")
+	io.WriteString(h, store+"\n")
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// modelDigester is the optional hook a selector implements to expose a
+// canonical digest of its posteriors; *core.Model and
+// *core.ConcurrentModel both do. Selectors without it (the baselines)
+// contribute an empty model component.
+type modelDigester interface {
+	Digest() (string, error)
+}
+
+// DigestCut is one consistent integrity fingerprint: the combined
+// digest, its components, and the exact replication position it was
+// computed at. Serves as the GET /api/v1/digest response and as the
+// payload replication heartbeats compare.
+type DigestCut struct {
+	Tenant string `json:"tenant"`
+	Seq    int64  `json:"seq"`
+	Bytes  int64  `json:"bytes,omitempty"`
+	Digest string `json:"digest"`
+	Model  string `json:"model_digest,omitempty"`
+	Store  string `json:"store_digest,omitempty"`
+}
+
+// DigestFunc produces a consistent digest cut; the server's digest
+// endpoint and the replication heartbeat both call through one.
+type DigestFunc func() (DigestCut, error)
+
+// DigestCutter computes digest cuts over a DB + Manager pair with a
+// position-keyed cache: while no records commit, repeated cuts (every
+// idle heartbeat, every /api/v1/digest poll) cost one mutex hit, not a
+// model serialization.
+type DigestCutter struct {
+	db  *DB
+	mgr *Manager
+
+	mu     sync.Mutex
+	cached DigestCut
+	valid  bool
+}
+
+// NewDigestCutter builds a cutter over db and mgr (the manager whose
+// selector carries the model state journaled into db).
+func NewDigestCutter(db *DB, mgr *Manager) *DigestCutter {
+	return &DigestCutter{db: db, mgr: mgr}
+}
+
+// Invalidate drops the cached cut. Call after any state change that
+// does not advance the replication position — a follower re-bootstrap
+// adopts a whole new snapshot at a position it may have already cut.
+func (c *DigestCutter) Invalidate() {
+	c.mu.Lock()
+	c.valid = false
+	c.mu.Unlock()
+}
+
+// Cut computes (or returns the cached) digest at the current applied
+// position. The cut quiesces resolves and read-locks the store so the
+// model hash, the store hash and the replication position all observe
+// the same instant — the same cut discipline compaction uses.
+func (c *DigestCutter) Cut() (DigestCut, error) {
+	seq, _ := c.db.ReplicationHead()
+	c.mu.Lock()
+	if c.valid && c.cached.Seq == seq {
+		cut := c.cached
+		c.mu.Unlock()
+		return cut, nil
+	}
+	c.mu.Unlock()
+	var cut DigestCut
+	err := c.mgr.Quiesce(func() error {
+		s := c.db.store
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		cut.Seq, cut.Bytes = c.db.ReplicationHead()
+		cut.Tenant = s.tenant
+		if cut.Tenant == "" {
+			cut.Tenant = DefaultTenant
+		}
+		if md, ok := c.mgr.sel.(modelDigester); ok {
+			d, err := md.Digest()
+			if err != nil {
+				return err
+			}
+			cut.Model = d
+		}
+		h := sha256.New()
+		if err := s.snapshotLocked(h); err != nil {
+			return err
+		}
+		cut.Store = hex.EncodeToString(h.Sum(nil))
+		cut.Digest = combineDigest(cut.Tenant, cut.Model, cut.Store)
+		return nil
+	})
+	if err != nil {
+		return DigestCut{}, err
+	}
+	c.mu.Lock()
+	c.cached, c.valid = cut, true
+	c.mu.Unlock()
+	return cut, nil
+}
+
+// Func adapts the cutter to a DigestFunc.
+func (c *DigestCutter) Func() DigestFunc { return c.Cut }
+
+// handleDigest serves GET /api/v1/digest: the node's current digest
+// cut for the request's tenant. 404 when the node has no digest
+// provider wired (no durable store behind the server).
+func (s *Server) handleDigest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	fn := s.digestFor(r)
+	if fn == nil {
+		httpError(w, http.StatusNotFound, errors.New("no integrity digest available on this node"))
+		return
+	}
+	cut, err := fn()
+	if err != nil {
+		writeErr(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, cut)
+}

@@ -1,6 +1,8 @@
 package crowddb
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
@@ -107,6 +109,10 @@ type Options struct {
 	// ProbeInterval is how often the recovery probe runs while
 	// degraded (default 1s).
 	ProbeInterval time.Duration
+	// ScrubInterval is how often the background scrubber re-verifies
+	// the at-rest files of the current generation (journal CRCs,
+	// snapshot and model-checkpoint digests). 0 disables scrubbing.
+	ScrubInterval time.Duration
 	// Logf receives lifecycle notices (recovery, compaction). nil is
 	// silent.
 	Logf func(format string, args ...any)
@@ -142,14 +148,18 @@ type DB struct {
 	saveModel func(io.Writer) error
 	quiesce   func(func() error) error
 
-	stopOnce sync.Once
-	stopc    chan struct{}
-	donec    chan struct{} // non-nil once the auto-compaction loop runs
+	stopOnce   sync.Once
+	stopc      chan struct{}
+	donec      chan struct{} // non-nil once the auto-compaction loop runs
+	scrubDonec chan struct{} // non-nil once the scrub loop runs
 
 	// degraded read-only mode: set on journal write failure, cleared
 	// when the probe loop heals the disk with a fresh generation.
 	degraded atomic.Bool
 	probeWG  sync.WaitGroup
+
+	// scrub is the background integrity scrubber's state (scrub.go).
+	scrub scrubState
 
 	// repl tracks the replication position (records and bytes since
 	// history start), the per-stream fan-out hub, and generation pins
@@ -189,6 +199,17 @@ func Open(dir string, opts Options) (*DB, error) {
 		if err := s.RestoreSnapshotFile(filepath.Join(dir, fmt.Sprintf(snapshotPattern, g))); err != nil {
 			opts.logf("crowddb: generation %d snapshot unusable (%v); falling back", g, err)
 			continue
+		}
+		// A generation is only usable if its model checkpoint parses
+		// too: the caller loads it right after Open, and failing open
+		// here would strand an older intact generation behind one rotten
+		// file. Directories that never checkpoint a model are fine.
+		mpath := filepath.Join(dir, fmt.Sprintf(modelPattern, g))
+		if _, err := os.Stat(mpath); err == nil {
+			if _, merr := core.LoadModelFile(mpath); merr != nil {
+				opts.logf("crowddb: generation %d model checkpoint unusable (%v); falling back", g, merr)
+				continue
+			}
 		}
 		db.store = s
 		db.gen = g
@@ -323,6 +344,7 @@ func (db *DB) Recover(onResolve func(TaskRecord) error) error {
 	}
 	db.live = true
 	db.startAutoCompaction()
+	db.startScrubber()
 	db.opts.logf("crowddb: recovered generation %d (%d journal records, torn=%v) in %s",
 		db.gen, res.Records, res.Torn, time.Since(start).Round(time.Millisecond))
 	return nil
@@ -346,6 +368,7 @@ func (db *DB) Begin() error {
 	}
 	db.live = true
 	db.startAutoCompaction()
+	db.startScrubber()
 	return nil
 }
 
@@ -401,6 +424,7 @@ func (db *DB) compactLocked() error {
 	}
 	next := db.gen + 1
 	var cutSeq, cutBytes int64
+	var modelDigest, storeDigest, combined string
 	err := run(func() error {
 		// With resolves quiesced and the store write-locked, the store
 		// snapshot, the model checkpoint, the journal rotation and the
@@ -411,11 +435,31 @@ func (db *DB) compactLocked() error {
 		cutSeq, cutBytes = db.repl.seq, db.repl.bytes
 		db.repl.mu.Unlock()
 		if db.saveModel != nil {
-			if err := writeFileAtomic(filepath.Join(db.dir, fmt.Sprintf(modelPattern, next)), db.saveModel); err != nil {
+			mh := sha256.New()
+			err := writeFileAtomic(filepath.Join(db.dir, fmt.Sprintf(modelPattern, next)), func(w io.Writer) error {
+				return db.saveModel(io.MultiWriter(w, mh))
+			})
+			if err != nil {
 				return fmt.Errorf("crowddb: compact model: %w", err)
 			}
+			modelDigest = hex.EncodeToString(mh.Sum(nil))
 		}
-		if err := db.writeReplSidecarLocked(next, cutSeq, cutBytes); err != nil {
+		// Hash the snapshot bytes before the sidecar is written (the
+		// sidecar carries the digests, and precedes the snapshot rename
+		// — the generation's commit point — on disk).
+		sh := sha256.New()
+		if err := db.store.snapshotLocked(sh); err != nil {
+			return fmt.Errorf("crowddb: compact snapshot digest: %w", err)
+		}
+		storeDigest = hex.EncodeToString(sh.Sum(nil))
+		// Read the tenant field directly: Store.Tenant() would self-
+		// deadlock on the write lock held here.
+		tenant := db.store.tenant
+		if tenant == "" {
+			tenant = DefaultTenant
+		}
+		combined = combineDigest(tenant, modelDigest, storeDigest)
+		if err := db.writeReplSidecarLocked(next, cutSeq, cutBytes, combined, modelDigest, storeDigest); err != nil {
 			return fmt.Errorf("crowddb: compact replication sidecar: %w", err)
 		}
 		if err := writeFileAtomic(filepath.Join(db.dir, fmt.Sprintf(snapshotPattern, next)), db.store.snapshotLocked); err != nil {
@@ -448,6 +492,8 @@ func (db *DB) compactLocked() error {
 	db.gen = next
 	db.repl.mu.Lock()
 	db.repl.baseSeq, db.repl.baseBytes = cutSeq, cutBytes
+	db.repl.baseDigest = combined
+	db.repl.baseModelDigest, db.repl.baseStoreDigest = modelDigest, storeDigest
 	db.repl.mu.Unlock()
 	db.stats.Compactions.Add(1)
 	db.removeGenerationsThrough(prev)
@@ -590,10 +636,13 @@ func (db *DB) Sync() error {
 func (db *DB) Close() error {
 	db.stopOnce.Do(func() { close(db.stopc) })
 	db.mu.Lock()
-	donec := db.donec
+	donec, scrubDonec := db.donec, db.scrubDonec
 	db.mu.Unlock()
 	if donec != nil {
 		<-donec
+	}
+	if scrubDonec != nil {
+		<-scrubDonec
 	}
 	db.probeWG.Wait()
 	db.mu.Lock()

@@ -125,6 +125,7 @@ type MetricsSnapshot struct {
 	Fencing          *FenceStatus               `json:"fencing,omitempty"`
 	Cache            *core.ProjectionCacheStats `json:"cache,omitempty"`
 	Shard            *ShardInfoSnapshot         `json:"shard,omitempty"`
+	Integrity        *IntegritySnapshot         `json:"integrity,omitempty"`
 	// Tenants appears on multi-tenant nodes (or when the default tenant
 	// carries a quota): per-tenant request, in-flight and shed counters.
 	Tenants map[string]TenantSnapshot `json:"tenants,omitempty"`

@@ -179,3 +179,38 @@ func TestMetricsEndpointReportsCacheAndShard(t *testing.T) {
 		t.Errorf("enabled cache not counting: %+v", snap.Cache)
 	}
 }
+
+// TestMetricsIntegritySchema pins the wire names of the scrub and
+// divergence counters: dashboards and the fleet supervisor key on
+// them, so a rename is a breaking change this test must catch.
+func TestMetricsIntegritySchema(t *testing.T) {
+	snap := MetricsSnapshot{Integrity: &IntegritySnapshot{
+		ScrubPasses: 1, ScrubFiles: 2, ScrubRecords: 3, ScrubFailures: 4,
+		ScrubFailed: true, LastError: "crc mismatch",
+		Diverged: true, Divergences: 5, Repairs: 6,
+	}}
+	b, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	raw, ok := m["integrity"]
+	if !ok {
+		t.Fatal("metrics snapshot has no integrity section")
+	}
+	var fields map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &fields); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"scrub_passes", "scrub_files", "scrub_records", "scrub_failures",
+		"scrub_failed", "last_error", "diverged", "divergences", "repairs",
+	} {
+		if _, ok := fields[key]; !ok {
+			t.Errorf("integrity section missing %q: %s", key, raw)
+		}
+	}
+}

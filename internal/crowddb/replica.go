@@ -95,11 +95,28 @@ type Replica struct {
 	framesApplied atomic.Int64
 	bootstraps    atomic.Int64
 
+	// Divergence state machine (DESIGN §14): a heartbeat digest that
+	// disagrees with ours at the same applied seq quarantines the
+	// replica (diverged: refuses promotion) and forces the next dial to
+	// request a bootstrap; a completed re-bootstrap is the repair.
+	diverged    atomic.Bool
+	divergences atomic.Int64
+	repairs     atomic.Int64
+	forceBoot   bool // next dial requests a bootstrap (guarded by mu)
+
+	cutterOnce sync.Once
+	cutter     *DigestCutter
+
 	promoted atomic.Bool // set only once a promotion SUCCEEDS
 	promBusy bool        // a Promote call is in flight (guarded by mu)
 	cancel   context.CancelFunc
 	done     chan struct{}
 }
+
+// errDigestMismatch ends a consume loop after a heartbeat digest
+// disagreed: the stream reconnects with a forced bootstrap. Internal —
+// distinct from ErrReplicaDiverged, which is fatal on the dial path.
+var errDigestMismatch = errors.New("crowddb: heartbeat digest mismatch")
 
 // StartReplica opens (or re-opens) the follower's data directory and
 // starts streaming from the primary. A fresh directory requires the
@@ -197,6 +214,34 @@ func (r *Replica) Err() error {
 	return r.fatal
 }
 
+// digestCutter lazily builds the replica's own cutter; mgr and db are
+// both set before run starts, so any later caller sees a stable pair.
+func (r *Replica) digestCutter() *DigestCutter {
+	r.cutterOnce.Do(func() { r.cutter = NewDigestCutter(r.db, r.mgr) })
+	return r.cutter
+}
+
+// Digest computes the replica's digest cut at its applied position —
+// the /api/v1/digest provider on a follower node.
+func (r *Replica) Digest() (DigestCut, error) { return r.digestCutter().Cut() }
+
+// Diverged reports whether the replica is quarantined by a digest
+// mismatch (refusing promotion, awaiting re-bootstrap repair).
+func (r *Replica) Diverged() bool { return r.diverged.Load() }
+
+// markDiverged quarantines the replica and arms the forced-bootstrap
+// repair.
+func (r *Replica) markDiverged(seq int64, want, got string) {
+	if r.diverged.CompareAndSwap(false, true) {
+		r.divergences.Add(1)
+	}
+	r.mu.Lock()
+	r.forceBoot = true
+	r.mu.Unlock()
+	r.opts.Logf("crowddb: replica: digest mismatch at record %d (primary %s, local %s); quarantined, forcing re-bootstrap",
+		seq, want, got)
+}
+
 // Status reports role, position and lag for /readyz and metrics.
 func (r *Replica) Status() ReplicationStatus {
 	r.mu.Lock()
@@ -233,6 +278,9 @@ func (r *Replica) Status() ReplicationStatus {
 		FramesApplied: r.framesApplied.Load(),
 		Bootstraps:    r.bootstraps.Load(),
 		Lag:           &lag,
+		Diverged:      r.diverged.Load(),
+		Divergences:   r.divergences.Load(),
+		Repairs:       r.repairs.Load(),
 	}
 }
 
@@ -253,6 +301,11 @@ func (r *Replica) Status() ReplicationStatus {
 func (r *Replica) Promote(ctx context.Context) error {
 	if r.promoted.Load() {
 		return nil
+	}
+	if r.diverged.Load() {
+		// A quarantined replica's state is known-wrong: promoting it
+		// would crown the divergence. Repair (re-bootstrap) clears this.
+		return fmt.Errorf("%w: digest mismatch with primary, awaiting re-bootstrap repair", ErrReplicaDiverged)
 	}
 	r.mu.Lock()
 	if r.promBusy {
@@ -446,7 +499,16 @@ func (r *Replica) bootstrap(st *replStream, fresh bool) error {
 	r.appliedSeq = snap.Seq
 	r.appliedBytes = snap.Bytes
 	r.lastContact = time.Now()
+	r.forceBoot = false
 	r.mu.Unlock()
+	// The adopted snapshot replaces local state wholesale — possibly at
+	// a position the cutter already cached a digest for — so the cache
+	// must not survive the swap.
+	r.digestCutter().Invalidate()
+	if r.diverged.CompareAndSwap(true, false) {
+		r.repairs.Add(1)
+		r.opts.Logf("crowddb: replica: divergence repaired by re-bootstrap at record %d", snap.Seq)
+	}
 	r.opts.Logf("crowddb: replica bootstrapped at record %d of history %s (head %d)", snap.Seq, st.hello.History, st.hello.Seq)
 	return nil
 }
@@ -468,8 +530,11 @@ func (r *Replica) run(ctx context.Context, st *replStream) {
 		}
 		if st == nil {
 			applied, _ := r.db.ReplicationHead()
+			r.mu.Lock()
+			boot := r.forceBoot
+			r.mu.Unlock()
 			var err error
-			st, err = r.dial(ctx, applied, r.db.ReplicationHistory(), false)
+			st, err = r.dial(ctx, applied, r.db.ReplicationHistory(), boot)
 			if err != nil {
 				if errors.Is(err, ErrReplicaDiverged) {
 					r.mu.Lock()
@@ -565,6 +630,21 @@ func (r *Replica) consume(ctx context.Context, st *replStream) error {
 				return fmt.Errorf("heartbeat frame: %w", err)
 			}
 			r.observeHead(hb.Seq, hb.Bytes)
+			if hb.Digest != "" && !r.promoted.Load() {
+				// Compare only when fully applied to the heartbeat's cut:
+				// this goroutine is the sole applier, so applied == hb.Seq
+				// means our state claims to equal the primary's cut state.
+				if applied, _ := r.db.ReplicationHead(); applied == hb.Seq {
+					cut, err := r.digestCutter().Cut()
+					if err != nil {
+						return fmt.Errorf("digest cut at record %d: %w", hb.Seq, err)
+					}
+					if cut.Digest != hb.Digest {
+						r.markDiverged(hb.Seq, hb.Digest, cut.Digest)
+						return errDigestMismatch
+					}
+				}
+			}
 		default:
 			return fmt.Errorf("unexpected frame type %d mid-stream", typ)
 		}

@@ -163,10 +163,14 @@ type replSnapshotMsg struct {
 
 // replHeartbeat advertises the primary's head while no records flow,
 // so a caught-up follower's staleness clock keeps ticking forward.
+// With a digest function wired (SetDigest), Seq/Bytes/Digest are one
+// consistent cut: a follower applied to the same Seq whose own digest
+// differs has diverged (DESIGN §14).
 type replHeartbeat struct {
-	Seq   int64     `json:"seq"`
-	Bytes int64     `json:"bytes"`
-	At    time.Time `json:"at"`
+	Seq    int64     `json:"seq"`
+	Bytes  int64     `json:"bytes"`
+	At     time.Time `json:"at"`
+	Digest string    `json:"digest,omitempty"`
 }
 
 // Server roles. A node is born a primary unless it runs with
@@ -212,6 +216,13 @@ type ReplicationStatus struct {
 	Reconnects    int64           `json:"reconnects,omitempty"`
 	FramesApplied int64           `json:"frames_applied,omitempty"`
 	Lag           *ReplicationLag `json:"replication_lag,omitempty"`
+	// Diverged marks a follower whose digest disagreed with its
+	// primary's at the same applied position (DESIGN §14): it refuses
+	// promotion and is forcing a re-bootstrap repair. Divergences and
+	// Repairs count detections and completed re-bootstrap repairs.
+	Diverged    bool  `json:"diverged,omitempty"`
+	Divergences int64 `json:"divergences,omitempty"`
+	Repairs     int64 `json:"repairs,omitempty"`
 }
 
 // replPattern is the per-generation sidecar recording the history id
@@ -229,6 +240,13 @@ type replSidecar struct {
 	// resurrect itself as a primary by rebooting.
 	FencingEpoch    uint64 `json:"fencing_epoch,omitempty"`
 	FencingObserved uint64 `json:"fencing_observed,omitempty"`
+	// Digest stamps the integrity fingerprint of the generation's cut
+	// (DESIGN §14): the combined tenant-bound digest plus its model and
+	// store components, hex SHA-256 of the exact checkpoint file bytes.
+	// The scrubber hash-compares the at-rest files against them.
+	Digest      string `json:"digest,omitempty"`
+	ModelDigest string `json:"model_digest,omitempty"`
+	StoreDigest string `json:"store_digest,omitempty"`
 }
 
 // replState is the DB's replication position and fan-out hub. Lock
@@ -246,6 +264,13 @@ type replState struct {
 
 	fencingEpoch    uint64 // this node's own fencing epoch (≥ 1)
 	fencingObserved uint64 // highest epoch seen for this history (≥ own)
+
+	// base*Digest mirror the current generation's sidecar digest
+	// stamps, so fencing rewrites preserve them and the scrubber can
+	// hash-compare the at-rest files without re-reading the sidecar.
+	baseDigest      string
+	baseModelDigest string
+	baseStoreDigest string
 }
 
 // replSub is one live stream's subscription to committed records. The
@@ -293,6 +318,10 @@ func (db *DB) loadReplState() {
 				// floor every history starts at.
 				r.fencingEpoch = max(sc.FencingEpoch, 1)
 				r.fencingObserved = max(sc.FencingObserved, r.fencingEpoch)
+				// Pre-digest sidecars carry no stamps; the scrubber then
+				// parse-validates instead of hash-comparing.
+				r.baseDigest = sc.Digest
+				r.baseModelDigest, r.baseStoreDigest = sc.ModelDigest, sc.StoreDigest
 				return
 			}
 		}
@@ -301,12 +330,14 @@ func (db *DB) loadReplState() {
 	r.fencingEpoch, r.fencingObserved = 1, 1
 }
 
-// writeReplSidecarLocked persists gen's base position; called inside
-// the compaction cut so the sidecar and the snapshot agree.
-func (db *DB) writeReplSidecarLocked(gen uint64, seq, bytes int64) error {
+// writeReplSidecarLocked persists gen's base position and digest
+// stamps; called inside the compaction cut so the sidecar, the
+// checkpoint files and the snapshot agree.
+func (db *DB) writeReplSidecarLocked(gen uint64, seq, bytes int64, digest, modelDigest, storeDigest string) error {
 	db.repl.mu.Lock()
 	sc := replSidecar{History: db.repl.history, Seq: seq, Bytes: bytes,
-		FencingEpoch: db.repl.fencingEpoch, FencingObserved: db.repl.fencingObserved}
+		FencingEpoch: db.repl.fencingEpoch, FencingObserved: db.repl.fencingObserved,
+		Digest: digest, ModelDigest: modelDigest, StoreDigest: storeDigest}
 	db.repl.mu.Unlock()
 	return writeFileAtomic(db.replSidecarPath(gen), func(w io.Writer) error {
 		return json.NewEncoder(w).Encode(sc)
@@ -446,7 +477,8 @@ func (db *DB) raiseFencing(own, observed uint64) error {
 		changed = true
 	}
 	sc := replSidecar{History: r.history, Seq: r.baseSeq, Bytes: r.baseBytes,
-		FencingEpoch: r.fencingEpoch, FencingObserved: r.fencingObserved}
+		FencingEpoch: r.fencingEpoch, FencingObserved: r.fencingObserved,
+		Digest: r.baseDigest, ModelDigest: r.baseModelDigest, StoreDigest: r.baseStoreDigest}
 	r.mu.Unlock()
 	db.mu.Unlock()
 	if !changed || gen == 0 {
@@ -560,7 +592,8 @@ type ReplicationSource struct {
 	db        *DB
 	heartbeat time.Duration
 	logf      func(format string, args ...any)
-	fence     *Fence // optional; nil serves unfenced
+	fence     *Fence     // optional; nil serves unfenced
+	digest    DigestFunc // optional; heartbeats then carry digest cuts
 
 	followers  atomic.Int64 // streams open right now
 	streams    atomic.Int64 // streams ever served
@@ -571,6 +604,12 @@ type ReplicationSource struct {
 // to serve streams (409 fenced), and a follower presenting a higher
 // epoch in its stream request seals this source on the spot.
 func (src *ReplicationSource) SetFence(f *Fence) { src.fence = f }
+
+// SetDigest wires the anti-entropy digest: idle heartbeats then carry
+// a consistent (seq, bytes, digest) cut, which followers applied to
+// the same seq compare against their own state (DESIGN §14). Wire
+// before serving streams.
+func (src *ReplicationSource) SetDigest(fn DigestFunc) { src.digest = fn }
 
 // NewReplicationSource builds a source over db.
 func NewReplicationSource(db *DB, opts ReplicationSourceOptions) *ReplicationSource {
@@ -798,8 +837,19 @@ func (src *ReplicationSource) ServeHTTP(w http.ResponseWriter, r *http.Request) 
 				src.logf("crowddb: replication: source fenced; closing stream")
 				return
 			}
-			head, headBytes := src.db.ReplicationHead()
-			b, err := json.Marshal(replHeartbeat{Seq: head, Bytes: headBytes, At: time.Now()})
+			hb := replHeartbeat{At: time.Now()}
+			if src.digest != nil {
+				// The cut's (seq, bytes, digest) triple is internally
+				// consistent, which is what the follower-side comparison
+				// needs; a failed cut degrades to a plain heartbeat.
+				if cut, err := src.digest(); err == nil {
+					hb.Seq, hb.Bytes, hb.Digest = cut.Seq, cut.Bytes, cut.Digest
+				}
+			}
+			if hb.Digest == "" {
+				hb.Seq, hb.Bytes = src.db.ReplicationHead()
+			}
+			b, err := json.Marshal(hb)
 			if err != nil {
 				return
 			}

@@ -31,6 +31,7 @@ func replPrimary(t *testing.T) (*durableRig, *ReplicationSource, *httptest.Serve
 		t.Fatal(err)
 	}
 	src := NewReplicationSource(rig.db, ReplicationSourceOptions{Heartbeat: 20 * time.Millisecond})
+	src.SetDigest(NewDigestCutter(rig.db, rig.mgr).Func())
 	ts := httptest.NewServer(src)
 	t.Cleanup(ts.Close)
 	return rig, src, ts

@@ -109,6 +109,9 @@ type Server struct {
 	cacheStats func() core.ProjectionCacheStats // nil: no cache section
 	topo       topologyState                    // live topology document
 
+	digest    DigestFunc               // nil: GET /api/v1/digest is 404 (default tenant)
+	integrity func() IntegritySnapshot // nil: no integrity section
+
 	// tenants is the tenant registry (DESIGN §13). It always holds the
 	// default entry; AddTenant registers more at boot time. The default
 	// entry's manager/query/... fields stay nil — the Server's own
@@ -383,6 +386,18 @@ func (s *Server) SetReplicationStatus(f func() ReplicationStatus) { s.replStatus
 // to primary.
 func (s *Server) SetPromoter(f func(context.Context) error) { s.promoter = f }
 
+// SetDigestProvider enables GET /api/v1/digest for the default tenant
+// (DESIGN §14): fn is typically a DigestCutter's Cut on a primary, or
+// (*Replica).Digest on a follower. Tenant-scoped digests install via
+// TenantConfig.Digest.
+func (s *Server) SetDigestProvider(fn DigestFunc) { s.digest = fn }
+
+// SetIntegrityStats adds the integrity section (scrub progress,
+// divergence state) to GET /api/v1/metrics and /readyz, fed by the
+// given snapshot function (typically (*DB).ScrubStats, merged with the
+// replica's divergence counters on a follower).
+func (s *Server) SetIntegrityStats(f func() IntegritySnapshot) { s.integrity = f }
+
 // SetFence installs the node's fencing state (DESIGN §12): every
 // response then advertises the highest fencing epoch this node has
 // seen via X-Crowdd-Fencing-Epoch, sealed nodes refuse mutations with
@@ -613,6 +628,7 @@ type ReadyzResponse struct {
 	FencingEpoch uint64             `json:"fencing_epoch,omitempty"`
 	Fencing      *FenceStatus       `json:"fencing,omitempty"`
 	Replication  *ReplicationStatus `json:"replication,omitempty"`
+	Integrity    *IntegritySnapshot `json:"integrity,omitempty"`
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
@@ -625,6 +641,10 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.replStatus != nil {
 		st := s.replicationStatusNow()
 		resp.Replication = &st
+	}
+	if s.integrity != nil {
+		is := s.integrity()
+		resp.Integrity = &is
 	}
 	if !s.ready.Load() {
 		resp.Status = "not ready"
@@ -954,6 +974,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.fence != nil {
 		fs := s.fence.Status()
 		snap.Fencing = &fs
+	}
+	if s.integrity != nil {
+		is := s.integrity()
+		snap.Integrity = &is
 	}
 	snap.Tenants = s.tenantSnapshots()
 	writeJSON(w, http.StatusOK, snap)
@@ -1300,6 +1324,8 @@ func writeErr(w http.ResponseWriter, r *http.Request, err error) {
 		httpErrorCode(w, http.StatusConflict, codeFenced, err)
 	case errors.Is(err, ErrPromotionInProgress):
 		httpErrorCode(w, http.StatusConflict, codePromotionInProgress, err)
+	case errors.Is(err, ErrReplicaDiverged):
+		httpErrorCode(w, http.StatusConflict, codeReplicaDiverged, err)
 	case errors.Is(err, ErrWrongShard):
 		// Bare mapping (no owner headers) for callers that did not go
 		// through writeShardErr.

@@ -91,6 +91,9 @@ type TenantConfig struct {
 	// MaxInflight caps the tenant's concurrent in-flight API requests
 	// (0: unlimited). Breaches shed with 429 tenant_quota_exceeded.
 	MaxInflight int
+	// Digest serves GET /api/v1/t/{name}/digest, the tenant's integrity
+	// digest cut (DESIGN §14); nil answers 404.
+	Digest DigestFunc
 }
 
 // tenantEntry is the server-side state of one tenant. The default
@@ -103,6 +106,7 @@ type tenantEntry struct {
 	query      QueryEngine
 	degraded   func() bool
 	replSource http.Handler
+	digest     DigestFunc
 
 	requests    atomic.Int64 // API requests routed to this tenant
 	inflight    atomic.Int64 // currently in flight (quota accounting)
@@ -154,6 +158,7 @@ func (s *Server) AddTenant(name string, cfg TenantConfig) error {
 		query:       cfg.Query,
 		degraded:    cfg.Degraded,
 		replSource:  cfg.ReplicationSource,
+		digest:      cfg.Digest,
 		maxInflight: int64(cfg.MaxInflight),
 	}
 	return nil
@@ -219,6 +224,16 @@ func (s *Server) queryFor(r *http.Request) QueryEngine {
 		return s.query
 	}
 	return e.query
+}
+
+// digestFor resolves the tenant's digest provider (nil: no digest on
+// this node for that tenant).
+func (s *Server) digestFor(r *http.Request) DigestFunc {
+	e := s.tenantFor(r)
+	if e.name == DefaultTenant {
+		return s.digest
+	}
+	return e.digest
 }
 
 // replSourceFor resolves the tenant's replication stream handler.

@@ -131,6 +131,68 @@ func (f *File) Sync() error {
 // Close closes the underlying file regardless of budget state.
 func (f *File) Close() error { return f.f.Close() }
 
+// At-rest corruption injection: targeted, surgical damage to bytes
+// already on disk, as a failing medium (bit rot, a misdirected write,
+// a buggy controller) would inflict it. The integrity tests use these
+// to corrupt journals, snapshots and model checkpoints in place and
+// assert the scrubber and the anti-entropy protocol catch the damage
+// before it is served or replicated.
+
+// FlipBit inverts one bit of the byte at offset in path, in place.
+// bit 0 is the least significant. The file's length and mtime-visible
+// shape stay unchanged — exactly the damage a CRC or digest must
+// catch.
+func FlipBit(path string, offset int64, bit uint) error {
+	if bit > 7 {
+		return errors.New("faultfs: bit out of range")
+	}
+	return mutateByte(path, offset, func(b byte) byte { return b ^ (1 << bit) })
+}
+
+// OverwriteByte replaces the byte at offset in path with v, in place.
+func OverwriteByte(path string, offset int64, v byte) error {
+	return mutateByte(path, offset, func(byte) byte { return v })
+}
+
+// CorruptRange XORs every byte in [offset, offset+n) with 0xFF — a
+// misdirected or shredded sector.
+func CorruptRange(path string, offset, n int64) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	buf := make([]byte, n)
+	if _, err := f.ReadAt(buf, offset); err != nil {
+		return err
+	}
+	for i := range buf {
+		buf[i] ^= 0xFF
+	}
+	if _, err := f.WriteAt(buf, offset); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// mutateByte applies fn to the single byte at offset and syncs.
+func mutateByte(path string, offset int64, fn func(byte) byte) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var one [1]byte
+	if _, err := f.ReadAt(one[:], offset); err != nil {
+		return err
+	}
+	one[0] = fn(one[0])
+	if _, err := f.WriteAt(one[:], offset); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
 // Writer wraps any io.Writer with the same byte budget, for unit
 // tests that do not need a real file.
 type Writer struct {

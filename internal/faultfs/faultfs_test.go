@@ -76,3 +76,59 @@ func TestWriterExactBoundary(t *testing.T) {
 		t.Fatalf("next write: n=%d err=%v", n, err)
 	}
 }
+
+func TestAtRestCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	orig := []byte("hello, at-rest integrity")
+	if err := os.WriteFile(path, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// FlipBit is its own inverse: two flips restore the original.
+	if err := FlipBit(path, 3, 5); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, orig) {
+		t.Fatal("FlipBit changed nothing")
+	}
+	if got[3] != orig[3]^(1<<5) {
+		t.Fatalf("byte 3 = %#x, want %#x", got[3], orig[3]^(1<<5))
+	}
+	if err := FlipBit(path, 3, 5); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ = os.ReadFile(path); !bytes.Equal(got, orig) {
+		t.Fatalf("double flip did not restore: %q", got)
+	}
+
+	if err := FlipBit(path, 0, 8); err == nil {
+		t.Fatal("bit 8 accepted")
+	}
+	if err := FlipBit(path, int64(len(orig)+10), 0); err == nil {
+		t.Fatal("offset past EOF accepted")
+	}
+
+	if err := OverwriteByte(path, 0, 'X'); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ = os.ReadFile(path); got[0] != 'X' {
+		t.Fatalf("byte 0 = %q, want X", got[0])
+	}
+
+	if err := CorruptRange(path, 1, 4); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	for i := int64(1); i < 5; i++ {
+		if got[i] != orig[i]^0xFF {
+			t.Fatalf("byte %d = %#x, want %#x", i, got[i], orig[i]^0xFF)
+		}
+	}
+	if got[5] != orig[5] {
+		t.Fatal("CorruptRange spilled past its range")
+	}
+}

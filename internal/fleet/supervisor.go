@@ -156,6 +156,7 @@ type shardState struct {
 	applied   map[string]int64  // node URL → applied seq at last probe
 	reachable map[string]bool   // node URL → last probe answered
 	roles     map[string]string // node URL → last reported role
+	unsafe    map[string]string // node URL → why it must not be promoted (diverged, scrub-failed)
 
 	pending *fenceOrder
 	fenced  []Node // deposed, not yet re-pointed (still being fenced or awaiting restart)
@@ -174,6 +175,7 @@ type ShardStatus struct {
 	Applied      map[string]int64  `json:"applied,omitempty"`
 	Reachable    map[string]bool   `json:"reachable,omitempty"`
 	Roles        map[string]string `json:"roles,omitempty"`
+	Unsafe       map[string]string `json:"unsafe,omitempty"`
 	PendingFence *fenceOrder       `json:"pending_fence,omitempty"`
 	Fenced       []Node            `json:"fenced,omitempty"`
 	Drained      []Node            `json:"drained,omitempty"`
@@ -252,6 +254,7 @@ func New(spec Spec, opts Options) (*Supervisor, error) {
 			applied:   make(map[string]int64),
 			reachable: make(map[string]bool),
 			roles:     make(map[string]string),
+			unsafe:    make(map[string]string),
 		}
 		s.shards = append(s.shards, st)
 		for _, n := range append([]Node{sh.Primary}, sh.Standbys...) {
@@ -462,6 +465,17 @@ func (s *Supervisor) probeStandbys(ctx context.Context, sh *shardState, standbys
 			if st.FencingEpoch > sh.epoch {
 				sh.epoch = st.FencingEpoch
 			}
+			// Integrity gate (DESIGN §14): a standby that disagrees with
+			// the primary's digest or failed its own at-rest scrub holds
+			// state that must never be promoted to the source of truth.
+			switch {
+			case st.Replication != nil && st.Replication.Diverged:
+				sh.unsafe[n.URL] = "diverged"
+			case st.Integrity != nil && st.Integrity.ScrubFailed:
+				sh.unsafe[n.URL] = "scrub_failed"
+			default:
+				delete(sh.unsafe, n.URL)
+			}
 		}(n)
 	}
 	wg.Wait()
@@ -522,14 +536,21 @@ func (s *Supervisor) failover(ctx context.Context, sh *shardState) {
 
 // pickCandidate chooses the promotion target: a standby already
 // reporting role primary (resume a half-finished failover), else the
-// reachable standby with the highest applied sequence. Called with
-// s.mu held.
+// reachable standby with the highest applied sequence. Standbys the
+// integrity gate marked unsafe — diverged from the primary's digest,
+// or sitting on at-rest corruption their scrubber found — are never
+// candidates, however caught-up they look: their applied seq counts
+// records, not correctness. Called with s.mu held.
 func (s *Supervisor) pickCandidate(sh *shardState) (Node, bool) {
 	var best Node
 	bestSeq := int64(-1)
 	found := false
 	for _, n := range sh.spec.Standbys {
 		if !sh.reachable[n.URL] {
+			continue
+		}
+		if why, bad := sh.unsafe[n.URL]; bad {
+			s.opts.Logf("fleet: shard %d: standby %s excluded from promotion: %s", sh.spec.Shard, n.URL, why)
 			continue
 		}
 		if sh.roles[n.URL] == crowddb.RolePrimary {
@@ -859,6 +880,7 @@ func (s *Supervisor) statusLocked() Status {
 			Applied:      copyMap(sh.applied),
 			Reachable:    copyMap(sh.reachable),
 			Roles:        copyMap(sh.roles),
+			Unsafe:       copyMap(sh.unsafe),
 			PendingFence: sh.pending,
 			Fenced:       append([]Node(nil), sh.fenced...),
 			Drained:      append([]Node(nil), sh.drained...),

@@ -28,6 +28,8 @@ type fakeNode struct {
 	epoch         uint64 // own fencing epoch
 	observed      uint64 // highest observed for history
 	leaseSealed   bool   // stepped down; a plain renewal un-seals
+	diverged      bool   // anti-entropy quarantine
+	scrubFailed   bool   // at-rest corruption found by the scrubber
 	applied       int64
 	leaseRenewals int
 	leaseHolder   string
@@ -71,6 +73,10 @@ func (n *fakeNode) readyz() crowddb.ReadyzResponse {
 		},
 		Replication: &crowddb.ReplicationStatus{
 			Role: n.roleNow(), History: n.history, AppliedSeq: n.applied,
+			Diverged: n.diverged,
+		},
+		Integrity: &crowddb.IntegritySnapshot{
+			ScrubFailed: n.scrubFailed, Diverged: n.diverged,
 		},
 	}
 }
@@ -561,5 +567,59 @@ func TestSupervisorAdminHandler(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusConflict {
 		t.Fatalf("double drain = %s, want 409", resp.Status)
+	}
+}
+
+// TestSupervisorRefusesUnsafeStandby: the integrity gate. A diverged
+// or scrub-failed standby must never win a failover, even when it is
+// the most caught-up — the supervisor promotes the clean one and the
+// Status surface names why the other was passed over.
+func TestSupervisorRefusesUnsafeStandby(t *testing.T) {
+	primary := newFakeNode(t, crowddb.RolePrimary, "h1", 20)
+	rotten := newFakeNode(t, crowddb.RoleReplica, "h1", 20)
+	rotten.set(func(n *fakeNode) { n.diverged = true })
+	scarred := newFakeNode(t, crowddb.RoleReplica, "h1", 20)
+	scarred.set(func(n *fakeNode) { n.scrubFailed = true })
+	clean := newFakeNode(t, crowddb.RoleReplica, "h1", 5) // behind, but trustworthy
+	sup, _ := newTestFleet(t, primary, rotten, scarred, clean)
+	ctx := context.Background()
+
+	sup.Tick(ctx)
+	st := sup.Status()
+	if got := st.Shards[0].Unsafe; got[rotten.url()] != "diverged" || got[scarred.url()] != "scrub_failed" {
+		t.Fatalf("unsafe map = %+v", got)
+	}
+	if _, bad := st.Shards[0].Unsafe[clean.url()]; bad {
+		t.Fatal("clean standby flagged unsafe")
+	}
+
+	primary.set(func(n *fakeNode) { n.alive = false })
+	tickUntil(t, sup, func() bool { return clean.snapshot().promotions > 0 })
+	if rotten.snapshot().promotions != 0 || scarred.snapshot().promotions != 0 {
+		t.Fatalf("unsafe standby promoted: diverged=%d scrub_failed=%d",
+			rotten.snapshot().promotions, scarred.snapshot().promotions)
+	}
+	if row := sup.Status().Shards[0]; row.Primary.URL != clean.url() {
+		t.Fatalf("post-failover primary = %s, want the clean standby", row.Primary.URL)
+	}
+}
+
+// TestSupervisorUnsafeFlagClears: a repaired follower comes back into
+// the candidate pool on the next probe.
+func TestSupervisorUnsafeFlagClears(t *testing.T) {
+	primary := newFakeNode(t, crowddb.RolePrimary, "h1", 20)
+	standby := newFakeNode(t, crowddb.RoleReplica, "h1", 20)
+	standby.set(func(n *fakeNode) { n.diverged = true })
+	sup, _ := newTestFleet(t, primary, standby)
+	ctx := context.Background()
+
+	sup.Tick(ctx)
+	if got := sup.Status().Shards[0].Unsafe; got[standby.url()] != "diverged" {
+		t.Fatalf("unsafe map = %+v", got)
+	}
+	standby.set(func(n *fakeNode) { n.diverged = false }) // re-bootstrap repaired it
+	sup.Tick(ctx)
+	if got := sup.Status().Shards[0].Unsafe; len(got) != 0 {
+		t.Fatalf("unsafe flag survived the repair: %+v", got)
 	}
 }
