@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench bench-serve bench-serve-smoke bench-shard fuzz fuzz-repl crash chaos replication shard fleet tenants scrub readme-api ci
+.PHONY: build vet test race bench bench-serve bench-serve-smoke bench-shard fuzz fuzz-repl fuzz-backup crash chaos replication shard fleet tenants scrub backup readme-api ci
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,12 @@ fuzz:
 # errors on any corruption, never a panic or hang.
 fuzz-repl:
 	$(GO) test -run '^$$' -fuzz FuzzReplicationFrameDecoder -fuzztime 20s ./internal/crowddb
+
+# Short coverage-guided fuzz of the backup archive decoder: restore
+# and verify parse operator-supplied files, so any byte soup must fail
+# with a typed sentinel, never a panic.
+fuzz-backup:
+	$(GO) test -run '^$$' -fuzz FuzzBackupArchiveDecoder -fuzztime 20s ./internal/crowddb
 
 # The crash-injection durability suite under the race detector.
 crash:
@@ -93,9 +99,19 @@ tenants:
 scrub:
 	$(GO) test -race -run 'TestDigest|TestReplicatedDigest|TestScrub|TestBootFallsBack|TestHeartbeatDigest|TestReadyzAndMetricsCarryIntegrity|TestMetricsIntegritySchema|TestAtRestCorruption|TestSupervisorRefusesUnsafeStandby|TestSupervisorUnsafeFlagClears|TestChaosFollowerAtRestCorruption|TestChaosPrimaryScrubber' -v ./internal/crowddb/ ./internal/faultfs/ ./internal/fleet/ ./internal/chaos/
 
+# The backup & disaster-recovery suite (DESIGN.md §15) under the race
+# detector: archive round-trip, incremental chains, point-in-time
+# restore, resume-after-interrupt, typed refusals of damaged archives,
+# offline verification against tampering, the digest-pinning hammer,
+# the slow-disk latency regression, and the chaos drill (primary
+# killed mid-backup, stream resumed, restore proven digest-identical
+# with every acked mutation exactly once).
+backup:
+	$(GO) test -race -run 'TestBackup|TestVerifyBackup|TestDigestCutAtStableWhileWritesRace|TestSlowFsyncUnderIntervalStaysHealthy|TestFaultfsLatencyInjection|TestChaosBackupRestoreDrill' -v ./internal/crowddb/ ./internal/chaos/
+
 # Regenerate the README's API reference table from the server's route
 # registrations (kept honest by TestAPIReferenceMatchesMux).
 readme-api:
 	$(GO) run ./tools/readme-api
 
-ci: vet build race fuzz fuzz-repl crash chaos replication shard fleet tenants scrub bench-serve-smoke
+ci: vet build race fuzz fuzz-repl fuzz-backup crash chaos replication shard fleet tenants scrub backup bench-serve-smoke

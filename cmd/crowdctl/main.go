@@ -19,11 +19,35 @@
 //	crowdctl [-addr ...]                  stats
 //	crowdctl [-addr ...]                  digest
 //	crowdctl [-addr ... -tenant t]        verify    -nodes http://a:8080,http://b:8081
+//	crowdctl [-addr ... -tenant t]        backup    -o crowd.backup [-since N -history <id>] [-resumes 5]
+//	crowdctl                              restore   -dir /var/lib/crowdd-restored [-to-seq N] crowd.backup [more.backup ...]
+//	crowdctl                              verify-backup [-crowd 3] crowd.backup [more.backup ...]
 //	crowdctl [-addr ...]                  promote
 //	crowdctl [-addr ...]                  topology [-push layout.json]
 //	crowdctl                              supervise -fleet fleet.json [-admin :9321] [-probe-interval 500ms] [-suspect-after 3] [-lease 1s]
 //	crowdctl                              drain     -supervisor http://localhost:9321 -node http://localhost:8081
 //	crowdctl [-addr ...]                  fence     -history <id> -epoch <n> [-new-primary url]
+//
+// Exit codes are uniform across subcommands: 0 on success, 1 when a
+// check the command ran found a violation (a verify sweep that caught
+// divergence, a verify-backup or restore that refused a damaged
+// archive), 2 on usage or transport errors (bad flags, unreachable
+// nodes, server refusals). The global -timeout flag bounds every
+// individual request a subcommand makes; backup streams are exempt
+// (a bulk transfer takes as long as it takes — interrupt and resume
+// instead).
+//
+// backup streams GET /api/v1/backup into -o: a consistent, digest-
+// stamped archive of the addressed node (DESIGN §15). The default is a
+// full backup; -since N -history H appends an incremental segment of
+// the records after seq N to an existing archive. A stream cut mid-
+// transfer resumes automatically from the last complete record (up to
+// -resumes times); a resume whose base the source has compacted away
+// restarts as a full backup once. restore materializes an archive
+// chain as a fresh data directory crowdd can boot from (-to-seq stops
+// the replay early: point-in-time restore). verify-backup proves an
+// archive offline — every CRC, the segment grammar, and a replay whose
+// digest must match the manifest stamp — without a running node.
 //
 // promote asks the addressed node to become the primary — the failover
 // step after the old primary dies: point -addr at a caught-up replica
@@ -56,6 +80,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -67,6 +92,8 @@ import (
 	"syscall"
 	"time"
 
+	"crowdselect/internal/core"
+	"crowdselect/internal/corpus"
 	"crowdselect/internal/crowdclient"
 	"crowdselect/internal/crowddb"
 	"crowdselect/internal/fleet"
@@ -89,13 +116,62 @@ func main() {
 	})
 	if err := run(cli, flag.Args(), os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "crowdctl:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
+}
+
+// Exit codes (documented in the package comment and the README): 0
+// success, 1 a check found a violation, 2 usage or transport errors.
+const (
+	exitOK          = 0
+	exitCheckFailed = 1
+	exitUsage       = 2
+)
+
+// checkFailedError marks an error as "the check this command ran found
+// a violation" — the command worked, the state it examined did not. It
+// maps to exit code 1 where everything else maps to 2.
+type checkFailedError struct{ err error }
+
+func (e *checkFailedError) Error() string { return e.err.Error() }
+func (e *checkFailedError) Unwrap() error { return e.err }
+
+// checkFailed wraps err as a check violation.
+func checkFailed(err error) error { return &checkFailedError{err: err} }
+
+// asCheckErr reclassifies archive refusals as check violations: a
+// damaged or lying backup is what verify-backup and restore exist to
+// catch, not a transport failure. Everything else passes through.
+func asCheckErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	for _, sentinel := range []error{
+		crowddb.ErrArchiveTruncated, crowddb.ErrArchiveReordered,
+		crowddb.ErrArchiveCorrupt, crowddb.ErrBackupDigestMismatch,
+	} {
+		if errors.Is(err, sentinel) {
+			return checkFailed(err)
+		}
+	}
+	return err
+}
+
+// exitCode maps run's error to the documented exit codes.
+func exitCode(err error) int {
+	if err == nil {
+		return exitOK
+	}
+	var cf *checkFailedError
+	if errors.As(err, &cf) {
+		return exitCheckFailed
+	}
+	return exitUsage
 }
 
 func run(cli *crowdclient.Client, args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("missing subcommand (submit, batch, answer, feedback, task, worker, presence, query, stats, digest, verify, promote, topology, supervise, drain, fence)")
+		return fmt.Errorf("missing subcommand (submit, batch, answer, feedback, task, worker, presence, query, stats, digest, verify, backup, restore, verify-backup, promote, topology, supervise, drain, fence)")
 	}
 	ctx := context.Background()
 	cmd, rest := args[0], args[1:]
@@ -231,6 +307,12 @@ func run(cli *crowdclient.Client, args []string, out io.Writer) error {
 		return printJSON(out, cut)
 	case "verify":
 		return runVerify(ctx, rest, out)
+	case "backup":
+		return runBackup(ctx, cli, rest, out)
+	case "restore":
+		return runRestore(rest, out)
+	case "verify-backup":
+		return runVerifyBackup(rest, out)
 	case "promote":
 		st, err := cli.Promote(ctx)
 		if err != nil {
@@ -428,9 +510,182 @@ func runVerify(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	}
 	if !ok {
-		return fmt.Errorf("verify: integrity sweep failed:\n  %s", strings.Join(problems, "\n  "))
+		return checkFailed(fmt.Errorf("verify: integrity sweep failed:\n  %s", strings.Join(problems, "\n  ")))
 	}
 	return nil
+}
+
+// runBackup streams one backup archive from the addressed node into
+// -o, resuming from the last complete record when the stream dies
+// mid-transfer. The file always holds a well-formed archive prefix
+// (the client writes only whole validated frames), so a resume is a
+// plain append of an incremental continuation segment.
+func runBackup(ctx context.Context, cli *crowdclient.Client, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("backup", flag.ContinueOnError)
+	outFile := fs.String("o", "", "output archive file")
+	since := fs.Int64("since", -1, "incremental: stream only the records after this seq, appended to an existing archive (-1 = full backup)")
+	history := fs.String("history", "", "history id the -since position belongs to (required with -since; printed by a previous backup)")
+	resumes := fs.Int("resumes", 5, "max automatic mid-stream resume attempts")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *outFile == "" {
+		return fmt.Errorf("backup: -o is required")
+	}
+	if *since >= 0 && *history == "" {
+		return fmt.Errorf("backup: -since needs -history (the archive's history id)")
+	}
+	mode := os.O_CREATE | os.O_WRONLY | os.O_TRUNC
+	if *since >= 0 {
+		// An incremental continues an existing archive in place.
+		mode = os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	}
+	f, err := os.OpenFile(*outFile, mode, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	cur, hist := *since, *history
+	var (
+		records, nbytes int64
+		segments        int
+		attempts        int
+		restartedFull   bool
+		last            crowddb.BackupStreamInfo
+	)
+	for {
+		info, err := cli.Backup(ctx, f, cur, hist)
+		records += info.Records
+		nbytes += info.Bytes
+		if info.HaveManifest {
+			segments++
+			last = info
+		}
+		if err == nil {
+			break
+		}
+		var apiErr *crowdclient.APIError
+		if errors.As(err, &apiErr) && apiErr.Code == "backup_gone" && !restartedFull {
+			// The incremental base was compacted away on the source; the
+			// only way forward is a fresh full archive.
+			restartedFull = true
+			fmt.Fprintf(out, "base seq %d compacted away on source; restarting as a full backup\n", cur)
+			if err := f.Truncate(0); err != nil {
+				return err
+			}
+			if _, err := f.Seek(0, io.SeekStart); err != nil {
+				return err
+			}
+			cur, hist = -1, ""
+			records, nbytes, segments = 0, 0, 0
+			continue
+		}
+		if !info.Resumable || attempts >= *resumes {
+			return fmt.Errorf("backup: %w (archive %s holds a valid prefix through seq %d)", err, *outFile, info.LastSeq)
+		}
+		attempts++
+		cur, hist = info.LastSeq, info.Manifest.History
+		fmt.Fprintf(out, "stream interrupted after seq %d (%v); resuming %d/%d\n", cur, err, attempts, *resumes)
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return printJSON(out, struct {
+		File     string `json:"file"`
+		Tenant   string `json:"tenant"`
+		History  string `json:"history"`
+		Full     bool   `json:"full"`
+		Seq      int64  `json:"seq"`
+		Records  int64  `json:"records"`
+		Bytes    int64  `json:"bytes"`
+		Segments int    `json:"segments"`
+		Resumes  int    `json:"resumes,omitempty"`
+		Digest   string `json:"digest,omitempty"`
+	}{
+		File: *outFile, Tenant: last.Manifest.Tenant, History: last.Manifest.History,
+		Full: *since < 0 || restartedFull, Seq: last.LastSeq, Records: records,
+		Bytes: nbytes, Segments: segments, Resumes: attempts, Digest: last.Manifest.Digest,
+	})
+}
+
+// runRestore materializes an archive chain as a fresh data directory
+// (crowddb.RestoreBackup): point -data-dir of a new crowdd at it and
+// the ordinary boot-recovery path replays it to a node byte-identical
+// to the source at the backup seq.
+func runRestore(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("restore", flag.ContinueOnError)
+	dir := fs.String("dir", "", "destination data directory (must not exist or be empty)")
+	toSeq := fs.Int64("to-seq", 0, "point-in-time: replay only through this seq (0 = the whole archive)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("restore: -dir is required")
+	}
+	archives := fs.Args()
+	if len(archives) == 0 {
+		return fmt.Errorf("restore: pass one full archive (plus incrementals, in order) as arguments")
+	}
+	res, err := crowddb.RestoreBackup(*dir, archives, crowddb.RestoreOptions{
+		ToSeq: *toSeq,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(out, format+"\n", a...)
+		},
+	})
+	if err != nil {
+		return asCheckErr(fmt.Errorf("restore: %w", err))
+	}
+	return printJSON(out, res)
+}
+
+// runVerifyBackup proves an archive chain offline: CRCs, segment
+// grammar, and — when the chain starts with a full segment — a replay
+// through the same apply path boot recovery uses, whose digest must
+// match the manifest stamp. No running node is involved; exit 1 on any
+// violation, down to a single flipped bit.
+func runVerifyBackup(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("verify-backup", flag.ContinueOnError)
+	crowdK := fs.Int("crowd", 3, "default crowd size for the replay manager (must not affect the digest; kept for parity with crowdd)")
+	scratch := fs.String("scratch", "", "scratch directory for the archive's dataset during replay (empty = temp dir)")
+	quiet := fs.Bool("q", false, "suppress progress notices")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	archives := fs.Args()
+	if len(archives) == 0 {
+		return fmt.Errorf("verify-backup: pass one or more archive files as arguments")
+	}
+	logf := func(format string, a ...any) {
+		fmt.Fprintf(out, format+"\n", a...)
+	}
+	if *quiet {
+		logf = nil
+	}
+	// The same corpus-backed builder crowdd uses for replica streams:
+	// the archive carries its dataset, so the replay reconstructs the
+	// full manager stack and recomputes the model digest for real.
+	build := func(datasetPath string, model *core.Model, store *crowddb.Store) (*crowddb.Manager, *core.ConcurrentModel, error) {
+		d, err := corpus.LoadFile(datasetPath)
+		if err != nil {
+			return nil, nil, fmt.Errorf("archive dataset: %w", err)
+		}
+		cm := core.NewConcurrentModel(model)
+		mgr, err := crowddb.NewManager(store, d.Vocab, cm, *crowdK)
+		if err != nil {
+			return nil, nil, err
+		}
+		return mgr, cm, nil
+	}
+	rep, err := crowddb.VerifyBackup(archives, crowddb.VerifyBackupOptions{
+		Build:      build,
+		ScratchDir: *scratch,
+		Logf:       logf,
+	})
+	if err != nil {
+		return asCheckErr(fmt.Errorf("verify-backup: %w", err))
+	}
+	return printJSON(out, rep)
 }
 
 // verifyNode probes one node's readiness and digest.

@@ -177,7 +177,7 @@ func main() {
 		dataDir: *dataDir, replicaOf: *replicaOf,
 		shard: shard, shardPeers: peers, sync: policy,
 		compactEvery: *compactEvery, scrubEvery: *scrubEvery,
-		maxInflight: *maxInflight,
+		maxInflight:  *maxInflight,
 		admissionMin: *admissionMin,
 		readBudget:   *readBudget, writeBudget: *writeBudget,
 		maxBody: *maxBody, fleetToken: *fleetToken,
@@ -546,6 +546,12 @@ func buildService(cfg daemonConfig) (*crowddb.Server, []*crowddb.DB, int, error)
 		srv.SetIntegrityStats(db.ScrubStats)
 		srv.SetReplicationSource(src)
 		srv.SetReplicationStatus(src.Status)
+		// The same cut discipline feeds online backups: every archive is
+		// stamped with the digest at its cut seq (DESIGN §15).
+		bsrc := crowddb.NewBackupSource(db, crowddb.BackupSourceOptions{Logf: log.Printf})
+		bsrc.SetFence(fence)
+		bsrc.SetDigest(cutter.Func())
+		srv.SetBackupSource(bsrc)
 	}
 	engine, err := crowdql.NewEngine(mgr)
 	if err != nil {
@@ -680,6 +686,10 @@ func buildTenants(srv *crowddb.Server, cfg daemonConfig, d *corpus.Dataset, mode
 			src.SetDigest(tcutter.Func())
 			tc.Digest = tcutter.Func()
 			tc.ReplicationSource = src
+			tbsrc := crowddb.NewBackupSource(tdb, crowddb.BackupSourceOptions{Logf: log.Printf})
+			tbsrc.SetFence(fence)
+			tbsrc.SetDigest(tcutter.Func())
+			tc.Backup = tbsrc
 		}
 		if err := srv.AddTenant(name, tc); err != nil {
 			return dbs, err
@@ -805,6 +815,12 @@ func buildReplica(cfg daemonConfig) (*crowddb.Server, []*crowddb.Replica, int, e
 		st.Followers = src.Followers()
 		return st
 	})
+	// A standby can serve backups too — taking the archive off the
+	// primary's serving path is the usual operational preference.
+	bsrc := crowddb.NewBackupSource(db, crowddb.BackupSourceOptions{Logf: log.Printf})
+	bsrc.SetFence(fence)
+	bsrc.SetDigest(rep.Digest)
+	srv.SetBackupSource(bsrc)
 	engine, err := crowdql.NewEngine(rep.Manager())
 	if err != nil {
 		return fail(err)
@@ -839,12 +855,16 @@ func buildReplica(cfg daemonConfig) (*crowddb.Server, []*crowddb.Replica, int, e
 			return fail(fmt.Errorf("tenant %s: %w", name, terr))
 		}
 		tsrc.SetDigest(trep.Digest)
+		tbsrc := crowddb.NewBackupSource(tdb, crowddb.BackupSourceOptions{Logf: log.Printf})
+		tbsrc.SetFence(fence)
+		tbsrc.SetDigest(trep.Digest)
 		if terr := srv.AddTenant(name, crowddb.TenantConfig{
 			Manager:           trep.Manager(),
 			Query:             crowdql.HTTPAdapter{Engine: tengine},
 			Degraded:          tdb.Degraded,
 			ReplicationSource: tsrc,
 			Digest:            trep.Digest,
+			Backup:            tbsrc,
 			MaxInflight:       cfg.tenantQuota,
 		}); terr != nil {
 			return fail(terr)

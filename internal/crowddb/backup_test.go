@@ -1,0 +1,660 @@
+package crowddb
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"testing"
+
+	"crowdselect/internal/faultfs"
+)
+
+// backupPrimary boots a durable primary with its dataset persisted and
+// a digest-stamping backup source served over httptest.
+func backupPrimary(t *testing.T) (*durableRig, *DigestCutter, *BackupSource, *httptest.Server) {
+	t.Helper()
+	d, model := trainedFixture(t)
+	rig := openDurable(t, t.TempDir(), d, model, Options{Sync: SyncAlways()})
+	t.Cleanup(func() { rig.db.Close() })
+	if err := d.SaveFile(rig.db.DatasetPath()); err != nil {
+		t.Fatal(err)
+	}
+	cutter := NewDigestCutter(rig.db, rig.mgr)
+	src := NewBackupSource(rig.db, BackupSourceOptions{})
+	src.SetDigest(cutter.Func())
+	ts := httptest.NewServer(src)
+	t.Cleanup(ts.Close)
+	return rig, cutter, src, ts
+}
+
+// fetchBackup streams one archive segment from base into dst, failing
+// the test on transport or HTTP errors (archive-level errors return).
+func fetchBackup(t *testing.T, base string, dst io.Writer, since int64, history string) (BackupStreamInfo, error) {
+	t.Helper()
+	u := base
+	if since >= 0 {
+		u += "?since=" + strconv.FormatInt(since, 10) + "&history=" + url.QueryEscape(history)
+	}
+	resp, err := http.Get(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("backup fetch: %s: %s", resp.Status, b)
+	}
+	return CopyBackupStream(dst, resp.Body)
+}
+
+// reopenRestored boots a restored directory through the ordinary
+// recovery path — exactly what a crowdd pointed at the directory does.
+func reopenRestored(t *testing.T, dir string, rig *durableRig) (*durableRig, *DigestCutter) {
+	t.Helper()
+	rrig := openDurable(t, dir, rig.d, nil, Options{Sync: SyncAlways()})
+	t.Cleanup(func() { rrig.db.Close() })
+	return rrig, NewDigestCutter(rrig.db, rrig.mgr)
+}
+
+// resolveOneTaskE is resolveOneTask for goroutines: errors return
+// instead of failing the test from off the main goroutine.
+func resolveOneTaskE(r *durableRig, text string) error {
+	sub, err := r.mgr.SubmitTask(context.Background(), text, 2)
+	if err != nil {
+		return err
+	}
+	for i, w := range sub.Workers {
+		if err := r.mgr.CollectAnswer(sub.Task.ID, w, fmt.Sprintf("answer %d", i)); err != nil {
+			return err
+		}
+	}
+	sc := make(map[int]float64, len(sub.Workers))
+	for _, w := range sub.Workers {
+		sc[w] = 3
+	}
+	_, err = r.mgr.ResolveTask(context.Background(), sub.Task.ID, sc)
+	return err
+}
+
+// writeArchive lands raw archive bytes in a temp file.
+func writeArchive(t *testing.T, raw []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "crowd.backup")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// reframeArchive re-encodes an archive frame by frame, letting mutate
+// rewrite payloads; CRCs are recomputed, so the result is codec-valid
+// tampering that only the digest layer can catch.
+func reframeArchive(t *testing.T, raw []byte, mutate func(typ byte, payload []byte) []byte) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	r := bytes.NewReader(raw)
+	var off int64
+	for {
+		typ, payload, n, err := readReplFrame(r, off)
+		if errors.Is(err, io.EOF) {
+			return out.Bytes()
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := writeReplFrame(&out, typ, mutate(typ, payload)); err != nil {
+			t.Fatal(err)
+		}
+		off += n
+	}
+}
+
+func TestBackupRestoreRoundTrip(t *testing.T) {
+	rig, cutter, src, ts := backupPrimary(t)
+	recs := []TaskRecord{
+		rig.resolveOneTask(t, "how do neural networks learn from data", []float64{4, 2}),
+		rig.resolveOneTask(t, "what is the capital city of france", []float64{3, 5}),
+		rig.resolveOneTask(t, "explain the rules of chess to a beginner", []float64{2, 4}),
+	}
+
+	var buf bytes.Buffer
+	info, err := fetchBackup(t, ts.URL, &buf, -1, "")
+	if err != nil {
+		t.Fatalf("full backup stream: %v", err)
+	}
+	if !info.Complete || !info.Resumable {
+		t.Fatalf("info = %+v, want complete and resumable", info)
+	}
+	if !info.Manifest.Full {
+		t.Fatal("full backup manifest not marked full")
+	}
+	srcCut, err := cutter.CutAt(info.Manifest.Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Manifest.Digest != srcCut.Digest {
+		t.Fatalf("manifest digest %s, source cut %s", info.Manifest.Digest, srcCut.Digest)
+	}
+	if src.Backups() != 1 {
+		t.Fatalf("Backups() = %d, want 1", src.Backups())
+	}
+
+	arch := writeArchive(t, buf.Bytes())
+	dest := filepath.Join(t.TempDir(), "restored")
+	res, err := RestoreBackup(dest, []string{arch}, RestoreOptions{})
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if res.Seq != srcCut.Seq || res.Digest != srcCut.Digest {
+		t.Fatalf("restore result (%d, %s), want (%d, %s)", res.Seq, res.Digest, srcCut.Seq, srcCut.Digest)
+	}
+
+	rrig, rcutter := reopenRestored(t, dest, rig)
+	got, err := rcutter.Cut()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != srcCut.Seq {
+		t.Fatalf("restored node at seq %d, source cut at %d", got.Seq, srcCut.Seq)
+	}
+	if got.Digest != srcCut.Digest {
+		t.Fatalf("restored digest %s != source digest %s at seq %d", got.Digest, srcCut.Digest, got.Seq)
+	}
+	// Every acked mutation exactly once: each resolved task is present,
+	// resolved, and carries its scores.
+	for _, rec := range recs {
+		rt, err := rrig.db.Store().GetTask(rec.ID)
+		if err != nil {
+			t.Fatalf("restored task %d: %v", rec.ID, err)
+		}
+		if rt.Status != rec.Status || len(rt.Answers) != len(rec.Answers) {
+			t.Fatalf("restored task %d = %+v, want %+v", rec.ID, rt, rec)
+		}
+	}
+	// The restored node serves and accepts new mutations.
+	rrig.resolveOneTask(t, "a brand new question after restore", []float64{1, 5})
+}
+
+func TestBackupIncrementalChainAndPointInTime(t *testing.T) {
+	rig, _, src, ts := backupPrimary(t)
+	rec1 := rig.resolveOneTask(t, "first question before the full backup", []float64{4, 2})
+
+	var a1 bytes.Buffer
+	info1, err := fetchBackup(t, ts.URL, &a1, -1, "")
+	if err != nil {
+		t.Fatalf("full backup: %v", err)
+	}
+	s1 := info1.Manifest.Seq
+
+	rec2 := rig.resolveOneTask(t, "second question after the full backup", []float64{5, 1})
+	var a2 bytes.Buffer
+	info2, err := fetchBackup(t, ts.URL, &a2, info1.LastSeq, info1.Manifest.History)
+	if err != nil {
+		t.Fatalf("incremental backup: %v", err)
+	}
+	if info2.Manifest.Full {
+		t.Fatal("incremental manifest marked full")
+	}
+	if info2.Manifest.BaseSeq != s1 {
+		t.Fatalf("incremental base %d, want %d", info2.Manifest.BaseSeq, s1)
+	}
+	s2 := info2.Manifest.Seq
+	if s2 <= s1 {
+		t.Fatalf("incremental cut %d did not advance past %d", s2, s1)
+	}
+	if src.Resumes() != 1 {
+		t.Fatalf("Resumes() = %d, want 1", src.Resumes())
+	}
+
+	f1, f2 := writeArchive(t, a1.Bytes()), writeArchive(t, a2.Bytes())
+
+	// Full chain: the restored node lands at s2 with s2's digest.
+	destAll := filepath.Join(t.TempDir(), "restored-all")
+	resAll, err := RestoreBackup(destAll, []string{f1, f2}, RestoreOptions{})
+	if err != nil {
+		t.Fatalf("chain restore: %v", err)
+	}
+	if resAll.Seq != s2 || resAll.Digest != info2.Manifest.Digest {
+		t.Fatalf("chain restore at (%d, %s), want (%d, %s)", resAll.Seq, resAll.Digest, s2, info2.Manifest.Digest)
+	}
+	rAll, cAll := reopenRestored(t, destAll, rig)
+	gotAll, err := cAll.Cut()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotAll.Digest != info2.Manifest.Digest {
+		t.Fatalf("chain-restored digest %s, want %s", gotAll.Digest, info2.Manifest.Digest)
+	}
+	if _, err := rAll.db.Store().GetTask(rec2.ID); err != nil {
+		t.Fatalf("chain restore lost task %d: %v", rec2.ID, err)
+	}
+
+	// Point-in-time: replay the same chain only through s1. The node
+	// lands exactly where the full segment was cut — task 2 never
+	// happened there.
+	destPit := filepath.Join(t.TempDir(), "restored-pit")
+	resPit, err := RestoreBackup(destPit, []string{f1, f2}, RestoreOptions{ToSeq: s1})
+	if err != nil {
+		t.Fatalf("point-in-time restore: %v", err)
+	}
+	if resPit.Seq != s1 || resPit.Digest != info1.Manifest.Digest {
+		t.Fatalf("point-in-time at (%d, %s), want (%d, %s)", resPit.Seq, resPit.Digest, s1, info1.Manifest.Digest)
+	}
+	rPit, cPit := reopenRestored(t, destPit, rig)
+	gotPit, err := cPit.Cut()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotPit.Seq != s1 || gotPit.Digest != info1.Manifest.Digest {
+		t.Fatalf("point-in-time digest (%d, %s), want (%d, %s)", gotPit.Seq, gotPit.Digest, s1, info1.Manifest.Digest)
+	}
+	if _, err := rPit.db.Store().GetTask(rec1.ID); err != nil {
+		t.Fatalf("point-in-time restore lost task %d: %v", rec1.ID, err)
+	}
+	if _, err := rPit.db.Store().GetTask(rec2.ID); err == nil {
+		t.Fatalf("point-in-time restore at seq %d contains task %d resolved later", s1, rec2.ID)
+	}
+
+	// Beyond-head and before-base targets refuse loudly.
+	if _, err := RestoreBackup(filepath.Join(t.TempDir(), "x"), []string{f1, f2}, RestoreOptions{ToSeq: s2 + 100}); err == nil {
+		t.Fatal("restore beyond the archive head succeeded")
+	}
+}
+
+func TestBackupStreamResumeAfterInterrupt(t *testing.T) {
+	rig, cutter, src, ts := backupPrimary(t)
+	rig.resolveOneTask(t, "question one before the interrupted backup", []float64{4, 2})
+	rig.resolveOneTask(t, "question two before the interrupted backup", []float64{3, 5})
+
+	var whole bytes.Buffer
+	info, err := fetchBackup(t, ts.URL, &whole, -1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The connection dies mid-trailer: the client keeps only whole
+	// validated frames, so its file is a valid prefix and the copy
+	// reports exactly where to resume.
+	var archive bytes.Buffer
+	cut, err := CopyBackupStream(&archive, bytes.NewReader(whole.Bytes()[:whole.Len()-5]))
+	if !errors.Is(err, ErrArchiveTruncated) {
+		t.Fatalf("interrupted copy err = %v, want ErrArchiveTruncated", err)
+	}
+	if cut.Complete || !cut.Resumable {
+		t.Fatalf("interrupted info = %+v, want incomplete and resumable", cut)
+	}
+	if cut.LastSeq != info.Manifest.Seq {
+		t.Fatalf("interrupt after seq %d, records ran to %d", cut.LastSeq, info.Manifest.Seq)
+	}
+
+	// Resume: append a continuation segment to the same file.
+	resumed, err := fetchBackup(t, ts.URL, &archive, cut.LastSeq, cut.Manifest.History)
+	if err != nil {
+		t.Fatalf("resume stream: %v", err)
+	}
+	if !resumed.Complete {
+		t.Fatalf("resume info = %+v, want complete", resumed)
+	}
+	if src.Resumes() != 1 {
+		t.Fatalf("Resumes() = %d, want 1", src.Resumes())
+	}
+
+	// The patched-together file restores to the source's exact digest.
+	arch := writeArchive(t, archive.Bytes())
+	dest := filepath.Join(t.TempDir(), "restored")
+	res, err := RestoreBackup(dest, []string{arch}, RestoreOptions{})
+	if err != nil {
+		t.Fatalf("restore of resumed archive: %v", err)
+	}
+	srcCut, err := cutter.CutAt(res.Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rcutter := reopenRestored(t, dest, rig)
+	got, err := rcutter.Cut()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Digest != srcCut.Digest {
+		t.Fatalf("resumed-archive restore digest %s, want %s", got.Digest, srcCut.Digest)
+	}
+}
+
+func TestBackupArchiveTypedErrors(t *testing.T) {
+	rig, _, _, ts := backupPrimary(t)
+	rig.resolveOneTask(t, "a task to give the archive some records", []float64{4, 2})
+	rig.resolveOneTask(t, "another task so records can be reordered", []float64{2, 4})
+
+	var buf bytes.Buffer
+	if _, err := fetchBackup(t, ts.URL, &buf, -1, ""); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	nosink := backupSink{}
+	if _, err := walkBackupArchive(bytes.NewReader(nil), nosink); !errors.Is(err, ErrArchiveTruncated) {
+		t.Fatalf("empty archive err = %v, want ErrArchiveTruncated", err)
+	}
+	if _, err := walkBackupArchive(bytes.NewReader(raw[:len(raw)-3]), nosink); !errors.Is(err, ErrArchiveTruncated) {
+		t.Fatalf("truncated archive err = %v, want ErrArchiveTruncated", err)
+	}
+
+	flipped := append([]byte(nil), raw...)
+	flipped[replFrameHeaderSize+2] ^= 0x01 // inside the manifest payload: CRC must catch it
+	var ae *ArchiveError
+	if _, err := walkBackupArchive(bytes.NewReader(flipped), nosink); !errors.Is(err, ErrArchiveCorrupt) || !errors.As(err, &ae) {
+		t.Fatalf("flipped-bit archive err = %v, want *ArchiveError wrapping ErrArchiveCorrupt", err)
+	}
+
+	// Swap two record frames: every frame's CRC still holds, but the
+	// sequence run breaks.
+	var frames []struct {
+		typ     byte
+		payload []byte
+	}
+	r := bytes.NewReader(raw)
+	var off int64
+	for {
+		typ, payload, n, err := readReplFrame(r, off)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, struct {
+			typ     byte
+			payload []byte
+		}{typ, payload})
+		off += n
+	}
+	var recIdx []int
+	for i, f := range frames {
+		if f.typ == frameRecord {
+			recIdx = append(recIdx, i)
+		}
+	}
+	if len(recIdx) < 2 {
+		t.Fatalf("archive carries %d record frames, need 2 to reorder", len(recIdx))
+	}
+	frames[recIdx[0]], frames[recIdx[1]] = frames[recIdx[1]], frames[recIdx[0]]
+	var reordered bytes.Buffer
+	for _, f := range frames {
+		if err := writeReplFrame(&reordered, f.typ, f.payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := walkBackupArchive(bytes.NewReader(reordered.Bytes()), nosink); !errors.Is(err, ErrArchiveReordered) {
+		t.Fatalf("reordered archive err = %v, want ErrArchiveReordered", err)
+	}
+
+	// A live replication frame type has no business inside an archive.
+	var alien bytes.Buffer
+	if err := writeReplFrame(&alien, frameHello, []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := walkBackupArchive(bytes.NewReader(alien.Bytes()), nosink); !errors.Is(err, ErrArchiveCorrupt) {
+		t.Fatalf("alien frame err = %v, want ErrArchiveCorrupt", err)
+	}
+
+	// Restore refuses a directory that already holds anything, and a
+	// chain that does not start with a full segment.
+	arch := writeArchive(t, raw)
+	occupied := t.TempDir()
+	if err := os.WriteFile(filepath.Join(occupied, "keep.me"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreBackup(occupied, []string{arch}, RestoreOptions{}); err == nil {
+		t.Fatal("restore into a non-empty directory succeeded")
+	}
+	var inc bytes.Buffer
+	cut, err := CopyBackupStream(io.Discard, bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fetchBackup(t, ts.URL, &inc, cut.LastSeq, cut.Manifest.History); err != nil {
+		t.Fatal(err)
+	}
+	incArch := writeArchive(t, inc.Bytes())
+	if _, err := RestoreBackup(filepath.Join(t.TempDir(), "r"), []string{incArch}, RestoreOptions{}); err == nil {
+		t.Fatal("restore from an incremental-only chain succeeded")
+	}
+}
+
+func TestVerifyBackupProvesAndRefutes(t *testing.T) {
+	rig, _, _, ts := backupPrimary(t)
+	rig.resolveOneTask(t, "what makes sourdough bread rise overnight", []float64{4, 2})
+
+	var full bytes.Buffer
+	info1, err := fetchBackup(t, ts.URL, &full, -1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig.resolveOneTask(t, "how tall can a sequoia tree grow", []float64{5, 3})
+	var inc bytes.Buffer
+	if _, err := fetchBackup(t, ts.URL, &inc, info1.LastSeq, info1.Manifest.History); err != nil {
+		t.Fatal(err)
+	}
+	f1, f2 := writeArchive(t, full.Bytes()), writeArchive(t, inc.Bytes())
+
+	rep, err := VerifyBackup([]string{f1, f2}, VerifyBackupOptions{Build: testReplicaBuilder()})
+	if err != nil {
+		t.Fatalf("verify of a clean chain: %v", err)
+	}
+	if !rep.DigestVerified || !rep.ModelReplayed {
+		t.Fatalf("report = %+v, want digest verified through a model replay", rep)
+	}
+	if rep.Segments != 2 {
+		t.Fatalf("verified %d segments, want 2", rep.Segments)
+	}
+
+	// Any single flipped bit fails verification, wherever it lands.
+	st, err := os.Stat(f1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, offset := range []int64{replFrameHeaderSize + 1, st.Size() / 2, st.Size() - 2} {
+		tampered := filepath.Join(t.TempDir(), fmt.Sprintf("bitflip-%d.backup", offset))
+		orig, err := os.ReadFile(f1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(tampered, orig, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := faultfs.FlipBit(tampered, offset, 3); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := VerifyBackup([]string{tampered, f2}, VerifyBackupOptions{Build: testReplicaBuilder()}); err == nil {
+			t.Fatalf("verify accepted a flipped bit at offset %d", offset)
+		}
+	}
+
+	// Codec-valid tampering — payload rewritten, CRC recomputed — gets
+	// past every checksum and is caught only by the digest replay.
+	rawFull, err := os.ReadFile(f1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := reframeArchive(t, rawFull, func(typ byte, payload []byte) []byte {
+		if typ != frameSnapshot {
+			return payload
+		}
+		var sm replSnapshotMsg
+		if err := json.Unmarshal(payload, &sm); err != nil {
+			t.Fatal(err)
+		}
+		sm.Store = bytes.Replace(sm.Store, []byte(`"w1"`), []byte(`"x1"`), 1)
+		out, err := json.Marshal(sm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	})
+	if !bytes.Contains(rawFull, []byte(`"w1"`)) {
+		t.Fatal("fixture has no worker w1 to forge")
+	}
+	forgedPath := writeArchive(t, forged)
+	if _, err := VerifyBackup([]string{forgedPath}, VerifyBackupOptions{Build: testReplicaBuilder()}); !errors.Is(err, ErrBackupDigestMismatch) {
+		t.Fatalf("forged snapshot verify err = %v, want ErrBackupDigestMismatch", err)
+	}
+}
+
+func TestBackupEndpointRoutingGatingAndGone(t *testing.T) {
+	rig, cutter, src, _ := backupPrimary(t)
+	rig.resolveOneTask(t, "a task so the head moves past the base", []float64{4, 2})
+
+	srv := NewServer(rig.mgr)
+	srv.SetBackupSource(src)
+	srv.SetDigestProvider(cutter.Func())
+	if err := srv.AddTenant("acme", TenantConfig{Manager: rig.mgr, Backup: src}); err != nil {
+		t.Fatal(err)
+	}
+	ws := httptest.NewServer(srv)
+	t.Cleanup(ws.Close)
+
+	var buf bytes.Buffer
+	if info, err := fetchBackup(t, ws.URL+"/api/v1/backup", &buf, -1, ""); err != nil || !info.Complete {
+		t.Fatalf("backup via server route: info=%+v err=%v", info, err)
+	}
+	buf.Reset()
+	if info, err := fetchBackup(t, ws.URL+"/api/v1/t/acme/backup", &buf, -1, ""); err != nil || !info.Complete {
+		t.Fatalf("tenant-scoped backup route: info=%+v err=%v", info, err)
+	}
+
+	// With a fleet token set, the backup stream is part of the gated
+	// fleet plane.
+	srv.SetFleetToken("s3cr3t")
+	resp, err := http.Get(ws.URL + "/api/v1/backup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("ungated backup with fleet token set: %s, want 403", resp.Status)
+	}
+	req, _ := http.NewRequest(http.MethodGet, ws.URL+"/api/v1/backup", nil)
+	req.Header.Set("Authorization", "Bearer s3cr3t")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CopyBackupStream(io.Discard, resp.Body); err != nil {
+		t.Fatalf("authorized backup stream: %v", err)
+	}
+	resp.Body.Close()
+	srv.SetFleetToken("")
+
+	// A node with no source answers 501.
+	bare := httptest.NewServer(NewServer(rig.mgr))
+	t.Cleanup(bare.Close)
+	resp, err = http.Get(bare.URL + "/api/v1/backup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("backup without a source: %s, want 501", resp.Status)
+	}
+
+	// Compaction moves the generation base past old seqs: resuming from
+	// below it is permanently impossible and says so with 410.
+	history := rig.db.ReplicationHistory()
+	if err := rig.db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(ws.URL + "/api/v1/backup?since=0&history=" + url.QueryEscape(history))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("compacted-away resume: %s, want 410", resp.Status)
+	}
+	var env ErrorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil || env.Error.Code != codeBackupGone {
+		t.Fatalf("compacted-away resume envelope %s, want code %s", body, codeBackupGone)
+	}
+	// A foreign history cannot produce a chaining archive at all.
+	resp, err = http.Get(ws.URL + "/api/v1/backup?since=0&history=someone-elses-history")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("foreign-history resume: %s, want 409", resp.Status)
+	}
+}
+
+// TestDigestCutAtStableWhileWritesRace pins a digest cut at one seq and
+// hammers the cutter from both sides — feedback writes advancing the
+// head, readers re-reading the pinned seq — asserting the pinned
+// digest never wavers. Run under -race this also proves the cutter's
+// retention cache is safe against concurrent cuts.
+func TestDigestCutAtStableWhileWritesRace(t *testing.T) {
+	rig, cutter, _, _ := backupPrimary(t)
+	rig.resolveOneTask(t, "the pinned task before the race starts", []float64{4, 2})
+	pinned, err := cutter.Cut()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writers = 4
+	var wg sync.WaitGroup
+	errc := make(chan error, writers)
+	done := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errc <- resolveOneTaskE(rig, fmt.Sprintf("racing task %d pushing the head forward", w))
+		}(w)
+	}
+	go func() { wg.Wait(); close(done) }()
+
+	for racing := true; racing; {
+		select {
+		case <-done:
+			racing = false
+		default:
+		}
+		got, err := cutter.CutAt(pinned.Seq)
+		if err != nil {
+			t.Fatalf("CutAt(%d) while writes race: %v", pinned.Seq, err)
+		}
+		if got.Digest != pinned.Digest {
+			t.Fatalf("digest at pinned seq %d changed from %s to %s", pinned.Seq, pinned.Digest, got.Digest)
+		}
+		// Interleave fresh head cuts so the retention cache churns too.
+		if _, err := cutter.Cut(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for w := 0; w < writers; w++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+	head, err := cutter.Cut()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if head.Seq <= pinned.Seq {
+		t.Fatalf("head %d did not advance past the pinned seq %d", head.Seq, pinned.Seq)
+	}
+	got, err := cutter.CutAt(pinned.Seq)
+	if err != nil || got.Digest != pinned.Digest {
+		t.Fatalf("CutAt(%d) after the race = (%+v, %v), want the pinned digest", pinned.Seq, got, err)
+	}
+}

@@ -1,6 +1,9 @@
 package crowddb
 
 import (
+	"bytes"
+	"errors"
+	"io"
 	"strings"
 	"testing"
 )
@@ -53,6 +56,66 @@ func FuzzReplayJournal(f *testing.F) {
 		}
 		if restored.NumWorkers() != s.NumWorkers() || restored.NumTasks() != s.NumTasks() {
 			t.Fatal("replay → snapshot → restore changed counts")
+		}
+	})
+}
+
+// FuzzBackupArchiveDecoder hardens the backup archive walker against
+// byte soup: restore and verify feed it operator-supplied files, so it
+// must never panic and must refuse malformed input only with its
+// typed sentinels.
+func FuzzBackupArchiveDecoder(f *testing.F) {
+	archive := func(frames ...[2]any) []byte {
+		var buf bytes.Buffer
+		for _, fr := range frames {
+			if err := writeReplFrame(&buf, fr[0].(byte), []byte(fr[1].(string))); err != nil {
+				f.Fatal(err)
+			}
+		}
+		return buf.Bytes()
+	}
+	manifest := `{"format":1,"history":"h1","full":true,"base_seq":0,"seq":1,"fencing_epoch":1,"generation":1}`
+	snapshot := `{"seq":0,"bytes":0,"store":{"workers":[],"tasks":[]}}`
+	record := `{"seq":1,"bytes":9,"event":{"kind":"add_worker","worker":0,"name":"w"}}`
+	trailer := `{"seq":1,"records":1}`
+	full := archive(
+		[2]any{frameBackupManifest, manifest},
+		[2]any{frameDataset, `{"workers":[],"tasks":[]}`},
+		[2]any{frameSnapshot, snapshot},
+		[2]any{frameRecord, record},
+		[2]any{frameBackupEnd, trailer},
+	)
+	f.Add([]byte{})
+	f.Add(full)
+	f.Add(full[:len(full)-4])                                    // torn trailer
+	f.Add(archive([2]any{frameBackupManifest, manifest}))        // no records, no trailer
+	f.Add(archive([2]any{frameRecord, record}))                  // records before any manifest
+	f.Add(archive([2]any{frameHello, `{"history":"h1"}`}))       // live repl frame in an archive
+	f.Add(archive([2]any{frameBackupManifest, `{"format":99}`})) // wrong format
+	f.Add(archive([2]any{frameBackupEnd, trailer}))              // trailer first
+	f.Add(append(append([]byte(nil), full...), full...))         // full-after-full chain
+	f.Add([]byte("\x07\xff\xff\xff\x7f\x00\x00\x00\x00"))        // oversize manifest frame
+	mut := append([]byte(nil), full...)
+	mut[replFrameHeaderSize+4] ^= 0x20
+	f.Add(mut) // payload bit flip under a stale CRC
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typedOnly := func(err error) {
+			if err == nil {
+				return
+			}
+			if !errors.Is(err, ErrArchiveTruncated) && !errors.Is(err, ErrArchiveReordered) && !errors.Is(err, ErrArchiveCorrupt) {
+				t.Fatalf("decoder failed with untyped error %T: %v", err, err)
+			}
+		}
+		ai, err := walkBackupArchive(bytes.NewReader(data), backupSink{})
+		typedOnly(err)
+		if err == nil && ai.Segments < 1 {
+			t.Fatal("walk succeeded without a single segment")
+		}
+		info, err := CopyBackupStream(io.Discard, bytes.NewReader(data))
+		typedOnly(err)
+		if err == nil && !info.Complete {
+			t.Fatal("copy succeeded on an archive it calls incomplete")
 		}
 	})
 }

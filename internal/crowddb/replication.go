@@ -53,6 +53,12 @@ const (
 	frameSnapshot  byte = 4 // bootstrap only: base position + raw store snapshot
 	frameRecord    byte = 5 // one journal event with its position
 	frameHeartbeat byte = 6 // head position while the journal is idle
+
+	// Backup archive frames (DESIGN §15). Backups reuse the replication
+	// codec so the same CRC/length validation covers archives at rest;
+	// these two types never appear on a live replication stream.
+	frameBackupManifest byte = 7 // segment header: cut identity and digest stamps
+	frameBackupEnd      byte = 8 // segment trailer: proves the segment is complete
 )
 
 // replFrameHeaderSize is the framing overhead per replication frame.
@@ -106,7 +112,7 @@ func readReplFrame(r io.Reader, off int64) (typ byte, payload []byte, n int64, e
 	typ = hdr[0]
 	length := binary.LittleEndian.Uint32(hdr[1:5])
 	sum := binary.LittleEndian.Uint32(hdr[5:9])
-	if typ < frameHello || typ > frameHeartbeat {
+	if typ < frameHello || typ > frameBackupEnd {
 		return 0, nil, 0, &FrameError{Offset: off, Err: fmt.Errorf("unknown frame type 0x%02x", typ)}
 	}
 	if length > maxReplFrameSize {

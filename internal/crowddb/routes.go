@@ -28,6 +28,7 @@ var routeRegistrations = []struct {
 	{"/api/v1/workers/", (*Server).handleWorkerSubtree},
 	{"/api/v1/stats", (*Server).handleStats},
 	{"/api/v1/digest", (*Server).handleDigest},
+	{"/api/v1/backup", (*Server).handleBackup},
 	{"/api/v1/query", (*Server).handleQuery},
 	{"/api/v1/metrics", (*Server).handleMetrics},
 	{"/api/v1/topology", (*Server).handleTopology},
@@ -91,6 +92,7 @@ func APIRoutes() []Route {
 		{"POST", "/api/v1/workers/{id}/presence", "/api/v1/workers/", true, "set a worker online/offline"},
 		{"GET", "/api/v1/stats", "/api/v1/stats", true, "crowd database counters"},
 		{"GET", "/api/v1/digest", "/api/v1/digest", true, "integrity digest cut at the current applied position"},
+		{"GET", "/api/v1/backup", "/api/v1/backup", true, "digest-stamped backup archive stream (full or `?since=` incremental)"},
 		{"POST", "/api/v1/query", "/api/v1/query", true, "run a crowdql statement"},
 		{"POST", "/api/v1/skills:feedback", "/api/v1/skills:feedback", true, "fold cross-shard feedback into owned posteriors"},
 		{"GET", "/api/v1/replication/stream", "/api/v1/replication/stream", true, "long-lived journal stream for followers"},

@@ -110,6 +110,7 @@ type Server struct {
 	topo       topologyState                    // live topology document
 
 	digest    DigestFunc               // nil: GET /api/v1/digest is 404 (default tenant)
+	backup    http.Handler             // nil: GET /api/v1/backup is 501 (default tenant)
 	integrity func() IntegritySnapshot // nil: no integrity section
 
 	// tenants is the tenant registry (DESIGN §13). It always holds the
@@ -391,6 +392,10 @@ func (s *Server) SetPromoter(f func(context.Context) error) { s.promoter = f }
 // (*Replica).Digest on a follower. Tenant-scoped digests install via
 // TenantConfig.Digest.
 func (s *Server) SetDigestProvider(fn DigestFunc) { s.digest = fn }
+
+// SetBackupSource enables GET /api/v1/backup for the default tenant
+// (see BackupSource); nil (the default) answers 501.
+func (s *Server) SetBackupSource(h http.Handler) { s.backup = h }
 
 // SetIntegrityStats adds the integrity section (scrub progress,
 // divergence state) to GET /api/v1/metrics and /readyz, fed by the
@@ -805,13 +810,15 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			httpError(sw, http.StatusServiceUnavailable, errors.New("service not ready"))
 			return
 		}
-		if strings.HasPrefix(r.URL.Path, "/api/v1/replication/") {
+		if strings.HasPrefix(r.URL.Path, "/api/v1/replication/") || r.URL.Path == "/api/v1/backup" {
 			// Replication traffic manages its own lifetime: the stream
 			// is long-lived by design (no admission slot, no deadline
 			// budget, no body cap) and promote must reach a replica that
 			// refuses ordinary mutations. It is also the fleet-control
 			// surface — fence, lease, promote move a fleet's write
-			// availability — so it sits behind the fleet token.
+			// availability — so it sits behind the fleet token. Backup
+			// streams are the same kind of bulk fleet-plane transfer and
+			// get the same treatment.
 			if !s.fleetAuthorized(r) {
 				httpErrorCode(sw, http.StatusForbidden, codeForbidden,
 					errors.New("fleet control requires the fleet token (Authorization: Bearer ...)"))

@@ -94,6 +94,9 @@ type TenantConfig struct {
 	// Digest serves GET /api/v1/t/{name}/digest, the tenant's integrity
 	// digest cut (DESIGN §14); nil answers 404.
 	Digest DigestFunc
+	// Backup serves GET /api/v1/t/{name}/backup, the tenant's
+	// digest-stamped archive stream (DESIGN §15); nil answers 501.
+	Backup http.Handler
 }
 
 // tenantEntry is the server-side state of one tenant. The default
@@ -107,6 +110,7 @@ type tenantEntry struct {
 	degraded   func() bool
 	replSource http.Handler
 	digest     DigestFunc
+	backup     http.Handler
 
 	requests    atomic.Int64 // API requests routed to this tenant
 	inflight    atomic.Int64 // currently in flight (quota accounting)
@@ -159,6 +163,7 @@ func (s *Server) AddTenant(name string, cfg TenantConfig) error {
 		degraded:    cfg.Degraded,
 		replSource:  cfg.ReplicationSource,
 		digest:      cfg.Digest,
+		backup:      cfg.Backup,
 		maxInflight: int64(cfg.MaxInflight),
 	}
 	return nil
@@ -243,6 +248,16 @@ func (s *Server) replSourceFor(r *http.Request) http.Handler {
 		return s.replSource
 	}
 	return e.replSource
+}
+
+// backupFor resolves the tenant's backup stream handler (nil: no
+// backup source on this node for that tenant).
+func (s *Server) backupFor(r *http.Request) http.Handler {
+	e := s.tenantFor(r)
+	if e.name == DefaultTenant {
+		return s.backup
+	}
+	return e.backup
 }
 
 // tenantDegraded reports the tenant's journal health: the node-level

@@ -11,6 +11,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
 )
 
 // ErrInjected is returned by every operation after the budget is
@@ -28,6 +29,8 @@ type Budget struct {
 	remaining int64
 	tripped   bool
 	failSyncs bool
+	syncDelay time.Duration
+	readDelay time.Duration
 }
 
 // NewBudget allows n bytes of writes before failure. n < 0 means
@@ -80,6 +83,41 @@ func (b *Budget) syncsFailing() bool {
 	return b.failSyncs
 }
 
+// Latency injection: delays without failures, simulating a disk that
+// is healthy but slow (a saturated device, a thrashing cache, a
+// network filesystem hiccup). Each File.Sync / File.Read then sleeps
+// the configured delay before touching the real file. Zero (the
+// default) injects nothing.
+
+// DelaySyncs makes every subsequent File.Sync sleep d first. The sync
+// still succeeds — this is slowness, not failure, and must not trip
+// degraded mode.
+func (b *Budget) DelaySyncs(d time.Duration) {
+	b.mu.Lock()
+	b.syncDelay = d
+	b.mu.Unlock()
+}
+
+// DelayReads makes every subsequent File.Read / File.ReadAt sleep d
+// first.
+func (b *Budget) DelayReads(d time.Duration) {
+	b.mu.Lock()
+	b.readDelay = d
+	b.mu.Unlock()
+}
+
+func (b *Budget) syncDelayNow() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.syncDelay
+}
+
+func (b *Budget) readDelayNow() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.readDelay
+}
+
 // File wraps an *os.File, counting every written byte against a
 // Budget. The write that crosses the budget is torn: the allowed
 // prefix reaches the real file, the rest never does, and the call —
@@ -120,12 +158,34 @@ func (f *File) Write(p []byte) (int, error) {
 }
 
 // Sync fsyncs the real file, or fails if the budget tripped or
-// sync-only failure is active.
+// sync-only failure is active. A configured sync delay is served
+// first — a slow disk is slow even when it eventually fails.
 func (f *File) Sync() error {
+	if d := f.b.syncDelayNow(); d > 0 {
+		time.Sleep(d)
+	}
 	if f.b.Tripped() || f.b.syncsFailing() {
 		return ErrInjected
 	}
 	return f.f.Sync()
+}
+
+// Read reads from the real file, sleeping the configured read delay
+// first.
+func (f *File) Read(p []byte) (int, error) {
+	if d := f.b.readDelayNow(); d > 0 {
+		time.Sleep(d)
+	}
+	return f.f.Read(p)
+}
+
+// ReadAt reads at offset from the real file, sleeping the configured
+// read delay first.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	if d := f.b.readDelayNow(); d > 0 {
+		time.Sleep(d)
+	}
+	return f.f.ReadAt(p, off)
 }
 
 // Close closes the underlying file regardless of budget state.
